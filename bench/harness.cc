@@ -1,0 +1,115 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace itc::bench {
+
+void PrintTitle(const std::string& bench, const std::string& paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", bench.c_str());
+  std::printf("paper (SOSP'85, Section 5.2): %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintSection(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+UserDayLab::UserDayLab(UserDayLabConfig config) : config_(std::move(config)) {
+  campus_ = std::make_unique<campus::Campus>(config_.campus);
+  ITC_CHECK(campus_->SetupRootVolume().ok());
+
+  // Shared system binaries at server 0 (optionally replicated everywhere).
+  auto sysvol = campus_->CreateSystemVolume("sys.sun", "/unix/sun", /*custodian=*/0);
+  ITC_CHECK(sysvol.ok());
+  system_volume_ = *sysvol;
+  ITC_CHECK(workload::PopulateSystemBinaries(*campus_, system_volume_,
+                                             config_.user_day.system_files,
+                                             config_.seed ^ 0xb1) == Status::kOk);
+  if (config_.replicate_system_volume) {
+    std::vector<ServerId> sites;
+    for (ServerId s = 0; s < campus_->server_count(); ++s) sites.push_back(s);
+    ITC_CHECK(campus_->registry().ReleaseReadOnly(system_volume_, "sys.sun.ro", sites).ok());
+  }
+
+  // One user per workstation, home volume at the home-cluster server.
+  for (uint32_t w = 0; w < campus_->workstation_count(); ++w) {
+    const std::string name = "u" + std::to_string(w);
+    auto home = campus_->AddUserWithHome(name, "pw-" + name, campus_->HomeServerOf(w));
+    ITC_CHECK(home.ok());
+    ITC_CHECK(workload::PopulateUserFiles(*campus_, home->volume,
+                                          config_.user_day.own_files,
+                                          config_.seed ^ w) == Status::kOk);
+    auto& ws = campus_->workstation(w);
+    ITC_CHECK(ws.LoginWithPassword(home->user, "pw-" + name) == Status::kOk);
+    users_.push_back(std::make_unique<workload::SyntheticUser>(
+        &ws, "/vice" + home->vice_path, "/bin", config_.user_day,
+        config_.seed ^ (0xda7aull & 0xffff) ^ (w * 7919)));
+  }
+
+  // 5-minute windows for peak-utilization reporting.
+  for (uint32_t s = 0; s < campus_->server_count(); ++s) {
+    campus_->server(s).endpoint().cpu().EnableWindowTracking(Seconds(300));
+  }
+}
+
+SimTime UserDayLab::Run() {
+  sim::Scheduler sched;
+  for (auto& u : users_) sched.Add(u.get());
+  return sched.RunAll();
+}
+
+venus::VenusStats UserDayLab::TotalVenusStats() const {
+  venus::VenusStats total;
+  for (uint32_t w = 0; w < campus_->workstation_count(); ++w) {
+    const auto& s = const_cast<campus::Campus&>(*campus_).workstation(w).venus().stats();
+    total.opens += s.opens;
+    total.cache_hits += s.cache_hits;
+    total.fetches += s.fetches;
+    total.stores += s.stores;
+    total.validations += s.validations;
+    total.stat_calls += s.stat_calls;
+    total.bytes_fetched += s.bytes_fetched;
+    total.bytes_stored += s.bytes_stored;
+    total.callback_breaks_received += s.callback_breaks_received;
+    total.open_time_total += s.open_time_total;
+  }
+  return total;
+}
+
+double UserDayLab::ServerCpuUtilization(SimTime end) const {
+  double busy = 0;
+  for (uint32_t s = 0; s < campus_->server_count(); ++s) {
+    busy += static_cast<double>(
+        const_cast<campus::Campus&>(*campus_).server(s).endpoint().cpu().busy_time());
+  }
+  return end > 0 ? busy / (static_cast<double>(end) *
+                           static_cast<double>(campus_->server_count()))
+                 : 0.0;
+}
+
+double UserDayLab::ServerDiskUtilization(SimTime end) const {
+  double busy = 0;
+  for (uint32_t s = 0; s < campus_->server_count(); ++s) {
+    busy += static_cast<double>(
+        const_cast<campus::Campus&>(*campus_).server(s).endpoint().disk().busy_time());
+  }
+  return end > 0 ? busy / (static_cast<double>(end) *
+                           static_cast<double>(campus_->server_count()))
+                 : 0.0;
+}
+
+double UserDayLab::PeakServerCpuUtilization() const {
+  double peak = 0;
+  for (uint32_t s = 0; s < campus_->server_count(); ++s) {
+    for (double u :
+         const_cast<campus::Campus&>(*campus_).server(s).endpoint().cpu().WindowUtilization()) {
+      peak = std::max(peak, u);
+    }
+  }
+  return peak;
+}
+
+}  // namespace itc::bench

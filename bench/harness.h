@@ -1,0 +1,68 @@
+// Shared harness for the reproduction benches: standard campus construction,
+// multi-user synthetic days, and table printing.
+//
+// Every bench binary reproduces one quantitative claim of Section 5.2 (or an
+// ablation of a design decision); EXPERIMENTS.md maps benches to claims.
+
+#ifndef BENCH_HARNESS_H_
+#define BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/campus/campus.h"
+#include "src/sim/scheduler.h"
+#include "src/venus/venus.h"
+#include "src/workload/populate.h"
+#include "src/workload/synthetic_user.h"
+
+namespace itc::bench {
+
+void PrintTitle(const std::string& bench, const std::string& paper_claim);
+void PrintSection(const std::string& name);
+
+// A campus of synthetic users, one per workstation, each with a home volume
+// on the server in its own cluster, plus a shared system volume (mounted at
+// /unix/sun) custodian-ed by server 0 and optionally released read-only to
+// every server.
+struct UserDayLabConfig {
+  campus::CampusConfig campus;
+  workload::UserDayConfig user_day;
+  bool replicate_system_volume = false;
+  uint64_t seed = 20251985;
+};
+
+class UserDayLab {
+ public:
+  explicit UserDayLab(UserDayLabConfig config);
+
+  // Runs every user to completion; returns the final virtual time.
+  SimTime Run();
+
+  campus::Campus& campus() { return *campus_; }
+  VolumeId system_volume() const { return system_volume_; }
+
+  // Aggregated Venus statistics across all workstations.
+  venus::VenusStats TotalVenusStats() const;
+  // Aggregate server utilizations over [0, end].
+  double ServerCpuUtilization(SimTime end) const;
+  double ServerDiskUtilization(SimTime end) const;
+  // Peak CPU utilization over tracking windows, across servers.
+  double PeakServerCpuUtilization() const;
+
+  const std::vector<std::unique_ptr<workload::SyntheticUser>>& users() const {
+    return users_;
+  }
+
+ private:
+  UserDayLabConfig config_;
+  std::unique_ptr<campus::Campus> campus_;
+  VolumeId system_volume_ = kInvalidVolume;
+  std::vector<std::unique_ptr<workload::SyntheticUser>> users_;
+};
+
+}  // namespace itc::bench
+
+#endif  // BENCH_HARNESS_H_

@@ -1,0 +1,66 @@
+// Low-function workstations via the surrogate server (Section 3.3).
+//
+// An IBM-PC-class machine cannot run Venus or hold a whole-file cache, but
+// it can speak a simple file protocol to a surrogate running on a full
+// Virtue workstation — and thereby reach the entire shared name space.
+
+#include <cstdio>
+
+#include "src/campus/campus.h"
+#include "src/virtue/surrogate.h"
+
+using namespace itc;
+
+int main() {
+  campus::Campus campus(campus::CampusConfig::Revised(1, 3));
+  if (!campus.SetupRootVolume().ok()) return 1;
+  auto user = campus.AddUserWithHome("pcowner", "floppy", 0);
+  if (!user.ok()) return 1;
+
+  // Workstation 0 is the surrogate host: a full Virtue machine, logged in.
+  auto& host = campus.workstation(0);
+  host.LoginWithPassword(user->user, "floppy");
+
+  const auto key = crypto::DeriveKeyFromPassword("floppy", "itc.cmu.edu");
+  virtue::SurrogateServer surrogate(
+      &host, &campus.network(), campus.config().cost, campus.config().rpc,
+      [&](UserId u) -> std::optional<crypto::Key> {
+        if (u == user->user) return key;
+        return std::nullopt;
+      },
+      4242);
+  std::printf("surrogate server up on workstation node %u\n", host.node());
+
+  // The PC connects (authenticated + encrypted, like everything else).
+  sim::Clock pc_clock;
+  virtue::PcClient pc(campus.topology().WorkstationNode(0, 1), &pc_clock, &surrogate,
+                      &campus.network(), campus.config().cost);
+  if (pc.Connect(user->user, key, 7) != Status::kOk) {
+    std::printf("PC failed to connect\n");
+    return 1;
+  }
+
+  // The PC writes into Vice through the surrogate.
+  pc.WriteFile("/vice/usr/pcowner/budget.wk1", ToBytes("A1: 123\nA2: 456\n"));
+  std::printf("PC stored a spreadsheet into /vice/usr/pcowner\n");
+
+  // Anyone on a real workstation sees it immediately.
+  auto& ws = campus.workstation(2);
+  ws.LoginWithPassword(user->user, "floppy");
+  auto data = ws.ReadWholeFile("/vice/usr/pcowner/budget.wk1");
+  std::printf("full workstation reads it back: %zu bytes\n", data.ok() ? data->size() : 0);
+
+  // Re-reads by the PC ride the host's whole-file cache: no Vice traffic.
+  const uint64_t fetches_before = host.venus().stats().fetches;
+  pc.ReadFile("/vice/usr/pcowner/budget.wk1");
+  pc.ReadFile("/vice/usr/pcowner/budget.wk1");
+  std::printf("host Venus fetches during two PC re-reads: %llu (served from cache)\n",
+              static_cast<unsigned long long>(host.venus().stats().fetches -
+                                              fetches_before));
+
+  auto listing = pc.ReadDir("/vice/usr/pcowner");
+  std::printf("PC lists its home:");
+  for (const auto& name : *listing) std::printf(" %s", name.c_str());
+  std::printf("\nPC virtual time used: %.3f s\n", ToSeconds(pc_clock.now()));
+  return 0;
+}

@@ -1,0 +1,85 @@
+// User mobility and protection: a faculty member's day across campus.
+//
+// Demonstrates Section 3.1/3.4 end to end: a user's files are custodian-ed
+// near her office, yet she can work from any workstation on campus; sharing
+// is controlled by access lists with groups and negative rights; a volume
+// move re-homes her files when she changes buildings.
+
+#include <cstdio>
+
+#include "src/campus/campus.h"
+
+using namespace itc;
+using protection::Principal;
+
+int main() {
+  campus::Campus campus(campus::CampusConfig::Revised(/*clusters=*/2, 4));
+  if (!campus.SetupRootVolume().ok()) return 1;
+
+  auto prof = campus.AddUserWithHome("prof", "tenure", /*custodian=*/0);
+  auto student = campus.AddUserWithHome("student", "ramen", /*custodian=*/1);
+  if (!prof.ok() || !student.ok()) return 1;
+
+  // A research group, Grapevine-style: the student belongs to a group that
+  // belongs to the course staff.
+  auto group = campus.protection().CreateGroup("cs-groupX");
+  campus.protection().AddToGroup(Principal::User(student->user), *group);
+
+  // The professor works in her office (cluster 0).
+  auto& office = campus.workstation(0);
+  office.LoginWithPassword(prof->user, "tenure");
+  office.MkDir("/vice/usr/prof/paper");
+  office.WriteWholeFile("/vice/usr/prof/paper/draft.tex", ToBytes("\\section{Intro}"));
+
+  // Grant the research group read access to the paper directory.
+  auto acl = office.venus().GetAcl("/usr/prof/paper");
+  acl->SetPositive(Principal::Group(*group),
+                   protection::kLookup | protection::kRead);
+  office.venus().SetAcl("/usr/prof/paper", *acl);
+  std::printf("granted cs-groupX lookup+read on /usr/prof/paper\n");
+
+  // The student, in the other cluster, reads the draft.
+  auto& dorm = campus.workstation(5);
+  dorm.LoginWithPassword(student->user, "ramen");
+  auto draft = dorm.ReadWholeFile("/vice/usr/prof/paper/draft.tex");
+  std::printf("student reads draft: %s -> %zu bytes\n",
+              draft.ok() ? "ok" : StatusName(draft.status()).data(),
+              draft.ok() ? draft->size() : 0);
+
+  // ...but cannot modify it.
+  auto denied = dorm.WriteWholeFile("/vice/usr/prof/paper/draft.tex", ToBytes("hax"));
+  std::printf("student write attempt: %s\n", StatusName(denied).data());
+
+  // Rapid revocation via negative rights: the student misbehaves; one ACL
+  // edit at one site revokes him everywhere, without touching the
+  // replicated protection database.
+  acl = office.venus().GetAcl("/usr/prof/paper");
+  acl->SetNegative(Principal::User(student->user), protection::kRead);
+  office.venus().SetAcl("/usr/prof/paper", *acl);
+  dorm.venus().FlushCache();  // drop his cached copy too
+  auto revoked = dorm.ReadWholeFile("/vice/usr/prof/paper/draft.tex");
+  std::printf("after negative right, student read: %s\n",
+              StatusName(revoked.status()).data());
+
+  // The professor lectures across campus: any workstation works, with only a
+  // cache-warming penalty ("an initial performance penalty as the cache on
+  // the new workstation is filled").
+  auto& lecture_hall = campus.workstation(6);  // cluster 1
+  lecture_hall.LoginWithPassword(prof->user, "tenure");
+  const SimTime t0 = lecture_hall.clock().now();
+  lecture_hall.ReadWholeFile("/vice/usr/prof/paper/draft.tex");
+  const SimTime cold = lecture_hall.clock().now() - t0;
+  const SimTime t1 = lecture_hall.clock().now();
+  lecture_hall.ReadWholeFile("/vice/usr/prof/paper/draft.tex");
+  const SimTime warm = lecture_hall.clock().now() - t1;
+  std::printf("lecture hall: cold open %.1f ms, warm open %.1f ms\n",
+              static_cast<double>(cold) / 1000.0, static_cast<double>(warm) / 1000.0);
+
+  // The professor moves to the new wing (cluster 1): operations re-home her
+  // volume to the cluster server there. Her name space is unchanged.
+  auto moved = campus.registry().MoveVolume(prof->volume, /*new_custodian=*/1);
+  std::printf("volume move to cluster 1: %s\n", StatusName(moved).data());
+  auto after_move = lecture_hall.ReadWholeFile("/vice/usr/prof/paper/draft.tex");
+  std::printf("read after move: %s\n", after_move.ok() ? "ok" : "failed");
+  return 0;
+}

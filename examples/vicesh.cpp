@@ -1,0 +1,188 @@
+// vicesh — an interactive shell over a simulated campus.
+//
+// Spins up a two-cluster campus with a couple of users and drops you at a
+// prompt on workstation 0. Useful for poking at the system by hand:
+//
+//   $ ./build/examples/vicesh
+//   vicesh> login alice rosebud
+//   vicesh> put /vice/usr/alice/hi.txt hello world
+//   vicesh> cat /vice/usr/alice/hi.txt
+//   vicesh> ws 3          (move to another workstation — user mobility)
+//   vicesh> cat /vice/usr/alice/hi.txt
+//   vicesh> stats
+//
+// Reads commands from stdin; runs a scripted demo when stdin is not a TTY
+// and no commands arrive.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "src/campus/campus.h"
+
+using namespace itc;
+
+namespace {
+
+void Help() {
+  std::printf(
+      "commands:\n"
+      "  login <user> <password>   authenticate on the current workstation\n"
+      "  logout                    end the session\n"
+      "  ws <index>                switch to another workstation\n"
+      "  ls <path>                 list a directory\n"
+      "  cat <path>                print a file\n"
+      "  put <path> <text...>      write a file\n"
+      "  rm <path> | mkdir <path> | mv <from> <to> | stat <path>\n"
+      "  df <path>                 quota/usage of the volume holding path\n"
+      "  flush                     drop the Venus cache\n"
+      "  stats                     Venus statistics for this workstation\n"
+      "  time                      virtual clock of this workstation\n"
+      "  quit\n");
+}
+
+}  // namespace
+
+int main() {
+  campus::Campus campus(campus::CampusConfig::Revised(2, 4));
+  if (!campus.SetupRootVolume().ok()) return 1;
+  auto alice = campus.AddUserWithHome("alice", "rosebud", 0);
+  auto bob = campus.AddUserWithHome("bob", "sekrit", 1);
+  if (!alice.ok() || !bob.ok()) return 1;
+
+  std::printf("campus: %s\n", campus.topology().Describe().c_str());
+  std::printf("users: alice/rosebud (home cluster 0), bob/sekrit (home cluster 1)\n");
+  std::printf("type 'help' for commands\n");
+
+  size_t current = 0;
+  std::string line;
+  std::printf("vicesh[ws%zu]> ", current);
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    auto& ws = campus.workstation(current);
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd.empty()) {
+    } else if (cmd == "help") {
+      Help();
+    } else if (cmd == "login") {
+      std::string user, pw;
+      in >> user >> pw;
+      auto uid = campus.protection().db().LookupUser(user);
+      if (!uid.ok()) {
+        std::printf("no such user\n");
+      } else {
+        std::printf("%s\n", StatusName(ws.LoginWithPassword(*uid, pw)).data());
+      }
+    } else if (cmd == "logout") {
+      ws.Logout();
+    } else if (cmd == "ws") {
+      size_t idx = current;
+      in >> idx;
+      if (idx < campus.workstation_count()) {
+        current = idx;
+      } else {
+        std::printf("workstations: 0..%zu\n", campus.workstation_count() - 1);
+      }
+    } else if (cmd == "ls") {
+      std::string path = "/";
+      in >> path;
+      auto names = ws.ReadDir(path);
+      if (!names.ok()) {
+        std::printf("%s\n", StatusName(names.status()).data());
+      } else {
+        for (const auto& n : *names) std::printf("%s  ", n.c_str());
+        std::printf("\n");
+      }
+    } else if (cmd == "cat") {
+      std::string path;
+      in >> path;
+      auto data = ws.ReadWholeFile(path);
+      if (!data.ok()) {
+        std::printf("%s\n", StatusName(data.status()).data());
+      } else {
+        std::fwrite(data->data(), 1, data->size(), stdout);
+        std::printf("\n");
+      }
+    } else if (cmd == "put") {
+      std::string path, rest;
+      in >> path;
+      std::getline(in, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      std::printf("%s\n", StatusName(ws.WriteWholeFile(path, ToBytes(rest))).data());
+    } else if (cmd == "rm") {
+      std::string path;
+      in >> path;
+      std::printf("%s\n", StatusName(ws.Unlink(path)).data());
+    } else if (cmd == "mkdir") {
+      std::string path;
+      in >> path;
+      std::printf("%s\n", StatusName(ws.MkDir(path)).data());
+    } else if (cmd == "mv") {
+      std::string from, to;
+      in >> from >> to;
+      std::printf("%s\n", StatusName(ws.Rename(from, to)).data());
+    } else if (cmd == "stat") {
+      std::string path;
+      in >> path;
+      auto info = ws.Stat(path);
+      if (!info.ok()) {
+        std::printf("%s\n", StatusName(info.status()).data());
+      } else {
+        std::printf("%s, %llu bytes, mode %o, %s\n",
+                    info->type == virtue::FileInfo::Type::kDirectory ? "directory"
+                    : info->type == virtue::FileInfo::Type::kSymlink ? "symlink"
+                                                                     : "file",
+                    static_cast<unsigned long long>(info->size), info->mode,
+                    info->shared ? "shared (Vice)" : "local");
+      }
+    } else if (cmd == "df") {
+      std::string path = "/vice/usr";
+      in >> path;
+      // Venus speaks Vice-internal paths; strip the mount prefix.
+      if (path.rfind("/vice", 0) == 0) path = path.substr(5);
+      if (path.empty()) path = "/";
+      auto vs = ws.venus().GetVolumeStatus(path);
+      if (!vs.ok()) {
+        std::printf("%s\n", StatusName(vs.status()).data());
+      } else {
+        std::printf("volume %u: %llu used", vs->volume,
+                    static_cast<unsigned long long>(vs->usage_bytes));
+        if (vs->quota_bytes > 0) {
+          std::printf(" of %llu (%.0f%%)",
+                      static_cast<unsigned long long>(vs->quota_bytes),
+                      100.0 * static_cast<double>(vs->usage_bytes) /
+                          static_cast<double>(vs->quota_bytes));
+        } else {
+          std::printf(", no quota");
+        }
+        std::printf("%s%s\n", vs->read_only ? ", read-only" : "",
+                    vs->online ? "" : ", OFFLINE");
+      }
+    } else if (cmd == "flush") {
+      ws.venus().FlushCache();
+      std::printf("cache flushed\n");
+    } else if (cmd == "stats") {
+      const auto& s = ws.venus().stats();
+      std::printf("opens=%llu hits=%llu (%.1f%%) fetches=%llu stores=%llu "
+                  "validations=%llu callbacks-received=%llu\n",
+                  static_cast<unsigned long long>(s.opens),
+                  static_cast<unsigned long long>(s.cache_hits), 100.0 * s.HitRatio(),
+                  static_cast<unsigned long long>(s.fetches),
+                  static_cast<unsigned long long>(s.stores),
+                  static_cast<unsigned long long>(s.validations),
+                  static_cast<unsigned long long>(s.callback_breaks_received));
+    } else if (cmd == "time") {
+      std::printf("%.3f s virtual\n", ToSeconds(ws.clock().now()));
+    } else {
+      std::printf("unknown command (try 'help')\n");
+    }
+    std::printf("vicesh[ws%zu]> ", current);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

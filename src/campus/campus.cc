@@ -1,0 +1,192 @@
+#include "src/campus/campus.h"
+
+#include "src/common/logging.h"
+#include "src/common/path.h"
+
+namespace itc::campus {
+
+using protection::AccessList;
+using protection::Principal;
+
+CampusConfig CampusConfig::Revised(uint32_t clusters, uint32_t workstations_per_cluster) {
+  CampusConfig c;
+  c.topology = net::TopologyConfig{clusters, 1, workstations_per_cluster};
+  c.rpc.transport = rpc::Transport::kDatagram;
+  c.rpc.server_structure = rpc::ServerStructure::kLwp;
+  c.vice = vice::ViceConfig{};          // callbacks, fids, per-file bits
+  c.workstation.venus = venus::VenusConfig{};  // callbacks, client paths, space limit
+  return c;
+}
+
+CampusConfig CampusConfig::Prototype(uint32_t clusters, uint32_t workstations_per_cluster) {
+  CampusConfig c;
+  c.topology = net::TopologyConfig{clusters, 1, workstations_per_cluster};
+  c.rpc.transport = rpc::Transport::kStream;
+  c.rpc.server_structure = rpc::ServerStructure::kProcessPerClient;
+  c.vice = vice::PrototypeViceConfig();
+  c.workstation.venus = venus::PrototypeVenusConfig();
+  return c;
+}
+
+Campus::Campus(CampusConfig config) : config_(std::move(config)) {
+  const net::Topology topo(config_.topology);
+  network_ = std::make_unique<net::Network>(topo, config_.cost);
+
+  // One ViceServer per server node, ids dense in topology order.
+  for (uint32_t s = 0; s < topo.server_count(); ++s) {
+    const NodeId node = topo.NthServer(s);
+    auto server = std::make_unique<vice::ViceServer>(
+        s, node, network_.get(), config_.cost, config_.rpc, config_.vice, &protection_,
+        config_.seed ^ (0x5e4full << 32) ^ s);
+    server_map_[s] = server.get();
+    registry_.RegisterServer(server.get());
+    servers_.push_back(std::move(server));
+  }
+
+  for (uint32_t w = 0; w < topo.workstation_count(); ++w) {
+    const NodeId node = topo.NthWorkstation(w);
+    auto ws = std::make_unique<virtue::Workstation>(
+        node, &server_map_, HomeServerOf(w), network_.get(), config_.cost,
+        config_.workstation, config_.seed ^ (0xa11ceull << 20) ^ w);
+    ITC_CHECK(ws->InstallStandardLayout() == Status::kOk);
+    workstations_.push_back(std::move(ws));
+  }
+}
+
+ServerId Campus::HomeServerOf(uint32_t workstation_index) const {
+  const uint32_t per_cluster = config_.topology.workstations_per_cluster;
+  const uint32_t cluster = workstation_index / per_cluster;
+  return cluster * config_.topology.servers_per_cluster;
+}
+
+Result<VolumeId> Campus::SetupRootVolume() {
+  AccessList acl;
+  acl.SetPositive(Principal::Group(protection::kAnyUserGroup),
+                  protection::kLookup | protection::kRead);
+  acl.SetPositive(Principal::Group(protection::kAdministratorsGroup),
+                  protection::kAllRights);
+  ASSIGN_OR_RETURN(root_volume_,
+                   registry_.CreateVolume("vice.root", /*custodian=*/0, kAnonymousUser,
+                                          acl, /*quota_bytes=*/0));
+  RETURN_IF_ERROR(registry_.SetRootVolume(root_volume_));
+
+  // Standard top-level directories.
+  vice::Volume* root = registry_.FindVolume(root_volume_);
+  ITC_CHECK(root != nullptr);
+  ASSIGN_OR_RETURN(Fid usr, root->MakeDir(root->root(), "usr", kAnonymousUser, acl));
+  usr_dir_ = usr;
+  RETURN_IF_ERROR(root->MakeDir(root->root(), "unix", kAnonymousUser, acl).status());
+  return root_volume_;
+}
+
+Result<Campus::UserHome> Campus::AddUserWithHome(const std::string& name,
+                                                 const std::string& password,
+                                                 ServerId custodian, uint64_t quota_bytes) {
+  ITC_CHECK(root_volume_ != kInvalidVolume);  // SetupRootVolume first
+  ASSIGN_OR_RETURN(UserId user, protection_.CreateUser(name, password));
+
+  AccessList acl;
+  acl.SetPositive(Principal::User(user), protection::kAllRights);
+  acl.SetPositive(Principal::Group(protection::kAnyUserGroup),
+                  protection::kLookup | protection::kRead);
+  ASSIGN_OR_RETURN(VolumeId vol,
+                   registry_.CreateVolume("user." + name, custodian, user, acl,
+                                          quota_bytes));
+  RETURN_IF_ERROR(registry_.MountAt(usr_dir_, name, vol));
+  return UserHome{user, vol, "/usr/" + name};
+}
+
+Result<VolumeId> Campus::CreateSystemVolume(const std::string& name,
+                                            const std::string& mount_path,
+                                            ServerId custodian) {
+  ITC_CHECK(root_volume_ != kInvalidVolume);
+  AccessList acl;
+  acl.SetPositive(Principal::Group(protection::kAnyUserGroup),
+                  protection::kLookup | protection::kRead);
+  acl.SetPositive(Principal::Group(protection::kAdministratorsGroup),
+                  protection::kAllRights);
+  ASSIGN_OR_RETURN(VolumeId vol,
+                   registry_.CreateVolume(name, custodian, kAnonymousUser, acl, 0));
+
+  // Walk/create the mount path inside the root volume, then add the mount.
+  vice::Volume* root = registry_.FindVolume(root_volume_);
+  ITC_CHECK(root != nullptr);
+  ASSIGN_OR_RETURN(Fid dir, EnsureDirDirect(root, std::string(Dirname(mount_path))));
+  RETURN_IF_ERROR(registry_.MountAt(dir, std::string(Basename(mount_path)), vol));
+  return vol;
+}
+
+Result<Fid> Campus::EnsureDirDirect(vice::Volume* vol, const std::string& path) {
+  Fid cur = vol->root();
+  for (const std::string& comp : SplitPath(path)) {
+    auto data = vol->FetchData(cur);
+    if (!data.ok()) return data.status();
+    auto entries = vice::DeserializeDirectory(*data);
+    if (!entries.ok()) return Status::kInternal;
+    auto it = entries->find(comp);
+    if (it != entries->end()) {
+      if (it->second.kind != vice::DirItem::Kind::kDirectory) return Status::kNotDirectory;
+      cur = it->second.fid;
+      continue;
+    }
+    auto acl = vol->EffectiveAcl(cur);
+    if (!acl.ok()) return acl.status();
+    ASSIGN_OR_RETURN(cur, vol->MakeDir(cur, comp, kAnonymousUser, *acl));
+  }
+  return cur;
+}
+
+Status Campus::MkDirDirect(VolumeId volume, const std::string& path) {
+  vice::Volume* vol = registry_.FindVolume(volume);
+  if (vol == nullptr) return Status::kNotFound;
+  RETURN_IF_ERROR(EnsureDirDirect(vol, path).status());
+  // Direct mutation bypassed the file server; connected clients holding
+  // cached directories must hear about it.
+  return registry_.BreakVolumeCallbacks(volume);
+}
+
+Status Campus::PopulateDirect(VolumeId volume, const std::string& path, const Bytes& data) {
+  vice::Volume* vol = registry_.FindVolume(volume);
+  if (vol == nullptr) return Status::kNotFound;
+  ASSIGN_OR_RETURN(Fid dir, EnsureDirDirect(vol, std::string(Dirname(path))));
+  const std::string leaf(Basename(path));
+
+  // Replace existing contents if the file is already there.
+  auto dir_data = vol->FetchData(dir);
+  if (!dir_data.ok()) return dir_data.status();
+  auto entries = vice::DeserializeDirectory(*dir_data);
+  if (!entries.ok()) return Status::kInternal;
+  Fid fid;
+  auto it = entries->find(leaf);
+  if (it != entries->end()) {
+    fid = it->second.fid;
+  } else {
+    ASSIGN_OR_RETURN(fid, vol->CreateFile(dir, leaf, kAnonymousUser, 0644));
+  }
+  RETURN_IF_ERROR(vol->StoreData(fid, data));
+  // Direct loading bypassed the file server; break any promises so already-
+  // connected clients refetch.
+  return registry_.BreakVolumeCallbacks(volume);
+}
+
+std::map<vice::CallClass, uint64_t> Campus::TotalCallHistogram() const {
+  std::map<vice::CallClass, uint64_t> total;
+  for (const auto& server : servers_) {
+    for (const auto& [cls, count] : server->CallHistogram()) total[cls] += count;
+  }
+  return total;
+}
+
+uint64_t Campus::TotalCalls() const {
+  uint64_t n = 0;
+  for (const auto& server : servers_) n += server->total_calls();
+  return n;
+}
+
+void Campus::ResetAllStats() {
+  for (auto& server : servers_) server->ResetStats();
+  for (auto& ws : workstations_) ws->venus().ResetStats();
+  network_->ResetStats();
+}
+
+}  // namespace itc::campus

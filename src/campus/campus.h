@@ -1,0 +1,116 @@
+// Campus: a complete simulated deployment of Vice and Virtue.
+//
+// Builds Figure 2-2 end to end: a backbone network of clusters, one or more
+// Vice cluster servers per cluster, the protection service with a replica at
+// every server, the volume registry with the replicated location database,
+// and a population of Virtue workstations (each with its own local file
+// system, clock, and Venus). Tests, examples, and every bench harness start
+// from a Campus.
+
+#ifndef SRC_CAMPUS_CAMPUS_H_
+#define SRC_CAMPUS_CAMPUS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/net/network.h"
+#include "src/protection/protection_service.h"
+#include "src/rpc/rpc.h"
+#include "src/sim/cost_model.h"
+#include "src/venus/venus.h"
+#include "src/vice/file_server.h"
+#include "src/vice/volume_registry.h"
+#include "src/virtue/workstation.h"
+
+namespace itc::campus {
+
+struct CampusConfig {
+  net::TopologyConfig topology;
+  sim::CostModel cost = sim::CostModel::Default1985();
+  rpc::RpcConfig rpc;
+  vice::ViceConfig vice;
+  virtue::WorkstationConfig workstation;
+  uint64_t seed = 42;
+
+  // The revised (post-prototype) system, as the paper specifies it.
+  static CampusConfig Revised(uint32_t clusters, uint32_t workstations_per_cluster);
+  // The prototype measured in Section 5: stream RPC, process-per-client
+  // servers, server-side pathnames, check-on-open validation, count-limited
+  // cache.
+  static CampusConfig Prototype(uint32_t clusters, uint32_t workstations_per_cluster);
+};
+
+class Campus {
+ public:
+  explicit Campus(CampusConfig config);
+
+  const CampusConfig& config() const { return config_; }
+  net::Network& network() { return *network_; }
+  const net::Topology& topology() const { return network_->topology(); }
+  protection::ProtectionService& protection() { return protection_; }
+  vice::VolumeRegistry& registry() { return registry_; }
+
+  size_t server_count() const { return servers_.size(); }
+  vice::ViceServer& server(size_t i) { return *servers_[i]; }
+  size_t workstation_count() const { return workstations_.size(); }
+  virtue::Workstation& workstation(size_t i) { return *workstations_[i]; }
+  const venus::ServerMap& server_map() const { return server_map_; }
+
+  // --- Environment setup -------------------------------------------------------
+
+  // Creates the root volume (custodian: server 0) with a world-readable,
+  // administrator-writable root directory, and registers it as the root of
+  // the shared name space.
+  Result<VolumeId> SetupRootVolume();
+
+  // Creates a user and a home volume mounted at /usr/<name>. The access
+  // list grants the user everything and System:AnyUser lookup+read.
+  struct UserHome {
+    UserId user;
+    VolumeId volume;
+    std::string vice_path;  // "/usr/<name>"
+  };
+  Result<UserHome> AddUserWithHome(const std::string& name, const std::string& password,
+                                   ServerId custodian, uint64_t quota_bytes = 0);
+
+  // Creates a system volume mounted at `mount_path` (e.g. "/unix/sun"),
+  // world-readable, administrator-writable.
+  Result<VolumeId> CreateSystemVolume(const std::string& name,
+                                      const std::string& mount_path, ServerId custodian);
+
+  // --- Direct (zero-cost) population -----------------------------------------------
+  // Administrative loading of files into a volume, bypassing RPC and cost
+  // accounting; used to pre-populate system trees before an experiment.
+  // `path` is relative to the volume root, intermediate directories are
+  // created with the root directory's ACL.
+  Status PopulateDirect(VolumeId volume, const std::string& path, const Bytes& data);
+  Status MkDirDirect(VolumeId volume, const std::string& path);
+
+  // Home server of a workstation: the first server in its own cluster.
+  ServerId HomeServerOf(uint32_t workstation_index) const;
+
+  // Aggregated server call histogram across all servers.
+  std::map<vice::CallClass, uint64_t> TotalCallHistogram() const;
+  uint64_t TotalCalls() const;
+  void ResetAllStats();
+
+ private:
+  Result<Fid> EnsureDirDirect(vice::Volume* vol, const std::string& path);
+
+  CampusConfig config_;
+  std::unique_ptr<net::Network> network_;
+  protection::ProtectionService protection_;
+  std::vector<std::unique_ptr<vice::ViceServer>> servers_;
+  venus::ServerMap server_map_;
+  vice::VolumeRegistry registry_;
+  std::vector<std::unique_ptr<virtue::Workstation>> workstations_;
+  VolumeId root_volume_ = kInvalidVolume;
+  Fid usr_dir_ = kNullFid;  // /usr directory in the root volume
+};
+
+}  // namespace itc::campus
+
+#endif  // SRC_CAMPUS_CAMPUS_H_

@@ -1,0 +1,18 @@
+#include "src/common/fid.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace itc {
+
+std::string Fid::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Fid& fid) {
+  return os << fid.volume << "." << fid.vnode << "." << fid.uniquifier;
+}
+
+}  // namespace itc

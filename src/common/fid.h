@@ -1,0 +1,59 @@
+// Fixed-length unique file identifiers for Vice files (Section 5.3).
+//
+// The prototype addressed Vice files by full pathname; the revised
+// implementation — reproduced here — names every Vice file by a fixed-length
+// Fid that is invariant across renames:
+//
+//   volume      which volume holds the file (location database maps this to
+//               a custodian server),
+//   vnode       index of the file within its volume,
+//   uniquifier  generation number so a recycled vnode slot is distinguishable
+//               from the file that previously used it (stale-fid detection).
+
+#ifndef SRC_COMMON_FID_H_
+#define SRC_COMMON_FID_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace itc {
+
+struct Fid {
+  VolumeId volume = kInvalidVolume;
+  uint32_t vnode = 0;
+  uint32_t uniquifier = 0;
+
+  friend bool operator==(const Fid&, const Fid&) = default;
+  friend auto operator<=>(const Fid&, const Fid&) = default;
+
+  bool valid() const { return volume != kInvalidVolume; }
+  std::string ToString() const;
+};
+
+// The null Fid: names nothing; Fid::valid() is false.
+inline constexpr Fid kNullFid{};
+
+std::ostream& operator<<(std::ostream& os, const Fid& fid);
+
+struct FidHash {
+  size_t operator()(const Fid& f) const {
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    mix(f.volume);
+    mix(f.vnode);
+    mix(f.uniquifier);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace itc
+
+#endif  // SRC_COMMON_FID_H_

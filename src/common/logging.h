@@ -1,0 +1,60 @@
+// Minimal leveled logging.
+//
+// Library code logs sparingly; the default level is kWarning so tests and
+// benches stay quiet. ITC_LOG(level) returns an ostream-like object that
+// writes one line on destruction.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace itc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kNone = 4 };
+
+// Process-wide minimum level actually emitted.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace log_internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace itc
+
+#define ITC_LOG(level) \
+  ::itc::log_internal::LogLine(::itc::LogLevel::level, __FILE__, __LINE__)
+
+// Fatal invariant violation: logs and aborts. Used for programming errors
+// only, never for recoverable conditions (those return Status).
+#define ITC_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,43 @@
+// Slash-separated path utilities shared by the local file system (unixfs),
+// Venus, and Vice. Paths are Unix-style: absolute paths begin with '/',
+// components are separated by single slashes, "." and ".." are resolved by
+// the file-system layers (not here).
+
+#ifndef SRC_COMMON_PATH_H_
+#define SRC_COMMON_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace itc {
+
+// Splits "/a/b/c" or "a/b/c" into {"a","b","c"}. Empty components from
+// duplicate slashes are dropped. "/" splits to {}.
+std::vector<std::string> SplitPath(std::string_view path);
+
+// Joins components with '/' and a leading '/': {"a","b"} -> "/a/b"; {} -> "/".
+std::string JoinPath(const std::vector<std::string>& components);
+
+// Concatenates two paths with exactly one separating slash.
+std::string PathConcat(std::string_view base, std::string_view rest);
+
+// True if `path` equals `prefix` or is beneath it ("/a/b" is under "/a").
+bool PathHasPrefix(std::string_view path, std::string_view prefix);
+
+// "/a/b/c" -> "c"; "/" -> "".
+std::string_view Basename(std::string_view path);
+
+// "/a/b/c" -> "/a/b"; "/a" -> "/"; "/" -> "/".
+std::string_view Dirname(std::string_view path);
+
+// True for names legal as a single directory entry: nonempty, no '/',
+// not "." or "..", and at most kMaxNameLength bytes.
+bool IsValidName(std::string_view name);
+
+inline constexpr size_t kMaxNameLength = 255;
+inline constexpr int kMaxSymlinkDepth = 16;
+
+}  // namespace itc
+
+#endif  // SRC_COMMON_PATH_H_

@@ -1,0 +1,85 @@
+// Result<T>: value-or-Status return type for fallible operations.
+//
+// Usage:
+//   Result<int> r = Parse(s);
+//   if (!r.ok()) return r.status();
+//   Use(r.value());
+//
+// The ASSIGN_OR_RETURN / RETURN_IF_ERROR macros implement the common
+// propagate-on-error pattern without exceptions.
+
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace itc {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from a value: `return 42;`
+  Result(T value) : status_(Status::kOk), value_(std::move(value)) {}
+  // Implicit from a non-OK status: `return Status::kNotFound;`
+  Result(Status status) : status_(status) { assert(status != Status::kOk); }
+
+  bool ok() const { return status_ == Status::kOk; }
+  Status status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace itc
+
+#define ITC_CONCAT_INNER_(a, b) a##b
+#define ITC_CONCAT_(a, b) ITC_CONCAT_INNER_(a, b)
+
+// Evaluates `expr` (a Status); returns it from the enclosing function on error.
+#define RETURN_IF_ERROR(expr)                       \
+  do {                                              \
+    ::itc::Status itc_status_ = (expr);             \
+    if (itc_status_ != ::itc::Status::kOk) {        \
+      return itc_status_;                           \
+    }                                               \
+  } while (false)
+
+// Evaluates `expr` (a Result<T>); on error returns its status, otherwise
+// assigns the value to `lhs` (which may be a declaration).
+#define ASSIGN_OR_RETURN(lhs, expr)                             \
+  ASSIGN_OR_RETURN_IMPL_(ITC_CONCAT_(itc_result_, __LINE__), lhs, expr)
+
+#define ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                           \
+  if (!tmp.ok()) {                             \
+    return tmp.status();                       \
+  }                                            \
+  lhs = std::move(tmp).value()
+
+#endif  // SRC_COMMON_RESULT_H_

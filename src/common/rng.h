@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in workloads and tests flows through Rng seeded explicitly,
+// so every experiment in bench/ is exactly reproducible. The core generator
+// is splitmix64 feeding xoshiro256**.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace itc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform over all 64-bit values.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Fork a child generator with an independent stream; deterministic in
+  // (parent seed, salt). Does not disturb this generator's own stream.
+  Rng Fork(uint64_t salt) const { return Rng(s_[0] ^ (salt * 0x9e3779b97f4a7c15ull + 1)); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace itc
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,48 @@
+#include "src/common/status.h"
+
+#include <ostream>
+
+namespace itc {
+
+std::string_view StatusName(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::kNotFound: return "NOT_FOUND";
+    case Status::kAlreadyExists: return "ALREADY_EXISTS";
+    case Status::kPermissionDenied: return "PERMISSION_DENIED";
+    case Status::kUnavailable: return "UNAVAILABLE";
+    case Status::kInternal: return "INTERNAL";
+    case Status::kOutOfRange: return "OUT_OF_RANGE";
+    case Status::kNotSupported: return "NOT_SUPPORTED";
+    case Status::kNotDirectory: return "NOT_DIRECTORY";
+    case Status::kIsDirectory: return "IS_DIRECTORY";
+    case Status::kNotEmpty: return "NOT_EMPTY";
+    case Status::kNameTooLong: return "NAME_TOO_LONG";
+    case Status::kTooManyLinks: return "TOO_MANY_LINKS";
+    case Status::kCrossVolume: return "CROSS_VOLUME";
+    case Status::kBadDescriptor: return "BAD_DESCRIPTOR";
+    case Status::kNoSpace: return "NO_SPACE";
+    case Status::kFileTooLarge: return "FILE_TOO_LARGE";
+    case Status::kSymlinkLoop: return "SYMLINK_LOOP";
+    case Status::kNotSymlink: return "NOT_SYMLINK";
+    case Status::kQuotaExceeded: return "QUOTA_EXCEEDED";
+    case Status::kVolumeOffline: return "VOLUME_OFFLINE";
+    case Status::kVolumeReadOnly: return "VOLUME_READ_ONLY";
+    case Status::kStaleFid: return "STALE_FID";
+    case Status::kNotCustodian: return "NOT_CUSTODIAN";
+    case Status::kLocked: return "LOCKED";
+    case Status::kNotLocked: return "NOT_LOCKED";
+    case Status::kCallbackBroken: return "CALLBACK_BROKEN";
+    case Status::kAuthFailed: return "AUTH_FAILED";
+    case Status::kTamperDetected: return "TAMPER_DETECTED";
+    case Status::kConnectionBroken: return "CONNECTION_BROKEN";
+    case Status::kTimedOut: return "TIMED_OUT";
+    case Status::kProtocolError: return "PROTOCOL_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::ostream& operator<<(std::ostream& os, Status s) { return os << StatusName(s); }
+
+}  // namespace itc

@@ -1,0 +1,71 @@
+// Status codes for all itcfs library operations.
+//
+// Library code does not throw exceptions; every fallible operation returns a
+// Status or a Result<T> (see src/common/result.h). The code space is modelled
+// on the errors the Vice-Virtue interface of the ITC distributed file system
+// must surface: Unix-like file system errors, protection errors, volume and
+// custodian errors, and RPC/security errors.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace itc {
+
+enum class Status : int32_t {
+  kOk = 0,
+
+  // Generic.
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kPermissionDenied = 4,
+  kUnavailable = 5,
+  kInternal = 6,
+  kOutOfRange = 7,
+  kNotSupported = 8,
+
+  // File system shape.
+  kNotDirectory = 20,
+  kIsDirectory = 21,
+  kNotEmpty = 22,
+  kNameTooLong = 23,
+  kTooManyLinks = 24,
+  kCrossVolume = 25,   // rename/hard-link across volume boundaries
+  kBadDescriptor = 26,
+  kNoSpace = 27,
+  kFileTooLarge = 28,
+  kSymlinkLoop = 29,
+  kNotSymlink = 30,
+
+  // Vice.
+  kQuotaExceeded = 40,
+  kVolumeOffline = 41,
+  kVolumeReadOnly = 42,
+  kStaleFid = 43,       // fid no longer names a live vnode (e.g. deleted)
+  kNotCustodian = 44,   // ask the location database / follow the hint
+  kLocked = 45,         // advisory lock conflict
+  kNotLocked = 46,
+  kCallbackBroken = 47,
+
+  // Security / RPC.
+  kAuthFailed = 60,
+  kTamperDetected = 61,  // message failed integrity / decryption check
+  kConnectionBroken = 62,
+  kTimedOut = 63,
+  kProtocolError = 64,
+};
+
+// Short stable name for a status code, e.g. "NOT_FOUND".
+std::string_view StatusName(Status s);
+
+inline bool IsOk(Status s) { return s == Status::kOk; }
+
+std::ostream& operator<<(std::ostream& os, Status s);
+
+}  // namespace itc
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,94 @@
+#include "src/crypto/cbc.h"
+
+#include <cstring>
+
+#include "src/crypto/xtea.h"
+
+namespace itc::crypto {
+
+namespace {
+
+uint64_t Fnv1a(const uint8_t* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void PutU64(uint64_t v, uint8_t* p) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+Bytes Seal(const Key& key, const Bytes& plaintext, uint64_t iv_seed) {
+  // Trailer: 8-byte length + 8-byte checksum; pad the whole body to a block
+  // multiple before CBC.
+  const size_t body_len = plaintext.size() + 16;
+  const size_t padded = (body_len + kBlockSize - 1) / kBlockSize * kBlockSize;
+
+  Bytes out(kBlockSize + padded, 0);
+
+  // Derive the IV by encrypting the seed, so IVs are unpredictable without
+  // the key but reproducible for a given (key, seed).
+  uint8_t iv[kBlockSize];
+  PutU64(iv_seed, iv);
+  XteaEncryptBlock(key, iv);
+  std::memcpy(out.data(), iv, kBlockSize);
+
+  uint8_t* body = out.data() + kBlockSize;
+  if (!plaintext.empty()) std::memcpy(body, plaintext.data(), plaintext.size());
+  PutU64(plaintext.size(), body + padded - 16);
+  PutU64(Fnv1a(plaintext.data(), plaintext.size()), body + padded - 8);
+
+  uint8_t prev[kBlockSize];
+  std::memcpy(prev, iv, kBlockSize);
+  for (size_t off = 0; off < padded; off += kBlockSize) {
+    for (int j = 0; j < kBlockSize; ++j) body[off + j] ^= prev[j];
+    XteaEncryptBlock(key, body + off);
+    std::memcpy(prev, body + off, kBlockSize);
+  }
+  return out;
+}
+
+Result<Bytes> Open(const Key& key, const Bytes& sealed) {
+  if (sealed.size() < kBlockSize + 2 * kBlockSize ||
+      (sealed.size() - kBlockSize) % kBlockSize != 0) {
+    return Status::kInvalidArgument;
+  }
+  const size_t padded = sealed.size() - kBlockSize;
+  Bytes body(sealed.begin() + kBlockSize, sealed.end());
+
+  uint8_t prev[kBlockSize];
+  std::memcpy(prev, sealed.data(), kBlockSize);
+  for (size_t off = 0; off < padded; off += kBlockSize) {
+    uint8_t cipher[kBlockSize];
+    std::memcpy(cipher, body.data() + off, kBlockSize);
+    XteaDecryptBlock(key, body.data() + off);
+    for (int j = 0; j < kBlockSize; ++j) body[off + j] ^= prev[j];
+    std::memcpy(prev, cipher, kBlockSize);
+  }
+
+  const uint64_t length = GetU64(body.data() + padded - 16);
+  const uint64_t checksum = GetU64(body.data() + padded - 8);
+  if (length > padded - 16) return Status::kTamperDetected;
+  // Length must be consistent with the padding: body_len = length + 16 must
+  // round up to exactly `padded`.
+  if ((length + 16 + kBlockSize - 1) / kBlockSize * kBlockSize != padded) {
+    return Status::kTamperDetected;
+  }
+  if (Fnv1a(body.data(), length) != checksum) return Status::kTamperDetected;
+
+  body.resize(length);
+  return body;
+}
+
+}  // namespace itc::crypto

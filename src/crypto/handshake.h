@@ -1,0 +1,105 @@
+// Mutual authentication handshake (Section 3.4).
+//
+// "At connection establishment time, Vice and Virtue are viewed as mutually
+//  suspicious parties sharing a common encryption key. This key is used in an
+//  authentication handshake, at the end of which each party is assured of the
+//  identity of the other. The final phase of the handshake generates a
+//  session key which is used for encrypting all further communication."
+//
+// The protocol is a classic 4-message challenge/response:
+//
+//   M1 client -> server : user id (clear) || Seal_K( Xr )
+//   M2 server -> client : Seal_K( Xr + 1 || Yr )
+//   M3 client -> server : Seal_K( Yr + 1 )
+//   M4 server -> client : Seal_K( session nonce )
+//
+// where K is the user's long-term key (derived from a password). Both sides
+// then compute session_key = DeriveSubKey(K, session_nonce). A party holding
+// the wrong K cannot produce the +1 responses, so each side authenticates the
+// other; the long-term key encrypts only nonces, limiting its exposure.
+//
+// The classes here are pure state machines over byte strings; src/rpc moves
+// the messages. This keeps the protocol unit-testable without a network.
+
+#ifndef SRC_CRYPTO_HANDSHAKE_H_
+#define SRC_CRYPTO_HANDSHAKE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/crypto/key.h"
+
+namespace itc::crypto {
+
+// What a completed handshake yields on each side.
+struct SessionSecret {
+  Key session_key;
+  uint64_t session_id = 0;
+
+  friend bool operator==(const SessionSecret&, const SessionSecret&) = default;
+};
+
+// Client (Virtue) side. Drive as: Start() -> send; HandleChallenge(M2) ->
+// send; HandleSessionGrant(M4) -> SessionSecret.
+class ClientHandshake {
+ public:
+  // `nonce_seed` supplies the client's randomness deterministically (callers
+  // draw it from an Rng).
+  ClientHandshake(UserId user, Key user_key, uint64_t nonce_seed);
+
+  // Produces M1.
+  Bytes Start();
+
+  // Consumes M2, produces M3. Fails with kAuthFailed if the server did not
+  // prove knowledge of the user key.
+  Result<Bytes> HandleChallenge(const Bytes& m2);
+
+  // Consumes M4, yielding the session secret.
+  Result<SessionSecret> HandleSessionGrant(const Bytes& m4);
+
+ private:
+  enum class State { kInit, kSentHello, kSentResponse, kDone, kFailed };
+  UserId user_;
+  Key user_key_;
+  uint64_t client_nonce_;
+  uint64_t server_nonce_ = 0;
+  State state_ = State::kInit;
+};
+
+// Server (Vice) side. The server looks up the claimed user's long-term key
+// through `key_lookup`; an unknown user fails the handshake.
+class ServerHandshake {
+ public:
+  using KeyLookup = std::function<std::optional<Key>(UserId)>;
+
+  ServerHandshake(KeyLookup key_lookup, uint64_t nonce_seed);
+
+  // Consumes M1, produces M2.
+  Result<Bytes> HandleHello(const Bytes& m1);
+
+  // Consumes M3, produces M4 and completes the handshake. After success,
+  // user() and secret() are valid.
+  Result<Bytes> HandleResponse(const Bytes& m3);
+
+  UserId user() const { return user_; }
+  const SessionSecret& secret() const { return secret_; }
+  bool done() const { return state_ == State::kDone; }
+
+ private:
+  enum class State { kInit, kSentChallenge, kDone, kFailed };
+  KeyLookup key_lookup_;
+  uint64_t nonce_seed_;
+  UserId user_ = kAnonymousUser;
+  Key user_key_;
+  uint64_t client_nonce_ = 0;
+  uint64_t server_nonce_ = 0;
+  SessionSecret secret_;
+  State state_ = State::kInit;
+};
+
+}  // namespace itc::crypto
+
+#endif  // SRC_CRYPTO_HANDSHAKE_H_

@@ -1,0 +1,37 @@
+// 128-bit symmetric keys and password-based key derivation.
+//
+// The paper assumes each user shares a secret key with Vice, derived by
+// "transformation of a password" (Section 3.4); the password itself never
+// crosses the network. DeriveKeyFromPassword reproduces that transformation
+// (an iterated cipher over the password, in the spirit of afs_string_to_key).
+
+#ifndef SRC_CRYPTO_KEY_H_
+#define SRC_CRYPTO_KEY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace itc::crypto {
+
+struct Key {
+  std::array<uint8_t, 16> bytes{};
+
+  friend bool operator==(const Key&, const Key&) = default;
+
+  // Hex rendering for diagnostics (never logged by library code).
+  std::string ToHex() const;
+};
+
+// Deterministically derives a 128-bit key from a user password and a salt
+// (conventionally the cell/realm name). Same (password, salt) -> same key.
+Key DeriveKeyFromPassword(std::string_view password, std::string_view salt);
+
+// Derives a fresh key from an existing key and a 64-bit nonce; used to mint
+// per-session keys during the authentication handshake.
+Key DeriveSubKey(const Key& base, uint64_t nonce);
+
+}  // namespace itc::crypto
+
+#endif  // SRC_CRYPTO_KEY_H_

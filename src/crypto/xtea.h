@@ -1,0 +1,33 @@
+// XTEA block cipher: 64-bit blocks, 128-bit keys, 64 Feistel rounds.
+//
+// Stands in for the DES hardware the paper expected ("VLSI technology has
+// made encryption chips available", Section 3.4). XTEA is compact, has real
+// diffusion (so tamper-detection tests are meaningful), and is endian-stable
+// here by explicit little-endian packing. It is NOT a modern cipher; itcfs
+// uses it to exercise the security architecture, not to protect real data.
+
+#ifndef SRC_CRYPTO_XTEA_H_
+#define SRC_CRYPTO_XTEA_H_
+
+#include <cstdint>
+
+#include "src/crypto/key.h"
+
+namespace itc::crypto {
+
+inline constexpr int kXteaRounds = 64;
+inline constexpr int kBlockSize = 8;  // bytes
+
+// Encrypts one 64-bit block in place. `block` is two little-endian words.
+void XteaEncryptBlock(const Key& key, uint32_t block[2]);
+
+// Decrypts one 64-bit block in place.
+void XteaDecryptBlock(const Key& key, uint32_t block[2]);
+
+// Byte-oriented convenience wrappers over 8-byte blocks.
+void XteaEncryptBlock(const Key& key, uint8_t block[kBlockSize]);
+void XteaDecryptBlock(const Key& key, uint8_t block[kBlockSize]);
+
+}  // namespace itc::crypto
+
+#endif  // SRC_CRYPTO_XTEA_H_

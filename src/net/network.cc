@@ -1,0 +1,48 @@
+#include "src/net/network.h"
+
+#include "src/common/logging.h"
+
+namespace itc::net {
+
+Network::Network(const Topology& topology, const sim::CostModel& cost)
+    : topology_(topology), cost_(cost) {
+  segments_.reserve(topology_.cluster_count());
+  for (uint32_t c = 0; c < topology_.cluster_count(); ++c) {
+    segments_.push_back(std::make_unique<sim::Resource>("lan.cluster" + std::to_string(c)));
+  }
+  backbone_ = std::make_unique<sim::Resource>("lan.backbone");
+}
+
+SimTime Network::Transfer(NodeId from, NodeId to, uint64_t bytes, SimTime depart) {
+  ITC_CHECK(topology_.IsValidNode(from) && topology_.IsValidNode(to));
+  stats_.messages += 1;
+  stats_.bytes += bytes;
+
+  if (from == to) return depart;  // loopback: no network cost
+
+  const SimTime tx = cost_.TransmissionTime(bytes);
+  const Topology::Route route = topology_.RouteBetween(from, to);
+
+  SimTime t = depart;
+  if (!route.cross_cluster) {
+    t = segments_[topology_.ClusterOf(from)]->Serve(t, tx);
+    return t;
+  }
+
+  stats_.cross_cluster_messages += 1;
+  stats_.cross_cluster_bytes += bytes;
+  t = segments_[topology_.ClusterOf(from)]->Serve(t, tx);
+  t += cost_.bridge_hop_latency;
+  t = backbone_->Serve(t, tx);
+  t += cost_.bridge_hop_latency;
+  t = segments_[topology_.ClusterOf(to)]->Serve(t, tx);
+  return t;
+}
+
+void Network::ResetStats() {
+  stats_ = NetworkStats{};
+  for (auto& s : segments_) s->Reset();
+  backbone_->Reset();
+}
+
+}  // namespace itc::net

@@ -1,0 +1,56 @@
+// Simulated campus network: timing, contention, and traffic accounting.
+//
+// Transfer(from, to, bytes, depart) models one message: it seizes each LAN
+// segment along the route for the message's transmission time (cluster
+// segments and the backbone are FCFS resources, so heavy traffic queues),
+// adds bridge store-and-forward latency for cross-cluster routes, and
+// returns the arrival time. All itcfs RPC traffic flows through here, which
+// is what makes the locality experiments (cluster decomposition, read-only
+// replication) measurable.
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/topology.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/resource.h"
+
+namespace itc::net {
+
+struct NetworkStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t cross_cluster_messages = 0;
+  uint64_t cross_cluster_bytes = 0;
+};
+
+class Network {
+ public:
+  Network(const Topology& topology, const sim::CostModel& cost);
+
+  // Delivers `bytes` from node `from` to node `to`, departing at `depart`.
+  // Returns the arrival time at `to`.
+  SimTime Transfer(NodeId from, NodeId to, uint64_t bytes, SimTime depart);
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats();
+
+  sim::Resource& cluster_segment(ClusterId c) { return *segments_[c]; }
+  sim::Resource& backbone() { return *backbone_; }
+  const Topology& topology() const { return topology_; }
+
+ private:
+  Topology topology_;
+  sim::CostModel cost_;
+  std::vector<std::unique_ptr<sim::Resource>> segments_;
+  std::unique_ptr<sim::Resource> backbone_;
+  NetworkStats stats_;
+};
+
+}  // namespace itc::net
+
+#endif  // SRC_NET_NETWORK_H_

@@ -1,0 +1,15 @@
+#include "src/net/topology.h"
+
+#include <sstream>
+
+namespace itc::net {
+
+std::string Topology::Describe() const {
+  std::ostringstream os;
+  os << cluster_count() << " cluster(s) on a backbone; per cluster: "
+     << config_.servers_per_cluster << " server(s), " << config_.workstations_per_cluster
+     << " workstation(s); " << node_count() << " nodes total";
+  return os.str();
+}
+
+}  // namespace itc::net

@@ -1,0 +1,87 @@
+// Campus network topology (Figure 2-2 of the paper).
+//
+// Vice is composed of semi-autonomous clusters connected by a backbone LAN.
+// Each cluster has a cluster server and 50-100 Virtue workstations on a
+// shared cluster Ethernet; bridges connect cluster Ethernets to the
+// backbone and act as routers. The detailed topology is invisible to
+// workstations — Vice is logically one network — but it determines cost:
+// cross-cluster traffic crosses two bridges and three LAN segments.
+
+#ifndef SRC_NET_TOPOLOGY_H_
+#define SRC_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace itc::net {
+
+struct TopologyConfig {
+  uint32_t clusters = 1;
+  uint32_t servers_per_cluster = 1;
+  uint32_t workstations_per_cluster = 20;
+};
+
+// Deterministic node-id layout: nodes of cluster c occupy a contiguous block;
+// within a cluster, servers come first, then workstations.
+class Topology {
+ public:
+  explicit Topology(TopologyConfig config) : config_(config) {}
+
+  uint32_t cluster_count() const { return config_.clusters; }
+  uint32_t node_count() const { return config_.clusters * NodesPerCluster(); }
+  uint32_t server_count() const { return config_.clusters * config_.servers_per_cluster; }
+  uint32_t workstation_count() const {
+    return config_.clusters * config_.workstations_per_cluster;
+  }
+
+  NodeId ServerNode(ClusterId cluster, uint32_t index) const {
+    return cluster * NodesPerCluster() + index;
+  }
+  NodeId WorkstationNode(ClusterId cluster, uint32_t index) const {
+    return cluster * NodesPerCluster() + config_.servers_per_cluster + index;
+  }
+
+  ClusterId ClusterOf(NodeId node) const { return node / NodesPerCluster(); }
+  bool IsServer(NodeId node) const {
+    return node % NodesPerCluster() < config_.servers_per_cluster;
+  }
+  bool IsValidNode(NodeId node) const { return node < node_count(); }
+
+  // Enumerates all servers / workstations in id order.
+  NodeId NthServer(uint32_t n) const {
+    return ServerNode(n / config_.servers_per_cluster, n % config_.servers_per_cluster);
+  }
+  NodeId NthWorkstation(uint32_t n) const {
+    return WorkstationNode(n / config_.workstations_per_cluster,
+                           n % config_.workstations_per_cluster);
+  }
+
+  struct Route {
+    int segments = 0;     // LAN segments traversed (cluster LANs + backbone)
+    int bridge_hops = 0;  // bridges crossed
+    bool cross_cluster = false;
+  };
+
+  // Same cluster: one shared segment, no bridges. Cross-cluster: source
+  // cluster LAN -> bridge -> backbone -> bridge -> destination cluster LAN.
+  Route RouteBetween(NodeId a, NodeId b) const {
+    if (ClusterOf(a) == ClusterOf(b)) return Route{1, 0, false};
+    return Route{3, 2, true};
+  }
+
+  // Human-readable topology summary (used by bench headers).
+  std::string Describe() const;
+
+ private:
+  uint32_t NodesPerCluster() const {
+    return config_.servers_per_cluster + config_.workstations_per_cluster;
+  }
+
+  TopologyConfig config_;
+};
+
+}  // namespace itc::net
+
+#endif  // SRC_NET_TOPOLOGY_H_

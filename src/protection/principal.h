@@ -1,0 +1,38 @@
+// Principals: users and groups in the protection domain.
+
+#ifndef SRC_PROTECTION_PRINCIPAL_H_
+#define SRC_PROTECTION_PRINCIPAL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/types.h"
+
+namespace itc::protection {
+
+struct Principal {
+  enum class Kind : uint8_t { kUser, kGroup };
+
+  Kind kind = Kind::kUser;
+  uint32_t id = 0;
+
+  static Principal User(UserId u) { return Principal{Kind::kUser, u}; }
+  static Principal Group(GroupId g) { return Principal{Kind::kGroup, g}; }
+
+  friend bool operator==(const Principal&, const Principal&) = default;
+  friend auto operator<=>(const Principal&, const Principal&) = default;
+};
+
+struct PrincipalHash {
+  size_t operator()(const Principal& p) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(p.kind) << 32) | p.id);
+  }
+};
+
+// Built-in groups created by every ProtectionDb.
+inline constexpr GroupId kAnyUserGroup = 1;        // "System:AnyUser"
+inline constexpr GroupId kAdministratorsGroup = 2; // "System:Administrators"
+
+}  // namespace itc::protection
+
+#endif  // SRC_PROTECTION_PRINCIPAL_H_

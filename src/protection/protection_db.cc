@@ -1,0 +1,131 @@
+#include "src/protection/protection_db.h"
+
+#include <deque>
+
+namespace itc::protection {
+
+constexpr char ProtectionDb::kRealm[];
+
+ProtectionDb::ProtectionDb() {
+  groups_[kAnyUserGroup] = GroupRecord{"System:AnyUser", {}};
+  group_names_["System:AnyUser"] = kAnyUserGroup;
+  groups_[kAdministratorsGroup] = GroupRecord{"System:Administrators", {}};
+  group_names_["System:Administrators"] = kAdministratorsGroup;
+}
+
+Result<UserId> ProtectionDb::CreateUser(const std::string& name, const std::string& password) {
+  if (name.empty()) return Status::kInvalidArgument;
+  if (user_names_.contains(name)) return Status::kAlreadyExists;
+  const UserId id = next_user_++;
+  users_[id] = UserRecord{name, crypto::DeriveKeyFromPassword(password, kRealm)};
+  user_names_[name] = id;
+  ++version_;
+  return id;
+}
+
+Result<UserId> ProtectionDb::LookupUser(const std::string& name) const {
+  auto it = user_names_.find(name);
+  if (it == user_names_.end()) return Status::kNotFound;
+  return it->second;
+}
+
+std::optional<crypto::Key> ProtectionDb::UserKey(UserId user) const {
+  auto it = users_.find(user);
+  if (it == users_.end()) return std::nullopt;
+  return it->second.key;
+}
+
+Result<std::string> ProtectionDb::UserName(UserId user) const {
+  auto it = users_.find(user);
+  if (it == users_.end()) return Status::kNotFound;
+  return it->second.name;
+}
+
+Status ProtectionDb::SetPassword(UserId user, const std::string& password) {
+  auto it = users_.find(user);
+  if (it == users_.end()) return Status::kNotFound;
+  it->second.key = crypto::DeriveKeyFromPassword(password, kRealm);
+  ++version_;
+  return Status::kOk;
+}
+
+Result<GroupId> ProtectionDb::CreateGroup(const std::string& name) {
+  if (name.empty()) return Status::kInvalidArgument;
+  if (group_names_.contains(name)) return Status::kAlreadyExists;
+  const GroupId id = next_group_++;
+  groups_[id] = GroupRecord{name, {}};
+  group_names_[name] = id;
+  ++version_;
+  return id;
+}
+
+Result<GroupId> ProtectionDb::LookupGroup(const std::string& name) const {
+  auto it = group_names_.find(name);
+  if (it == group_names_.end()) return Status::kNotFound;
+  return it->second;
+}
+
+Result<std::string> ProtectionDb::GroupName(GroupId group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return Status::kNotFound;
+  return it->second.name;
+}
+
+Status ProtectionDb::AddToGroup(Principal member, GroupId group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return Status::kNotFound;
+  if (member.kind == Principal::Kind::kUser) {
+    if (!users_.contains(member.id)) return Status::kNotFound;
+  } else {
+    if (!groups_.contains(member.id)) return Status::kNotFound;
+    if (member.id == group) return Status::kInvalidArgument;
+  }
+  if (!it->second.members.insert(member).second) return Status::kAlreadyExists;
+  memberships_[member].insert(group);
+  ++version_;
+  return Status::kOk;
+}
+
+Status ProtectionDb::RemoveFromGroup(Principal member, GroupId group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return Status::kNotFound;
+  if (it->second.members.erase(member) == 0) return Status::kNotFound;
+  memberships_[member].erase(group);
+  ++version_;
+  return Status::kOk;
+}
+
+bool ProtectionDb::IsDirectMember(Principal member, GroupId group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() && it->second.members.contains(member);
+}
+
+Result<std::vector<Principal>> ProtectionDb::Members(GroupId group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return Status::kNotFound;
+  return std::vector<Principal>(it->second.members.begin(), it->second.members.end());
+}
+
+std::vector<Principal> ProtectionDb::CPS(UserId user) const {
+  std::set<Principal> cps;
+  cps.insert(Principal::User(user));
+  cps.insert(Principal::Group(kAnyUserGroup));
+
+  // Breadth-first closure over the reverse membership index.
+  std::deque<Principal> frontier;
+  frontier.push_back(Principal::User(user));
+  while (!frontier.empty()) {
+    const Principal p = frontier.front();
+    frontier.pop_front();
+    auto it = memberships_.find(p);
+    if (it == memberships_.end()) continue;
+    for (GroupId g : it->second) {
+      if (cps.insert(Principal::Group(g)).second) {
+        frontier.push_back(Principal::Group(g));
+      }
+    }
+  }
+  return std::vector<Principal>(cps.begin(), cps.end());
+}
+
+}  // namespace itc::protection

@@ -1,0 +1,81 @@
+// RPC interface to the protection server (Section 3.4).
+//
+// "Information about users and groups is stored in a protection database
+//  which is replicated at each cluster server. Manipulation of this database
+//  is via a protection server, which coordinates the updating of the
+//  database at all sites."
+//
+// The ProtectionRpcServer wraps a ProtectionService behind the standard
+// authenticated, encrypted RPC machinery. Mutations require the caller to be
+// a member of System:Administrators, except SetPassword, which any user may
+// invoke on their own account. The prototype had no protection server
+// ("relies on manual updates to the protection database by the operations
+// staff") — this is the revised implementation's component.
+
+#ifndef SRC_PROTECTION_PROTECTION_RPC_H_
+#define SRC_PROTECTION_PROTECTION_RPC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/protection/protection_service.h"
+#include "src/rpc/rpc.h"
+
+namespace itc::protection {
+
+enum class ProtectionProc : uint32_t {
+  kCreateUser = 1,       // name, password -> user id
+  kCreateGroup = 2,      // name -> group id
+  kAddToGroup = 3,       // principal, group
+  kRemoveFromGroup = 4,  // principal, group
+  kSetPassword = 5,      // user, password (self or administrator)
+  kWhoAmI = 6,           // () -> caller's user id and CPS size
+};
+
+class ProtectionRpcServer : public rpc::Service {
+ public:
+  ProtectionRpcServer(NodeId node, net::Network* network, const sim::CostModel& cost,
+                      rpc::RpcConfig rpc_config, ProtectionService* service,
+                      uint64_t nonce_seed);
+
+  rpc::ServerEndpoint& endpoint() { return endpoint_; }
+
+  Result<Bytes> Dispatch(rpc::CallContext& ctx, uint32_t proc, const Bytes& request) override;
+
+ private:
+  bool IsAdministrator(UserId user) const;
+
+  ProtectionService* service_;
+  rpc::ServerEndpoint endpoint_;
+};
+
+// Client-side stub.
+class ProtectionClient {
+ public:
+  ProtectionClient(NodeId node, sim::Clock* clock, ProtectionRpcServer* server,
+                   net::Network* network, const sim::CostModel& cost);
+
+  Status Connect(UserId user, const crypto::Key& user_key, uint64_t seed);
+
+  Result<UserId> CreateUser(const std::string& name, const std::string& password);
+  Result<GroupId> CreateGroup(const std::string& name);
+  Status AddToGroup(Principal member, GroupId group);
+  Status RemoveFromGroup(Principal member, GroupId group);
+  Status SetPassword(UserId user, const std::string& password);
+  // Returns (authenticated user id, CPS size) — a liveness/identity check.
+  Result<std::pair<UserId, uint32_t>> WhoAmI();
+
+ private:
+  Result<Bytes> Call(ProtectionProc proc, const Bytes& request);
+
+  NodeId node_;
+  sim::Clock* clock_;
+  ProtectionRpcServer* server_;
+  net::Network* network_;
+  sim::CostModel cost_;
+  std::unique_ptr<rpc::ClientConnection> conn_;
+};
+
+}  // namespace itc::protection
+
+#endif  // SRC_PROTECTION_PROTECTION_RPC_H_

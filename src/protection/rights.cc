@@ -1,0 +1,21 @@
+#include "src/protection/rights.h"
+
+namespace itc::protection {
+
+std::string RightsToString(Rights r) {
+  std::string out = "-------";
+  const struct {
+    Rights bit;
+    char ch;
+    int pos;
+  } table[] = {
+      {kLookup, 'l', 0}, {kRead, 'r', 1},  {kWrite, 'w', 2},      {kInsert, 'i', 3},
+      {kDelete, 'd', 4}, {kLock, 'k', 5},  {kAdminister, 'a', 6},
+  };
+  for (const auto& e : table) {
+    if (HasRights(r, e.bit)) out[e.pos] = e.ch;
+  }
+  return out;
+}
+
+}  // namespace itc::protection

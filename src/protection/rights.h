@@ -1,0 +1,45 @@
+// Access rights on protected Vice objects (Section 3.4).
+//
+// Rights are a bitmask. The set follows the Vice design: directory rights
+// control "the fetching and storing of files, the creation and deletion of
+// new directory entries, and modifications to the access list".
+
+#ifndef SRC_PROTECTION_RIGHTS_H_
+#define SRC_PROTECTION_RIGHTS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace itc::protection {
+
+enum Rights : uint32_t {
+  kNone = 0,
+  kLookup = 1u << 0,      // list the directory, stat entries
+  kRead = 1u << 1,        // fetch files in the directory
+  kWrite = 1u << 2,       // store (overwrite) files in the directory
+  kInsert = 1u << 3,      // create new entries
+  kDelete = 1u << 4,      // remove entries
+  kLock = 1u << 5,        // acquire advisory locks
+  kAdminister = 1u << 6,  // modify the access list
+
+  kAllRights = kLookup | kRead | kWrite | kInsert | kDelete | kLock | kAdminister,
+  kReadOnlyRights = kLookup | kRead | kLock,
+};
+
+inline Rights operator|(Rights a, Rights b) {
+  return static_cast<Rights>(static_cast<uint32_t>(a) | static_cast<uint32_t>(b));
+}
+inline Rights operator&(Rights a, Rights b) {
+  return static_cast<Rights>(static_cast<uint32_t>(a) & static_cast<uint32_t>(b));
+}
+inline Rights operator~(Rights a) {
+  return static_cast<Rights>(~static_cast<uint32_t>(a) & static_cast<uint32_t>(kAllRights));
+}
+inline bool HasRights(Rights held, Rights wanted) { return (held & wanted) == wanted; }
+
+// Renders e.g. "lrwidka" style string: "lr-i---".
+std::string RightsToString(Rights r);
+
+}  // namespace itc::protection
+
+#endif  // SRC_PROTECTION_RIGHTS_H_

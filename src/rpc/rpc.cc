@@ -1,0 +1,219 @@
+#include "src/rpc/rpc.h"
+
+#include "src/common/logging.h"
+#include "src/crypto/cbc.h"
+#include "src/rpc/wire.h"
+
+namespace itc::rpc {
+
+namespace {
+
+// Fixed per-message framing overhead on the wire (headers, addressing).
+constexpr uint64_t kWireHeaderBytes = 32;
+
+uint64_t WireSize(const Bytes& payload) { return payload.size() + kWireHeaderBytes; }
+
+}  // namespace
+
+ServerEndpoint::ServerEndpoint(NodeId node, net::Network* network, const sim::CostModel& cost,
+                               RpcConfig config, KeyLookup key_lookup, uint64_t nonce_seed)
+    : node_(node),
+      network_(network),
+      cost_(cost),
+      config_(config),
+      key_lookup_(std::move(key_lookup)),
+      nonce_seed_(nonce_seed),
+      cpu_("server.cpu.node" + std::to_string(node)),
+      disk_("server.disk.node" + std::to_string(node)) {}
+
+Result<Bytes> ServerEndpoint::HandleCall(uint64_t conn_id, NodeId client_node,
+                                         const Bytes& sealed_request, SimTime arrival,
+                                         SimTime* completion) {
+  if (!online_) {
+    *completion = arrival;
+    return Status::kUnavailable;
+  }
+  auto conn_it = connections_.find(conn_id);
+  if (conn_it == connections_.end()) return Status::kConnectionBroken;
+  ConnState& conn = conn_it->second;
+
+  stats_.calls += 1;
+  stats_.request_bytes += sealed_request.size();
+
+  Bytes request;
+  if (config_.encrypt) {
+    auto opened = crypto::Open(conn.secret.session_key, sealed_request);
+    if (!opened.ok()) return Status::kTamperDetected;
+    request = std::move(*opened);
+  } else {
+    request = sealed_request;
+  }
+
+  Reader header(request);
+  ASSIGN_OR_RETURN(uint32_t proc, header.U32());
+  ASSIGN_OR_RETURN(uint64_t client_seq, header.U64());
+  // Anti-replay: even a perfectly sealed frame captured off the wire is
+  // rejected when presented a second time.
+  if (client_seq <= conn.last_client_seq) return Status::kTamperDetected;
+  conn.last_client_seq = client_seq;
+  Bytes body(request.begin() + 12, request.end());
+
+  ITC_CHECK(service_ != nullptr);
+  CallContext ctx(conn.user, client_node, arrival);
+  ASSIGN_OR_RETURN(Bytes reply, service_->Dispatch(ctx, proc, body));
+
+  // Charge the server's CPU: structure dispatch + per-call base + crypto +
+  // whatever the handler reported; then its disk, serialized after the CPU.
+  SimTime cpu_demand = cost_.server_cpu_per_call + ctx.cpu_demand();
+  cpu_demand += config_.server_structure == ServerStructure::kProcessPerClient
+                    ? cost_.server_context_switch
+                    : cost_.server_lwp_switch;
+  if (config_.encrypt) {
+    cpu_demand += cost_.CryptoCpu(request.size()) + cost_.CryptoCpu(reply.size());
+  }
+  SimTime t = cpu_.Serve(arrival, cpu_demand);
+  if (ctx.disk_ops() > 0) {
+    const SimTime disk_demand =
+        static_cast<SimTime>(ctx.disk_ops()) * cost_.disk_seek +
+        static_cast<SimTime>(static_cast<double>(cost_.disk_per_kb) *
+                             (static_cast<double>(ctx.disk_bytes()) / 1024.0));
+    t = disk_.Serve(t, disk_demand);
+  }
+  *completion = t;
+
+  stats_.reply_bytes += reply.size();
+  if (config_.encrypt) {
+    conn.seq += 1;
+    return crypto::Seal(conn.secret.session_key, reply, conn.seq * 2 + 1);
+  }
+  return reply;
+}
+
+ClientConnection::ClientConnection(NodeId client_node, UserId user, ServerEndpoint* server,
+                                   net::Network* network, const sim::CostModel& cost,
+                                   sim::Clock* clock, uint64_t conn_id,
+                                   crypto::SessionSecret secret, RpcConfig config)
+    : client_node_(client_node),
+      user_(user),
+      server_(server),
+      network_(network),
+      cost_(cost),
+      clock_(clock),
+      conn_id_(conn_id),
+      secret_(secret),
+      config_(config) {}
+
+ClientConnection::~ClientConnection() { server_->CloseConnection(conn_id_); }
+
+Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
+    NodeId client_node, UserId user, const crypto::Key& user_key, ServerEndpoint* server,
+    net::Network* network, const sim::CostModel& cost, sim::Clock* clock,
+    uint64_t nonce_seed) {
+  if (!server->online_) return Status::kUnavailable;
+  const RpcConfig config = server->config_;
+  const SimTime stream_penalty =
+      config.transport == Transport::kStream ? cost.stream_transport_overhead : 0;
+
+  server->stats_.handshakes += 1;
+
+  crypto::ClientHandshake client_hs(user, user_key, nonce_seed);
+  crypto::ServerHandshake server_hs(server->key_lookup_,
+                                    server->nonce_seed_ ^ (nonce_seed * 0x9e3779b9ull));
+
+  // The handshake exchanges four small messages; each leg pays network time
+  // and the server legs pay dispatch CPU.
+  SimTime t = clock->now() + cost.client_cpu_per_rpc;
+
+  Bytes m1 = client_hs.Start();
+  t = network->Transfer(client_node, server->node_, WireSize(m1), t) + stream_penalty;
+  t = server->cpu_.Serve(t, cost.server_cpu_per_call);
+  auto m2 = server_hs.HandleHello(m1);
+  if (!m2.ok()) {
+    server->stats_.auth_failures += 1;
+    clock->AdvanceTo(t);
+    return m2.status();
+  }
+  t = network->Transfer(server->node_, client_node, WireSize(*m2), t) + stream_penalty;
+  t += cost.client_cpu_per_rpc;
+  auto m3 = client_hs.HandleChallenge(*m2);
+  if (!m3.ok()) {
+    clock->AdvanceTo(t);
+    return m3.status();
+  }
+  t = network->Transfer(client_node, server->node_, WireSize(*m3), t) + stream_penalty;
+  t = server->cpu_.Serve(t, cost.server_cpu_per_call);
+  auto m4 = server_hs.HandleResponse(*m3);
+  if (!m4.ok()) {
+    server->stats_.auth_failures += 1;
+    clock->AdvanceTo(t);
+    return m4.status();
+  }
+  t = network->Transfer(server->node_, client_node, WireSize(*m4), t) + stream_penalty;
+  t += cost.client_cpu_per_rpc;
+  auto secret = client_hs.HandleSessionGrant(*m4);
+  clock->AdvanceTo(t);
+  if (!secret.ok()) return secret.status();
+
+  // Both sides have independently derived the same session secret.
+  ITC_CHECK(*secret == server_hs.secret());
+
+  const uint64_t conn_id = server->next_connection_id_++;
+  server->connections_[conn_id] =
+      ServerEndpoint::ConnState{server_hs.user(), server_hs.secret(), 0};
+
+  return std::unique_ptr<ClientConnection>(new ClientConnection(
+      client_node, user, server, network, cost, clock, conn_id, *secret, config));
+}
+
+Result<Bytes> ClientConnection::Call(uint32_t proc, const Bytes& request) {
+  const SimTime stream_penalty =
+      config_.transport == Transport::kStream ? cost_.stream_transport_overhead : 0;
+
+  // Prefix the procedure number and an increasing sequence number (the
+  // server's anti-replay check), then seal.
+  seq_ += 1;
+  Writer w;
+  w.PutU32(proc);
+  w.PutU64(seq_);
+  Bytes framed = w.Take();
+  framed.insert(framed.end(), request.begin(), request.end());
+
+  SimTime t = clock_->now() + cost_.client_cpu_per_rpc;
+  Bytes sealed;
+  if (config_.encrypt) {
+    t += cost_.CryptoCpu(framed.size());
+    sealed = crypto::Seal(secret_.session_key, framed, (conn_id_ << 20) ^ (seq_ * 2));
+  } else {
+    sealed = framed;
+  }
+
+  const SimTime arrival =
+      network_->Transfer(client_node_, server_->node_, WireSize(sealed), t) + stream_penalty;
+
+  SimTime completion = arrival;
+  auto sealed_reply = server_->HandleCall(conn_id_, client_node_, sealed, arrival, &completion);
+  if (!sealed_reply.ok()) {
+    clock_->AdvanceTo(completion);
+    return sealed_reply.status();
+  }
+
+  SimTime t2 = network_->Transfer(server_->node_, client_node_, WireSize(*sealed_reply),
+                                  completion) +
+               stream_penalty;
+  t2 += cost_.client_cpu_per_rpc;
+
+  Bytes reply;
+  if (config_.encrypt) {
+    t2 += cost_.CryptoCpu(sealed_reply->size());
+    auto opened = crypto::Open(secret_.session_key, *sealed_reply);
+    clock_->AdvanceTo(t2);
+    if (!opened.ok()) return Status::kTamperDetected;
+    reply = std::move(*opened);
+  } else {
+    clock_->AdvanceTo(t2);
+    reply = std::move(*sealed_reply);
+  }
+  return reply;
+}
+
+}  // namespace itc::rpc

@@ -1,0 +1,211 @@
+// Remote procedure call package (Section 3.5.3).
+//
+// Both generations of the paper's RPC are reproduced as configuration:
+//
+//   * Transport. The prototype used "a reliable byte-stream protocol
+//     supported by Unix" — modelled as extra per-message protocol overhead.
+//     The revised implementation uses "an unreliable datagram protocol" with
+//     RPC-level reliability — modelled without that overhead.
+//   * Server structure (Section 3.5.2). The prototype ran one Unix process
+//     per (user, workstation), paying a full context switch per call. The
+//     revised server is a single process with lightweight processes (LWPs)
+//     sharing global state, paying only an LWP dispatch.
+//   * Security (Section 3.4). Connection establishment runs the mutual
+//     authentication handshake of src/crypto; afterwards every request and
+//     reply is sealed under the per-session key. Whole-file transfer rides
+//     the same sealed messages ("generalized side-effects").
+//
+// Functionally everything is synchronous and in-process; timing flows
+// through src/net (LAN segments) and the server's CPU/disk resources, so
+// utilization and latency come out of the same code path that moves bytes.
+
+#ifndef SRC_RPC_RPC_H_
+#define SRC_RPC_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/crypto/handshake.h"
+#include "src/crypto/key.h"
+#include "src/net/network.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/resource.h"
+
+namespace itc::rpc {
+
+enum class Transport { kStream, kDatagram };
+enum class ServerStructure { kProcessPerClient, kLwp };
+
+struct RpcConfig {
+  Transport transport = Transport::kDatagram;
+  ServerStructure server_structure = ServerStructure::kLwp;
+  // When false, messages travel unsealed (no crypto CPU, no integrity);
+  // exists for the security-cost ablation only.
+  bool encrypt = true;
+};
+
+// Per-call server-side context handed to the service implementation. The
+// handler reports the resources its work consumes; the endpoint serializes
+// those demands through the server's CPU and disk.
+class CallContext {
+ public:
+  CallContext(UserId user, NodeId client_node, SimTime arrival)
+      : user_(user), client_node_(client_node), arrival_(arrival) {}
+
+  UserId user() const { return user_; }
+  NodeId client_node() const { return client_node_; }
+  SimTime arrival() const { return arrival_; }
+
+  // Extra CPU demand beyond the per-call base cost.
+  void ChargeCpu(SimTime t) { cpu_demand_ += t; }
+  // One disk operation moving `bytes` (0 for a pure seek, e.g. status read).
+  void ChargeDisk(uint64_t bytes) {
+    disk_ops_ += 1;
+    disk_bytes_ += bytes;
+  }
+
+  SimTime cpu_demand() const { return cpu_demand_; }
+  uint32_t disk_ops() const { return disk_ops_; }
+  uint64_t disk_bytes() const { return disk_bytes_; }
+
+ private:
+  UserId user_;
+  NodeId client_node_;
+  SimTime arrival_;
+  SimTime cpu_demand_ = 0;
+  uint32_t disk_ops_ = 0;
+  uint64_t disk_bytes_ = 0;
+};
+
+// A service implementation (the Vice file server, the protection server,
+// the remote-open baseline server) registered at a ServerEndpoint.
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  // Dispatches procedure `proc` with serialized arguments `request`.
+  // Application-level failures are encoded inside the reply; a non-OK
+  // Result here means the call itself could not be performed.
+  virtual Result<Bytes> Dispatch(CallContext& ctx, uint32_t proc, const Bytes& request) = 0;
+};
+
+struct RpcStats {
+  uint64_t calls = 0;
+  uint64_t request_bytes = 0;
+  uint64_t reply_bytes = 0;
+  uint64_t handshakes = 0;
+  uint64_t auth_failures = 0;
+};
+
+// Server side of the RPC package: owns the server's simulated CPU and disk,
+// the per-connection session state, and the registered service.
+class ServerEndpoint {
+ public:
+  using KeyLookup = std::function<std::optional<crypto::Key>(UserId)>;
+
+  ServerEndpoint(NodeId node, net::Network* network, const sim::CostModel& cost,
+                 RpcConfig config, KeyLookup key_lookup, uint64_t nonce_seed);
+
+  void set_service(Service* service) { service_ = service; }
+  void set_config(RpcConfig config) { config_ = config; }
+
+  // Simulated machine failure: while offline the endpoint accepts no
+  // handshakes and answers no calls (kUnavailable). Existing connection
+  // state survives a restart — the paper's servers kept no hard client
+  // state that a reboot plus salvage could not rebuild.
+  void set_online(bool v) { online_ = v; }
+  bool online() const { return online_; }
+
+  NodeId node() const { return node_; }
+  sim::Resource& cpu() { return cpu_; }
+  sim::Resource& disk() { return disk_; }
+  const RpcStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = RpcStats{}; }
+
+  // Internal API used by ClientConnection (in-process message delivery).
+  struct ConnState {
+    UserId user = kAnonymousUser;
+    crypto::SessionSecret secret;
+    uint64_t seq = 0;              // reply counter (IV diversification)
+    uint64_t last_client_seq = 0;  // anti-replay: requests must increase
+  };
+
+  // Processes one sealed call on connection `conn_id`, arriving at
+  // `arrival`; returns the sealed reply and sets `*completion` to the time
+  // the reply leaves the server.
+  Result<Bytes> HandleCall(uint64_t conn_id, NodeId client_node, const Bytes& sealed_request,
+                           SimTime arrival, SimTime* completion);
+
+  void CloseConnection(uint64_t conn_id) { connections_.erase(conn_id); }
+
+ private:
+  friend class ClientConnection;
+
+  NodeId node_;
+  net::Network* network_;
+  sim::CostModel cost_;
+  RpcConfig config_;
+  KeyLookup key_lookup_;
+  uint64_t nonce_seed_;
+  bool online_ = true;
+  uint64_t next_connection_id_ = 1;
+  Service* service_ = nullptr;
+  sim::Resource cpu_;
+  sim::Resource disk_;
+  std::unordered_map<uint64_t, ConnState> connections_;
+  RpcStats stats_;
+};
+
+// Client side: an authenticated, encrypted connection from one user on one
+// workstation to one server. Created via Connect(); each Call() advances the
+// workstation's clock through the full network/server round trip.
+class ClientConnection {
+ public:
+  // Establishes the connection, running the mutual handshake over the
+  // simulated network. Fails with kAuthFailed if either side cannot prove
+  // knowledge of the user's key.
+  static Result<std::unique_ptr<ClientConnection>> Connect(
+      NodeId client_node, UserId user, const crypto::Key& user_key, ServerEndpoint* server,
+      net::Network* network, const sim::CostModel& cost, sim::Clock* clock,
+      uint64_t nonce_seed);
+
+  ~ClientConnection();
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  // Performs one RPC: seals `request`, ships it to the server, runs the
+  // service, ships the reply back, advancing the client clock to the moment
+  // the reply has been decrypted.
+  Result<Bytes> Call(uint32_t proc, const Bytes& request);
+
+  UserId user() const { return user_; }
+  NodeId server_node() const { return server_->node(); }
+  ServerEndpoint* server() const { return server_; }
+
+ private:
+  ClientConnection(NodeId client_node, UserId user, ServerEndpoint* server,
+                   net::Network* network, const sim::CostModel& cost, sim::Clock* clock,
+                   uint64_t conn_id, crypto::SessionSecret secret, RpcConfig config);
+
+  NodeId client_node_;
+  UserId user_;
+  ServerEndpoint* server_;
+  net::Network* network_;
+  sim::CostModel cost_;
+  sim::Clock* clock_;
+  uint64_t conn_id_;
+  crypto::SessionSecret secret_;
+  RpcConfig config_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace itc::rpc
+
+#endif  // SRC_RPC_RPC_H_

@@ -1,0 +1,141 @@
+// Wire-format serialization for RPC requests and replies.
+//
+// A deliberately simple, explicit little-endian format: fixed-width
+// integers, length-prefixed strings/byte-strings. Writer never fails;
+// Reader is bounds-checked and returns kProtocolError on malformed input
+// (which, combined with the encrypted envelope's integrity check, means a
+// tampered or truncated message can never be misinterpreted).
+
+#ifndef SRC_RPC_WIRE_H_
+#define SRC_RPC_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/fid.h"
+#include "src/common/result.h"
+#include "src/common/types.h"
+
+namespace itc::rpc {
+
+class Writer {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void PutBytes(const Bytes& b) {
+    PutU32(static_cast<uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void PutFid(const Fid& f) {
+    PutU32(f.volume);
+    PutU32(f.vnode);
+    PutU32(f.uniquifier);
+  }
+  void PutStatus(Status s) { PutU32(static_cast<uint32_t>(s)); }
+
+  Bytes Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& buf) : buf_(buf) {}
+
+  Result<uint8_t> U8() {
+    if (pos_ + 1 > buf_.size()) return Status::kProtocolError;
+    return buf_[pos_++];
+  }
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > buf_.size()) return Status::kProtocolError;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buf_[pos_++]) << (8 * i);
+    return v;
+  }
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > buf_.size()) return Status::kProtocolError;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
+    return v;
+  }
+  Result<int64_t> I64() {
+    ASSIGN_OR_RETURN(uint64_t v, U64());
+    return static_cast<int64_t>(v);
+  }
+  Result<bool> Bool() {
+    ASSIGN_OR_RETURN(uint8_t v, U8());
+    return v != 0;
+  }
+  Result<std::string> String() {
+    ASSIGN_OR_RETURN(uint32_t n, U32());
+    if (pos_ + n > buf_.size()) return Status::kProtocolError;
+    std::string s(buf_.begin() + static_cast<ptrdiff_t>(pos_),
+                  buf_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return s;
+  }
+  Result<Bytes> BytesField() {
+    ASSIGN_OR_RETURN(uint32_t n, U32());
+    if (pos_ + n > buf_.size()) return Status::kProtocolError;
+    Bytes b(buf_.begin() + static_cast<ptrdiff_t>(pos_),
+            buf_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+  Result<Fid> FidField() {
+    Fid f;
+    ASSIGN_OR_RETURN(f.volume, U32());
+    ASSIGN_OR_RETURN(f.vnode, U32());
+    ASSIGN_OR_RETURN(f.uniquifier, U32());
+    return f;
+  }
+  // Reads a Status encoded by PutStatus into *out. The return value reports
+  // whether decoding succeeded; *out may itself be any (non-)OK Status.
+  Status ReadStatus(Status* out) {
+    ASSIGN_OR_RETURN(uint32_t v, U32());
+    *out = static_cast<Status>(v);
+    return Status::kOk;
+  }
+
+  bool AtEnd() const { return pos_ == buf_.size(); }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  const Bytes& buf_;
+  size_t pos_ = 0;
+};
+
+// Encodes a reply carrying only a status code — the error shape every
+// service shares.
+inline Bytes StatusOnlyReply(Status s) {
+  Writer w;
+  w.PutStatus(s);
+  return w.Take();
+}
+
+// Consumes a reply's status prologue and returns it; kProtocolError if the
+// buffer is too short. Callers: RETURN_IF_ERROR(rpc::ExpectOk(r)); or
+// `return rpc::ExpectOk(r);` for status-only replies.
+inline Status ExpectOk(Reader& r) {
+  Status st = Status::kOk;
+  RETURN_IF_ERROR(r.ReadStatus(&st));
+  return st;
+}
+
+}  // namespace itc::rpc
+
+#endif  // SRC_RPC_WIRE_H_

@@ -1,0 +1,34 @@
+// Per-entity virtual clock.
+//
+// Every simulated workstation owns a Clock. Functional code runs instantly
+// in host time; simulated durations are charged by advancing the clock.
+// AdvanceTo is monotone: moving to an earlier time is a no-op, which is how
+// waiting-for-a-resource composes with already-elapsed local work.
+
+#ifndef SRC_SIM_CLOCK_H_
+#define SRC_SIM_CLOCK_H_
+
+#include <algorithm>
+
+#include "src/common/types.h"
+
+namespace itc::sim {
+
+class Clock {
+ public:
+  SimTime now() const { return now_; }
+
+  void Advance(SimTime delta) { now_ += delta; }
+
+  // Moves the clock forward to `t` if `t` is later than now.
+  void AdvanceTo(SimTime t) { now_ = std::max(now_, t); }
+
+  void Reset(SimTime t = 0) { now_ = t; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace itc::sim
+
+#endif  // SRC_SIM_CLOCK_H_

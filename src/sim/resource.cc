@@ -1,0 +1,58 @@
+#include "src/sim/resource.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace itc::sim {
+
+SimTime Resource::Serve(SimTime arrival, SimTime demand) {
+  ITC_CHECK(demand >= 0);
+  const SimTime start = std::max(arrival, ready_);
+  const SimTime done = start + demand;
+  ready_ = done;
+  busy_ += demand;
+  ++jobs_;
+  if (window_ > 0 && demand > 0) AccumulateWindowed(start, done);
+  return done;
+}
+
+double Resource::Utilization(SimTime elapsed) const {
+  if (elapsed <= 0) return 0.0;
+  double u = static_cast<double>(busy_) / static_cast<double>(elapsed);
+  return std::min(1.0, std::max(0.0, u));
+}
+
+void Resource::EnableWindowTracking(SimTime window) {
+  ITC_CHECK(window > 0);
+  window_ = window;
+}
+
+void Resource::AccumulateWindowed(SimTime start, SimTime end) {
+  size_t first = static_cast<size_t>(start / window_);
+  size_t last = static_cast<size_t>((end - 1) / window_);
+  if (window_busy_.size() <= last) window_busy_.resize(last + 1, 0);
+  for (size_t w = first; w <= last; ++w) {
+    const SimTime w_start = static_cast<SimTime>(w) * window_;
+    const SimTime w_end = w_start + window_;
+    window_busy_[w] += std::min(end, w_end) - std::max(start, w_start);
+  }
+}
+
+std::vector<double> Resource::WindowUtilization() const {
+  std::vector<double> out;
+  out.reserve(window_busy_.size());
+  for (SimTime b : window_busy_) {
+    out.push_back(static_cast<double>(b) / static_cast<double>(window_));
+  }
+  return out;
+}
+
+void Resource::Reset() {
+  ready_ = 0;
+  busy_ = 0;
+  jobs_ = 0;
+  window_busy_.clear();
+}
+
+}  // namespace itc::sim

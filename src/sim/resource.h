@@ -1,0 +1,75 @@
+// FCFS resources for the conservative timing model.
+//
+// A Resource is a single server with a FIFO queue: a demand arriving at time
+// `arrival` begins service when the resource frees up, occupies it for
+// `demand` time units, and completes at begin + demand. Resources track
+// total busy time (for utilization) and, optionally, per-window busy time
+// (for utilization time series such as the 98 %-peak claim of Section 5.2).
+//
+// Resources never run "code"; the functional layer executes synchronously
+// and charges its simulated costs here. Determinism: completion times depend
+// only on the sequence of Serve() calls.
+//
+// KNOWN APPROXIMATION: service order is call order, not arrival order. The
+// conservative scheduler steps the minimum-virtual-time client, and clients
+// advance their clocks at operation granularity, so a client stepped later
+// can present an arrival earlier than ready_ and be queued behind work that
+// is logically in its future. The error is bounded by one operation's
+// duration (workloads split think time and the operation into separate
+// scheduler steps to keep that bound tight); an event-driven kernel would
+// remove it entirely at substantial complexity cost. See DESIGN.md.
+
+#ifndef SRC_SIM_RESOURCE_H_
+#define SRC_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace itc::sim {
+
+class Resource {
+ public:
+  explicit Resource(std::string name) : name_(std::move(name)) {}
+
+  // Serves a demand of `demand` time units arriving at `arrival`; returns the
+  // completion time. Calls should arrive in approximately nondecreasing
+  // `arrival` order (the multi-client scheduler guarantees this); stragglers
+  // are queued behind work already accepted.
+  SimTime Serve(SimTime arrival, SimTime demand);
+
+  // Total time this resource has been busy.
+  SimTime busy_time() const { return busy_; }
+  // Number of demands served.
+  uint64_t jobs() const { return jobs_; }
+  // Time the resource next becomes free.
+  SimTime ready_at() const { return ready_; }
+  // busy / elapsed, clamped to [0, 1].
+  double Utilization(SimTime elapsed) const;
+
+  const std::string& name() const { return name_; }
+
+  // Enables accumulation of busy time into windows of `window` duration,
+  // starting at time 0. Must be called before the first Serve().
+  void EnableWindowTracking(SimTime window);
+  // Busy fraction per window; the last entry may cover a partial window.
+  std::vector<double> WindowUtilization() const;
+
+  void Reset();
+
+ private:
+  void AccumulateWindowed(SimTime start, SimTime end);
+
+  std::string name_;
+  SimTime ready_ = 0;
+  SimTime busy_ = 0;
+  uint64_t jobs_ = 0;
+  SimTime window_ = 0;  // 0 = tracking disabled
+  std::vector<SimTime> window_busy_;
+};
+
+}  // namespace itc::sim
+
+#endif  // SRC_SIM_RESOURCE_H_

@@ -1,0 +1,32 @@
+#include "src/sim/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace itc::sim {
+
+namespace {
+constexpr SimTime kForever = std::numeric_limits<SimTime>::max();
+}
+
+SimTime Scheduler::RunAll() { return RunUntil(kForever); }
+
+SimTime Scheduler::RunUntil(SimTime horizon) {
+  SimTime latest = 0;
+  for (;;) {
+    Process* next = nullptr;
+    for (Process* p : processes_) {
+      if (p->done() || p->now() >= horizon) continue;
+      if (next == nullptr || p->now() < next->now()) next = p;
+    }
+    if (next == nullptr) break;
+    next->Step();
+    latest = std::max(latest, std::min(next->now(), horizon));
+  }
+  for (Process* p : processes_) {
+    latest = std::max(latest, std::min(p->now(), horizon));
+  }
+  return latest;
+}
+
+}  // namespace itc::sim

@@ -1,0 +1,51 @@
+// Conservative multi-client scheduler.
+//
+// Simulated clients interact only through FCFS resources (server CPU, disks,
+// LAN segments). Among all unfinished client processes the scheduler always
+// steps the one with the smallest virtual time, so demands arrive at every
+// resource in (approximately) nondecreasing time order and FCFS service is
+// faithful. Each Step() executes one client operation synchronously —
+// including any RPCs, which advance the client's clock through the network
+// and server resources.
+
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace itc::sim {
+
+// One simulated actor (e.g. a workstation running a workload script).
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  // Current virtual time of this actor.
+  virtual SimTime now() const = 0;
+  // True when the actor has no more work.
+  virtual bool done() const = 0;
+  // Executes the next operation, advancing now().
+  virtual void Step() = 0;
+};
+
+class Scheduler {
+ public:
+  void Add(Process* p) { processes_.push_back(p); }
+
+  // Runs until every process is done. Returns the max final virtual time.
+  SimTime RunAll();
+
+  // Runs until every process is done or has now() >= horizon.
+  // Returns the latest virtual time reached (capped at horizon for
+  // still-running processes).
+  SimTime RunUntil(SimTime horizon);
+
+ private:
+  std::vector<Process*> processes_;
+};
+
+}  // namespace itc::sim
+
+#endif  // SRC_SIM_SCHEDULER_H_

@@ -1,0 +1,119 @@
+// Venus's on-disk whole-file cache.
+//
+// "Part of the disk on each workstation is used to store local files, while
+//  the rest is used as a cache of files in Vice." (Section 3.2)
+//
+// Cached copies live as ordinary files in the workstation's local Unix file
+// system under a cache directory, named by fid — exactly the prototype's
+// representation. The cache tracks, per fid: the Vice status, whether data
+// is present and believed valid, whether a deferred write is pending, and
+// LRU recency. Eviction honours either the prototype's file-count limit or
+// the revised space limit.
+
+#ifndef SRC_VENUS_FILE_CACHE_H_
+#define SRC_VENUS_FILE_CACHE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/fid.h"
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/unixfs/file_system.h"
+#include "src/venus/config.h"
+#include "src/vice/vnode.h"
+
+namespace itc::venus {
+
+struct CacheEntry {
+  vice::VnodeStatus status;
+  bool has_data = false;
+  // Data (and status) known to be current: freshly fetched, validated this
+  // open (check-on-open), or covered by an unbroken callback promise.
+  bool valid = false;
+  SimTime last_used = 0;
+  uint32_t pin_count = 0;  // open handles; pinned entries are not evicted
+  // Deferred-write-back mode only: the local copy holds changes not yet
+  // stored to the custodian. Dirty entries are never evicted.
+  bool dirty = false;
+  std::string cache_path;  // local unixfs path of the cached copy
+  // Bytes this entry contributes to the cache's space accounting. The
+  // intercept layer writes the cached copy directly through the local file
+  // system, so the real file size can drift from this until NoteLocalSize
+  // resynchronizes (Venus calls it on close of a dirty file).
+  uint64_t accounted_bytes = 0;
+};
+
+struct CacheStats {
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t evicted_bytes = 0;
+  uint64_t invalidations = 0;
+};
+
+class FileCache {
+ public:
+  FileCache(unixfs::FileSystem* local_fs, std::string cache_dir, const VenusConfig& config);
+
+  CacheEntry* Find(const Fid& fid);
+  const CacheEntry* Find(const Fid& fid) const;
+
+  // Creates or refreshes an entry with status only (no data).
+  CacheEntry& PutStatus(const Fid& fid, const vice::VnodeStatus& status);
+
+  // Installs whole-file data for a fid, writing the local cache copy.
+  // Returns the entry; caller must then call EnforceLimits and notify the
+  // custodian about any evicted fids.
+  CacheEntry& InstallData(const Fid& fid, const vice::VnodeStatus& status, const Bytes& data);
+
+  // Reads the cached copy (entry must have data).
+  Result<Bytes> ReadData(const Fid& fid) const;
+  // Overwrites the cached copy in place (local writes before close).
+  Status WriteData(const Fid& fid, const Bytes& data);
+
+  // Resynchronizes space accounting after the cached copy was mutated
+  // directly through the local file system (dirty close path).
+  void NoteLocalSize(const Fid& fid, uint64_t actual_bytes);
+
+  // Marks an entry invalid (callback broken / validation failed). Data is
+  // kept: a later Validate can resurrect it without refetching.
+  void Invalidate(const Fid& fid);
+  // Removes an entry and its cache file entirely.
+  void Erase(const Fid& fid);
+  // Invalidate everything (e.g. reconnection after a network partition).
+  void InvalidateAll();
+
+  void Touch(const Fid& fid, SimTime now);
+  void Pin(const Fid& fid);
+  void Unpin(const Fid& fid);
+
+  // Evicts least-recently-used unpinned entries until the configured limit
+  // holds. Returns the evicted fids (Venus tells the custodians to drop
+  // their callback promises).
+  std::vector<Fid> EnforceLimits();
+
+  uint64_t data_bytes() const { return data_bytes_; }
+  size_t entry_count() const { return entries_.size(); }
+  size_t data_entry_count() const;
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+  // All fids currently cached (diagnostics / tests).
+  std::vector<Fid> CachedFids() const;
+
+ private:
+  std::string PathFor(const Fid& fid) const;
+
+  unixfs::FileSystem* local_fs_;
+  std::string cache_dir_;
+  VenusConfig config_;
+  std::unordered_map<Fid, CacheEntry, FidHash> entries_;
+  uint64_t data_bytes_ = 0;
+  size_t data_entries_ = 0;  // entries with has_data (count-limit policy)
+  CacheStats stats_;
+};
+
+}  // namespace itc::venus
+
+#endif  // SRC_VENUS_FILE_CACHE_H_

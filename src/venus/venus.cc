@@ -1,0 +1,904 @@
+#include "src/venus/venus.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/path.h"
+#include "src/rpc/wire.h"
+
+namespace itc::venus {
+
+using vice::DirItem;
+using vice::DirMap;
+using vice::Proc;
+using vice::VnodeStatus;
+using vice::VolumeInfo;
+
+Venus::Venus(NodeId node, sim::Clock* clock, unixfs::FileSystem* local_fs,
+             const std::string& cache_dir, VenusConfig config, const ServerMap* servers,
+             ServerId home_server, net::Network* network, const sim::CostModel& cost,
+             uint64_t seed)
+    : node_(node),
+      clock_(clock),
+      local_fs_(local_fs),
+      config_(config),
+      servers_(servers),
+      home_server_(home_server),
+      network_(network),
+      cost_(cost),
+      seed_(seed),
+      cache_(local_fs, cache_dir, config) {
+  ITC_CHECK(clock_ != nullptr && local_fs_ != nullptr && servers_ != nullptr &&
+            network_ != nullptr);
+}
+
+Venus::~Venus() { Logout(); }
+
+// --- Session ---------------------------------------------------------------------
+
+Status Venus::Login(UserId user, const crypto::Key& user_key) {
+  if (logged_in()) Logout();
+  user_ = user;
+  user_key_ = user_key;
+  // Authenticate to the home cluster server immediately; other connections
+  // are made lazily as custodians are contacted.
+  auto conn = ConnectionTo(home_server_);
+  if (!conn.ok()) {
+    user_ = kAnonymousUser;
+    return conn.status();
+  }
+  return Status::kOk;
+}
+
+void Venus::Logout() {
+  // Deferred writes must not outlive the session: flush, and drop whatever
+  // could not be stored (it must never be replayed under the NEXT user's
+  // credentials).
+  if (!dirty_queue_.empty()) (void)FlushDirty();
+  for (const Fid& fid : dirty_queue_) {
+    CacheEntry* e = cache_.Find(fid);
+    if (e != nullptr) e->dirty = false;
+  }
+  dirty_queue_.clear();
+  // Surrender callback sinks everywhere, not just where a connection is
+  // currently open: a server whose connection dropped mid-session may still
+  // hold our sink pointer.
+  for (const auto& [sid, vs] : *servers_) vs->UnregisterCallbackSink(node_);
+  connections_.clear();
+  // Without connections (and with promises surrendered) nothing cached can
+  // be trusted until revalidated.
+  cache_.InvalidateAll();
+  user_ = kAnonymousUser;
+  root_volume_ = kInvalidVolume;
+}
+
+// --- RPC plumbing -----------------------------------------------------------------
+
+Result<rpc::ClientConnection*> Venus::ConnectionTo(ServerId server) {
+  if (!logged_in()) return Status::kAuthFailed;
+  auto it = connections_.find(server);
+  if (it != connections_.end()) return it->second.get();
+
+  auto sit = servers_->find(server);
+  if (sit == servers_->end()) return Status::kUnavailable;
+  vice::ViceServer* vs = sit->second;
+
+  ASSIGN_OR_RETURN(
+      auto conn,
+      rpc::ClientConnection::Connect(node_, user_, user_key_, &vs->endpoint(), network_,
+                                     cost_, clock_,
+                                     seed_ ^ (static_cast<uint64_t>(server) << 32) ^
+                                         static_cast<uint64_t>(clock_->now())));
+  vs->RegisterCallbackSink(node_, this);
+  rpc::ClientConnection* raw = conn.get();
+  connections_[server] = std::move(conn);
+  return raw;
+}
+
+Result<Bytes> Venus::CallServer(ServerId server, Proc proc, const Bytes& request) {
+  ASSIGN_OR_RETURN(rpc::ClientConnection * conn, ConnectionTo(server));
+  return conn->Call(static_cast<uint32_t>(proc), request);
+}
+
+Result<Bytes> Venus::CallForFid(const Fid& fid, Proc proc, const Bytes& request) {
+  ASSIGN_OR_RETURN(std::vector<ServerId> candidates, ServerCandidates(fid.volume));
+
+  Status transport_failure = Status::kUnavailable;
+  for (ServerId server : candidates) {
+    auto reply = CallServer(server, proc, request);
+    if (!reply.ok()) {
+      if (reply.status() == Status::kUnavailable ||
+          reply.status() == Status::kConnectionBroken) {
+        // Site down: read-only replication's availability payoff — fall
+        // through to the next replica site. Surrender our callback sink at
+        // that server too; otherwise it would keep a pointer to this Venus
+        // that Logout (which only walks live connections) would never clear.
+        transport_failure = reply.status();
+        connections_.erase(server);  // force a fresh handshake next time
+        if (auto sit = servers_->find(server); sit != servers_->end()) {
+          sit->second->UnregisterCallbackSink(node_);
+        }
+        continue;
+      }
+      return reply.status();
+    }
+
+    // Peek at the application status: a kNotCustodian reply means our cached
+    // location hint is stale ("clients use cached location information as
+    // hints"); refresh and retry once.
+    rpc::Reader peek(*reply);
+    Status app_status = Status::kOk;
+    RETURN_IF_ERROR(peek.ReadStatus(&app_status));
+    if (app_status != Status::kNotCustodian) return reply;
+
+    RETURN_IF_ERROR(VolumeInfoFor(fid.volume, /*refresh=*/true).status());
+    ASSIGN_OR_RETURN(ServerId retry_server, ServerFor(fid.volume));
+    if (retry_server == server) return reply;  // hint did not change; give up
+    return CallServer(retry_server, proc, request);
+  }
+  return transport_failure;
+}
+
+// --- Location ----------------------------------------------------------------------
+
+Result<VolumeId> Venus::RootVolume() {
+  if (root_volume_ != kInvalidVolume) return root_volume_;
+  ASSIGN_OR_RETURN(Bytes reply, CallServer(home_server_, Proc::kGetRootVolume, Bytes{}));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  ASSIGN_OR_RETURN(root_volume_, r.U32());
+  return root_volume_;
+}
+
+Result<VolumeInfo> Venus::VolumeInfoFor(VolumeId volume, bool refresh) {
+  if (!refresh) {
+    auto it = volume_hints_.find(volume);
+    if (it != volume_hints_.end()) return it->second;
+  }
+  rpc::Writer w;
+  w.PutU32(volume);
+  ASSIGN_OR_RETURN(Bytes reply, CallServer(home_server_, Proc::kGetVolumeInfo, w.Take()));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  ASSIGN_OR_RETURN(VolumeInfo info, vice::ReadVolumeInfo(r));
+  volume_hints_[volume] = info;
+  return info;
+}
+
+Result<std::vector<ServerId>> Venus::ServerCandidates(VolumeId volume) {
+  ASSIGN_OR_RETURN(VolumeInfo info, VolumeInfoFor(volume, /*refresh=*/false));
+  if (info.read_only && !info.replica_sites.empty()) {
+    // "Localize if possible": a replica in our own cluster first, then the
+    // remaining sites as availability fallbacks.
+    const net::Topology& topo = network_->topology();
+    const ClusterId mine = topo.ClusterOf(node_);
+    std::vector<ServerId> out;
+    for (ServerId site : info.replica_sites) {
+      auto it = servers_->find(site);
+      if (it != servers_->end() && topo.ClusterOf(it->second->node()) == mine) {
+        out.push_back(site);
+      }
+    }
+    for (ServerId site : info.replica_sites) {
+      if (std::find(out.begin(), out.end(), site) == out.end()) out.push_back(site);
+    }
+    return out;
+  }
+  return std::vector<ServerId>{info.custodian};
+}
+
+Result<ServerId> Venus::ServerFor(VolumeId volume) {
+  ASSIGN_OR_RETURN(std::vector<ServerId> candidates, ServerCandidates(volume));
+  return candidates.front();
+}
+
+Result<VolumeId> Venus::ChooseVolume(VolumeId volume, bool for_update) {
+  if (for_update || !config_.prefer_readonly_replicas) return volume;
+  ASSIGN_OR_RETURN(VolumeInfo info, VolumeInfoFor(volume, /*refresh=*/false));
+  if (!info.read_only && info.ro_clone != kInvalidVolume) return info.ro_clone;
+  return volume;
+}
+
+// --- Cache core ------------------------------------------------------------------------
+
+Result<CacheEntry*> Venus::EnsureData(const Fid& fid, bool* hit) {
+  clock_->Advance(cost_.cache_lookup);
+  *hit = false;
+  CacheEntry* e = cache_.Find(fid);
+
+  if (e != nullptr && e->has_data && e->dirty) {
+    // A deferred write is pending: the local copy IS the newest version.
+    // Never validate or fetch over it — that would silently discard the
+    // user's unflushed changes (last-close-wins resolves any conflict when
+    // the store finally happens).
+    *hit = true;
+    cache_.Touch(fid, clock_->now());
+    return e;
+  }
+
+  if (e != nullptr && e->has_data) {
+    if (config_.validation == VenusConfig::Validation::kCallbacks && e->valid) {
+      // Covered by a callback promise: no communication with Vice at all.
+      *hit = true;
+      cache_.Touch(fid, clock_->now());
+      return e;
+    }
+    // Check-on-open, or a callback-mode entry whose promise was lost:
+    // ask the custodian whether our copy is current.
+    auto v = RpcValidate(fid, e->status.version);
+    if (v.ok()) {
+      auto [valid, fresh] = *v;
+      e = cache_.Find(fid);  // revalidate pointer (no rehash occurred, but be safe)
+      if (valid) {
+        e->status = fresh;
+        e->valid = true;
+        *hit = true;
+        cache_.Touch(fid, clock_->now());
+        return e;
+      }
+      // Stale copy: fall through to fetch.
+    } else if (v.status() == Status::kStaleFid) {
+      // An open handle (pinned) keeps its local copy alive, Unix-style;
+      // erasing would unlink the inode out from under the descriptor.
+      if (e->pin_count > 0) {
+        cache_.Invalidate(fid);
+      } else {
+        cache_.Erase(fid);
+      }
+      return Status::kStaleFid;
+    } else {
+      return v.status();
+    }
+  }
+
+  Bytes data;
+  auto status = RpcFetch(fid, &data);
+  if (!status.ok()) return status.status();
+  // Writing the fetched copy to the local disk cache costs local I/O time.
+  clock_->Advance(cost_.LocalIoTime(data.size()));
+  CacheEntry& entry = cache_.InstallData(fid, *status, data);
+  cache_.Touch(fid, clock_->now());
+  // The just-installed file must survive eviction even if it alone exceeds
+  // the configured limit (it is about to be used).
+  cache_.Pin(fid);
+  DropEvicted(cache_.EnforceLimits());
+  cache_.Unpin(fid);
+  CacheEntry* out = cache_.Find(fid);
+  return out != nullptr ? Result<CacheEntry*>(out) : Status::kInternal;
+}
+
+Result<VnodeStatus> Venus::EnsureStatus(const Fid& fid) {
+  clock_->Advance(cost_.cache_lookup);
+  CacheEntry* e = cache_.Find(fid);
+  if (e != nullptr && e->valid &&
+      config_.validation == VenusConfig::Validation::kCallbacks) {
+    cache_.Touch(fid, clock_->now());
+    return e->status;
+  }
+  if (e != nullptr && e->has_data) {
+    if (e->dirty) return e->status;  // pending local write: local truth
+    // Validation refreshes status as a side effect — but only a VALID
+    // entry may adopt the fresh version number. Stamping a fresh version
+    // onto stale data would make the next validation pass vacuously and
+    // serve the stale bytes as current.
+    ASSIGN_OR_RETURN(auto vr, RpcValidate(fid, e->status.version));
+    e = cache_.Find(fid);
+    if (vr.first) {
+      e->status = vr.second;
+      e->valid = true;
+    } else {
+      e->valid = false;
+    }
+    return vr.second;
+  }
+  ASSIGN_OR_RETURN(VnodeStatus status, RpcFetchStatus(fid));
+  CacheEntry& entry = cache_.PutStatus(fid, status);
+  cache_.Touch(fid, clock_->now());
+  return status;
+}
+
+Result<DirMap> Venus::DirEntriesOf(const Fid& dir) {
+  bool hit = false;
+  ASSIGN_OR_RETURN(CacheEntry * e, EnsureData(dir, &hit));
+  if (e->status.type != vice::VnodeType::kDirectory) return Status::kNotDirectory;
+  ASSIGN_OR_RETURN(Bytes data, cache_.ReadData(dir));
+  clock_->Advance(cost_.LocalIoTime(data.size()));
+  auto entries = vice::DeserializeDirectory(data);
+  if (!entries.ok()) return Status::kInternal;
+  return entries;
+}
+
+void Venus::DropEvicted(const std::vector<Fid>& evicted) {
+  if (config_.validation != VenusConfig::Validation::kCallbacks || !logged_in()) return;
+  for (const Fid& fid : evicted) {
+    rpc::Writer w;
+    w.PutFid(fid);
+    // Best effort; the server also GC-s promises when it next breaks them.
+    (void)CallForFid(fid, Proc::kRemoveCallback, w.Take());
+  }
+}
+
+void Venus::InvalidateDir(const Fid& dir) { cache_.Invalidate(dir); }
+
+// --- RPC wrappers ------------------------------------------------------------------------
+
+Result<VnodeStatus> Venus::RpcFetch(const Fid& fid, Bytes* data) {
+  rpc::Writer w;
+  w.PutFid(fid);
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(fid, Proc::kFetch, w.Take()));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  ASSIGN_OR_RETURN(VnodeStatus status, vice::ReadVnodeStatus(r));
+  ASSIGN_OR_RETURN(*data, r.BytesField());
+  stats_.fetches += 1;
+  stats_.bytes_fetched += data->size();
+  return status;
+}
+
+Result<VnodeStatus> Venus::RpcFetchStatus(const Fid& fid) {
+  rpc::Writer w;
+  w.PutFid(fid);
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(fid, Proc::kFetchStatus, w.Take()));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  return vice::ReadVnodeStatus(r);
+}
+
+Result<std::pair<bool, VnodeStatus>> Venus::RpcValidate(const Fid& fid, uint64_t version) {
+  rpc::Writer w;
+  w.PutFid(fid);
+  w.PutU64(version);
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(fid, Proc::kValidate, w.Take()));
+  stats_.validations += 1;
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  ASSIGN_OR_RETURN(bool valid, r.Bool());
+  ASSIGN_OR_RETURN(VnodeStatus status, vice::ReadVnodeStatus(r));
+  return std::make_pair(valid, status);
+}
+
+Result<VnodeStatus> Venus::RpcStore(const Fid& fid, const Bytes& data) {
+  rpc::Writer w;
+  w.PutFid(fid);
+  w.PutBytes(data);
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(fid, Proc::kStore, w.Take()));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  stats_.stores += 1;
+  stats_.bytes_stored += data.size();
+  return vice::ReadVnodeStatus(r);
+}
+
+// --- Resolution ---------------------------------------------------------------------------
+
+Result<Fid> Venus::ResolveFinal(const std::string& path, bool for_update,
+                                bool follow_final) {
+  if (config_.client_path_traversal) return WalkClient(path, for_update, follow_final);
+  return WalkServer(path);
+}
+
+Result<Venus::ParentRef> Venus::ResolveParentOf(const std::string& path, bool for_update) {
+  const std::string_view leaf = Basename(path);
+  if (!IsValidName(leaf)) return Status::kInvalidArgument;
+  ASSIGN_OR_RETURN(Fid parent,
+                   ResolveFinal(std::string(Dirname(path)), for_update,
+                                /*follow_final=*/true));
+  return ParentRef{parent, std::string(leaf)};
+}
+
+Result<Fid> Venus::WalkClient(const std::string& path, bool for_update, bool follow_final) {
+  if (path.empty() || path.front() != '/') return Status::kInvalidArgument;
+
+  ASSIGN_OR_RETURN(VolumeId root_vid, RootVolume());
+  ASSIGN_OR_RETURN(VolumeId vid, ChooseVolume(root_vid, for_update));
+  Fid cur = vice::VolumeRootFid(vid);
+
+  std::vector<std::string> components = SplitPath(path);
+  size_t i = 0;
+  int symlink_depth = 0;
+  // The directories traversed to reach `cur`, so ".." works across mount
+  // points: at a mounted volume's root the parent is the directory holding
+  // the mount point, which only the traversal itself knows.
+  std::vector<Fid> crumbs;
+
+  while (i < components.size()) {
+    const std::string comp = components[i];
+    if (comp == ".") {
+      ++i;
+      continue;
+    }
+    if (comp == "..") {
+      if (!crumbs.empty()) {
+        cur = crumbs.back();
+        crumbs.pop_back();
+      }
+      // ".." at the very top of the shared space stays there, Unix-style.
+      ++i;
+      continue;
+    }
+
+    ASSIGN_OR_RETURN(DirMap entries, DirEntriesOf(cur));
+    auto it = entries.find(comp);
+    if (it == entries.end()) return Status::kNotFound;
+    const DirItem item = it->second;
+    const bool is_final = (i + 1 == components.size());
+    ++i;
+
+    switch (item.kind) {
+      case DirItem::Kind::kMountPoint: {
+        ASSIGN_OR_RETURN(VolumeId next, ChooseVolume(item.mount_volume, for_update));
+        crumbs.push_back(cur);
+        cur = vice::VolumeRootFid(next);
+        break;
+      }
+      case DirItem::Kind::kSymlink: {
+        if (is_final && !follow_final) return item.fid;
+        if (++symlink_depth > kMaxSymlinkDepth) return Status::kSymlinkLoop;
+        bool hit = false;
+        ASSIGN_OR_RETURN(CacheEntry * link_entry, EnsureData(item.fid, &hit));
+        (void)link_entry;
+        ASSIGN_OR_RETURN(Bytes target_bytes, cache_.ReadData(item.fid));
+        const std::string target = ToString(target_bytes);
+        std::vector<std::string> spliced = SplitPath(target);
+        spliced.insert(spliced.end(), components.begin() + static_cast<ptrdiff_t>(i),
+                       components.end());
+        components = std::move(spliced);
+        i = 0;
+        if (!target.empty() && target.front() == '/') {
+          ASSIGN_OR_RETURN(VolumeId restart, ChooseVolume(root_vid, for_update));
+          cur = vice::VolumeRootFid(restart);
+          crumbs.clear();
+        }
+        // Relative target: continue from the current directory (cur is
+        // still the directory containing the link).
+        break;
+      }
+      default:
+        if (!is_final) crumbs.push_back(cur);
+        cur = item.fid;
+        break;
+    }
+  }
+  return cur;
+}
+
+Result<Fid> Venus::WalkServer(const std::string& path) {
+  if (path.empty() || path.front() != '/') return Status::kInvalidArgument;
+
+  auto cached = name_cache_.find(path);
+  if (cached != name_cache_.end()) return cached->second;
+
+  VolumeId vid = kInvalidVolume;  // the server substitutes the root volume
+  std::string remaining = path;
+  // Traversal may hop custodians as it crosses mount points.
+  for (int hop = 0; hop < 8; ++hop) {
+    rpc::Writer w;
+    w.PutU32(vid);
+    w.PutString(remaining);
+
+    Bytes reply;
+    if (vid == kInvalidVolume) {
+      ASSIGN_OR_RETURN(reply, CallServer(home_server_, Proc::kResolvePath, w.Take()));
+    } else {
+      ASSIGN_OR_RETURN(ServerId server, ServerFor(vid));
+      ASSIGN_OR_RETURN(reply, CallServer(server, Proc::kResolvePath, w.Take()));
+    }
+
+    rpc::Reader r(reply);
+    Status st = Status::kOk;
+    RETURN_IF_ERROR(r.ReadStatus(&st));
+    if (st == Status::kNotCustodian) {
+      ASSIGN_OR_RETURN(uint32_t custodian, r.U32());
+      (void)custodian;
+      ASSIGN_OR_RETURN(vid, r.U32());
+      ASSIGN_OR_RETURN(remaining, r.String());
+      RETURN_IF_ERROR(VolumeInfoFor(vid, /*refresh=*/true).status());
+      continue;
+    }
+    RETURN_IF_ERROR(st);
+    ASSIGN_OR_RETURN(Fid fid, r.FidField());
+    ASSIGN_OR_RETURN(VnodeStatus status, vice::ReadVnodeStatus(r));
+    cache_.PutStatus(fid, status);
+    cache_.Touch(fid, clock_->now());
+    name_cache_[path] = fid;
+    return fid;
+  }
+  return Status::kProtocolError;
+}
+
+// --- Whole-file open/close ---------------------------------------------------------------
+
+namespace {
+
+// Accumulates the virtual time an Open() spends, across all return paths.
+class OpenTimer {
+ public:
+  OpenTimer(const sim::Clock* clock, SimTime* sink) : clock_(clock), sink_(sink),
+                                                      start_(clock->now()) {}
+  ~OpenTimer() { *sink_ += clock_->now() - start_; }
+
+ private:
+  const sim::Clock* clock_;
+  SimTime* sink_;
+  SimTime start_;
+};
+
+}  // namespace
+
+Result<Venus::OpenResult> Venus::Open(const std::string& path, bool for_write, bool create) {
+  if (!logged_in()) return Status::kAuthFailed;
+  stats_.opens += 1;
+  OpenTimer timer(clock_, &stats_.open_time_total);
+
+  auto resolved = ResolveFinal(path, for_write, /*follow_final=*/true);
+  if (!resolved.ok() && resolved.status() == Status::kStaleFid) {
+    // A cached name mapping went stale (file replaced); retry once fresh.
+    name_cache_.erase(path);
+    resolved = ResolveFinal(path, for_write, /*follow_final=*/true);
+  }
+
+  if (!resolved.ok()) {
+    if (resolved.status() != Status::kNotFound || !create) return resolved.status();
+    // Create the file at its custodian.
+    ASSIGN_OR_RETURN(ParentRef ref, ResolveParentOf(path, /*for_update=*/true));
+    rpc::Writer w;
+    w.PutFid(ref.parent);
+    w.PutString(ref.leaf);
+    w.PutU32(0644);
+    ASSIGN_OR_RETURN(Bytes reply, CallForFid(ref.parent, Proc::kCreateFile, w.Take()));
+    rpc::Reader r(reply);
+    RETURN_IF_ERROR(rpc::ExpectOk(r));
+    ASSIGN_OR_RETURN(Fid fid, r.FidField());
+    ASSIGN_OR_RETURN(VnodeStatus status, vice::ReadVnodeStatus(r));
+
+    InvalidateDir(ref.parent);
+    name_cache_[path] = fid;
+    CacheEntry& e = cache_.InstallData(fid, status, Bytes{});
+    cache_.Touch(fid, clock_->now());
+    cache_.Pin(fid);
+    return OpenResult{fid, status, e.cache_path};
+  }
+
+  const Fid fid = *resolved;
+  bool hit = false;
+  auto entry = EnsureData(fid, &hit);
+  if (!entry.ok() && entry.status() == Status::kStaleFid) {
+    name_cache_.erase(path);
+    ASSIGN_OR_RETURN(Fid fresh_fid, ResolveFinal(path, for_write, /*follow_final=*/true));
+    entry = EnsureData(fresh_fid, &hit);
+    if (!entry.ok()) return entry.status();
+    if (hit) stats_.cache_hits += 1;
+    cache_.Pin(fresh_fid);
+    return OpenResult{fresh_fid, (*entry)->status, (*entry)->cache_path};
+  }
+  if (!entry.ok()) return entry.status();
+  if ((*entry)->status.type == vice::VnodeType::kDirectory) return Status::kIsDirectory;
+  if (hit) stats_.cache_hits += 1;
+  cache_.Pin(fid);
+  return OpenResult{fid, (*entry)->status, (*entry)->cache_path};
+}
+
+Status Venus::Close(const Fid& fid, bool dirty) {
+  CacheEntry* e = cache_.Find(fid);
+  if (e == nullptr) return Status::kBadDescriptor;
+  cache_.Unpin(fid);
+  if (!dirty) return Status::kOk;
+
+  if (config_.write_back == VenusConfig::WriteBack::kDeferred) {
+    // Queue the store; repeated closes of the same file coalesce.
+    if (!e->dirty) {
+      e->dirty = true;
+      dirty_queue_.push_back(fid);
+    }
+    auto data = cache_.ReadData(fid);
+    if (data.ok()) cache_.NoteLocalSize(fid, data->size());
+    if (dirty_queue_.size() >= config_.max_dirty_files) return FlushDirty();
+    return Status::kOk;
+  }
+  return StoreBack(fid);
+}
+
+Status Venus::StoreBack(const Fid& fid) {
+  // Whole-file store back to the custodian. The intercept layer wrote the
+  // cached copy in place, so first resynchronize space accounting.
+  ASSIGN_OR_RETURN(Bytes data, cache_.ReadData(fid));
+  cache_.NoteLocalSize(fid, data.size());
+  clock_->Advance(cost_.LocalIoTime(data.size()));
+  ASSIGN_OR_RETURN(VnodeStatus fresh, RpcStore(fid, data));
+  CacheEntry* e = cache_.Find(fid);
+  if (e != nullptr) {
+    e->status = fresh;
+    e->valid = true;
+    e->dirty = false;
+  }
+  DropEvicted(cache_.EnforceLimits());
+  return Status::kOk;
+}
+
+Status Venus::FlushDirty() {
+  Status worst = Status::kOk;
+  std::vector<Fid> queue;
+  queue.swap(dirty_queue_);
+  for (const Fid& fid : queue) {
+    CacheEntry* e = cache_.Find(fid);
+    if (e == nullptr || !e->dirty) continue;
+    if (Status s = StoreBack(fid); s != Status::kOk) {
+      worst = s;
+      // Keep it queued; a later flush may succeed.
+      if (CacheEntry* still = cache_.Find(fid); still != nullptr && still->dirty) {
+        dirty_queue_.push_back(fid);
+      }
+    }
+  }
+  return worst;
+}
+
+void Venus::SimulateCrash() {
+  // The machine dies: no flush, no polite disconnect. Pending deferred
+  // writes evaporate with the (conceptually volatile) dirty queue; the
+  // server eventually notices via its own timeouts — modelled here by the
+  // explicit sink unregistration a restart would perform.
+  dirty_queue_.clear();
+  for (const Fid& fid : cache_.CachedFids()) {
+    CacheEntry* e = cache_.Find(fid);
+    if (e != nullptr && e->dirty) cache_.Erase(fid);
+  }
+  Logout();
+}
+
+// --- Metadata and name space -----------------------------------------------------------
+
+Result<VnodeStatus> Venus::Stat(const std::string& path) {
+  if (!logged_in()) return Status::kAuthFailed;
+  stats_.stat_calls += 1;
+
+  if (!config_.client_path_traversal) {
+    // Prototype: the pathname goes to the server, which replies with status
+    // (this is the GetFileStat-style traffic of the Section 5.2 histogram).
+    name_cache_.erase(path);
+    ASSIGN_OR_RETURN(Fid fid, WalkServer(path));
+    const CacheEntry* e = cache_.Find(fid);
+    ITC_CHECK(e != nullptr);
+    return e->status;
+  }
+
+  ASSIGN_OR_RETURN(Fid fid, ResolveFinal(path, /*for_update=*/false, /*follow_final=*/true));
+  return EnsureStatus(fid);
+}
+
+Result<std::vector<std::pair<std::string, DirItem>>> Venus::ReadDir(const std::string& path) {
+  if (!logged_in()) return Status::kAuthFailed;
+  ASSIGN_OR_RETURN(Fid fid, ResolveFinal(path, /*for_update=*/false, /*follow_final=*/true));
+  ASSIGN_OR_RETURN(DirMap entries, DirEntriesOf(fid));
+  std::vector<std::pair<std::string, DirItem>> out(entries.begin(), entries.end());
+  return out;
+}
+
+Status Venus::MkDir(const std::string& path) {
+  if (!logged_in()) return Status::kAuthFailed;
+  ASSIGN_OR_RETURN(ParentRef ref, ResolveParentOf(path, /*for_update=*/true));
+  rpc::Writer w;
+  w.PutFid(ref.parent);
+  w.PutString(ref.leaf);
+  w.PutBytes(Bytes{});  // inherit the parent's access list
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(ref.parent, Proc::kMakeDir, w.Take()));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  InvalidateDir(ref.parent);
+  return Status::kOk;
+}
+
+Status Venus::Remove(const std::string& path) {
+  if (!logged_in()) return Status::kAuthFailed;
+  ASSIGN_OR_RETURN(ParentRef ref, ResolveParentOf(path, /*for_update=*/true));
+  rpc::Writer w;
+  w.PutFid(ref.parent);
+  w.PutString(ref.leaf);
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(ref.parent, Proc::kRemoveFile, w.Take()));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  auto it = name_cache_.find(path);
+  if (it != name_cache_.end()) {
+    // An open handle (pinned entry) keeps using its local copy, Unix-style;
+    // only unreferenced cache state is discarded.
+    CacheEntry* e = cache_.Find(it->second);
+    if (e != nullptr && e->pin_count > 0) {
+      cache_.Invalidate(it->second);
+    } else {
+      cache_.Erase(it->second);
+    }
+    name_cache_.erase(it);
+  }
+  InvalidateDir(ref.parent);
+  return Status::kOk;
+}
+
+Status Venus::RmDir(const std::string& path) {
+  if (!logged_in()) return Status::kAuthFailed;
+  ASSIGN_OR_RETURN(ParentRef ref, ResolveParentOf(path, /*for_update=*/true));
+  rpc::Writer w;
+  w.PutFid(ref.parent);
+  w.PutString(ref.leaf);
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(ref.parent, Proc::kRemoveDir, w.Take()));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  name_cache_.erase(path);
+  InvalidateDir(ref.parent);
+  return Status::kOk;
+}
+
+Status Venus::Rename(const std::string& from, const std::string& to) {
+  if (!logged_in()) return Status::kAuthFailed;
+
+  if (!config_.client_path_traversal) {
+    // Prototype shortcoming (Section 5.1): "the inability to rename
+    // directories in Vice". Files still rename.
+    auto from_fid = ResolveFinal(from, /*for_update=*/true, /*follow_final=*/true);
+    if (from_fid.ok()) {
+      const CacheEntry* e = cache_.Find(*from_fid);
+      if (e != nullptr && e->status.type == vice::VnodeType::kDirectory) {
+        return Status::kNotSupported;
+      }
+    }
+  }
+
+  ASSIGN_OR_RETURN(ParentRef src, ResolveParentOf(from, /*for_update=*/true));
+  ASSIGN_OR_RETURN(ParentRef dst, ResolveParentOf(to, /*for_update=*/true));
+  rpc::Writer w;
+  w.PutFid(src.parent);
+  w.PutString(src.leaf);
+  w.PutFid(dst.parent);
+  w.PutString(dst.leaf);
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(src.parent, Proc::kRename, w.Take()));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  // Pathname mappings under the old name are now wrong; drop the whole
+  // prefix (files keep their fids, so cached data stays useful).
+  for (auto it = name_cache_.begin(); it != name_cache_.end();) {
+    if (PathHasPrefix(it->first, from)) {
+      it = name_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  InvalidateDir(src.parent);
+  if (!(src.parent == dst.parent)) InvalidateDir(dst.parent);
+  return Status::kOk;
+}
+
+Status Venus::Symlink(const std::string& target, const std::string& link_path) {
+  if (!logged_in()) return Status::kAuthFailed;
+  if (!config_.client_path_traversal) {
+    // Prototype shortcoming (Section 5.1): "Vice does not support symbolic
+    // links" (links from the local space into Vice are Virtue's business).
+    return Status::kNotSupported;
+  }
+  ASSIGN_OR_RETURN(ParentRef ref, ResolveParentOf(link_path, /*for_update=*/true));
+  rpc::Writer w;
+  w.PutFid(ref.parent);
+  w.PutString(ref.leaf);
+  w.PutString(target);
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(ref.parent, Proc::kMakeSymlink, w.Take()));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  InvalidateDir(ref.parent);
+  return Status::kOk;
+}
+
+Result<std::string> Venus::ReadLink(const std::string& path) {
+  if (!logged_in()) return Status::kAuthFailed;
+  if (!config_.client_path_traversal) return Status::kNotSupported;
+  ASSIGN_OR_RETURN(Fid fid, ResolveFinal(path, /*for_update=*/false, /*follow_final=*/false));
+  bool hit = false;
+  ASSIGN_OR_RETURN(CacheEntry * e, EnsureData(fid, &hit));
+  if (e->status.type != vice::VnodeType::kSymlink) return Status::kNotSymlink;
+  ASSIGN_OR_RETURN(Bytes data, cache_.ReadData(fid));
+  return ToString(data);
+}
+
+Status Venus::SetMode(const std::string& path, uint16_t mode) {
+  if (!logged_in()) return Status::kAuthFailed;
+  ASSIGN_OR_RETURN(Fid fid, ResolveFinal(path, /*for_update=*/true, /*follow_final=*/true));
+  rpc::Writer w;
+  w.PutFid(fid);
+  w.PutBool(true);
+  w.PutU32(mode);
+  w.PutBool(false);
+  w.PutU32(0);
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(fid, Proc::kSetStatus, w.Take()));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  ASSIGN_OR_RETURN(VnodeStatus fresh, vice::ReadVnodeStatus(r));
+  CacheEntry* e = cache_.Find(fid);
+  if (e != nullptr) e->status = fresh;
+  return Status::kOk;
+}
+
+Result<protection::AccessList> Venus::GetAcl(const std::string& path) {
+  if (!logged_in()) return Status::kAuthFailed;
+  ASSIGN_OR_RETURN(Fid fid, ResolveFinal(path, /*for_update=*/false, /*follow_final=*/true));
+  rpc::Writer w;
+  w.PutFid(fid);
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(fid, Proc::kGetAcl, w.Take()));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  ASSIGN_OR_RETURN(Bytes acl_bytes, r.BytesField());
+  return protection::AccessList::Deserialize(acl_bytes);
+}
+
+Status Venus::SetAcl(const std::string& path, const protection::AccessList& acl) {
+  if (!logged_in()) return Status::kAuthFailed;
+  ASSIGN_OR_RETURN(Fid fid, ResolveFinal(path, /*for_update=*/true, /*follow_final=*/true));
+  rpc::Writer w;
+  w.PutFid(fid);
+  w.PutBytes(acl.Serialize());
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(fid, Proc::kSetAcl, w.Take()));
+  rpc::Reader r(reply);
+  return rpc::ExpectOk(r);
+}
+
+Status Venus::SetLock(const std::string& path, vice::LockMode mode) {
+  if (!logged_in()) return Status::kAuthFailed;
+  ASSIGN_OR_RETURN(Fid fid, ResolveFinal(path, /*for_update=*/false, /*follow_final=*/true));
+  rpc::Writer w;
+  w.PutFid(fid);
+  w.PutU8(static_cast<uint8_t>(mode));
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(fid, Proc::kSetLock, w.Take()));
+  rpc::Reader r(reply);
+  return rpc::ExpectOk(r);
+}
+
+Status Venus::ReleaseLock(const std::string& path) {
+  if (!logged_in()) return Status::kAuthFailed;
+  ASSIGN_OR_RETURN(Fid fid, ResolveFinal(path, /*for_update=*/false, /*follow_final=*/true));
+  rpc::Writer w;
+  w.PutFid(fid);
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(fid, Proc::kReleaseLock, w.Take()));
+  rpc::Reader r(reply);
+  return rpc::ExpectOk(r);
+}
+
+Result<Venus::VolumeStatus> Venus::GetVolumeStatus(const std::string& path) {
+  if (!logged_in()) return Status::kAuthFailed;
+  ASSIGN_OR_RETURN(Fid fid, ResolveFinal(path, /*for_update=*/false, /*follow_final=*/true));
+  rpc::Writer w;
+  w.PutU32(fid.volume);
+  ASSIGN_OR_RETURN(Bytes reply, CallForFid(fid, Proc::kGetVolumeStatus, w.Take()));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  VolumeStatus out;
+  out.volume = fid.volume;
+  ASSIGN_OR_RETURN(out.quota_bytes, r.U64());
+  ASSIGN_OR_RETURN(out.usage_bytes, r.U64());
+  ASSIGN_OR_RETURN(out.read_only, r.Bool());
+  ASSIGN_OR_RETURN(out.online, r.Bool());
+  return out;
+}
+
+// --- Cache management -------------------------------------------------------------------
+
+void Venus::FlushCache() {
+  // Deferred writes are flushed, not discarded; only a crash loses them.
+  if (!dirty_queue_.empty()) (void)FlushDirty();
+  dirty_queue_.clear();
+  for (const Fid& fid : cache_.CachedFids()) cache_.Erase(fid);
+  name_cache_.clear();
+  // Location knowledge is cached as hints; a flush drops those too, so the
+  // next resolution sees e.g. a newly released read-only clone.
+  volume_hints_.clear();
+  root_volume_ = kInvalidVolume;
+  // Surrender all callback promises directly (administrative path).
+  for (auto& [sid, conn] : connections_) {
+    auto it = servers_->find(sid);
+    if (it != servers_->end()) it->second->callbacks().UnregisterAll(this);
+  }
+}
+
+void Venus::ResetStats() { stats_ = VenusStats{}; }
+
+void Venus::OnCallbackBroken(const Fid& fid) {
+  stats_.callback_breaks_received += 1;
+  cache_.Invalidate(fid);
+}
+
+}  // namespace itc::venus

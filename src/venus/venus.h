@@ -1,0 +1,255 @@
+// Venus: the workstation cache manager (Sections 3.2, 3.5.1).
+//
+// "Virtue is implemented in two parts: a set of modifications to the
+//  workstation operating system to intercept file requests, and a user-level
+//  process, called Venus. Venus handles management of the cache,
+//  communication with Vice and the emulation of native file system
+//  primitives for Vice files."
+//
+// Venus caches entire files, their status, and custodianship information.
+// On open it locates the custodian, fetches the file into the local cache if
+// necessary, and hands the intercept layer a local path; reads and writes
+// never touch Vice. On close of a dirty file the whole file is stored back
+// to the custodian ("we have adopted this approach in order to simplify
+// recovery from workstation crashes").
+//
+// Both client generations are supported via VenusConfig:
+//   * check-on-open vs callback validation,
+//   * server-side (prototype) vs client-side (revised) pathname traversal,
+//   * count-limited vs space-limited cache.
+//
+// Paths given to Venus are Vice-internal: "/" is the root of the shared name
+// space (the root volume's root directory). Virtue maps "/vice/..." here.
+
+#ifndef SRC_VENUS_VENUS_H_
+#define SRC_VENUS_VENUS_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/fid.h"
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/crypto/key.h"
+#include "src/net/network.h"
+#include "src/protection/access_list.h"
+#include "src/rpc/rpc.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/unixfs/file_system.h"
+#include "src/venus/config.h"
+#include "src/venus/file_cache.h"
+#include "src/vice/file_server.h"
+#include "src/vice/lock_manager.h"
+#include "src/vice/protocol.h"
+
+namespace itc::venus {
+
+// How workstations find Vice servers (in-process stand-in for network
+// addressing: the ServerId -> endpoint directory).
+using ServerMap = std::map<ServerId, vice::ViceServer*>;
+
+struct VenusStats {
+  uint64_t opens = 0;
+  uint64_t cache_hits = 0;  // opens served without a Fetch
+  uint64_t fetches = 0;
+  uint64_t stores = 0;
+  uint64_t validations = 0;
+  uint64_t stat_calls = 0;
+  uint64_t bytes_fetched = 0;
+  uint64_t bytes_stored = 0;
+  uint64_t callback_breaks_received = 0;
+  // Total virtual time spent inside Open() — mean open latency is
+  // open_time_total / opens.
+  SimTime open_time_total = 0;
+
+  double MeanOpenLatency() const {
+    return opens == 0 ? 0.0
+                      : static_cast<double>(open_time_total) / static_cast<double>(opens);
+  }
+
+  double HitRatio() const {
+    return opens == 0 ? 0.0
+                      : static_cast<double>(cache_hits) / static_cast<double>(opens);
+  }
+};
+
+class Venus : public vice::CallbackReceiver {
+ public:
+  Venus(NodeId node, sim::Clock* clock, unixfs::FileSystem* local_fs,
+        const std::string& cache_dir, VenusConfig config, const ServerMap* servers,
+        ServerId home_server, net::Network* network, const sim::CostModel& cost,
+        uint64_t seed);
+  ~Venus() override;
+
+  Venus(const Venus&) = delete;
+  Venus& operator=(const Venus&) = delete;
+
+  // --- Session ---------------------------------------------------------------
+  // Authenticates this workstation to Vice on behalf of `user`. The key is
+  // derived from the user's password (crypto::DeriveKeyFromPassword); the
+  // password itself never reaches Venus.
+  Status Login(UserId user, const crypto::Key& user_key);
+  // Ends the session: connections dropped, callback promises surrendered.
+  // Cached data survives (revalidated on next use).
+  void Logout();
+  UserId user() const { return user_; }
+  bool logged_in() const { return user_ != kAnonymousUser; }
+
+  // --- Whole-file open/close ---------------------------------------------------
+  struct OpenResult {
+    Fid fid;
+    vice::VnodeStatus status;
+    std::string cache_path;  // local path of the cached copy
+  };
+
+  // Opens a Vice file. for_write selects the read-write volume even when a
+  // read-only replica exists. create makes the file (parent needs Insert).
+  // The returned cache_path is a local file the caller reads/writes; the
+  // entry stays pinned until Close.
+  Result<OpenResult> Open(const std::string& path, bool for_write, bool create);
+
+  // Closes an open file. If `dirty`, the cached copy is stored back to the
+  // custodian immediately ("Virtue stores a file back when it is closed") —
+  // or queued, under the deferred write-back policy.
+  Status Close(const Fid& fid, bool dirty);
+
+  // Deferred write-back only: stores every queued dirty file now. Called
+  // automatically on logout and when the dirty queue fills.
+  Status FlushDirty();
+  size_t dirty_count() const { return dirty_queue_.size(); }
+
+  // Simulates a workstation crash: the session drops WITHOUT flushing
+  // deferred writes — they are lost, which is precisely why the paper chose
+  // store-on-close. (With the on-close policy nothing is pending to lose.)
+  void SimulateCrash();
+
+  // --- Metadata and name space ---------------------------------------------------
+  Result<vice::VnodeStatus> Stat(const std::string& path);
+  Result<std::vector<std::pair<std::string, vice::DirItem>>> ReadDir(const std::string& path);
+  Status MkDir(const std::string& path);
+  Status Remove(const std::string& path);
+  Status RmDir(const std::string& path);
+  Status Rename(const std::string& from, const std::string& to);
+  Status Symlink(const std::string& target, const std::string& link_path);
+  Result<std::string> ReadLink(const std::string& path);
+  Status SetMode(const std::string& path, uint16_t mode);
+
+  Result<protection::AccessList> GetAcl(const std::string& path);
+  Status SetAcl(const std::string& path, const protection::AccessList& acl);
+
+  Status SetLock(const std::string& path, vice::LockMode mode);
+  Status ReleaseLock(const std::string& path);
+
+  // Quota/usage of the volume holding `path` (the `df` of the shared space;
+  // quota enforcement is Section 3.6's "restrict and account for the usage
+  // of shared resources").
+  struct VolumeStatus {
+    VolumeId volume = kInvalidVolume;
+    uint64_t quota_bytes = 0;  // 0 = unlimited
+    uint64_t usage_bytes = 0;
+    bool read_only = false;
+    bool online = true;
+  };
+  Result<VolumeStatus> GetVolumeStatus(const std::string& path);
+
+  // --- Cache management ------------------------------------------------------------
+  // Drops the entire cache (surrendering callback promises).
+  void FlushCache();
+  FileCache& cache() { return cache_; }
+  const VenusStats& stats() const { return stats_; }
+  void ResetStats();
+
+  NodeId node() const { return node_; }
+
+  // vice::CallbackReceiver:
+  void OnCallbackBroken(const Fid& fid) override;
+  NodeId callback_node() const override { return node_; }
+
+ private:
+  struct ParentRef {
+    Fid parent;        // directory containing the final component
+    std::string leaf;  // final component name
+  };
+
+  // --- RPC plumbing -------------------------------------------------------------
+  Result<rpc::ClientConnection*> ConnectionTo(ServerId server);
+  Result<Bytes> CallServer(ServerId server, vice::Proc proc, const Bytes& request);
+  // Calls the custodian (or nearest replica) for `fid`; transparently
+  // refreshes stale location hints on kNotCustodian and retries once.
+  Result<Bytes> CallForFid(const Fid& fid, vice::Proc proc, const Bytes& request);
+
+  // --- Location ---------------------------------------------------------------------
+  Result<VolumeId> RootVolume();
+  Result<vice::VolumeInfo> VolumeInfoFor(VolumeId volume, bool refresh);
+  // Server to contact for this volume: nearest read-only replica site for RO
+  // volumes, else the custodian.
+  Result<ServerId> ServerFor(VolumeId volume);
+  // All servers that can satisfy requests for this volume, in preference
+  // order (nearest replica first). Read-only replication "enhances
+  // availability": when a site is down, the next one is tried.
+  Result<std::vector<ServerId>> ServerCandidates(VolumeId volume);
+  // Volume to traverse into: the released RO clone when one exists and the
+  // access does not require write.
+  Result<VolumeId> ChooseVolume(VolumeId volume, bool for_update);
+
+  // --- Resolution ---------------------------------------------------------------------
+  // Resolves a path to its final fid. follow_final controls trailing-symlink
+  // behaviour (lstat-style when false; client-side traversal only).
+  Result<Fid> ResolveFinal(const std::string& path, bool for_update, bool follow_final);
+  // Resolves the directory containing a path's final component.
+  Result<ParentRef> ResolveParentOf(const std::string& path, bool for_update);
+  Result<Fid> WalkClient(const std::string& path, bool for_update, bool follow_final);
+  Result<Fid> WalkServer(const std::string& path);
+
+  // --- Cache core ------------------------------------------------------------------------
+  // Ensures a valid cached copy of `fid`'s data (fetching or validating as
+  // the configuration demands); returns the entry. `hit` reports whether a
+  // Fetch was avoided.
+  Result<CacheEntry*> EnsureData(const Fid& fid, bool* hit);
+  // Ensures valid cached status for `fid`.
+  Result<vice::VnodeStatus> EnsureStatus(const Fid& fid);
+  Result<vice::DirMap> DirEntriesOf(const Fid& dir);
+  void DropEvicted(const std::vector<Fid>& evicted);
+  void InvalidateDir(const Fid& dir);
+  // Stores the cached copy of `fid` to its custodian now.
+  Status StoreBack(const Fid& fid);
+
+  // --- RPC wrappers -------------------------------------------------------------------------
+  Result<vice::VnodeStatus> RpcFetch(const Fid& fid, Bytes* data);
+  Result<vice::VnodeStatus> RpcFetchStatus(const Fid& fid);
+  // Returns (valid, fresh status).
+  Result<std::pair<bool, vice::VnodeStatus>> RpcValidate(const Fid& fid, uint64_t version);
+  Result<vice::VnodeStatus> RpcStore(const Fid& fid, const Bytes& data);
+
+  NodeId node_;
+  sim::Clock* clock_;
+  unixfs::FileSystem* local_fs_;
+  VenusConfig config_;
+  const ServerMap* servers_;
+  ServerId home_server_;
+  net::Network* network_;
+  sim::CostModel cost_;
+  uint64_t seed_;
+
+  UserId user_ = kAnonymousUser;
+  crypto::Key user_key_;
+  std::map<ServerId, std::unique_ptr<rpc::ClientConnection>> connections_;
+
+  FileCache cache_;
+  std::map<VolumeId, vice::VolumeInfo> volume_hints_;
+  VolumeId root_volume_ = kInvalidVolume;
+  // Prototype name cache: full Vice path -> fid (filled by ResolvePath).
+  std::map<std::string, Fid, std::less<>> name_cache_;
+  // Deferred write-back queue (insertion order; duplicates coalesce).
+  std::vector<Fid> dirty_queue_;
+
+  VenusStats stats_;
+};
+
+}  // namespace itc::venus
+
+#endif  // SRC_VENUS_VENUS_H_

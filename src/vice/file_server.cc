@@ -1,0 +1,782 @@
+#include "src/vice/file_server.h"
+
+#include "src/common/logging.h"
+#include "src/common/path.h"
+#include "src/protection/access_list.h"
+
+namespace itc::vice {
+
+using protection::AccessList;
+using protection::Rights;
+
+ViceServer::ViceServer(ServerId id, NodeId node, net::Network* network,
+                       const sim::CostModel& cost, rpc::RpcConfig rpc_config,
+                       ViceConfig config, protection::ProtectionService* protection,
+                       uint64_t nonce_seed)
+    : id_(id),
+      node_(node),
+      network_(network),
+      cost_(cost),
+      config_(config),
+      endpoint_(
+          node, network, cost, rpc_config,
+          [this](UserId user) -> std::optional<crypto::Key> {
+            auto snapshot = protection_replica_.snapshot();
+            return snapshot ? snapshot->UserKey(user) : std::nullopt;
+          },
+          nonce_seed) {
+  protection->RegisterReplica(&protection_replica_);
+  endpoint_.set_service(this);
+}
+
+void ViceServer::InstallVolume(std::unique_ptr<Volume> volume) {
+  ITC_CHECK(volume != nullptr);
+  const VolumeId id = volume->id();
+  volumes_[id] = std::move(volume);
+}
+
+std::unique_ptr<Volume> ViceServer::EjectVolume(VolumeId id) {
+  auto it = volumes_.find(id);
+  if (it == volumes_.end()) return nullptr;
+  std::unique_ptr<Volume> out = std::move(it->second);
+  volumes_.erase(it);
+  return out;
+}
+
+Volume* ViceServer::FindVolume(VolumeId id) {
+  auto it = volumes_.find(id);
+  if (it == volumes_.end()) return nullptr;
+  it->second->set_now(now_);
+  return it->second.get();
+}
+
+const Volume* ViceServer::FindVolume(VolumeId id) const {
+  auto it = volumes_.find(id);
+  return it == volumes_.end() ? nullptr : it->second.get();
+}
+
+void ViceServer::RegisterCallbackSink(NodeId node, CallbackReceiver* sink) {
+  callback_sinks_[node] = sink;
+}
+
+void ViceServer::UnregisterCallbackSink(NodeId node) {
+  auto it = callback_sinks_.find(node);
+  if (it == callback_sinks_.end()) return;
+  callbacks_.UnregisterAll(it->second);
+  callback_sinks_.erase(it);
+  // A disconnected (or crashed) workstation surrenders its advisory locks;
+  // otherwise a crash would wedge every file its users had locked.
+  locks_.ReleaseAllForNode(node);
+}
+
+std::map<CallClass, uint64_t> ViceServer::CallHistogram() const {
+  std::map<CallClass, uint64_t> hist;
+  for (const auto& [proc, count] : call_counts_) hist[ClassOf(proc)] += count;
+  return hist;
+}
+
+uint64_t ViceServer::total_calls() const {
+  uint64_t n = 0;
+  for (const auto& [proc, count] : call_counts_) n += count;
+  return n;
+}
+
+void ViceServer::ResetStats() {
+  call_counts_.clear();
+  callbacks_.ResetStats();
+  endpoint_.ResetStats();
+  endpoint_.cpu().Reset();
+  endpoint_.disk().Reset();
+}
+
+// --- Protection --------------------------------------------------------------
+
+Rights ViceServer::EffectiveRights(const Volume& vol, const Fid& fid, UserId user) const {
+  auto snapshot = protection_replica_.snapshot();
+  if (snapshot == nullptr) return protection::kNone;
+  auto& cached = cps_cache_[user];
+  if (cached.first != snapshot->version() || cached.second.empty()) {
+    cached = {snapshot->version(), snapshot->CPS(user)};
+  }
+  const std::vector<protection::Principal>& cps = cached.second;
+  for (const auto& p : cps) {
+    if (p.kind == protection::Principal::Kind::kGroup &&
+        p.id == protection::kAdministratorsGroup) {
+      return protection::kAllRights;
+    }
+  }
+  auto acl = vol.EffectiveAcl(fid);
+  if (!acl.ok()) return protection::kNone;
+  return acl->Effective(cps);
+}
+
+Status ViceServer::CheckAccess(const Volume& vol, const Fid& fid, UserId user,
+                               Rights needed) const {
+  if (protection::HasRights(EffectiveRights(vol, fid, user), needed)) return Status::kOk;
+  return Status::kPermissionDenied;
+}
+
+Status ViceServer::CheckFileBits(const Volume& vol, const Fid& fid, bool write) const {
+  if (!config_.per_file_protection_bits) return Status::kOk;
+  auto status = vol.GetStatus(fid);
+  if (!status.ok()) return status.status();
+  if (status->type != VnodeType::kFile) return Status::kOk;
+  const uint16_t mask = write ? 0222 : 0444;
+  return (status->mode & mask) != 0 ? Status::kOk : Status::kPermissionDenied;
+}
+
+// --- Callback plumbing ---------------------------------------------------------
+
+void ViceServer::BreakCallbacks(const Fid& fid, rpc::CallContext& ctx) {
+  if (!config_.callbacks) return;
+  CallbackReceiver* writer_sink = nullptr;
+  auto it = callback_sinks_.find(ctx.client_node());
+  if (it != callback_sinks_.end()) writer_sink = it->second;
+  callbacks_.Break(fid, writer_sink, ctx.arrival(), node_, network_, &endpoint_.cpu(),
+                   cost_);
+}
+
+void ViceServer::MaybeRegisterCallback(const Fid& fid, rpc::CallContext& ctx) {
+  if (!config_.callbacks) return;
+  auto it = callback_sinks_.find(ctx.client_node());
+  if (it != callback_sinks_.end()) callbacks_.Register(fid, it->second);
+}
+
+void ViceServer::ChargeAdminFile(rpc::CallContext& ctx) {
+  if (config_.admin_status_files) ctx.ChargeDisk(0);
+}
+
+void ViceServer::NoteVolumeAccess(VolumeId volume, NodeId client) {
+  volume_accesses_[volume][network_->topology().ClusterOf(client)] += 1;
+}
+
+// --- Dispatch -------------------------------------------------------------------
+
+Result<Bytes> ViceServer::Dispatch(rpc::CallContext& ctx, uint32_t proc_raw,
+                                   const Bytes& request) {
+  const Proc proc = static_cast<Proc>(proc_raw);
+  call_counts_[proc] += 1;
+  // Volumes stamp mtimes from this; FindVolume applies it lazily to just
+  // the volume a handler actually touches.
+  now_ = ctx.arrival();
+
+  // In the prototype, "workstations present servers with entire pathnames
+  // of files and the servers do the traversing of pathnames prior to
+  // retrieving the files" (Section 4) — every data/status call pays name
+  // resolution, not just ResolvePath. Charge a typical working depth of
+  // CPU plus the namei directory reads that miss the buffer cache.
+  if (config_.server_side_pathnames) {
+    switch (proc) {
+      case Proc::kFetch:
+      case Proc::kFetchStatus:
+      case Proc::kValidate:
+      case Proc::kStore:
+      case Proc::kSetStatus:
+        ctx.ChargeCpu(cost_.prototype_path_depth * cost_.server_cpu_per_path_component);
+        // namei directory blocks + inode + the .admin companion read.
+        for (int i = 0; i < cost_.prototype_namei_disk_ops; ++i) ctx.ChargeDisk(0);
+        break;
+      default:
+        break;
+    }
+  }
+
+  rpc::Reader r(request);
+  switch (proc) {
+    case Proc::kTestAuth:
+      return StatusReply(Status::kOk);
+    case Proc::kGetTime: {
+      rpc::Writer w;
+      w.PutStatus(Status::kOk);
+      w.PutI64(ctx.arrival());
+      return w.Take();
+    }
+    case Proc::kGetVolumeInfo:
+      return HandleGetVolumeInfo(ctx, r);
+    case Proc::kGetRootVolume:
+      return HandleGetRootVolume(ctx);
+    case Proc::kFetch:
+      return HandleFetch(ctx, r, /*with_data=*/true);
+    case Proc::kFetchStatus:
+      return HandleFetch(ctx, r, /*with_data=*/false);
+    case Proc::kValidate:
+      return HandleValidate(ctx, r);
+    case Proc::kStore:
+      return HandleStore(ctx, r);
+    case Proc::kSetStatus:
+      return HandleSetStatus(ctx, r);
+    case Proc::kCreateFile:
+    case Proc::kMakeDir:
+    case Proc::kMakeSymlink:
+      return HandleCreate(ctx, r, proc);
+    case Proc::kRemoveFile:
+      return HandleRemove(ctx, r, /*dir=*/false);
+    case Proc::kRemoveDir:
+      return HandleRemove(ctx, r, /*dir=*/true);
+    case Proc::kRename:
+      return HandleRename(ctx, r);
+    case Proc::kMakeMountPoint:
+      return HandleMakeMountPoint(ctx, r);
+    case Proc::kResolvePath:
+      return HandleResolvePath(ctx, r);
+    case Proc::kGetAcl:
+      return HandleGetAcl(ctx, r);
+    case Proc::kSetAcl:
+      return HandleSetAcl(ctx, r);
+    case Proc::kSetLock:
+      return HandleLock(ctx, r, /*acquire=*/true);
+    case Proc::kReleaseLock:
+      return HandleLock(ctx, r, /*acquire=*/false);
+    case Proc::kRemoveCallback:
+      return HandleRemoveCallback(ctx, r);
+    case Proc::kGetVolumeStatus:
+      return HandleGetVolumeStatus(ctx, r);
+  }
+  return Status::kProtocolError;
+}
+
+// --- Handlers ----------------------------------------------------------------------
+
+namespace {
+
+// Reply for a volume this server does not host: status + custodian hint.
+Bytes NotCustodianReply(const LocationDb* location, VolumeId volume) {
+  rpc::Writer w;
+  auto info = location ? location->Find(volume) : std::nullopt;
+  if (!info.has_value()) {
+    w.PutStatus(Status::kNotFound);
+    w.PutU32(kInvalidServer);
+  } else {
+    w.PutStatus(Status::kNotCustodian);
+    w.PutU32(info->custodian);
+  }
+  return w.Take();
+}
+
+}  // namespace
+
+Bytes ViceServer::HandleGetVolumeInfo(rpc::CallContext& ctx, rpc::Reader& r) {
+  (void)ctx;
+  auto vid = r.U32();
+  if (!vid.ok()) return StatusReply(Status::kProtocolError);
+  auto info = location_ ? location_->Find(*vid) : std::nullopt;
+  rpc::Writer w;
+  if (!info.has_value()) {
+    w.PutStatus(Status::kNotFound);
+    return w.Take();
+  }
+  w.PutStatus(Status::kOk);
+  PutVolumeInfo(w, *info);
+  return w.Take();
+}
+
+Bytes ViceServer::HandleGetRootVolume(rpc::CallContext& ctx) {
+  (void)ctx;
+  rpc::Writer w;
+  if (location_ == nullptr || location_->root_volume == kInvalidVolume) {
+    w.PutStatus(Status::kNotFound);
+  } else {
+    w.PutStatus(Status::kOk);
+    w.PutU32(location_->root_volume);
+  }
+  return w.Take();
+}
+
+Bytes ViceServer::HandleFetch(rpc::CallContext& ctx, rpc::Reader& r, bool with_data) {
+  auto fid = r.FidField();
+  if (!fid.ok()) return StatusReply(Status::kProtocolError);
+  Volume* vol = FindVolume(fid->volume);
+  if (vol == nullptr) return NotCustodianReply(location_.get(), fid->volume);
+
+  auto status = vol->GetStatus(*fid);
+  if (!status.ok()) return StatusReply(status.status());
+  NoteVolumeAccess(fid->volume, ctx.client_node());
+
+  // Protection: reading a file needs Read on its directory; listing a
+  // directory or reading status needs Lookup.
+  const Rights needed =
+      (with_data && status->type == VnodeType::kFile) ? protection::kRead
+                                                      : protection::kLookup;
+  if (Status s = CheckAccess(*vol, *fid, ctx.user(), needed); s != Status::kOk) {
+    return StatusReply(s);
+  }
+  if (with_data) {
+    if (Status s = CheckFileBits(*vol, *fid, /*write=*/false); s != Status::kOk) {
+      return StatusReply(s);
+    }
+  }
+
+  rpc::Writer w;
+  if (with_data) {
+    auto data = vol->FetchData(*fid);
+    if (!data.ok()) return StatusReply(data.status());
+    ctx.ChargeDisk(data->size());
+    ChargeAdminFile(ctx);
+    ctx.ChargeCpu(cost_.ServerCopyCpu(data->size()));
+    w.PutStatus(Status::kOk);
+    PutVnodeStatus(w, *status);
+    w.PutBytes(*data);
+  } else {
+    w.PutStatus(Status::kOk);
+    PutVnodeStatus(w, *status);
+  }
+  MaybeRegisterCallback(*fid, ctx);
+  return w.Take();
+}
+
+Bytes ViceServer::HandleValidate(rpc::CallContext& ctx, rpc::Reader& r) {
+  auto fid = r.FidField();
+  auto version = fid.ok() ? r.U64() : Result<uint64_t>(Status::kProtocolError);
+  if (!fid.ok() || !version.ok()) return StatusReply(Status::kProtocolError);
+  Volume* vol = FindVolume(fid->volume);
+  if (vol == nullptr) return NotCustodianReply(location_.get(), fid->volume);
+
+  auto status = vol->GetStatus(*fid);
+  if (!status.ok()) return StatusReply(status.status());
+  // Validation reveals status (size, owner, mtime): same gate as FetchStatus.
+  if (Status s = CheckAccess(*vol, *fid, ctx.user(), protection::kLookup);
+      s != Status::kOk) {
+    return StatusReply(s);
+  }
+  NoteVolumeAccess(fid->volume, ctx.client_node());
+
+  rpc::Writer w;
+  w.PutStatus(Status::kOk);
+  w.PutBool(status->version == *version);
+  PutVnodeStatus(w, *status);
+  MaybeRegisterCallback(*fid, ctx);
+  return w.Take();
+}
+
+Bytes ViceServer::HandleStore(rpc::CallContext& ctx, rpc::Reader& r) {
+  auto fid = r.FidField();
+  auto data = fid.ok() ? r.BytesField() : Result<Bytes>(Status::kProtocolError);
+  if (!fid.ok() || !data.ok()) return StatusReply(Status::kProtocolError);
+  Volume* vol = FindVolume(fid->volume);
+  if (vol == nullptr) return NotCustodianReply(location_.get(), fid->volume);
+
+  if (Status s = CheckAccess(*vol, *fid, ctx.user(), protection::kWrite); s != Status::kOk) {
+    return StatusReply(s);
+  }
+  if (Status s = CheckFileBits(*vol, *fid, /*write=*/true); s != Status::kOk) {
+    return StatusReply(s);
+  }
+
+  NoteVolumeAccess(fid->volume, ctx.client_node());
+  const uint64_t size = data->size();
+  if (Status s = vol->StoreData(*fid, std::move(*data)); s != Status::kOk) {
+    return StatusReply(s);
+  }
+  ctx.ChargeDisk(size);
+  ChargeAdminFile(ctx);
+  ctx.ChargeCpu(cost_.ServerCopyCpu(size));
+
+  // Invalidate every other cached copy. "A workstation which fetches a file
+  // at the same time that another workstation is storing it will either
+  // receive the old version or the new one, but never a partially modified
+  // version" — whole-file store is atomic by construction here.
+  BreakCallbacks(*fid, ctx);
+  MaybeRegisterCallback(*fid, ctx);
+
+  auto status = vol->GetStatus(*fid);
+  if (!status.ok()) return StatusReply(status.status());
+  rpc::Writer w;
+  w.PutStatus(Status::kOk);
+  PutVnodeStatus(w, *status);
+  return w.Take();
+}
+
+Bytes ViceServer::HandleSetStatus(rpc::CallContext& ctx, rpc::Reader& r) {
+  auto fid = r.FidField();
+  if (!fid.ok()) return StatusReply(Status::kProtocolError);
+  auto has_mode = r.Bool();
+  auto mode = has_mode.ok() ? r.U32() : Result<uint32_t>(Status::kProtocolError);
+  auto has_owner = mode.ok() ? r.Bool() : Result<bool>(Status::kProtocolError);
+  auto owner = has_owner.ok() ? r.U32() : Result<uint32_t>(Status::kProtocolError);
+  if (!owner.ok()) return StatusReply(Status::kProtocolError);
+
+  Volume* vol = FindVolume(fid->volume);
+  if (vol == nullptr) return NotCustodianReply(location_.get(), fid->volume);
+
+  if (Status s = CheckAccess(*vol, *fid, ctx.user(), protection::kWrite); s != Status::kOk) {
+    return StatusReply(s);
+  }
+  if (*has_mode) {
+    if (Status s = vol->SetMode(*fid, static_cast<uint16_t>(*mode)); s != Status::kOk) {
+      return StatusReply(s);
+    }
+  }
+  if (*has_owner) {
+    if (Status s = vol->SetOwner(*fid, *owner); s != Status::kOk) return StatusReply(s);
+  }
+  ChargeAdminFile(ctx);
+  BreakCallbacks(*fid, ctx);
+
+  auto status = vol->GetStatus(*fid);
+  if (!status.ok()) return StatusReply(status.status());
+  rpc::Writer w;
+  w.PutStatus(Status::kOk);
+  PutVnodeStatus(w, *status);
+  return w.Take();
+}
+
+Bytes ViceServer::HandleCreate(rpc::CallContext& ctx, rpc::Reader& r, Proc proc) {
+  auto dir = r.FidField();
+  auto name = dir.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
+  if (!dir.ok() || !name.ok()) return StatusReply(Status::kProtocolError);
+
+  Volume* vol = FindVolume(dir->volume);
+  if (vol == nullptr) return NotCustodianReply(location_.get(), dir->volume);
+
+  if (Status s = CheckAccess(*vol, *dir, ctx.user(), protection::kInsert);
+      s != Status::kOk) {
+    return StatusReply(s);
+  }
+
+  Result<Fid> created = Status::kInternal;
+  if (proc == Proc::kCreateFile) {
+    auto mode = r.U32();
+    if (!mode.ok()) return StatusReply(Status::kProtocolError);
+    created = vol->CreateFile(*dir, *name, ctx.user(), static_cast<uint16_t>(*mode));
+  } else if (proc == Proc::kMakeDir) {
+    auto acl_bytes = r.BytesField();
+    if (!acl_bytes.ok()) return StatusReply(Status::kProtocolError);
+    AccessList acl;
+    if (acl_bytes->empty()) {
+      // Inherit the parent directory's access list.
+      auto parent_acl = vol->EffectiveAcl(*dir);
+      if (!parent_acl.ok()) return StatusReply(parent_acl.status());
+      acl = *parent_acl;
+    } else {
+      auto parsed = AccessList::Deserialize(*acl_bytes);
+      if (!parsed.ok()) return StatusReply(Status::kProtocolError);
+      acl = *parsed;
+    }
+    created = vol->MakeDir(*dir, *name, ctx.user(), acl);
+  } else {
+    auto target = r.String();
+    if (!target.ok()) return StatusReply(Status::kProtocolError);
+    created = vol->MakeSymlink(*dir, *name, *target, ctx.user());
+  }
+  if (!created.ok()) return StatusReply(created.status());
+
+  ctx.ChargeDisk(0);  // directory update
+  ChargeAdminFile(ctx);
+  BreakCallbacks(*dir, ctx);
+  MaybeRegisterCallback(*created, ctx);
+
+  auto status = vol->GetStatus(*created);
+  if (!status.ok()) return StatusReply(status.status());
+  rpc::Writer w;
+  w.PutStatus(Status::kOk);
+  w.PutFid(*created);
+  PutVnodeStatus(w, *status);
+  return w.Take();
+}
+
+Bytes ViceServer::HandleRemove(rpc::CallContext& ctx, rpc::Reader& r, bool dir) {
+  auto parent = r.FidField();
+  auto name = parent.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
+  if (!parent.ok() || !name.ok()) return StatusReply(Status::kProtocolError);
+
+  Volume* vol = FindVolume(parent->volume);
+  if (vol == nullptr) return NotCustodianReply(location_.get(), parent->volume);
+
+  if (Status s = CheckAccess(*vol, *parent, ctx.user(), protection::kDelete);
+      s != Status::kOk) {
+    return StatusReply(s);
+  }
+
+  // Identify the victim first so its callbacks can be broken.
+  Fid victim = kNullFid;
+  if (auto data = vol->FetchData(*parent); data.ok()) {
+    if (auto entries = DeserializeDirectory(*data); entries.ok()) {
+      auto it = entries->find(*name);
+      if (it != entries->end()) victim = it->second.fid;
+    }
+  }
+
+  const Status s = dir ? vol->RemoveDir(*parent, *name) : vol->RemoveFile(*parent, *name);
+  if (s != Status::kOk) return StatusReply(s);
+
+  ctx.ChargeDisk(0);
+  ChargeAdminFile(ctx);
+  BreakCallbacks(*parent, ctx);
+  if (victim.valid()) BreakCallbacks(victim, ctx);
+  return StatusReply(Status::kOk);
+}
+
+Bytes ViceServer::HandleRename(rpc::CallContext& ctx, rpc::Reader& r) {
+  auto from_dir = r.FidField();
+  auto from_name = from_dir.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
+  auto to_dir = from_name.ok() ? r.FidField() : Result<Fid>(Status::kProtocolError);
+  auto to_name = to_dir.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
+  if (!to_name.ok()) return StatusReply(Status::kProtocolError);
+
+  if (from_dir->volume != to_dir->volume) return StatusReply(Status::kCrossVolume);
+  Volume* vol = FindVolume(from_dir->volume);
+  if (vol == nullptr) return NotCustodianReply(location_.get(), from_dir->volume);
+
+  if (Status s = CheckAccess(*vol, *from_dir, ctx.user(), protection::kDelete);
+      s != Status::kOk) {
+    return StatusReply(s);
+  }
+  if (Status s = CheckAccess(*vol, *to_dir, ctx.user(), protection::kInsert);
+      s != Status::kOk) {
+    return StatusReply(s);
+  }
+
+  // If the rename overwrites an existing target, that file's cached copies
+  // must be invalidated just as a Remove would invalidate them.
+  Fid overwritten = kNullFid;
+  if (auto dst_data = vol->FetchData(*to_dir); dst_data.ok()) {
+    if (auto entries = DeserializeDirectory(*dst_data); entries.ok()) {
+      auto it = entries->find(*to_name);
+      if (it != entries->end()) overwritten = it->second.fid;
+    }
+  }
+
+  if (Status s = vol->Rename(*from_dir, *from_name, *to_dir, *to_name); s != Status::kOk) {
+    return StatusReply(s);
+  }
+  ctx.ChargeDisk(0);
+  ChargeAdminFile(ctx);
+  BreakCallbacks(*from_dir, ctx);
+  if (!(*from_dir == *to_dir)) BreakCallbacks(*to_dir, ctx);
+  if (overwritten.valid()) BreakCallbacks(overwritten, ctx);
+  return StatusReply(Status::kOk);
+}
+
+Bytes ViceServer::HandleMakeMountPoint(rpc::CallContext& ctx, rpc::Reader& r) {
+  auto dir = r.FidField();
+  auto name = dir.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
+  auto target = name.ok() ? r.U32() : Result<uint32_t>(Status::kProtocolError);
+  if (!target.ok()) return StatusReply(Status::kProtocolError);
+
+  Volume* vol = FindVolume(dir->volume);
+  if (vol == nullptr) return NotCustodianReply(location_.get(), dir->volume);
+  if (Status s = CheckAccess(*vol, *dir, ctx.user(), protection::kInsert);
+      s != Status::kOk) {
+    return StatusReply(s);
+  }
+  if (Status s = vol->MakeMountPoint(*dir, *name, *target); s != Status::kOk) {
+    return StatusReply(s);
+  }
+  ctx.ChargeDisk(0);
+  BreakCallbacks(*dir, ctx);
+  return StatusReply(Status::kOk);
+}
+
+Bytes ViceServer::HandleResolvePath(rpc::CallContext& ctx, rpc::Reader& r) {
+  // Prototype-mode server-side pathname traversal. Request: starting volume
+  // (kInvalidVolume = the Vice root volume) + path. Reply on success:
+  // kOk + Fid + VnodeStatus. If traversal crosses into a volume this server
+  // does not host: kNotCustodian + custodian + volume + remaining path, and
+  // Venus continues there.
+  auto start_volume = r.U32();
+  auto path = start_volume.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
+  if (!path.ok()) return StatusReply(Status::kProtocolError);
+
+  VolumeId vid = *start_volume;
+  if (vid == kInvalidVolume) {
+    if (location_ == nullptr) return StatusReply(Status::kUnavailable);
+    vid = location_->root_volume;
+  }
+
+  std::vector<std::string> components = SplitPath(*path);
+  size_t index = 0;
+  int symlink_depth = 0;
+
+  auto not_custodian = [&](VolumeId missing) {
+    rpc::Writer w;
+    auto info = location_ ? location_->Find(missing) : std::nullopt;
+    w.PutStatus(Status::kNotCustodian);
+    w.PutU32(info ? info->custodian : kInvalidServer);
+    w.PutU32(missing);
+    // Remaining path, to be resolved from `missing`'s root.
+    std::string rest;
+    for (size_t j = index; j < components.size(); ++j) {
+      rest += '/';
+      rest += components[j];
+    }
+    w.PutString(rest.empty() ? "/" : rest);
+    return w.Take();
+  };
+
+  Volume* vol = FindVolume(vid);
+  if (vol == nullptr) return not_custodian(vid);
+  Fid cur = vol->root();
+  // Directories traversed so far, so ".." crosses mount points correctly
+  // (a volume root's parent fid is null; only the traversal knows the
+  // directory holding the mount).
+  std::vector<std::pair<Volume*, Fid>> crumbs;
+
+  while (index < components.size()) {
+    // The server does the traversal work the revised implementation pushes
+    // to clients; charge it per component.
+    ctx.ChargeCpu(cost_.server_cpu_per_path_component);
+
+    const std::string& comp = components[index];
+    if (comp == ".") {
+      ++index;
+      continue;
+    }
+    auto status = vol->GetStatus(cur);
+    if (!status.ok()) return StatusReply(status.status());
+    if (comp == "..") {
+      if (!crumbs.empty()) {
+        vol = crumbs.back().first;
+        cur = crumbs.back().second;
+        crumbs.pop_back();
+      }
+      ++index;
+      continue;
+    }
+    if (status->type != VnodeType::kDirectory) return StatusReply(Status::kNotDirectory);
+    if (Status s = CheckAccess(*vol, cur, ctx.user(), protection::kLookup);
+        s != Status::kOk) {
+      return StatusReply(s);
+    }
+    auto dir_data = vol->FetchData(cur);
+    if (!dir_data.ok()) return StatusReply(dir_data.status());
+    auto entries = DeserializeDirectory(*dir_data);
+    if (!entries.ok()) return StatusReply(Status::kInternal);
+    auto it = entries->find(comp);
+    if (it == entries->end()) return StatusReply(Status::kNotFound);
+
+    const DirItem& item = it->second;
+    ++index;
+    if (item.kind == DirItem::Kind::kMountPoint) {
+      Volume* next = FindVolume(item.mount_volume);
+      if (next == nullptr) {
+        // Hand the remaining work to the mount target's custodian.
+        return not_custodian(item.mount_volume);
+      }
+      crumbs.emplace_back(vol, cur);
+      vol = next;
+      cur = vol->root();
+      continue;
+    }
+    if (item.kind == DirItem::Kind::kSymlink && index <= components.size()) {
+      if (++symlink_depth > kMaxSymlinkDepth) return StatusReply(Status::kSymlinkLoop);
+      auto link = vol->FetchData(item.fid);
+      if (!link.ok()) return StatusReply(link.status());
+      const std::string target = ToString(*link);
+      std::vector<std::string> spliced = SplitPath(target);
+      if (!target.empty() && target.front() == '/') {
+        // Absolute within Vice: restart at the root volume.
+        spliced.insert(spliced.end(), components.begin() + static_cast<ptrdiff_t>(index),
+                       components.end());
+        components = std::move(spliced);
+        index = 0;
+        if (location_ == nullptr) return StatusReply(Status::kUnavailable);
+        vol = FindVolume(location_->root_volume);
+        if (vol == nullptr) return not_custodian(location_->root_volume);
+        cur = vol->root();
+        continue;
+      }
+      // Relative: splice before the remaining components; stay at `cur`.
+      std::vector<std::string> next_components = std::move(spliced);
+      next_components.insert(next_components.end(),
+                             components.begin() + static_cast<ptrdiff_t>(index),
+                             components.end());
+      components = std::move(next_components);
+      index = 0;
+      continue;
+    }
+    cur = item.fid;
+  }
+
+  auto status = vol->GetStatus(cur);
+  if (!status.ok()) return StatusReply(status.status());
+  if (Status s = CheckAccess(*vol, cur, ctx.user(), protection::kLookup); s != Status::kOk) {
+    return StatusReply(s);
+  }
+  rpc::Writer w;
+  w.PutStatus(Status::kOk);
+  w.PutFid(cur);
+  PutVnodeStatus(w, *status);
+  return w.Take();
+}
+
+Bytes ViceServer::HandleGetAcl(rpc::CallContext& ctx, rpc::Reader& r) {
+  auto fid = r.FidField();
+  if (!fid.ok()) return StatusReply(Status::kProtocolError);
+  Volume* vol = FindVolume(fid->volume);
+  if (vol == nullptr) return NotCustodianReply(location_.get(), fid->volume);
+  if (Status s = CheckAccess(*vol, *fid, ctx.user(), protection::kLookup);
+      s != Status::kOk) {
+    return StatusReply(s);
+  }
+  auto acl = vol->EffectiveAcl(*fid);
+  if (!acl.ok()) return StatusReply(acl.status());
+  rpc::Writer w;
+  w.PutStatus(Status::kOk);
+  w.PutBytes(acl->Serialize());
+  return w.Take();
+}
+
+Bytes ViceServer::HandleSetAcl(rpc::CallContext& ctx, rpc::Reader& r) {
+  auto fid = r.FidField();
+  auto acl_bytes = fid.ok() ? r.BytesField() : Result<Bytes>(Status::kProtocolError);
+  if (!acl_bytes.ok()) return StatusReply(Status::kProtocolError);
+  Volume* vol = FindVolume(fid->volume);
+  if (vol == nullptr) return NotCustodianReply(location_.get(), fid->volume);
+  if (Status s = CheckAccess(*vol, *fid, ctx.user(), protection::kAdminister);
+      s != Status::kOk) {
+    return StatusReply(s);
+  }
+  auto acl = AccessList::Deserialize(*acl_bytes);
+  if (!acl.ok()) return StatusReply(Status::kProtocolError);
+  if (Status s = vol->SetAcl(*fid, *acl); s != Status::kOk) return StatusReply(s);
+  ctx.ChargeDisk(0);
+  return StatusReply(Status::kOk);
+}
+
+Bytes ViceServer::HandleLock(rpc::CallContext& ctx, rpc::Reader& r, bool acquire) {
+  auto fid = r.FidField();
+  if (!fid.ok()) return StatusReply(Status::kProtocolError);
+  Volume* vol = FindVolume(fid->volume);
+  if (vol == nullptr) return NotCustodianReply(location_.get(), fid->volume);
+
+  const LockManager::Holder holder{ctx.user(), ctx.client_node()};
+  if (acquire) {
+    auto mode_raw = r.U8();
+    if (!mode_raw.ok() || *mode_raw > 1) return StatusReply(Status::kProtocolError);
+    if (Status s = CheckAccess(*vol, *fid, ctx.user(), protection::kLock);
+        s != Status::kOk) {
+      return StatusReply(s);
+    }
+    // The prototype funneled lock traffic through a dedicated lock-server
+    // process; model that extra hand-off when running prototype-style.
+    if (config_.admin_status_files) ctx.ChargeCpu(cost_.server_context_switch);
+    return StatusReply(locks_.Acquire(*fid, static_cast<LockMode>(*mode_raw), holder));
+  }
+  return StatusReply(locks_.Release(*fid, holder));
+}
+
+Bytes ViceServer::HandleRemoveCallback(rpc::CallContext& ctx, rpc::Reader& r) {
+  auto fid = r.FidField();
+  if (!fid.ok()) return StatusReply(Status::kProtocolError);
+  auto it = callback_sinks_.find(ctx.client_node());
+  if (it != callback_sinks_.end()) callbacks_.Unregister(*fid, it->second);
+  return StatusReply(Status::kOk);
+}
+
+Bytes ViceServer::HandleGetVolumeStatus(rpc::CallContext& ctx, rpc::Reader& r) {
+  (void)ctx;
+  auto vid = r.U32();
+  if (!vid.ok()) return StatusReply(Status::kProtocolError);
+  const Volume* vol = FindVolume(*vid);
+  if (vol == nullptr) return NotCustodianReply(location_.get(), *vid);
+  rpc::Writer w;
+  w.PutStatus(Status::kOk);
+  w.PutU64(vol->quota_bytes());
+  w.PutU64(vol->usage_bytes());
+  w.PutBool(vol->read_only());
+  w.PutBool(vol->online());
+  w.PutU64(vol->vnode_count());
+  return w.Take();
+}
+
+}  // namespace itc::vice

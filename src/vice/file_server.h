@@ -1,0 +1,166 @@
+// The Vice cluster server (Sections 3, 5).
+//
+// A ViceServer is one cluster server: an RPC endpoint, the volumes it is
+// custodian for (plus read-only replicas it hosts), a callback manager, a
+// lock manager, a replica of the protection database, and a snapshot of the
+// location database. It implements the Vice-Virtue interface of
+// src/vice/protocol.h and enforces protection on every call — workstations
+// are never trusted (Section 2.3).
+//
+// ViceConfig selects prototype vs revised behaviour:
+//   * server_side_pathnames — the prototype's full-pathname interface
+//     (Venus sends ResolvePath; the server pays per-component CPU),
+//   * admin_status_files — the prototype's two-Unix-files-per-Vice-file
+//     representation (extra disk op on data operations),
+//   * callbacks — the revised invalidate-on-modification scheme (when off,
+//     Venus must validate on every open),
+//   * per_file_protection_bits — the revised hybrid protection scheme.
+
+#ifndef SRC_VICE_FILE_SERVER_H_
+#define SRC_VICE_FILE_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/net/network.h"
+#include "src/protection/protection_service.h"
+#include "src/rpc/rpc.h"
+#include "src/sim/cost_model.h"
+#include "src/vice/callback_manager.h"
+#include "src/vice/location_db.h"
+#include "src/vice/lock_manager.h"
+#include "src/vice/protocol.h"
+#include "src/vice/volume.h"
+
+namespace itc::vice {
+
+struct ViceConfig {
+  bool server_side_pathnames = false;
+  bool admin_status_files = false;
+  bool callbacks = true;
+  bool per_file_protection_bits = true;
+};
+
+// Prototype configuration in one call.
+inline ViceConfig PrototypeViceConfig() {
+  return ViceConfig{/*server_side_pathnames=*/true, /*admin_status_files=*/true,
+                    /*callbacks=*/false, /*per_file_protection_bits=*/false};
+}
+
+class ViceServer : public rpc::Service {
+ public:
+  ViceServer(ServerId id, NodeId node, net::Network* network, const sim::CostModel& cost,
+             rpc::RpcConfig rpc_config, ViceConfig config,
+             protection::ProtectionService* protection, uint64_t nonce_seed);
+
+  ServerId id() const { return id_; }
+  NodeId node() const { return node_; }
+  net::Network* network() const { return network_; }
+  const sim::CostModel& cost() const { return cost_; }
+  rpc::ServerEndpoint& endpoint() { return endpoint_; }
+  const ViceConfig& config() const { return config_; }
+  void set_config(ViceConfig c) { config_ = c; }
+  CallbackManager& callbacks() { return callbacks_; }
+  LockManager& locks() { return locks_; }
+  protection::Replica& protection_replica() { return protection_replica_; }
+
+  // --- Volume management (driven by the VolumeRegistry) ---------------------
+  void InstallVolume(std::unique_ptr<Volume> volume);
+  std::unique_ptr<Volume> EjectVolume(VolumeId id);
+  Volume* FindVolume(VolumeId id);
+  const Volume* FindVolume(VolumeId id) const;
+  size_t volume_count() const { return volumes_.size(); }
+
+  void SetLocationSnapshot(std::shared_ptr<const LocationDb> snapshot) {
+    location_ = std::move(snapshot);
+  }
+  const LocationDb* location() const { return location_.get(); }
+
+  // --- Callback delivery ------------------------------------------------------
+  // Venus instances register out-of-band so the server can notify the right
+  // in-process object for a given workstation node (the simulated wire
+  // carries only the node id).
+  void RegisterCallbackSink(NodeId node, CallbackReceiver* sink);
+  void UnregisterCallbackSink(NodeId node);
+
+  // --- Statistics ---------------------------------------------------------------
+  const std::map<Proc, uint64_t>& call_counts() const { return call_counts_; }
+  std::map<CallClass, uint64_t> CallHistogram() const;
+  uint64_t total_calls() const;
+  void ResetStats();
+
+  // Long-term access pattern accounting (Section 3.6: "monitoring tools ...
+  // to recognize long-term changes in user access patterns and help
+  // reassign users to cluster servers"): per volume, how many data/status
+  // accesses arrived from each cluster.
+  using VolumeAccessMap = std::map<VolumeId, std::map<ClusterId, uint64_t>>;
+  const VolumeAccessMap& volume_accesses() const { return volume_accesses_; }
+
+  // rpc::Service:
+  Result<Bytes> Dispatch(rpc::CallContext& ctx, uint32_t proc, const Bytes& request) override;
+
+ private:
+  // Returns the effective rights `user` holds on the directory governing
+  // `fid` in `vol`. Administrators hold all rights.
+  protection::Rights EffectiveRights(const Volume& vol, const Fid& fid, UserId user) const;
+
+  // Protection gate: kPermissionDenied unless the user holds `needed` on the
+  // governing directory. Also applies per-file bits when configured.
+  Status CheckAccess(const Volume& vol, const Fid& fid, UserId user,
+                     protection::Rights needed) const;
+  Status CheckFileBits(const Volume& vol, const Fid& fid, bool write) const;
+
+  Result<Volume*> VolumeFor(const Fid& fid, rpc::CallContext& ctx, rpc::Writer& reply);
+
+  void BreakCallbacks(const Fid& fid, rpc::CallContext& ctx);
+  void MaybeRegisterCallback(const Fid& fid, rpc::CallContext& ctx);
+  void ChargeAdminFile(rpc::CallContext& ctx);
+  void NoteVolumeAccess(VolumeId volume, NodeId client);
+
+  // Handlers. Each appends to `w` (which already holds nothing) and returns
+  // the final reply bytes.
+  Bytes HandleGetVolumeInfo(rpc::CallContext& ctx, rpc::Reader& r);
+  Bytes HandleGetRootVolume(rpc::CallContext& ctx);
+  Bytes HandleFetch(rpc::CallContext& ctx, rpc::Reader& r, bool with_data);
+  Bytes HandleValidate(rpc::CallContext& ctx, rpc::Reader& r);
+  Bytes HandleStore(rpc::CallContext& ctx, rpc::Reader& r);
+  Bytes HandleSetStatus(rpc::CallContext& ctx, rpc::Reader& r);
+  Bytes HandleCreate(rpc::CallContext& ctx, rpc::Reader& r, Proc proc);
+  Bytes HandleRemove(rpc::CallContext& ctx, rpc::Reader& r, bool dir);
+  Bytes HandleRename(rpc::CallContext& ctx, rpc::Reader& r);
+  Bytes HandleMakeMountPoint(rpc::CallContext& ctx, rpc::Reader& r);
+  Bytes HandleResolvePath(rpc::CallContext& ctx, rpc::Reader& r);
+  Bytes HandleGetAcl(rpc::CallContext& ctx, rpc::Reader& r);
+  Bytes HandleSetAcl(rpc::CallContext& ctx, rpc::Reader& r);
+  Bytes HandleLock(rpc::CallContext& ctx, rpc::Reader& r, bool acquire);
+  Bytes HandleRemoveCallback(rpc::CallContext& ctx, rpc::Reader& r);
+  Bytes HandleGetVolumeStatus(rpc::CallContext& ctx, rpc::Reader& r);
+
+  ServerId id_;
+  NodeId node_;
+  net::Network* network_;
+  sim::CostModel cost_;
+  ViceConfig config_;
+  rpc::ServerEndpoint endpoint_;
+  protection::Replica protection_replica_;
+  std::map<VolumeId, std::unique_ptr<Volume>> volumes_;
+  std::shared_ptr<const LocationDb> location_;
+  CallbackManager callbacks_;
+  LockManager locks_;
+  std::unordered_map<NodeId, CallbackReceiver*> callback_sinks_;
+  std::map<Proc, uint64_t> call_counts_;
+  VolumeAccessMap volume_accesses_;
+  SimTime now_ = 0;  // arrival time of the call being dispatched
+  // CPS memoization keyed by protection-database version: CheckAccess runs
+  // on every call, and the recursive group closure need not be recomputed
+  // until the replicated database actually changes.
+  mutable std::map<UserId, std::pair<uint64_t, std::vector<protection::Principal>>>
+      cps_cache_;
+};
+
+}  // namespace itc::vice
+
+#endif  // SRC_VICE_FILE_SERVER_H_

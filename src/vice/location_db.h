@@ -1,0 +1,37 @@
+// The replicated location database (Section 3.1).
+//
+// "Each cluster server contains a complete copy of a location database that
+//  maps files to Custodians... The size of the replicated location database
+//  is relatively small because custodianship is on a subtree basis."
+//
+// The subtree unit is the volume. The master copy lives in the
+// VolumeRegistry; every server holds an immutable snapshot, swapped
+// wholesale on the (rare, human-initiated) occasions the database changes —
+// the paper's "avoid frequent, system-wide rapid change" principle.
+
+#ifndef SRC_VICE_LOCATION_DB_H_
+#define SRC_VICE_LOCATION_DB_H_
+
+#include <map>
+#include <optional>
+
+#include "src/common/types.h"
+#include "src/vice/protocol.h"
+
+namespace itc::vice {
+
+struct LocationDb {
+  std::map<VolumeId, VolumeInfo> volumes;
+  VolumeId root_volume = kInvalidVolume;
+  uint64_t version = 0;
+
+  std::optional<VolumeInfo> Find(VolumeId v) const {
+    auto it = volumes.find(v);
+    if (it == volumes.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+}  // namespace itc::vice
+
+#endif  // SRC_VICE_LOCATION_DB_H_

@@ -1,0 +1,75 @@
+#include "src/vice/lock_manager.h"
+
+namespace itc::vice {
+
+Status LockManager::Acquire(const Fid& fid, LockMode mode, Holder who) {
+  LockState& state = locks_[fid];
+  if (mode == LockMode::kShared) {
+    if (!state.writer.empty()) {
+      // The exclusive holder asking for shared keeps its exclusive lock
+      // (no downgrade); anyone else conflicts.
+      return state.writer.contains(who) ? Status::kOk : Status::kLocked;
+    }
+    state.readers.insert(who);
+    return Status::kOk;
+  }
+  // Exclusive: nobody else may hold anything.
+  if (!state.writer.empty()) {
+    return state.writer.contains(who) ? Status::kOk : Status::kLocked;
+  }
+  for (const Holder& r : state.readers) {
+    if (!(r == who)) return Status::kLocked;
+  }
+  state.readers.erase(who);  // upgrade
+  state.writer.insert(who);
+  return Status::kOk;
+}
+
+Status LockManager::Release(const Fid& fid, Holder who) {
+  auto it = locks_.find(fid);
+  if (it == locks_.end()) return Status::kNotLocked;
+  LockState& state = it->second;
+  // Erase from BOTH sides — short-circuiting here would strand a writer
+  // entry whenever the holder also appeared as a reader.
+  const bool was_reader = state.readers.erase(who) > 0;
+  const bool was_writer = state.writer.erase(who) > 0;
+  if (!was_reader && !was_writer) return Status::kNotLocked;
+  if (state.readers.empty() && state.writer.empty()) locks_.erase(it);
+  return Status::kOk;
+}
+
+void LockManager::ReleaseAllFor(Holder who) {
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    it->second.readers.erase(who);
+    it->second.writer.erase(who);
+    if (it->second.readers.empty() && it->second.writer.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LockManager::ReleaseAllForNode(NodeId node) {
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    auto drop = [node](std::set<Holder>& holders) {
+      for (auto h = holders.begin(); h != holders.end();) {
+        h = h->node == node ? holders.erase(h) : std::next(h);
+      }
+    };
+    drop(it->second.readers);
+    drop(it->second.writer);
+    if (it->second.readers.empty() && it->second.writer.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool LockManager::IsExclusive(const Fid& fid) const {
+  auto it = locks_.find(fid);
+  return it != locks_.end() && !it->second.writer.empty();
+}
+
+}  // namespace itc::vice

@@ -1,0 +1,61 @@
+// Advisory single-writer/multi-reader locks (Section 3.6).
+//
+// "Vice provides primitives for single-writer/multi-reader locking. Such
+//  locking is advisory in nature..." A lock holder is a (user, workstation)
+//  pair. The prototype served locks from a dedicated lock-server process;
+//  here lock state is plain shared data (the revised single-process server
+//  made that possible), and the structure ablation charges the process-
+//  switch cost at the RPC layer instead.
+
+#ifndef SRC_VICE_LOCK_MANAGER_H_
+#define SRC_VICE_LOCK_MANAGER_H_
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "src/common/fid.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace itc::vice {
+
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+class LockManager {
+ public:
+  struct Holder {
+    UserId user;
+    NodeId node;
+    friend auto operator<=>(const Holder&, const Holder&) = default;
+  };
+
+  // kLocked on conflict. Re-acquiring a mode already held is idempotent;
+  // upgrading shared->exclusive succeeds only if the caller is the sole
+  // reader.
+  Status Acquire(const Fid& fid, LockMode mode, Holder who);
+
+  // Releases whatever `who` holds on `fid`; kNotLocked if nothing held.
+  Status Release(const Fid& fid, Holder who);
+
+  // Drops every lock held by `who` (workstation crash recovery).
+  void ReleaseAllFor(Holder who);
+  // Drops every lock held from workstation `node`, regardless of user —
+  // invoked when the workstation disconnects or is declared dead.
+  void ReleaseAllForNode(NodeId node);
+
+  bool IsLocked(const Fid& fid) const { return locks_.contains(fid); }
+  bool IsExclusive(const Fid& fid) const;
+  size_t lock_count() const { return locks_.size(); }
+
+ private:
+  struct LockState {
+    std::set<Holder> readers;
+    std::set<Holder> writer;  // empty or singleton
+  };
+  std::unordered_map<Fid, LockState, FidHash> locks_;
+};
+
+}  // namespace itc::vice
+
+#endif  // SRC_VICE_LOCK_MANAGER_H_

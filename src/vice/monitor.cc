@@ -1,0 +1,71 @@
+#include "src/vice/monitor.h"
+
+#include <sstream>
+
+namespace itc::vice {
+
+std::string MoveRecommendation::Describe() const {
+  std::ostringstream os;
+  os << "move volume " << volume << " from server " << current_custodian << " to server "
+     << suggested_custodian << " (" << accesses_from_suggested_cluster << "/"
+     << total_accesses << " accesses from that cluster)";
+  return os.str();
+}
+
+MonitorReport Monitor::Scan() const {
+  MonitorReport report;
+  const std::vector<ViceServer*> servers = registry_->Servers();
+
+  for (ViceServer* server : servers) {
+    const net::Topology& topo = server->network()->topology();
+    const ClusterId home_cluster = topo.ClusterOf(server->node());
+
+    for (const auto& [volume, per_cluster] : server->volume_accesses()) {
+      uint64_t total = 0;
+      ClusterId best_cluster = home_cluster;
+      uint64_t best_count = 0;
+      for (const auto& [cluster, count] : per_cluster) {
+        total += count;
+        if (count > best_count) {
+          best_count = count;
+          best_cluster = cluster;
+        }
+      }
+      report.server_load[server->id()] += total;
+
+      if (total < min_accesses_) continue;
+      if (best_cluster == home_cluster) continue;
+      if (static_cast<double>(best_count) < dominance_ * static_cast<double>(total)) {
+        continue;
+      }
+      auto info = registry_->location().Find(volume);
+      if (!info.has_value() || info->read_only) continue;
+      if (registry_->location().root_volume == volume) continue;
+
+      // The receiving custodian: a server in the dominant cluster.
+      ServerId target = kInvalidServer;
+      for (ViceServer* candidate : servers) {
+        if (topo.ClusterOf(candidate->node()) == best_cluster) {
+          target = candidate->id();
+          break;
+        }
+      }
+      if (target == kInvalidServer || target == info->custodian) continue;
+
+      MoveRecommendation rec;
+      rec.volume = volume;
+      rec.current_custodian = info->custodian;
+      rec.suggested_custodian = target;
+      rec.accesses_from_suggested_cluster = best_count;
+      rec.total_accesses = total;
+      report.moves.push_back(rec);
+    }
+  }
+  return report;
+}
+
+Status Monitor::Apply(const MoveRecommendation& rec, SimTime at) {
+  return registry_->MoveVolume(rec.volume, rec.suggested_custodian, at);
+}
+
+}  // namespace itc::vice

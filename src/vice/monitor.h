@@ -1,0 +1,64 @@
+// Monitoring and custodian reassignment recommendations (Section 3.6).
+//
+// "Another area ... is the development of monitoring tools. These tools will
+//  be required to ease day-to-day operations of the system and also to
+//  recognize long-term changes in user access patterns and help reassign
+//  users to cluster servers so as to balance server loads and reduce
+//  cross-cluster traffic."
+//
+// Section 3.1 adds: "we may install mechanisms in Vice to monitor long-term
+// access file patterns and recommend changes to improve performance. Even
+// then, a human operator will initiate the actual reassignment" — so the
+// Monitor only *recommends*; applying a recommendation is an explicit call.
+
+#ifndef SRC_VICE_MONITOR_H_
+#define SRC_VICE_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/vice/volume_registry.h"
+
+namespace itc::vice {
+
+struct MoveRecommendation {
+  VolumeId volume = kInvalidVolume;
+  ServerId current_custodian = kInvalidServer;
+  ServerId suggested_custodian = kInvalidServer;
+  uint64_t accesses_from_suggested_cluster = 0;
+  uint64_t total_accesses = 0;
+  std::string Describe() const;
+};
+
+struct MonitorReport {
+  std::vector<MoveRecommendation> moves;
+  // Per-server total data/status accesses observed (load picture).
+  std::map<ServerId, uint64_t> server_load;
+};
+
+class Monitor {
+ public:
+  // `min_accesses`: volumes with less traffic are ignored (too little
+  // signal). `dominance`: the remote cluster must account for at least this
+  // fraction of the volume's accesses to justify a move.
+  Monitor(VolumeRegistry* registry, double dominance = 0.6, uint64_t min_accesses = 50)
+      : registry_(registry), dominance_(dominance), min_accesses_(min_accesses) {}
+
+  // Scans every server's access counters and recommends volume moves that
+  // would localize traffic. Read-only volumes and the root volume are never
+  // recommended (replication handles those).
+  MonitorReport Scan() const;
+
+  // Applies one recommendation (the "human operator" step).
+  Status Apply(const MoveRecommendation& rec, SimTime at = 0);
+
+ private:
+  VolumeRegistry* registry_;
+  double dominance_;
+  uint64_t min_accesses_;
+};
+
+}  // namespace itc::vice
+
+#endif  // SRC_VICE_MONITOR_H_

@@ -1,0 +1,118 @@
+#include "src/vice/protocol.h"
+
+namespace itc::vice {
+
+std::string_view ProcName(Proc p) {
+  switch (p) {
+    case Proc::kTestAuth: return "TestAuth";
+    case Proc::kGetTime: return "GetTime";
+    case Proc::kGetVolumeInfo: return "GetVolumeInfo";
+    case Proc::kGetRootVolume: return "GetRootVolume";
+    case Proc::kFetch: return "Fetch";
+    case Proc::kFetchStatus: return "FetchStatus";
+    case Proc::kValidate: return "Validate";
+    case Proc::kStore: return "Store";
+    case Proc::kSetStatus: return "SetStatus";
+    case Proc::kCreateFile: return "CreateFile";
+    case Proc::kMakeDir: return "MakeDir";
+    case Proc::kMakeSymlink: return "MakeSymlink";
+    case Proc::kRemoveFile: return "RemoveFile";
+    case Proc::kRemoveDir: return "RemoveDir";
+    case Proc::kRename: return "Rename";
+    case Proc::kMakeMountPoint: return "MakeMountPoint";
+    case Proc::kResolvePath: return "ResolvePath";
+    case Proc::kGetAcl: return "GetAcl";
+    case Proc::kSetAcl: return "SetAcl";
+    case Proc::kSetLock: return "SetLock";
+    case Proc::kReleaseLock: return "ReleaseLock";
+    case Proc::kRemoveCallback: return "RemoveCallback";
+    case Proc::kGetVolumeStatus: return "GetVolumeStatus";
+  }
+  return "Unknown";
+}
+
+CallClass ClassOf(Proc p) {
+  switch (p) {
+    case Proc::kValidate:
+      return CallClass::kValidate;
+    case Proc::kFetchStatus:
+    case Proc::kResolvePath:
+    case Proc::kGetVolumeInfo:
+      return CallClass::kStatus;
+    case Proc::kFetch:
+      return CallClass::kFetch;
+    case Proc::kStore:
+      return CallClass::kStore;
+    default:
+      return CallClass::kOther;
+  }
+}
+
+std::string_view CallClassName(CallClass c) {
+  switch (c) {
+    case CallClass::kValidate: return "validate";
+    case CallClass::kStatus: return "status";
+    case CallClass::kFetch: return "fetch";
+    case CallClass::kStore: return "store";
+    case CallClass::kOther: return "other";
+  }
+  return "?";
+}
+
+void PutVnodeStatus(rpc::Writer& w, const VnodeStatus& s) {
+  w.PutFid(s.fid);
+  w.PutU8(static_cast<uint8_t>(s.type));
+  w.PutU64(s.length);
+  w.PutU64(s.version);
+  w.PutI64(s.mtime);
+  w.PutU32(s.owner);
+  w.PutU32(s.mode);
+  w.PutU32(s.link_count);
+  w.PutFid(s.parent);
+}
+
+Result<VnodeStatus> ReadVnodeStatus(rpc::Reader& r) {
+  VnodeStatus s;
+  ASSIGN_OR_RETURN(s.fid, r.FidField());
+  ASSIGN_OR_RETURN(uint8_t type, r.U8());
+  if (type > 2) return Status::kProtocolError;
+  s.type = static_cast<VnodeType>(type);
+  ASSIGN_OR_RETURN(s.length, r.U64());
+  ASSIGN_OR_RETURN(s.version, r.U64());
+  ASSIGN_OR_RETURN(s.mtime, r.I64());
+  ASSIGN_OR_RETURN(s.owner, r.U32());
+  ASSIGN_OR_RETURN(uint32_t mode, r.U32());
+  s.mode = static_cast<uint16_t>(mode);
+  ASSIGN_OR_RETURN(s.link_count, r.U32());
+  ASSIGN_OR_RETURN(s.parent, r.FidField());
+  return s;
+}
+
+void PutVolumeInfo(rpc::Writer& w, const VolumeInfo& info) {
+  w.PutU32(info.volume);
+  w.PutU32(info.read_write_volume);
+  w.PutU32(info.ro_clone);
+  w.PutBool(info.read_only);
+  w.PutU32(info.custodian);
+  w.PutU32(static_cast<uint32_t>(info.replica_sites.size()));
+  for (ServerId s : info.replica_sites) w.PutU32(s);
+}
+
+Result<VolumeInfo> ReadVolumeInfo(rpc::Reader& r) {
+  VolumeInfo info;
+  ASSIGN_OR_RETURN(info.volume, r.U32());
+  ASSIGN_OR_RETURN(info.read_write_volume, r.U32());
+  ASSIGN_OR_RETURN(info.ro_clone, r.U32());
+  ASSIGN_OR_RETURN(info.read_only, r.Bool());
+  ASSIGN_OR_RETURN(info.custodian, r.U32());
+  ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(ServerId s, r.U32());
+    info.replica_sites.push_back(s);
+  }
+  return info;
+}
+
+Bytes StatusReply(Status s) { return rpc::StatusOnlyReply(s); }
+
+}  // namespace itc::vice

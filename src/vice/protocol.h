@@ -1,0 +1,100 @@
+// The Vice-Virtue file system interface (Section 2.3).
+//
+// "There is a well-defined file system interface between Vice and Virtue.
+//  This interface is relatively static and enhancements to it occur in an
+//  upward-compatible manner..."
+//
+// Procedure numbers, reply conventions, and (de)serialization helpers shared
+// by the Vice file server and Venus. Every reply begins with a Status; a
+// non-OK status carries no payload except where noted (kNotCustodian replies
+// carry the custodian hint, per "if a server receives a request for a file
+// for which it is not the custodian, it will respond with the identity of
+// the appropriate custodian", Section 3.1).
+
+#ifndef SRC_VICE_PROTOCOL_H_
+#define SRC_VICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/rpc/wire.h"
+#include "src/vice/vnode.h"
+
+namespace itc::vice {
+
+enum class Proc : uint32_t {
+  // Connection / environment.
+  kTestAuth = 1,
+  kGetTime = 2,
+
+  // Location (Section 3.1).
+  kGetVolumeInfo = 3,   // volume id -> custodian + read-only replica sites
+  kGetRootVolume = 4,   // () -> volume id of the Vice name space root
+
+  // Data and status.
+  kFetch = 10,        // fid -> status + whole-file data (registers callback)
+  kFetchStatus = 11,  // fid -> status                  (registers callback)
+  kValidate = 12,     // fid + cached version -> valid? (check-on-open path)
+  kStore = 13,        // fid + data -> new status       (breaks callbacks)
+  kSetStatus = 14,    // fid + mode/owner bits -> new status
+
+  // Name space.
+  kCreateFile = 20,
+  kMakeDir = 21,
+  kMakeSymlink = 22,
+  kRemoveFile = 23,
+  kRemoveDir = 24,
+  kRename = 25,
+  kMakeMountPoint = 26,
+  // Prototype-mode server-side pathname traversal: full path -> fid+status.
+  kResolvePath = 27,
+
+  // Protection (Section 3.4).
+  kGetAcl = 30,
+  kSetAcl = 31,
+
+  // Locks (Section 3.6).
+  kSetLock = 40,
+  kReleaseLock = 41,
+
+  // Cache management.
+  kRemoveCallback = 50,  // Venus dropped its cached copy
+
+  // Administration.
+  kGetVolumeStatus = 60,  // quota, usage, type, online
+};
+
+std::string_view ProcName(Proc p);
+
+// The aggregate call categories of the prototype measurement in Section 5.2
+// ("cache validity checking ... 65%, obtain file status ... 27%, fetch 4%,
+// store 2%").
+enum class CallClass { kValidate, kStatus, kFetch, kStore, kOther };
+CallClass ClassOf(Proc p);
+std::string_view CallClassName(CallClass c);
+
+// --- Wire helpers -----------------------------------------------------------
+
+void PutVnodeStatus(rpc::Writer& w, const VnodeStatus& s);
+Result<VnodeStatus> ReadVnodeStatus(rpc::Reader& r);
+
+// Volume location info returned by kGetVolumeInfo.
+struct VolumeInfo {
+  VolumeId volume = kInvalidVolume;
+  VolumeId read_write_volume = kInvalidVolume;  // parent for RO clones
+  VolumeId ro_clone = kInvalidVolume;           // released RO clone of a RW volume
+  bool read_only = false;
+  ServerId custodian = kInvalidServer;
+  std::vector<ServerId> replica_sites;  // servers holding RO replicas
+};
+
+void PutVolumeInfo(rpc::Writer& w, const VolumeInfo& info);
+Result<VolumeInfo> ReadVolumeInfo(rpc::Reader& r);
+
+// Encodes a reply of just a status code.
+Bytes StatusReply(Status s);
+
+}  // namespace itc::vice
+
+#endif  // SRC_VICE_PROTOCOL_H_

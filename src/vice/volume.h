@@ -1,0 +1,158 @@
+// Volumes: relocatable subtrees of Vice files (Section 5.3).
+//
+// "A volume is a complete subtree of files whose root may be arbitrarily
+//  relocated in the Vice name space. It is thus similar to a mountable disk
+//  pack... Each volume may be turned offline or online, moved between
+//  servers and salvaged after a system crash. A volume may also be Cloned,
+//  thereby creating a frozen, read-only replica... We will use copy-on-write
+//  semantics to make cloning a relatively inexpensive operation."
+//
+// A Volume owns its vnode table. File data is held behind shared_ptr, so a
+// clone shares every byte with its parent until either side is written —
+// the copy-on-write the paper calls for. Volumes enforce quota (Section 3.6)
+// and read-only-ness; protection checks belong to the FileServer above.
+
+#ifndef SRC_VICE_VOLUME_H_
+#define SRC_VICE_VOLUME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include <unordered_map>
+
+#include "src/common/fid.h"
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/protection/access_list.h"
+#include "src/vice/vnode.h"
+
+namespace itc::vice {
+
+enum class VolumeType : uint8_t { kReadWrite, kReadOnly };
+
+class Volume {
+ public:
+  // Fixed accounting overhead charged against quota per vnode.
+  static constexpr uint64_t kPerVnodeOverhead = 128;
+
+  // Creates a volume with a root directory (vnode 1.1) owned by `owner` and
+  // protected by `root_acl`. `quota_bytes` of 0 means unlimited.
+  Volume(VolumeId id, std::string name, VolumeType type, UserId owner,
+         protection::AccessList root_acl, uint64_t quota_bytes);
+
+  VolumeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  VolumeType type() const { return type_; }
+  bool read_only() const { return type_ == VolumeType::kReadOnly; }
+  Fid root() const { return VolumeRootFid(id_); }
+
+  bool online() const { return online_; }
+  void set_online(bool v) { online_ = v; }
+
+  uint64_t quota_bytes() const { return quota_bytes_; }
+  void set_quota_bytes(uint64_t q) { quota_bytes_ = q; }
+  uint64_t usage_bytes() const { return usage_bytes_; }
+  size_t vnode_count() const { return vnodes_.size(); }
+
+  // Virtual time source for mtimes; the owning server keeps this current.
+  void set_now(SimTime t) { now_ = t; }
+
+  struct Vnode {
+    VnodeStatus status;
+    std::shared_ptr<const Bytes> data;  // file contents / symlink target
+    DirMap entries;                     // directories only
+    protection::AccessList acl;         // directories only
+  };
+
+  // --- Lookup ----------------------------------------------------------------
+  // Fails with kVolumeOffline when offline, kStaleFid when the fid's vnode
+  // slot is gone or its uniquifier does not match (deleted & never reused).
+  Result<const Vnode*> Lookup(const Fid& fid) const;
+
+  // --- Directory operations ---------------------------------------------------
+  Result<Fid> CreateFile(const Fid& dir, const std::string& name, UserId owner,
+                         uint16_t mode);
+  Result<Fid> MakeDir(const Fid& dir, const std::string& name, UserId owner,
+                      const protection::AccessList& acl);
+  Result<Fid> MakeSymlink(const Fid& dir, const std::string& name, const std::string& target,
+                          UserId owner);
+  Status MakeMountPoint(const Fid& dir, const std::string& name, VolumeId target);
+  // Removes a file, symlink, or mount point entry.
+  Status RemoveFile(const Fid& dir, const std::string& name);
+  // Removes an empty directory.
+  Status RemoveDir(const Fid& dir, const std::string& name);
+  Status Rename(const Fid& from_dir, const std::string& from_name, const Fid& to_dir,
+                const std::string& to_name);
+
+  // --- Data operations ---------------------------------------------------------
+  // Fetches file/symlink data, or serialized entries for a directory.
+  Result<Bytes> FetchData(const Fid& fid) const;
+  Status StoreData(const Fid& fid, Bytes data);
+
+  // --- Status / protection -------------------------------------------------------
+  Result<VnodeStatus> GetStatus(const Fid& fid) const;
+  Status SetMode(const Fid& fid, uint16_t mode);
+  Status SetOwner(const Fid& fid, UserId owner);
+  Status SetAcl(const Fid& dir, const protection::AccessList& acl);
+  // For a directory: its own ACL. For a file or symlink: the ACL of its
+  // parent directory ("the protected entities are directories", §3.4).
+  Result<protection::AccessList> EffectiveAcl(const Fid& fid) const;
+
+  // --- Administration -------------------------------------------------------------
+  // Frozen read-only copy sharing file data copy-on-write. Fids inside the
+  // clone carry the clone's volume id with unchanged vnode/uniquifier.
+  std::unique_ptr<Volume> Clone(VolumeId clone_id, const std::string& clone_name) const;
+
+  // Serializes the whole volume — status, data, directories, access lists,
+  // counters — to a flat byte stream, and reconstructs an identical volume
+  // from one. This is the backup path behind the paper's Integrity goal
+  // ("users should not feel compelled to make backup copies of their
+  // files"): operations clones a volume (cheap, copy-on-write) and dumps
+  // the frozen clone to tape. `new_id` rebrands all contained fids, as
+  // Clone does; pass the dumped volume's own id to restore in place.
+  Bytes Dump() const;
+  static Result<std::unique_ptr<Volume>> Restore(const Bytes& dump, VolumeId new_id,
+                                                 const std::string& new_name,
+                                                 VolumeType type);
+
+  struct SalvageReport {
+    uint32_t dangling_entries_removed = 0;  // dir entries pointing nowhere
+    uint32_t orphan_vnodes_removed = 0;     // vnodes reachable from no directory
+    uint32_t parents_fixed = 0;
+    uint64_t usage_corrected_bytes = 0;
+    bool clean() const {
+      return dangling_entries_removed == 0 && orphan_vnodes_removed == 0 &&
+             parents_fixed == 0 && usage_corrected_bytes == 0;
+    }
+  };
+  // Consistency check and repair after a crash: drops dangling directory
+  // entries, removes unreachable vnodes, fixes parent pointers, recomputes
+  // quota usage.
+  SalvageReport Salvage();
+
+ private:
+  Result<Vnode*> LookupMutable(const Fid& fid);
+  Result<Vnode*> LookupDirMutable(const Fid& fid);
+  Fid NewFid();
+  Vnode& Node(uint32_t vnode) { return vnodes_.at(vnode); }
+  void TouchDir(Vnode& dir);
+  // Charges (new - old) bytes against quota; kQuotaExceeded if over.
+  Status ChargeQuota(int64_t delta);
+  static uint64_t DirDataSize(const DirMap& entries);
+
+  VolumeId id_;
+  std::string name_;
+  VolumeType type_;
+  bool online_ = true;
+  uint64_t quota_bytes_;
+  uint64_t usage_bytes_ = 0;
+  uint32_t next_vnode_ = 2;       // 1 is the root
+  uint32_t next_uniquifier_ = 2;  // 1 is the root's
+  SimTime now_ = 0;
+  std::unordered_map<uint32_t, Vnode> vnodes_;
+};
+
+}  // namespace itc::vice
+
+#endif  // SRC_VICE_VOLUME_H_

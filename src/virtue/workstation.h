@@ -1,0 +1,145 @@
+// Virtue: the workstation (Sections 2.3, 3.1, 3.3).
+//
+// A Workstation owns a local Unix file system (the Root File System), a
+// virtual clock, and a Venus cache manager. The shared Vice name space is
+// mounted at /vice; "file names generated on the workstation with /vice as
+// the leading prefix correspond to files in the shared space. All other
+// names refer to files in the local space." Local symbolic links point into
+// /vice (e.g. /bin -> /vice/unix/sun/bin), which is how heterogeneous
+// workstation types see the right binaries (Figure 3-2).
+//
+// The Unix-like descriptor API below is the intercept layer: open of a
+// shared file asks Venus for a whole-file cached copy and returns a
+// descriptor onto that local copy; read/write never touch Vice; close of a
+// dirty file triggers the store-back. "Other than performance, there is no
+// difference between accessing a local file and a file in the shared name
+// space."
+
+#ifndef SRC_VIRTUE_WORKSTATION_H_
+#define SRC_VIRTUE_WORKSTATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/crypto/key.h"
+#include "src/net/network.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/unixfs/file_system.h"
+#include "src/venus/venus.h"
+
+namespace itc::virtue {
+
+inline constexpr char kViceMountPoint[] = "/vice";
+
+// open() flags.
+enum OpenFlags : uint32_t {
+  kRead = 1u << 0,
+  kWrite = 1u << 1,
+  kCreate = 1u << 2,
+  kTruncate = 1u << 3,
+};
+
+// Unified stat result for local and shared files.
+struct FileInfo {
+  enum class Type { kFile, kDirectory, kSymlink };
+  Type type = Type::kFile;
+  uint64_t size = 0;
+  SimTime mtime = 0;
+  uint16_t mode = 0;
+  UserId owner = kAnonymousUser;
+  bool shared = false;  // lives in Vice
+};
+
+struct WorkstationConfig {
+  // Architecture tag used for the /bin -> /vice/unix/<arch>/bin indirection.
+  std::string arch = "sun";
+  venus::VenusConfig venus;
+  // Local disk capacity used by Venus's cache sizing is in venus config.
+};
+
+class Workstation {
+ public:
+  Workstation(NodeId node, const venus::ServerMap* servers, ServerId home_server,
+              net::Network* network, const sim::CostModel& cost, WorkstationConfig config,
+              uint64_t seed);
+
+  NodeId node() const { return node_; }
+  sim::Clock& clock() { return clock_; }
+  unixfs::FileSystem& local_fs() { return local_fs_; }
+  venus::Venus& venus() { return *venus_; }
+  const WorkstationConfig& config() const { return config_; }
+
+  // Creates the conventional local layout: /tmp, /etc, /vmunix, and the
+  // symbolic links /bin and /lib into the shared space for this
+  // workstation's architecture.
+  Status InstallStandardLayout();
+
+  // --- Session ------------------------------------------------------------------
+  Status Login(UserId user, const crypto::Key& user_key);
+  Status LoginWithPassword(UserId user, const std::string& password);
+  void Logout();
+
+  // --- Unix file system interface --------------------------------------------------
+  // Paths are workstation-absolute; anything resolving under /vice is shared.
+  Result<int> Open(const std::string& path, uint32_t flags);
+  Result<Bytes> Read(int fd, uint64_t length);
+  Status Write(int fd, const Bytes& data);
+  Result<uint64_t> Seek(int fd, uint64_t offset);
+  Status Close(int fd);
+
+  Result<FileInfo> Stat(const std::string& path);
+  Result<std::vector<std::string>> ReadDir(const std::string& path);
+  Status MkDir(const std::string& path);
+  Status Unlink(const std::string& path);
+  Status RmDir(const std::string& path);
+  Status Rename(const std::string& from, const std::string& to);
+  Status Symlink(const std::string& target, const std::string& link_path);
+  Result<std::string> ReadLink(const std::string& path);
+  Status Chmod(const std::string& path, uint16_t mode);
+
+  // Whole-file conveniences (open/read-or-write/close in one call).
+  Result<Bytes> ReadWholeFile(const std::string& path);
+  Status WriteWholeFile(const std::string& path, const Bytes& data);
+
+  // True if `path` resolves into the shared name space.
+  bool IsShared(const std::string& path);
+
+  size_t open_file_count() const { return fds_.size(); }
+
+ private:
+  struct PathClass {
+    bool shared = false;
+    std::string path;  // local path, or Vice-internal path (without /vice)
+  };
+
+  struct OpenFile {
+    bool shared = false;
+    bool writable = false;
+    bool dirty = false;
+    Fid fid;                    // shared files
+    unixfs::InodeNum inode = 0; // backing local inode (cache copy or local file)
+    uint64_t offset = 0;
+  };
+
+  // Resolves local symlinks until the path either escapes into /vice or
+  // stays local. Missing trailing components are allowed (creation paths).
+  Result<PathClass> Classify(const std::string& path) const;
+
+  NodeId node_;
+  sim::Clock clock_;
+  unixfs::FileSystem local_fs_;
+  WorkstationConfig config_;
+  sim::CostModel cost_;
+  std::unique_ptr<venus::Venus> venus_;
+  std::map<int, OpenFile> fds_;
+  int next_fd_ = 3;
+};
+
+}  // namespace itc::virtue
+
+#endif  // SRC_VIRTUE_WORKSTATION_H_

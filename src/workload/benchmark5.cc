@@ -1,0 +1,126 @@
+#include "src/workload/benchmark5.h"
+
+#include "src/common/path.h"
+
+namespace itc::workload {
+
+std::string_view PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kMakeDir: return "MakeDir";
+    case Phase::kCopy: return "Copy";
+    case Phase::kScanDir: return "ScanDir";
+    case Phase::kReadAll: return "ReadAll";
+    case Phase::kMake: return "Make";
+  }
+  return "?";
+}
+
+Status InstallSourceTree(virtue::Workstation& ws, const std::string& source_prefix,
+                         const SourceTreeSpec& spec, uint64_t seed) {
+  if (Status s = ws.MkDir(source_prefix); s != Status::kOk && s != Status::kAlreadyExists) {
+    return s;
+  }
+  for (const std::string& dir : spec.directories) {
+    Status s = ws.MkDir(PathConcat(source_prefix, dir));
+    if (s != Status::kOk && s != Status::kAlreadyExists) return s;
+  }
+  uint64_t i = 0;
+  for (const SourceFile& f : spec.files) {
+    RETURN_IF_ERROR(ws.WriteWholeFile(PathConcat(source_prefix, f.relative_path),
+                                      SynthesizeContents(seed ^ i, f.size)));
+    ++i;
+  }
+  return Status::kOk;
+}
+
+Result<Benchmark5Result> RunBenchmark5(virtue::Workstation& ws,
+                                       const std::string& source_prefix,
+                                       const std::string& target_prefix,
+                                       const SourceTreeSpec& spec,
+                                       const Benchmark5Config& config) {
+  Benchmark5Result result;
+  sim::Clock& clock = ws.clock();
+  SimTime phase_start = clock.now();
+
+  auto end_phase = [&](Phase p) {
+    result.phase_time[static_cast<int>(p)] = clock.now() - phase_start;
+    phase_start = clock.now();
+  };
+
+  // Phase 1: MakeDir — replicate the directory structure.
+  {
+    Status s = ws.MkDir(target_prefix);
+    if (s != Status::kOk && s != Status::kAlreadyExists) return s;
+    for (const std::string& dir : spec.directories) {
+      s = ws.MkDir(PathConcat(target_prefix, dir));
+      if (s != Status::kOk && s != Status::kAlreadyExists) return s;
+    }
+    end_phase(Phase::kMakeDir);
+  }
+
+  // Phase 2: Copy — read each source file, write the target copy.
+  for (const SourceFile& f : spec.files) {
+    clock.Advance(config.copy_tool_per_file);
+    ASSIGN_OR_RETURN(Bytes data, ws.ReadWholeFile(PathConcat(source_prefix, f.relative_path)));
+    RETURN_IF_ERROR(ws.WriteWholeFile(PathConcat(target_prefix, f.relative_path), data));
+  }
+  end_phase(Phase::kCopy);
+
+  // Phase 3: ScanDir — list every directory and stat every file.
+  {
+    RETURN_IF_ERROR(ws.ReadDir(target_prefix).status());
+    for (const std::string& dir : spec.directories) {
+      RETURN_IF_ERROR(ws.ReadDir(PathConcat(target_prefix, dir)).status());
+    }
+    for (const SourceFile& f : spec.files) {
+      clock.Advance(config.scan_per_file);
+      RETURN_IF_ERROR(ws.Stat(PathConcat(target_prefix, f.relative_path)).status());
+    }
+    end_phase(Phase::kScanDir);
+  }
+
+  // Phase 4: ReadAll — scan every byte of every file in the target.
+  for (const SourceFile& f : spec.files) {
+    clock.Advance(config.read_tool_per_file);
+    RETURN_IF_ERROR(ws.ReadWholeFile(PathConcat(target_prefix, f.relative_path)).status());
+  }
+  end_phase(Phase::kReadAll);
+
+  // Phase 5: Make — compile every source file, then link.
+  {
+    uint64_t objects_bytes = 0;
+    for (const SourceFile& f : spec.files) {
+      if (!f.is_source) continue;
+      ASSIGN_OR_RETURN(Bytes src,
+                       ws.ReadWholeFile(PathConcat(target_prefix, f.relative_path)));
+      // Compiler think time.
+      clock.Advance(config.compile_base +
+                    static_cast<SimTime>(static_cast<double>(config.compile_per_kb) *
+                                         (static_cast<double>(src.size()) / 1024.0)));
+      // Object file, comparable in size to the source.
+      std::string obj_path = PathConcat(target_prefix, f.relative_path);
+      obj_path.replace(obj_path.size() - 2, 2, ".o");
+      const Bytes obj = SynthesizeContents(src.size(), src.size());
+      RETURN_IF_ERROR(ws.WriteWholeFile(obj_path, obj));
+      objects_bytes += obj.size();
+    }
+    // Link: read back all objects, emit the binary.
+    for (const SourceFile& f : spec.files) {
+      if (!f.is_source) continue;
+      std::string obj_path = PathConcat(target_prefix, f.relative_path);
+      obj_path.replace(obj_path.size() - 2, 2, ".o");
+      RETURN_IF_ERROR(ws.ReadWholeFile(obj_path).status());
+    }
+    clock.Advance(config.link_base +
+                  static_cast<SimTime>(static_cast<double>(config.link_per_kb) *
+                                       (static_cast<double>(objects_bytes) / 1024.0)));
+    RETURN_IF_ERROR(ws.WriteWholeFile(PathConcat(target_prefix, "a.out"),
+                                      SynthesizeContents(objects_bytes, objects_bytes / 2)));
+    end_phase(Phase::kMake);
+  }
+
+  for (SimTime t : result.phase_time) result.total += t;
+  return result;
+}
+
+}  // namespace itc::workload

@@ -1,0 +1,68 @@
+// The five-phase benchmark of Section 5.2 (the proto-"Andrew benchmark").
+//
+// "This benchmark operates on about 70 files corresponding to the source
+//  code of an actual Unix application. There are five distinct phases...:
+//  making a target subtree that is identical in structure to the source
+//  subtree, copying the files from the source to the target, examining the
+//  status of every file in the target, scanning every byte of every file in
+//  the target, and finally compiling and linking the files in the target."
+//
+// The benchmark drives a Workstation through its ordinary Unix interface, so
+// whether the source/target prefixes are local paths or /vice paths decides
+// the local-vs-remote experiment of the paper ("about 80% longer when the
+// workstation is obtaining all its files from an unloaded Vice server").
+
+#ifndef SRC_WORKLOAD_BENCHMARK5_H_
+#define SRC_WORKLOAD_BENCHMARK5_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/virtue/workstation.h"
+#include "src/workload/source_tree.h"
+
+namespace itc::workload {
+
+enum class Phase : int { kMakeDir = 0, kCopy = 1, kScanDir = 2, kReadAll = 3, kMake = 4 };
+inline constexpr int kPhaseCount = 5;
+std::string_view PhaseName(Phase p);
+
+struct Benchmark5Result {
+  std::array<SimTime, kPhaseCount> phase_time{};
+  SimTime total = 0;
+};
+
+struct Benchmark5Config {
+  // Workstation think-time model, calibrated so the all-local run lands in
+  // the neighbourhood of the paper's ~1000 s on a Sun-2-class machine.
+  // Compiler CPU per source file (base + per-KB) and the final link:
+  SimTime compile_base = Seconds(14);
+  SimTime compile_per_kb = Millis(600);
+  SimTime link_base = Seconds(30);
+  SimTime link_per_kb = Millis(80);
+  // Tool startup (fork/exec of cp, wc, ls) per file touched by the Copy,
+  // ReadAll, and ScanDir phases — the benchmark script spawned a process
+  // per file, which dominated the non-compile phases on 1985 hardware.
+  SimTime copy_tool_per_file = Millis(1200);
+  SimTime read_tool_per_file = Millis(1200);
+  SimTime scan_per_file = Millis(300);
+};
+
+// Installs the source tree at `source_prefix` on the workstation (through
+// the normal write path, so shared prefixes land in Vice).
+Status InstallSourceTree(virtue::Workstation& ws, const std::string& source_prefix,
+                         const SourceTreeSpec& spec, uint64_t seed);
+
+// Runs the five phases: source at `source_prefix`, target created under
+// `target_prefix`. Both may be local or /vice paths.
+Result<Benchmark5Result> RunBenchmark5(virtue::Workstation& ws,
+                                       const std::string& source_prefix,
+                                       const std::string& target_prefix,
+                                       const SourceTreeSpec& spec,
+                                       const Benchmark5Config& config = {});
+
+}  // namespace itc::workload
+
+#endif  // SRC_WORKLOAD_BENCHMARK5_H_

@@ -1,0 +1,38 @@
+#include "src/workload/file_classes.h"
+
+namespace itc::workload {
+
+std::string_view FileClassName(FileClass c) {
+  switch (c) {
+    case FileClass::kSystemBinary: return "system-binary";
+    case FileClass::kUserData: return "user-data";
+    case FileClass::kTemporary: return "temporary";
+  }
+  return "?";
+}
+
+uint64_t SampleFileSize(FileClass c, Rng& rng) {
+  // Piecewise mixture skewed small; binaries run larger than user data.
+  const double u = rng.NextDouble();
+  auto in = [&rng](uint64_t lo, uint64_t hi) {
+    return lo + rng.Below(hi - lo + 1);
+  };
+  switch (c) {
+    case FileClass::kSystemBinary:
+      if (u < 0.30) return in(4 * 1024, 16 * 1024);
+      if (u < 0.80) return in(16 * 1024, 64 * 1024);
+      if (u < 0.98) return in(64 * 1024, 256 * 1024);
+      return in(256 * 1024, 1024 * 1024);
+    case FileClass::kUserData:
+      if (u < 0.50) return in(512, 4 * 1024);
+      if (u < 0.85) return in(4 * 1024, 16 * 1024);
+      if (u < 0.99) return in(16 * 1024, 128 * 1024);
+      return in(128 * 1024, 1024 * 1024);
+    case FileClass::kTemporary:
+      if (u < 0.70) return in(1024, 8 * 1024);
+      return in(8 * 1024, 64 * 1024);
+  }
+  return 4096;
+}
+
+}  // namespace itc::workload

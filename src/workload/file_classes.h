@@ -1,0 +1,35 @@
+// File classes with distinct access patterns (design principle: "exploit
+// class-specific file properties", Section 4; reference [13]).
+//
+// "Files in a typical file system can be grouped into a small number of
+//  easily-identifiable classes, based on their access and modification
+//  patterns. For example, files containing the binaries of system programs
+//  are frequently read but rarely written. On the other hand temporary
+//  files ... are typically read at most once after they are written."
+
+#ifndef SRC_WORKLOAD_FILE_CLASSES_H_
+#define SRC_WORKLOAD_FILE_CLASSES_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace itc::workload {
+
+enum class FileClass : uint8_t {
+  kSystemBinary,  // read-mostly, shared by everyone, replication candidates
+  kUserData,      // a user's own files: read-biased, occasionally written
+  kTemporary,     // written once, read at most once, local by policy
+};
+
+std::string_view FileClassName(FileClass c);
+
+// Samples a file size appropriate for the class, following the shape of the
+// CMU size study [12]: heavily skewed to small files, >99% under a few MB.
+uint64_t SampleFileSize(FileClass c, Rng& rng);
+
+}  // namespace itc::workload
+
+#endif  // SRC_WORKLOAD_FILE_CLASSES_H_

@@ -1,0 +1,34 @@
+#include "src/workload/populate.h"
+
+#include "src/common/rng.h"
+#include "src/workload/source_tree.h"
+#include "src/workload/synthetic_user.h"
+
+namespace itc::workload {
+
+Status PopulateUserFiles(campus::Campus& campus, VolumeId user_volume, uint32_t count,
+                         uint64_t seed) {
+  Rng rng(seed);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t size = SampleFileSize(FileClass::kUserData, rng);
+    RETURN_IF_ERROR(campus.PopulateDirect(user_volume,
+                                          "/" + SyntheticUser::OwnFileName(i),
+                                          SynthesizeContents(seed ^ i, size)));
+  }
+  return Status::kOk;
+}
+
+Status PopulateSystemBinaries(campus::Campus& campus, VolumeId system_volume,
+                              uint32_t count, uint64_t seed) {
+  Rng rng(seed);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t size = SampleFileSize(FileClass::kSystemBinary, rng);
+    RETURN_IF_ERROR(campus.PopulateDirect(system_volume,
+                                          "/bin/" + SyntheticUser::SystemFileName(i),
+                                          SynthesizeContents(seed ^ (0xb1ull << 32) ^ i,
+                                                             size)));
+  }
+  return Status::kOk;
+}
+
+}  // namespace itc::workload

@@ -1,0 +1,25 @@
+// Zero-cost environment population for experiments: pre-loads user home
+// volumes and system-binary volumes so the synthetic users have something to
+// work on, without perturbing clocks or statistics.
+
+#ifndef SRC_WORKLOAD_POPULATE_H_
+#define SRC_WORKLOAD_POPULATE_H_
+
+#include "src/campus/campus.h"
+#include "src/workload/file_classes.h"
+
+namespace itc::workload {
+
+// Creates `count` files f0..f<count-1> in the root of `user_volume`, with
+// kUserData sizes.
+Status PopulateUserFiles(campus::Campus& campus, VolumeId user_volume, uint32_t count,
+                         uint64_t seed);
+
+// Creates `count` binaries bin/prog0..prog<count-1> in `system_volume`, with
+// kSystemBinary sizes.
+Status PopulateSystemBinaries(campus::Campus& campus, VolumeId system_volume,
+                              uint32_t count, uint64_t seed);
+
+}  // namespace itc::workload
+
+#endif  // SRC_WORKLOAD_POPULATE_H_

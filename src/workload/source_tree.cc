@@ -1,0 +1,59 @@
+#include "src/workload/source_tree.h"
+
+#include "src/common/rng.h"
+
+namespace itc::workload {
+
+SourceTreeSpec GenerateSourceTree(uint64_t seed, uint32_t file_count) {
+  Rng rng(seed);
+  SourceTreeSpec spec;
+
+  const char* dirs[] = {"", "lib", "cmd", "include", "doc"};
+  for (const char* d : dirs) {
+    if (*d != '\0') spec.directories.emplace_back(d);
+  }
+
+  // Typical application split: ~55% .c, ~25% .h, the rest docs/Makefiles.
+  uint32_t c_files = file_count * 55 / 100;
+  uint32_t h_files = file_count * 25 / 100;
+  uint32_t misc = file_count - c_files - h_files;
+
+  auto sample_size = [&rng](uint64_t lo, uint64_t hi) {
+    // Skewed toward the small end, like the CMU file-size study [12].
+    const double u = rng.NextDouble();
+    const double skewed = u * u;
+    return lo + static_cast<uint64_t>(skewed * static_cast<double>(hi - lo));
+  };
+
+  for (uint32_t i = 0; i < c_files; ++i) {
+    const char* dir = (i % 3 == 0) ? "lib" : "cmd";
+    spec.files.push_back(SourceFile{std::string(dir) + "/mod" + std::to_string(i) + ".c",
+                                    sample_size(2048, 24 * 1024), true});
+  }
+  for (uint32_t i = 0; i < h_files; ++i) {
+    spec.files.push_back(SourceFile{"include/def" + std::to_string(i) + ".h",
+                                    sample_size(512, 6 * 1024), false});
+  }
+  for (uint32_t i = 0; i < misc; ++i) {
+    const bool makefile = i == 0;
+    spec.files.push_back(SourceFile{
+        makefile ? std::string("Makefile") : "doc/notes" + std::to_string(i) + ".txt",
+        sample_size(512, 12 * 1024), false});
+  }
+  return spec;
+}
+
+Bytes SynthesizeContents(uint64_t seed, uint64_t size) {
+  Rng rng(seed);
+  Bytes out;
+  out.reserve(size);
+  static constexpr char kAlphabet[] =
+      "int main(void) { return 0; }\n/* vice */ #include <stdio.h>\n";
+  const uint64_t phase = rng.Below(sizeof(kAlphabet) - 1);
+  for (uint64_t i = 0; i < size; ++i) {
+    out.push_back(static_cast<uint8_t>(kAlphabet[(i + phase) % (sizeof(kAlphabet) - 1)]));
+  }
+  return out;
+}
+
+}  // namespace itc::workload

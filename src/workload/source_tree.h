@@ -1,0 +1,51 @@
+// Deterministic generator for the benchmark source tree.
+//
+// The Section 5.2 benchmark "operates on about 70 files corresponding to the
+// source code of an actual Unix application". This generator produces such a
+// tree: C sources, headers, and Makefiles spread over a handful of
+// subdirectories, with realistic mid-1980s sizes, deterministically from a
+// seed.
+
+#ifndef SRC_WORKLOAD_SOURCE_TREE_H_
+#define SRC_WORKLOAD_SOURCE_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace itc::workload {
+
+struct SourceFile {
+  std::string relative_path;  // e.g. "lib/parse.c"
+  uint64_t size = 0;
+  bool is_source = false;  // .c file: the Make phase compiles it
+};
+
+struct SourceTreeSpec {
+  std::vector<std::string> directories;  // relative, parents first
+  std::vector<SourceFile> files;
+
+  uint64_t total_bytes() const {
+    uint64_t n = 0;
+    for (const auto& f : files) n += f.size;
+    return n;
+  }
+  size_t source_count() const {
+    size_t n = 0;
+    for (const auto& f : files) n += f.is_source ? 1 : 0;
+    return n;
+  }
+};
+
+// Generates a tree of ~`file_count` files (default matches the paper's ~70).
+SourceTreeSpec GenerateSourceTree(uint64_t seed, uint32_t file_count = 70);
+
+// Deterministic file contents of the given size (compressible text-like
+// bytes; contents only matter for integrity checks).
+Bytes SynthesizeContents(uint64_t seed, uint64_t size);
+
+}  // namespace itc::workload
+
+#endif  // SRC_WORKLOAD_SOURCE_TREE_H_

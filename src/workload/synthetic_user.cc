@@ -1,0 +1,99 @@
+#include "src/workload/synthetic_user.h"
+
+#include <cmath>
+
+#include "src/common/path.h"
+#include "src/workload/source_tree.h"
+
+namespace itc::workload {
+
+SyntheticUser::SyntheticUser(virtue::Workstation* ws, std::string home,
+                             std::string bin_prefix, UserDayConfig config, uint64_t seed)
+    : ws_(ws),
+      home_(std::move(home)),
+      bin_prefix_(std::move(bin_prefix)),
+      config_(config),
+      rng_(seed),
+      own_pop_(config.own_files, config.zipf_theta),
+      system_pop_(config.system_files, config.zipf_theta) {}
+
+void SyntheticUser::Step() {
+  if (thinking_) {
+    // Exponential think time; the op itself runs on the next step, so the
+    // scheduler sees this user's true arrival time. An idle user may enter
+    // a burst (edit-compile session) of rapid operations.
+    if (burst_remaining_ == 0 && rng_.Chance(config_.burst_probability)) {
+      burst_remaining_ = config_.burst_length;
+    }
+    SimTime mean = config_.mean_think;
+    if (burst_remaining_ > 0) {
+      mean = config_.burst_think;
+      burst_remaining_ -= 1;
+    }
+    const double u = rng_.NextDouble();
+    const double think = -static_cast<double>(mean) * std::log(1.0 - u);
+    ws_->clock().Advance(static_cast<SimTime>(think));
+    thinking_ = false;
+    return;
+  }
+  DoOne();
+  thinking_ = true;
+  ops_done_ += 1;
+  stats_.operations += 1;
+}
+
+void SyntheticUser::DoOne() {
+  const double total = config_.p_stat + config_.p_list + config_.p_read_own +
+                       config_.p_read_system + config_.p_write_own + config_.p_tmp;
+  double pick = rng_.NextDouble() * total;
+
+  auto track = [this](Status s) {
+    if (s != Status::kOk) stats_.errors += 1;
+  };
+
+  if ((pick -= config_.p_stat) < 0) {
+    // Mixed stat traffic: own files and binaries.
+    const bool own = rng_.Chance(0.6);
+    const std::string path =
+        own ? PathConcat(home_, OwnFileName(own_pop_.Sample(rng_)))
+            : PathConcat(bin_prefix_, SystemFileName(system_pop_.Sample(rng_)));
+    track(ws_->Stat(path).status());
+    return;
+  }
+  if ((pick -= config_.p_list) < 0) {
+    track(ws_->ReadDir(rng_.Chance(0.5) ? home_ : bin_prefix_).status());
+    return;
+  }
+  if ((pick -= config_.p_read_own) < 0) {
+    track(ws_->ReadWholeFile(PathConcat(home_, OwnFileName(own_pop_.Sample(rng_))))
+              .status());
+    return;
+  }
+  if ((pick -= config_.p_read_system) < 0) {
+    track(ws_->ReadWholeFile(
+                  PathConcat(bin_prefix_, SystemFileName(system_pop_.Sample(rng_))))
+              .status());
+    return;
+  }
+  if ((pick -= config_.p_write_own) < 0) {
+    // Edit cycle: read, modify, write back whole file.
+    const std::string path = PathConcat(home_, OwnFileName(own_pop_.Sample(rng_)));
+    auto data = ws_->ReadWholeFile(path);
+    if (!data.ok()) {
+      stats_.errors += 1;
+      return;
+    }
+    Bytes edited = std::move(*data);
+    edited.push_back('\n');
+    track(ws_->WriteWholeFile(path, edited));
+    return;
+  }
+  // Temporary-file cycle: write scratch to local /tmp, read it once, delete.
+  const std::string tmp = "/tmp/t" + std::to_string(tmp_counter_++ % 8);
+  const Bytes scratch = SynthesizeContents(rng_.NextU64(), 2048 + rng_.Below(6144));
+  track(ws_->WriteWholeFile(tmp, scratch));
+  track(ws_->ReadWholeFile(tmp).status());
+  track(ws_->Unlink(tmp));
+}
+
+}  // namespace itc::workload

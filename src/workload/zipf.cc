@@ -1,0 +1,28 @@
+#include "src/workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace itc::workload {
+
+ZipfSampler::ZipfSampler(uint32_t n, double theta) {
+  ITC_CHECK(n > 0);
+  cdf_.reserve(n);
+  double sum = 0;
+  for (uint32_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_.push_back(sum);
+  }
+  for (double& v : cdf_) v /= sum;
+}
+
+uint32_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<uint32_t>(cdf_.size() - 1);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+}  // namespace itc::workload

@@ -1,0 +1,28 @@
+// Zipf-distributed popularity sampling for workload generation.
+
+#ifndef SRC_WORKLOAD_ZIPF_H_
+#define SRC_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace itc::workload {
+
+// Samples ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^theta.
+// theta = 0 is uniform; larger theta concentrates on low ranks.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double theta);
+
+  uint32_t Sample(Rng& rng) const;
+  uint32_t size() const { return static_cast<uint32_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace itc::workload
+
+#endif  // SRC_WORKLOAD_ZIPF_H_

@@ -1,0 +1,111 @@
+// Tests of the remote-open baseline (Locus/Newcastle-style comparator).
+
+#include "src/baseline/remote_open.h"
+
+#include <gtest/gtest.h>
+
+namespace itc::baseline {
+namespace {
+
+class RemoteOpenTest : public ::testing::Test {
+ protected:
+  static constexpr UserId kUser = 9;
+
+  RemoteOpenTest()
+      : topo_(net::TopologyConfig{1, 1, 2}),
+        cost_(sim::CostModel::Default1985()),
+        network_(topo_, cost_),
+        key_(crypto::DeriveKeyFromPassword("pw", "realm")),
+        server_(topo_.ServerNode(0, 0), &network_, cost_, rpc::RpcConfig{},
+                [this](UserId u) -> std::optional<crypto::Key> {
+                  if (u == kUser) return key_;
+                  return std::nullopt;
+                },
+                77),
+        client_(topo_.WorkstationNode(0, 0), &clock_, &server_, &network_, cost_) {}
+
+  void SetUp() override { ASSERT_EQ(client_.Connect(kUser, key_, 5), Status::kOk); }
+
+  net::Topology topo_;
+  sim::CostModel cost_;
+  net::Network network_;
+  crypto::Key key_;
+  RemoteOpenServer server_;
+  sim::Clock clock_;
+  RemoteOpenClient client_;
+};
+
+TEST_F(RemoteOpenTest, WriteThenReadWholeFile) {
+  const Bytes data(10000, 0x5a);
+  ASSERT_EQ(client_.WriteWholeFile("/f", data), Status::kOk);
+  auto back = client_.ReadWholeFile("/f");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(RemoteOpenTest, EveryPageIsAnRpc) {
+  const Bytes data(10 * kPageSize, 1);
+  ASSERT_EQ(client_.WriteWholeFile("/f", data), Status::kOk);
+  const uint64_t calls_before = server_.endpoint().stats().calls;
+  ASSERT_TRUE(client_.ReadWholeFile("/f").ok());
+  // Stat + open + 10 page reads + close = 13 calls.
+  EXPECT_EQ(server_.endpoint().stats().calls - calls_before, 13u);
+}
+
+TEST_F(RemoteOpenTest, SparseReadTouchesOnePage) {
+  const Bytes data(100 * kPageSize, 2);
+  server_.storage().WriteFile("/big", data);  // direct population
+  auto handle = client_.Open("/big", false);
+  ASSERT_TRUE(handle.ok());
+  const uint64_t calls_before = server_.endpoint().stats().calls;
+  auto page = client_.Read(*handle, 50 * kPageSize, 100);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->size(), 100u);
+  EXPECT_EQ(server_.endpoint().stats().calls - calls_before, 1u);
+  client_.Close(*handle);
+}
+
+TEST_F(RemoteOpenTest, StatAndDirOps) {
+  ASSERT_EQ(client_.MkDir("/d"), Status::kOk);
+  ASSERT_EQ(client_.WriteWholeFile("/d/f", ToBytes("xyz")), Status::kOk);
+  auto st = client_.Stat("/d/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 3u);
+  EXPECT_FALSE(st->is_directory);
+  EXPECT_TRUE(client_.Stat("/d")->is_directory);
+  ASSERT_EQ(client_.Unlink("/d/f"), Status::kOk);
+  EXPECT_EQ(client_.Stat("/d/f").status(), Status::kNotFound);
+}
+
+TEST_F(RemoteOpenTest, MissingFileAndBadHandle) {
+  EXPECT_EQ(client_.Open("/nope", false).status(), Status::kNotFound);
+  EXPECT_EQ(client_.Read(999, 0, 10).status(), Status::kBadDescriptor);
+  EXPECT_EQ(client_.Close(999), Status::kBadDescriptor);
+}
+
+TEST_F(RemoteOpenTest, HandlesAreReleasedOnClose) {
+  ASSERT_EQ(client_.WriteWholeFile("/f", ToBytes("x")), Status::kOk);
+  auto h = client_.Open("/f", false);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(server_.open_handles(), 1u);
+  ASSERT_EQ(client_.Close(*h), Status::kOk);
+  EXPECT_EQ(server_.open_handles(), 0u);
+}
+
+TEST_F(RemoteOpenTest, RereadCostsFullPriceWithoutCaching) {
+  // The defining weakness vs whole-file caching: the second read of the
+  // same file costs just as much as the first.
+  const Bytes data(20 * kPageSize, 3);
+  ASSERT_EQ(client_.WriteWholeFile("/f", data), Status::kOk);
+
+  const SimTime t0 = clock_.now();
+  ASSERT_TRUE(client_.ReadWholeFile("/f").ok());
+  const SimTime first = clock_.now() - t0;
+  ASSERT_TRUE(client_.ReadWholeFile("/f").ok());
+  const SimTime second = clock_.now() - t0 - first;
+  EXPECT_NEAR(static_cast<double>(second), static_cast<double>(first),
+              static_cast<double>(first) * 0.05);
+}
+
+}  // namespace
+}  // namespace itc::baseline

@@ -1,0 +1,74 @@
+#include "src/common/path.h"
+
+#include <gtest/gtest.h>
+
+namespace itc {
+namespace {
+
+TEST(SplitPathTest, Basic) {
+  EXPECT_EQ(SplitPath("/a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitPath("a/b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitPath("/"), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitPath(""), (std::vector<std::string>{}));
+}
+
+TEST(SplitPathTest, CollapsesDuplicateSlashes) {
+  EXPECT_EQ(SplitPath("//a///b//"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(JoinPathTest, Basic) {
+  EXPECT_EQ(JoinPath({"a", "b"}), "/a/b");
+  EXPECT_EQ(JoinPath({}), "/");
+}
+
+TEST(JoinPathTest, RoundTripsWithSplit) {
+  for (const char* p : {"/a", "/a/b/c", "/x/y/z/w"}) {
+    EXPECT_EQ(JoinPath(SplitPath(p)), p);
+  }
+}
+
+TEST(PathConcatTest, HandlesSlashes) {
+  EXPECT_EQ(PathConcat("/a", "b"), "/a/b");
+  EXPECT_EQ(PathConcat("/a/", "/b"), "/a/b");
+  EXPECT_EQ(PathConcat("/a//", "//b/c"), "/a/b/c");
+  EXPECT_EQ(PathConcat("", "b"), "/b");
+}
+
+TEST(PathHasPrefixTest, Matches) {
+  EXPECT_TRUE(PathHasPrefix("/a/b", "/a"));
+  EXPECT_TRUE(PathHasPrefix("/a", "/a"));
+  EXPECT_TRUE(PathHasPrefix("/a/b", "/"));
+  EXPECT_FALSE(PathHasPrefix("/ab", "/a"));
+  EXPECT_FALSE(PathHasPrefix("/a", "/a/b"));
+}
+
+TEST(BasenameDirnameTest, Basic) {
+  EXPECT_EQ(Basename("/a/b/c"), "c");
+  EXPECT_EQ(Basename("/a"), "a");
+  EXPECT_EQ(Basename("/"), "");
+  EXPECT_EQ(Dirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(Dirname("/a"), "/");
+  EXPECT_EQ(Dirname("/"), "/");
+}
+
+TEST(BasenameDirnameTest, TrailingSlashes) {
+  EXPECT_EQ(Basename("/a/b/"), "b");
+  EXPECT_EQ(Dirname("/a/b/"), "/a");
+}
+
+TEST(IsValidNameTest, AcceptsOrdinaryNames) {
+  EXPECT_TRUE(IsValidName("foo"));
+  EXPECT_TRUE(IsValidName("a.b-c_d"));
+  EXPECT_TRUE(IsValidName(std::string(kMaxNameLength, 'x')));
+}
+
+TEST(IsValidNameTest, RejectsBadNames) {
+  EXPECT_FALSE(IsValidName(""));
+  EXPECT_FALSE(IsValidName("."));
+  EXPECT_FALSE(IsValidName(".."));
+  EXPECT_FALSE(IsValidName("a/b"));
+  EXPECT_FALSE(IsValidName(std::string(kMaxNameLength + 1, 'x')));
+}
+
+}  // namespace
+}  // namespace itc

@@ -1,0 +1,71 @@
+#include "src/common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace itc {
+namespace {
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::kInvalidArgument;
+  return v;
+}
+
+Result<std::string> Doubled(int v) {
+  ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return std::to_string(parsed * 2);
+}
+
+Status CheckAll(int a, int b) {
+  RETURN_IF_ERROR(ParsePositive(a).status());
+  RETURN_IF_ERROR(ParsePositive(b).status());
+  return Status::kOk;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.status(), Status::kOk);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::kNotFound;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), Status::kNotFound);
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(Result<int>(7).value_or(1), 7);
+  EXPECT_EQ(Result<int>(Status::kNotFound).value_or(1), 1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(-1).status(), Status::kInvalidArgument);
+  auto ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "42");
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(CheckAll(1, 2), Status::kOk);
+  EXPECT_EQ(CheckAll(-1, 2), Status::kInvalidArgument);
+  EXPECT_EQ(CheckAll(1, -2), Status::kInvalidArgument);
+}
+
+TEST(StatusTest, NamesAreStable) {
+  EXPECT_EQ(StatusName(Status::kOk), "OK");
+  EXPECT_EQ(StatusName(Status::kNotCustodian), "NOT_CUSTODIAN");
+  EXPECT_EQ(StatusName(Status::kTamperDetected), "TAMPER_DETECTED");
+  EXPECT_EQ(StatusName(Status::kQuotaExceeded), "QUOTA_EXCEEDED");
+}
+
+}  // namespace
+}  // namespace itc

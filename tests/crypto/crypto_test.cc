@@ -1,0 +1,254 @@
+// Unit tests for the crypto substrate: XTEA, key derivation, the sealed
+// (authenticated CBC) envelope, and the mutual authentication handshake.
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/cbc.h"
+#include "src/crypto/handshake.h"
+#include "src/crypto/key.h"
+#include "src/crypto/xtea.h"
+
+namespace itc::crypto {
+namespace {
+
+Key TestKey(uint8_t fill) {
+  Key k;
+  for (size_t i = 0; i < k.bytes.size(); ++i) k.bytes[i] = static_cast<uint8_t>(fill + i);
+  return k;
+}
+
+// --- XTEA ---------------------------------------------------------------------
+
+TEST(XteaTest, EncryptDecryptRoundTrip) {
+  const Key key = TestKey(0x11);
+  uint32_t block[2] = {0xdeadbeef, 0x01234567};
+  uint32_t original[2] = {block[0], block[1]};
+  XteaEncryptBlock(key, block);
+  EXPECT_FALSE(block[0] == original[0] && block[1] == original[1]);
+  XteaDecryptBlock(key, block);
+  EXPECT_EQ(block[0], original[0]);
+  EXPECT_EQ(block[1], original[1]);
+}
+
+TEST(XteaTest, ByteInterfaceMatchesWordInterface) {
+  const Key key = TestKey(0x42);
+  uint8_t bytes[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  uint32_t words[2] = {0x04030201, 0x08070605};  // little-endian packing
+  XteaEncryptBlock(key, bytes);
+  XteaEncryptBlock(key, words);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(bytes[i], static_cast<uint8_t>(words[0] >> (8 * i)));
+    EXPECT_EQ(bytes[4 + i], static_cast<uint8_t>(words[1] >> (8 * i)));
+  }
+}
+
+TEST(XteaTest, DifferentKeysGiveDifferentCiphertext) {
+  uint32_t a[2] = {1, 2}, b[2] = {1, 2};
+  XteaEncryptBlock(TestKey(0x01), a);
+  XteaEncryptBlock(TestKey(0x02), b);
+  EXPECT_FALSE(a[0] == b[0] && a[1] == b[1]);
+}
+
+TEST(XteaTest, AvalancheSingleBitFlip) {
+  // Flipping one plaintext bit should change roughly half the output bits.
+  const Key key = TestKey(0x33);
+  uint32_t a[2] = {0, 0}, b[2] = {1, 0};
+  XteaEncryptBlock(key, a);
+  XteaEncryptBlock(key, b);
+  int diff = __builtin_popcount(a[0] ^ b[0]) + __builtin_popcount(a[1] ^ b[1]);
+  EXPECT_GT(diff, 16);
+  EXPECT_LT(diff, 48);
+}
+
+// --- Key derivation ------------------------------------------------------------
+
+TEST(KeyDerivationTest, DeterministicAndSaltSensitive) {
+  const Key a = DeriveKeyFromPassword("hunter2", "cmu");
+  const Key b = DeriveKeyFromPassword("hunter2", "cmu");
+  const Key c = DeriveKeyFromPassword("hunter2", "mit");
+  const Key d = DeriveKeyFromPassword("hunter3", "cmu");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(KeyDerivationTest, EmptyPasswordStillProducesKey) {
+  const Key a = DeriveKeyFromPassword("", "salt");
+  const Key b = DeriveKeyFromPassword("", "salt2");
+  EXPECT_NE(a, b);
+}
+
+TEST(KeyDerivationTest, SubKeysDifferByNonce) {
+  const Key base = TestKey(0x55);
+  EXPECT_EQ(DeriveSubKey(base, 1), DeriveSubKey(base, 1));
+  EXPECT_NE(DeriveSubKey(base, 1), DeriveSubKey(base, 2));
+  EXPECT_NE(DeriveSubKey(base, 1), base);
+}
+
+TEST(KeyTest, ToHexFormats) {
+  Key k;
+  k.bytes.fill(0xab);
+  EXPECT_EQ(k.ToHex(), std::string(32, ' ').replace(0, 32, "abababababababababababababababab"));
+}
+
+// --- Sealed envelope --------------------------------------------------------------
+
+class SealRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SealRoundTrip, OpensToOriginal) {
+  const Key key = TestKey(0x77);
+  Bytes plain(GetParam());
+  for (size_t i = 0; i < plain.size(); ++i) plain[i] = static_cast<uint8_t>(i * 7 + 3);
+  const Bytes sealed = Seal(key, plain, /*iv_seed=*/GetParam());
+  auto opened = Open(key, sealed);
+  ASSERT_TRUE(opened.ok()) << StatusName(opened.status());
+  EXPECT_EQ(*opened, plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SealRoundTrip,
+                         ::testing::Values(0, 1, 7, 8, 9, 15, 16, 63, 64, 255, 1024, 4096,
+                                           65536));
+
+TEST(SealTest, CiphertextHidesPlaintext) {
+  const Key key = TestKey(0x01);
+  const Bytes plain = ToBytes("attack at dawn, again and again and again");
+  const Bytes sealed = Seal(key, plain, 1);
+  // No 8-byte window of the ciphertext equals any window of the plaintext.
+  const std::string hay(sealed.begin(), sealed.end());
+  EXPECT_EQ(hay.find("attack"), std::string::npos);
+}
+
+TEST(SealTest, SameplaintextDifferentIvSeedsDiffer) {
+  const Key key = TestKey(0x02);
+  const Bytes plain = ToBytes("identical message");
+  EXPECT_NE(Seal(key, plain, 1), Seal(key, plain, 2));
+}
+
+TEST(SealTest, WrongKeyDetected) {
+  const Bytes sealed = Seal(TestKey(0x10), ToBytes("secret"), 5);
+  EXPECT_EQ(Open(TestKey(0x20), sealed).status(), Status::kTamperDetected);
+}
+
+TEST(SealTest, EveryBitFlipDetected) {
+  const Key key = TestKey(0x31);
+  const Bytes sealed = Seal(key, ToBytes("integrity matters"), 9);
+  for (size_t byte = 0; byte < sealed.size(); ++byte) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      Bytes tampered = sealed;
+      tampered[byte] = static_cast<uint8_t>(tampered[byte] ^ (1u << bit));
+      auto opened = Open(key, tampered);
+      EXPECT_FALSE(opened.ok()) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(SealTest, TruncationDetected) {
+  const Key key = TestKey(0x44);
+  Bytes sealed = Seal(key, ToBytes("do not truncate me please"), 4);
+  sealed.resize(sealed.size() - 8);
+  EXPECT_FALSE(Open(key, sealed).ok());
+}
+
+TEST(SealTest, GarbageRejected) {
+  EXPECT_FALSE(Open(TestKey(0x01), Bytes{1, 2, 3}).ok());
+  EXPECT_FALSE(Open(TestKey(0x01), Bytes(40, 0x5a)).ok());
+}
+
+// --- Handshake ----------------------------------------------------------------------
+
+class HandshakeTest : public ::testing::Test {
+ protected:
+  static constexpr UserId kUser = 4711;
+  Key user_key_ = DeriveKeyFromPassword("rosebud", "realm");
+
+  ServerHandshake::KeyLookup LookupFor(UserId user, const Key& key) {
+    return [user, key](UserId who) -> std::optional<Key> {
+      if (who == user) return key;
+      return std::nullopt;
+    };
+  }
+};
+
+TEST_F(HandshakeTest, MutualAuthenticationSucceeds) {
+  ClientHandshake client(kUser, user_key_, /*nonce_seed=*/111);
+  ServerHandshake server(LookupFor(kUser, user_key_), /*nonce_seed=*/222);
+
+  Bytes m1 = client.Start();
+  auto m2 = server.HandleHello(m1);
+  ASSERT_TRUE(m2.ok());
+  auto m3 = client.HandleChallenge(*m2);
+  ASSERT_TRUE(m3.ok());
+  auto m4 = server.HandleResponse(*m3);
+  ASSERT_TRUE(m4.ok());
+  auto secret = client.HandleSessionGrant(*m4);
+  ASSERT_TRUE(secret.ok());
+
+  EXPECT_TRUE(server.done());
+  EXPECT_EQ(server.user(), kUser);
+  EXPECT_EQ(*secret, server.secret());
+  EXPECT_NE(secret->session_key, user_key_);
+}
+
+TEST_F(HandshakeTest, UnknownUserRejected) {
+  ClientHandshake client(9999, user_key_, 1);
+  ServerHandshake server(LookupFor(kUser, user_key_), 2);
+  EXPECT_EQ(server.HandleHello(client.Start()).status(), Status::kAuthFailed);
+}
+
+TEST_F(HandshakeTest, ClientWithWrongKeyRejected) {
+  ClientHandshake client(kUser, DeriveKeyFromPassword("wrong", "realm"), 1);
+  ServerHandshake server(LookupFor(kUser, user_key_), 2);
+  Bytes m1 = client.Start();
+  // The server cannot decrypt the client's nonce, so the handshake dies
+  // either at the hello or at the response check.
+  auto m2 = server.HandleHello(m1);
+  if (m2.ok()) {
+    auto m3 = client.HandleChallenge(*m2);
+    if (m3.ok()) {
+      EXPECT_EQ(server.HandleResponse(*m3).status(), Status::kAuthFailed);
+    } else {
+      EXPECT_EQ(m3.status(), Status::kAuthFailed);
+    }
+  } else {
+    EXPECT_EQ(m2.status(), Status::kAuthFailed);
+  }
+}
+
+TEST_F(HandshakeTest, ServerImpersonatorDetectedByClient) {
+  // A fake server that does not know the user key cannot produce Xr+1.
+  ClientHandshake client(kUser, user_key_, 3);
+  const Key fake_key = DeriveKeyFromPassword("not-the-key", "realm");
+  ServerHandshake impostor(LookupFor(kUser, fake_key), 4);
+  Bytes m1 = client.Start();
+  auto m2 = impostor.HandleHello(m1);
+  if (m2.ok()) {
+    EXPECT_EQ(client.HandleChallenge(*m2).status(), Status::kAuthFailed);
+  }
+}
+
+TEST_F(HandshakeTest, ReplayedHelloYieldsDifferentSessionKeys) {
+  ClientHandshake c1(kUser, user_key_, 10);
+  ClientHandshake c2(kUser, user_key_, 20);
+  ServerHandshake s1(LookupFor(kUser, user_key_), 30);
+  ServerHandshake s2(LookupFor(kUser, user_key_), 31);
+
+  auto run = [&](ClientHandshake& c, ServerHandshake& s) {
+    auto m2 = s.HandleHello(c.Start());
+    auto m3 = c.HandleChallenge(*m2);
+    auto m4 = s.HandleResponse(*m3);
+    return *c.HandleSessionGrant(*m4);
+  };
+  EXPECT_NE(run(c1, s1).session_key, run(c2, s2).session_key);
+}
+
+TEST_F(HandshakeTest, OutOfOrderMessagesRejected) {
+  ClientHandshake client(kUser, user_key_, 5);
+  ServerHandshake server(LookupFor(kUser, user_key_), 6);
+  // Response before hello.
+  EXPECT_EQ(server.HandleResponse(Bytes{1, 2, 3}).status(), Status::kProtocolError);
+  // Grant before challenge.
+  EXPECT_EQ(client.HandleSessionGrant(Bytes{1, 2, 3}).status(), Status::kProtocolError);
+}
+
+}  // namespace
+}  // namespace itc::crypto

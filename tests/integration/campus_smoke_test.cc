@@ -1,0 +1,149 @@
+// End-to-end smoke test: a small campus, two users, cross-workstation
+// sharing, callback invalidation, and user mobility.
+
+#include <gtest/gtest.h>
+
+#include "src/campus/campus.h"
+
+namespace itc {
+namespace {
+
+using campus::Campus;
+using campus::CampusConfig;
+
+class CampusSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CampusConfig config = CampusConfig::Revised(/*clusters=*/2,
+                                                /*workstations_per_cluster=*/3);
+    campus_ = std::make_unique<Campus>(config);
+    ASSERT_TRUE(campus_->SetupRootVolume().ok());
+    auto alice = campus_->AddUserWithHome("alice", "rosebud", /*custodian=*/0);
+    ASSERT_TRUE(alice.ok());
+    alice_ = *alice;
+    auto bob = campus_->AddUserWithHome("bob", "sekrit", /*custodian=*/1);
+    ASSERT_TRUE(bob.ok());
+    bob_ = *bob;
+  }
+
+  std::unique_ptr<Campus> campus_;
+  Campus::UserHome alice_;
+  Campus::UserHome bob_;
+};
+
+TEST_F(CampusSmokeTest, LoginAndWriteReadOwnFile) {
+  auto& ws = campus_->workstation(0);
+  ASSERT_EQ(ws.LoginWithPassword(alice_.user, "rosebud"), Status::kOk);
+
+  const std::string path = "/vice/usr/alice/notes.txt";
+  ASSERT_EQ(ws.WriteWholeFile(path, ToBytes("hello vice")), Status::kOk);
+
+  auto back = ws.ReadWholeFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(ToString(*back), "hello vice");
+
+  // Second read is a cache hit: no additional fetch.
+  const uint64_t fetches_before = ws.venus().stats().fetches;
+  auto again = ws.ReadWholeFile(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(ws.venus().stats().fetches, fetches_before);
+}
+
+TEST_F(CampusSmokeTest, WrongPasswordFailsAuthentication) {
+  auto& ws = campus_->workstation(0);
+  EXPECT_EQ(ws.LoginWithPassword(alice_.user, "wrong"), Status::kAuthFailed);
+}
+
+TEST_F(CampusSmokeTest, CrossWorkstationSharingWithCallbacks) {
+  auto& ws_a = campus_->workstation(0);
+  auto& ws_b = campus_->workstation(4);  // other cluster
+  ASSERT_EQ(ws_a.LoginWithPassword(alice_.user, "rosebud"), Status::kOk);
+  ASSERT_EQ(ws_b.LoginWithPassword(bob_.user, "sekrit"), Status::kOk);
+
+  const std::string path = "/vice/usr/alice/shared.txt";
+  ASSERT_EQ(ws_a.WriteWholeFile(path, ToBytes("v1")), Status::kOk);
+
+  // Bob reads Alice's file (AnyUser has read on her home volume).
+  auto v1 = ws_b.ReadWholeFile(path);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(ToString(*v1), "v1");
+
+  // Alice updates; Bob's cached copy must be invalidated by callback, and
+  // his next read must see v2 ("changes by one user are immediately visible
+  // to all other users").
+  ASSERT_EQ(ws_a.WriteWholeFile(path, ToBytes("v2")), Status::kOk);
+  EXPECT_GE(ws_b.venus().stats().callback_breaks_received, 1u);
+  auto v2 = ws_b.ReadWholeFile(path);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(ToString(*v2), "v2");
+}
+
+TEST_F(CampusSmokeTest, ProtectionDeniesWriteToOthersHome) {
+  auto& ws = campus_->workstation(1);
+  ASSERT_EQ(ws.LoginWithPassword(bob_.user, "sekrit"), Status::kOk);
+  EXPECT_EQ(ws.WriteWholeFile("/vice/usr/alice/intruder", ToBytes("x")),
+            Status::kPermissionDenied);
+}
+
+TEST_F(CampusSmokeTest, UserMobility) {
+  // Alice works at workstation 0, then moves to a workstation in another
+  // cluster and sees exactly her files.
+  auto& home_ws = campus_->workstation(0);
+  ASSERT_EQ(home_ws.LoginWithPassword(alice_.user, "rosebud"), Status::kOk);
+  ASSERT_EQ(home_ws.WriteWholeFile("/vice/usr/alice/thesis.tex", ToBytes("ch 1")),
+            Status::kOk);
+  home_ws.Logout();
+
+  auto& away_ws = campus_->workstation(5);
+  ASSERT_EQ(away_ws.LoginWithPassword(alice_.user, "rosebud"), Status::kOk);
+  auto data = away_ws.ReadWholeFile("/vice/usr/alice/thesis.tex");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(ToString(*data), "ch 1");
+}
+
+TEST_F(CampusSmokeTest, LocalFilesInvisibleRemotely) {
+  auto& ws_a = campus_->workstation(0);
+  auto& ws_b = campus_->workstation(1);
+  ASSERT_EQ(ws_a.LoginWithPassword(alice_.user, "rosebud"), Status::kOk);
+  ASSERT_EQ(ws_b.LoginWithPassword(bob_.user, "sekrit"), Status::kOk);
+
+  ASSERT_EQ(ws_a.WriteWholeFile("/tmp/scratch", ToBytes("local only")), Status::kOk);
+  EXPECT_EQ(ws_b.ReadWholeFile("/tmp/scratch").status(), Status::kNotFound);
+}
+
+TEST_F(CampusSmokeTest, DirectoryListingAndUnlink) {
+  auto& ws = campus_->workstation(0);
+  ASSERT_EQ(ws.LoginWithPassword(alice_.user, "rosebud"), Status::kOk);
+  ASSERT_EQ(ws.MkDir("/vice/usr/alice/src"), Status::kOk);
+  ASSERT_EQ(ws.WriteWholeFile("/vice/usr/alice/src/a.c", ToBytes("int main;")),
+            Status::kOk);
+  ASSERT_EQ(ws.WriteWholeFile("/vice/usr/alice/src/b.c", ToBytes("int x;")), Status::kOk);
+
+  auto names = ws.ReadDir("/vice/usr/alice/src");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 2u);
+
+  ASSERT_EQ(ws.Unlink("/vice/usr/alice/src/a.c"), Status::kOk);
+  names = ws.ReadDir("/vice/usr/alice/src");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 1u);
+  EXPECT_EQ((*names)[0], "b.c");
+}
+
+TEST_F(CampusSmokeTest, SymlinkFromLocalBinIntoVice) {
+  // Figure 3-2: /bin is a local symlink to /vice/unix/sun/bin.
+  auto sysvol = campus_->CreateSystemVolume("sys.sun", "/unix/sun", /*custodian=*/0);
+  ASSERT_TRUE(sysvol.ok());
+  ASSERT_EQ(campus_->PopulateDirect(*sysvol, "/bin/ls", ToBytes("ls binary")),
+            Status::kOk);
+
+  auto& ws = campus_->workstation(0);
+  ASSERT_EQ(ws.LoginWithPassword(alice_.user, "rosebud"), Status::kOk);
+  auto ls = ws.ReadWholeFile("/bin/ls");
+  ASSERT_TRUE(ls.ok());
+  EXPECT_EQ(ToString(*ls), "ls binary");
+  EXPECT_TRUE(ws.IsShared("/bin/ls"));
+}
+
+}  // namespace
+}  // namespace itc

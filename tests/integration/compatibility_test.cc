@@ -1,0 +1,115 @@
+// Upward compatibility (Section 2.3): "This interface is relatively static
+// and enhancements to it occur in an upward-compatible manner as the system
+// evolves."
+//
+// A prototype-generation client (server-side pathnames, check-on-open
+// validation, count-limited cache) must work, unmodified, against a
+// revised-generation server — including sharing correctly with
+// revised-generation clients on the same server.
+
+#include <gtest/gtest.h>
+
+#include "src/campus/campus.h"
+
+namespace itc {
+namespace {
+
+using campus::Campus;
+using campus::CampusConfig;
+
+class CompatibilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Revised servers...
+    CampusConfig config = CampusConfig::Revised(1, 3);
+    campus_ = std::make_unique<Campus>(config);
+    ASSERT_TRUE(campus_->SetupRootVolume().ok());
+    auto home = campus_->AddUserWithHome("mixed", "pw", 0);
+    ASSERT_TRUE(home.ok());
+    user_ = home->user;
+
+    // ...and one extra workstation running the OLD client software.
+    virtue::WorkstationConfig old_config;
+    old_config.venus = venus::PrototypeVenusConfig();
+    old_ws_ = std::make_unique<virtue::Workstation>(
+        campus_->topology().WorkstationNode(0, 2), &campus_->server_map(), 0,
+        &campus_->network(), campus_->config().cost, old_config, 999);
+    ASSERT_EQ(old_ws_->InstallStandardLayout(), Status::kOk);
+  }
+
+  std::unique_ptr<Campus> campus_;
+  UserId user_ = kAnonymousUser;
+  std::unique_ptr<virtue::Workstation> old_ws_;
+};
+
+TEST_F(CompatibilityTest, PrototypeClientAgainstRevisedServer) {
+  ASSERT_EQ(old_ws_->LoginWithPassword(user_, "pw"), Status::kOk);
+  // The old client resolves by pathname (ResolvePath) — the new server
+  // still answers it.
+  ASSERT_EQ(old_ws_->WriteWholeFile("/vice/usr/mixed/old-style", ToBytes("works")),
+            Status::kOk);
+  EXPECT_EQ(ToString(*old_ws_->ReadWholeFile("/vice/usr/mixed/old-style")), "works");
+  EXPECT_TRUE(old_ws_->Stat("/vice/usr/mixed/old-style").ok());
+  EXPECT_TRUE(old_ws_->ReadDir("/vice/usr/mixed").ok());
+  ASSERT_EQ(old_ws_->MkDir("/vice/usr/mixed/dir"), Status::kOk);
+  EXPECT_EQ(old_ws_->Unlink("/vice/usr/mixed/old-style"), Status::kOk);
+}
+
+TEST_F(CompatibilityTest, MixedFleetShareCorrectly) {
+  auto& new_ws = campus_->workstation(0);
+  ASSERT_EQ(new_ws.LoginWithPassword(user_, "pw"), Status::kOk);
+  ASSERT_EQ(old_ws_->LoginWithPassword(user_, "pw"), Status::kOk);
+
+  const std::string path = "/vice/usr/mixed/shared";
+  // New writes, old reads.
+  ASSERT_EQ(new_ws.WriteWholeFile(path, ToBytes("v1 from new")), Status::kOk);
+  EXPECT_EQ(ToString(*old_ws_->ReadWholeFile(path)), "v1 from new");
+  // Old writes, new reads — the server breaks the new client's callback.
+  ASSERT_EQ(old_ws_->WriteWholeFile(path, ToBytes("v2 from old")), Status::kOk);
+  EXPECT_EQ(ToString(*new_ws.ReadWholeFile(path)), "v2 from old");
+  // And the other way again: the old client's check-on-open catches it.
+  ASSERT_EQ(new_ws.WriteWholeFile(path, ToBytes("v3 from new")), Status::kOk);
+  EXPECT_EQ(ToString(*old_ws_->ReadWholeFile(path)), "v3 from new");
+}
+
+TEST_F(CompatibilityTest, OldClientBenefitsFromServerSideImprovements) {
+  // The revised server has no per-call process switch and no .admin files,
+  // so the same old client is simply faster — no client change needed.
+  ASSERT_EQ(old_ws_->LoginWithPassword(user_, "pw"), Status::kOk);
+  ASSERT_EQ(old_ws_->WriteWholeFile("/vice/usr/mixed/f", ToBytes("x")), Status::kOk);
+  const SimTime t0 = old_ws_->clock().now();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(old_ws_->ReadWholeFile("/vice/usr/mixed/f").ok());
+  const SimTime revised_cost = old_ws_->clock().now() - t0;
+
+  // Same old client against a prototype-generation server.
+  Campus proto(CampusConfig::Prototype(1, 1));
+  ASSERT_TRUE(proto.SetupRootVolume().ok());
+  auto home = proto.AddUserWithHome("mixed", "pw", 0);
+  ASSERT_TRUE(home.ok());
+  auto& proto_ws = proto.workstation(0);
+  ASSERT_EQ(proto_ws.LoginWithPassword(home->user, "pw"), Status::kOk);
+  ASSERT_EQ(proto_ws.WriteWholeFile("/vice/usr/mixed/f", ToBytes("x")), Status::kOk);
+  const SimTime t1 = proto_ws.clock().now();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(proto_ws.ReadWholeFile("/vice/usr/mixed/f").ok());
+  const SimTime proto_cost = proto_ws.clock().now() - t1;
+
+  EXPECT_LT(revised_cost, proto_cost);
+}
+
+TEST_F(CompatibilityTest, RevisedClientSeesOldClientsMutationsViaCallbacks) {
+  auto& new_ws = campus_->workstation(0);
+  ASSERT_EQ(new_ws.LoginWithPassword(user_, "pw"), Status::kOk);
+  ASSERT_EQ(old_ws_->LoginWithPassword(user_, "pw"), Status::kOk);
+
+  // New client caches the directory; the old client adds an entry through
+  // the pathname interface; the new client's next listing must include it.
+  ASSERT_TRUE(new_ws.ReadDir("/vice/usr/mixed").ok());
+  ASSERT_EQ(old_ws_->WriteWholeFile("/vice/usr/mixed/added-by-old", ToBytes("!")),
+            Status::kOk);
+  auto names = new_ws.ReadDir("/vice/usr/mixed");
+  ASSERT_TRUE(names.ok());
+  EXPECT_NE(std::find(names->begin(), names->end(), "added-by-old"), names->end());
+}
+
+}  // namespace
+}  // namespace itc

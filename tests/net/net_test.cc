@@ -1,0 +1,106 @@
+// Unit tests for the campus topology (Figure 2-2) and the network model.
+
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+#include "src/net/topology.h"
+
+namespace itc::net {
+namespace {
+
+TEST(TopologyTest, NodeLayoutIsDense) {
+  Topology t(TopologyConfig{3, 2, 10});
+  EXPECT_EQ(t.node_count(), 36u);
+  EXPECT_EQ(t.server_count(), 6u);
+  EXPECT_EQ(t.workstation_count(), 30u);
+
+  // Servers first within each cluster.
+  EXPECT_TRUE(t.IsServer(t.ServerNode(0, 0)));
+  EXPECT_TRUE(t.IsServer(t.ServerNode(2, 1)));
+  EXPECT_FALSE(t.IsServer(t.WorkstationNode(0, 0)));
+
+  EXPECT_EQ(t.ClusterOf(t.ServerNode(1, 0)), 1u);
+  EXPECT_EQ(t.ClusterOf(t.WorkstationNode(2, 9)), 2u);
+}
+
+TEST(TopologyTest, NthEnumerationsCoverAll) {
+  Topology t(TopologyConfig{2, 2, 3});
+  EXPECT_EQ(t.NthServer(0), t.ServerNode(0, 0));
+  EXPECT_EQ(t.NthServer(3), t.ServerNode(1, 1));
+  EXPECT_EQ(t.NthWorkstation(0), t.WorkstationNode(0, 0));
+  EXPECT_EQ(t.NthWorkstation(5), t.WorkstationNode(1, 2));
+}
+
+TEST(TopologyTest, Routes) {
+  Topology t(TopologyConfig{2, 1, 5});
+  auto same = t.RouteBetween(t.WorkstationNode(0, 0), t.ServerNode(0, 0));
+  EXPECT_EQ(same.segments, 1);
+  EXPECT_EQ(same.bridge_hops, 0);
+  EXPECT_FALSE(same.cross_cluster);
+
+  auto cross = t.RouteBetween(t.WorkstationNode(0, 0), t.ServerNode(1, 0));
+  EXPECT_EQ(cross.segments, 3);
+  EXPECT_EQ(cross.bridge_hops, 2);
+  EXPECT_TRUE(cross.cross_cluster);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : topo_(TopologyConfig{2, 1, 4}), cost_(sim::CostModel::Default1985()),
+        net_(topo_, cost_) {}
+
+  Topology topo_;
+  sim::CostModel cost_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, IntraClusterTransferTime) {
+  const NodeId ws = topo_.WorkstationNode(0, 0);
+  const NodeId srv = topo_.ServerNode(0, 0);
+  const SimTime arrival = net_.Transfer(ws, srv, 1024, 0);
+  EXPECT_EQ(arrival, cost_.TransmissionTime(1024));
+}
+
+TEST_F(NetworkTest, CrossClusterCostsMore) {
+  const NodeId ws = topo_.WorkstationNode(0, 0);
+  const SimTime intra = net_.Transfer(ws, topo_.ServerNode(0, 0), 1024, 0);
+  const SimTime inter = net_.Transfer(ws, topo_.ServerNode(1, 0), 1024, 0);
+  // 3 segments + 2 bridge hops vs 1 segment.
+  EXPECT_GT(inter, 2 * intra);
+  EXPECT_EQ(net_.stats().cross_cluster_messages, 1u);
+}
+
+TEST_F(NetworkTest, LoopbackIsFree) {
+  const NodeId n = topo_.ServerNode(0, 0);
+  EXPECT_EQ(net_.Transfer(n, n, 1 << 20, 123), 123);
+}
+
+TEST_F(NetworkTest, SegmentContentionQueues) {
+  const NodeId a = topo_.WorkstationNode(0, 0);
+  const NodeId b = topo_.WorkstationNode(0, 1);
+  const NodeId srv = topo_.ServerNode(0, 0);
+  const SimTime t1 = net_.Transfer(a, srv, 100 * 1024, 0);
+  const SimTime t2 = net_.Transfer(b, srv, 100 * 1024, 0);  // same segment, same time
+  EXPECT_GT(t2, t1);  // second message waits for the shared Ethernet
+}
+
+TEST_F(NetworkTest, StatsAccumulateAndReset) {
+  net_.Transfer(topo_.WorkstationNode(0, 0), topo_.ServerNode(0, 0), 500, 0);
+  net_.Transfer(topo_.WorkstationNode(0, 0), topo_.ServerNode(1, 0), 700, 0);
+  EXPECT_EQ(net_.stats().messages, 2u);
+  EXPECT_EQ(net_.stats().bytes, 1200u);
+  EXPECT_EQ(net_.stats().cross_cluster_bytes, 700u);
+  net_.ResetStats();
+  EXPECT_EQ(net_.stats().messages, 0u);
+}
+
+TEST(TopologyDescribeTest, MentionsShape) {
+  Topology t(TopologyConfig{4, 1, 25});
+  const std::string d = t.Describe();
+  EXPECT_NE(d.find("4 cluster"), std::string::npos);
+  EXPECT_NE(d.find("25 workstation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace itc::net

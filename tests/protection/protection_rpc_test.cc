@@ -1,0 +1,97 @@
+// Tests for the protection server's RPC interface: administrator-gated
+// mutations, self-service password change, and replica propagation.
+
+#include "src/protection/protection_rpc.h"
+
+#include <gtest/gtest.h>
+
+namespace itc::protection {
+namespace {
+
+class ProtectionRpcTest : public ::testing::Test {
+ protected:
+  ProtectionRpcTest()
+      : topo_(net::TopologyConfig{1, 1, 2}),
+        cost_(sim::CostModel::Default1985()),
+        network_(topo_, cost_) {
+    service_.RegisterReplica(&replica_);
+    admin_ = *service_.CreateUser("admin", "root-pw");
+    (void)service_.AddToGroup(Principal::User(admin_), kAdministratorsGroup);
+    mortal_ = *service_.CreateUser("mortal", "user-pw");
+    server_ = std::make_unique<ProtectionRpcServer>(topo_.ServerNode(0, 0), &network_,
+                                                    cost_, rpc::RpcConfig{}, &service_,
+                                                    31);
+  }
+
+  std::unique_ptr<ProtectionClient> ClientFor(UserId user, const std::string& pw,
+                                              uint64_t seed) {
+    auto client = std::make_unique<ProtectionClient>(topo_.WorkstationNode(0, 0), &clock_,
+                                                     server_.get(), &network_, cost_);
+    const auto key = crypto::DeriveKeyFromPassword(pw, "itc.cmu.edu");
+    if (client->Connect(user, key, seed) != Status::kOk) return nullptr;
+    return client;
+  }
+
+  net::Topology topo_;
+  sim::CostModel cost_;
+  net::Network network_;
+  ProtectionService service_;
+  Replica replica_;
+  std::unique_ptr<ProtectionRpcServer> server_;
+  sim::Clock clock_;
+  UserId admin_ = 0, mortal_ = 0;
+};
+
+TEST_F(ProtectionRpcTest, WhoAmIReportsCaller) {
+  auto client = ClientFor(mortal_, "user-pw", 1);
+  ASSERT_NE(client, nullptr);
+  auto who = client->WhoAmI();
+  ASSERT_TRUE(who.ok());
+  EXPECT_EQ(who->first, mortal_);
+  EXPECT_EQ(who->second, 2u);  // self + System:AnyUser
+}
+
+TEST_F(ProtectionRpcTest, AdminCreatesUsersAndGroups) {
+  auto admin = ClientFor(admin_, "root-pw", 2);
+  ASSERT_NE(admin, nullptr);
+  auto user = admin->CreateUser("newbie", "pw");
+  ASSERT_TRUE(user.ok());
+  auto group = admin->CreateGroup("staff");
+  ASSERT_TRUE(group.ok());
+  ASSERT_EQ(admin->AddToGroup(Principal::User(*user), *group), Status::kOk);
+
+  // The replica (as held by every Vice server) sees all of it.
+  EXPECT_TRUE(replica_.snapshot()->UserKey(*user).has_value());
+  auto cps = replica_.snapshot()->CPS(*user);
+  EXPECT_NE(std::find(cps.begin(), cps.end(), Principal::Group(*group)), cps.end());
+
+  ASSERT_EQ(admin->RemoveFromGroup(Principal::User(*user), *group), Status::kOk);
+  cps = replica_.snapshot()->CPS(*user);
+  EXPECT_EQ(std::find(cps.begin(), cps.end(), Principal::Group(*group)), cps.end());
+}
+
+TEST_F(ProtectionRpcTest, MortalsCannotAdministrate) {
+  auto mortal = ClientFor(mortal_, "user-pw", 3);
+  ASSERT_NE(mortal, nullptr);
+  EXPECT_EQ(mortal->CreateUser("sock", "pw").status(), Status::kPermissionDenied);
+  EXPECT_EQ(mortal->CreateGroup("mine").status(), Status::kPermissionDenied);
+  EXPECT_EQ(mortal->AddToGroup(Principal::User(mortal_), kAdministratorsGroup),
+            Status::kPermissionDenied);
+  EXPECT_EQ(mortal->SetPassword(admin_, "owned"), Status::kPermissionDenied);
+}
+
+TEST_F(ProtectionRpcTest, SelfServicePasswordChange) {
+  auto mortal = ClientFor(mortal_, "user-pw", 4);
+  ASSERT_NE(mortal, nullptr);
+  ASSERT_EQ(mortal->SetPassword(mortal_, "fresh-pw"), Status::kOk);
+  // Old password no longer authenticates; the new one does.
+  EXPECT_EQ(ClientFor(mortal_, "user-pw", 5), nullptr);
+  EXPECT_NE(ClientFor(mortal_, "fresh-pw", 6), nullptr);
+}
+
+TEST_F(ProtectionRpcTest, UnknownUserCannotConnect) {
+  EXPECT_EQ(ClientFor(999999, "whatever", 7), nullptr);
+}
+
+}  // namespace
+}  // namespace itc::protection

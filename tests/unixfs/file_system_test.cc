@@ -1,0 +1,258 @@
+// Unit tests for the in-memory Unix file system substrate.
+
+#include "src/unixfs/file_system.h"
+
+#include <gtest/gtest.h>
+
+namespace itc::unixfs {
+namespace {
+
+class UnixFsTest : public ::testing::Test {
+ protected:
+  FileSystem fs_;
+};
+
+TEST_F(UnixFsTest, RootExists) {
+  auto st = fs_.Stat("/");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->type, FileType::kDirectory);
+  EXPECT_EQ(st->inode, kRootInode);
+}
+
+TEST_F(UnixFsTest, CreateAndStatFile) {
+  auto inode = fs_.Create("/hello.txt");
+  ASSERT_TRUE(inode.ok());
+  auto st = fs_.Stat("/hello.txt");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->type, FileType::kRegular);
+  EXPECT_EQ(st->size, 0u);
+  EXPECT_EQ(st->link_count, 1u);
+}
+
+TEST_F(UnixFsTest, CreateRejectsDuplicatesAndBadNames) {
+  ASSERT_TRUE(fs_.Create("/f").ok());
+  EXPECT_EQ(fs_.Create("/f").status(), Status::kAlreadyExists);
+  EXPECT_EQ(fs_.Create("/missing/f").status(), Status::kNotFound);
+  EXPECT_EQ(fs_.Create("/.").status(), Status::kInvalidArgument);
+  EXPECT_EQ(fs_.Create("relative").status(), Status::kInvalidArgument);
+}
+
+TEST_F(UnixFsTest, WriteAndReadWholeFile) {
+  ASSERT_EQ(fs_.WriteFile("/data", ToBytes("contents here")), Status::kOk);
+  auto back = fs_.ReadFile("/data");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(ToString(*back), "contents here");
+  // Overwrite replaces.
+  ASSERT_EQ(fs_.WriteFile("/data", ToBytes("short")), Status::kOk);
+  EXPECT_EQ(ToString(*fs_.ReadFile("/data")), "short");
+}
+
+TEST_F(UnixFsTest, MkDirAllCreatesChain) {
+  ASSERT_EQ(fs_.MkDirAll("/a/b/c/d"), Status::kOk);
+  EXPECT_TRUE(fs_.Stat("/a/b/c/d").ok());
+  // Idempotent.
+  EXPECT_EQ(fs_.MkDirAll("/a/b/c/d"), Status::kOk);
+  // Fails crossing a file.
+  ASSERT_TRUE(fs_.Create("/a/file").ok());
+  EXPECT_EQ(fs_.MkDirAll("/a/file/x"), Status::kNotDirectory);
+}
+
+TEST_F(UnixFsTest, ReadDirSortedAndTyped) {
+  ASSERT_EQ(fs_.MkDir("/d"), Status::kOk);
+  ASSERT_TRUE(fs_.Create("/d/zz").ok());
+  ASSERT_EQ(fs_.MkDir("/d/aa"), Status::kOk);
+  ASSERT_EQ(fs_.Symlink("zz", "/d/mm"), Status::kOk);
+  auto entries = fs_.ReadDir("/d");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].name, "aa");
+  EXPECT_EQ((*entries)[0].type, FileType::kDirectory);
+  EXPECT_EQ((*entries)[1].name, "mm");
+  EXPECT_EQ((*entries)[1].type, FileType::kSymlink);
+  EXPECT_EQ((*entries)[2].name, "zz");
+  EXPECT_EQ((*entries)[2].type, FileType::kRegular);
+}
+
+TEST_F(UnixFsTest, UnlinkSemantics) {
+  ASSERT_TRUE(fs_.Create("/f").ok());
+  ASSERT_EQ(fs_.MkDir("/d"), Status::kOk);
+  EXPECT_EQ(fs_.Unlink("/d"), Status::kIsDirectory);
+  EXPECT_EQ(fs_.Unlink("/nope"), Status::kNotFound);
+  EXPECT_EQ(fs_.Unlink("/f"), Status::kOk);
+  EXPECT_EQ(fs_.Stat("/f").status(), Status::kNotFound);
+}
+
+TEST_F(UnixFsTest, RmDirOnlyEmpty) {
+  ASSERT_EQ(fs_.MkDir("/d"), Status::kOk);
+  ASSERT_TRUE(fs_.Create("/d/f").ok());
+  EXPECT_EQ(fs_.RmDir("/d"), Status::kNotEmpty);
+  ASSERT_EQ(fs_.Unlink("/d/f"), Status::kOk);
+  EXPECT_EQ(fs_.RmDir("/d"), Status::kOk);
+  EXPECT_EQ(fs_.Stat("/d").status(), Status::kNotFound);
+}
+
+TEST_F(UnixFsTest, HardLinksShareData) {
+  ASSERT_EQ(fs_.WriteFile("/orig", ToBytes("shared")), Status::kOk);
+  ASSERT_EQ(fs_.HardLink("/orig", "/alias"), Status::kOk);
+  EXPECT_EQ(fs_.Stat("/orig")->link_count, 2u);
+  EXPECT_EQ(fs_.Stat("/orig")->inode, fs_.Stat("/alias")->inode);
+
+  ASSERT_EQ(fs_.WriteFile("/alias", ToBytes("updated")), Status::kOk);
+  EXPECT_EQ(ToString(*fs_.ReadFile("/orig")), "updated");
+
+  ASSERT_EQ(fs_.Unlink("/orig"), Status::kOk);
+  EXPECT_EQ(ToString(*fs_.ReadFile("/alias")), "updated");
+  EXPECT_EQ(fs_.Stat("/alias")->link_count, 1u);
+}
+
+TEST_F(UnixFsTest, HardLinkToDirectoryRejected) {
+  ASSERT_EQ(fs_.MkDir("/d"), Status::kOk);
+  EXPECT_EQ(fs_.HardLink("/d", "/d2"), Status::kIsDirectory);
+}
+
+TEST_F(UnixFsTest, SymlinkResolution) {
+  ASSERT_EQ(fs_.MkDirAll("/real/sub"), Status::kOk);
+  ASSERT_EQ(fs_.WriteFile("/real/sub/f", ToBytes("x")), Status::kOk);
+  ASSERT_EQ(fs_.Symlink("/real", "/abs"), Status::kOk);
+  ASSERT_EQ(fs_.Symlink("sub", "/real/rel"), Status::kOk);
+
+  EXPECT_TRUE(fs_.Stat("/abs/sub/f").ok());
+  EXPECT_TRUE(fs_.Stat("/real/rel/f").ok());
+  EXPECT_TRUE(fs_.Stat("/abs/rel/f").ok());  // chained
+
+  // LStat does not follow the final link.
+  EXPECT_EQ(fs_.LStat("/abs")->type, FileType::kSymlink);
+  EXPECT_EQ(fs_.Stat("/abs")->type, FileType::kDirectory);
+  EXPECT_EQ(*fs_.ReadLink("/abs"), "/real");
+  EXPECT_EQ(fs_.ReadLink("/real").status(), Status::kNotSymlink);
+}
+
+TEST_F(UnixFsTest, SymlinkLoopDetected) {
+  ASSERT_EQ(fs_.Symlink("/b", "/a"), Status::kOk);
+  ASSERT_EQ(fs_.Symlink("/a", "/b"), Status::kOk);
+  EXPECT_EQ(fs_.Stat("/a").status(), Status::kSymlinkLoop);
+}
+
+TEST_F(UnixFsTest, DotAndDotDotResolution) {
+  ASSERT_EQ(fs_.MkDirAll("/a/b"), Status::kOk);
+  ASSERT_EQ(fs_.WriteFile("/a/f", ToBytes("x")), Status::kOk);
+  EXPECT_TRUE(fs_.Stat("/a/b/../f").ok());
+  EXPECT_TRUE(fs_.Stat("/a/./b/.././f").ok());
+  // ".." above the root stays at the root.
+  EXPECT_TRUE(fs_.Stat("/../a/f").ok());
+}
+
+TEST_F(UnixFsTest, RenameFile) {
+  ASSERT_EQ(fs_.WriteFile("/old", ToBytes("v")), Status::kOk);
+  ASSERT_EQ(fs_.MkDir("/dir"), Status::kOk);
+  ASSERT_EQ(fs_.Rename("/old", "/dir/new"), Status::kOk);
+  EXPECT_EQ(fs_.Stat("/old").status(), Status::kNotFound);
+  EXPECT_EQ(ToString(*fs_.ReadFile("/dir/new")), "v");
+}
+
+TEST_F(UnixFsTest, RenameReplacesExistingFile) {
+  ASSERT_EQ(fs_.WriteFile("/src", ToBytes("new")), Status::kOk);
+  ASSERT_EQ(fs_.WriteFile("/dst", ToBytes("old")), Status::kOk);
+  ASSERT_EQ(fs_.Rename("/src", "/dst"), Status::kOk);
+  EXPECT_EQ(ToString(*fs_.ReadFile("/dst")), "new");
+}
+
+TEST_F(UnixFsTest, RenameDirectoryRules) {
+  ASSERT_EQ(fs_.MkDirAll("/a/b"), Status::kOk);
+  ASSERT_EQ(fs_.MkDir("/c"), Status::kOk);
+  // Cannot move a directory into its own subtree.
+  EXPECT_EQ(fs_.Rename("/a", "/a/b/a"), Status::kInvalidArgument);
+  // Can replace an empty directory.
+  ASSERT_EQ(fs_.Rename("/c", "/a/b"), Status::kOk);
+  EXPECT_TRUE(fs_.Stat("/a/b").ok());
+  EXPECT_EQ(fs_.Stat("/c").status(), Status::kNotFound);
+  // Cannot replace a non-empty directory.
+  ASSERT_EQ(fs_.MkDir("/d"), Status::kOk);
+  ASSERT_EQ(fs_.MkDirAll("/e/full"), Status::kOk);
+  EXPECT_EQ(fs_.Rename("/d", "/e"), Status::kNotEmpty);
+}
+
+TEST_F(UnixFsTest, RenameToSelfIsNoOp) {
+  ASSERT_EQ(fs_.WriteFile("/f", ToBytes("v")), Status::kOk);
+  EXPECT_EQ(fs_.Rename("/f", "/f"), Status::kOk);
+  EXPECT_EQ(ToString(*fs_.ReadFile("/f")), "v");
+}
+
+TEST_F(UnixFsTest, RemoveAllSubtree) {
+  ASSERT_EQ(fs_.MkDirAll("/t/a/b"), Status::kOk);
+  ASSERT_EQ(fs_.WriteFile("/t/a/f1", ToBytes("1")), Status::kOk);
+  ASSERT_EQ(fs_.WriteFile("/t/a/b/f2", ToBytes("22")), Status::kOk);
+  const uint64_t inodes_before = fs_.inode_count();
+  ASSERT_EQ(fs_.RemoveAll("/t"), Status::kOk);
+  EXPECT_EQ(fs_.Stat("/t").status(), Status::kNotFound);
+  EXPECT_EQ(fs_.inode_count(), inodes_before - 5);
+  EXPECT_EQ(fs_.total_data_bytes(), 0u);
+}
+
+TEST_F(UnixFsTest, ByteRangeIo) {
+  auto inode = fs_.Create("/f");
+  ASSERT_TRUE(inode.ok());
+  ASSERT_EQ(fs_.WriteAt(*inode, 0, ToBytes("hello world")), Status::kOk);
+  auto mid = fs_.ReadAt(*inode, 6, 5);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(ToString(*mid), "world");
+
+  // Write past EOF zero-fills the gap.
+  ASSERT_EQ(fs_.WriteAt(*inode, 20, ToBytes("!")), Status::kOk);
+  EXPECT_EQ(fs_.StatInode(*inode)->size, 21u);
+  auto gap = fs_.ReadAt(*inode, 11, 9);
+  ASSERT_TRUE(gap.ok());
+  EXPECT_EQ((*gap)[0], 0u);
+
+  // Read past EOF returns empty.
+  EXPECT_TRUE(fs_.ReadAt(*inode, 100, 10)->empty());
+}
+
+TEST_F(UnixFsTest, TruncateGrowsAndShrinks) {
+  auto inode = fs_.Create("/f");
+  ASSERT_TRUE(inode.ok());
+  ASSERT_EQ(fs_.WriteAt(*inode, 0, ToBytes("abcdef")), Status::kOk);
+  ASSERT_EQ(fs_.Truncate(*inode, 3), Status::kOk);
+  EXPECT_EQ(ToString(*fs_.ReadFileByInode(*inode)), "abc");
+  ASSERT_EQ(fs_.Truncate(*inode, 5), Status::kOk);
+  EXPECT_EQ(fs_.StatInode(*inode)->size, 5u);
+}
+
+TEST_F(UnixFsTest, DataBytesAccounting) {
+  EXPECT_EQ(fs_.total_data_bytes(), 0u);
+  ASSERT_EQ(fs_.WriteFile("/a", Bytes(1000, 'x')), Status::kOk);
+  ASSERT_EQ(fs_.WriteFile("/b", Bytes(500, 'y')), Status::kOk);
+  EXPECT_EQ(fs_.total_data_bytes(), 1500u);
+  ASSERT_EQ(fs_.WriteFile("/a", Bytes(200, 'z')), Status::kOk);
+  EXPECT_EQ(fs_.total_data_bytes(), 700u);
+  ASSERT_EQ(fs_.Unlink("/b"), Status::kOk);
+  EXPECT_EQ(fs_.total_data_bytes(), 200u);
+}
+
+TEST_F(UnixFsTest, MTimeFollowsVirtualClock) {
+  fs_.set_now(1000);
+  ASSERT_EQ(fs_.WriteFile("/f", ToBytes("a")), Status::kOk);
+  EXPECT_EQ(fs_.Stat("/f")->mtime, 1000);
+  fs_.set_now(2000);
+  ASSERT_EQ(fs_.WriteFile("/f", ToBytes("b")), Status::kOk);
+  EXPECT_EQ(fs_.Stat("/f")->mtime, 2000);
+  ASSERT_EQ(fs_.SetMTime("/f", 1234), Status::kOk);
+  EXPECT_EQ(fs_.Stat("/f")->mtime, 1234);
+}
+
+TEST_F(UnixFsTest, ChmodChown) {
+  ASSERT_TRUE(fs_.Create("/f").ok());
+  ASSERT_EQ(fs_.Chmod("/f", 0600), Status::kOk);
+  ASSERT_EQ(fs_.Chown("/f", 42), Status::kOk);
+  auto st = fs_.Stat("/f");
+  EXPECT_EQ(st->mode, 0600);
+  EXPECT_EQ(st->owner, 42u);
+}
+
+TEST_F(UnixFsTest, StatThroughFileAsDirectoryFails) {
+  ASSERT_TRUE(fs_.Create("/f").ok());
+  EXPECT_EQ(fs_.Stat("/f/sub").status(), Status::kNotDirectory);
+}
+
+}  // namespace
+}  // namespace itc::unixfs

@@ -1,0 +1,319 @@
+// Behavioural tests of Venus through a small campus: validation schemes,
+// location hints, read-only replica preference, eviction-driven callback
+// removal, and stale-fid recovery.
+
+#include "src/venus/venus.h"
+
+#include <gtest/gtest.h>
+
+#include "src/campus/campus.h"
+#include "src/workload/populate.h"
+#include "src/workload/synthetic_user.h"
+
+namespace itc::venus {
+namespace {
+
+using campus::Campus;
+using campus::CampusConfig;
+
+class VenusTest : public ::testing::Test {
+ protected:
+  void Build(CampusConfig config) {
+    campus_ = std::make_unique<Campus>(config);
+    ASSERT_TRUE(campus_->SetupRootVolume().ok());
+    auto home = campus_->AddUserWithHome("alice", "pw", /*custodian=*/0);
+    ASSERT_TRUE(home.ok());
+    alice_ = *home;
+  }
+
+  virtue::Workstation& Login(size_t ws_index) {
+    auto& ws = campus_->workstation(ws_index);
+    EXPECT_EQ(ws.LoginWithPassword(alice_.user, "pw"), Status::kOk);
+    return ws;
+  }
+
+  std::unique_ptr<Campus> campus_;
+  Campus::UserHome alice_;
+};
+
+TEST_F(VenusTest, CallbackModeSkipsValidationOnWarmOpens) {
+  Build(CampusConfig::Revised(1, 2));
+  auto& ws = Login(0);
+  const std::string path = "/vice/usr/alice/f";
+  ASSERT_EQ(ws.WriteWholeFile(path, ToBytes("x")), Status::kOk);
+  ASSERT_TRUE(ws.ReadWholeFile(path).ok());  // warm: revalidates the parent dir
+
+  const auto before = ws.venus().stats();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ws.ReadWholeFile(path).ok());
+  const auto after = ws.venus().stats();
+  // Warm opens are pure cache hits: no fetches, no validations.
+  EXPECT_EQ(after.fetches, before.fetches);
+  EXPECT_EQ(after.validations, before.validations);
+  EXPECT_EQ(after.cache_hits - before.cache_hits, 5u);
+}
+
+TEST_F(VenusTest, CheckOnOpenValidatesEveryOpen) {
+  CampusConfig config = CampusConfig::Revised(1, 2);
+  config.workstation.venus.validation = VenusConfig::Validation::kCheckOnOpen;
+  config.vice.callbacks = false;
+  Build(config);
+  auto& ws = Login(0);
+  const std::string path = "/vice/usr/alice/f";
+  ASSERT_EQ(ws.WriteWholeFile(path, ToBytes("x")), Status::kOk);
+  ASSERT_TRUE(ws.ReadWholeFile(path).ok());  // warm: refetch the changed dir
+
+  const auto before = ws.venus().stats();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ws.ReadWholeFile(path).ok());
+  const auto after = ws.venus().stats();
+  // Each open round-trips a Validate (the prototype's dominant traffic),
+  // and traversal validates cached directories as well.
+  EXPECT_GE(after.validations - before.validations, 5u);
+  EXPECT_EQ(after.fetches, before.fetches);  // but no refetches
+}
+
+TEST_F(VenusTest, CheckOnOpenSeesRemoteUpdateWithoutCallbacks) {
+  CampusConfig config = CampusConfig::Revised(1, 3);
+  config.workstation.venus.validation = VenusConfig::Validation::kCheckOnOpen;
+  config.vice.callbacks = false;
+  Build(config);
+  auto other = campus_->AddUserWithHome("bob", "pw2", 0);
+  ASSERT_TRUE(other.ok());
+
+  auto& ws_a = Login(0);
+  auto& ws_b = campus_->workstation(1);
+  ASSERT_EQ(ws_b.LoginWithPassword(other->user, "pw2"), Status::kOk);
+
+  const std::string path = "/vice/usr/alice/shared";
+  ASSERT_EQ(ws_a.WriteWholeFile(path, ToBytes("v1")), Status::kOk);
+  ASSERT_TRUE(ws_b.ReadWholeFile(path).ok());
+  ASSERT_EQ(ws_a.WriteWholeFile(path, ToBytes("v2")), Status::kOk);
+  // No callback arrives (disabled); validation on open catches the change.
+  auto v2 = ws_b.ReadWholeFile(path);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(ToString(*v2), "v2");
+}
+
+TEST_F(VenusTest, EvictionNotifiesCustodian) {
+  CampusConfig config = CampusConfig::Revised(1, 1);
+  config.workstation.venus.cache_limit = VenusConfig::CacheLimit::kSpace;
+  config.workstation.venus.max_cache_bytes = 64 * 1024;
+  Build(config);
+  ASSERT_EQ(workload::PopulateUserFiles(*campus_, alice_.volume, 40, 7), Status::kOk);
+
+  auto& ws = Login(0);
+  // Stream through far more data than the cache can hold.
+  for (uint32_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        ws.ReadWholeFile("/vice/usr/alice/" + workload::SyntheticUser::OwnFileName(i))
+            .ok());
+  }
+  EXPECT_LE(ws.venus().cache().data_bytes(), 64 * 1024u);
+  EXPECT_GT(ws.venus().cache().stats().evictions, 0u);
+  // Server-side promise count stays bounded by what is actually cached
+  // (RemoveCallback was sent for evicted files).
+  const size_t promises = campus_->server(0).callbacks().promise_count();
+  EXPECT_LE(promises, ws.venus().cache().entry_count() + 2);
+}
+
+TEST_F(VenusTest, ReadOnlyReplicaPreferredInOwnCluster) {
+  CampusConfig config = CampusConfig::Revised(2, 2);
+  Build(config);
+  auto sysvol = campus_->CreateSystemVolume("sys", "/unix/sun", /*custodian=*/0);
+  ASSERT_TRUE(sysvol.ok());
+  ASSERT_EQ(workload::PopulateSystemBinaries(*campus_, *sysvol, 5, 3), Status::kOk);
+
+  // Release read-only replicas at both cluster servers.
+  ASSERT_TRUE(campus_->registry().ReleaseReadOnly(*sysvol, "sys.ro", {0, 1}).ok());
+
+  // A workstation in cluster 1 must fetch binaries from its own cluster
+  // server (1), not the custodian (0). Warm the directory cache first; the
+  // root volume itself is unreplicated, so its directories legitimately come
+  // from server 0.
+  auto& ws = Login(2);  // cluster 1
+  ASSERT_TRUE(ws.ReadWholeFile("/vice/unix/sun/bin/prog0").ok());
+  campus_->ResetAllStats();
+  ASSERT_TRUE(ws.ReadWholeFile("/vice/unix/sun/bin/prog1").ok());
+  auto hist0 = campus_->server(0).CallHistogram();
+  auto hist1 = campus_->server(1).CallHistogram();
+  EXPECT_EQ(hist0[vice::CallClass::kFetch], 0u);
+  EXPECT_GE(hist1[vice::CallClass::kFetch], 1u);
+  EXPECT_EQ(campus_->network().stats().cross_cluster_messages, 0u);
+}
+
+TEST_F(VenusTest, ReplicatedRootVolumeLocalizesAllResolution) {
+  // The full AFS-style deployment: the root volume itself is released
+  // read-only to every cluster server, so even pathname resolution never
+  // crosses a bridge for read traffic.
+  CampusConfig config = CampusConfig::Revised(2, 2);
+  Build(config);
+  auto sysvol = campus_->CreateSystemVolume("sys", "/unix/sun", /*custodian=*/0);
+  ASSERT_TRUE(sysvol.ok());
+  ASSERT_EQ(workload::PopulateSystemBinaries(*campus_, *sysvol, 3, 3), Status::kOk);
+  ASSERT_TRUE(campus_->registry().ReleaseReadOnly(*sysvol, "sys.ro", {0, 1}).ok());
+  const VolumeId root = campus_->registry().location().root_volume;
+  ASSERT_TRUE(campus_->registry().ReleaseReadOnly(root, "root.ro", {0, 1}).ok());
+
+  auto& ws = Login(2);  // cluster 1
+  campus_->ResetAllStats();
+  ASSERT_TRUE(ws.ReadWholeFile("/vice/unix/sun/bin/prog0").ok());
+  // Every fetch — root dirs included — was served inside cluster 1.
+  auto hist0 = campus_->server(0).CallHistogram();
+  EXPECT_EQ(hist0[vice::CallClass::kFetch], 0u);
+  EXPECT_EQ(campus_->network().stats().cross_cluster_messages, 0u);
+
+  // Writes still reach the read-write volumes: Alice edits her home (mounted
+  // inside the RW root), which must succeed even though reads went RO.
+  EXPECT_EQ(ws.WriteWholeFile("/vice/usr/alice/note", ToBytes("rw ok")), Status::kOk);
+}
+
+TEST_F(VenusTest, WritesBypassReadOnlyReplica) {
+  CampusConfig config = CampusConfig::Revised(1, 1);
+  Build(config);
+  auto sysvol = campus_->CreateSystemVolume("sys", "/unix/sun", 0);
+  ASSERT_TRUE(sysvol.ok());
+  ASSERT_EQ(campus_->PopulateDirect(*sysvol, "/bin/tool", ToBytes("v1")), Status::kOk);
+  ASSERT_TRUE(campus_->registry().ReleaseReadOnly(*sysvol, "sys.ro", {0}).ok());
+
+  auto& ws = Login(0);
+  // Reading goes to the clone...
+  ASSERT_TRUE(ws.ReadWholeFile("/vice/unix/sun/bin/tool").ok());
+  // ...but an administrator write resolves to the RW volume. Alice lacks
+  // rights there (Administrators only), so she is denied — NOT told
+  // "read-only volume", proving resolution reached the RW path.
+  EXPECT_EQ(ws.WriteWholeFile("/vice/unix/sun/bin/tool", ToBytes("v2")),
+            Status::kPermissionDenied);
+}
+
+TEST_F(VenusTest, StaleNameCacheRecoversAfterRemoteReplace) {
+  // Prototype mode resolves by pathname and caches name->fid. If another
+  // workstation deletes and recreates the file, the fid goes stale; Venus
+  // must re-resolve transparently.
+  CampusConfig config = CampusConfig::Prototype(1, 2);
+  Build(config);
+  auto other = campus_->AddUserWithHome("bob", "pw2", 0);
+  ASSERT_TRUE(other.ok());
+
+  auto& ws_a = Login(0);
+  auto& ws_b = campus_->workstation(1);
+  ASSERT_EQ(ws_b.LoginWithPassword(other->user, "pw2"), Status::kOk);
+
+  // Bob creates in his own home; Alice reads it (AnyUser r).
+  const std::string path = "/vice/usr/bob/doc";
+  ASSERT_EQ(ws_b.WriteWholeFile(path, ToBytes("v1")), Status::kOk);
+  ASSERT_EQ(ToString(*ws_a.ReadWholeFile(path)), "v1");
+
+  // Bob replaces the file wholesale (delete + recreate = new fid).
+  ASSERT_EQ(ws_b.Unlink(path), Status::kOk);
+  ASSERT_EQ(ws_b.WriteWholeFile(path, ToBytes("v2")), Status::kOk);
+
+  auto v2 = ws_a.ReadWholeFile(path);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(ToString(*v2), "v2");
+}
+
+TEST_F(VenusTest, PrototypeModeRefusesViceSymlinksAndDirRenames) {
+  Build(CampusConfig::Prototype(1, 1));
+  auto& ws = Login(0);
+  ASSERT_EQ(ws.MkDir("/vice/usr/alice/dir"), Status::kOk);
+  // Section 5.1's prototype shortcomings, reproduced.
+  EXPECT_EQ(ws.venus().Symlink("/usr/alice/dir", "/usr/alice/link"),
+            Status::kNotSupported);
+  EXPECT_EQ(ws.venus().Rename("/usr/alice/dir", "/usr/alice/dir2"),
+            Status::kNotSupported);
+  // File renames still work.
+  ASSERT_EQ(ws.WriteWholeFile("/vice/usr/alice/f", ToBytes("x")), Status::kOk);
+  EXPECT_EQ(ws.venus().Rename("/usr/alice/f", "/usr/alice/g"), Status::kOk);
+}
+
+TEST_F(VenusTest, ViceSymlinksWorkInRevisedMode) {
+  Build(CampusConfig::Revised(1, 1));
+  auto& ws = Login(0);
+  ASSERT_EQ(ws.WriteWholeFile("/vice/usr/alice/real", ToBytes("target data")),
+            Status::kOk);
+  ASSERT_EQ(ws.Symlink("real", "/vice/usr/alice/link"), Status::kOk);
+  auto via_link = ws.ReadWholeFile("/vice/usr/alice/link");
+  ASSERT_TRUE(via_link.ok());
+  EXPECT_EQ(ToString(*via_link), "target data");
+  EXPECT_EQ(*ws.ReadLink("/vice/usr/alice/link"), "real");
+}
+
+TEST_F(VenusTest, LogoutInvalidatesCacheTrust) {
+  Build(CampusConfig::Revised(1, 1));
+  auto& ws = Login(0);
+  ASSERT_EQ(ws.WriteWholeFile("/vice/usr/alice/f", ToBytes("x")), Status::kOk);
+  ws.Logout();
+  // Without a session nothing shared is reachable.
+  EXPECT_EQ(ws.ReadWholeFile("/vice/usr/alice/f").status(), Status::kAuthFailed);
+  // Re-login revalidates rather than blindly trusting the cache.
+  ASSERT_EQ(ws.LoginWithPassword(alice_.user, "pw"), Status::kOk);
+  const auto before = ws.venus().stats();
+  ASSERT_TRUE(ws.ReadWholeFile("/vice/usr/alice/f").ok());
+  const auto after = ws.venus().stats();
+  EXPECT_GT((after.validations + after.fetches) - (before.validations + before.fetches),
+            0u);
+}
+
+TEST_F(VenusTest, OpenHandleSurvivesRemoteReplacement) {
+  // Unix open-file semantics across the stale-fid path: while a descriptor
+  // is open, another workstation deletes and recreates the file. The open
+  // handle keeps reading its (old) copy; new opens see the new file.
+  Build(CampusConfig::Revised(1, 2));
+  auto other = campus_->AddUserWithHome("bob", "pw2", 0);
+  ASSERT_TRUE(other.ok());
+  auto& ws_a = Login(0);
+  auto& ws_b = campus_->workstation(1);
+  ASSERT_EQ(ws_b.LoginWithPassword(other->user, "pw2"), Status::kOk);
+
+  const std::string path = "/vice/usr/bob/doc";
+  ASSERT_EQ(ws_b.WriteWholeFile(path, ToBytes("old content")), Status::kOk);
+
+  auto fd = ws_a.Open(path, virtue::kRead);
+  ASSERT_TRUE(fd.ok());
+
+  // Replace remotely: delete + recreate (fresh fid).
+  ASSERT_EQ(ws_b.Unlink(path), Status::kOk);
+  ASSERT_EQ(ws_b.WriteWholeFile(path, ToBytes("new content")), Status::kOk);
+
+  // A new open on ws_a transparently re-resolves to the new file...
+  auto fresh = ws_a.ReadWholeFile(path);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(ToString(*fresh), "new content");
+
+  // ...while the original descriptor still reads the old bytes and closes
+  // cleanly (the pinned cache entry was invalidated, not destroyed).
+  auto old_bytes = ws_a.Read(*fd, 100);
+  ASSERT_TRUE(old_bytes.ok());
+  EXPECT_EQ(ToString(*old_bytes), "old content");
+  EXPECT_EQ(ws_a.Close(*fd), Status::kOk);
+}
+
+TEST_F(VenusTest, AdvisoryLocksAcrossWorkstations) {
+  Build(CampusConfig::Revised(1, 2));
+  auto other = campus_->AddUserWithHome("bob", "pw2", 0);
+  ASSERT_TRUE(other.ok());
+  auto& ws_a = Login(0);
+  auto& ws_b = campus_->workstation(1);
+  ASSERT_EQ(ws_b.LoginWithPassword(other->user, "pw2"), Status::kOk);
+
+  ASSERT_EQ(ws_a.WriteWholeFile("/vice/usr/alice/db", ToBytes("x")), Status::kOk);
+
+  // AnyUser holds only lookup+read on Alice's home; locking needs the Lock
+  // right, so Bob is refused until Alice grants it.
+  EXPECT_EQ(ws_b.venus().SetLock("/usr/alice/db", vice::LockMode::kShared),
+            Status::kPermissionDenied);
+  auto acl = ws_a.venus().GetAcl("/usr/alice");
+  ASSERT_TRUE(acl.ok());
+  acl->SetPositive(protection::Principal::User(other->user),
+                   protection::kLookup | protection::kRead | protection::kLock);
+  ASSERT_EQ(ws_a.venus().SetAcl("/usr/alice", *acl), Status::kOk);
+
+  ASSERT_EQ(ws_a.venus().SetLock("/usr/alice/db", vice::LockMode::kExclusive),
+            Status::kOk);
+  EXPECT_EQ(ws_b.venus().SetLock("/usr/alice/db", vice::LockMode::kShared),
+            Status::kLocked);
+  ASSERT_EQ(ws_a.venus().ReleaseLock("/usr/alice/db"), Status::kOk);
+  EXPECT_EQ(ws_b.venus().SetLock("/usr/alice/db", vice::LockMode::kShared), Status::kOk);
+}
+
+}  // namespace
+}  // namespace itc::venus

@@ -1,0 +1,134 @@
+// Tests for volume dump/restore and the backup workflow (the Integrity
+// goal: "The probability of loss of stored data should be at least as low
+// as on the current timesharing systems").
+
+#include <gtest/gtest.h>
+
+#include "src/campus/campus.h"
+#include "src/vice/volume.h"
+
+namespace itc::vice {
+namespace {
+
+using campus::Campus;
+using campus::CampusConfig;
+using protection::AccessList;
+using protection::Principal;
+
+AccessList OpenAcl() {
+  AccessList acl;
+  acl.SetPositive(Principal::Group(protection::kAnyUserGroup), protection::kAllRights);
+  return acl;
+}
+
+TEST(VolumeDumpTest, RoundTripPreservesEverything) {
+  Volume vol(3, "original", VolumeType::kReadWrite, 7, OpenAcl(), 1 << 20);
+  vol.set_now(Seconds(50));
+  auto dir = *vol.MakeDir(vol.root(), "docs", 7, OpenAcl());
+  auto file = *vol.CreateFile(dir, "paper.tex", 7, 0640);
+  ASSERT_EQ(vol.StoreData(file, ToBytes("\\begin{document}")), Status::kOk);
+  ASSERT_TRUE(vol.MakeSymlink(dir, "link", "paper.tex", 7).ok());
+  ASSERT_EQ(vol.MakeMountPoint(vol.root(), "sub", 99), Status::kOk);
+
+  const Bytes dump = vol.Dump();
+  auto restored = Volume::Restore(dump, /*new_id=*/3, "original", VolumeType::kReadWrite);
+  ASSERT_TRUE(restored.ok());
+
+  // Identical fids, data, status, directory structure, quota accounting.
+  EXPECT_EQ((*restored)->usage_bytes(), vol.usage_bytes());
+  EXPECT_EQ((*restored)->vnode_count(), vol.vnode_count());
+  EXPECT_EQ(ToString(*(*restored)->FetchData(file)), "\\begin{document}");
+  auto st = (*restored)->GetStatus(file);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->mode, 0640);
+  EXPECT_EQ(st->mtime, Seconds(50));
+  EXPECT_EQ(st->parent, dir);
+  auto entries = DeserializeDirectory(*(*restored)->FetchData(vol.root()));
+  EXPECT_EQ(entries->at("sub").mount_volume, 99u);
+  // Salvage finds the restored volume perfectly consistent.
+  EXPECT_TRUE((*restored)->Salvage().clean());
+}
+
+TEST(VolumeDumpTest, RestoreRebrandsFids) {
+  Volume vol(3, "v", VolumeType::kReadWrite, 1, OpenAcl(), 0);
+  auto file = *vol.CreateFile(vol.root(), "f", 1, 0644);
+  ASSERT_EQ(vol.StoreData(file, ToBytes("x")), Status::kOk);
+  auto restored = Volume::Restore(vol.Dump(), /*new_id=*/42, "v2", VolumeType::kReadWrite);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->id(), 42u);
+  const Fid rebranded{42, file.vnode, file.uniquifier};
+  EXPECT_EQ(ToString(*(*restored)->FetchData(rebranded)), "x");
+  auto entries = DeserializeDirectory(*(*restored)->FetchData((*restored)->root()));
+  EXPECT_EQ(entries->at("f").fid.volume, 42u);
+}
+
+TEST(VolumeDumpTest, CorruptDumpsRejected) {
+  Volume vol(3, "v", VolumeType::kReadWrite, 1, OpenAcl(), 0);
+  Bytes dump = vol.Dump();
+  // Bad magic.
+  Bytes bad = dump;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(Volume::Restore(bad, 9, "x", VolumeType::kReadWrite).ok());
+  // Truncation.
+  Bytes cut(dump.begin(), dump.begin() + static_cast<ptrdiff_t>(dump.size() / 2));
+  EXPECT_FALSE(Volume::Restore(cut, 9, "x", VolumeType::kReadWrite).ok());
+  // Trailing garbage.
+  Bytes padded = dump;
+  padded.push_back(0);
+  EXPECT_FALSE(Volume::Restore(padded, 9, "x", VolumeType::kReadWrite).ok());
+}
+
+TEST(BackupWorkflowTest, DumpRestoreThroughRegistry) {
+  Campus campus(CampusConfig::Revised(1, 2));
+  ASSERT_TRUE(campus.SetupRootVolume().ok());
+  auto home = campus.AddUserWithHome("author", "pw", 0);
+  ASSERT_TRUE(home.ok());
+  auto& ws = campus.workstation(0);
+  ASSERT_EQ(ws.LoginWithPassword(home->user, "pw"), Status::kOk);
+  ASSERT_EQ(ws.WriteWholeFile("/vice/usr/author/thesis", ToBytes("ch 1..4")),
+            Status::kOk);
+
+  // Nightly backup.
+  auto tape = campus.registry().BackupVolume(home->volume);
+  ASSERT_TRUE(tape.ok());
+
+  // Disaster: the user destroys their file the next day.
+  ASSERT_EQ(ws.Unlink("/vice/usr/author/thesis"), Status::kOk);
+  EXPECT_EQ(ws.ReadWholeFile("/vice/usr/author/thesis").status(), Status::kNotFound);
+
+  // Operations restores the dump as a new volume mounted at /usr/restore.
+  auto restored = campus.registry().RestoreVolume(*tape, "user.author.restored",
+                                                  /*custodian=*/0);
+  ASSERT_TRUE(restored.ok());
+  Volume* root = campus.registry().FindVolume(
+      campus.registry().location().root_volume);
+  auto root_entries = DeserializeDirectory(*root->FetchData(root->root()));
+  auto usr = root_entries->at("usr").fid;
+  ASSERT_EQ(campus.registry().MountAt(usr, "restore", *restored), Status::kOk);
+
+  ws.venus().FlushCache();  // see the new mount
+  auto recovered = ws.ReadWholeFile("/vice/usr/restore/thesis");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(ToString(*recovered), "ch 1..4");
+}
+
+TEST(BackupWorkflowTest, BackupIsConsistentSnapshot) {
+  Campus campus(CampusConfig::Revised(1, 1));
+  ASSERT_TRUE(campus.SetupRootVolume().ok());
+  auto home = campus.AddUserWithHome("u", "pw", 0);
+  ASSERT_TRUE(home.ok());
+  ASSERT_EQ(campus.PopulateDirect(home->volume, "/f", ToBytes("v1")), Status::kOk);
+
+  auto tape = campus.registry().BackupVolume(home->volume);
+  ASSERT_TRUE(tape.ok());
+  // Post-backup writes do not leak into the already-taken dump.
+  ASSERT_EQ(campus.PopulateDirect(home->volume, "/f", ToBytes("v2")), Status::kOk);
+  auto restored = campus.registry().RestoreVolume(*tape, "snap", 0);
+  ASSERT_TRUE(restored.ok());
+  Volume* vol = campus.registry().FindVolume(*restored);
+  auto entries = DeserializeDirectory(*vol->FetchData(vol->root()));
+  EXPECT_EQ(ToString(*vol->FetchData(entries->at("f").fid)), "v1");
+}
+
+}  // namespace
+}  // namespace itc::vice

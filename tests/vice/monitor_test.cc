@@ -1,0 +1,106 @@
+// Tests for the monitoring / custodian-reassignment tool (Section 3.6).
+
+#include "src/vice/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/campus/campus.h"
+
+namespace itc::vice {
+namespace {
+
+using campus::Campus;
+using campus::CampusConfig;
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    campus_ = std::make_unique<Campus>(CampusConfig::Revised(2, 2));
+    ASSERT_TRUE(campus_->SetupRootVolume().ok());
+    // The user's volume is custodian-ed in cluster 0, but she works from
+    // cluster 1 — the "student moved to another dormitory" case.
+    auto home = campus_->AddUserWithHome("nomad", "pw", /*custodian=*/0);
+    ASSERT_TRUE(home.ok());
+    home_ = *home;
+  }
+
+  void GenerateRemoteTraffic(int opens) {
+    auto& ws = campus_->workstation(2);  // cluster 1
+    ASSERT_EQ(ws.LoginWithPassword(home_.user, "pw"), Status::kOk);
+    ASSERT_EQ(ws.WriteWholeFile("/vice/usr/nomad/f", ToBytes("x")), Status::kOk);
+    for (int i = 0; i < opens; ++i) {
+      ws.venus().FlushCache();  // force real server traffic each round
+      ASSERT_TRUE(ws.ReadWholeFile("/vice/usr/nomad/f").ok());
+    }
+  }
+
+  std::unique_ptr<Campus> campus_;
+  Campus::UserHome home_;
+};
+
+TEST_F(MonitorTest, NoRecommendationWithoutSignal) {
+  Monitor monitor(&campus_->registry());
+  auto report = monitor.Scan();
+  EXPECT_TRUE(report.moves.empty());
+}
+
+TEST_F(MonitorTest, RecommendsMoveTowardDominantCluster) {
+  GenerateRemoteTraffic(30);
+  Monitor monitor(&campus_->registry(), /*dominance=*/0.6, /*min_accesses=*/20);
+  auto report = monitor.Scan();
+  ASSERT_FALSE(report.moves.empty());
+  const MoveRecommendation& rec = report.moves.front();
+  EXPECT_EQ(rec.volume, home_.volume);
+  EXPECT_EQ(rec.current_custodian, 0u);
+  EXPECT_EQ(rec.suggested_custodian, 1u);
+  EXPECT_GT(rec.total_accesses, 20u);
+  EXPECT_FALSE(rec.Describe().empty());
+}
+
+TEST_F(MonitorTest, ApplyMovesVolumeAndLocalizesTraffic) {
+  GenerateRemoteTraffic(30);
+  Monitor monitor(&campus_->registry(), 0.6, 20);
+  auto report = monitor.Scan();
+  ASSERT_FALSE(report.moves.empty());
+  ASSERT_EQ(monitor.Apply(report.moves.front()), Status::kOk);
+  EXPECT_NE(campus_->server(1).FindVolume(home_.volume), nullptr);
+
+  // Traffic is now intra-cluster.
+  auto& ws = campus_->workstation(2);
+  ws.venus().FlushCache();
+  campus_->network().ResetStats();
+  ASSERT_TRUE(ws.ReadWholeFile("/vice/usr/nomad/f").ok());
+  // Only the root-volume directories (still at server 0) may cross clusters;
+  // refetch once more with warm directories to check the steady state.
+  campus_->network().ResetStats();
+  ws.venus().FlushCache();
+  ASSERT_TRUE(ws.ReadWholeFile("/vice/usr/nomad/f").ok());
+  // The file fetch itself lands at server 1 (same cluster).
+  auto hist1 = campus_->server(1).CallHistogram();
+  EXPECT_GE(hist1[CallClass::kFetch], 1u);
+}
+
+TEST_F(MonitorTest, ReadOnlyAndRootVolumesNeverRecommended) {
+  // Hammer the root volume from cluster 1 — it must not be recommended.
+  auto& ws = campus_->workstation(2);
+  ASSERT_EQ(ws.LoginWithPassword(home_.user, "pw"), Status::kOk);
+  for (int i = 0; i < 40; ++i) {
+    ws.venus().FlushCache();
+    ASSERT_TRUE(ws.ReadDir("/vice/usr").ok());
+  }
+  Monitor monitor(&campus_->registry(), 0.5, 10);
+  auto report = monitor.Scan();
+  for (const auto& rec : report.moves) {
+    EXPECT_NE(rec.volume, campus_->registry().location().root_volume);
+  }
+}
+
+TEST_F(MonitorTest, ServerLoadReported) {
+  GenerateRemoteTraffic(10);
+  Monitor monitor(&campus_->registry());
+  auto report = monitor.Scan();
+  EXPECT_GT(report.server_load[0], 0u);
+}
+
+}  // namespace
+}  // namespace itc::vice

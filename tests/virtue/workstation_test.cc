@@ -1,0 +1,185 @@
+// Tests of the Virtue intercept layer: local/shared classification, the
+// descriptor API, and local-namespace semantics.
+
+#include "src/virtue/workstation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/campus/campus.h"
+
+namespace itc::virtue {
+namespace {
+
+using campus::Campus;
+using campus::CampusConfig;
+
+class WorkstationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    campus_ = std::make_unique<Campus>(CampusConfig::Revised(1, 2));
+    ASSERT_TRUE(campus_->SetupRootVolume().ok());
+    auto home = campus_->AddUserWithHome("alice", "pw", 0);
+    ASSERT_TRUE(home.ok());
+    alice_ = *home;
+    ws_ = &campus_->workstation(0);
+    ASSERT_EQ(ws_->LoginWithPassword(alice_.user, "pw"), Status::kOk);
+  }
+
+  std::unique_ptr<Campus> campus_;
+  Campus::UserHome alice_;
+  Workstation* ws_ = nullptr;
+};
+
+TEST_F(WorkstationTest, StandardLayoutInstalled) {
+  EXPECT_TRUE(ws_->local_fs().Stat("/tmp").ok());
+  EXPECT_TRUE(ws_->local_fs().Stat("/vmunix").ok());
+  EXPECT_EQ(*ws_->local_fs().ReadLink("/bin"), "/vice/unix/sun/bin");
+}
+
+TEST_F(WorkstationTest, ClassificationLocalVsShared) {
+  EXPECT_FALSE(ws_->IsShared("/tmp/x"));
+  EXPECT_FALSE(ws_->IsShared("/vmunix"));
+  EXPECT_TRUE(ws_->IsShared("/vice/usr/alice/f"));
+  EXPECT_TRUE(ws_->IsShared("/bin/ls"));  // via the local symlink
+}
+
+TEST_F(WorkstationTest, DescriptorReadWriteSeek) {
+  auto fd = ws_->Open("/tmp/f", kWrite | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_EQ(ws_->Write(*fd, ToBytes("hello world")), Status::kOk);
+  ASSERT_EQ(ws_->Close(*fd), Status::kOk);
+
+  fd = ws_->Open("/tmp/f", kRead);
+  ASSERT_TRUE(fd.ok());
+  auto first = ws_->Read(*fd, 5);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(ToString(*first), "hello");
+  ASSERT_TRUE(ws_->Seek(*fd, 6).ok());
+  auto rest = ws_->Read(*fd, 100);
+  EXPECT_EQ(ToString(*rest), "world");
+  ASSERT_EQ(ws_->Close(*fd), Status::kOk);
+}
+
+TEST_F(WorkstationTest, ByteAtATimeOnSharedFile) {
+  // "the standard Unix file system primitives, supporting ... byte-at-a-time
+  //  access to files" — reads hit the whole-file cached copy.
+  ASSERT_EQ(ws_->WriteWholeFile("/vice/usr/alice/f", ToBytes("abcdef")), Status::kOk);
+  auto fd = ws_->Open("/vice/usr/alice/f", kRead);
+  ASSERT_TRUE(fd.ok());
+  std::string assembled;
+  for (;;) {
+    auto b = ws_->Read(*fd, 1);
+    ASSERT_TRUE(b.ok());
+    if (b->empty()) break;
+    assembled += static_cast<char>((*b)[0]);
+  }
+  EXPECT_EQ(assembled, "abcdef");
+  ws_->Close(*fd);
+}
+
+TEST_F(WorkstationTest, DirtySharedFileStoredOnClose) {
+  ASSERT_EQ(ws_->WriteWholeFile("/vice/usr/alice/f", ToBytes("v1")), Status::kOk);
+  const uint64_t stores_before = ws_->venus().stats().stores;
+
+  auto fd = ws_->Open("/vice/usr/alice/f", kRead | kWrite);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_EQ(ws_->Write(*fd, ToBytes("v2")), Status::kOk);
+  // Not stored yet — Vice is contacted only at close.
+  EXPECT_EQ(ws_->venus().stats().stores, stores_before);
+  ASSERT_EQ(ws_->Close(*fd), Status::kOk);
+  EXPECT_EQ(ws_->venus().stats().stores, stores_before + 1);
+}
+
+TEST_F(WorkstationTest, CleanCloseDoesNotStore) {
+  ASSERT_EQ(ws_->WriteWholeFile("/vice/usr/alice/f", ToBytes("v1")), Status::kOk);
+  const uint64_t stores_before = ws_->venus().stats().stores;
+  auto fd = ws_->Open("/vice/usr/alice/f", kRead);
+  ASSERT_TRUE(fd.ok());
+  ws_->Read(*fd, 10);
+  ASSERT_EQ(ws_->Close(*fd), Status::kOk);
+  EXPECT_EQ(ws_->venus().stats().stores, stores_before);
+}
+
+TEST_F(WorkstationTest, WriteWithoutWriteFlagRefused) {
+  ASSERT_EQ(ws_->WriteWholeFile("/tmp/f", ToBytes("x")), Status::kOk);
+  auto fd = ws_->Open("/tmp/f", kRead);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(ws_->Write(*fd, ToBytes("y")), Status::kPermissionDenied);
+  ws_->Close(*fd);
+}
+
+TEST_F(WorkstationTest, BadDescriptorRejected) {
+  EXPECT_EQ(ws_->Read(999, 1).status(), Status::kBadDescriptor);
+  EXPECT_EQ(ws_->Write(999, ToBytes("x")), Status::kBadDescriptor);
+  EXPECT_EQ(ws_->Close(999), Status::kBadDescriptor);
+}
+
+TEST_F(WorkstationTest, TruncateFlag) {
+  ASSERT_EQ(ws_->WriteWholeFile("/tmp/f", ToBytes("long content")), Status::kOk);
+  auto fd = ws_->Open("/tmp/f", kWrite | kTruncate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_EQ(ws_->Write(*fd, ToBytes("s")), Status::kOk);
+  ws_->Close(*fd);
+  EXPECT_EQ(ToString(*ws_->ReadWholeFile("/tmp/f")), "s");
+}
+
+TEST_F(WorkstationTest, OpenDirectoryRefused) {
+  EXPECT_EQ(ws_->Open("/tmp", kRead).status(), Status::kIsDirectory);
+  EXPECT_EQ(ws_->Open("/vice/usr/alice", kRead).status(), Status::kIsDirectory);
+}
+
+TEST_F(WorkstationTest, StatUnifiesLocalAndShared) {
+  ASSERT_EQ(ws_->WriteWholeFile("/tmp/local", ToBytes("12345")), Status::kOk);
+  ASSERT_EQ(ws_->WriteWholeFile("/vice/usr/alice/shared", ToBytes("123")), Status::kOk);
+
+  auto local = ws_->Stat("/tmp/local");
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(local->size, 5u);
+  EXPECT_FALSE(local->shared);
+
+  auto shared = ws_->Stat("/vice/usr/alice/shared");
+  ASSERT_TRUE(shared.ok());
+  EXPECT_EQ(shared->size, 3u);
+  EXPECT_TRUE(shared->shared);
+}
+
+TEST_F(WorkstationTest, RenameCrossDomainRefused) {
+  ASSERT_EQ(ws_->WriteWholeFile("/tmp/f", ToBytes("x")), Status::kOk);
+  EXPECT_EQ(ws_->Rename("/tmp/f", "/vice/usr/alice/f"), Status::kCrossVolume);
+}
+
+TEST_F(WorkstationTest, MkdirUnlinkRmdirLocal) {
+  ASSERT_EQ(ws_->MkDir("/tmp/d"), Status::kOk);
+  ASSERT_EQ(ws_->WriteWholeFile("/tmp/d/f", ToBytes("x")), Status::kOk);
+  auto names = ws_->ReadDir("/tmp/d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 1u);
+  ASSERT_EQ(ws_->Unlink("/tmp/d/f"), Status::kOk);
+  ASSERT_EQ(ws_->RmDir("/tmp/d"), Status::kOk);
+}
+
+TEST_F(WorkstationTest, SensitiveLocalFileStaysLocal) {
+  // File class 3 of Section 3.1: data the owner will not entrust to Vice.
+  ASSERT_EQ(ws_->WriteWholeFile("/local/secret", ToBytes("do not share")), Status::kOk);
+  EXPECT_FALSE(ws_->IsShared("/local/secret"));
+  // Another workstation cannot see it.
+  auto& other = campus_->workstation(1);
+  ASSERT_EQ(other.LoginWithPassword(alice_.user, "pw"), Status::kOk);
+  EXPECT_EQ(other.ReadWholeFile("/local/secret").status(), Status::kNotFound);
+}
+
+TEST_F(WorkstationTest, ChmodPropagatesToVice) {
+  ASSERT_EQ(ws_->WriteWholeFile("/vice/usr/alice/f", ToBytes("x")), Status::kOk);
+  ASSERT_EQ(ws_->Chmod("/vice/usr/alice/f", 0600), Status::kOk);
+  EXPECT_EQ(ws_->Stat("/vice/usr/alice/f")->mode, 0600);
+}
+
+TEST_F(WorkstationTest, ClockAdvancesWithWork) {
+  const SimTime t0 = ws_->clock().now();
+  ASSERT_EQ(ws_->WriteWholeFile("/vice/usr/alice/big", Bytes(64 * 1024, 'x')),
+            Status::kOk);
+  EXPECT_GT(ws_->clock().now(), t0);
+}
+
+}  // namespace
+}  // namespace itc::virtue

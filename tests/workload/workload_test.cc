@@ -1,0 +1,184 @@
+// Tests of the workload module: source tree generation, the five-phase
+// benchmark, zipf sampling, file classes, and the synthetic user driver.
+
+#include <gtest/gtest.h>
+
+#include "src/campus/campus.h"
+#include "src/sim/scheduler.h"
+#include "src/workload/benchmark5.h"
+#include "src/workload/file_classes.h"
+#include "src/workload/populate.h"
+#include "src/workload/source_tree.h"
+#include "src/workload/synthetic_user.h"
+#include "src/workload/zipf.h"
+
+namespace itc::workload {
+namespace {
+
+using campus::Campus;
+using campus::CampusConfig;
+
+TEST(SourceTreeTest, DeterministicAndSized) {
+  const SourceTreeSpec a = GenerateSourceTree(1, 70);
+  const SourceTreeSpec b = GenerateSourceTree(1, 70);
+  EXPECT_EQ(a.files.size(), 70u);
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (size_t i = 0; i < a.files.size(); ++i) {
+    EXPECT_EQ(a.files[i].relative_path, b.files[i].relative_path);
+    EXPECT_EQ(a.files[i].size, b.files[i].size);
+  }
+  EXPECT_GT(a.source_count(), 20u);
+  EXPECT_GT(a.total_bytes(), 100 * 1024u);
+  EXPECT_LT(a.total_bytes(), 2 * 1024 * 1024u);
+}
+
+TEST(SourceTreeTest, ContentsMatchRequestedSize) {
+  const Bytes c = SynthesizeContents(7, 12345);
+  EXPECT_EQ(c.size(), 12345u);
+  EXPECT_EQ(SynthesizeContents(7, 100), SynthesizeContents(7, 100));
+  EXPECT_NE(SynthesizeContents(7, 100), SynthesizeContents(8, 100));
+}
+
+TEST(ZipfTest, SkewsTowardLowRanks) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(rng)] += 1;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 25);  // rank 0 gets far more than uniform share
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(4);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) counts[zipf.Sample(rng)] += 1;
+  for (int c : counts) EXPECT_NEAR(c, 1000, 250);
+}
+
+TEST(FileClassesTest, SizesWithinDesignEnvelope) {
+  Rng rng(5);
+  for (auto cls : {FileClass::kSystemBinary, FileClass::kUserData, FileClass::kTemporary}) {
+    for (int i = 0; i < 500; ++i) {
+      const uint64_t size = SampleFileSize(cls, rng);
+      EXPECT_GT(size, 0u);
+      // "over 99% of the files ... fall within a few megabytes".
+      EXPECT_LE(size, 2 * 1024 * 1024u);
+    }
+  }
+}
+
+class Benchmark5Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    campus_ = std::make_unique<Campus>(CampusConfig::Revised(1, 1));
+    ASSERT_TRUE(campus_->SetupRootVolume().ok());
+    auto home = campus_->AddUserWithHome("alice", "pw", 0);
+    ASSERT_TRUE(home.ok());
+    ws_ = &campus_->workstation(0);
+    ASSERT_EQ(ws_->LoginWithPassword(home->user, "pw"), Status::kOk);
+  }
+
+  std::unique_ptr<Campus> campus_;
+  virtue::Workstation* ws_ = nullptr;
+};
+
+TEST_F(Benchmark5Test, AllLocalRunCompletes) {
+  const SourceTreeSpec spec = GenerateSourceTree(11, 30);
+  ASSERT_EQ(ws_->MkDir("/src"), Status::kOk);
+  ASSERT_EQ(InstallSourceTree(*ws_, "/src", spec, 11), Status::kOk);
+
+  auto result = RunBenchmark5(*ws_, "/src", "/target", spec);
+  ASSERT_TRUE(result.ok());
+  for (int p = 0; p < kPhaseCount; ++p) {
+    EXPECT_GT(result->phase_time[p], 0) << PhaseName(static_cast<Phase>(p));
+  }
+  EXPECT_EQ(result->total,
+            result->phase_time[0] + result->phase_time[1] + result->phase_time[2] +
+                result->phase_time[3] + result->phase_time[4]);
+  // Make (compile+link) dominates, as on the real benchmark.
+  EXPECT_GT(result->phase_time[4], result->phase_time[0]);
+}
+
+TEST_F(Benchmark5Test, RemoteRunSlowerThanLocal) {
+  const SourceTreeSpec spec = GenerateSourceTree(13, 20);
+  ASSERT_EQ(ws_->MkDir("/src"), Status::kOk);
+  ASSERT_EQ(InstallSourceTree(*ws_, "/src", spec, 13), Status::kOk);
+  auto local = RunBenchmark5(*ws_, "/src", "/target-local", spec);
+  ASSERT_TRUE(local.ok());
+
+  ASSERT_EQ(InstallSourceTree(*ws_, "/vice/usr/alice/src", spec, 13), Status::kOk);
+  ws_->venus().FlushCache();  // cold cache, like the paper's remote run
+  auto remote = RunBenchmark5(*ws_, "/vice/usr/alice/src", "/vice/usr/alice/target", spec);
+  ASSERT_TRUE(remote.ok());
+
+  EXPECT_GT(remote->total, local->total);
+}
+
+TEST_F(Benchmark5Test, CopyVerifiableByteForByte) {
+  const SourceTreeSpec spec = GenerateSourceTree(17, 10);
+  ASSERT_EQ(ws_->MkDir("/src"), Status::kOk);
+  ASSERT_EQ(InstallSourceTree(*ws_, "/src", spec, 17), Status::kOk);
+  ASSERT_TRUE(RunBenchmark5(*ws_, "/src", "/t", spec).ok());
+  for (const SourceFile& f : spec.files) {
+    auto src = ws_->ReadWholeFile("/src/" + f.relative_path);
+    auto dst = ws_->ReadWholeFile("/t/" + f.relative_path);
+    ASSERT_TRUE(src.ok() && dst.ok()) << f.relative_path;
+    EXPECT_EQ(*src, *dst) << f.relative_path;
+  }
+}
+
+TEST(SyntheticUserTest, RunsWithoutErrorsAndAdvancesTime) {
+  Campus campus(CampusConfig::Revised(1, 2));
+  ASSERT_TRUE(campus.SetupRootVolume().ok());
+  auto home = campus.AddUserWithHome("u0", "pw", 0);
+  ASSERT_TRUE(home.ok());
+  auto sys = campus.CreateSystemVolume("sys", "/unix/sun", 0);
+  ASSERT_TRUE(sys.ok());
+
+  UserDayConfig config;
+  config.operations = 300;
+  config.own_files = 20;
+  config.system_files = 10;
+  ASSERT_EQ(PopulateUserFiles(campus, home->volume, config.own_files, 1), Status::kOk);
+  ASSERT_EQ(PopulateSystemBinaries(campus, *sys, config.system_files, 2), Status::kOk);
+
+  auto& ws = campus.workstation(0);
+  ASSERT_EQ(ws.LoginWithPassword(home->user, "pw"), Status::kOk);
+
+  SyntheticUser user(&ws, "/vice/usr/u0", "/bin", config, 99);
+  sim::Scheduler sched;
+  sched.Add(&user);
+  const SimTime end = sched.RunAll();
+
+  EXPECT_EQ(user.stats().operations, 300u);
+  EXPECT_EQ(user.stats().errors, 0u);
+  EXPECT_GT(end, Seconds(300));  // think times alone exceed this
+  EXPECT_GT(ws.venus().stats().opens, 0u);
+}
+
+TEST(SyntheticUserTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Campus campus(CampusConfig::Revised(1, 1));
+    (void)campus.SetupRootVolume();
+    auto home = campus.AddUserWithHome("u0", "pw", 0);
+    auto sys = campus.CreateSystemVolume("sys", "/unix/sun", 0);
+    UserDayConfig config;
+    config.operations = 100;
+    config.own_files = 10;
+    config.system_files = 5;
+    (void)PopulateUserFiles(campus, home->volume, 10, 1);
+    (void)PopulateSystemBinaries(campus, *sys, 5, 2);
+    auto& ws = campus.workstation(0);
+    (void)ws.LoginWithPassword(home->user, "pw");
+    SyntheticUser user(&ws, "/vice/usr/u0", "/bin", config, 7);
+    sim::Scheduler sched;
+    sched.Add(&user);
+    sched.RunAll();
+    return ws.clock().now();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace itc::workload

@@ -1,0 +1,185 @@
+// pts — protection server shell, after the AFS administrator tool of the
+// same name. Talks to the protection server over its authenticated RPC
+// interface (src/protection/protection_rpc.h), so the administrator-only
+// checks are exercised exactly as a remote operator would hit them.
+//
+//   $ ./build/tools/pts
+//   pts> login admin root-pw
+//   pts> createuser alice rosebud
+//   pts> creategroup faculty
+//   pts> adduser alice faculty
+//   pts> cps alice
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "src/net/network.h"
+#include "src/protection/protection_rpc.h"
+
+using namespace itc;
+using protection::Principal;
+
+namespace {
+
+void Help() {
+  std::printf(
+      "commands:\n"
+      "  login <name> <password>        authenticate to the protection server\n"
+      "  createuser <name> <password>   (administrators only)\n"
+      "  creategroup <name>             (administrators only)\n"
+      "  adduser <user> <group>         add a user to a group\n"
+      "  addgroup <child> <parent>      nest one group in another\n"
+      "  remove <user> <group>          remove a user from a group\n"
+      "  passwd <user> <new-password>   self-service or administrator\n"
+      "  cps <user>                     print the Current Protection Subdomain\n"
+      "  whoami                         authenticated identity check\n"
+      "  quit\n");
+}
+
+}  // namespace
+
+int main() {
+  const net::Topology topo(net::TopologyConfig{1, 1, 1});
+  const sim::CostModel cost = sim::CostModel::Default1985();
+  net::Network network(topo, cost);
+
+  protection::ProtectionService service;
+  auto admin = service.CreateUser("admin", "root-pw");
+  if (!admin.ok()) return 1;
+  (void)service.AddToGroup(Principal::User(*admin), protection::kAdministratorsGroup);
+
+  protection::ProtectionRpcServer server(topo.ServerNode(0, 0), &network, cost,
+                                         rpc::RpcConfig{}, &service, 12345);
+  sim::Clock clock;
+  std::unique_ptr<protection::ProtectionClient> client;
+  uint64_t seed = 1;
+
+  std::printf("pts: protection server up; bootstrap administrator is "
+              "'admin' / 'root-pw'\ntype 'help' for commands\n");
+
+  std::string line;
+  std::printf("pts> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    auto need_client = [&]() -> bool {
+      if (client == nullptr) std::printf("login first\n");
+      return client != nullptr;
+    };
+    auto lookup_user = [&](const std::string& name) -> Result<UserId> {
+      return service.db().LookupUser(name);
+    };
+    auto lookup_group = [&](const std::string& name) -> Result<GroupId> {
+      return service.db().LookupGroup(name);
+    };
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd.empty()) {
+    } else if (cmd == "help") {
+      Help();
+    } else if (cmd == "login") {
+      std::string name, pw;
+      in >> name >> pw;
+      auto uid = lookup_user(name);
+      if (!uid.ok()) {
+        std::printf("no such user\n");
+      } else {
+        auto fresh = std::make_unique<protection::ProtectionClient>(
+            topo.WorkstationNode(0, 0), &clock, &server, &network, cost);
+        const auto key = crypto::DeriveKeyFromPassword(pw, "itc.cmu.edu");
+        Status s = fresh->Connect(*uid, key, seed++);
+        std::printf("%s\n", StatusName(s).data());
+        if (s == Status::kOk) client = std::move(fresh);
+      }
+    } else if (cmd == "createuser") {
+      std::string name, pw;
+      in >> name >> pw;
+      if (need_client()) {
+        auto uid = client->CreateUser(name, pw);
+        if (uid.ok()) {
+          std::printf("user %s has id %u\n", name.c_str(), *uid);
+        } else {
+          std::printf("%s\n", StatusName(uid.status()).data());
+        }
+      }
+    } else if (cmd == "creategroup") {
+      std::string name;
+      in >> name;
+      if (need_client()) {
+        auto gid = client->CreateGroup(name);
+        if (gid.ok()) {
+          std::printf("group %s has id %u\n", name.c_str(), *gid);
+        } else {
+          std::printf("%s\n", StatusName(gid.status()).data());
+        }
+      }
+    } else if (cmd == "adduser" || cmd == "addgroup" || cmd == "remove") {
+      std::string member, group;
+      in >> member >> group;
+      if (need_client()) {
+        auto gid = lookup_group(group);
+        Result<Principal> who = Status::kNotFound;
+        if (cmd == "addgroup") {
+          auto child = lookup_group(member);
+          if (child.ok()) who = Principal::Group(*child);
+        } else {
+          auto uid = lookup_user(member);
+          if (uid.ok()) who = Principal::User(*uid);
+        }
+        if (!gid.ok() || !who.ok()) {
+          std::printf("unknown principal or group\n");
+        } else if (cmd == "remove") {
+          std::printf("%s\n", StatusName(client->RemoveFromGroup(*who, *gid)).data());
+        } else {
+          std::printf("%s\n", StatusName(client->AddToGroup(*who, *gid)).data());
+        }
+      }
+    } else if (cmd == "passwd") {
+      std::string name, pw;
+      in >> name >> pw;
+      if (need_client()) {
+        auto uid = lookup_user(name);
+        if (!uid.ok()) {
+          std::printf("no such user\n");
+        } else {
+          std::printf("%s\n", StatusName(client->SetPassword(*uid, pw)).data());
+        }
+      }
+    } else if (cmd == "cps") {
+      std::string name;
+      in >> name;
+      auto uid = lookup_user(name);
+      if (!uid.ok()) {
+        std::printf("no such user\n");
+      } else {
+        for (const Principal& p : service.db().CPS(*uid)) {
+          if (p.kind == Principal::Kind::kUser) {
+            auto n = service.db().UserName(p.id);
+            std::printf("  user  %u %s\n", p.id, n.ok() ? n->c_str() : "?");
+          } else {
+            auto n = service.db().GroupName(p.id);
+            std::printf("  group %u %s\n", p.id, n.ok() ? n->c_str() : "?");
+          }
+        }
+      }
+    } else if (cmd == "whoami") {
+      if (need_client()) {
+        auto who = client->WhoAmI();
+        if (who.ok()) {
+          std::printf("user id %u, CPS size %u\n", who->first, who->second);
+        } else {
+          std::printf("%s\n", StatusName(who.status()).data());
+        }
+      }
+    } else {
+      std::printf("unknown command (try 'help')\n");
+    }
+    std::printf("pts> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

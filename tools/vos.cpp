@@ -1,0 +1,240 @@
+// vos — volume operations shell, after the AFS administrator tool of the
+// same name. Drives a simulated campus's VolumeRegistry: create, mount,
+// move, clone, release read-only replicas, set quotas, salvage, examine —
+// plus backup dumps written to and restored from REAL host files, so a dump
+// survives across invocations.
+//
+//   $ ./build/tools/vos
+//   vos> create user.alice 0 5242880
+//   vos> mount /usr alice user.alice
+//   vos> backup 2 /tmp/alice.dump
+//   vos> restore /tmp/alice.dump user.alice.restored 1
+//   vos> examine 2
+//   vos> monitor
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/campus/campus.h"
+#include "src/common/path.h"
+#include "src/vice/monitor.h"
+
+using namespace itc;
+
+namespace {
+
+void Help() {
+  std::printf(
+      "commands:\n"
+      "  create <name> <server> [quota]      create a read-write volume\n"
+      "  mount <dir-path> <entry> <volid>    mount under a root-volume directory\n"
+      "  move <volid> <server>               change custodian\n"
+      "  clone <volid> <name>                frozen read-only clone at custodian\n"
+      "  release <volid> <name> <s1,s2,...>  read-only replicas at servers\n"
+      "  online <volid> 0|1                  offline/online\n"
+      "  quota <volid> <bytes>               set quota\n"
+      "  salvage <volid>                     consistency check & repair\n"
+      "  backup <volid> <host-file>          dump a frozen snapshot to a file\n"
+      "  restore <host-file> <name> <server> recreate a volume from a dump\n"
+      "  examine <volid>                     volume status\n"
+      "  listvldb                            the location database\n"
+      "  monitor                             access-pattern scan + recommendations\n"
+      "  apply                               apply all monitor recommendations\n"
+      "  quit\n");
+}
+
+// Resolves a /-path of directories inside the ROOT volume to its fid.
+Result<Fid> ResolveRootDir(campus::Campus& campus, const std::string& path) {
+  vice::Volume* root =
+      campus.registry().FindVolume(campus.registry().location().root_volume);
+  if (root == nullptr) return Status::kNotFound;
+  Fid cur = root->root();
+  for (const std::string& comp : SplitPath(path)) {
+    auto data = root->FetchData(cur);
+    if (!data.ok()) return data.status();
+    auto entries = vice::DeserializeDirectory(*data);
+    if (!entries.ok()) return Status::kInternal;
+    auto it = entries->find(comp);
+    if (it == entries->end()) return Status::kNotFound;
+    cur = it->second.fid;
+  }
+  return cur;
+}
+
+}  // namespace
+
+int main() {
+  campus::Campus campus(campus::CampusConfig::Revised(3, 2));
+  if (!campus.SetupRootVolume().ok()) return 1;
+  std::printf("vos: %s\n", campus.topology().Describe().c_str());
+  std::printf("root volume is %u; type 'help' for commands\n",
+              campus.registry().location().root_volume);
+
+  vice::Monitor monitor(&campus.registry(), 0.6, 20);
+  std::vector<vice::MoveRecommendation> pending;
+
+  std::string line;
+  std::printf("vos> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd.empty()) {
+    } else if (cmd == "help") {
+      Help();
+    } else if (cmd == "create") {
+      std::string name;
+      ServerId server = 0;
+      uint64_t quota = 0;
+      in >> name >> server >> quota;
+      protection::AccessList acl;
+      acl.SetPositive(protection::Principal::Group(protection::kAnyUserGroup),
+                      protection::kAllRights);
+      auto vid = campus.registry().CreateVolume(name, server, kAnonymousUser, acl, quota);
+      if (vid.ok()) {
+        std::printf("created volume %u at server %u\n", *vid, server);
+      } else {
+        std::printf("%s\n", StatusName(vid.status()).data());
+      }
+    } else if (cmd == "mount") {
+      std::string dir, entry;
+      VolumeId vid = 0;
+      in >> dir >> entry >> vid;
+      auto fid = ResolveRootDir(campus, dir);
+      if (!fid.ok()) {
+        std::printf("resolve %s: %s\n", dir.c_str(), StatusName(fid.status()).data());
+      } else {
+        std::printf("%s\n", StatusName(campus.registry().MountAt(*fid, entry, vid)).data());
+      }
+    } else if (cmd == "move") {
+      VolumeId vid = 0;
+      ServerId server = 0;
+      in >> vid >> server;
+      std::printf("%s\n", StatusName(campus.registry().MoveVolume(vid, server)).data());
+    } else if (cmd == "clone") {
+      VolumeId vid = 0;
+      std::string name;
+      in >> vid >> name;
+      auto clone = campus.registry().CloneVolume(vid, name);
+      if (clone.ok()) {
+        std::printf("clone is volume %u\n", *clone);
+      } else {
+        std::printf("%s\n", StatusName(clone.status()).data());
+      }
+    } else if (cmd == "release") {
+      VolumeId vid = 0;
+      std::string name, sites_csv;
+      in >> vid >> name >> sites_csv;
+      std::vector<ServerId> sites;
+      std::istringstream ss(sites_csv);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) sites.push_back(std::stoul(tok));
+      auto ro = campus.registry().ReleaseReadOnly(vid, name, sites);
+      if (ro.ok()) {
+        std::printf("released clone %u at %zu site(s)\n", *ro, sites.size());
+      } else {
+        std::printf("%s\n", StatusName(ro.status()).data());
+      }
+    } else if (cmd == "online") {
+      VolumeId vid = 0;
+      int flag = 1;
+      in >> vid >> flag;
+      std::printf("%s\n",
+                  StatusName(campus.registry().SetVolumeOnline(vid, flag != 0)).data());
+    } else if (cmd == "quota") {
+      VolumeId vid = 0;
+      uint64_t q = 0;
+      in >> vid >> q;
+      std::printf("%s\n", StatusName(campus.registry().SetVolumeQuota(vid, q)).data());
+    } else if (cmd == "salvage") {
+      VolumeId vid = 0;
+      in >> vid;
+      auto report = campus.registry().SalvageVolume(vid);
+      if (!report.ok()) {
+        std::printf("%s\n", StatusName(report.status()).data());
+      } else {
+        std::printf("dangling=%u orphans=%u parents-fixed=%u usage-corrected=%llu (%s)\n",
+                    report->dangling_entries_removed, report->orphan_vnodes_removed,
+                    report->parents_fixed,
+                    static_cast<unsigned long long>(report->usage_corrected_bytes),
+                    report->clean() ? "clean" : "repaired");
+      }
+    } else if (cmd == "backup") {
+      VolumeId vid = 0;
+      std::string file;
+      in >> vid >> file;
+      auto dump = campus.registry().BackupVolume(vid);
+      if (!dump.ok()) {
+        std::printf("%s\n", StatusName(dump.status()).data());
+      } else {
+        std::ofstream out(file, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char*>(dump->data()),
+                  static_cast<std::streamsize>(dump->size()));
+        std::printf("dumped %zu bytes to %s\n", dump->size(), file.c_str());
+      }
+    } else if (cmd == "restore") {
+      std::string file, name;
+      ServerId server = 0;
+      in >> file >> name >> server;
+      std::ifstream is(file, std::ios::binary);
+      if (!is) {
+        std::printf("cannot read %s\n", file.c_str());
+      } else {
+        Bytes dump((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+        auto vid = campus.registry().RestoreVolume(dump, name, server);
+        if (vid.ok()) {
+          std::printf("restored as volume %u at server %u\n", *vid, server);
+        } else {
+          std::printf("%s\n", StatusName(vid.status()).data());
+        }
+      }
+    } else if (cmd == "examine") {
+      VolumeId vid = 0;
+      in >> vid;
+      vice::Volume* vol = campus.registry().FindVolume(vid);
+      auto info = campus.registry().location().Find(vid);
+      if (vol == nullptr || !info.has_value()) {
+        std::printf("no such volume\n");
+      } else {
+        std::printf("volume %u '%s': %s, %s, custodian server %u\n", vid,
+                    vol->name().c_str(), vol->read_only() ? "read-only" : "read-write",
+                    vol->online() ? "online" : "OFFLINE", info->custodian);
+        std::printf("  %zu vnodes, %llu bytes used, quota %llu, ro-clone %u\n",
+                    vol->vnode_count(),
+                    static_cast<unsigned long long>(vol->usage_bytes()),
+                    static_cast<unsigned long long>(vol->quota_bytes()), info->ro_clone);
+      }
+    } else if (cmd == "listvldb") {
+      for (const auto& [vid, info] : campus.registry().location().volumes) {
+        std::printf("  vol %-4u custodian s%-2u %s", vid, info.custodian,
+                    info.read_only ? "RO" : "RW");
+        if (!info.replica_sites.empty()) {
+          std::printf("  sites:");
+          for (ServerId s : info.replica_sites) std::printf(" %u", s);
+        }
+        std::printf("\n");
+      }
+    } else if (cmd == "monitor") {
+      auto report = monitor.Scan();
+      pending = report.moves;
+      std::printf("%zu recommendation(s)\n", pending.size());
+      for (const auto& rec : pending) std::printf("  %s\n", rec.Describe().c_str());
+    } else if (cmd == "apply") {
+      for (const auto& rec : pending) {
+        std::printf("%s: %s\n", rec.Describe().c_str(),
+                    StatusName(monitor.Apply(rec)).data());
+      }
+      pending.clear();
+    } else {
+      std::printf("unknown command (try 'help')\n");
+    }
+    std::printf("vos> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}
