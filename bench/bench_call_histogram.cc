@@ -29,13 +29,15 @@ const PaperRow kPaper[] = {
     {vice::CallClass::kStore, 2.0},
 };
 
-void RunOne(const std::string& label, campus::CampusConfig campus_config) {
+void RunOne(const std::string& label, campus::CampusConfig campus_config,
+            std::vector<RpcStatsRun>* json_runs) {
   UserDayLabConfig config;
   config.campus = std::move(campus_config);
   config.user_day.operations = 1500;
   UserDayLab lab(config);
   lab.Run();
 
+  json_runs->push_back({label, lab.campus().TotalCallStats()});
   const auto hist = lab.campus().TotalCallHistogram();
   // Exclude connection-establishment-time classes? The paper's histogram is
   // steady-state; our TestAuth/GetVolumeInfo traffic lands in kOther/kStatus
@@ -75,14 +77,17 @@ int main() {
   std::printf("workload: 20 workstations x 1500 operations, one cluster server,\n"
               "          synthetic user day (zipf file popularity, edit cycles)\n");
 
+  std::vector<RpcStatsRun> json_runs;
   RunOne("prototype (check-on-open, server-side pathnames)",
-         campus::CampusConfig::Prototype(1, 20));
+         campus::CampusConfig::Prototype(1, 20), &json_runs);
 
   RunOne("revised (callbacks, client-side pathnames) — same workload",
-         campus::CampusConfig::Revised(1, 20));
+         campus::CampusConfig::Revised(1, 20), &json_runs);
 
   std::printf("\nshape check: under check-on-open, validation dominates (the paper's\n"
               "65%%) and fetch/store stay single-digit; callbacks eliminate nearly\n"
               "all validation traffic, which is exactly the Section 3.2 argument.\n");
+
+  WriteRpcStatsJson("BENCH_rpc.json", json_runs);
   return 0;
 }

@@ -23,6 +23,17 @@ namespace itc::bench {
 void PrintTitle(const std::string& bench, const std::string& paper_claim);
 void PrintSection(const std::string& name);
 
+// One labelled CallStats snapshot (e.g. "prototype", "revised") destined for
+// the machine-readable dump.
+struct RpcStatsRun {
+  std::string label;
+  rpc::CallStats stats;
+};
+
+// Writes per-op counts, error counts, byte totals, and latency
+// mean/p50/p95/p99/max (microseconds) for each run as JSON to `path`.
+void WriteRpcStatsJson(const std::string& path, const std::vector<RpcStatsRun>& runs);
+
 // A campus of synthetic users, one per workstation, each with a home volume
 // on the server in its own cluster, plus a shared system volume (mounted at
 // /unix/sun) custodian-ed by server 0 and optionally released read-only to

@@ -169,19 +169,17 @@ Status Campus::PopulateDirect(VolumeId volume, const std::string& path, const By
   return registry_.BreakVolumeCallbacks(volume);
 }
 
-std::map<vice::CallClass, uint64_t> Campus::TotalCallHistogram() const {
-  std::map<vice::CallClass, uint64_t> total;
-  for (const auto& server : servers_) {
-    for (const auto& [cls, count] : server->CallHistogram()) total[cls] += count;
-  }
+rpc::CallStats Campus::TotalCallStats() const {
+  rpc::CallStats total;
+  for (const auto& server : servers_) total.Merge(server->endpoint().call_stats());
   return total;
 }
 
-uint64_t Campus::TotalCalls() const {
-  uint64_t n = 0;
-  for (const auto& server : servers_) n += server->total_calls();
-  return n;
+std::map<vice::CallClass, uint64_t> Campus::TotalCallHistogram() const {
+  return TotalCallStats().Histogram();
 }
+
+uint64_t Campus::TotalCalls() const { return TotalCallStats().total_calls(); }
 
 void Campus::ResetAllStats() {
   for (auto& server : servers_) server->ResetStats();

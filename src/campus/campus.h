@@ -92,7 +92,10 @@ class Campus {
   // Home server of a workstation: the first server in its own cluster.
   ServerId HomeServerOf(uint32_t workstation_index) const;
 
-  // Aggregated server call histogram across all servers.
+  // Aggregated per-op CallStats across all servers (counts, bytes, latency
+  // histograms — recorded by the RPC tracing interceptor).
+  rpc::CallStats TotalCallStats() const;
+  // The Section 5.2 call-class collapse of TotalCallStats().
   std::map<vice::CallClass, uint64_t> TotalCallHistogram() const;
   uint64_t TotalCalls() const;
   void ResetAllStats();

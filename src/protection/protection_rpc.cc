@@ -20,15 +20,67 @@ void PutPrincipal(rpc::Writer& w, Principal p) {
 
 }  // namespace
 
+const rpc::OpSchema& ProtectionOpSchema() {
+  using P = ProtectionProc;
+  auto op = [](P p) { return static_cast<uint32_t>(p); };
+  static const rpc::OpSchema schema(
+      "protection",
+      {
+          {op(P::kCreateUser), "CreateUser", rpc::CallClass::kOther, false, 0,
+           "`string name, string password`", "`u32 user`"},
+          {op(P::kCreateGroup), "CreateGroup", rpc::CallClass::kOther, false, 0,
+           "`string name`", "`u32 group`"},
+          {op(P::kAddToGroup), "AddToGroup", rpc::CallClass::kOther, false, 0,
+           "`u8 kind (0 user, 1 group), u32 id, u32 group`", "—"},
+          {op(P::kRemoveFromGroup), "RemoveFromGroup", rpc::CallClass::kOther, false, 0,
+           "`u8 kind (0 user, 1 group), u32 id, u32 group`", "—"},
+          {op(P::kSetPassword), "SetPassword", rpc::CallClass::kOther, false, 0,
+           "`u32 user, string password`", "—"},
+          {op(P::kWhoAmI), "WhoAmI", rpc::CallClass::kOther, true, 0, "—",
+           "`u32 user, u32 cps_size`"},
+      });
+  return schema;
+}
+
 ProtectionRpcServer::ProtectionRpcServer(NodeId node, net::Network* network,
                                          const sim::CostModel& cost,
                                          rpc::RpcConfig rpc_config,
                                          ProtectionService* service, uint64_t nonce_seed)
     : service_(service),
+      registry_(&ProtectionOpSchema()),
       endpoint_(
           node, network, cost, rpc_config,
           [service](UserId user) { return service->db().UserKey(user); }, nonce_seed) {
-  endpoint_.set_service(this);
+  BindOps();
+  endpoint_.set_registry(&registry_);
+}
+
+void ProtectionRpcServer::BindOps() {
+  auto bind = [this](ProtectionProc proc, auto handler) {
+    registry_.Bind(static_cast<uint32_t>(proc),
+                   [this, handler](rpc::CallContext& ctx,
+                                   const Bytes& request) -> Result<Bytes> {
+                     rpc::Reader r(request);
+                     return handler(ctx, r);
+                   });
+  };
+  bind(ProtectionProc::kWhoAmI,
+       [this](rpc::CallContext& ctx, rpc::Reader&) { return HandleWhoAmI(ctx); });
+  bind(ProtectionProc::kCreateUser, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleCreateUser(ctx, r);
+  });
+  bind(ProtectionProc::kCreateGroup, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleCreateGroup(ctx, r);
+  });
+  bind(ProtectionProc::kAddToGroup, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleGroupMembership(ctx, r, /*add=*/true);
+  });
+  bind(ProtectionProc::kRemoveFromGroup, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleGroupMembership(ctx, r, /*add=*/false);
+  });
+  bind(ProtectionProc::kSetPassword, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleSetPassword(ctx, r);
+  });
 }
 
 bool ProtectionRpcServer::IsAdministrator(UserId user) const {
@@ -38,68 +90,63 @@ bool ProtectionRpcServer::IsAdministrator(UserId user) const {
   return false;
 }
 
-Result<Bytes> ProtectionRpcServer::Dispatch(rpc::CallContext& ctx, uint32_t proc_raw,
-                                            const Bytes& request) {
-  rpc::Reader r(request);
-  const auto proc = static_cast<ProtectionProc>(proc_raw);
+Bytes ProtectionRpcServer::HandleWhoAmI(rpc::CallContext& ctx) {
+  rpc::Writer w;
+  w.PutStatus(Status::kOk);
+  w.PutU32(ctx.user());
+  w.PutU32(static_cast<uint32_t>(service_->db().CPS(ctx.user()).size()));
+  return w.Take();
+}
 
-  // Every mutation except SetPassword-on-self is administrators-only.
-  switch (proc) {
-    case ProtectionProc::kWhoAmI: {
-      rpc::Writer w;
-      w.PutStatus(Status::kOk);
-      w.PutU32(ctx.user());
-      w.PutU32(static_cast<uint32_t>(service_->db().CPS(ctx.user()).size()));
-      return w.Take();
-    }
-    case ProtectionProc::kCreateUser: {
-      if (!IsAdministrator(ctx.user())) return rpc::StatusOnlyReply(Status::kPermissionDenied);
-      auto name = r.String();
-      auto pw = name.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
-      if (!pw.ok()) return rpc::StatusOnlyReply(Status::kProtocolError);
-      auto user = service_->CreateUser(*name, *pw);
-      if (!user.ok()) return rpc::StatusOnlyReply(user.status());
-      ctx.ChargeDisk(0);  // database update
-      rpc::Writer w;
-      w.PutStatus(Status::kOk);
-      w.PutU32(*user);
-      return w.Take();
-    }
-    case ProtectionProc::kCreateGroup: {
-      if (!IsAdministrator(ctx.user())) return rpc::StatusOnlyReply(Status::kPermissionDenied);
-      auto name = r.String();
-      if (!name.ok()) return rpc::StatusOnlyReply(Status::kProtocolError);
-      auto group = service_->CreateGroup(*name);
-      if (!group.ok()) return rpc::StatusOnlyReply(group.status());
-      ctx.ChargeDisk(0);
-      rpc::Writer w;
-      w.PutStatus(Status::kOk);
-      w.PutU32(*group);
-      return w.Take();
-    }
-    case ProtectionProc::kAddToGroup:
-    case ProtectionProc::kRemoveFromGroup: {
-      if (!IsAdministrator(ctx.user())) return rpc::StatusOnlyReply(Status::kPermissionDenied);
-      auto member = ReadPrincipal(r);
-      auto group = member.ok() ? r.U32() : Result<uint32_t>(Status::kProtocolError);
-      if (!group.ok()) return rpc::StatusOnlyReply(Status::kProtocolError);
-      ctx.ChargeDisk(0);
-      return rpc::StatusOnlyReply(proc == ProtectionProc::kAddToGroup
-                             ? service_->AddToGroup(*member, *group)
-                             : service_->RemoveFromGroup(*member, *group));
-    }
-    case ProtectionProc::kSetPassword: {
-      auto user = r.U32();
-      auto pw = user.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
-      if (!pw.ok()) return rpc::StatusOnlyReply(Status::kProtocolError);
-      if (*user != ctx.user() && !IsAdministrator(ctx.user())) {
-        return rpc::StatusOnlyReply(Status::kPermissionDenied);
-      }
-      ctx.ChargeDisk(0);
-      return rpc::StatusOnlyReply(service_->SetPassword(*user, *pw));
-    }
+// Every mutation except SetPassword-on-self is administrators-only.
+
+Bytes ProtectionRpcServer::HandleCreateUser(rpc::CallContext& ctx, rpc::Reader& r) {
+  if (!IsAdministrator(ctx.user())) return rpc::StatusOnlyReply(Status::kPermissionDenied);
+  auto name = r.String();
+  auto pw = name.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
+  if (!pw.ok()) return rpc::StatusOnlyReply(Status::kProtocolError);
+  auto user = service_->CreateUser(*name, *pw);
+  if (!user.ok()) return rpc::StatusOnlyReply(user.status());
+  ctx.ChargeDisk(0);  // database update
+  rpc::Writer w;
+  w.PutStatus(Status::kOk);
+  w.PutU32(*user);
+  return w.Take();
+}
+
+Bytes ProtectionRpcServer::HandleCreateGroup(rpc::CallContext& ctx, rpc::Reader& r) {
+  if (!IsAdministrator(ctx.user())) return rpc::StatusOnlyReply(Status::kPermissionDenied);
+  auto name = r.String();
+  if (!name.ok()) return rpc::StatusOnlyReply(Status::kProtocolError);
+  auto group = service_->CreateGroup(*name);
+  if (!group.ok()) return rpc::StatusOnlyReply(group.status());
+  ctx.ChargeDisk(0);
+  rpc::Writer w;
+  w.PutStatus(Status::kOk);
+  w.PutU32(*group);
+  return w.Take();
+}
+
+Bytes ProtectionRpcServer::HandleGroupMembership(rpc::CallContext& ctx, rpc::Reader& r,
+                                                 bool add) {
+  if (!IsAdministrator(ctx.user())) return rpc::StatusOnlyReply(Status::kPermissionDenied);
+  auto member = ReadPrincipal(r);
+  auto group = member.ok() ? r.U32() : Result<uint32_t>(Status::kProtocolError);
+  if (!group.ok()) return rpc::StatusOnlyReply(Status::kProtocolError);
+  ctx.ChargeDisk(0);
+  return rpc::StatusOnlyReply(add ? service_->AddToGroup(*member, *group)
+                                  : service_->RemoveFromGroup(*member, *group));
+}
+
+Bytes ProtectionRpcServer::HandleSetPassword(rpc::CallContext& ctx, rpc::Reader& r) {
+  auto user = r.U32();
+  auto pw = user.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
+  if (!pw.ok()) return rpc::StatusOnlyReply(Status::kProtocolError);
+  if (*user != ctx.user() && !IsAdministrator(ctx.user())) {
+    return rpc::StatusOnlyReply(Status::kPermissionDenied);
   }
-  return Status::kProtocolError;
+  ctx.ChargeDisk(0);
+  return rpc::StatusOnlyReply(service_->SetPassword(*user, *pw));
 }
 
 ProtectionClient::ProtectionClient(NodeId node, sim::Clock* clock,
@@ -108,9 +155,10 @@ ProtectionClient::ProtectionClient(NodeId node, sim::Clock* clock,
     : node_(node), clock_(clock), server_(server), network_(network), cost_(cost) {}
 
 Status ProtectionClient::Connect(UserId user, const crypto::Key& user_key, uint64_t seed) {
-  ASSIGN_OR_RETURN(conn_, rpc::ClientConnection::Connect(node_, user, user_key,
-                                                         &server_->endpoint(), network_,
-                                                         cost_, clock_, seed));
+  ASSIGN_OR_RETURN(conn_, rpc::ClientConnection::Connect(
+                              node_, user, user_key, &server_->endpoint(), network_,
+                              cost_, clock_, seed,
+                              rpc::ClientOptions{&ProtectionOpSchema(), nullptr}));
   return Status::kOk;
 }
 

@@ -19,7 +19,9 @@
 #include <string>
 
 #include "src/protection/protection_service.h"
+#include "src/rpc/op_registry.h"
 #include "src/rpc/rpc.h"
+#include "src/rpc/wire.h"
 
 namespace itc::protection {
 
@@ -32,20 +34,31 @@ enum class ProtectionProc : uint32_t {
   kWhoAmI = 6,           // () -> caller's user id and CPS size
 };
 
-class ProtectionRpcServer : public rpc::Service {
+// The protection server's typed op table; only kWhoAmI is idempotent — every
+// mutation must run at most once.
+const rpc::OpSchema& ProtectionOpSchema();
+
+class ProtectionRpcServer {
  public:
   ProtectionRpcServer(NodeId node, net::Network* network, const sim::CostModel& cost,
                       rpc::RpcConfig rpc_config, ProtectionService* service,
                       uint64_t nonce_seed);
 
   rpc::ServerEndpoint& endpoint() { return endpoint_; }
-
-  Result<Bytes> Dispatch(rpc::CallContext& ctx, uint32_t proc, const Bytes& request) override;
+  const rpc::ServerEndpoint& endpoint() const { return endpoint_; }
 
  private:
+  void BindOps();
   bool IsAdministrator(UserId user) const;
 
+  Bytes HandleWhoAmI(rpc::CallContext& ctx);
+  Bytes HandleCreateUser(rpc::CallContext& ctx, rpc::Reader& r);
+  Bytes HandleCreateGroup(rpc::CallContext& ctx, rpc::Reader& r);
+  Bytes HandleGroupMembership(rpc::CallContext& ctx, rpc::Reader& r, bool add);
+  Bytes HandleSetPassword(rpc::CallContext& ctx, rpc::Reader& r);
+
   ProtectionService* service_;
+  rpc::OpRegistry registry_;
   rpc::ServerEndpoint endpoint_;
 };
 

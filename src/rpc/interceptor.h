@@ -1,0 +1,207 @@
+// Composable interceptor chains for the RPC package.
+//
+// Server side, every decrypted call runs through the endpoint's chain:
+//
+//   tracing (CallStats) -> fault injection -> [dispatch + resource charging]
+//
+// Client side, every stub call runs through the connection's chain:
+//
+//   tracing (CallStats) -> retry/backoff -> deadline -> [seal + ship]
+//
+// The retry interceptor implements §3.5.3's RPC-level reliability for the
+// datagram transport: only idempotent operations (per the op schema) are
+// retried, so mutators keep at-most-once semantics. The fault-injection
+// interceptor gives availability tests a seeded, deterministic way to fail a
+// server (or drop individual replies) without poking server internals.
+
+#ifndef SRC_RPC_INTERCEPTOR_H_
+#define SRC_RPC_INTERCEPTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/rpc/call_stats.h"
+#include "src/rpc/op_registry.h"
+#include "src/rpc/rpc.h"
+#include "src/sim/clock.h"
+
+namespace itc::rpc {
+
+// --- Server side -------------------------------------------------------------
+
+// Per-call metadata visible to server interceptors. `op` is null for opcodes
+// outside the registered schema (including the legacy Service path).
+// `arrival` may be pushed later by a delay-injecting interceptor; the
+// terminal stage serves CPU/disk from it and stores the reply-departure time
+// through `completion`.
+struct ServerCallInfo {
+  const OpSpec* op = nullptr;
+  uint32_t opcode = 0;
+  UserId user = kAnonymousUser;
+  NodeId client_node = kInvalidNode;
+  SimTime arrival = 0;
+  SimTime* completion = nullptr;
+};
+
+class ServerInterceptor {
+ public:
+  using Next = std::function<Result<Bytes>(const Bytes& request)>;
+
+  virtual ~ServerInterceptor() = default;
+  virtual Result<Bytes> Intercept(ServerCallInfo& info, const Bytes& request,
+                                  const Next& next) = 0;
+};
+
+class ServerInterceptorChain {
+ public:
+  // Interceptors are not owned; they run in insertion order (first added is
+  // outermost).
+  void Add(ServerInterceptor* interceptor) { interceptors_.push_back(interceptor); }
+
+  Result<Bytes> Run(ServerCallInfo& info, const Bytes& request,
+                    const ServerInterceptor::Next& terminal) const;
+
+ private:
+  Result<Bytes> RunFrom(size_t index, ServerCallInfo& info, const Bytes& request,
+                        const ServerInterceptor::Next& terminal) const;
+
+  std::vector<ServerInterceptor*> interceptors_;
+};
+
+// Records every call into a CallStats table: count, bytes in/out, latency
+// (reply departure minus arrival), and the outcome status. For schema ops
+// the application status is peeked from the reply prologue; transport-level
+// failures are recorded under their own status code.
+class ServerTracingInterceptor : public ServerInterceptor {
+ public:
+  explicit ServerTracingInterceptor(CallStats* stats) : stats_(stats) {}
+
+  Result<Bytes> Intercept(ServerCallInfo& info, const Bytes& request,
+                          const Next& next) override;
+
+ private:
+  CallStats* stats_;
+};
+
+// Seeded fault injection (drop / delay / error, filtered by call class via
+// FaultConfig), plus two deterministic controls for tests:
+//   * set_fail_all(true) — total outage: every call (and, via the endpoint,
+//     every handshake) fails kUnavailable until cleared;
+//   * DropNextReplies(n, cls) — the next n matching calls EXECUTE on the
+//     server but their replies are lost, which is exactly the §3.5.3 case
+//     that distinguishes retryable idempotent ops from at-most-once mutators.
+class FaultInjectionInterceptor : public ServerInterceptor {
+ public:
+  explicit FaultInjectionInterceptor(uint64_t seed) : rng_(seed) {}
+
+  void set_config(const FaultConfig& config) { config_ = config; }
+  const FaultConfig& config() const { return config_; }
+
+  void set_fail_all(bool v) { fail_all_ = v; }
+  bool fail_all() const { return fail_all_; }
+
+  void DropNextReplies(uint32_t n, std::optional<CallClass> only_class = std::nullopt) {
+    drop_replies_ = n;
+    drop_replies_class_ = only_class;
+  }
+
+  Result<Bytes> Intercept(ServerCallInfo& info, const Bytes& request,
+                          const Next& next) override;
+
+ private:
+  static bool Matches(const ServerCallInfo& info, const std::optional<CallClass>& only);
+
+  FaultConfig config_;
+  Rng rng_;
+  bool fail_all_ = false;
+  uint32_t drop_replies_ = 0;
+  std::optional<CallClass> drop_replies_class_;
+};
+
+// --- Client side -------------------------------------------------------------
+
+struct ClientCallInfo {
+  const OpSpec* op = nullptr;
+  uint32_t opcode = 0;
+  NodeId server_node = kInvalidNode;
+  sim::Clock* clock = nullptr;
+  Transport transport = Transport::kDatagram;
+  uint32_t attempts = 1;  // total send attempts (retries bump it)
+};
+
+class ClientInterceptor {
+ public:
+  using Next = std::function<Result<Bytes>(const Bytes& request)>;
+
+  virtual ~ClientInterceptor() = default;
+  virtual Result<Bytes> Intercept(ClientCallInfo& info, const Bytes& request,
+                                  const Next& next) = 0;
+};
+
+class ClientInterceptorChain {
+ public:
+  void Add(std::unique_ptr<ClientInterceptor> interceptor) {
+    interceptors_.push_back(std::move(interceptor));
+  }
+  bool empty() const { return interceptors_.empty(); }
+
+  Result<Bytes> Run(ClientCallInfo& info, const Bytes& request,
+                    const ClientInterceptor::Next& terminal) const;
+
+ private:
+  Result<Bytes> RunFrom(size_t index, ClientCallInfo& info, const Bytes& request,
+                        const ClientInterceptor::Next& terminal) const;
+
+  std::vector<std::unique_ptr<ClientInterceptor>> interceptors_;
+};
+
+// Client-side view of the same per-op accounting: latency is the full round
+// trip including retries and backoff, as the workstation experienced it.
+class ClientTracingInterceptor : public ClientInterceptor {
+ public:
+  explicit ClientTracingInterceptor(CallStats* stats) : stats_(stats) {}
+
+  Result<Bytes> Intercept(ClientCallInfo& info, const Bytes& request,
+                          const Next& next) override;
+
+ private:
+  CallStats* stats_;
+};
+
+// Retries transport failures (kUnavailable, kTimedOut) with doubling backoff
+// — datagram transport only, idempotent ops only (§3.5.3: the stream
+// transport already guarantees delivery; mutators must stay at-most-once).
+class RetryInterceptor : public ClientInterceptor {
+ public:
+  explicit RetryInterceptor(RetryPolicy policy) : policy_(policy) {}
+
+  Result<Bytes> Intercept(ClientCallInfo& info, const Bytes& request,
+                          const Next& next) override;
+
+ private:
+  RetryPolicy policy_;
+};
+
+// Converts any attempt whose round trip exceeds `deadline` into kTimedOut.
+// Sits inside the retry interceptor, so the deadline is per attempt and a
+// timed-out idempotent call is retried.
+class DeadlineInterceptor : public ClientInterceptor {
+ public:
+  explicit DeadlineInterceptor(SimTime deadline) : deadline_(deadline) {}
+
+  Result<Bytes> Intercept(ClientCallInfo& info, const Bytes& request,
+                          const Next& next) override;
+
+ private:
+  SimTime deadline_;
+};
+
+}  // namespace itc::rpc
+
+#endif  // SRC_RPC_INTERCEPTOR_H_

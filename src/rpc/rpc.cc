@@ -2,6 +2,8 @@
 
 #include "src/common/logging.h"
 #include "src/crypto/cbc.h"
+#include "src/rpc/interceptor.h"
+#include "src/rpc/op_registry.h"
 #include "src/rpc/wire.h"
 
 namespace itc::rpc {
@@ -24,15 +26,27 @@ ServerEndpoint::ServerEndpoint(NodeId node, net::Network* network, const sim::Co
       key_lookup_(std::move(key_lookup)),
       nonce_seed_(nonce_seed),
       cpu_("server.cpu.node" + std::to_string(node)),
-      disk_("server.disk.node" + std::to_string(node)) {}
+      disk_("server.disk.node" + std::to_string(node)),
+      tracing_(std::make_unique<ServerTracingInterceptor>(&call_stats_)),
+      fault_(std::make_unique<FaultInjectionInterceptor>(nonce_seed ^ 0xfa017ull)),
+      chain_(std::make_unique<ServerInterceptorChain>()) {
+  fault_->set_config(config_.fault);
+  chain_->Add(tracing_.get());
+  chain_->Add(fault_.get());
+}
+
+ServerEndpoint::~ServerEndpoint() = default;
+
+void ServerEndpoint::set_config(RpcConfig config) {
+  config_ = config;
+  fault_->set_config(config_.fault);
+}
 
 Result<Bytes> ServerEndpoint::HandleCall(uint64_t conn_id, NodeId client_node,
                                          const Bytes& sealed_request, SimTime arrival,
                                          SimTime* completion) {
-  if (!online_) {
-    *completion = arrival;
-    return Status::kUnavailable;
-  }
+  *completion = arrival;
+  if (!online_ || fault_->fail_all()) return Status::kUnavailable;
   auto conn_it = connections_.find(conn_id);
   if (conn_it == connections_.end()) return Status::kConnectionBroken;
   ConnState& conn = conn_it->second;
@@ -58,28 +72,47 @@ Result<Bytes> ServerEndpoint::HandleCall(uint64_t conn_id, NodeId client_node,
   conn.last_client_seq = client_seq;
   Bytes body(request.begin() + 12, request.end());
 
-  ITC_CHECK(service_ != nullptr);
-  CallContext ctx(conn.user, client_node, arrival);
-  ASSIGN_OR_RETURN(Bytes reply, service_->Dispatch(ctx, proc, body));
+  ITC_CHECK(registry_ != nullptr || service_ != nullptr);
+  ServerCallInfo info;
+  info.op = registry_ != nullptr ? registry_->schema().Find(proc) : nullptr;
+  info.opcode = proc;
+  info.user = conn.user;
+  info.client_node = client_node;
+  info.arrival = arrival;
+  info.completion = completion;
 
-  // Charge the server's CPU: structure dispatch + per-call base + crypto +
-  // whatever the handler reported; then its disk, serialized after the CPU.
-  SimTime cpu_demand = cost_.server_cpu_per_call + ctx.cpu_demand();
-  cpu_demand += config_.server_structure == ServerStructure::kProcessPerClient
-                    ? cost_.server_context_switch
-                    : cost_.server_lwp_switch;
-  if (config_.encrypt) {
-    cpu_demand += cost_.CryptoCpu(request.size()) + cost_.CryptoCpu(reply.size());
-  }
-  SimTime t = cpu_.Serve(arrival, cpu_demand);
-  if (ctx.disk_ops() > 0) {
-    const SimTime disk_demand =
-        static_cast<SimTime>(ctx.disk_ops()) * cost_.disk_seek +
-        static_cast<SimTime>(static_cast<double>(cost_.disk_per_kb) *
-                             (static_cast<double>(ctx.disk_bytes()) / 1024.0));
-    t = disk_.Serve(t, disk_demand);
-  }
-  *completion = t;
+  // Terminal stage of the chain: dispatch into the service, then charge the
+  // server's CPU — structure dispatch + per-call base + crypto + whatever the
+  // handler reported — and its disk, serialized after the CPU. Starts from
+  // info.arrival so delay-injecting interceptors compose naturally.
+  auto terminal = [&](const Bytes& b) -> Result<Bytes> {
+    CallContext ctx(conn.user, client_node, info.arrival);
+    Result<Bytes> dispatched = registry_ != nullptr
+                                   ? registry_->Dispatch(ctx, proc, b)
+                                   : service_->Dispatch(ctx, proc, b);
+    if (!dispatched.ok()) return dispatched;
+    Bytes reply = std::move(dispatched).value();
+
+    SimTime cpu_demand = cost_.server_cpu_per_call + ctx.cpu_demand();
+    cpu_demand += config_.server_structure == ServerStructure::kProcessPerClient
+                      ? cost_.server_context_switch
+                      : cost_.server_lwp_switch;
+    if (config_.encrypt) {
+      cpu_demand += cost_.CryptoCpu(request.size()) + cost_.CryptoCpu(reply.size());
+    }
+    SimTime t = cpu_.Serve(info.arrival, cpu_demand);
+    if (ctx.disk_ops() > 0) {
+      const SimTime disk_demand =
+          static_cast<SimTime>(ctx.disk_ops()) * cost_.disk_seek +
+          static_cast<SimTime>(static_cast<double>(cost_.disk_per_kb) *
+                               (static_cast<double>(ctx.disk_bytes()) / 1024.0));
+      t = disk_.Serve(t, disk_demand);
+    }
+    *completion = t;
+    return reply;
+  };
+
+  ASSIGN_OR_RETURN(Bytes reply, chain_->Run(info, body, terminal));
 
   stats_.reply_bytes += reply.size();
   if (config_.encrypt) {
@@ -92,7 +125,8 @@ Result<Bytes> ServerEndpoint::HandleCall(uint64_t conn_id, NodeId client_node,
 ClientConnection::ClientConnection(NodeId client_node, UserId user, ServerEndpoint* server,
                                    net::Network* network, const sim::CostModel& cost,
                                    sim::Clock* clock, uint64_t conn_id,
-                                   crypto::SessionSecret secret, RpcConfig config)
+                                   crypto::SessionSecret secret, RpcConfig config,
+                                   ClientOptions options)
     : client_node_(client_node),
       user_(user),
       server_(server),
@@ -101,15 +135,29 @@ ClientConnection::ClientConnection(NodeId client_node, UserId user, ServerEndpoi
       clock_(clock),
       conn_id_(conn_id),
       secret_(secret),
-      config_(config) {}
+      config_(config),
+      options_(options),
+      chain_(std::make_unique<ClientInterceptorChain>()) {
+  // Outermost first: tracing sees the whole call including retries; the
+  // deadline is per attempt, inside the retry loop.
+  if (options_.stats != nullptr) {
+    chain_->Add(std::make_unique<ClientTracingInterceptor>(options_.stats));
+  }
+  if (config_.retry.max_retries > 0) {
+    chain_->Add(std::make_unique<RetryInterceptor>(config_.retry));
+  }
+  if (config_.call_deadline > 0) {
+    chain_->Add(std::make_unique<DeadlineInterceptor>(config_.call_deadline));
+  }
+}
 
 ClientConnection::~ClientConnection() { server_->CloseConnection(conn_id_); }
 
 Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
     NodeId client_node, UserId user, const crypto::Key& user_key, ServerEndpoint* server,
     net::Network* network, const sim::CostModel& cost, sim::Clock* clock,
-    uint64_t nonce_seed) {
-  if (!server->online_) return Status::kUnavailable;
+    uint64_t nonce_seed, ClientOptions options) {
+  if (!server->online_ || server->fault_->fail_all()) return Status::kUnavailable;
   const RpcConfig config = server->config_;
   const SimTime stream_penalty =
       config.transport == Transport::kStream ? cost.stream_transport_overhead : 0;
@@ -162,10 +210,22 @@ Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
       ServerEndpoint::ConnState{server_hs.user(), server_hs.secret(), 0};
 
   return std::unique_ptr<ClientConnection>(new ClientConnection(
-      client_node, user, server, network, cost, clock, conn_id, *secret, config));
+      client_node, user, server, network, cost, clock, conn_id, *secret, config,
+      options));
 }
 
 Result<Bytes> ClientConnection::Call(uint32_t proc, const Bytes& request) {
+  ClientCallInfo info;
+  info.op = options_.schema != nullptr ? options_.schema->Find(proc) : nullptr;
+  info.opcode = proc;
+  info.server_node = server_->node();
+  info.clock = clock_;
+  info.transport = config_.transport;
+  return chain_->Run(info, request,
+                     [this, proc](const Bytes& req) { return SendOnce(proc, req); });
+}
+
+Result<Bytes> ClientConnection::SendOnce(uint32_t proc, const Bytes& request) {
   const SimTime stream_penalty =
       config_.transport == Transport::kStream ? cost_.stream_transport_overhead : 0;
 

@@ -34,14 +34,44 @@
 #include "src/crypto/handshake.h"
 #include "src/crypto/key.h"
 #include "src/net/network.h"
+#include "src/rpc/call_stats.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/resource.h"
 
 namespace itc::rpc {
 
+class OpRegistry;
+class OpSchema;
+class ServerInterceptorChain;
+class ServerTracingInterceptor;
+class FaultInjectionInterceptor;
+class ClientInterceptorChain;
+
 enum class Transport { kStream, kDatagram };
 enum class ServerStructure { kProcessPerClient, kLwp };
+
+// Client-stub retry policy (§3.5.3 RPC-level reliability). Applied by the
+// RetryInterceptor to datagram-transport calls on ops the schema marks
+// idempotent; mutators are never blindly resent (at-most-once).
+struct RetryPolicy {
+  uint32_t max_retries = 0;               // 0 disables the interceptor
+  SimTime initial_backoff = Millis(20);   // doubles after each failed attempt
+};
+
+// Seeded fault injection applied at the server endpoint (probabilities per
+// matching call; `only_class` restricts faults to one call class). Tests use
+// this — plus FaultInjectionInterceptor's deterministic set_fail_all /
+// DropNextReplies controls — instead of mutating server internals.
+struct FaultConfig {
+  double drop_probability = 0;        // request lost before execution
+  double reply_drop_probability = 0;  // executed, reply lost
+  double error_probability = 0;       // answered with `error`, not executed
+  Status error = Status::kUnavailable;
+  double delay_probability = 0;
+  SimTime delay = 0;
+  std::optional<CallClass> only_class;
+};
 
 struct RpcConfig {
   Transport transport = Transport::kDatagram;
@@ -49,6 +79,11 @@ struct RpcConfig {
   // When false, messages travel unsealed (no crypto CPU, no integrity);
   // exists for the security-cost ablation only.
   bool encrypt = true;
+  // Client-side interceptors: retries and a per-attempt deadline (0 = none).
+  RetryPolicy retry;
+  SimTime call_deadline = 0;
+  // Server-side fault injection (inert by default).
+  FaultConfig fault;
 };
 
 // Per-call server-side context handed to the service implementation. The
@@ -112,9 +147,14 @@ class ServerEndpoint {
 
   ServerEndpoint(NodeId node, net::Network* network, const sim::CostModel& cost,
                  RpcConfig config, KeyLookup key_lookup, uint64_t nonce_seed);
+  ~ServerEndpoint();
 
+  // Legacy dispatch path: a monolithic Service. New services register a
+  // typed OpRegistry instead (set_registry); the registry wins when both are
+  // set.
   void set_service(Service* service) { service_ = service; }
-  void set_config(RpcConfig config) { config_ = config; }
+  void set_registry(const OpRegistry* registry) { registry_ = registry; }
+  void set_config(RpcConfig config);
 
   // Simulated machine failure: while offline the endpoint accepts no
   // handshakes and answers no calls (kUnavailable). Existing connection
@@ -127,7 +167,15 @@ class ServerEndpoint {
   sim::Resource& cpu() { return cpu_; }
   sim::Resource& disk() { return disk_; }
   const RpcStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = RpcStats{}; }
+  // Per-op tracing recorded by the server interceptor chain.
+  CallStats& call_stats() { return call_stats_; }
+  const CallStats& call_stats() const { return call_stats_; }
+  // The endpoint's fault injector (tests: set_fail_all, DropNextReplies).
+  FaultInjectionInterceptor& fault() { return *fault_; }
+  void ResetStats() {
+    stats_ = RpcStats{};
+    call_stats_.Reset();
+  }
 
   // Internal API used by ClientConnection (in-process message delivery).
   struct ConnState {
@@ -157,10 +205,25 @@ class ServerEndpoint {
   bool online_ = true;
   uint64_t next_connection_id_ = 1;
   Service* service_ = nullptr;
+  const OpRegistry* registry_ = nullptr;
   sim::Resource cpu_;
   sim::Resource disk_;
   std::unordered_map<uint64_t, ConnState> connections_;
   RpcStats stats_;
+  CallStats call_stats_;
+  // Server interceptor chain: tracing (outermost) then fault injection,
+  // wrapped around dispatch + resource charging.
+  std::unique_ptr<ServerTracingInterceptor> tracing_;
+  std::unique_ptr<FaultInjectionInterceptor> fault_;
+  std::unique_ptr<ServerInterceptorChain> chain_;
+};
+
+// Optional client-stub wiring: the op schema of the service being called
+// (enables the retry interceptor's idempotency check and labels traces) and
+// a CallStats table to record the client-observed round trips into.
+struct ClientOptions {
+  const OpSchema* schema = nullptr;
+  CallStats* stats = nullptr;
 };
 
 // Client side: an authenticated, encrypted connection from one user on one
@@ -174,15 +237,16 @@ class ClientConnection {
   static Result<std::unique_ptr<ClientConnection>> Connect(
       NodeId client_node, UserId user, const crypto::Key& user_key, ServerEndpoint* server,
       net::Network* network, const sim::CostModel& cost, sim::Clock* clock,
-      uint64_t nonce_seed);
+      uint64_t nonce_seed, ClientOptions options = {});
 
   ~ClientConnection();
   ClientConnection(const ClientConnection&) = delete;
   ClientConnection& operator=(const ClientConnection&) = delete;
 
-  // Performs one RPC: seals `request`, ships it to the server, runs the
-  // service, ships the reply back, advancing the client clock to the moment
-  // the reply has been decrypted.
+  // Performs one RPC through the client interceptor chain (tracing, retry,
+  // deadline): seals `request`, ships it to the server, runs the service,
+  // ships the reply back, advancing the client clock to the moment the reply
+  // has been decrypted.
   Result<Bytes> Call(uint32_t proc, const Bytes& request);
 
   UserId user() const { return user_; }
@@ -192,7 +256,11 @@ class ClientConnection {
  private:
   ClientConnection(NodeId client_node, UserId user, ServerEndpoint* server,
                    net::Network* network, const sim::CostModel& cost, sim::Clock* clock,
-                   uint64_t conn_id, crypto::SessionSecret secret, RpcConfig config);
+                   uint64_t conn_id, crypto::SessionSecret secret, RpcConfig config,
+                   ClientOptions options);
+
+  // One wire attempt: frame, seal, ship, await, unseal.
+  Result<Bytes> SendOnce(uint32_t proc, const Bytes& request);
 
   NodeId client_node_;
   UserId user_;
@@ -203,6 +271,8 @@ class ClientConnection {
   uint64_t conn_id_;
   crypto::SessionSecret secret_;
   RpcConfig config_;
+  ClientOptions options_;
+  std::unique_ptr<ClientInterceptorChain> chain_;
   uint64_t seq_ = 0;
 };
 

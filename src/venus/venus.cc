@@ -88,7 +88,9 @@ Result<rpc::ClientConnection*> Venus::ConnectionTo(ServerId server) {
       rpc::ClientConnection::Connect(node_, user_, user_key_, &vs->endpoint(), network_,
                                      cost_, clock_,
                                      seed_ ^ (static_cast<uint64_t>(server) << 32) ^
-                                         static_cast<uint64_t>(clock_->now())));
+                                         static_cast<uint64_t>(clock_->now()),
+                                     rpc::ClientOptions{&vice::ViceOpSchema(),
+                                                        &call_stats_}));
   vs->RegisterCallbackSink(node_, this);
   rpc::ClientConnection* raw = conn.get();
   connections_[server] = std::move(conn);
@@ -894,7 +896,10 @@ void Venus::FlushCache() {
   }
 }
 
-void Venus::ResetStats() { stats_ = VenusStats{}; }
+void Venus::ResetStats() {
+  stats_ = VenusStats{};
+  call_stats_.Reset();
+}
 
 void Venus::OnCallbackBroken(const Fid& fid) {
   stats_.callback_breaks_received += 1;

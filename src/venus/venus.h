@@ -161,6 +161,9 @@ class Venus : public vice::CallbackReceiver {
   void FlushCache();
   FileCache& cache() { return cache_; }
   const VenusStats& stats() const { return stats_; }
+  // Client-observed per-op round trips (recorded by the stub's tracing
+  // interceptor, including retries).
+  const rpc::CallStats& call_stats() const { return call_stats_; }
   void ResetStats();
 
   NodeId node() const { return node_; }
@@ -248,6 +251,7 @@ class Venus : public vice::CallbackReceiver {
   std::vector<Fid> dirty_queue_;
 
   VenusStats stats_;
+  rpc::CallStats call_stats_;
 };
 
 }  // namespace itc::venus

@@ -18,6 +18,7 @@ ViceServer::ViceServer(ServerId id, NodeId node, net::Network* network,
       network_(network),
       cost_(cost),
       config_(config),
+      registry_(&ViceOpSchema()),
       endpoint_(
           node, network, cost, rpc_config,
           [this](UserId user) -> std::optional<crypto::Key> {
@@ -26,7 +27,8 @@ ViceServer::ViceServer(ServerId id, NodeId node, net::Network* network,
           },
           nonce_seed) {
   protection->RegisterReplica(&protection_replica_);
-  endpoint_.set_service(this);
+  BindOps();
+  endpoint_.set_registry(&registry_);
 }
 
 void ViceServer::InstallVolume(std::unique_ptr<Volume> volume) {
@@ -70,19 +72,12 @@ void ViceServer::UnregisterCallbackSink(NodeId node) {
 }
 
 std::map<CallClass, uint64_t> ViceServer::CallHistogram() const {
-  std::map<CallClass, uint64_t> hist;
-  for (const auto& [proc, count] : call_counts_) hist[ClassOf(proc)] += count;
-  return hist;
+  return endpoint_.call_stats().Histogram();
 }
 
-uint64_t ViceServer::total_calls() const {
-  uint64_t n = 0;
-  for (const auto& [proc, count] : call_counts_) n += count;
-  return n;
-}
+uint64_t ViceServer::total_calls() const { return endpoint_.call_stats().total_calls(); }
 
 void ViceServer::ResetStats() {
-  call_counts_.clear();
   callbacks_.ResetStats();
   endpoint_.ResetStats();
   endpoint_.cpu().Reset();
@@ -150,89 +145,94 @@ void ViceServer::NoteVolumeAccess(VolumeId volume, NodeId client) {
   volume_accesses_[volume][network_->topology().ClusterOf(client)] += 1;
 }
 
-// --- Dispatch -------------------------------------------------------------------
+// --- Op bindings ----------------------------------------------------------------
 
-Result<Bytes> ViceServer::Dispatch(rpc::CallContext& ctx, uint32_t proc_raw,
-                                   const Bytes& request) {
-  const Proc proc = static_cast<Proc>(proc_raw);
-  call_counts_[proc] += 1;
-  // Volumes stamp mtimes from this; FindVolume applies it lazily to just
-  // the volume a handler actually touches.
-  now_ = ctx.arrival();
-
-  // In the prototype, "workstations present servers with entire pathnames
-  // of files and the servers do the traversing of pathnames prior to
-  // retrieving the files" (Section 4) — every data/status call pays name
-  // resolution, not just ResolvePath. Charge a typical working depth of
-  // CPU plus the namei directory reads that miss the buffer cache.
-  if (config_.server_side_pathnames) {
-    switch (proc) {
-      case Proc::kFetch:
-      case Proc::kFetchStatus:
-      case Proc::kValidate:
-      case Proc::kStore:
-      case Proc::kSetStatus:
+void ViceServer::BindOps() {
+  // `bind` wraps each handler with the shared prologue: stamp the volume
+  // clock, and — in the prototype, where "workstations present servers with
+  // entire pathnames of files and the servers do the traversing of pathnames
+  // prior to retrieving the files" (Section 4) — charge every flagged
+  // data/status call the name-resolution CPU plus the namei directory reads
+  // that miss the buffer cache.
+  auto bind = [this](Proc proc, auto handler) {
+    const uint32_t opcode = static_cast<uint32_t>(proc);
+    const rpc::OpSpec* spec = ViceOpSchema().Find(opcode);
+    ITC_CHECK(spec != nullptr);
+    registry_.Bind(opcode, [this, spec, handler](rpc::CallContext& ctx,
+                                                 const Bytes& request) -> Result<Bytes> {
+      // Volumes stamp mtimes from this; FindVolume applies it lazily to just
+      // the volume the handler actually touches.
+      now_ = ctx.arrival();
+      if (config_.server_side_pathnames && (spec->flags & kOpChargesPathname) != 0) {
         ctx.ChargeCpu(cost_.prototype_path_depth * cost_.server_cpu_per_path_component);
         // namei directory blocks + inode + the .admin companion read.
         for (int i = 0; i < cost_.prototype_namei_disk_ops; ++i) ctx.ChargeDisk(0);
-        break;
-      default:
-        break;
-    }
-  }
+      }
+      rpc::Reader r(request);
+      return handler(ctx, r);
+    });
+  };
 
-  rpc::Reader r(request);
-  switch (proc) {
-    case Proc::kTestAuth:
-      return StatusReply(Status::kOk);
-    case Proc::kGetTime: {
-      rpc::Writer w;
-      w.PutStatus(Status::kOk);
-      w.PutI64(ctx.arrival());
-      return w.Take();
-    }
-    case Proc::kGetVolumeInfo:
-      return HandleGetVolumeInfo(ctx, r);
-    case Proc::kGetRootVolume:
-      return HandleGetRootVolume(ctx);
-    case Proc::kFetch:
-      return HandleFetch(ctx, r, /*with_data=*/true);
-    case Proc::kFetchStatus:
-      return HandleFetch(ctx, r, /*with_data=*/false);
-    case Proc::kValidate:
-      return HandleValidate(ctx, r);
-    case Proc::kStore:
-      return HandleStore(ctx, r);
-    case Proc::kSetStatus:
-      return HandleSetStatus(ctx, r);
-    case Proc::kCreateFile:
-    case Proc::kMakeDir:
-    case Proc::kMakeSymlink:
+  bind(Proc::kTestAuth,
+       [](rpc::CallContext&, rpc::Reader&) { return StatusReply(Status::kOk); });
+  bind(Proc::kGetTime, [](rpc::CallContext& ctx, rpc::Reader&) {
+    rpc::Writer w;
+    w.PutStatus(Status::kOk);
+    w.PutI64(ctx.arrival());
+    return w.Take();
+  });
+  bind(Proc::kGetVolumeInfo, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleGetVolumeInfo(ctx, r);
+  });
+  bind(Proc::kGetRootVolume,
+       [this](rpc::CallContext& ctx, rpc::Reader&) { return HandleGetRootVolume(ctx); });
+  bind(Proc::kFetch, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleFetch(ctx, r, /*with_data=*/true);
+  });
+  bind(Proc::kFetchStatus, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleFetch(ctx, r, /*with_data=*/false);
+  });
+  bind(Proc::kValidate,
+       [this](rpc::CallContext& ctx, rpc::Reader& r) { return HandleValidate(ctx, r); });
+  bind(Proc::kStore,
+       [this](rpc::CallContext& ctx, rpc::Reader& r) { return HandleStore(ctx, r); });
+  bind(Proc::kSetStatus,
+       [this](rpc::CallContext& ctx, rpc::Reader& r) { return HandleSetStatus(ctx, r); });
+  for (Proc proc : {Proc::kCreateFile, Proc::kMakeDir, Proc::kMakeSymlink}) {
+    bind(proc, [this, proc](rpc::CallContext& ctx, rpc::Reader& r) {
       return HandleCreate(ctx, r, proc);
-    case Proc::kRemoveFile:
-      return HandleRemove(ctx, r, /*dir=*/false);
-    case Proc::kRemoveDir:
-      return HandleRemove(ctx, r, /*dir=*/true);
-    case Proc::kRename:
-      return HandleRename(ctx, r);
-    case Proc::kMakeMountPoint:
-      return HandleMakeMountPoint(ctx, r);
-    case Proc::kResolvePath:
-      return HandleResolvePath(ctx, r);
-    case Proc::kGetAcl:
-      return HandleGetAcl(ctx, r);
-    case Proc::kSetAcl:
-      return HandleSetAcl(ctx, r);
-    case Proc::kSetLock:
-      return HandleLock(ctx, r, /*acquire=*/true);
-    case Proc::kReleaseLock:
-      return HandleLock(ctx, r, /*acquire=*/false);
-    case Proc::kRemoveCallback:
-      return HandleRemoveCallback(ctx, r);
-    case Proc::kGetVolumeStatus:
-      return HandleGetVolumeStatus(ctx, r);
+    });
   }
-  return Status::kProtocolError;
+  bind(Proc::kRemoveFile, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleRemove(ctx, r, /*dir=*/false);
+  });
+  bind(Proc::kRemoveDir, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleRemove(ctx, r, /*dir=*/true);
+  });
+  bind(Proc::kRename,
+       [this](rpc::CallContext& ctx, rpc::Reader& r) { return HandleRename(ctx, r); });
+  bind(Proc::kMakeMountPoint, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleMakeMountPoint(ctx, r);
+  });
+  bind(Proc::kResolvePath, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleResolvePath(ctx, r);
+  });
+  bind(Proc::kGetAcl,
+       [this](rpc::CallContext& ctx, rpc::Reader& r) { return HandleGetAcl(ctx, r); });
+  bind(Proc::kSetAcl,
+       [this](rpc::CallContext& ctx, rpc::Reader& r) { return HandleSetAcl(ctx, r); });
+  bind(Proc::kSetLock, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleLock(ctx, r, /*acquire=*/true);
+  });
+  bind(Proc::kReleaseLock, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleLock(ctx, r, /*acquire=*/false);
+  });
+  bind(Proc::kRemoveCallback, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleRemoveCallback(ctx, r);
+  });
+  bind(Proc::kGetVolumeStatus, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleGetVolumeStatus(ctx, r);
+  });
 }
 
 // --- Handlers ----------------------------------------------------------------------

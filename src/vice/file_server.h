@@ -50,7 +50,7 @@ inline ViceConfig PrototypeViceConfig() {
                     /*callbacks=*/false, /*per_file_protection_bits=*/false};
 }
 
-class ViceServer : public rpc::Service {
+class ViceServer {
  public:
   ViceServer(ServerId id, NodeId node, net::Network* network, const sim::CostModel& cost,
              rpc::RpcConfig rpc_config, ViceConfig config,
@@ -61,6 +61,7 @@ class ViceServer : public rpc::Service {
   net::Network* network() const { return network_; }
   const sim::CostModel& cost() const { return cost_; }
   rpc::ServerEndpoint& endpoint() { return endpoint_; }
+  const rpc::ServerEndpoint& endpoint() const { return endpoint_; }
   const ViceConfig& config() const { return config_; }
   void set_config(ViceConfig c) { config_ = c; }
   CallbackManager& callbacks() { return callbacks_; }
@@ -87,7 +88,8 @@ class ViceServer : public rpc::Service {
   void UnregisterCallbackSink(NodeId node);
 
   // --- Statistics ---------------------------------------------------------------
-  const std::map<Proc, uint64_t>& call_counts() const { return call_counts_; }
+  // Derived from the endpoint's CallStats (recorded by the RPC tracing
+  // interceptor; src/rpc/call_stats.h).
   std::map<CallClass, uint64_t> CallHistogram() const;
   uint64_t total_calls() const;
   void ResetStats();
@@ -99,10 +101,11 @@ class ViceServer : public rpc::Service {
   using VolumeAccessMap = std::map<VolumeId, std::map<ClusterId, uint64_t>>;
   const VolumeAccessMap& volume_accesses() const { return volume_accesses_; }
 
-  // rpc::Service:
-  Result<Bytes> Dispatch(rpc::CallContext& ctx, uint32_t proc, const Bytes& request) override;
-
  private:
+  // Binds every Proc's handler into registry_ against ViceOpSchema(). Each
+  // binding runs the shared prologue (volume clock stamp + the prototype's
+  // server-side pathname charge) before the handler body.
+  void BindOps();
   // Returns the effective rights `user` holds on the directory governing
   // `fid` in `vol`. Administrators hold all rights.
   protection::Rights EffectiveRights(const Volume& vol, const Fid& fid, UserId user) const;
@@ -144,6 +147,7 @@ class ViceServer : public rpc::Service {
   net::Network* network_;
   sim::CostModel cost_;
   ViceConfig config_;
+  rpc::OpRegistry registry_;
   rpc::ServerEndpoint endpoint_;
   protection::Replica protection_replica_;
   std::map<VolumeId, std::unique_ptr<Volume>> volumes_;
@@ -151,7 +155,6 @@ class ViceServer : public rpc::Service {
   CallbackManager callbacks_;
   LockManager locks_;
   std::unordered_map<NodeId, CallbackReceiver*> callback_sinks_;
-  std::map<Proc, uint64_t> call_counts_;
   VolumeAccessMap volume_accesses_;
   SimTime now_ = 0;  // arrival time of the call being dispatched
   // CPS memoization keyed by protection-database version: CheckAccess runs

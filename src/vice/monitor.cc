@@ -20,6 +20,12 @@ MonitorReport Monitor::Scan() const {
     const net::Topology& topo = server->network()->topology();
     const ClusterId home_cluster = topo.ClusterOf(server->node());
 
+    // Load picture straight from the RPC layer's tracing: every data/status
+    // call the server answered (classes other than kOther).
+    for (const auto& [opcode, op] : server->endpoint().call_stats().per_op()) {
+      if (op.call_class != CallClass::kOther) report.server_load[server->id()] += op.calls;
+    }
+
     for (const auto& [volume, per_cluster] : server->volume_accesses()) {
       uint64_t total = 0;
       ClusterId best_cluster = home_cluster;
@@ -31,7 +37,6 @@ MonitorReport Monitor::Scan() const {
           best_cluster = cluster;
         }
       }
-      report.server_load[server->id()] += total;
 
       if (total < min_accesses_) continue;
       if (best_cluster == home_cluster) continue;

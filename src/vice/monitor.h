@@ -14,6 +14,7 @@
 #ifndef SRC_VICE_MONITOR_H_
 #define SRC_VICE_MONITOR_H_
 
+#include <map>
 #include <string>
 #include <vector>
 

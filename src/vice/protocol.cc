@@ -2,61 +2,78 @@
 
 namespace itc::vice {
 
+namespace {
+
+constexpr uint32_t Op(Proc p) { return static_cast<uint32_t>(p); }
+
+}  // namespace
+
+const rpc::OpSchema& ViceOpSchema() {
+  constexpr CallClass kV = CallClass::kValidate;
+  constexpr CallClass kS = CallClass::kStatus;
+  constexpr CallClass kF = CallClass::kFetch;
+  constexpr CallClass kW = CallClass::kStore;
+  constexpr CallClass kO = CallClass::kOther;
+  static const rpc::OpSchema schema(
+      "vice",
+      {
+          {Op(Proc::kTestAuth), "TestAuth", kO, /*idempotent=*/true, 0, "—", "—"},
+          {Op(Proc::kGetTime), "GetTime", kO, true, 0, "—", "`i64 server_time`"},
+          {Op(Proc::kGetVolumeInfo), "GetVolumeInfo", kS, true, 0, "`u32 volume`",
+           "`VolumeInfo`"},
+          {Op(Proc::kGetRootVolume), "GetRootVolume", kO, true, 0, "—",
+           "`u32 volume`"},
+          {Op(Proc::kFetch), "Fetch", kF, true, kOpChargesPathname, "`fid`",
+           "`VnodeStatus, bytes data`"},
+          {Op(Proc::kFetchStatus), "FetchStatus", kS, true, kOpChargesPathname,
+           "`fid`", "`VnodeStatus`"},
+          {Op(Proc::kValidate), "Validate", kV, true, kOpChargesPathname,
+           "`fid, u64 version`", "`bool valid, VnodeStatus`"},
+          {Op(Proc::kStore), "Store", kW, false, kOpChargesPathname,
+           "`fid, bytes data`", "`VnodeStatus`"},
+          {Op(Proc::kSetStatus), "SetStatus", kO, false, kOpChargesPathname,
+           "`fid, bool has_mode, u32 mode, bool has_owner, u32 owner`",
+           "`VnodeStatus`"},
+          {Op(Proc::kCreateFile), "CreateFile", kO, false, 0,
+           "`fid dir, string name, u32 mode`", "`fid, VnodeStatus`"},
+          {Op(Proc::kMakeDir), "MakeDir", kO, false, 0,
+           "`fid dir, string name, bytes acl` (empty acl = inherit)",
+           "`fid, VnodeStatus`"},
+          {Op(Proc::kMakeSymlink), "MakeSymlink", kO, false, 0,
+           "`fid dir, string name, string target`", "`fid, VnodeStatus`"},
+          {Op(Proc::kRemoveFile), "RemoveFile", kO, false, 0,
+           "`fid dir, string name`", "—"},
+          {Op(Proc::kRemoveDir), "RemoveDir", kO, false, 0,
+           "`fid dir, string name`", "—"},
+          {Op(Proc::kRename), "Rename", kO, false, 0,
+           "`fid from_dir, string, fid to_dir, string`", "—"},
+          {Op(Proc::kMakeMountPoint), "MakeMountPoint", kO, false, 0,
+           "`fid dir, string name, u32 volume`", "—"},
+          {Op(Proc::kResolvePath), "ResolvePath", kS, true, 0,
+           "`u32 start_volume (0=root), string path`",
+           "`fid, VnodeStatus`; on `NOT_CUSTODIAN`: `u32 custodian, u32 volume, "
+           "string remaining`"},
+          {Op(Proc::kGetAcl), "GetAcl", kO, true, 0, "`fid`", "`bytes acl`"},
+          {Op(Proc::kSetAcl), "SetAcl", kO, false, 0, "`fid, bytes acl`", "—"},
+          {Op(Proc::kSetLock), "SetLock", kO, false, 0,
+           "`fid, u8 mode (0 shared, 1 exclusive)`", "— (`LOCKED` on conflict)"},
+          {Op(Proc::kReleaseLock), "ReleaseLock", kO, false, 0, "`fid`",
+           "— (`NOT_LOCKED` if not held)"},
+          {Op(Proc::kRemoveCallback), "RemoveCallback", kO, true, 0, "`fid`", "—"},
+          {Op(Proc::kGetVolumeStatus), "GetVolumeStatus", kO, true, 0,
+           "`u32 volume`", "`u64 quota, u64 usage, bool ro, bool online, u64 vnodes`"},
+      });
+  return schema;
+}
+
 std::string_view ProcName(Proc p) {
-  switch (p) {
-    case Proc::kTestAuth: return "TestAuth";
-    case Proc::kGetTime: return "GetTime";
-    case Proc::kGetVolumeInfo: return "GetVolumeInfo";
-    case Proc::kGetRootVolume: return "GetRootVolume";
-    case Proc::kFetch: return "Fetch";
-    case Proc::kFetchStatus: return "FetchStatus";
-    case Proc::kValidate: return "Validate";
-    case Proc::kStore: return "Store";
-    case Proc::kSetStatus: return "SetStatus";
-    case Proc::kCreateFile: return "CreateFile";
-    case Proc::kMakeDir: return "MakeDir";
-    case Proc::kMakeSymlink: return "MakeSymlink";
-    case Proc::kRemoveFile: return "RemoveFile";
-    case Proc::kRemoveDir: return "RemoveDir";
-    case Proc::kRename: return "Rename";
-    case Proc::kMakeMountPoint: return "MakeMountPoint";
-    case Proc::kResolvePath: return "ResolvePath";
-    case Proc::kGetAcl: return "GetAcl";
-    case Proc::kSetAcl: return "SetAcl";
-    case Proc::kSetLock: return "SetLock";
-    case Proc::kReleaseLock: return "ReleaseLock";
-    case Proc::kRemoveCallback: return "RemoveCallback";
-    case Proc::kGetVolumeStatus: return "GetVolumeStatus";
-  }
-  return "Unknown";
+  const rpc::OpSpec* op = ViceOpSchema().Find(static_cast<uint32_t>(p));
+  return op != nullptr ? op->name : "Unknown";
 }
 
 CallClass ClassOf(Proc p) {
-  switch (p) {
-    case Proc::kValidate:
-      return CallClass::kValidate;
-    case Proc::kFetchStatus:
-    case Proc::kResolvePath:
-    case Proc::kGetVolumeInfo:
-      return CallClass::kStatus;
-    case Proc::kFetch:
-      return CallClass::kFetch;
-    case Proc::kStore:
-      return CallClass::kStore;
-    default:
-      return CallClass::kOther;
-  }
-}
-
-std::string_view CallClassName(CallClass c) {
-  switch (c) {
-    case CallClass::kValidate: return "validate";
-    case CallClass::kStatus: return "status";
-    case CallClass::kFetch: return "fetch";
-    case CallClass::kStore: return "store";
-    case CallClass::kOther: return "other";
-  }
-  return "?";
+  const rpc::OpSpec* op = ViceOpSchema().Find(static_cast<uint32_t>(p));
+  return op != nullptr ? op->call_class : CallClass::kOther;
 }
 
 void PutVnodeStatus(rpc::Writer& w, const VnodeStatus& s) {

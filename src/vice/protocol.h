@@ -18,6 +18,7 @@
 #include <string_view>
 
 #include "src/common/result.h"
+#include "src/rpc/op_registry.h"
 #include "src/rpc/wire.h"
 #include "src/vice/vnode.h"
 
@@ -65,14 +66,24 @@ enum class Proc : uint32_t {
   kGetVolumeStatus = 60,  // quota, usage, type, online
 };
 
+// Schema flag: in prototype mode (server_side_pathnames) this op pays full
+// pathname-resolution CPU and namei disk reads before its handler runs.
+inline constexpr uint32_t kOpChargesPathname = 1u << 0;
+
+// The typed op table of the Vice-Virtue interface: one OpSpec per Proc with
+// its CallClass, idempotency (governs client-side retries), flags, and wire
+// docs. ViceServer binds its handlers against this schema; ProcName/ClassOf
+// below and the docs/PROTOCOL.md table are all derived from it.
+const rpc::OpSchema& ViceOpSchema();
+
 std::string_view ProcName(Proc p);
 
 // The aggregate call categories of the prototype measurement in Section 5.2
 // ("cache validity checking ... 65%, obtain file status ... 27%, fetch 4%,
-// store 2%").
-enum class CallClass { kValidate, kStatus, kFetch, kStore, kOther };
+// store 2%"). Shared with the RPC tracing layer.
+using CallClass = rpc::CallClass;
+using rpc::CallClassName;
 CallClass ClassOf(Proc p);
-std::string_view CallClassName(CallClass c);
 
 // --- Wire helpers -----------------------------------------------------------
 

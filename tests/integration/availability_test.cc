@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/campus/campus.h"
+#include "src/rpc/interceptor.h"
 #include "src/workload/populate.h"
 
 namespace itc {
@@ -40,14 +41,14 @@ TEST_F(AvailabilityTest, ServerFailureIsPartialNotTotal) {
 
   // Server 1 dies. Users of server 0 are untouched; users of server 1 see
   // "temporary loss of service to small groups of users".
-  campus_->server(1).endpoint().set_online(false);
+  campus_->server(1).endpoint().fault().set_fail_all(true);
   ws_a.venus().FlushCache();
   ws_b.venus().FlushCache();
   EXPECT_TRUE(ws_a.ReadWholeFile("/vice/usr/a/f").ok());
   EXPECT_EQ(ws_b.ReadWholeFile("/vice/usr/b/f").status(), Status::kUnavailable);
 
   // Recovery restores service without manual client intervention.
-  campus_->server(1).endpoint().set_online(true);
+  campus_->server(1).endpoint().fault().set_fail_all(false);
   auto back = ws_b.ReadWholeFile("/vice/usr/b/f");
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(ToString(*back), "on s1");
@@ -66,7 +67,7 @@ TEST_F(AvailabilityTest, ReadOnlyReplicationMasksReplicaFailure) {
 
   // Its local replica site dies; the fetch transparently fails over to the
   // surviving site in cluster 0.
-  campus_->server(1).endpoint().set_online(false);
+  campus_->server(1).endpoint().fault().set_fail_all(true);
   ws.venus().FlushCache();
   // Volume-location queries go to the home server... which is down. The
   // client's cached hints still name the replica sites, so refresh them
@@ -75,9 +76,9 @@ TEST_F(AvailabilityTest, ReadOnlyReplicationMasksReplicaFailure) {
   if (!data.ok()) {
     // Home-server-down also blocks root-volume resolution for this client;
     // that path legitimately fails. Use warm directories instead.
-    campus_->server(1).endpoint().set_online(true);
+    campus_->server(1).endpoint().fault().set_fail_all(false);
     ASSERT_TRUE(ws.ReadWholeFile("/vice/unix/sun/bin/prog1").ok());
-    campus_->server(1).endpoint().set_online(false);
+    campus_->server(1).endpoint().fault().set_fail_all(true);
     data = ws.ReadWholeFile("/vice/unix/sun/bin/prog2");
   }
   ASSERT_TRUE(data.ok());
@@ -87,7 +88,7 @@ TEST_F(AvailabilityTest, ReadOnlyReplicationMasksReplicaFailure) {
 }
 
 TEST_F(AvailabilityTest, FailedHandshakeReportsUnavailable) {
-  campus_->server(0).endpoint().set_online(false);
+  campus_->server(0).endpoint().fault().set_fail_all(true);
   auto& ws = campus_->workstation(0);
   EXPECT_EQ(ws.LoginWithPassword(a_.user, "pw"), Status::kUnavailable);
 }
@@ -97,8 +98,8 @@ TEST_F(AvailabilityTest, LocalFilesUsableWhileViceDown) {
   // unavailable."
   auto& ws = campus_->workstation(0);
   ASSERT_EQ(ws.LoginWithPassword(a_.user, "pw"), Status::kOk);
-  campus_->server(0).endpoint().set_online(false);
-  campus_->server(1).endpoint().set_online(false);
+  campus_->server(0).endpoint().fault().set_fail_all(true);
+  campus_->server(1).endpoint().fault().set_fail_all(true);
   EXPECT_EQ(ws.WriteWholeFile("/tmp/draft", ToBytes("offline work")), Status::kOk);
   EXPECT_EQ(ToString(*ws.ReadWholeFile("/tmp/draft")), "offline work");
   EXPECT_TRUE(ws.ReadWholeFile("/vmunix").ok());

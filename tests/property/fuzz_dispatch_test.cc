@@ -7,6 +7,7 @@
 
 #include "src/campus/campus.h"
 #include "src/common/rng.h"
+#include "src/protection/protection_rpc.h"
 #include "src/rpc/wire.h"
 
 namespace itc {
@@ -126,6 +127,100 @@ TEST_P(FuzzDispatchTest, HostileMutationsBounceOffProtection) {
   ASSERT_TRUE(names.ok());
   EXPECT_EQ(names->size(), 1u);
   EXPECT_EQ((*names)[0], "canary");
+}
+
+TEST_P(FuzzDispatchTest, RegistryEdgeCases) {
+  // Targeted abuse of the op-registry path: unknown opcodes (gaps in and
+  // around the schema), truncated payloads, and oversized length fields must
+  // all come back as clean errors, never a crash.
+  auto conn = RawConnection();
+  ASSERT_NE(conn, nullptr);
+  Rng rng(GetParam() ^ 0xabcdef12);
+
+  // Opcodes the schema does not contain: 0, the 5..9 gap, past-the-end, max.
+  const uint32_t unknown[] = {0, 5, 6, 7, 8, 9, 15, 28, 32, 42, 51, 61, 80, 0xffffffff};
+  for (uint32_t proc : unknown) {
+    auto reply = conn->Call(proc, Bytes{});
+    ASSERT_FALSE(reply.ok());
+    EXPECT_EQ(reply.status(), Status::kProtocolError);
+  }
+
+  // Truncated payloads: a fid cut off after 1..11 bytes against every op
+  // that starts by reading one.
+  const uint32_t fid_ops[] = {10, 11, 12, 13, 14, 20, 21, 22, 23, 24, 30, 31, 40, 41, 50};
+  for (uint32_t proc : fid_ops) {
+    rpc::Writer w;
+    w.PutFid(Fid{home_.volume, 1, 1});
+    Bytes full = w.Take();
+    Bytes truncated(full.begin(), full.begin() + 1 + rng.Below(full.size() - 1));
+    (void)conn->Call(proc, truncated);
+  }
+
+  // Oversized length fields: a string/bytes header promising ~4 GiB backed
+  // by a handful of actual bytes. The bounds-checked reader must refuse.
+  for (uint32_t proc : {13u, 20u, 21u, 22u, 23u, 27u, 31u}) {
+    rpc::Writer w;
+    w.PutFid(Fid{home_.volume, 1, 1});
+    w.PutU32(0xffffffff);  // length prefix with no such body
+    w.PutU8(0x41);
+    w.PutU8(0x41);
+    (void)conn->Call(proc, w.Take());
+  }
+
+  auto report = campus_->registry().SalvageVolume(home_.volume);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean());
+  auto canary = ws_->ReadWholeFile("/vice/usr/fuzzer/canary");
+  ASSERT_TRUE(canary.ok());
+  EXPECT_EQ(ToString(*canary), "alive");
+}
+
+TEST_P(FuzzDispatchTest, ProtectionDispatcherSurvivesGarbage) {
+  // The protection server routes through the same registry machinery; give
+  // its dispatcher the same hostile treatment on a standalone instance.
+  net::Topology topo(net::TopologyConfig{1, 1, 1});
+  sim::CostModel cost = sim::CostModel::Default1985();
+  net::Network network(topo, cost);
+  protection::ProtectionService service;
+  const UserId user = *service.CreateUser("mortal", "user-pw");
+  protection::ProtectionRpcServer server(topo.ServerNode(0, 0), &network, cost,
+                                         rpc::RpcConfig{}, &service, 31);
+
+  auto key = crypto::DeriveKeyFromPassword("user-pw", "itc.cmu.edu");
+  sim::Clock clock;
+  auto conn = rpc::ClientConnection::Connect(topo.WorkstationNode(0, 0), user, key,
+                                             &server.endpoint(), &network, cost, &clock,
+                                             999 + GetParam());
+  ASSERT_TRUE(conn.ok());
+
+  Rng rng(GetParam() * 0x9e3779b9u);
+  for (int i = 0; i < 300; ++i) {
+    const uint32_t proc = static_cast<uint32_t>(rng.Below(12));  // 1..6 valid
+    Bytes payload(rng.Below(100));
+    for (auto& b : payload) b = static_cast<uint8_t>(rng.NextU64());
+    (void)(*conn)->Call(proc, payload);
+  }
+  for (uint32_t proc : {0u, 7u, 61u, 0xffffffffu}) {
+    auto reply = (*conn)->Call(proc, Bytes{});
+    ASSERT_FALSE(reply.ok());
+    EXPECT_EQ(reply.status(), Status::kProtocolError);
+  }
+  // Oversized string length against the ops that parse strings.
+  for (uint32_t proc : {1u, 2u, 5u}) {
+    rpc::Writer w;
+    w.PutU32(0xffffffff);
+    w.PutU8(0x41);
+    (void)(*conn)->Call(proc, w.Take());
+  }
+
+  // The protection server still answers sensibly.
+  auto whoami = (*conn)->Call(6, Bytes{});
+  ASSERT_TRUE(whoami.ok());
+  rpc::Reader r(*whoami);
+  ASSERT_EQ(rpc::ExpectOk(r), Status::kOk);
+  auto got = r.U32();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, user);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDispatchTest, ::testing::Values(1, 2, 3, 4));

@@ -1,0 +1,251 @@
+// Tests for the RPC interceptor chain: per-op tracing into CallStats, the
+// client-stub retry/deadline interceptors (§3.5.3 — idempotent ops only are
+// resent; mutators run at most once), and seeded server-side fault injection.
+
+#include "src/rpc/interceptor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/campus/campus.h"
+#include "src/rpc/op_registry.h"
+#include "src/rpc/rpc.h"
+#include "src/rpc/wire.h"
+#include "src/vice/protocol.h"
+
+namespace itc::rpc {
+namespace {
+
+// --- LatencyHistogram --------------------------------------------------------
+
+TEST(LatencyHistogramTest, RecordsAndSummarizes) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+
+  h.Record(100);
+  h.Record(200);
+  h.Record(400);
+  h.Record(Millis(10));
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), Millis(10));
+  EXPECT_EQ(h.sum(), 100 + 200 + 400 + Millis(10));
+  EXPECT_DOUBLE_EQ(h.Mean(), static_cast<double>(h.sum()) / 4.0);
+  // p100 lands in the top bucket, clamped to the observed max.
+  EXPECT_EQ(h.Percentile(1.0), Millis(10));
+  // With 4 samples p99 has rank 3, so it reports the 400-sample's bucket edge.
+  EXPECT_GE(h.Percentile(0.99), 400);
+  EXPECT_LT(h.Percentile(0.99), Millis(10));
+  // p50 is bounded by its bucket's upper edge, never below the sample.
+  EXPECT_GE(h.Percentile(0.5), 200);
+  EXPECT_LT(h.Percentile(0.5), 400);
+}
+
+TEST(LatencyHistogramTest, MergeCombines) {
+  LatencyHistogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+// --- Op schema / registry ----------------------------------------------------
+
+TEST(OpSchemaTest, ViceSchemaLookup) {
+  const OpSchema& schema = vice::ViceOpSchema();
+  EXPECT_EQ(schema.ops().size(), 23u);
+  const OpSpec* fetch = schema.Find(static_cast<uint32_t>(vice::Proc::kFetch));
+  ASSERT_NE(fetch, nullptr);
+  EXPECT_EQ(fetch->name, "Fetch");
+  EXPECT_EQ(fetch->call_class, CallClass::kFetch);
+  EXPECT_TRUE(fetch->idempotent);
+  const OpSpec* store = schema.Find(static_cast<uint32_t>(vice::Proc::kStore));
+  ASSERT_NE(store, nullptr);
+  EXPECT_FALSE(store->idempotent);
+  EXPECT_EQ(schema.Find(9999), nullptr);
+}
+
+TEST(OpRegistryTest, UnknownAndUnboundOpcodesAreProtocolErrors) {
+  static const OpSchema schema("toy", {{1, "Ping"}, {2, "Unbound"}});
+  OpRegistry registry(&schema);
+  registry.Bind(1, [](CallContext&, const Bytes& req) -> Result<Bytes> { return req; });
+
+  CallContext ctx(1, 0, 0);
+  EXPECT_TRUE(registry.Dispatch(ctx, 1, Bytes{}).ok());
+  EXPECT_EQ(registry.Dispatch(ctx, 2, Bytes{}).status(), Status::kProtocolError);
+  EXPECT_EQ(registry.Dispatch(ctx, 42, Bytes{}).status(), Status::kProtocolError);
+}
+
+TEST(OpRegistryTest, RenderOpTableShape) {
+  const std::string table = RenderOpTable(vice::ViceOpSchema());
+  EXPECT_NE(table.find("| proc | name | class | idempotent |"), std::string::npos);
+  EXPECT_NE(table.find("| 10 | Fetch | fetch | yes |"), std::string::npos);
+  EXPECT_NE(table.find("| 13 | Store | store | no |"), std::string::npos);
+}
+
+// --- End-to-end: campus-level stats -----------------------------------------
+
+class InterceptorCampusTest : public ::testing::Test {
+ protected:
+  void Build(campus::CampusConfig config) {
+    campus_ = std::make_unique<campus::Campus>(config);
+    ASSERT_TRUE(campus_->SetupRootVolume().ok());
+    auto home = campus_->AddUserWithHome("u", "pw", 0);
+    ASSERT_TRUE(home.ok());
+    home_ = *home;
+    ws_ = &campus_->workstation(0);
+    ASSERT_EQ(ws_->LoginWithPassword(home_.user, "pw"), Status::kOk);
+  }
+
+  std::unique_ptr<campus::Campus> campus_;
+  campus::Campus::UserHome home_;
+  virtue::Workstation* ws_ = nullptr;
+};
+
+TEST_F(InterceptorCampusTest, ServerCallStatsPopulatedAndAggregated) {
+  Build(campus::CampusConfig::Revised(1, 1));
+  ASSERT_EQ(ws_->WriteWholeFile("/vice/usr/u/f", ToBytes("data")), Status::kOk);
+  ws_->venus().FlushCache();
+  ASSERT_TRUE(ws_->ReadWholeFile("/vice/usr/u/f").ok());
+
+  const CallStats total = campus_->TotalCallStats();
+  EXPECT_GT(total.total_calls(), 0u);
+  const OpStats* fetch = total.Find(static_cast<uint32_t>(vice::Proc::kFetch));
+  ASSERT_NE(fetch, nullptr);
+  EXPECT_EQ(fetch->name, "Fetch");
+  EXPECT_GE(fetch->calls, 1u);
+  EXPECT_GT(fetch->bytes_out, 0u);
+  EXPECT_GT(fetch->latency.max(), 0);
+
+  // The class collapse agrees with the per-server histogram path.
+  EXPECT_EQ(campus_->TotalCallHistogram(), campus_->server(0).CallHistogram());
+  EXPECT_EQ(campus_->TotalCalls(), campus_->server(0).total_calls());
+
+  // The client stub records its own view, including round-trip latencies.
+  const CallStats& client = ws_->venus().call_stats();
+  EXPECT_GT(client.total_calls(), 0u);
+  ASSERT_NE(client.Find(static_cast<uint32_t>(vice::Proc::kFetch)), nullptr);
+
+  campus_->ResetAllStats();
+  EXPECT_EQ(campus_->TotalCalls(), 0u);
+  EXPECT_EQ(ws_->venus().call_stats().total_calls(), 0u);
+}
+
+TEST_F(InterceptorCampusTest, DroppedFetchReplyIsRetriedTransparently) {
+  auto config = campus::CampusConfig::Revised(1, 1);
+  config.rpc.retry.max_retries = 2;
+  Build(config);
+  ASSERT_EQ(ws_->WriteWholeFile("/vice/usr/u/f", ToBytes("survives")), Status::kOk);
+  ws_->venus().FlushCache();
+
+  auto& endpoint = campus_->server(0).endpoint();
+  endpoint.ResetStats();
+  endpoint.fault().DropNextReplies(1, CallClass::kFetch);
+
+  // The fetch's reply is lost; the stub retries the idempotent op and the
+  // read succeeds without the application seeing anything.
+  auto data = ws_->ReadWholeFile("/vice/usr/u/f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(ToString(*data), "survives");
+
+  const OpStats* fetch =
+      endpoint.call_stats().Find(static_cast<uint32_t>(vice::Proc::kFetch));
+  ASSERT_NE(fetch, nullptr);
+  EXPECT_GE(fetch->calls, 2u);  // the dropped attempt plus the retry
+  EXPECT_GE(fetch->errors, 1u);
+}
+
+TEST_F(InterceptorCampusTest, StoreIsNeverBlindlyRetried) {
+  auto config = campus::CampusConfig::Revised(1, 1);
+  config.rpc.retry.max_retries = 2;
+  Build(config);
+  ASSERT_EQ(ws_->WriteWholeFile("/vice/usr/u/f", ToBytes("v1")), Status::kOk);
+
+  auto& endpoint = campus_->server(0).endpoint();
+  endpoint.ResetStats();
+  endpoint.fault().DropNextReplies(1, CallClass::kStore);
+
+  // The store executes server-side but its reply is lost. At-most-once: the
+  // stub must NOT resend a non-idempotent op; the failure surfaces.
+  EXPECT_EQ(ws_->WriteWholeFile("/vice/usr/u/f", ToBytes("v2")),
+            Status::kUnavailable);
+
+  const OpStats* store =
+      endpoint.call_stats().Find(static_cast<uint32_t>(vice::Proc::kStore));
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->calls, 1u);  // executed exactly once, never resent
+}
+
+TEST_F(InterceptorCampusTest, SeededFaultInjectionByClass) {
+  Build(campus::CampusConfig::Revised(1, 1));
+  ASSERT_EQ(ws_->WriteWholeFile("/vice/usr/u/f", ToBytes("x")), Status::kOk);
+  ws_->venus().FlushCache();
+
+  // Every store is answered with the fault; fetches (including the directory
+  // fetches path resolution needs) are untouched.
+  FaultConfig fault;
+  fault.error_probability = 1.0;
+  fault.error = Status::kTimedOut;
+  fault.only_class = CallClass::kStore;
+  campus_->server(0).endpoint().fault().set_config(fault);
+
+  EXPECT_TRUE(ws_->ReadWholeFile("/vice/usr/u/f").ok());
+  EXPECT_EQ(ws_->WriteWholeFile("/vice/usr/u/f", ToBytes("y")), Status::kTimedOut);
+
+  // Lifting the fault restores normal service.
+  campus_->server(0).endpoint().fault().set_config(FaultConfig{});
+  EXPECT_EQ(ws_->WriteWholeFile("/vice/usr/u/f", ToBytes("y")), Status::kOk);
+}
+
+TEST_F(InterceptorCampusTest, FailAllBlocksHandshake) {
+  Build(campus::CampusConfig::Revised(1, 1));
+  campus_->server(0).endpoint().fault().set_fail_all(true);
+  ws_->Logout();
+  EXPECT_EQ(ws_->LoginWithPassword(home_.user, "pw"), Status::kUnavailable);
+  campus_->server(0).endpoint().fault().set_fail_all(false);
+  EXPECT_EQ(ws_->LoginWithPassword(home_.user, "pw"), Status::kOk);
+}
+
+// --- Deadline ---------------------------------------------------------------
+
+// Slow echo: proc 2 charges 500ms of server CPU.
+class SlowEchoService : public Service {
+ public:
+  Result<Bytes> Dispatch(CallContext& ctx, uint32_t proc, const Bytes& request) override {
+    if (proc == 2) ctx.ChargeCpu(Millis(500));
+    return request;
+  }
+};
+
+TEST(DeadlineTest, SlowCallTimesOut) {
+  net::Topology topo(net::TopologyConfig{1, 1, 2});
+  const sim::CostModel cost = sim::CostModel::Default1985();
+  net::Network network(topo, cost);
+  const crypto::Key key = crypto::DeriveKeyFromPassword("pw", "realm");
+  SlowEchoService service;
+
+  // A bare round trip costs ~18ms under the 1985 model (2 x 4ms network plus
+  // 10ms of server CPU per call); 100ms comfortably admits it while catching
+  // the 500ms op.
+  RpcConfig config;
+  config.call_deadline = Millis(100);
+  ServerEndpoint server(
+      topo.ServerNode(0, 0), &network, cost, config,
+      [&key](UserId) -> std::optional<crypto::Key> { return key; }, 999);
+  server.set_service(&service);
+
+  sim::Clock clock;
+  auto conn = ClientConnection::Connect(topo.WorkstationNode(0, 0), 7, key, &server,
+                                        &network, cost, &clock, 555);
+  ASSERT_TRUE(conn.ok());
+
+  // A fast call fits inside the deadline...
+  EXPECT_TRUE((*conn)->Call(1, ToBytes("quick")).ok());
+  // ...the 500ms one does not.
+  EXPECT_EQ((*conn)->Call(2, ToBytes("slow")).status(), Status::kTimedOut);
+}
+
+}  // namespace
+}  // namespace itc::rpc
