@@ -76,6 +76,9 @@ Result<VolumeId> Campus::SetupRootVolume() {
   ASSIGN_OR_RETURN(Fid usr, root->MakeDir(root->root(), "usr", kAnonymousUser, acl));
   usr_dir_ = usr;
   RETURN_IF_ERROR(root->MakeDir(root->root(), "unix", kAnonymousUser, acl).status());
+  // Direct mutations bypass the custodian's intention log; re-dump so the
+  // standard layout survives a crash.
+  RETURN_IF_ERROR(registry_.CheckpointVolume(root_volume_));
   return root_volume_;
 }
 
@@ -113,6 +116,10 @@ Result<VolumeId> Campus::CreateSystemVolume(const std::string& name,
   ITC_CHECK(root != nullptr);
   ASSIGN_OR_RETURN(Fid dir, EnsureDirDirect(root, std::string(Dirname(mount_path))));
   RETURN_IF_ERROR(registry_.MountAt(dir, std::string(Basename(mount_path)), vol));
+  // MountAt checkpoints after adding the mount point, but the directories
+  // EnsureDirDirect may have created are not covered by it when Dirname is
+  // deeper than one level; checkpoint explicitly.
+  RETURN_IF_ERROR(registry_.CheckpointVolume(root_volume_));
   return vol;
 }
 
@@ -140,8 +147,9 @@ Status Campus::MkDirDirect(VolumeId volume, const std::string& path) {
   vice::Volume* vol = registry_.FindVolume(volume);
   if (vol == nullptr) return Status::kNotFound;
   RETURN_IF_ERROR(EnsureDirDirect(vol, path).status());
-  // Direct mutation bypassed the file server; connected clients holding
-  // cached directories must hear about it.
+  // Direct mutation bypassed the file server: re-dump the durable image and
+  // tell connected clients holding cached directories about it.
+  RETURN_IF_ERROR(registry_.CheckpointVolume(volume));
   return registry_.BreakVolumeCallbacks(volume);
 }
 
@@ -164,9 +172,20 @@ Status Campus::PopulateDirect(VolumeId volume, const std::string& path, const By
     ASSIGN_OR_RETURN(fid, vol->CreateFile(dir, leaf, kAnonymousUser, 0644));
   }
   RETURN_IF_ERROR(vol->StoreData(fid, data));
-  // Direct loading bypassed the file server; break any promises so already-
-  // connected clients refetch.
+  // Direct loading bypassed the file server: re-dump the durable image and
+  // break any promises so already-connected clients refetch.
+  RETURN_IF_ERROR(registry_.CheckpointVolume(volume));
   return registry_.BreakVolumeCallbacks(volume);
+}
+
+void Campus::CrashServer(size_t i) {
+  ITC_CHECK(i < servers_.size());
+  servers_[i]->SimulateCrash();
+}
+
+vice::recovery::RecoveryReport Campus::RestartServer(size_t i, SimTime at) {
+  ITC_CHECK(i < servers_.size());
+  return servers_[i]->Restart(at);
 }
 
 rpc::CallStats Campus::TotalCallStats() const {

@@ -92,6 +92,12 @@ class Campus {
   // Home server of a workstation: the first server in its own cluster.
   ServerId HomeServerOf(uint32_t workstation_index) const;
 
+  // --- Crash orchestration -----------------------------------------------------
+  // Kills server `i` (volatile state lost; stable store survives) and brings
+  // it back at virtual time `at`. See ViceServer::SimulateCrash / Restart.
+  void CrashServer(size_t i);
+  vice::recovery::RecoveryReport RestartServer(size_t i, SimTime at);
+
   // Aggregated per-op CallStats across all servers (counts, bytes, latency
   // histograms — recorded by the RPC tracing interceptor).
   rpc::CallStats TotalCallStats() const;

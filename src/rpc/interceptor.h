@@ -35,6 +35,23 @@ namespace itc::rpc {
 
 // --- Server side -------------------------------------------------------------
 
+// Adversarial moments inside a mutating Vice operation at which a test can
+// schedule a server crash (tentpole 4 of the crash-recovery subsystem). The
+// server's handlers poll ConsumeCrashAt() at each point:
+//   kBeforeLogAppend — crash before the intention is logged: the op leaves
+//     no trace at all; after restart it is simply absent.
+//   kAfterLogAppend — the intention is durable but uncommitted: recovery
+//     must DISCARD it (the client never got a reply; §3.5 store-on-close
+//     atomicity).
+//   kBeforeReply — applied and committed, reply lost: recovery must REPLAY
+//     it; the client sees a transport failure for a change that stuck.
+enum class CrashPoint : uint8_t {
+  kNone = 0,
+  kBeforeLogAppend,
+  kAfterLogAppend,
+  kBeforeReply,
+};
+
 // Per-call metadata visible to server interceptors. `op` is null for opcodes
 // outside the registered schema (including the legacy Service path).
 // `arrival` may be pushed later by a delay-injecting interceptor; the
@@ -111,6 +128,17 @@ class FaultInjectionInterceptor : public ServerInterceptor {
     drop_replies_class_ = only_class;
   }
 
+  // Arms a one-shot crash at `point`: the next handler that polls
+  // ConsumeCrashAt(point) sees true (and the armed point clears). The
+  // handler then calls ViceServer::SimulateCrash and aborts the call.
+  void ArmCrash(CrashPoint point) { armed_crash_ = point; }
+  CrashPoint armed_crash() const { return armed_crash_; }
+  bool ConsumeCrashAt(CrashPoint point) {
+    if (armed_crash_ != point || point == CrashPoint::kNone) return false;
+    armed_crash_ = CrashPoint::kNone;
+    return true;
+  }
+
   Result<Bytes> Intercept(ServerCallInfo& info, const Bytes& request,
                           const Next& next) override;
 
@@ -122,6 +150,7 @@ class FaultInjectionInterceptor : public ServerInterceptor {
   bool fail_all_ = false;
   uint32_t drop_replies_ = 0;
   std::optional<CallClass> drop_replies_class_;
+  CrashPoint armed_crash_ = CrashPoint::kNone;
 };
 
 // --- Client side -------------------------------------------------------------

@@ -42,6 +42,24 @@ void ServerEndpoint::set_config(RpcConfig config) {
   fault_->set_config(config_.fault);
 }
 
+void ServerEndpoint::CloseConnectionsFrom(NodeId client_node) {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->second.client_node == client_node) {
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t ServerEndpoint::ConnectionCountFrom(NodeId client_node) const {
+  size_t n = 0;
+  for (const auto& [id, conn] : connections_) {
+    if (conn.client_node == client_node) ++n;
+  }
+  return n;
+}
+
 Result<Bytes> ServerEndpoint::HandleCall(uint64_t conn_id, NodeId client_node,
                                          const Bytes& sealed_request, SimTime arrival,
                                          SimTime* completion) {
@@ -101,11 +119,12 @@ Result<Bytes> ServerEndpoint::HandleCall(uint64_t conn_id, NodeId client_node,
       cpu_demand += cost_.CryptoCpu(request.size()) + cost_.CryptoCpu(reply.size());
     }
     SimTime t = cpu_.Serve(info.arrival, cpu_demand);
-    if (ctx.disk_ops() > 0) {
+    if (ctx.disk_ops() > 0 || ctx.disk_time() > 0) {
       const SimTime disk_demand =
           static_cast<SimTime>(ctx.disk_ops()) * cost_.disk_seek +
           static_cast<SimTime>(static_cast<double>(cost_.disk_per_kb) *
-                               (static_cast<double>(ctx.disk_bytes()) / 1024.0));
+                               (static_cast<double>(ctx.disk_bytes()) / 1024.0)) +
+          ctx.disk_time();
       t = disk_.Serve(t, disk_demand);
     }
     *completion = t;
@@ -207,7 +226,7 @@ Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
 
   const uint64_t conn_id = server->next_connection_id_++;
   server->connections_[conn_id] =
-      ServerEndpoint::ConnState{server_hs.user(), server_hs.secret(), 0};
+      ServerEndpoint::ConnState{server_hs.user(), server_hs.secret(), 0, 0, client_node};
 
   return std::unique_ptr<ClientConnection>(new ClientConnection(
       client_node, user, server, network, cost, clock, conn_id, *secret, config,

@@ -105,10 +105,14 @@ class CallContext {
     disk_ops_ += 1;
     disk_bytes_ += bytes;
   }
+  // Pre-computed disk time (log appends/fsyncs, whose cost is not a plain
+  // seek + per-kb transfer). Added to the disk demand as-is.
+  void ChargeDiskTime(SimTime t) { disk_time_ += t; }
 
   SimTime cpu_demand() const { return cpu_demand_; }
   uint32_t disk_ops() const { return disk_ops_; }
   uint64_t disk_bytes() const { return disk_bytes_; }
+  SimTime disk_time() const { return disk_time_; }
 
  private:
   UserId user_;
@@ -117,6 +121,7 @@ class CallContext {
   SimTime cpu_demand_ = 0;
   uint32_t disk_ops_ = 0;
   uint64_t disk_bytes_ = 0;
+  SimTime disk_time_ = 0;
 };
 
 // A service implementation (the Vice file server, the protection server,
@@ -156,12 +161,19 @@ class ServerEndpoint {
   void set_registry(const OpRegistry* registry) { registry_ = registry; }
   void set_config(RpcConfig config);
 
-  // Simulated machine failure: while offline the endpoint accepts no
-  // handshakes and answers no calls (kUnavailable). Existing connection
-  // state survives a restart — the paper's servers kept no hard client
-  // state that a reboot plus salvage could not rebuild.
+  // Simulated outage: while offline the endpoint accepts no handshakes and
+  // answers no calls (kUnavailable). Toggling this alone keeps connection
+  // state (a network partition); a machine crash additionally calls
+  // DropAllConnections — the paper's servers kept no hard client state that
+  // a reboot plus salvage could not rebuild.
   void set_online(bool v) { online_ = v; }
   bool online() const { return online_; }
+
+  // Volatile-state teardown for a simulated machine crash, and targeted
+  // cleanup when one workstation disconnects or crashes.
+  void DropAllConnections() { connections_.clear(); }
+  void CloseConnectionsFrom(NodeId client_node);
+  size_t ConnectionCountFrom(NodeId client_node) const;
 
   NodeId node() const { return node_; }
   sim::Resource& cpu() { return cpu_; }
@@ -183,6 +195,7 @@ class ServerEndpoint {
     crypto::SessionSecret secret;
     uint64_t seq = 0;              // reply counter (IV diversification)
     uint64_t last_client_seq = 0;  // anti-replay: requests must increase
+    NodeId client_node = kInvalidNode;  // workstation that opened the channel
   };
 
   // Processes one sealed call on connection `conn_id`, arriving at

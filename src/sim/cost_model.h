@@ -63,6 +63,19 @@ struct CostModel {
   int prototype_path_depth = 4;
   int prototype_namei_disk_ops = 6;
 
+  // --- Stable storage / crash recovery -------------------------------------
+  // Appending an intention record to the write-ahead log: one sequential
+  // write, far cheaper than a seek, plus a per-kilobyte payload cost.
+  SimTime log_append = Millis(2);
+  SimTime log_per_kb = Micros(500);
+  // Forcing the log (and the commit mark) to disk before replying.
+  SimTime log_fsync = Millis(8);
+  // Restart costs: re-reading a checkpoint image is sequential disk I/O
+  // (charged via disk_per_kb on the image size), re-executing one logged
+  // intention, and walking one vnode during salvage.
+  SimTime recovery_replay_per_record = Millis(3);
+  SimTime salvage_per_vnode = Micros(800);
+
   // --- Workstation ---------------------------------------------------------
   // Local FS costs (workstation disk is similar to server disk but accessed
   // without network or server CPU).
@@ -98,6 +111,12 @@ struct CostModel {
   SimTime CryptoCpu(uint64_t bytes) const {
     return static_cast<SimTime>(static_cast<double>(crypto_cpu_per_kb) *
                                 (static_cast<double>(bytes) / 1024.0));
+  }
+
+  // Disk time to append a `bytes`-sized intention record to the log.
+  SimTime LogAppendTime(uint64_t bytes) const {
+    return log_append + static_cast<SimTime>(static_cast<double>(log_per_kb) *
+                                             (static_cast<double>(bytes) / 1024.0));
   }
 
   SimTime LocalIoTime(uint64_t bytes) const {

@@ -32,6 +32,10 @@ struct CacheEntry {
   // Data (and status) known to be current: freshly fetched, validated this
   // open (check-on-open), or covered by an unbroken callback promise.
   bool valid = false;
+  // Server that supplied (or last validated) this entry. When that server's
+  // restart epoch changes, its callback promises died with it: every entry
+  // from it is marked suspect (valid=false) and revalidated on next use.
+  ServerId origin_server = kInvalidServer;
   SimTime last_used = 0;
   uint32_t pin_count = 0;  // open handles; pinned entries are not evicted
   // Deferred-write-back mode only: the local copy holds changes not yet

@@ -94,12 +94,59 @@ Result<rpc::ClientConnection*> Venus::ConnectionTo(ServerId server) {
   vs->RegisterCallbackSink(node_, this);
   rpc::ClientConnection* raw = conn.get();
   connections_[server] = std::move(conn);
+
+  // Restart detection (callback mode only — check-on-open never trusts a
+  // promise). Callback state is volatile at the server, so a fresh
+  // connection asks for the restart epoch; a bump since the last one we saw
+  // means the server crashed and every promise it held for us died with it.
+  if (config_.validation == VenusConfig::Validation::kCallbacks) {
+    auto epoch_reply = raw->Call(static_cast<uint32_t>(Proc::kProbeEpoch), Bytes{});
+    if (epoch_reply.ok()) {
+      rpc::Reader r(*epoch_reply);
+      Status st = Status::kOk;
+      if (r.ReadStatus(&st) == Status::kOk && st == Status::kOk) {
+        if (auto epoch = r.U32(); epoch.ok()) {
+          auto known = server_epochs_.find(server);
+          if (known != server_epochs_.end() && known->second != *epoch) {
+            MarkServerSuspect(server);
+          }
+          server_epochs_[server] = *epoch;
+        }
+      }
+    }
+  }
   return raw;
+}
+
+void Venus::MarkServerSuspect(ServerId server) {
+  stats_.suspect_marks += 1;
+  for (const Fid& fid : cache_.CachedFids()) {
+    CacheEntry* e = cache_.Find(fid);
+    // Dirty entries stay trusted: the local copy IS the newest version and
+    // will be stored back; everything else revalidates before next use.
+    if (e != nullptr && e->origin_server == server && !e->dirty) e->valid = false;
+  }
 }
 
 Result<Bytes> Venus::CallServer(ServerId server, Proc proc, const Bytes& request) {
   ASSIGN_OR_RETURN(rpc::ClientConnection * conn, ConnectionTo(server));
-  return conn->Call(static_cast<uint32_t>(proc), request);
+  auto reply = conn->Call(static_cast<uint32_t>(proc), request);
+  if (reply.status() == Status::kConnectionBroken) {
+    // The server no longer knows this connection — it restarted and its
+    // connection table (volatile state) died with it. The call was never
+    // executed, so a single re-handshake and retry is safe for any op; the
+    // fresh connection's epoch probe marks everything the server supplied
+    // as suspect.
+    connections_.erase(server);
+    if (auto sit = servers_->find(server); sit != servers_->end()) {
+      sit->second->UnregisterCallbackSink(node_);
+    }
+    MarkServerSuspect(server);
+    ASSIGN_OR_RETURN(conn, ConnectionTo(server));
+    reply = conn->Call(static_cast<uint32_t>(proc), request);
+  }
+  if (reply.ok()) last_contacted_ = server;
+  return reply;
 }
 
 Result<Bytes> Venus::CallForFid(const Fid& fid, Proc proc, const Bytes& request) {
@@ -120,6 +167,9 @@ Result<Bytes> Venus::CallForFid(const Fid& fid, Proc proc, const Bytes& request)
         if (auto sit = servers_->find(server); sit != servers_->end()) {
           sit->second->UnregisterCallbackSink(node_);
         }
+        // The server may have crashed: its callback promises for us are
+        // volatile, so nothing it supplied can be trusted until revalidated.
+        MarkServerSuspect(server);
         continue;
       }
       return reply.status();
@@ -234,6 +284,7 @@ Result<CacheEntry*> Venus::EnsureData(const Fid& fid, bool* hit) {
       if (valid) {
         e->status = fresh;
         e->valid = true;
+        e->origin_server = last_contacted_;
         *hit = true;
         cache_.Touch(fid, clock_->now());
         return e;
@@ -259,6 +310,7 @@ Result<CacheEntry*> Venus::EnsureData(const Fid& fid, bool* hit) {
   // Writing the fetched copy to the local disk cache costs local I/O time.
   clock_->Advance(cost_.LocalIoTime(data.size()));
   CacheEntry& entry = cache_.InstallData(fid, *status, data);
+  entry.origin_server = last_contacted_;
   cache_.Touch(fid, clock_->now());
   // The just-installed file must survive eviction even if it alone exceeds
   // the configured limit (it is about to be used).
@@ -288,6 +340,7 @@ Result<VnodeStatus> Venus::EnsureStatus(const Fid& fid) {
     if (vr.first) {
       e->status = vr.second;
       e->valid = true;
+      e->origin_server = last_contacted_;
     } else {
       e->valid = false;
     }
@@ -295,6 +348,7 @@ Result<VnodeStatus> Venus::EnsureStatus(const Fid& fid) {
   }
   ASSIGN_OR_RETURN(VnodeStatus status, RpcFetchStatus(fid));
   CacheEntry& entry = cache_.PutStatus(fid, status);
+  entry.origin_server = last_contacted_;
   cache_.Touch(fid, clock_->now());
   return status;
 }
@@ -500,7 +554,7 @@ Result<Fid> Venus::WalkServer(const std::string& path) {
     RETURN_IF_ERROR(st);
     ASSIGN_OR_RETURN(Fid fid, r.FidField());
     ASSIGN_OR_RETURN(VnodeStatus status, vice::ReadVnodeStatus(r));
-    cache_.PutStatus(fid, status);
+    cache_.PutStatus(fid, status).origin_server = last_contacted_;
     cache_.Touch(fid, clock_->now());
     name_cache_[path] = fid;
     return fid;
@@ -556,6 +610,7 @@ Result<Venus::OpenResult> Venus::Open(const std::string& path, bool for_write, b
     InvalidateDir(ref.parent);
     name_cache_[path] = fid;
     CacheEntry& e = cache_.InstallData(fid, status, Bytes{});
+    e.origin_server = last_contacted_;
     cache_.Touch(fid, clock_->now());
     cache_.Pin(fid);
     return OpenResult{fid, status, e.cache_path};
@@ -611,6 +666,7 @@ Status Venus::StoreBack(const Fid& fid) {
   if (e != nullptr) {
     e->status = fresh;
     e->valid = true;
+    e->origin_server = last_contacted_;
     e->dirty = false;
   }
   DropEvicted(cache_.EnforceLimits());

@@ -62,6 +62,9 @@ struct VenusStats {
   uint64_t bytes_fetched = 0;
   uint64_t bytes_stored = 0;
   uint64_t callback_breaks_received = 0;
+  // Times a server was marked suspect (restart detected or connection lost):
+  // all its cached entries dropped back to check-on-open validation.
+  uint64_t suspect_marks = 0;
   // Total virtual time spent inside Open() — mean open latency is
   // open_time_total / opens.
   SimTime open_time_total = 0;
@@ -180,6 +183,11 @@ class Venus : public vice::CallbackReceiver {
 
   // --- RPC plumbing -------------------------------------------------------------
   Result<rpc::ClientConnection*> ConnectionTo(ServerId server);
+  // A server crashed (restart epoch changed) or became unreachable: its
+  // callback promises for us are gone. Mark every cache entry it supplied
+  // suspect so the next use revalidates (check-on-open fallback) instead of
+  // trusting a promise that no longer exists.
+  void MarkServerSuspect(ServerId server);
   Result<Bytes> CallServer(ServerId server, vice::Proc proc, const Bytes& request);
   // Calls the custodian (or nearest replica) for `fid`; transparently
   // refreshes stale location hints on kNotCustodian and retries once.
@@ -241,6 +249,13 @@ class Venus : public vice::CallbackReceiver {
   UserId user_ = kAnonymousUser;
   crypto::Key user_key_;
   std::map<ServerId, std::unique_ptr<rpc::ClientConnection>> connections_;
+  // Last restart epoch observed per server (ProbeEpoch on each fresh
+  // connection, callback mode only). A bump between connections means the
+  // server crashed while we were not looking.
+  std::map<ServerId, uint32_t> server_epochs_;
+  // Server that answered the most recent successful call (stamps the cache
+  // entry it produced).
+  ServerId last_contacted_ = kInvalidServer;
 
   FileCache cache_;
   std::map<VolumeId, vice::VolumeInfo> volume_hints_;

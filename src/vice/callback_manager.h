@@ -48,6 +48,11 @@ class CallbackManager {
   // Drops every promise held by `who` (workstation disconnect / cache flush).
   void UnregisterAll(CallbackReceiver* who);
 
+  // Drops every promise without notifying anyone — the server crashed and
+  // its callback state is volatile (Section 3.2). Stats survive; they count
+  // lifetime activity, not live promises.
+  void DropAllPromises() { promises_.clear(); }
+
   // Breaks all promises on `fid` except the writer's own, delivering
   // notifications and charging server CPU + network per notification.
   // Returns the number of notifications sent.

@@ -3,6 +3,8 @@
 #include "src/common/logging.h"
 #include "src/common/path.h"
 #include "src/protection/access_list.h"
+#include "src/rpc/interceptor.h"
+#include "src/vice/recovery/intention_log.h"
 
 namespace itc::vice {
 
@@ -34,6 +36,7 @@ ViceServer::ViceServer(ServerId id, NodeId node, net::Network* network,
 void ViceServer::InstallVolume(std::unique_ptr<Volume> volume) {
   ITC_CHECK(volume != nullptr);
   const VolumeId id = volume->id();
+  store_.CheckpointVolume(*volume);
   volumes_[id] = std::move(volume);
 }
 
@@ -42,6 +45,7 @@ std::unique_ptr<Volume> ViceServer::EjectVolume(VolumeId id) {
   if (it == volumes_.end()) return nullptr;
   std::unique_ptr<Volume> out = std::move(it->second);
   volumes_.erase(it);
+  store_.EraseVolume(id);
   return out;
 }
 
@@ -63,13 +67,132 @@ void ViceServer::RegisterCallbackSink(NodeId node, CallbackReceiver* sink) {
 
 void ViceServer::UnregisterCallbackSink(NodeId node) {
   auto it = callback_sinks_.find(node);
-  if (it == callback_sinks_.end()) return;
-  callbacks_.UnregisterAll(it->second);
-  callback_sinks_.erase(it);
+  if (it != callback_sinks_.end()) {
+    callbacks_.UnregisterAll(it->second);
+    callback_sinks_.erase(it);
+  }
+  // The teardown below must run even for a node that never registered a
+  // sink (prototype-mode clients hold connections and locks too).
   // A disconnected (or crashed) workstation surrenders its advisory locks;
   // otherwise a crash would wedge every file its users had locked.
   locks_.ReleaseAllForNode(node);
+  // It also leaves no secure-channel residue: every connection it opened is
+  // torn down, so a rebooted workstation starts from a clean handshake and a
+  // dead one stops consuming per-connection state.
+  endpoint_.CloseConnectionsFrom(node);
 }
+
+// --- Crash recovery ----------------------------------------------------------
+
+void ViceServer::CheckpointVolume(VolumeId id) {
+  auto it = volumes_.find(id);
+  if (it != volumes_.end()) store_.CheckpointVolume(*it->second);
+}
+
+void ViceServer::SimulateCrash() {
+  crashed_ = true;
+  endpoint_.set_online(false);
+  // Volatile state dies with the machine: session channels, callback
+  // promises ("callback state is volatile"), advisory locks, sink
+  // registrations, the memoized CPS closures — and the in-memory volumes
+  // themselves, which only exist again once Restart() re-reads the store.
+  endpoint_.DropAllConnections();
+  callbacks_.DropAllPromises();
+  locks_ = LockManager{};
+  callback_sinks_.clear();
+  cps_cache_.clear();
+  volumes_.clear();
+}
+
+recovery::RecoveryReport ViceServer::Restart(SimTime at) {
+  if (!crashed_) SimulateCrash();  // a plain reboot loses volatile state too
+  recovery::RecoveryReport report;
+  SimTime disk_demand = 0;
+
+  // Phase 1: re-read every checkpoint image (sequential I/O over the store).
+  auto restored = store_.RestoreVolumes();
+  ITC_CHECK(restored.ok());  // images are our own dumps
+  disk_demand += cost_.DiskTime(store_.image_bytes());
+  for (auto& vol : *restored) {
+    const VolumeId id = vol->id();
+    volumes_[id] = std::move(vol);
+    report.volumes_restored += 1;
+  }
+
+  // Phase 2: replay committed intentions in LSN order; discard the rest.
+  // A logged-but-uncommitted record belongs to a call whose client never saw
+  // a reply, so dropping it keeps store-on-close atomic (Section 3.5).
+  for (const auto& rec : store_.log().records()) {
+    if (rec.state != recovery::IntentState::kCommitted) {
+      report.intentions_discarded += 1;
+      continue;
+    }
+    disk_demand += cost_.recovery_replay_per_record;
+    auto it = volumes_.find(rec.volume);
+    if (it == volumes_.end()) {
+      report.replay_failures += 1;
+      continue;
+    }
+    if (recovery::ApplyIntention(*it->second, rec) == Status::kOk) {
+      report.intentions_replayed += 1;
+    } else {
+      report.replay_failures += 1;
+    }
+  }
+
+  // Phase 3: salvage every volume and re-checkpoint the recovered state so
+  // the log can be truncated.
+  for (auto& [id, vol] : volumes_) {
+    disk_demand += static_cast<SimTime>(vol->vnode_count()) * cost_.salvage_per_vnode;
+    const Volume::SalvageReport sr = vol->Salvage();
+    report.salvage.dangling_entries_removed += sr.dangling_entries_removed;
+    report.salvage.orphan_vnodes_removed += sr.orphan_vnodes_removed;
+    report.salvage.parents_fixed += sr.parents_fixed;
+    report.salvage.usage_corrected_bytes += sr.usage_corrected_bytes;
+  }
+  store_.log().Truncate();
+  for (auto& [id, vol] : volumes_) store_.CheckpointVolume(*vol);
+  disk_demand += cost_.DiskTime(store_.image_bytes());
+  committed_since_checkpoint_ = 0;
+
+  restart_epoch_ += 1;
+  report.restart_epoch = restart_epoch_;
+  crashed_ = false;
+  endpoint_.set_online(true);
+
+  // Serve the recovery I/O through the server disk: recovery takes real
+  // virtual time, and the first post-restart RPCs queue behind it.
+  const SimTime done = endpoint_.disk().Serve(at, disk_demand);
+  report.recovery_time = done - at;
+  return report;
+}
+
+bool ViceServer::CrashPointHit(rpc::CrashPoint point) {
+  if (!endpoint_.fault().ConsumeCrashAt(point)) return false;
+  SimulateCrash();
+  return true;
+}
+
+uint64_t ViceServer::LogIntention(rpc::CallContext& ctx, recovery::IntentKind kind,
+                                  VolumeId volume, Bytes payload) {
+  ctx.ChargeDiskTime(cost_.LogAppendTime(payload.size()));
+  return store_.log().Append(kind, volume, ctx.arrival(), std::move(payload));
+}
+
+void ViceServer::CommitIntention(rpc::CallContext& ctx, uint64_t lsn) {
+  ctx.ChargeDiskTime(cost_.log_fsync);
+  store_.log().MarkCommitted(lsn);
+  committed_since_checkpoint_ += 1;
+  if (config_.log_checkpoint_interval > 0 &&
+      committed_since_checkpoint_ >= config_.log_checkpoint_interval) {
+    for (auto& [id, vol] : volumes_) store_.CheckpointVolume(*vol);
+    store_.log().Truncate();
+    committed_since_checkpoint_ = 0;
+    ctx.ChargeDiskTime(cost_.DiskTime(store_.image_bytes()));
+  }
+}
+
+void ViceServer::AbortIntention(uint64_t lsn) { store_.log().MarkAborted(lsn); }
 
 std::map<CallClass, uint64_t> ViceServer::CallHistogram() const {
   return endpoint_.call_stats().Histogram();
@@ -186,6 +309,12 @@ void ViceServer::BindOps() {
   });
   bind(Proc::kGetRootVolume,
        [this](rpc::CallContext& ctx, rpc::Reader&) { return HandleGetRootVolume(ctx); });
+  bind(Proc::kProbeEpoch, [this](rpc::CallContext&, rpc::Reader&) {
+    rpc::Writer w;
+    w.PutStatus(Status::kOk);
+    w.PutU32(restart_epoch_);
+    return w.Take();
+  });
   bind(Proc::kFetch, [this](rpc::CallContext& ctx, rpc::Reader& r) {
     return HandleFetch(ctx, r, /*with_data=*/true);
   });
@@ -348,7 +477,7 @@ Bytes ViceServer::HandleValidate(rpc::CallContext& ctx, rpc::Reader& r) {
   return w.Take();
 }
 
-Bytes ViceServer::HandleStore(rpc::CallContext& ctx, rpc::Reader& r) {
+Result<Bytes> ViceServer::HandleStore(rpc::CallContext& ctx, rpc::Reader& r) {
   auto fid = r.FidField();
   auto data = fid.ok() ? r.BytesField() : Result<Bytes>(Status::kProtocolError);
   if (!fid.ok() || !data.ok()) return StatusReply(Status::kProtocolError);
@@ -364,9 +493,15 @@ Bytes ViceServer::HandleStore(rpc::CallContext& ctx, rpc::Reader& r) {
 
   NoteVolumeAccess(fid->volume, ctx.client_node());
   const uint64_t size = data->size();
+  if (CrashPointHit(rpc::CrashPoint::kBeforeLogAppend)) return Status::kUnavailable;
+  const uint64_t lsn = LogIntention(ctx, recovery::IntentKind::kStore, fid->volume,
+                                    recovery::EncodeStore(*fid, *data));
+  if (CrashPointHit(rpc::CrashPoint::kAfterLogAppend)) return Status::kUnavailable;
   if (Status s = vol->StoreData(*fid, std::move(*data)); s != Status::kOk) {
+    AbortIntention(lsn);
     return StatusReply(s);
   }
+  CommitIntention(ctx, lsn);
   ctx.ChargeDisk(size);
   ChargeAdminFile(ctx);
   ctx.ChargeCpu(cost_.ServerCopyCpu(size));
@@ -383,10 +518,11 @@ Bytes ViceServer::HandleStore(rpc::CallContext& ctx, rpc::Reader& r) {
   rpc::Writer w;
   w.PutStatus(Status::kOk);
   PutVnodeStatus(w, *status);
+  if (CrashPointHit(rpc::CrashPoint::kBeforeReply)) return Status::kUnavailable;
   return w.Take();
 }
 
-Bytes ViceServer::HandleSetStatus(rpc::CallContext& ctx, rpc::Reader& r) {
+Result<Bytes> ViceServer::HandleSetStatus(rpc::CallContext& ctx, rpc::Reader& r) {
   auto fid = r.FidField();
   if (!fid.ok()) return StatusReply(Status::kProtocolError);
   auto has_mode = r.Bool();
@@ -401,14 +537,25 @@ Bytes ViceServer::HandleSetStatus(rpc::CallContext& ctx, rpc::Reader& r) {
   if (Status s = CheckAccess(*vol, *fid, ctx.user(), protection::kWrite); s != Status::kOk) {
     return StatusReply(s);
   }
+  if (CrashPointHit(rpc::CrashPoint::kBeforeLogAppend)) return Status::kUnavailable;
+  const uint64_t lsn = LogIntention(
+      ctx, recovery::IntentKind::kSetStatus, fid->volume,
+      recovery::EncodeSetStatus(*fid, *has_mode, static_cast<uint16_t>(*mode), *has_owner,
+                                *owner));
+  if (CrashPointHit(rpc::CrashPoint::kAfterLogAppend)) return Status::kUnavailable;
   if (*has_mode) {
     if (Status s = vol->SetMode(*fid, static_cast<uint16_t>(*mode)); s != Status::kOk) {
+      AbortIntention(lsn);
       return StatusReply(s);
     }
   }
   if (*has_owner) {
-    if (Status s = vol->SetOwner(*fid, *owner); s != Status::kOk) return StatusReply(s);
+    if (Status s = vol->SetOwner(*fid, *owner); s != Status::kOk) {
+      AbortIntention(lsn);
+      return StatusReply(s);
+    }
   }
+  CommitIntention(ctx, lsn);
   ChargeAdminFile(ctx);
   BreakCallbacks(*fid, ctx);
 
@@ -417,10 +564,11 @@ Bytes ViceServer::HandleSetStatus(rpc::CallContext& ctx, rpc::Reader& r) {
   rpc::Writer w;
   w.PutStatus(Status::kOk);
   PutVnodeStatus(w, *status);
+  if (CrashPointHit(rpc::CrashPoint::kBeforeReply)) return Status::kUnavailable;
   return w.Take();
 }
 
-Bytes ViceServer::HandleCreate(rpc::CallContext& ctx, rpc::Reader& r, Proc proc) {
+Result<Bytes> ViceServer::HandleCreate(rpc::CallContext& ctx, rpc::Reader& r, Proc proc) {
   auto dir = r.FidField();
   auto name = dir.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
   if (!dir.ok() || !name.ok()) return StatusReply(Status::kProtocolError);
@@ -433,15 +581,23 @@ Bytes ViceServer::HandleCreate(rpc::CallContext& ctx, rpc::Reader& r, Proc proc)
     return StatusReply(s);
   }
 
-  Result<Fid> created = Status::kInternal;
+  // Parse the per-proc arguments and build the intention payload up front —
+  // MakeDir's ACL inheritance is resolved *before* logging, so replaying the
+  // record needs no context beyond the payload itself.
+  recovery::IntentKind kind = recovery::IntentKind::kCreateFile;
+  Bytes payload;
+  uint16_t mode = 0;
+  AccessList acl;
+  std::string target;
   if (proc == Proc::kCreateFile) {
-    auto mode = r.U32();
-    if (!mode.ok()) return StatusReply(Status::kProtocolError);
-    created = vol->CreateFile(*dir, *name, ctx.user(), static_cast<uint16_t>(*mode));
+    auto raw_mode = r.U32();
+    if (!raw_mode.ok()) return StatusReply(Status::kProtocolError);
+    mode = static_cast<uint16_t>(*raw_mode);
+    kind = recovery::IntentKind::kCreateFile;
+    payload = recovery::EncodeCreateFile(*dir, *name, ctx.user(), mode);
   } else if (proc == Proc::kMakeDir) {
     auto acl_bytes = r.BytesField();
     if (!acl_bytes.ok()) return StatusReply(Status::kProtocolError);
-    AccessList acl;
     if (acl_bytes->empty()) {
       // Inherit the parent directory's access list.
       auto parent_acl = vol->EffectiveAcl(*dir);
@@ -452,13 +608,33 @@ Bytes ViceServer::HandleCreate(rpc::CallContext& ctx, rpc::Reader& r, Proc proc)
       if (!parsed.ok()) return StatusReply(Status::kProtocolError);
       acl = *parsed;
     }
+    kind = recovery::IntentKind::kMakeDir;
+    payload = recovery::EncodeMakeDir(*dir, *name, ctx.user(), acl.Serialize());
+  } else {
+    auto parsed_target = r.String();
+    if (!parsed_target.ok()) return StatusReply(Status::kProtocolError);
+    target = *parsed_target;
+    kind = recovery::IntentKind::kMakeSymlink;
+    payload = recovery::EncodeMakeSymlink(*dir, *name, target, ctx.user());
+  }
+
+  if (CrashPointHit(rpc::CrashPoint::kBeforeLogAppend)) return Status::kUnavailable;
+  const uint64_t lsn = LogIntention(ctx, kind, dir->volume, std::move(payload));
+  if (CrashPointHit(rpc::CrashPoint::kAfterLogAppend)) return Status::kUnavailable;
+
+  Result<Fid> created = Status::kInternal;
+  if (proc == Proc::kCreateFile) {
+    created = vol->CreateFile(*dir, *name, ctx.user(), mode);
+  } else if (proc == Proc::kMakeDir) {
     created = vol->MakeDir(*dir, *name, ctx.user(), acl);
   } else {
-    auto target = r.String();
-    if (!target.ok()) return StatusReply(Status::kProtocolError);
-    created = vol->MakeSymlink(*dir, *name, *target, ctx.user());
+    created = vol->MakeSymlink(*dir, *name, target, ctx.user());
   }
-  if (!created.ok()) return StatusReply(created.status());
+  if (!created.ok()) {
+    AbortIntention(lsn);
+    return StatusReply(created.status());
+  }
+  CommitIntention(ctx, lsn);
 
   ctx.ChargeDisk(0);  // directory update
   ChargeAdminFile(ctx);
@@ -471,10 +647,11 @@ Bytes ViceServer::HandleCreate(rpc::CallContext& ctx, rpc::Reader& r, Proc proc)
   w.PutStatus(Status::kOk);
   w.PutFid(*created);
   PutVnodeStatus(w, *status);
+  if (CrashPointHit(rpc::CrashPoint::kBeforeReply)) return Status::kUnavailable;
   return w.Take();
 }
 
-Bytes ViceServer::HandleRemove(rpc::CallContext& ctx, rpc::Reader& r, bool dir) {
+Result<Bytes> ViceServer::HandleRemove(rpc::CallContext& ctx, rpc::Reader& r, bool dir) {
   auto parent = r.FidField();
   auto name = parent.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
   if (!parent.ok() || !name.ok()) return StatusReply(Status::kProtocolError);
@@ -496,17 +673,27 @@ Bytes ViceServer::HandleRemove(rpc::CallContext& ctx, rpc::Reader& r, bool dir) 
     }
   }
 
+  if (CrashPointHit(rpc::CrashPoint::kBeforeLogAppend)) return Status::kUnavailable;
+  const uint64_t lsn = LogIntention(
+      ctx, dir ? recovery::IntentKind::kRemoveDir : recovery::IntentKind::kRemoveFile,
+      parent->volume, recovery::EncodeRemove(*parent, *name));
+  if (CrashPointHit(rpc::CrashPoint::kAfterLogAppend)) return Status::kUnavailable;
   const Status s = dir ? vol->RemoveDir(*parent, *name) : vol->RemoveFile(*parent, *name);
-  if (s != Status::kOk) return StatusReply(s);
+  if (s != Status::kOk) {
+    AbortIntention(lsn);
+    return StatusReply(s);
+  }
+  CommitIntention(ctx, lsn);
 
   ctx.ChargeDisk(0);
   ChargeAdminFile(ctx);
   BreakCallbacks(*parent, ctx);
   if (victim.valid()) BreakCallbacks(victim, ctx);
+  if (CrashPointHit(rpc::CrashPoint::kBeforeReply)) return Status::kUnavailable;
   return StatusReply(Status::kOk);
 }
 
-Bytes ViceServer::HandleRename(rpc::CallContext& ctx, rpc::Reader& r) {
+Result<Bytes> ViceServer::HandleRename(rpc::CallContext& ctx, rpc::Reader& r) {
   auto from_dir = r.FidField();
   auto from_name = from_dir.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
   auto to_dir = from_name.ok() ? r.FidField() : Result<Fid>(Status::kProtocolError);
@@ -536,18 +723,26 @@ Bytes ViceServer::HandleRename(rpc::CallContext& ctx, rpc::Reader& r) {
     }
   }
 
+  if (CrashPointHit(rpc::CrashPoint::kBeforeLogAppend)) return Status::kUnavailable;
+  const uint64_t lsn =
+      LogIntention(ctx, recovery::IntentKind::kRename, from_dir->volume,
+                   recovery::EncodeRename(*from_dir, *from_name, *to_dir, *to_name));
+  if (CrashPointHit(rpc::CrashPoint::kAfterLogAppend)) return Status::kUnavailable;
   if (Status s = vol->Rename(*from_dir, *from_name, *to_dir, *to_name); s != Status::kOk) {
+    AbortIntention(lsn);
     return StatusReply(s);
   }
+  CommitIntention(ctx, lsn);
   ctx.ChargeDisk(0);
   ChargeAdminFile(ctx);
   BreakCallbacks(*from_dir, ctx);
   if (!(*from_dir == *to_dir)) BreakCallbacks(*to_dir, ctx);
   if (overwritten.valid()) BreakCallbacks(overwritten, ctx);
+  if (CrashPointHit(rpc::CrashPoint::kBeforeReply)) return Status::kUnavailable;
   return StatusReply(Status::kOk);
 }
 
-Bytes ViceServer::HandleMakeMountPoint(rpc::CallContext& ctx, rpc::Reader& r) {
+Result<Bytes> ViceServer::HandleMakeMountPoint(rpc::CallContext& ctx, rpc::Reader& r) {
   auto dir = r.FidField();
   auto name = dir.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
   auto target = name.ok() ? r.U32() : Result<uint32_t>(Status::kProtocolError);
@@ -559,11 +754,18 @@ Bytes ViceServer::HandleMakeMountPoint(rpc::CallContext& ctx, rpc::Reader& r) {
       s != Status::kOk) {
     return StatusReply(s);
   }
+  if (CrashPointHit(rpc::CrashPoint::kBeforeLogAppend)) return Status::kUnavailable;
+  const uint64_t lsn = LogIntention(ctx, recovery::IntentKind::kMakeMountPoint, dir->volume,
+                                    recovery::EncodeMakeMountPoint(*dir, *name, *target));
+  if (CrashPointHit(rpc::CrashPoint::kAfterLogAppend)) return Status::kUnavailable;
   if (Status s = vol->MakeMountPoint(*dir, *name, *target); s != Status::kOk) {
+    AbortIntention(lsn);
     return StatusReply(s);
   }
+  CommitIntention(ctx, lsn);
   ctx.ChargeDisk(0);
   BreakCallbacks(*dir, ctx);
+  if (CrashPointHit(rpc::CrashPoint::kBeforeReply)) return Status::kUnavailable;
   return StatusReply(Status::kOk);
 }
 
@@ -716,7 +918,7 @@ Bytes ViceServer::HandleGetAcl(rpc::CallContext& ctx, rpc::Reader& r) {
   return w.Take();
 }
 
-Bytes ViceServer::HandleSetAcl(rpc::CallContext& ctx, rpc::Reader& r) {
+Result<Bytes> ViceServer::HandleSetAcl(rpc::CallContext& ctx, rpc::Reader& r) {
   auto fid = r.FidField();
   auto acl_bytes = fid.ok() ? r.BytesField() : Result<Bytes>(Status::kProtocolError);
   if (!acl_bytes.ok()) return StatusReply(Status::kProtocolError);
@@ -728,8 +930,17 @@ Bytes ViceServer::HandleSetAcl(rpc::CallContext& ctx, rpc::Reader& r) {
   }
   auto acl = AccessList::Deserialize(*acl_bytes);
   if (!acl.ok()) return StatusReply(Status::kProtocolError);
-  if (Status s = vol->SetAcl(*fid, *acl); s != Status::kOk) return StatusReply(s);
+  if (CrashPointHit(rpc::CrashPoint::kBeforeLogAppend)) return Status::kUnavailable;
+  const uint64_t lsn = LogIntention(ctx, recovery::IntentKind::kSetAcl, fid->volume,
+                                    recovery::EncodeSetAcl(*fid, acl->Serialize()));
+  if (CrashPointHit(rpc::CrashPoint::kAfterLogAppend)) return Status::kUnavailable;
+  if (Status s = vol->SetAcl(*fid, *acl); s != Status::kOk) {
+    AbortIntention(lsn);
+    return StatusReply(s);
+  }
+  CommitIntention(ctx, lsn);
   ctx.ChargeDisk(0);
+  if (CrashPointHit(rpc::CrashPoint::kBeforeReply)) return Status::kUnavailable;
   return StatusReply(Status::kOk);
 }
 

@@ -33,7 +33,12 @@
 #include "src/vice/location_db.h"
 #include "src/vice/lock_manager.h"
 #include "src/vice/protocol.h"
+#include "src/vice/recovery/stable_store.h"
 #include "src/vice/volume.h"
+
+namespace itc::rpc {
+enum class CrashPoint : uint8_t;
+}  // namespace itc::rpc
 
 namespace itc::vice {
 
@@ -42,6 +47,9 @@ struct ViceConfig {
   bool admin_status_files = false;
   bool callbacks = true;
   bool per_file_protection_bits = true;
+  // Re-dump volumes and truncate the intention log after this many committed
+  // intentions (0 = never); bounds recovery time and modeled log space.
+  uint32_t log_checkpoint_interval = 64;
 };
 
 // Prototype configuration in one call.
@@ -79,6 +87,32 @@ class ViceServer {
     location_ = std::move(snapshot);
   }
   const LocationDb* location() const { return location_.get(); }
+
+  // --- Crash recovery (src/vice/recovery) -----------------------------------
+  // Re-dumps one volume's durable image; admin paths that mutate a volume
+  // directly (bypassing the logged RPC handlers) must call this or the
+  // mutation would not survive a crash.
+  void CheckpointVolume(VolumeId id);
+
+  // Kills the server: the endpoint goes offline and every piece of volatile
+  // state — callback promises, advisory locks, connections, registered
+  // sinks, the in-memory volumes themselves — is dropped. Only the
+  // StableStore (checkpoint images + intention log) survives.
+  void SimulateCrash();
+
+  // Brings a crashed server back at virtual time `at`: restores volumes from
+  // their checkpoint images, replays committed intentions in LSN order,
+  // discards uncommitted/aborted ones (the client never saw a reply for
+  // them; §3.5 store-on-close atomicity), salvages every volume, truncates
+  // the log, and bumps the restart epoch. Recovery I/O is served through the
+  // server disk, so RecoveryReport::recovery_time is real queueing time and
+  // early RPCs after restart queue behind it.
+  recovery::RecoveryReport Restart(SimTime at);
+
+  bool crashed() const { return crashed_; }
+  uint32_t restart_epoch() const { return restart_epoch_; }
+  recovery::StableStore& stable_store() { return store_; }
+  const recovery::StableStore& stable_store() const { return store_; }
 
   // --- Callback delivery ------------------------------------------------------
   // Venus instances register out-of-band so the server can notify the right
@@ -123,21 +157,37 @@ class ViceServer {
   void ChargeAdminFile(rpc::CallContext& ctx);
   void NoteVolumeAccess(VolumeId volume, NodeId client);
 
-  // Handlers. Each appends to `w` (which already holds nothing) and returns
-  // the final reply bytes.
+  // --- Intention-log plumbing used by the mutating handlers -----------------
+  // Polls the fault injector for an armed crash at `point`. On a hit the
+  // server crashes (SimulateCrash) and this returns true; the handler must
+  // return Status::kUnavailable immediately without touching any server
+  // state — its `vol` pointer and parsed fids are dead.
+  bool CrashPointHit(rpc::CrashPoint point);
+  // Appends an intention (state kLogged), charging the log write to ctx.
+  uint64_t LogIntention(rpc::CallContext& ctx, recovery::IntentKind kind, VolumeId volume,
+                        Bytes payload);
+  // Marks `lsn` committed (fsync charge) and checkpoints every volume once
+  // log_checkpoint_interval committed intentions have accumulated.
+  void CommitIntention(rpc::CallContext& ctx, uint64_t lsn);
+  void AbortIntention(uint64_t lsn);
+
+  // Handlers. Read-only handlers return the reply bytes directly; mutating
+  // handlers return Result<Bytes> so an armed crash point can abort the call
+  // at the transport level (the reply is never built, as if the machine
+  // died mid-operation).
   Bytes HandleGetVolumeInfo(rpc::CallContext& ctx, rpc::Reader& r);
   Bytes HandleGetRootVolume(rpc::CallContext& ctx);
   Bytes HandleFetch(rpc::CallContext& ctx, rpc::Reader& r, bool with_data);
   Bytes HandleValidate(rpc::CallContext& ctx, rpc::Reader& r);
-  Bytes HandleStore(rpc::CallContext& ctx, rpc::Reader& r);
-  Bytes HandleSetStatus(rpc::CallContext& ctx, rpc::Reader& r);
-  Bytes HandleCreate(rpc::CallContext& ctx, rpc::Reader& r, Proc proc);
-  Bytes HandleRemove(rpc::CallContext& ctx, rpc::Reader& r, bool dir);
-  Bytes HandleRename(rpc::CallContext& ctx, rpc::Reader& r);
-  Bytes HandleMakeMountPoint(rpc::CallContext& ctx, rpc::Reader& r);
+  Result<Bytes> HandleStore(rpc::CallContext& ctx, rpc::Reader& r);
+  Result<Bytes> HandleSetStatus(rpc::CallContext& ctx, rpc::Reader& r);
+  Result<Bytes> HandleCreate(rpc::CallContext& ctx, rpc::Reader& r, Proc proc);
+  Result<Bytes> HandleRemove(rpc::CallContext& ctx, rpc::Reader& r, bool dir);
+  Result<Bytes> HandleRename(rpc::CallContext& ctx, rpc::Reader& r);
+  Result<Bytes> HandleMakeMountPoint(rpc::CallContext& ctx, rpc::Reader& r);
   Bytes HandleResolvePath(rpc::CallContext& ctx, rpc::Reader& r);
   Bytes HandleGetAcl(rpc::CallContext& ctx, rpc::Reader& r);
-  Bytes HandleSetAcl(rpc::CallContext& ctx, rpc::Reader& r);
+  Result<Bytes> HandleSetAcl(rpc::CallContext& ctx, rpc::Reader& r);
   Bytes HandleLock(rpc::CallContext& ctx, rpc::Reader& r, bool acquire);
   Bytes HandleRemoveCallback(rpc::CallContext& ctx, rpc::Reader& r);
   Bytes HandleGetVolumeStatus(rpc::CallContext& ctx, rpc::Reader& r);
@@ -157,6 +207,11 @@ class ViceServer {
   std::unordered_map<NodeId, CallbackReceiver*> callback_sinks_;
   VolumeAccessMap volume_accesses_;
   SimTime now_ = 0;  // arrival time of the call being dispatched
+  // Durable state: survives SimulateCrash; everything above does not.
+  recovery::StableStore store_;
+  uint32_t restart_epoch_ = 0;
+  bool crashed_ = false;
+  uint32_t committed_since_checkpoint_ = 0;
   // CPS memoization keyed by protection-database version: CheckAccess runs
   // on every call, and the recursive group closure need not be recomputed
   // until the replicated database actually changes.

@@ -23,6 +23,8 @@ const rpc::OpSchema& ViceOpSchema() {
            "`VolumeInfo`"},
           {Op(Proc::kGetRootVolume), "GetRootVolume", kO, true, 0, "—",
            "`u32 volume`"},
+          {Op(Proc::kProbeEpoch), "ProbeEpoch", kO, true, 0, "—",
+           "`u32 restart_epoch`"},
           {Op(Proc::kFetch), "Fetch", kF, true, kOpChargesPathname, "`fid`",
            "`VnodeStatus, bytes data`"},
           {Op(Proc::kFetchStatus), "FetchStatus", kS, true, kOpChargesPathname,

@@ -33,6 +33,12 @@ enum class Proc : uint32_t {
   kGetVolumeInfo = 3,   // volume id -> custodian + read-only replica sites
   kGetRootVolume = 4,   // () -> volume id of the Vice name space root
 
+  // Crash recovery: () -> the server's restart epoch. Venus compares the
+  // epoch against what it remembered for this server; a bump means the
+  // server crashed and every callback promise it held is gone (Section 3.2:
+  // "each workstation is critically dependent on noticing server crashes").
+  kProbeEpoch = 5,
+
   // Data and status.
   kFetch = 10,        // fid -> status + whole-file data (registers callback)
   kFetchStatus = 11,  // fid -> status                  (registers callback)

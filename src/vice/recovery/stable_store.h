@@ -1,0 +1,79 @@
+// Simulated stable storage for a Vice file server.
+//
+// Real Vice servers keep volumes on disk; this simulation keeps them in
+// memory, so without a durability model a server crash cannot be expressed
+// at all. StableStore is that model: a checkpoint image (Volume::Dump bytes)
+// per volume plus the write-ahead IntentionLog. Together they define exactly
+// what survives ViceServer::SimulateCrash() — everything else (callback
+// promises, advisory locks, connections, in-flight replies) is volatile and
+// is rebuilt or re-established after Restart().
+//
+// Checkpointing is the log-truncation mechanism: after every
+// `checkpoint_interval` committed intentions the server re-dumps the
+// affected volume and truncates the log, bounding both recovery time and
+// (modeled) log space.
+
+#ifndef SRC_VICE_RECOVERY_STABLE_STORE_H_
+#define SRC_VICE_RECOVERY_STABLE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/vice/recovery/intention_log.h"
+#include "src/vice/volume.h"
+
+namespace itc::vice::recovery {
+
+// What Restart() reports back to the operator (and to tests/benches).
+struct RecoveryReport {
+  uint32_t volumes_restored = 0;
+  uint32_t intentions_replayed = 0;   // committed records re-executed
+  uint32_t intentions_discarded = 0;  // logged-but-uncommitted + aborted
+  uint32_t replay_failures = 0;       // committed records that failed to re-apply
+  Volume::SalvageReport salvage;      // aggregated across all volumes
+  uint32_t restart_epoch = 0;         // server epoch after this restart
+  SimTime recovery_time = 0;          // virtual time spent restoring/replaying
+
+  bool clean() const { return replay_failures == 0 && salvage.clean(); }
+};
+
+class StableStore {
+ public:
+  // Overwrites the durable image of `vol` with a fresh dump. Also records
+  // metadata the dump doesn't carry authoritatively: the restore-time name,
+  // type and online flag.
+  void CheckpointVolume(const Volume& vol);
+  void EraseVolume(VolumeId id) { images_.erase(id); }
+  bool HasVolume(VolumeId id) const { return images_.contains(id); }
+  size_t volume_count() const { return images_.size(); }
+
+  // Total bytes across all checkpoint images (for cost accounting/stats).
+  uint64_t image_bytes() const;
+
+  // Reconstructs every checkpointed volume from its image. Does not touch
+  // the log; the caller replays committed intentions on top.
+  Result<std::vector<std::unique_ptr<Volume>>> RestoreVolumes() const;
+
+  IntentionLog& log() { return log_; }
+  const IntentionLog& log() const { return log_; }
+
+ private:
+  struct Image {
+    Bytes dump;
+    std::string name;
+    VolumeType type = VolumeType::kReadWrite;
+    bool online = true;
+  };
+
+  std::map<VolumeId, Image> images_;
+  IntentionLog log_;
+};
+
+}  // namespace itc::vice::recovery
+
+#endif  // SRC_VICE_RECOVERY_STABLE_STORE_H_

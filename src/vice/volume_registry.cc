@@ -73,9 +73,18 @@ Status VolumeRegistry::MountAt(const Fid& dir, const std::string& name, VolumeId
   Volume* vol = server->FindVolume(dir.volume);
   if (vol == nullptr) return Status::kNotFound;
   RETURN_IF_ERROR(vol->MakeMountPoint(dir, name, child));
+  // Direct mutation bypasses the intention log: checkpoint so it survives a
+  // custodian crash.
+  server->CheckpointVolume(dir.volume);
   // Clients caching this directory must refetch it to see the mount.
   server->callbacks().Break(dir, nullptr, 0, server->node(), server->network(),
                             &server->endpoint().cpu(), server->cost());
+  return Status::kOk;
+}
+
+Status VolumeRegistry::CheckpointVolume(VolumeId volume) {
+  ASSIGN_OR_RETURN(ViceServer * server, CustodianOf(volume));
+  server->CheckpointVolume(volume);
   return Status::kOk;
 }
 
@@ -189,20 +198,22 @@ Status VolumeRegistry::SetVolumeQuota(VolumeId volume, uint64_t quota_bytes) {
   Volume* vol = FindVolume(volume);
   if (vol == nullptr) return Status::kNotFound;
   vol->set_quota_bytes(quota_bytes);
-  return Status::kOk;
+  return CheckpointVolume(volume);
 }
 
 Status VolumeRegistry::SetVolumeOnline(VolumeId volume, bool online) {
   Volume* vol = FindVolume(volume);
   if (vol == nullptr) return Status::kNotFound;
   vol->set_online(online);
-  return Status::kOk;
+  return CheckpointVolume(volume);
 }
 
 Result<Volume::SalvageReport> VolumeRegistry::SalvageVolume(VolumeId volume) {
   Volume* vol = FindVolume(volume);
   if (vol == nullptr) return Status::kNotFound;
-  return vol->Salvage();
+  const Volume::SalvageReport report = vol->Salvage();
+  RETURN_IF_ERROR(CheckpointVolume(volume));
+  return report;
 }
 
 }  // namespace itc::vice

@@ -53,6 +53,11 @@ class VolumeRegistry {
   // clients cannot keep trusting stale cached copies.
   Status BreakVolumeCallbacks(VolumeId volume, SimTime at = 0);
 
+  // Re-dumps the volume's stable-storage image at its custodian. Required
+  // after any direct (non-RPC) mutation, which bypasses the custodian's
+  // intention log and would otherwise be lost by a crash.
+  Status CheckpointVolume(VolumeId volume);
+
   // Moves a volume to a new custodian. The volume is offline for the
   // duration of the move; all outstanding callback promises on it are
   // broken. `at` is the administrative wall-clock instant used for the

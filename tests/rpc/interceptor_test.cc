@@ -55,7 +55,7 @@ TEST(LatencyHistogramTest, MergeCombines) {
 
 TEST(OpSchemaTest, ViceSchemaLookup) {
   const OpSchema& schema = vice::ViceOpSchema();
-  EXPECT_EQ(schema.ops().size(), 23u);
+  EXPECT_EQ(schema.ops().size(), 24u);
   const OpSpec* fetch = schema.Find(static_cast<uint32_t>(vice::Proc::kFetch));
   ASSERT_NE(fetch, nullptr);
   EXPECT_EQ(fetch->name, "Fetch");
