@@ -75,6 +75,8 @@ void BM_WireRoundTrip(benchmark::State& state) {
     auto fid = r.FidField();
     auto v = r.U64();
     auto s = r.String();
+    benchmark::DoNotOptimize(fid);
+    benchmark::DoNotOptimize(v);
     benchmark::DoNotOptimize(s);
   }
 }

@@ -77,7 +77,7 @@ Timings MeasureSize(uint64_t size) {
     t0 = clock.now();
     ITC_CHECK(client.Read(*handle, size / 2, 128).ok());
     t.baseline_page_s = ToSeconds(clock.now() - t0);
-    client.Close(*handle);
+    ITC_CHECK(client.Close(*handle) == Status::kOk);
   }
   return t;
 }

@@ -19,7 +19,7 @@ int main() {
 
   // Workstation 0 is the surrogate host: a full Virtue machine, logged in.
   auto& host = campus.workstation(0);
-  host.LoginWithPassword(user->user, "floppy");
+  if (host.LoginWithPassword(user->user, "floppy") != Status::kOk) return 1;
 
   const auto key = crypto::DeriveKeyFromPassword("floppy", "itc.cmu.edu");
   virtue::SurrogateServer surrogate(
@@ -41,19 +41,22 @@ int main() {
   }
 
   // The PC writes into Vice through the surrogate.
-  pc.WriteFile("/vice/usr/pcowner/budget.wk1", ToBytes("A1: 123\nA2: 456\n"));
+  if (pc.WriteFile("/vice/usr/pcowner/budget.wk1", ToBytes("A1: 123\nA2: 456\n")) !=
+      Status::kOk) {
+    return 1;
+  }
   std::printf("PC stored a spreadsheet into /vice/usr/pcowner\n");
 
   // Anyone on a real workstation sees it immediately.
   auto& ws = campus.workstation(2);
-  ws.LoginWithPassword(user->user, "floppy");
+  if (ws.LoginWithPassword(user->user, "floppy") != Status::kOk) return 1;
   auto data = ws.ReadWholeFile("/vice/usr/pcowner/budget.wk1");
   std::printf("full workstation reads it back: %zu bytes\n", data.ok() ? data->size() : 0);
 
   // Re-reads by the PC ride the host's whole-file cache: no Vice traffic.
   const uint64_t fetches_before = host.venus().stats().fetches;
-  pc.ReadFile("/vice/usr/pcowner/budget.wk1");
-  pc.ReadFile("/vice/usr/pcowner/budget.wk1");
+  if (!pc.ReadFile("/vice/usr/pcowner/budget.wk1").ok()) return 1;
+  if (!pc.ReadFile("/vice/usr/pcowner/budget.wk1").ok()) return 1;
   std::printf("host Venus fetches during two PC re-reads: %llu (served from cache)\n",
               static_cast<unsigned long long>(host.venus().stats().fetches -
                                               fetches_before));

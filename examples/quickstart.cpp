@@ -36,8 +36,14 @@ int main() {
   }
 
   // The shared name space appears under /vice; everything else is local.
-  ws.WriteWholeFile("/vice/usr/alice/hello.txt", ToBytes("hello, vice!\n"));
-  ws.WriteWholeFile("/tmp/scratch", ToBytes("workstation-local scratch\n"));
+  if (ws.WriteWholeFile("/vice/usr/alice/hello.txt", ToBytes("hello, vice!\n")) !=
+      Status::kOk) {
+    return 1;
+  }
+  if (ws.WriteWholeFile("/tmp/scratch", ToBytes("workstation-local scratch\n")) !=
+      Status::kOk) {
+    return 1;
+  }
 
   auto listing = ws.ReadDir("/vice/usr/alice");
   std::printf("/vice/usr/alice:");
@@ -55,7 +61,7 @@ int main() {
 
   // User mobility: Alice moves to workstation 3 and sees the same files.
   auto& other = campus.workstation(3);
-  other.LoginWithPassword(alice->user, "rosebud");
+  if (other.LoginWithPassword(alice->user, "rosebud") != Status::kOk) return 1;
   auto roaming = other.ReadWholeFile("/vice/usr/alice/hello.txt");
   std::printf("from workstation 3: %s", ToString(*roaming).c_str());
 

@@ -25,8 +25,10 @@ int main() {
   if (!sysvol.ok() || !user.ok()) return 1;
 
   // Version 1 of the compiler suite.
-  campus.PopulateDirect(*sysvol, "/bin/cc", ToBytes("cc v1"));
-  campus.PopulateDirect(*sysvol, "/bin/ld", ToBytes("ld v1"));
+  if (campus.PopulateDirect(*sysvol, "/bin/cc", ToBytes("cc v1")) != Status::kOk ||
+      campus.PopulateDirect(*sysvol, "/bin/ld", ToBytes("ld v1")) != Status::kOk) {
+    return 1;
+  }
 
   // Release read-only replicas at all three cluster servers.
   auto ro1 = campus.registry().ReleaseReadOnly(*sysvol, "sys.sun.ro-1985-10", {0, 1, 2});
@@ -36,7 +38,7 @@ int main() {
   // A student in cluster 2 runs the compiler; the fetch is served by the
   // local cluster's replica — no bridge crossings.
   auto& ws = campus.workstation(9);  // cluster 2
-  ws.LoginWithPassword(user->user, "pw");
+  if (ws.LoginWithPassword(user->user, "pw") != Status::kOk) return 1;
   campus.network().ResetStats();
   auto cc = ws.ReadWholeFile("/bin/cc");  // /bin -> /vice/unix/sun/bin
   std::printf("ran %s; cross-cluster fetches for the binary itself: ", "cc v1");
@@ -47,7 +49,7 @@ int main() {
   std::printf("binary contents: %s\n", ToString(*cc).c_str());
 
   // The administrators prepare version 2 and release it atomically.
-  campus.PopulateDirect(*sysvol, "/bin/cc", ToBytes("cc v2"));
+  if (campus.PopulateDirect(*sysvol, "/bin/cc", ToBytes("cc v2")) != Status::kOk) return 1;
   auto ro2 = campus.registry().ReleaseReadOnly(*sysvol, "sys.sun.ro-1985-11", {0, 1, 2});
   if (!ro2.ok()) return 1;
   std::printf("released new clone volume %u (old clone %u remains frozen)\n", *ro2, *ro1);

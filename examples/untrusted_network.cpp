@@ -31,8 +31,10 @@ int main() {
   // 2. The real user connects; all traffic is sealed under a per-session key.
   auto& ws = campus.workstation(0);
   if (ws.LoginWithPassword(alice->user, "rosebud") != Status::kOk) return 1;
-  ws.WriteWholeFile("/vice/usr/alice/secret.txt",
-                    ToBytes("the combination is 12-34-56"));
+  if (ws.WriteWholeFile("/vice/usr/alice/secret.txt",
+                        ToBytes("the combination is 12-34-56")) != Status::kOk) {
+    return 1;
+  }
   std::printf("stored secret over the encrypted connection\n");
 
   // 3. Wiretap simulation: seal a message as the session layer would, then

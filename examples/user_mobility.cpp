@@ -23,24 +23,30 @@ int main() {
   // A research group, Grapevine-style: the student belongs to a group that
   // belongs to the course staff.
   auto group = campus.protection().CreateGroup("cs-groupX");
-  campus.protection().AddToGroup(Principal::User(student->user), *group);
+  if (campus.protection().AddToGroup(Principal::User(student->user), *group) !=
+      Status::kOk) {
+    return 1;
+  }
 
   // The professor works in her office (cluster 0).
   auto& office = campus.workstation(0);
-  office.LoginWithPassword(prof->user, "tenure");
-  office.MkDir("/vice/usr/prof/paper");
-  office.WriteWholeFile("/vice/usr/prof/paper/draft.tex", ToBytes("\\section{Intro}"));
+  if (office.LoginWithPassword(prof->user, "tenure") != Status::kOk) return 1;
+  if (office.MkDir("/vice/usr/prof/paper") != Status::kOk) return 1;
+  if (office.WriteWholeFile("/vice/usr/prof/paper/draft.tex",
+                            ToBytes("\\section{Intro}")) != Status::kOk) {
+    return 1;
+  }
 
   // Grant the research group read access to the paper directory.
   auto acl = office.venus().GetAcl("/usr/prof/paper");
   acl->SetPositive(Principal::Group(*group),
                    protection::kLookup | protection::kRead);
-  office.venus().SetAcl("/usr/prof/paper", *acl);
+  if (office.venus().SetAcl("/usr/prof/paper", *acl) != Status::kOk) return 1;
   std::printf("granted cs-groupX lookup+read on /usr/prof/paper\n");
 
   // The student, in the other cluster, reads the draft.
   auto& dorm = campus.workstation(5);
-  dorm.LoginWithPassword(student->user, "ramen");
+  if (dorm.LoginWithPassword(student->user, "ramen") != Status::kOk) return 1;
   auto draft = dorm.ReadWholeFile("/vice/usr/prof/paper/draft.tex");
   std::printf("student reads draft: %s -> %zu bytes\n",
               draft.ok() ? "ok" : StatusName(draft.status()).data(),
@@ -55,7 +61,7 @@ int main() {
   // replicated protection database.
   acl = office.venus().GetAcl("/usr/prof/paper");
   acl->SetNegative(Principal::User(student->user), protection::kRead);
-  office.venus().SetAcl("/usr/prof/paper", *acl);
+  if (office.venus().SetAcl("/usr/prof/paper", *acl) != Status::kOk) return 1;
   dorm.venus().FlushCache();  // drop his cached copy too
   auto revoked = dorm.ReadWholeFile("/vice/usr/prof/paper/draft.tex");
   std::printf("after negative right, student read: %s\n",
@@ -65,12 +71,12 @@ int main() {
   // cache-warming penalty ("an initial performance penalty as the cache on
   // the new workstation is filled").
   auto& lecture_hall = campus.workstation(6);  // cluster 1
-  lecture_hall.LoginWithPassword(prof->user, "tenure");
+  if (lecture_hall.LoginWithPassword(prof->user, "tenure") != Status::kOk) return 1;
   const SimTime t0 = lecture_hall.clock().now();
-  lecture_hall.ReadWholeFile("/vice/usr/prof/paper/draft.tex");
+  if (!lecture_hall.ReadWholeFile("/vice/usr/prof/paper/draft.tex").ok()) return 1;
   const SimTime cold = lecture_hall.clock().now() - t0;
   const SimTime t1 = lecture_hall.clock().now();
-  lecture_hall.ReadWholeFile("/vice/usr/prof/paper/draft.tex");
+  if (!lecture_hall.ReadWholeFile("/vice/usr/prof/paper/draft.tex").ok()) return 1;
   const SimTime warm = lecture_hall.clock().now() - t1;
   std::printf("lecture hall: cold open %.1f ms, warm open %.1f ms\n",
               static_cast<double>(cold) / 1000.0, static_cast<double>(warm) / 1000.0);

@@ -144,7 +144,9 @@ int main() {
       in >> path;
       // Venus speaks Vice-internal paths; strip the mount prefix.
       if (path.rfind("/vice", 0) == 0) path = path.substr(5);
-      if (path.empty()) path = "/";
+      // push_back, not `= "/"`: dodges GCC 12's -Wrestrict false positive
+      // (PR105329) on assigning a literal to a just-mutated string.
+      if (path.empty()) path.push_back('/');
       auto vs = ws.venus().GetVolumeStatus(path);
       if (!vs.ok()) {
         std::printf("%s\n", StatusName(vs.status()).data());

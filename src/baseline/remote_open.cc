@@ -213,7 +213,10 @@ Result<Bytes> RemoteOpenClient::ReadWholeFile(const std::string& path) {
   ASSIGN_OR_RETURN(RemoteStat st, Stat(path));
   ASSIGN_OR_RETURN(uint64_t handle, Open(path, /*create=*/false));
   auto data = Read(handle, 0, st.size);
-  Close(handle);
+  // A failed close leaks the server-side handle; surface it like
+  // WriteWholeFile does rather than handing back data as if all went well.
+  const Status c = Close(handle);
+  if (data.ok() && c != Status::kOk) return c;
   return data;
 }
 

@@ -54,7 +54,7 @@ class RemoteOpenServer : public rpc::Service {
 
   uint64_t open_handles() const { return handles_.size(); }
 
-  Result<Bytes> Dispatch(rpc::CallContext& ctx, uint32_t proc, const Bytes& request) override;
+  [[nodiscard]] Result<Bytes> Dispatch(rpc::CallContext& ctx, uint32_t proc, const Bytes& request) override;
 
  private:
   sim::CostModel cost_;
@@ -71,28 +71,28 @@ class RemoteOpenClient {
                    net::Network* network, const sim::CostModel& cost);
 
   // Authenticated connection, same handshake as itcfs proper.
-  Status Connect(UserId user, const crypto::Key& user_key, uint64_t seed);
+  [[nodiscard]] Status Connect(UserId user, const crypto::Key& user_key, uint64_t seed);
 
-  Result<uint64_t> Open(const std::string& path, bool create);
-  Status Close(uint64_t handle);
-  Result<Bytes> Read(uint64_t handle, uint64_t offset, uint64_t length);
-  Status Write(uint64_t handle, uint64_t offset, const Bytes& data);
+  [[nodiscard]] Result<uint64_t> Open(const std::string& path, bool create);
+  [[nodiscard]] Status Close(uint64_t handle);
+  [[nodiscard]] Result<Bytes> Read(uint64_t handle, uint64_t offset, uint64_t length);
+  [[nodiscard]] Status Write(uint64_t handle, uint64_t offset, const Bytes& data);
 
   struct RemoteStat {
     uint64_t size = 0;
     SimTime mtime = 0;
     bool is_directory = false;
   };
-  Result<RemoteStat> Stat(const std::string& path);
-  Status MkDir(const std::string& path);
-  Status Unlink(const std::string& path);
+  [[nodiscard]] Result<RemoteStat> Stat(const std::string& path);
+  [[nodiscard]] Status MkDir(const std::string& path);
+  [[nodiscard]] Status Unlink(const std::string& path);
 
   // Whole-file conveniences built from page-at-a-time RPCs.
-  Result<Bytes> ReadWholeFile(const std::string& path);
-  Status WriteWholeFile(const std::string& path, const Bytes& data);
+  [[nodiscard]] Result<Bytes> ReadWholeFile(const std::string& path);
+  [[nodiscard]] Status WriteWholeFile(const std::string& path, const Bytes& data);
 
  private:
-  Result<Bytes> Call(Proc proc, const Bytes& request);
+  [[nodiscard]] Result<Bytes> Call(Proc proc, const Bytes& request);
 
   NodeId node_;
   sim::Clock* clock_;

@@ -64,7 +64,7 @@ class Campus {
   // Creates the root volume (custodian: server 0) with a world-readable,
   // administrator-writable root directory, and registers it as the root of
   // the shared name space.
-  Result<VolumeId> SetupRootVolume();
+  [[nodiscard]] Result<VolumeId> SetupRootVolume();
 
   // Creates a user and a home volume mounted at /usr/<name>. The access
   // list grants the user everything and System:AnyUser lookup+read.
@@ -73,12 +73,12 @@ class Campus {
     VolumeId volume;
     std::string vice_path;  // "/usr/<name>"
   };
-  Result<UserHome> AddUserWithHome(const std::string& name, const std::string& password,
+  [[nodiscard]] Result<UserHome> AddUserWithHome(const std::string& name, const std::string& password,
                                    ServerId custodian, uint64_t quota_bytes = 0);
 
   // Creates a system volume mounted at `mount_path` (e.g. "/unix/sun"),
   // world-readable, administrator-writable.
-  Result<VolumeId> CreateSystemVolume(const std::string& name,
+  [[nodiscard]] Result<VolumeId> CreateSystemVolume(const std::string& name,
                                       const std::string& mount_path, ServerId custodian);
 
   // --- Direct (zero-cost) population -----------------------------------------------
@@ -86,8 +86,8 @@ class Campus {
   // accounting; used to pre-populate system trees before an experiment.
   // `path` is relative to the volume root, intermediate directories are
   // created with the root directory's ACL.
-  Status PopulateDirect(VolumeId volume, const std::string& path, const Bytes& data);
-  Status MkDirDirect(VolumeId volume, const std::string& path);
+  [[nodiscard]] Status PopulateDirect(VolumeId volume, const std::string& path, const Bytes& data);
+  [[nodiscard]] Status MkDirDirect(VolumeId volume, const std::string& path);
 
   // Home server of a workstation: the first server in its own cluster.
   ServerId HomeServerOf(uint32_t workstation_index) const;
@@ -107,7 +107,7 @@ class Campus {
   void ResetAllStats();
 
  private:
-  Result<Fid> EnsureDirDirect(vice::Volume* vol, const std::string& path);
+  [[nodiscard]] Result<Fid> EnsureDirDirect(vice::Volume* vol, const std::string& path);
 
   CampusConfig config_;
   std::unique_ptr<net::Network> network_;

@@ -11,10 +11,10 @@
 #ifndef SRC_COMMON_RESULT_H_
 #define SRC_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "src/common/logging.h"
 #include "src/common/status.h"
 
 namespace itc {
@@ -25,21 +25,21 @@ class [[nodiscard]] Result {
   // Implicit from a value: `return 42;`
   Result(T value) : status_(Status::kOk), value_(std::move(value)) {}
   // Implicit from a non-OK status: `return Status::kNotFound;`
-  Result(Status status) : status_(status) { assert(status != Status::kOk); }
+  Result(Status status) : status_(status) { ITC_CHECK(status != Status::kOk); }
 
   bool ok() const { return status_ == Status::kOk; }
-  Status status() const { return status_; }
+  [[nodiscard]] Status status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    ITC_CHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    ITC_CHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    ITC_CHECK(ok());
     return std::move(*value_);
   }
 

@@ -25,7 +25,7 @@ Bytes Seal(const Key& key, const Bytes& plaintext, uint64_t iv_seed);
 
 // Decrypts and verifies a sealed message. Returns kTamperDetected on any
 // integrity failure, kInvalidArgument if the buffer is structurally invalid.
-Result<Bytes> Open(const Key& key, const Bytes& sealed);
+[[nodiscard]] Result<Bytes> Open(const Key& key, const Bytes& sealed);
 
 }  // namespace itc::crypto
 

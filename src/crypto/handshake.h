@@ -55,10 +55,10 @@ class ClientHandshake {
 
   // Consumes M2, produces M3. Fails with kAuthFailed if the server did not
   // prove knowledge of the user key.
-  Result<Bytes> HandleChallenge(const Bytes& m2);
+  [[nodiscard]] Result<Bytes> HandleChallenge(const Bytes& m2);
 
   // Consumes M4, yielding the session secret.
-  Result<SessionSecret> HandleSessionGrant(const Bytes& m4);
+  [[nodiscard]] Result<SessionSecret> HandleSessionGrant(const Bytes& m4);
 
  private:
   enum class State { kInit, kSentHello, kSentResponse, kDone, kFailed };
@@ -78,11 +78,11 @@ class ServerHandshake {
   ServerHandshake(KeyLookup key_lookup, uint64_t nonce_seed);
 
   // Consumes M1, produces M2.
-  Result<Bytes> HandleHello(const Bytes& m1);
+  [[nodiscard]] Result<Bytes> HandleHello(const Bytes& m1);
 
   // Consumes M3, produces M4 and completes the handshake. After success,
   // user() and secret() are valid.
-  Result<Bytes> HandleResponse(const Bytes& m3);
+  [[nodiscard]] Result<Bytes> HandleResponse(const Bytes& m3);
 
   UserId user() const { return user_; }
   const SessionSecret& secret() const { return secret_; }

@@ -48,7 +48,7 @@ class AccessList {
 
   // Wire/storage encoding (stable, versionless).
   Bytes Serialize() const;
-  static Result<AccessList> Deserialize(const Bytes& data);
+  [[nodiscard]] static Result<AccessList> Deserialize(const Bytes& data);
 
   friend bool operator==(const AccessList&, const AccessList&) = default;
 

@@ -35,27 +35,27 @@ class ProtectionDb {
   ProtectionDb();
 
   // --- Users ---------------------------------------------------------------
-  Result<UserId> CreateUser(const std::string& name, const std::string& password);
-  Result<UserId> LookupUser(const std::string& name) const;
+  [[nodiscard]] Result<UserId> CreateUser(const std::string& name, const std::string& password);
+  [[nodiscard]] Result<UserId> LookupUser(const std::string& name) const;
   std::optional<crypto::Key> UserKey(UserId user) const;
-  Result<std::string> UserName(UserId user) const;
-  Status SetPassword(UserId user, const std::string& password);
+  [[nodiscard]] Result<std::string> UserName(UserId user) const;
+  [[nodiscard]] Status SetPassword(UserId user, const std::string& password);
   bool UserExists(UserId user) const { return users_.contains(user); }
 
   // --- Groups ---------------------------------------------------------------
-  Result<GroupId> CreateGroup(const std::string& name);
-  Result<GroupId> LookupGroup(const std::string& name) const;
-  Result<std::string> GroupName(GroupId group) const;
+  [[nodiscard]] Result<GroupId> CreateGroup(const std::string& name);
+  [[nodiscard]] Result<GroupId> LookupGroup(const std::string& name) const;
+  [[nodiscard]] Result<std::string> GroupName(GroupId group) const;
   bool GroupExists(GroupId group) const { return groups_.contains(group); }
 
   // Adds `member` (a user or another group) to `group`. Adding a group to
   // itself is rejected; deeper cycles are permitted and handled by CPS.
-  Status AddToGroup(Principal member, GroupId group);
-  Status RemoveFromGroup(Principal member, GroupId group);
+  [[nodiscard]] Status AddToGroup(Principal member, GroupId group);
+  [[nodiscard]] Status RemoveFromGroup(Principal member, GroupId group);
   bool IsDirectMember(Principal member, GroupId group) const;
 
   // Direct members of a group.
-  Result<std::vector<Principal>> Members(GroupId group) const;
+  [[nodiscard]] Result<std::vector<Principal>> Members(GroupId group) const;
 
   // --- CPS ------------------------------------------------------------------
   // Current Protection Subdomain of a user: {user} ∪ transitive groups ∪

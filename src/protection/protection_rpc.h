@@ -68,18 +68,18 @@ class ProtectionClient {
   ProtectionClient(NodeId node, sim::Clock* clock, ProtectionRpcServer* server,
                    net::Network* network, const sim::CostModel& cost);
 
-  Status Connect(UserId user, const crypto::Key& user_key, uint64_t seed);
+  [[nodiscard]] Status Connect(UserId user, const crypto::Key& user_key, uint64_t seed);
 
-  Result<UserId> CreateUser(const std::string& name, const std::string& password);
-  Result<GroupId> CreateGroup(const std::string& name);
-  Status AddToGroup(Principal member, GroupId group);
-  Status RemoveFromGroup(Principal member, GroupId group);
-  Status SetPassword(UserId user, const std::string& password);
+  [[nodiscard]] Result<UserId> CreateUser(const std::string& name, const std::string& password);
+  [[nodiscard]] Result<GroupId> CreateGroup(const std::string& name);
+  [[nodiscard]] Status AddToGroup(Principal member, GroupId group);
+  [[nodiscard]] Status RemoveFromGroup(Principal member, GroupId group);
+  [[nodiscard]] Status SetPassword(UserId user, const std::string& password);
   // Returns (authenticated user id, CPS size) — a liveness/identity check.
-  Result<std::pair<UserId, uint32_t>> WhoAmI();
+  [[nodiscard]] Result<std::pair<UserId, uint32_t>> WhoAmI();
 
  private:
-  Result<Bytes> Call(ProtectionProc proc, const Bytes& request);
+  [[nodiscard]] Result<Bytes> Call(ProtectionProc proc, const Bytes& request);
 
   NodeId node_;
   sim::Clock* clock_;

@@ -50,11 +50,11 @@ class ProtectionService {
   uint64_t publications() const { return publications_; }
 
   // --- Mutations (coordinated; republished to all replicas) ----------------
-  Result<UserId> CreateUser(const std::string& name, const std::string& password);
-  Result<GroupId> CreateGroup(const std::string& name);
-  Status AddToGroup(Principal member, GroupId group);
-  Status RemoveFromGroup(Principal member, GroupId group);
-  Status SetPassword(UserId user, const std::string& password);
+  [[nodiscard]] Result<UserId> CreateUser(const std::string& name, const std::string& password);
+  [[nodiscard]] Result<GroupId> CreateGroup(const std::string& name);
+  [[nodiscard]] Status AddToGroup(Principal member, GroupId group);
+  [[nodiscard]] Status RemoveFromGroup(Principal member, GroupId group);
+  [[nodiscard]] Status SetPassword(UserId user, const std::string& password);
 
   // --- Reads against the master (admin paths) ------------------------------
   const ProtectionDb& db() const { return *master_; }

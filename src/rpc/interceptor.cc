@@ -79,6 +79,15 @@ Result<Bytes> FaultInjectionInterceptor::Intercept(ServerCallInfo& info,
                                                    const Next& next) {
   if (fail_all_) return Status::kUnavailable;
 
+  if (fail_count_ > 0) {
+    if (fail_skip_ > 0) {
+      fail_skip_ -= 1;
+    } else {
+      fail_count_ -= 1;
+      return fail_error_;
+    }
+  }
+
   if (drop_replies_ > 0 && Matches(info, drop_replies_class_)) {
     drop_replies_ -= 1;
     // The request reached the server and executed; only the reply is lost.

@@ -71,7 +71,7 @@ class ServerInterceptor {
   using Next = std::function<Result<Bytes>(const Bytes& request)>;
 
   virtual ~ServerInterceptor() = default;
-  virtual Result<Bytes> Intercept(ServerCallInfo& info, const Bytes& request,
+  [[nodiscard]] virtual Result<Bytes> Intercept(ServerCallInfo& info, const Bytes& request,
                                   const Next& next) = 0;
 };
 
@@ -81,11 +81,11 @@ class ServerInterceptorChain {
   // outermost).
   void Add(ServerInterceptor* interceptor) { interceptors_.push_back(interceptor); }
 
-  Result<Bytes> Run(ServerCallInfo& info, const Bytes& request,
+  [[nodiscard]] Result<Bytes> Run(ServerCallInfo& info, const Bytes& request,
                     const ServerInterceptor::Next& terminal) const;
 
  private:
-  Result<Bytes> RunFrom(size_t index, ServerCallInfo& info, const Bytes& request,
+  [[nodiscard]] Result<Bytes> RunFrom(size_t index, ServerCallInfo& info, const Bytes& request,
                         const ServerInterceptor::Next& terminal) const;
 
   std::vector<ServerInterceptor*> interceptors_;
@@ -99,7 +99,7 @@ class ServerTracingInterceptor : public ServerInterceptor {
  public:
   explicit ServerTracingInterceptor(CallStats* stats) : stats_(stats) {}
 
-  Result<Bytes> Intercept(ServerCallInfo& info, const Bytes& request,
+  [[nodiscard]] Result<Bytes> Intercept(ServerCallInfo& info, const Bytes& request,
                           const Next& next) override;
 
  private:
@@ -128,6 +128,16 @@ class FaultInjectionInterceptor : public ServerInterceptor {
     drop_replies_class_ = only_class;
   }
 
+  // After letting `skip` calls through, fails the next `count` calls with
+  // `error` (not executed). Deterministic: lets a test target a specific
+  // call inside a multi-RPC client operation (e.g. the trailing Close of
+  // ReadWholeFile) without guessing at seeded probabilities.
+  void FailCalls(uint32_t skip, uint32_t count, Status error = Status::kUnavailable) {
+    fail_skip_ = skip;
+    fail_count_ = count;
+    fail_error_ = error;
+  }
+
   // Arms a one-shot crash at `point`: the next handler that polls
   // ConsumeCrashAt(point) sees true (and the armed point clears). The
   // handler then calls ViceServer::SimulateCrash and aborts the call.
@@ -139,7 +149,7 @@ class FaultInjectionInterceptor : public ServerInterceptor {
     return true;
   }
 
-  Result<Bytes> Intercept(ServerCallInfo& info, const Bytes& request,
+  [[nodiscard]] Result<Bytes> Intercept(ServerCallInfo& info, const Bytes& request,
                           const Next& next) override;
 
  private:
@@ -150,6 +160,9 @@ class FaultInjectionInterceptor : public ServerInterceptor {
   bool fail_all_ = false;
   uint32_t drop_replies_ = 0;
   std::optional<CallClass> drop_replies_class_;
+  uint32_t fail_skip_ = 0;
+  uint32_t fail_count_ = 0;
+  Status fail_error_ = Status::kUnavailable;
   CrashPoint armed_crash_ = CrashPoint::kNone;
 };
 
@@ -169,7 +182,7 @@ class ClientInterceptor {
   using Next = std::function<Result<Bytes>(const Bytes& request)>;
 
   virtual ~ClientInterceptor() = default;
-  virtual Result<Bytes> Intercept(ClientCallInfo& info, const Bytes& request,
+  [[nodiscard]] virtual Result<Bytes> Intercept(ClientCallInfo& info, const Bytes& request,
                                   const Next& next) = 0;
 };
 
@@ -180,11 +193,11 @@ class ClientInterceptorChain {
   }
   bool empty() const { return interceptors_.empty(); }
 
-  Result<Bytes> Run(ClientCallInfo& info, const Bytes& request,
+  [[nodiscard]] Result<Bytes> Run(ClientCallInfo& info, const Bytes& request,
                     const ClientInterceptor::Next& terminal) const;
 
  private:
-  Result<Bytes> RunFrom(size_t index, ClientCallInfo& info, const Bytes& request,
+  [[nodiscard]] Result<Bytes> RunFrom(size_t index, ClientCallInfo& info, const Bytes& request,
                         const ClientInterceptor::Next& terminal) const;
 
   std::vector<std::unique_ptr<ClientInterceptor>> interceptors_;
@@ -196,7 +209,7 @@ class ClientTracingInterceptor : public ClientInterceptor {
  public:
   explicit ClientTracingInterceptor(CallStats* stats) : stats_(stats) {}
 
-  Result<Bytes> Intercept(ClientCallInfo& info, const Bytes& request,
+  [[nodiscard]] Result<Bytes> Intercept(ClientCallInfo& info, const Bytes& request,
                           const Next& next) override;
 
  private:
@@ -210,7 +223,7 @@ class RetryInterceptor : public ClientInterceptor {
  public:
   explicit RetryInterceptor(RetryPolicy policy) : policy_(policy) {}
 
-  Result<Bytes> Intercept(ClientCallInfo& info, const Bytes& request,
+  [[nodiscard]] Result<Bytes> Intercept(ClientCallInfo& info, const Bytes& request,
                           const Next& next) override;
 
  private:
@@ -224,7 +237,7 @@ class DeadlineInterceptor : public ClientInterceptor {
  public:
   explicit DeadlineInterceptor(SimTime deadline) : deadline_(deadline) {}
 
-  Result<Bytes> Intercept(ClientCallInfo& info, const Bytes& request,
+  [[nodiscard]] Result<Bytes> Intercept(ClientCallInfo& info, const Bytes& request,
                           const Next& next) override;
 
  private:

@@ -73,7 +73,7 @@ class OpRegistry {
   void Bind(uint32_t opcode, OpHandler handler);
   bool Bound(uint32_t opcode) const { return handlers_.contains(opcode); }
 
-  Result<Bytes> Dispatch(CallContext& ctx, uint32_t opcode, const Bytes& request) const;
+  [[nodiscard]] Result<Bytes> Dispatch(CallContext& ctx, uint32_t opcode, const Bytes& request) const;
 
  private:
   const OpSchema* schema_;

@@ -133,7 +133,7 @@ class Service {
   // Dispatches procedure `proc` with serialized arguments `request`.
   // Application-level failures are encoded inside the reply; a non-OK
   // Result here means the call itself could not be performed.
-  virtual Result<Bytes> Dispatch(CallContext& ctx, uint32_t proc, const Bytes& request) = 0;
+  [[nodiscard]] virtual Result<Bytes> Dispatch(CallContext& ctx, uint32_t proc, const Bytes& request) = 0;
 };
 
 struct RpcStats {
@@ -201,7 +201,7 @@ class ServerEndpoint {
   // Processes one sealed call on connection `conn_id`, arriving at
   // `arrival`; returns the sealed reply and sets `*completion` to the time
   // the reply leaves the server.
-  Result<Bytes> HandleCall(uint64_t conn_id, NodeId client_node, const Bytes& sealed_request,
+  [[nodiscard]] Result<Bytes> HandleCall(uint64_t conn_id, NodeId client_node, const Bytes& sealed_request,
                            SimTime arrival, SimTime* completion);
 
   void CloseConnection(uint64_t conn_id) { connections_.erase(conn_id); }
@@ -247,7 +247,7 @@ class ClientConnection {
   // Establishes the connection, running the mutual handshake over the
   // simulated network. Fails with kAuthFailed if either side cannot prove
   // knowledge of the user's key.
-  static Result<std::unique_ptr<ClientConnection>> Connect(
+  [[nodiscard]] static Result<std::unique_ptr<ClientConnection>> Connect(
       NodeId client_node, UserId user, const crypto::Key& user_key, ServerEndpoint* server,
       net::Network* network, const sim::CostModel& cost, sim::Clock* clock,
       uint64_t nonce_seed, ClientOptions options = {});
@@ -260,7 +260,7 @@ class ClientConnection {
   // deadline): seals `request`, ships it to the server, runs the service,
   // ships the reply back, advancing the client clock to the moment the reply
   // has been decrypted.
-  Result<Bytes> Call(uint32_t proc, const Bytes& request);
+  [[nodiscard]] Result<Bytes> Call(uint32_t proc, const Bytes& request);
 
   UserId user() const { return user_; }
   NodeId server_node() const { return server_->node(); }
@@ -273,7 +273,7 @@ class ClientConnection {
                    ClientOptions options);
 
   // One wire attempt: frame, seal, ship, await, unseal.
-  Result<Bytes> SendOnce(uint32_t proc, const Bytes& request);
+  [[nodiscard]] Result<Bytes> SendOnce(uint32_t proc, const Bytes& request);
 
   NodeId client_node_;
   UserId user_;

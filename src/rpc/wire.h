@@ -56,31 +56,31 @@ class Reader {
  public:
   explicit Reader(const Bytes& buf) : buf_(buf) {}
 
-  Result<uint8_t> U8() {
+  [[nodiscard]] Result<uint8_t> U8() {
     if (pos_ + 1 > buf_.size()) return Status::kProtocolError;
     return buf_[pos_++];
   }
-  Result<uint32_t> U32() {
+  [[nodiscard]] Result<uint32_t> U32() {
     if (pos_ + 4 > buf_.size()) return Status::kProtocolError;
     uint32_t v = 0;
     for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buf_[pos_++]) << (8 * i);
     return v;
   }
-  Result<uint64_t> U64() {
+  [[nodiscard]] Result<uint64_t> U64() {
     if (pos_ + 8 > buf_.size()) return Status::kProtocolError;
     uint64_t v = 0;
     for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
     return v;
   }
-  Result<int64_t> I64() {
+  [[nodiscard]] Result<int64_t> I64() {
     ASSIGN_OR_RETURN(uint64_t v, U64());
     return static_cast<int64_t>(v);
   }
-  Result<bool> Bool() {
+  [[nodiscard]] Result<bool> Bool() {
     ASSIGN_OR_RETURN(uint8_t v, U8());
     return v != 0;
   }
-  Result<std::string> String() {
+  [[nodiscard]] Result<std::string> String() {
     ASSIGN_OR_RETURN(uint32_t n, U32());
     if (pos_ + n > buf_.size()) return Status::kProtocolError;
     std::string s(buf_.begin() + static_cast<ptrdiff_t>(pos_),
@@ -88,7 +88,7 @@ class Reader {
     pos_ += n;
     return s;
   }
-  Result<Bytes> BytesField() {
+  [[nodiscard]] Result<Bytes> BytesField() {
     ASSIGN_OR_RETURN(uint32_t n, U32());
     if (pos_ + n > buf_.size()) return Status::kProtocolError;
     Bytes b(buf_.begin() + static_cast<ptrdiff_t>(pos_),
@@ -96,7 +96,7 @@ class Reader {
     pos_ += n;
     return b;
   }
-  Result<Fid> FidField() {
+  [[nodiscard]] Result<Fid> FidField() {
     Fid f;
     ASSIGN_OR_RETURN(f.volume, U32());
     ASSIGN_OR_RETURN(f.vnode, U32());
@@ -105,7 +105,7 @@ class Reader {
   }
   // Reads a Status encoded by PutStatus into *out. The return value reports
   // whether decoding succeeded; *out may itself be any (non-)OK Status.
-  Status ReadStatus(Status* out) {
+  [[nodiscard]] Status ReadStatus(Status* out) {
     ASSIGN_OR_RETURN(uint32_t v, U32());
     *out = static_cast<Status>(v);
     return Status::kOk;
@@ -130,7 +130,7 @@ inline Bytes StatusOnlyReply(Status s) {
 // Consumes a reply's status prologue and returns it; kProtocolError if the
 // buffer is too short. Callers: RETURN_IF_ERROR(rpc::ExpectOk(r)); or
 // `return rpc::ExpectOk(r);` for status-only replies.
-inline Status ExpectOk(Reader& r) {
+[[nodiscard]] inline Status ExpectOk(Reader& r) {
   Status st = Status::kOk;
   RETURN_IF_ERROR(r.ReadStatus(&st));
   return st;

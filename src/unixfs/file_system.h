@@ -75,52 +75,52 @@ class FileSystem {
   // Resolves a path to an inode. When `follow_final_symlink` is false, a
   // trailing symlink component is returned itself rather than followed
   // (lstat-style). Intermediate symlinks are always followed.
-  Result<InodeNum> Resolve(std::string_view path, bool follow_final_symlink = true) const;
+  [[nodiscard]] Result<InodeNum> Resolve(std::string_view path, bool follow_final_symlink = true) const;
 
-  Result<StatInfo> Stat(std::string_view path) const;
-  Result<StatInfo> LStat(std::string_view path) const;
+  [[nodiscard]] Result<StatInfo> Stat(std::string_view path) const;
+  [[nodiscard]] Result<StatInfo> LStat(std::string_view path) const;
 
-  Result<InodeNum> Create(std::string_view path, Mode mode = kDefaultFileMode,
+  [[nodiscard]] Result<InodeNum> Create(std::string_view path, Mode mode = kDefaultFileMode,
                           UserId owner = kAnonymousUser);
-  Status MkDir(std::string_view path, Mode mode = kDefaultDirMode,
+  [[nodiscard]] Status MkDir(std::string_view path, Mode mode = kDefaultDirMode,
                UserId owner = kAnonymousUser);
   // Creates every missing directory along `path`.
-  Status MkDirAll(std::string_view path, Mode mode = kDefaultDirMode,
+  [[nodiscard]] Status MkDirAll(std::string_view path, Mode mode = kDefaultDirMode,
                   UserId owner = kAnonymousUser);
-  Status Symlink(std::string_view target, std::string_view link_path);
-  Result<std::string> ReadLink(std::string_view path) const;
-  Status HardLink(std::string_view existing, std::string_view new_path);
-  Status Unlink(std::string_view path);
-  Status RmDir(std::string_view path);
+  [[nodiscard]] Status Symlink(std::string_view target, std::string_view link_path);
+  [[nodiscard]] Result<std::string> ReadLink(std::string_view path) const;
+  [[nodiscard]] Status HardLink(std::string_view existing, std::string_view new_path);
+  [[nodiscard]] Status Unlink(std::string_view path);
+  [[nodiscard]] Status RmDir(std::string_view path);
   // Recursively removes a subtree (not a Unix primitive; used by tests and
   // by Venus cache management).
-  Status RemoveAll(std::string_view path);
-  Status Rename(std::string_view from, std::string_view to);
-  Result<std::vector<DirEntry>> ReadDir(std::string_view path) const;
+  [[nodiscard]] Status RemoveAll(std::string_view path);
+  [[nodiscard]] Status Rename(std::string_view from, std::string_view to);
+  [[nodiscard]] Result<std::vector<DirEntry>> ReadDir(std::string_view path) const;
 
   // Whole-file convenience I/O (the granularity Vice and Venus move data at).
-  Result<Bytes> ReadFile(std::string_view path) const;
+  [[nodiscard]] Result<Bytes> ReadFile(std::string_view path) const;
   // Creates the file if absent; truncates and replaces contents.
-  Status WriteFile(std::string_view path, const Bytes& data);
+  [[nodiscard]] Status WriteFile(std::string_view path, const Bytes& data);
 
-  Status Chmod(std::string_view path, Mode mode);
-  Status Chown(std::string_view path, UserId owner);
+  [[nodiscard]] Status Chmod(std::string_view path, Mode mode);
+  [[nodiscard]] Status Chown(std::string_view path, UserId owner);
   // Sets mtime explicitly (used when Venus installs a cached copy and must
   // preserve the Vice timestamp).
-  Status SetMTime(std::string_view path, SimTime mtime);
+  [[nodiscard]] Status SetMTime(std::string_view path, SimTime mtime);
 
   // --- Inode-level operations ----------------------------------------------
   // The revised Vice server accesses files "via their low-level identifiers
   // rather than their full Unix pathnames" (Section 3.5.1); these are those
   // low-level entry points.
 
-  Result<StatInfo> StatInode(InodeNum inode) const;
-  Result<Bytes> ReadFileByInode(InodeNum inode) const;
-  Status WriteFileByInode(InodeNum inode, const Bytes& data);
+  [[nodiscard]] Result<StatInfo> StatInode(InodeNum inode) const;
+  [[nodiscard]] Result<Bytes> ReadFileByInode(InodeNum inode) const;
+  [[nodiscard]] Status WriteFileByInode(InodeNum inode, const Bytes& data);
   // Byte-range access (used by the remote-open baseline, Section 6).
-  Result<Bytes> ReadAt(InodeNum inode, uint64_t offset, uint64_t length) const;
-  Status WriteAt(InodeNum inode, uint64_t offset, const Bytes& data);
-  Status Truncate(InodeNum inode, uint64_t size);
+  [[nodiscard]] Result<Bytes> ReadAt(InodeNum inode, uint64_t offset, uint64_t length) const;
+  [[nodiscard]] Status WriteAt(InodeNum inode, uint64_t offset, const Bytes& data);
+  [[nodiscard]] Status Truncate(InodeNum inode, uint64_t size);
 
   // --- Accounting -----------------------------------------------------------
   uint64_t total_data_bytes() const { return total_data_bytes_; }
@@ -144,10 +144,10 @@ class FileSystem {
     std::string leaf;
   };
 
-  Result<InodeNum> ResolveInternal(std::string_view path, bool follow_final,
+  [[nodiscard]] Result<InodeNum> ResolveInternal(std::string_view path, bool follow_final,
                                    int depth) const;
   // Resolves all but the last component; fails if the path names the root.
-  Result<ParentRef> ResolveParent(std::string_view path) const;
+  [[nodiscard]] Result<ParentRef> ResolveParent(std::string_view path) const;
 
   Inode& Node(InodeNum n) { return inodes_.at(n); }
   const Inode& Node(InodeNum n) const { return inodes_.at(n); }

@@ -93,7 +93,12 @@ void FileCache::Erase(const Fid& fid) {
   if (it->second.has_data) {
     data_entries_ -= 1;
     data_bytes_ -= it->second.accounted_bytes;
-    local_fs_->Unlink(it->second.cache_path);
+    // The entry leaves the accounting either way; a failed unlink means the
+    // bytes are still on the local disk, which is worth a trace.
+    if (Status s = local_fs_->Unlink(it->second.cache_path); s != Status::kOk) {
+      ITC_LOG(kWarning) << "cache file unlink failed for " << it->second.cache_path
+                        << ": " << s;
+    }
   }
   entries_.erase(it);
 }

@@ -72,9 +72,9 @@ class FileCache {
   CacheEntry& InstallData(const Fid& fid, const vice::VnodeStatus& status, const Bytes& data);
 
   // Reads the cached copy (entry must have data).
-  Result<Bytes> ReadData(const Fid& fid) const;
+  [[nodiscard]] Result<Bytes> ReadData(const Fid& fid) const;
   // Overwrites the cached copy in place (local writes before close).
-  Status WriteData(const Fid& fid, const Bytes& data);
+  [[nodiscard]] Status WriteData(const Fid& fid, const Bytes& data);
 
   // Resynchronizes space accounting after the cached copy was mutated
   // directly through the local file system (dirty close path).

@@ -95,7 +95,7 @@ class Venus : public vice::CallbackReceiver {
   // Authenticates this workstation to Vice on behalf of `user`. The key is
   // derived from the user's password (crypto::DeriveKeyFromPassword); the
   // password itself never reaches Venus.
-  Status Login(UserId user, const crypto::Key& user_key);
+  [[nodiscard]] Status Login(UserId user, const crypto::Key& user_key);
   // Ends the session: connections dropped, callback promises surrendered.
   // Cached data survives (revalidated on next use).
   void Logout();
@@ -113,16 +113,16 @@ class Venus : public vice::CallbackReceiver {
   // read-only replica exists. create makes the file (parent needs Insert).
   // The returned cache_path is a local file the caller reads/writes; the
   // entry stays pinned until Close.
-  Result<OpenResult> Open(const std::string& path, bool for_write, bool create);
+  [[nodiscard]] Result<OpenResult> Open(const std::string& path, bool for_write, bool create);
 
   // Closes an open file. If `dirty`, the cached copy is stored back to the
   // custodian immediately ("Virtue stores a file back when it is closed") —
   // or queued, under the deferred write-back policy.
-  Status Close(const Fid& fid, bool dirty);
+  [[nodiscard]] Status Close(const Fid& fid, bool dirty);
 
   // Deferred write-back only: stores every queued dirty file now. Called
   // automatically on logout and when the dirty queue fills.
-  Status FlushDirty();
+  [[nodiscard]] Status FlushDirty();
   size_t dirty_count() const { return dirty_queue_.size(); }
 
   // Simulates a workstation crash: the session drops WITHOUT flushing
@@ -131,21 +131,21 @@ class Venus : public vice::CallbackReceiver {
   void SimulateCrash();
 
   // --- Metadata and name space ---------------------------------------------------
-  Result<vice::VnodeStatus> Stat(const std::string& path);
-  Result<std::vector<std::pair<std::string, vice::DirItem>>> ReadDir(const std::string& path);
-  Status MkDir(const std::string& path);
-  Status Remove(const std::string& path);
-  Status RmDir(const std::string& path);
-  Status Rename(const std::string& from, const std::string& to);
-  Status Symlink(const std::string& target, const std::string& link_path);
-  Result<std::string> ReadLink(const std::string& path);
-  Status SetMode(const std::string& path, uint16_t mode);
+  [[nodiscard]] Result<vice::VnodeStatus> Stat(const std::string& path);
+  [[nodiscard]] Result<std::vector<std::pair<std::string, vice::DirItem>>> ReadDir(const std::string& path);
+  [[nodiscard]] Status MkDir(const std::string& path);
+  [[nodiscard]] Status Remove(const std::string& path);
+  [[nodiscard]] Status RmDir(const std::string& path);
+  [[nodiscard]] Status Rename(const std::string& from, const std::string& to);
+  [[nodiscard]] Status Symlink(const std::string& target, const std::string& link_path);
+  [[nodiscard]] Result<std::string> ReadLink(const std::string& path);
+  [[nodiscard]] Status SetMode(const std::string& path, uint16_t mode);
 
-  Result<protection::AccessList> GetAcl(const std::string& path);
-  Status SetAcl(const std::string& path, const protection::AccessList& acl);
+  [[nodiscard]] Result<protection::AccessList> GetAcl(const std::string& path);
+  [[nodiscard]] Status SetAcl(const std::string& path, const protection::AccessList& acl);
 
-  Status SetLock(const std::string& path, vice::LockMode mode);
-  Status ReleaseLock(const std::string& path);
+  [[nodiscard]] Status SetLock(const std::string& path, vice::LockMode mode);
+  [[nodiscard]] Status ReleaseLock(const std::string& path);
 
   // Quota/usage of the volume holding `path` (the `df` of the shared space;
   // quota enforcement is Section 3.6's "restrict and account for the usage
@@ -157,7 +157,7 @@ class Venus : public vice::CallbackReceiver {
     bool read_only = false;
     bool online = true;
   };
-  Result<VolumeStatus> GetVolumeStatus(const std::string& path);
+  [[nodiscard]] Result<VolumeStatus> GetVolumeStatus(const std::string& path);
 
   // --- Cache management ------------------------------------------------------------
   // Drops the entire cache (surrendering callback promises).
@@ -182,59 +182,59 @@ class Venus : public vice::CallbackReceiver {
   };
 
   // --- RPC plumbing -------------------------------------------------------------
-  Result<rpc::ClientConnection*> ConnectionTo(ServerId server);
+  [[nodiscard]] Result<rpc::ClientConnection*> ConnectionTo(ServerId server);
   // A server crashed (restart epoch changed) or became unreachable: its
   // callback promises for us are gone. Mark every cache entry it supplied
   // suspect so the next use revalidates (check-on-open fallback) instead of
   // trusting a promise that no longer exists.
   void MarkServerSuspect(ServerId server);
-  Result<Bytes> CallServer(ServerId server, vice::Proc proc, const Bytes& request);
+  [[nodiscard]] Result<Bytes> CallServer(ServerId server, vice::Proc proc, const Bytes& request);
   // Calls the custodian (or nearest replica) for `fid`; transparently
   // refreshes stale location hints on kNotCustodian and retries once.
-  Result<Bytes> CallForFid(const Fid& fid, vice::Proc proc, const Bytes& request);
+  [[nodiscard]] Result<Bytes> CallForFid(const Fid& fid, vice::Proc proc, const Bytes& request);
 
   // --- Location ---------------------------------------------------------------------
-  Result<VolumeId> RootVolume();
-  Result<vice::VolumeInfo> VolumeInfoFor(VolumeId volume, bool refresh);
+  [[nodiscard]] Result<VolumeId> RootVolume();
+  [[nodiscard]] Result<vice::VolumeInfo> VolumeInfoFor(VolumeId volume, bool refresh);
   // Server to contact for this volume: nearest read-only replica site for RO
   // volumes, else the custodian.
-  Result<ServerId> ServerFor(VolumeId volume);
+  [[nodiscard]] Result<ServerId> ServerFor(VolumeId volume);
   // All servers that can satisfy requests for this volume, in preference
   // order (nearest replica first). Read-only replication "enhances
   // availability": when a site is down, the next one is tried.
-  Result<std::vector<ServerId>> ServerCandidates(VolumeId volume);
+  [[nodiscard]] Result<std::vector<ServerId>> ServerCandidates(VolumeId volume);
   // Volume to traverse into: the released RO clone when one exists and the
   // access does not require write.
-  Result<VolumeId> ChooseVolume(VolumeId volume, bool for_update);
+  [[nodiscard]] Result<VolumeId> ChooseVolume(VolumeId volume, bool for_update);
 
   // --- Resolution ---------------------------------------------------------------------
   // Resolves a path to its final fid. follow_final controls trailing-symlink
   // behaviour (lstat-style when false; client-side traversal only).
-  Result<Fid> ResolveFinal(const std::string& path, bool for_update, bool follow_final);
+  [[nodiscard]] Result<Fid> ResolveFinal(const std::string& path, bool for_update, bool follow_final);
   // Resolves the directory containing a path's final component.
-  Result<ParentRef> ResolveParentOf(const std::string& path, bool for_update);
-  Result<Fid> WalkClient(const std::string& path, bool for_update, bool follow_final);
-  Result<Fid> WalkServer(const std::string& path);
+  [[nodiscard]] Result<ParentRef> ResolveParentOf(const std::string& path, bool for_update);
+  [[nodiscard]] Result<Fid> WalkClient(const std::string& path, bool for_update, bool follow_final);
+  [[nodiscard]] Result<Fid> WalkServer(const std::string& path);
 
   // --- Cache core ------------------------------------------------------------------------
   // Ensures a valid cached copy of `fid`'s data (fetching or validating as
   // the configuration demands); returns the entry. `hit` reports whether a
   // Fetch was avoided.
-  Result<CacheEntry*> EnsureData(const Fid& fid, bool* hit);
+  [[nodiscard]] Result<CacheEntry*> EnsureData(const Fid& fid, bool* hit);
   // Ensures valid cached status for `fid`.
-  Result<vice::VnodeStatus> EnsureStatus(const Fid& fid);
-  Result<vice::DirMap> DirEntriesOf(const Fid& dir);
+  [[nodiscard]] Result<vice::VnodeStatus> EnsureStatus(const Fid& fid);
+  [[nodiscard]] Result<vice::DirMap> DirEntriesOf(const Fid& dir);
   void DropEvicted(const std::vector<Fid>& evicted);
   void InvalidateDir(const Fid& dir);
   // Stores the cached copy of `fid` to its custodian now.
-  Status StoreBack(const Fid& fid);
+  [[nodiscard]] Status StoreBack(const Fid& fid);
 
   // --- RPC wrappers -------------------------------------------------------------------------
-  Result<vice::VnodeStatus> RpcFetch(const Fid& fid, Bytes* data);
-  Result<vice::VnodeStatus> RpcFetchStatus(const Fid& fid);
+  [[nodiscard]] Result<vice::VnodeStatus> RpcFetch(const Fid& fid, Bytes* data);
+  [[nodiscard]] Result<vice::VnodeStatus> RpcFetchStatus(const Fid& fid);
   // Returns (valid, fresh status).
-  Result<std::pair<bool, vice::VnodeStatus>> RpcValidate(const Fid& fid, uint64_t version);
-  Result<vice::VnodeStatus> RpcStore(const Fid& fid, const Bytes& data);
+  [[nodiscard]] Result<std::pair<bool, vice::VnodeStatus>> RpcValidate(const Fid& fid, uint64_t version);
+  [[nodiscard]] Result<vice::VnodeStatus> RpcStore(const Fid& fid, const Bytes& data);
 
   NodeId node_;
   sim::Clock* clock_;

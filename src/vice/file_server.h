@@ -146,11 +146,11 @@ class ViceServer {
 
   // Protection gate: kPermissionDenied unless the user holds `needed` on the
   // governing directory. Also applies per-file bits when configured.
-  Status CheckAccess(const Volume& vol, const Fid& fid, UserId user,
+  [[nodiscard]] Status CheckAccess(const Volume& vol, const Fid& fid, UserId user,
                      protection::Rights needed) const;
-  Status CheckFileBits(const Volume& vol, const Fid& fid, bool write) const;
+  [[nodiscard]] Status CheckFileBits(const Volume& vol, const Fid& fid, bool write) const;
 
-  Result<Volume*> VolumeFor(const Fid& fid, rpc::CallContext& ctx, rpc::Writer& reply);
+  [[nodiscard]] Result<Volume*> VolumeFor(const Fid& fid, rpc::CallContext& ctx, rpc::Writer& reply);
 
   void BreakCallbacks(const Fid& fid, rpc::CallContext& ctx);
   void MaybeRegisterCallback(const Fid& fid, rpc::CallContext& ctx);
@@ -179,15 +179,15 @@ class ViceServer {
   Bytes HandleGetRootVolume(rpc::CallContext& ctx);
   Bytes HandleFetch(rpc::CallContext& ctx, rpc::Reader& r, bool with_data);
   Bytes HandleValidate(rpc::CallContext& ctx, rpc::Reader& r);
-  Result<Bytes> HandleStore(rpc::CallContext& ctx, rpc::Reader& r);
-  Result<Bytes> HandleSetStatus(rpc::CallContext& ctx, rpc::Reader& r);
-  Result<Bytes> HandleCreate(rpc::CallContext& ctx, rpc::Reader& r, Proc proc);
-  Result<Bytes> HandleRemove(rpc::CallContext& ctx, rpc::Reader& r, bool dir);
-  Result<Bytes> HandleRename(rpc::CallContext& ctx, rpc::Reader& r);
-  Result<Bytes> HandleMakeMountPoint(rpc::CallContext& ctx, rpc::Reader& r);
+  [[nodiscard]] Result<Bytes> HandleStore(rpc::CallContext& ctx, rpc::Reader& r);
+  [[nodiscard]] Result<Bytes> HandleSetStatus(rpc::CallContext& ctx, rpc::Reader& r);
+  [[nodiscard]] Result<Bytes> HandleCreate(rpc::CallContext& ctx, rpc::Reader& r, Proc proc);
+  [[nodiscard]] Result<Bytes> HandleRemove(rpc::CallContext& ctx, rpc::Reader& r, bool dir);
+  [[nodiscard]] Result<Bytes> HandleRename(rpc::CallContext& ctx, rpc::Reader& r);
+  [[nodiscard]] Result<Bytes> HandleMakeMountPoint(rpc::CallContext& ctx, rpc::Reader& r);
   Bytes HandleResolvePath(rpc::CallContext& ctx, rpc::Reader& r);
   Bytes HandleGetAcl(rpc::CallContext& ctx, rpc::Reader& r);
-  Result<Bytes> HandleSetAcl(rpc::CallContext& ctx, rpc::Reader& r);
+  [[nodiscard]] Result<Bytes> HandleSetAcl(rpc::CallContext& ctx, rpc::Reader& r);
   Bytes HandleLock(rpc::CallContext& ctx, rpc::Reader& r, bool acquire);
   Bytes HandleRemoveCallback(rpc::CallContext& ctx, rpc::Reader& r);
   Bytes HandleGetVolumeStatus(rpc::CallContext& ctx, rpc::Reader& r);

@@ -33,10 +33,10 @@ class LockManager {
   // kLocked on conflict. Re-acquiring a mode already held is idempotent;
   // upgrading shared->exclusive succeeds only if the caller is the sole
   // reader.
-  Status Acquire(const Fid& fid, LockMode mode, Holder who);
+  [[nodiscard]] Status Acquire(const Fid& fid, LockMode mode, Holder who);
 
   // Releases whatever `who` holds on `fid`; kNotLocked if nothing held.
-  Status Release(const Fid& fid, Holder who);
+  [[nodiscard]] Status Release(const Fid& fid, Holder who);
 
   // Drops every lock held by `who` (workstation crash recovery).
   void ReleaseAllFor(Holder who);

@@ -52,7 +52,7 @@ class Monitor {
   MonitorReport Scan() const;
 
   // Applies one recommendation (the "human operator" step).
-  Status Apply(const MoveRecommendation& rec, SimTime at = 0);
+  [[nodiscard]] Status Apply(const MoveRecommendation& rec, SimTime at = 0);
 
  private:
   VolumeRegistry* registry_;

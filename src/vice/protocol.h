@@ -94,7 +94,7 @@ CallClass ClassOf(Proc p);
 // --- Wire helpers -----------------------------------------------------------
 
 void PutVnodeStatus(rpc::Writer& w, const VnodeStatus& s);
-Result<VnodeStatus> ReadVnodeStatus(rpc::Reader& r);
+[[nodiscard]] Result<VnodeStatus> ReadVnodeStatus(rpc::Reader& r);
 
 // Volume location info returned by kGetVolumeInfo.
 struct VolumeInfo {
@@ -107,7 +107,7 @@ struct VolumeInfo {
 };
 
 void PutVolumeInfo(rpc::Writer& w, const VolumeInfo& info);
-Result<VolumeInfo> ReadVolumeInfo(rpc::Reader& r);
+[[nodiscard]] Result<VolumeInfo> ReadVolumeInfo(rpc::Reader& r);
 
 // Encodes a reply of just a status code.
 Bytes StatusReply(Status s);

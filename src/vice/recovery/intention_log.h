@@ -111,7 +111,7 @@ Bytes EncodeMakeMountPoint(const Fid& dir, const std::string& name, VolumeId tar
 // Re-executes one committed intention against `vol` during recovery.
 // Decodes the payload and invokes the corresponding Volume operation with
 // the record's logged clock installed.
-Status ApplyIntention(Volume& vol, const Intention& rec);
+[[nodiscard]] Status ApplyIntention(Volume& vol, const Intention& rec);
 
 }  // namespace itc::vice::recovery
 

@@ -57,7 +57,7 @@ class StableStore {
 
   // Reconstructs every checkpointed volume from its image. Does not touch
   // the log; the caller replays committed intentions on top.
-  Result<std::vector<std::unique_ptr<Volume>>> RestoreVolumes() const;
+  [[nodiscard]] Result<std::vector<std::unique_ptr<Volume>>> RestoreVolumes() const;
 
   IntentionLog& log() { return log_; }
   const IntentionLog& log() const { return log_; }

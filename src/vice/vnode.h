@@ -61,7 +61,7 @@ using DirMap = std::map<std::string, DirItem>;
 
 // Directory data encoding shared by Vice (producer) and Venus (consumer).
 Bytes SerializeDirectory(const DirMap& entries);
-Result<DirMap> DeserializeDirectory(const Bytes& data);
+[[nodiscard]] Result<DirMap> DeserializeDirectory(const Bytes& data);
 
 // Root vnode convention: every volume's root directory is vnode 1,
 // uniquifier 1.

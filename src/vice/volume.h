@@ -68,36 +68,36 @@ class Volume {
   // --- Lookup ----------------------------------------------------------------
   // Fails with kVolumeOffline when offline, kStaleFid when the fid's vnode
   // slot is gone or its uniquifier does not match (deleted & never reused).
-  Result<const Vnode*> Lookup(const Fid& fid) const;
+  [[nodiscard]] Result<const Vnode*> Lookup(const Fid& fid) const;
 
   // --- Directory operations ---------------------------------------------------
-  Result<Fid> CreateFile(const Fid& dir, const std::string& name, UserId owner,
+  [[nodiscard]] Result<Fid> CreateFile(const Fid& dir, const std::string& name, UserId owner,
                          uint16_t mode);
-  Result<Fid> MakeDir(const Fid& dir, const std::string& name, UserId owner,
+  [[nodiscard]] Result<Fid> MakeDir(const Fid& dir, const std::string& name, UserId owner,
                       const protection::AccessList& acl);
-  Result<Fid> MakeSymlink(const Fid& dir, const std::string& name, const std::string& target,
+  [[nodiscard]] Result<Fid> MakeSymlink(const Fid& dir, const std::string& name, const std::string& target,
                           UserId owner);
-  Status MakeMountPoint(const Fid& dir, const std::string& name, VolumeId target);
+  [[nodiscard]] Status MakeMountPoint(const Fid& dir, const std::string& name, VolumeId target);
   // Removes a file, symlink, or mount point entry.
-  Status RemoveFile(const Fid& dir, const std::string& name);
+  [[nodiscard]] Status RemoveFile(const Fid& dir, const std::string& name);
   // Removes an empty directory.
-  Status RemoveDir(const Fid& dir, const std::string& name);
-  Status Rename(const Fid& from_dir, const std::string& from_name, const Fid& to_dir,
+  [[nodiscard]] Status RemoveDir(const Fid& dir, const std::string& name);
+  [[nodiscard]] Status Rename(const Fid& from_dir, const std::string& from_name, const Fid& to_dir,
                 const std::string& to_name);
 
   // --- Data operations ---------------------------------------------------------
   // Fetches file/symlink data, or serialized entries for a directory.
-  Result<Bytes> FetchData(const Fid& fid) const;
-  Status StoreData(const Fid& fid, Bytes data);
+  [[nodiscard]] Result<Bytes> FetchData(const Fid& fid) const;
+  [[nodiscard]] Status StoreData(const Fid& fid, Bytes data);
 
   // --- Status / protection -------------------------------------------------------
-  Result<VnodeStatus> GetStatus(const Fid& fid) const;
-  Status SetMode(const Fid& fid, uint16_t mode);
-  Status SetOwner(const Fid& fid, UserId owner);
-  Status SetAcl(const Fid& dir, const protection::AccessList& acl);
+  [[nodiscard]] Result<VnodeStatus> GetStatus(const Fid& fid) const;
+  [[nodiscard]] Status SetMode(const Fid& fid, uint16_t mode);
+  [[nodiscard]] Status SetOwner(const Fid& fid, UserId owner);
+  [[nodiscard]] Status SetAcl(const Fid& dir, const protection::AccessList& acl);
   // For a directory: its own ACL. For a file or symlink: the ACL of its
   // parent directory ("the protected entities are directories", §3.4).
-  Result<protection::AccessList> EffectiveAcl(const Fid& fid) const;
+  [[nodiscard]] Result<protection::AccessList> EffectiveAcl(const Fid& fid) const;
 
   // --- Administration -------------------------------------------------------------
   // Frozen read-only copy sharing file data copy-on-write. Fids inside the
@@ -112,7 +112,7 @@ class Volume {
   // the frozen clone to tape. `new_id` rebrands all contained fids, as
   // Clone does; pass the dumped volume's own id to restore in place.
   Bytes Dump() const;
-  static Result<std::unique_ptr<Volume>> Restore(const Bytes& dump, VolumeId new_id,
+  [[nodiscard]] static Result<std::unique_ptr<Volume>> Restore(const Bytes& dump, VolumeId new_id,
                                                  const std::string& new_name,
                                                  VolumeType type);
 
@@ -132,13 +132,13 @@ class Volume {
   SalvageReport Salvage();
 
  private:
-  Result<Vnode*> LookupMutable(const Fid& fid);
-  Result<Vnode*> LookupDirMutable(const Fid& fid);
+  [[nodiscard]] Result<Vnode*> LookupMutable(const Fid& fid);
+  [[nodiscard]] Result<Vnode*> LookupDirMutable(const Fid& fid);
   Fid NewFid();
   Vnode& Node(uint32_t vnode) { return vnodes_.at(vnode); }
   void TouchDir(Vnode& dir);
   // Charges (new - old) bytes against quota; kQuotaExceeded if over.
-  Status ChargeQuota(int64_t delta);
+  [[nodiscard]] Status ChargeQuota(int64_t delta);
   static uint64_t DirDataSize(const DirMap& entries);
 
   VolumeId id_;

@@ -35,37 +35,37 @@ class VolumeRegistry {
   std::vector<ViceServer*> Servers() const;
 
   // Creates an empty read-write volume on `custodian`.
-  Result<VolumeId> CreateVolume(const std::string& name, ServerId custodian, UserId owner,
+  [[nodiscard]] Result<VolumeId> CreateVolume(const std::string& name, ServerId custodian, UserId owner,
                                 const protection::AccessList& root_acl,
                                 uint64_t quota_bytes);
 
   // Declares which volume roots the Vice shared name space ("/").
-  Status SetRootVolume(VolumeId volume);
+  [[nodiscard]] Status SetRootVolume(VolumeId volume);
 
   // Adds a mount point entry `name` in directory `dir` referring to
   // `child`'s root. Administrative path: applied directly at the custodian;
   // outstanding callback promises on the directory are broken so connected
   // clients see the new mount.
-  Status MountAt(const Fid& dir, const std::string& name, VolumeId child);
+  [[nodiscard]] Status MountAt(const Fid& dir, const std::string& name, VolumeId child);
 
   // Breaks every callback promise on `volume` at its custodian. Invoked by
   // administrative tooling after direct (non-RPC) mutations so connected
   // clients cannot keep trusting stale cached copies.
-  Status BreakVolumeCallbacks(VolumeId volume, SimTime at = 0);
+  [[nodiscard]] Status BreakVolumeCallbacks(VolumeId volume, SimTime at = 0);
 
   // Re-dumps the volume's stable-storage image at its custodian. Required
   // after any direct (non-RPC) mutation, which bypasses the custodian's
   // intention log and would otherwise be lost by a crash.
-  Status CheckpointVolume(VolumeId volume);
+  [[nodiscard]] Status CheckpointVolume(VolumeId volume);
 
   // Moves a volume to a new custodian. The volume is offline for the
   // duration of the move; all outstanding callback promises on it are
   // broken. `at` is the administrative wall-clock instant used for the
   // callback traffic.
-  Status MoveVolume(VolumeId volume, ServerId new_custodian, SimTime at = 0);
+  [[nodiscard]] Status MoveVolume(VolumeId volume, ServerId new_custodian, SimTime at = 0);
 
   // Creates a frozen read-only clone of `volume`, hosted at the custodian.
-  Result<VolumeId> CloneVolume(VolumeId volume, const std::string& clone_name);
+  [[nodiscard]] Result<VolumeId> CloneVolume(VolumeId volume, const std::string& clone_name);
 
   // Atomically releases a read-only replica set of `volume` at `sites`:
   // clones the volume, installs a copy at every site, records the replica
@@ -74,23 +74,23 @@ class VolumeRegistry {
   // clones in the location map (old clones remain as frozen versions at
   // their sites — "multiple coexisting versions of a subsystem are
   // represented by their respective read-only subtrees").
-  Result<VolumeId> ReleaseReadOnly(VolumeId volume, const std::string& clone_name,
+  [[nodiscard]] Result<VolumeId> ReleaseReadOnly(VolumeId volume, const std::string& clone_name,
                                    const std::vector<ServerId>& sites);
 
-  Status SetVolumeQuota(VolumeId volume, uint64_t quota_bytes);
-  Status SetVolumeOnline(VolumeId volume, bool online);
+  [[nodiscard]] Status SetVolumeQuota(VolumeId volume, uint64_t quota_bytes);
+  [[nodiscard]] Status SetVolumeOnline(VolumeId volume, bool online);
 
   // Backup workflow (the Integrity goal of Section 2.2): clones the volume
   // (frozen, copy-on-write) and dumps the clone; the transient clone is
   // discarded. The dump is self-contained and restorable on any server.
-  Result<Bytes> BackupVolume(VolumeId volume);
+  [[nodiscard]] Result<Bytes> BackupVolume(VolumeId volume);
   // Restores a dump as a brand-new read-write volume at `custodian`,
   // mounted nowhere (use MountAt). Returns the new volume id.
-  Result<VolumeId> RestoreVolume(const Bytes& dump, const std::string& name,
+  [[nodiscard]] Result<VolumeId> RestoreVolume(const Bytes& dump, const std::string& name,
                                  ServerId custodian);
 
   // Runs salvage on a volume at its custodian (crash recovery).
-  Result<Volume::SalvageReport> SalvageVolume(VolumeId volume);
+  [[nodiscard]] Result<Volume::SalvageReport> SalvageVolume(VolumeId volume);
 
   const LocationDb& location() const { return master_; }
   // Direct access to a hosted volume (admin/test convenience).
@@ -98,7 +98,7 @@ class VolumeRegistry {
 
  private:
   void Publish();
-  Result<ViceServer*> CustodianOf(VolumeId volume) const;
+  [[nodiscard]] Result<ViceServer*> CustodianOf(VolumeId volume) const;
 
   std::map<ServerId, ViceServer*> servers_;
   LocationDb master_;

@@ -51,7 +51,7 @@ class SurrogateServer : public rpc::Service {
   rpc::ServerEndpoint& endpoint() { return endpoint_; }
   Workstation* host() { return host_; }
 
-  Result<Bytes> Dispatch(rpc::CallContext& ctx, uint32_t proc, const Bytes& request) override;
+  [[nodiscard]] Result<Bytes> Dispatch(rpc::CallContext& ctx, uint32_t proc, const Bytes& request) override;
 
  private:
   Workstation* host_;
@@ -65,22 +65,22 @@ class PcClient {
   PcClient(NodeId node, sim::Clock* clock, SurrogateServer* surrogate,
            net::Network* network, const sim::CostModel& cost);
 
-  Status Connect(UserId user, const crypto::Key& user_key, uint64_t seed);
+  [[nodiscard]] Status Connect(UserId user, const crypto::Key& user_key, uint64_t seed);
 
-  Result<Bytes> ReadFile(const std::string& path);
-  Status WriteFile(const std::string& path, const Bytes& data);
+  [[nodiscard]] Result<Bytes> ReadFile(const std::string& path);
+  [[nodiscard]] Status WriteFile(const std::string& path, const Bytes& data);
   struct PcStat {
     uint64_t size = 0;
     bool is_directory = false;
     bool shared = false;
   };
-  Result<PcStat> Stat(const std::string& path);
-  Status MkDir(const std::string& path);
-  Status Unlink(const std::string& path);
-  Result<std::vector<std::string>> ReadDir(const std::string& path);
+  [[nodiscard]] Result<PcStat> Stat(const std::string& path);
+  [[nodiscard]] Status MkDir(const std::string& path);
+  [[nodiscard]] Status Unlink(const std::string& path);
+  [[nodiscard]] Result<std::vector<std::string>> ReadDir(const std::string& path);
 
  private:
-  Result<Bytes> Call(SurrogateProc proc, const Bytes& request);
+  [[nodiscard]] Result<Bytes> Call(SurrogateProc proc, const Bytes& request);
 
   NodeId node_;
   sim::Clock* clock_;

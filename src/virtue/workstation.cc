@@ -58,7 +58,9 @@ Result<Workstation::PathClass> Workstation::Classify(const std::string& path) co
   int depth = 0;
 
   while (i < comps.size()) {
-    const std::string candidate = cur + "/" + comps[i];
+    std::string candidate = cur;
+    candidate += '/';
+    candidate += comps[i];
     if (PathHasPrefix(candidate, kViceMountPoint)) {
       // Everything below the mount point is shared; the Vice-internal path
       // is whatever follows /vice.
@@ -67,7 +69,7 @@ Result<Workstation::PathClass> Workstation::Classify(const std::string& path) co
         vice_path += '/';
         vice_path += comps[j];
       }
-      if (vice_path.empty()) vice_path = "/";
+      if (vice_path.empty()) vice_path.push_back('/');
       return PathClass{true, vice_path};
     }
 
@@ -302,7 +304,8 @@ Status Workstation::Chmod(const std::string& path, uint16_t mode) {
 Result<Bytes> Workstation::ReadWholeFile(const std::string& path) {
   ASSIGN_OR_RETURN(int fd, Open(path, kRead));
   auto data = Read(fd, kReadAll);
-  Close(fd);
+  const Status c = Close(fd);
+  if (data.ok() && c != Status::kOk) return c;
   return data;
 }
 

@@ -77,34 +77,34 @@ class Workstation {
   // Creates the conventional local layout: /tmp, /etc, /vmunix, and the
   // symbolic links /bin and /lib into the shared space for this
   // workstation's architecture.
-  Status InstallStandardLayout();
+  [[nodiscard]] Status InstallStandardLayout();
 
   // --- Session ------------------------------------------------------------------
-  Status Login(UserId user, const crypto::Key& user_key);
-  Status LoginWithPassword(UserId user, const std::string& password);
+  [[nodiscard]] Status Login(UserId user, const crypto::Key& user_key);
+  [[nodiscard]] Status LoginWithPassword(UserId user, const std::string& password);
   void Logout();
 
   // --- Unix file system interface --------------------------------------------------
   // Paths are workstation-absolute; anything resolving under /vice is shared.
-  Result<int> Open(const std::string& path, uint32_t flags);
-  Result<Bytes> Read(int fd, uint64_t length);
-  Status Write(int fd, const Bytes& data);
-  Result<uint64_t> Seek(int fd, uint64_t offset);
-  Status Close(int fd);
+  [[nodiscard]] Result<int> Open(const std::string& path, uint32_t flags);
+  [[nodiscard]] Result<Bytes> Read(int fd, uint64_t length);
+  [[nodiscard]] Status Write(int fd, const Bytes& data);
+  [[nodiscard]] Result<uint64_t> Seek(int fd, uint64_t offset);
+  [[nodiscard]] Status Close(int fd);
 
-  Result<FileInfo> Stat(const std::string& path);
-  Result<std::vector<std::string>> ReadDir(const std::string& path);
-  Status MkDir(const std::string& path);
-  Status Unlink(const std::string& path);
-  Status RmDir(const std::string& path);
-  Status Rename(const std::string& from, const std::string& to);
-  Status Symlink(const std::string& target, const std::string& link_path);
-  Result<std::string> ReadLink(const std::string& path);
-  Status Chmod(const std::string& path, uint16_t mode);
+  [[nodiscard]] Result<FileInfo> Stat(const std::string& path);
+  [[nodiscard]] Result<std::vector<std::string>> ReadDir(const std::string& path);
+  [[nodiscard]] Status MkDir(const std::string& path);
+  [[nodiscard]] Status Unlink(const std::string& path);
+  [[nodiscard]] Status RmDir(const std::string& path);
+  [[nodiscard]] Status Rename(const std::string& from, const std::string& to);
+  [[nodiscard]] Status Symlink(const std::string& target, const std::string& link_path);
+  [[nodiscard]] Result<std::string> ReadLink(const std::string& path);
+  [[nodiscard]] Status Chmod(const std::string& path, uint16_t mode);
 
   // Whole-file conveniences (open/read-or-write/close in one call).
-  Result<Bytes> ReadWholeFile(const std::string& path);
-  Status WriteWholeFile(const std::string& path, const Bytes& data);
+  [[nodiscard]] Result<Bytes> ReadWholeFile(const std::string& path);
+  [[nodiscard]] Status WriteWholeFile(const std::string& path, const Bytes& data);
 
   // True if `path` resolves into the shared name space.
   bool IsShared(const std::string& path);
@@ -128,7 +128,7 @@ class Workstation {
 
   // Resolves local symlinks until the path either escapes into /vice or
   // stays local. Missing trailing components are allowed (creation paths).
-  Result<PathClass> Classify(const std::string& path) const;
+  [[nodiscard]] Result<PathClass> Classify(const std::string& path) const;
 
   NodeId node_;
   sim::Clock clock_;

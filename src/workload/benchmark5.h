@@ -52,12 +52,12 @@ struct Benchmark5Config {
 
 // Installs the source tree at `source_prefix` on the workstation (through
 // the normal write path, so shared prefixes land in Vice).
-Status InstallSourceTree(virtue::Workstation& ws, const std::string& source_prefix,
+[[nodiscard]] Status InstallSourceTree(virtue::Workstation& ws, const std::string& source_prefix,
                          const SourceTreeSpec& spec, uint64_t seed);
 
 // Runs the five phases: source at `source_prefix`, target created under
 // `target_prefix`. Both may be local or /vice paths.
-Result<Benchmark5Result> RunBenchmark5(virtue::Workstation& ws,
+[[nodiscard]] Result<Benchmark5Result> RunBenchmark5(virtue::Workstation& ws,
                                        const std::string& source_prefix,
                                        const std::string& target_prefix,
                                        const SourceTreeSpec& spec,

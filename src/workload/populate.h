@@ -12,12 +12,12 @@ namespace itc::workload {
 
 // Creates `count` files f0..f<count-1> in the root of `user_volume`, with
 // kUserData sizes.
-Status PopulateUserFiles(campus::Campus& campus, VolumeId user_volume, uint32_t count,
+[[nodiscard]] Status PopulateUserFiles(campus::Campus& campus, VolumeId user_volume, uint32_t count,
                          uint64_t seed);
 
 // Creates `count` binaries bin/prog0..prog<count-1> in `system_volume`, with
 // kSystemBinary sizes.
-Status PopulateSystemBinaries(campus::Campus& campus, VolumeId system_volume,
+[[nodiscard]] Status PopulateSystemBinaries(campus::Campus& campus, VolumeId system_volume,
                               uint32_t count, uint64_t seed);
 
 }  // namespace itc::workload

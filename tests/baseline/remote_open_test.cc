@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/rpc/interceptor.h"
+
 namespace itc::baseline {
 namespace {
 
@@ -54,7 +56,7 @@ TEST_F(RemoteOpenTest, EveryPageIsAnRpc) {
 
 TEST_F(RemoteOpenTest, SparseReadTouchesOnePage) {
   const Bytes data(100 * kPageSize, 2);
-  server_.storage().WriteFile("/big", data);  // direct population
+  ASSERT_EQ(server_.storage().WriteFile("/big", data), Status::kOk);  // direct population
   auto handle = client_.Open("/big", false);
   ASSERT_TRUE(handle.ok());
   const uint64_t calls_before = server_.endpoint().stats().calls;
@@ -62,7 +64,7 @@ TEST_F(RemoteOpenTest, SparseReadTouchesOnePage) {
   ASSERT_TRUE(page.ok());
   EXPECT_EQ(page->size(), 100u);
   EXPECT_EQ(server_.endpoint().stats().calls - calls_before, 1u);
-  client_.Close(*handle);
+  EXPECT_EQ(client_.Close(*handle), Status::kOk);
 }
 
 TEST_F(RemoteOpenTest, StatAndDirOps) {
@@ -105,6 +107,26 @@ TEST_F(RemoteOpenTest, RereadCostsFullPriceWithoutCaching) {
   const SimTime second = clock_.now() - t0 - first;
   EXPECT_NEAR(static_cast<double>(second), static_cast<double>(first),
               static_cast<double>(first) * 0.05);
+}
+
+TEST_F(RemoteOpenTest, ReadWholeFileSurfacesCloseFailure) {
+  // Regression: ReadWholeFile used to drop the Status of its trailing Close,
+  // returning the data as if nothing went wrong while the server-side handle
+  // leaked. ReadWholeFile on a one-page file is stat + open + read + close;
+  // fail exactly the close and the error must surface.
+  const Bytes data(100, 0x7);
+  ASSERT_EQ(client_.WriteWholeFile("/f", data), Status::kOk);
+  server_.endpoint().fault().FailCalls(/*skip=*/3, /*count=*/1);
+  auto back = client_.ReadWholeFile("/f");
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status(), Status::kUnavailable);
+  // The failed close really did leak the handle — the observable the old
+  // code hid from the caller.
+  EXPECT_EQ(server_.open_handles(), 1u);
+  // With the fault cleared, the same read goes through.
+  auto again = client_.ReadWholeFile("/f");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, data);
 }
 
 }  // namespace

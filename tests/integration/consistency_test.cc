@@ -135,8 +135,8 @@ TEST_P(ConsistencyTest, StatSeesFreshLength) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothSchemes, ConsistencyTest, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "Callbacks" : "CheckOnOpen";
+                         [](const ::testing::TestParamInfo<bool>& p) {
+                           return p.param ? "Callbacks" : "CheckOnOpen";
                          });
 
 }  // namespace

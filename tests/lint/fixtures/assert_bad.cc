@@ -1,0 +1,13 @@
+// Fixture: assert() conditions with side effects (vanish under NDEBUG).
+#include <cassert>
+
+namespace itc {
+
+void Drain(int* queue, int n) {
+  assert(n-- > 0);          // violation: decrement in the condition
+  assert((queue[0] = 1));   // violation: assignment in the condition
+  assert(n >= 0);           // fine: pure condition
+  (void)queue;
+}
+
+}  // namespace itc

@@ -1,0 +1,13 @@
+// Fixture: pure assert conditions; side effects happen outside.
+#include <cassert>
+
+namespace itc {
+
+void Drain(int* queue, int n) {
+  --n;
+  assert(n >= 0);
+  queue[0] = 1;
+  assert(queue[0] == 1);
+}
+
+}  // namespace itc

@@ -1,0 +1,12 @@
+// Fixture: assert() in a header — a silent no-op under the default
+// RelWithDebInfo (NDEBUG) build.
+#include <cassert>
+
+namespace itc {
+
+inline int Checked(int v) {
+  assert(v >= 0);  // violation: use ITC_CHECK instead
+  return v;
+}
+
+}  // namespace itc

@@ -1,0 +1,11 @@
+// Fixture: headers use the always-on ITC_CHECK instead of assert().
+#include "src/common/logging.h"
+
+namespace itc {
+
+inline int Checked(int v) {
+  ITC_CHECK(v >= 0);
+  return v;
+}
+
+}  // namespace itc

@@ -1,0 +1,18 @@
+// Fixture: wall-clock and ambient randomness outside src/sim/.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace itc {
+
+long Stamp() {
+  auto now = std::chrono::system_clock::now();  // violation
+  (void)now;
+  return time(nullptr);  // violation: libc time()
+}
+
+int Jitter() {
+  return rand() % 7;  // violation: libc rand()
+}
+
+}  // namespace itc

@@ -1,0 +1,14 @@
+// Fixture: statement-position calls that drop a Status/Result.
+#include "tests/lint/fixtures/discard_decls.h"
+
+namespace itc {
+
+void Use(Store& s, Store* p) {
+  s.Put(1);        // violation: member call, Status dropped
+  p->Get(2);       // violation: Result<int> dropped
+  Compact(p);      // violation: free function
+  if (true) Compact(p);  // violation: statement position inside if
+  s.Touch(3);      // fine: void return
+}
+
+}  // namespace itc

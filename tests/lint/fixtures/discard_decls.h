@@ -1,0 +1,15 @@
+// Fixture: declarations the discarded-status fixtures call.
+#include "src/common/result.h"
+
+namespace itc {
+
+class Store {
+ public:
+  [[nodiscard]] Status Put(int key);
+  [[nodiscard]] Result<int> Get(int key);
+  void Touch(int key);
+};
+
+[[nodiscard]] Status Compact(Store* s);
+
+}  // namespace itc

@@ -1,0 +1,17 @@
+// Fixture: every Status/Result is consumed, propagated, or (void)-cast.
+#include "tests/lint/fixtures/discard_decls.h"
+
+namespace itc {
+
+Status Use(Store& s, Store* p) {
+  Status st = s.Put(1);
+  if (st != Status::kOk) return st;
+  auto value = p->Get(2);
+  if (!value.ok()) return value.status();
+  if (Compact(p) != Status::kOk) return Status::kNoSpace;
+  (void)Compact(p);  // best-effort by design; sanctioned escape hatch
+  s.Touch(3);
+  return Status::kOk;
+}
+
+}  // namespace itc

@@ -1,0 +1,21 @@
+// Fixture: a ViceServer handler mutating a volume before logging an
+// intention record. Lexed under the path src/vice/file_server.cc.
+#include "src/vice/file_server.h"
+
+namespace itc::vice {
+
+Status ViceServer::Store(const CallContext& ctx, const Fid& fid,
+                         const std::string& data) {
+  Volume* vol = LookupVolume(fid);
+  Status st = vol->StoreData(fid, data);  // violation: no LogIntention yet
+  if (st != Status::kOk) return st;
+  uint64_t lsn = LogIntention(ctx, IntentionKind::kStore, vol, data);
+  return CommitIntention(ctx, lsn);
+}
+
+Status ViceServer::Fetch(const CallContext& ctx, const Fid& fid) {
+  Volume* vol = LookupVolume(fid);
+  return vol->GetStatus(fid).status();  // fine: read-only handler
+}
+
+}  // namespace itc::vice

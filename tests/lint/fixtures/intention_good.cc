@@ -1,0 +1,23 @@
+// Fixture: the intention record is appended before the first mutation.
+#include "src/vice/file_server.h"
+
+namespace itc::vice {
+
+Status ViceServer::Store(const CallContext& ctx, const Fid& fid,
+                         const std::string& data) {
+  Volume* vol = LookupVolume(fid);
+  uint64_t lsn = LogIntention(ctx, IntentionKind::kStore, vol, data);
+  Status st = vol->StoreData(fid, data);
+  if (st != Status::kOk) {
+    AbortIntention(lsn);
+    return st;
+  }
+  return CommitIntention(ctx, lsn);
+}
+
+Status ViceServer::Fetch(const CallContext& ctx, const Fid& fid) {
+  Volume* vol = LookupVolume(fid);
+  return vol->GetStatus(fid).status();
+}
+
+}  // namespace itc::vice

@@ -1,0 +1,16 @@
+// Fixture: Status-returning declarations without [[nodiscard]].
+#include "src/common/result.h"
+
+namespace itc {
+
+class Widget {
+ public:
+  Status Flush();                    // violation: plain Status
+  Result<int> Measure() const;      // violation: Result<T>
+  virtual Status Sync(bool force);  // violation: qualifier before the type
+  int Count() const;                // fine: not an error-carrying type
+};
+
+Status FreeFlush(Widget* w);  // violation: free function
+
+}  // namespace itc

@@ -1,0 +1,16 @@
+// Fixture: every Status/Result declaration carries [[nodiscard]].
+#include "src/common/result.h"
+
+namespace itc {
+
+class Widget {
+ public:
+  [[nodiscard]] Status Flush();
+  [[nodiscard]] Result<int> Measure() const;
+  [[nodiscard]] virtual Status Sync(bool force);
+  int Count() const;
+};
+
+[[nodiscard]] Status FreeFlush(Widget* w);
+
+}  // namespace itc

@@ -1,0 +1,16 @@
+// Fixture: schema that disagrees with opcode_bad_protocol.h — kRemove is
+// missing and kGetTime is registered under the wrong wire name.
+#include "src/vice/protocol.h"
+
+namespace itc::vice {
+
+const std::vector<OpSpec>& ViceOpSchema() {
+  static const std::vector<OpSpec> schema = {
+      {Op(Proc::kTestAuth), "TestAuth", OpClass::kOther, true},
+      {Op(Proc::kGetTime), "Clock", OpClass::kOther, true},
+      {Op(Proc::kFetch), "Fetch", OpClass::kFile, true},
+  };
+  return schema;
+}
+
+}  // namespace itc::vice

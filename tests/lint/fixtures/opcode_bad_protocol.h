@@ -1,0 +1,14 @@
+// Fixture: enum with an entry the schema never registers (kRemove), and an
+// entry whose wire name disagrees with the enumerator (kGetTime/"Clock").
+#include <cstdint>
+
+namespace itc::vice {
+
+enum class Proc : uint32_t {
+  kTestAuth = 1,
+  kGetTime = 2,
+  kFetch = 10,
+  kRemove = 11,
+};
+
+}  // namespace itc::vice

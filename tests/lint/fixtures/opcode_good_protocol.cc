@@ -1,0 +1,16 @@
+// Fixture: schema half of a consistent opcode set. Lexed under the path
+// src/vice/protocol.cc.
+#include "src/vice/protocol.h"
+
+namespace itc::vice {
+
+const std::vector<OpSpec>& ViceOpSchema() {
+  static const std::vector<OpSpec> schema = {
+      {Op(Proc::kTestAuth), "TestAuth", OpClass::kOther, true},
+      {Op(Proc::kGetTime), "GetTime", OpClass::kOther, true},
+      {Op(Proc::kFetch), "Fetch", OpClass::kFile, true},
+  };
+  return schema;
+}
+
+}  // namespace itc::vice

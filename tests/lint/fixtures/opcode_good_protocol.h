@@ -1,0 +1,13 @@
+// Fixture: enum half of a consistent opcode set. Lexed under the path
+// src/vice/protocol.h so the opcode-sync rule picks it up.
+#include <cstdint>
+
+namespace itc::vice {
+
+enum class Proc : uint32_t {
+  kTestAuth = 1,
+  kGetTime = 2,
+  kFetch = 10,
+};
+
+}  // namespace itc::vice

@@ -1,0 +1,20 @@
+// Fixture: suppression comments silence a diagnostic on their line or the
+// line below; unrelated rule ids do not.
+#include <ctime>
+
+namespace itc {
+
+long Stamp() {
+  return time(nullptr);  // itcfs-lint: allow(sim-determinism)
+}
+
+long Stamp2() {
+  // itcfs-lint: allow(sim-determinism) -- wall clock wanted for log prefix
+  return time(nullptr);
+}
+
+long Stamp3() {
+  return time(nullptr);  // itcfs-lint: allow(opcode-sync) -- wrong id, still fires
+}
+
+}  // namespace itc

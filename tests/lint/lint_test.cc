@@ -1,0 +1,226 @@
+// Tests for itcfs-lint: each rule is exercised against a checked-in
+// positive fixture (must fire) and a negative fixture (must stay quiet).
+// Fixtures live in tests/lint/fixtures/ and are lexed under the virtual
+// repo path each rule keys on, so the fixtures never have to be compiled.
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/lint/lexer.h"
+#include "tools/lint/rules.h"
+
+namespace itc::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(ITC_SOURCE_DIR) + "/tests/lint/fixtures/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Lexes fixture `name` under the virtual path `as` (defaults to the
+// fixture's own name under src/, which keeps it out of rule path filters
+// unless the test opts in).
+LexedFile LexFixture(const std::string& name, std::string as = "") {
+  if (as.empty()) as = "src/fixture/" + name;
+  return Lex(std::move(as), ReadFixture(name));
+}
+
+std::vector<Diagnostic> RunOne(const std::string& rule, LintInput input) {
+  return RunRules(input, {rule});
+}
+
+TEST(NodiscardStatus, FiresOnUnannotatedDeclarations) {
+  LintInput in;
+  in.files.push_back(LexFixture("nodiscard_bad.h"));
+  const auto diags = RunOne("nodiscard-status", in);
+  EXPECT_EQ(diags.size(), 4u) << "Flush, Measure, Sync, FreeFlush";
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "nodiscard-status");
+    EXPECT_EQ(d.file, "src/fixture/nodiscard_bad.h");
+  }
+}
+
+TEST(NodiscardStatus, QuietWhenAnnotated) {
+  LintInput in;
+  in.files.push_back(LexFixture("nodiscard_good.h"));
+  EXPECT_TRUE(RunOne("nodiscard-status", in).empty());
+}
+
+TEST(NodiscardStatus, OnlyChecksHeaders) {
+  // The same unannotated declarations in a .cc are definitions of already
+  // declared functions; only the header spelling is policed.
+  LintInput in;
+  in.files.push_back(Lex("src/fixture/defs.cc", ReadFixture("nodiscard_bad.h")));
+  EXPECT_TRUE(RunOne("nodiscard-status", in).empty());
+}
+
+TEST(DiscardedStatus, FiresOnStatementPositionCalls) {
+  LintInput in;
+  in.files.push_back(LexFixture("discard_decls.h"));
+  in.files.push_back(LexFixture("discard_bad.cc"));
+  const auto diags = RunOne("discarded-status", in);
+  EXPECT_EQ(diags.size(), 4u) << "Put, Get, Compact, Compact-inside-if";
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.file, "src/fixture/discard_bad.cc");
+  }
+}
+
+TEST(DiscardedStatus, QuietWhenConsumedOrVoidCast) {
+  LintInput in;
+  in.files.push_back(LexFixture("discard_decls.h"));
+  in.files.push_back(LexFixture("discard_good.cc"));
+  EXPECT_TRUE(RunOne("discarded-status", in).empty());
+}
+
+TEST(IntentionBeforeMutate, FiresWhenMutationPrecedesLog) {
+  LintInput in;
+  in.files.push_back(LexFixture("intention_bad.cc", "src/vice/file_server.cc"));
+  const auto diags = RunOne("intention-before-mutate", in);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("ViceServer::Store"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("StoreData"), std::string::npos);
+}
+
+TEST(IntentionBeforeMutate, QuietWhenLogComesFirst) {
+  LintInput in;
+  in.files.push_back(LexFixture("intention_good.cc", "src/vice/file_server.cc"));
+  EXPECT_TRUE(RunOne("intention-before-mutate", in).empty());
+}
+
+TEST(IntentionBeforeMutate, OnlyAppliesToFileServer) {
+  LintInput in;
+  in.files.push_back(LexFixture("intention_bad.cc", "src/vice/other.cc"));
+  EXPECT_TRUE(RunOne("intention-before-mutate", in).empty());
+}
+
+TEST(OpcodeSync, QuietWhenEnumSchemaAndDocAgree) {
+  LintInput in;
+  in.files.push_back(LexFixture("opcode_good_protocol.h", "src/vice/protocol.h"));
+  in.files.push_back(LexFixture("opcode_good_protocol.cc", "src/vice/protocol.cc"));
+  in.protocol_md = ReadFixture("opcode_good.md");
+  EXPECT_TRUE(RunOne("opcode-sync", in).empty());
+}
+
+TEST(OpcodeSync, FiresOnEveryKindOfDrift) {
+  LintInput in;
+  in.files.push_back(LexFixture("opcode_bad_protocol.h", "src/vice/protocol.h"));
+  in.files.push_back(LexFixture("opcode_bad_protocol.cc", "src/vice/protocol.cc"));
+  in.protocol_md = ReadFixture("opcode_bad.md");
+  const auto diags = RunOne("opcode-sync", in);
+  // kGetTime registered as "Clock", kRemove with no schema entry, the doc
+  // missing op 2, and the doc listing stale op 12.
+  EXPECT_EQ(diags.size(), 4u);
+  std::set<std::string> messages;
+  for (const Diagnostic& d : diags) messages.insert(d.message);
+  bool saw_name = false, saw_missing_schema = false, saw_doc_missing = false,
+       saw_doc_stale = false;
+  for (const std::string& m : messages) {
+    if (m.find("named \"Clock\"") != std::string::npos) saw_name = true;
+    if (m.find("kRemove has no OpSchema entry") != std::string::npos)
+      saw_missing_schema = true;
+    if (m.find("missing op 2") != std::string::npos) saw_doc_missing = true;
+    if (m.find("lists op 12") != std::string::npos) saw_doc_stale = true;
+  }
+  EXPECT_TRUE(saw_name);
+  EXPECT_TRUE(saw_missing_schema);
+  EXPECT_TRUE(saw_doc_missing);
+  EXPECT_TRUE(saw_doc_stale);
+}
+
+TEST(SimDeterminism, FiresOutsideSim) {
+  LintInput in;
+  in.files.push_back(LexFixture("determinism_bad.cc"));
+  const auto diags = RunOne("sim-determinism", in);
+  EXPECT_EQ(diags.size(), 3u) << "system_clock, time(), rand()";
+}
+
+TEST(SimDeterminism, QuietOnSimLayerAndAccessors) {
+  LintInput in;
+  in.files.push_back(LexFixture("determinism_good.cc"));
+  EXPECT_TRUE(RunOne("sim-determinism", in).empty());
+}
+
+TEST(SimDeterminism, ExemptsSimDirectory) {
+  LintInput in;
+  in.files.push_back(LexFixture("determinism_bad.cc", "src/sim/clock.cc"));
+  EXPECT_TRUE(RunOne("sim-determinism", in).empty());
+}
+
+TEST(AssertSideEffect, FiresOnMutatingConditions) {
+  LintInput in;
+  in.files.push_back(LexFixture("assert_bad.cc"));
+  const auto diags = RunOne("assert-side-effect", in);
+  EXPECT_EQ(diags.size(), 2u) << "n-- and queue[0] = 1";
+}
+
+TEST(AssertSideEffect, QuietOnPureConditions) {
+  LintInput in;
+  in.files.push_back(LexFixture("assert_good.cc"));
+  EXPECT_TRUE(RunOne("assert-side-effect", in).empty());
+}
+
+TEST(AssertInHeader, FiresOnAnyHeaderAssert) {
+  LintInput in;
+  in.files.push_back(LexFixture("assert_header_bad.h"));
+  const auto diags = RunOne("assert-in-header", in);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("ITC_CHECK"), std::string::npos);
+}
+
+TEST(AssertInHeader, QuietOnItcCheckAndSourceFiles) {
+  LintInput in;
+  in.files.push_back(LexFixture("assert_header_good.h"));
+  // assert in a .cc is allowed (only the side-effect rule applies there).
+  in.files.push_back(LexFixture("assert_good.cc"));
+  EXPECT_TRUE(RunOne("assert-in-header", in).empty());
+}
+
+TEST(Suppression, AllowCommentSilencesMatchingRuleOnly) {
+  LintInput in;
+  in.files.push_back(LexFixture("suppressed.cc"));
+  const auto diags = RunOne("sim-determinism", in);
+  // Stamp and Stamp2 are suppressed (trailing comment / line above);
+  // Stamp3 names the wrong rule id, so it still fires.
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].line, 0);
+  EXPECT_EQ(diags[0].rule, "sim-determinism");
+}
+
+TEST(Lexer, CommentsAndStringsProduceNoTokens) {
+  LexedFile f = Lex("src/x.cc", "// assert(a++)\n/* rand() */ \"time(0)\" x;\n");
+  ASSERT_EQ(f.tokens.size(), 3u);
+  EXPECT_EQ(f.tokens[0].kind, TokKind::kString);
+  EXPECT_EQ(f.tokens[1].text, "x");
+  EXPECT_EQ(f.tokens[2].text, ";");
+}
+
+TEST(Lexer, RawStringsAndLineNumbers) {
+  LexedFile f = Lex("src/x.cc", "auto s = R\"(rand()\nassert(i++))\";\nint y;\n");
+  // No sim-determinism or assert tokens leak out of the raw string, and the
+  // token after it sits on the right line.
+  bool saw_rand = false;
+  for (const Token& t : f.tokens) {
+    if (t.kind != TokKind::kString && t.text == "rand") saw_rand = true;
+    if (t.text == "y") {
+      EXPECT_EQ(t.line, 3);
+    }
+  }
+  EXPECT_FALSE(saw_rand);
+}
+
+TEST(Cli, AllRulesHaveStableIds) {
+  EXPECT_EQ(AllRules().size(), 7u);
+  EXPECT_EQ(AllRules().count("nodiscard-status"), 1u);
+  EXPECT_EQ(AllRules().count("opcode-sync"), 1u);
+}
+
+}  // namespace
+}  // namespace itc::lint

@@ -31,7 +31,9 @@ TEST_P(UnixFsPropertyTest, RandomOpsMatchShadowModel) {
   // A fixed pool of directories and file names keeps collisions frequent.
   const std::vector<std::string> dirs = {"/", "/a", "/a/b", "/c"};
   for (const auto& d : dirs) {
-    if (d != "/") ASSERT_EQ(fs.MkDirAll(d), Status::kOk);
+    if (d != "/") {
+      ASSERT_EQ(fs.MkDirAll(d), Status::kOk);
+    }
   }
   auto random_path = [&] {
     const std::string& dir = dirs[rng.Below(dirs.size())];

@@ -247,5 +247,31 @@ TEST(DeadlineTest, SlowCallTimesOut) {
   EXPECT_EQ((*conn)->Call(2, ToBytes("slow")).status(), Status::kTimedOut);
 }
 
+TEST(FailCallsTest, SkipsThenFailsExactlyCountCalls) {
+  net::Topology topo(net::TopologyConfig{1, 1, 2});
+  const sim::CostModel cost = sim::CostModel::Default1985();
+  net::Network network(topo, cost);
+  const crypto::Key key = crypto::DeriveKeyFromPassword("pw", "realm");
+  SlowEchoService service;
+
+  ServerEndpoint server(
+      topo.ServerNode(0, 0), &network, cost, RpcConfig{},
+      [&key](UserId) -> std::optional<crypto::Key> { return key; }, 999);
+  server.set_service(&service);
+
+  sim::Clock clock;
+  auto conn = ClientConnection::Connect(topo.WorkstationNode(0, 0), 7, key, &server,
+                                        &network, cost, &clock, 555);
+  ASSERT_TRUE(conn.ok());
+
+  // Skip 2, fail 1 with a chosen status, then clear: calls 1-2 succeed,
+  // call 3 fails with exactly that status, call 4 succeeds again.
+  server.fault().FailCalls(/*skip=*/2, /*count=*/1, Status::kConnectionBroken);
+  EXPECT_TRUE((*conn)->Call(1, ToBytes("a")).ok());
+  EXPECT_TRUE((*conn)->Call(1, ToBytes("b")).ok());
+  EXPECT_EQ((*conn)->Call(1, ToBytes("c")).status(), Status::kConnectionBroken);
+  EXPECT_TRUE((*conn)->Call(1, ToBytes("d")).ok());
+}
+
 }  // namespace
 }  // namespace itc::rpc

@@ -74,7 +74,7 @@ TEST_F(WorkstationTest, ByteAtATimeOnSharedFile) {
     assembled += static_cast<char>((*b)[0]);
   }
   EXPECT_EQ(assembled, "abcdef");
-  ws_->Close(*fd);
+  EXPECT_EQ(ws_->Close(*fd), Status::kOk);
 }
 
 TEST_F(WorkstationTest, DirtySharedFileStoredOnClose) {
@@ -95,7 +95,7 @@ TEST_F(WorkstationTest, CleanCloseDoesNotStore) {
   const uint64_t stores_before = ws_->venus().stats().stores;
   auto fd = ws_->Open("/vice/usr/alice/f", kRead);
   ASSERT_TRUE(fd.ok());
-  ws_->Read(*fd, 10);
+  ASSERT_TRUE(ws_->Read(*fd, 10).ok());
   ASSERT_EQ(ws_->Close(*fd), Status::kOk);
   EXPECT_EQ(ws_->venus().stats().stores, stores_before);
 }
@@ -105,7 +105,7 @@ TEST_F(WorkstationTest, WriteWithoutWriteFlagRefused) {
   auto fd = ws_->Open("/tmp/f", kRead);
   ASSERT_TRUE(fd.ok());
   EXPECT_EQ(ws_->Write(*fd, ToBytes("y")), Status::kPermissionDenied);
-  ws_->Close(*fd);
+  EXPECT_EQ(ws_->Close(*fd), Status::kOk);
 }
 
 TEST_F(WorkstationTest, BadDescriptorRejected) {
@@ -119,7 +119,7 @@ TEST_F(WorkstationTest, TruncateFlag) {
   auto fd = ws_->Open("/tmp/f", kWrite | kTruncate);
   ASSERT_TRUE(fd.ok());
   ASSERT_EQ(ws_->Write(*fd, ToBytes("s")), Status::kOk);
-  ws_->Close(*fd);
+  EXPECT_EQ(ws_->Close(*fd), Status::kOk);
   EXPECT_EQ(ToString(*ws_->ReadWholeFile("/tmp/f")), "s");
 }
 

@@ -1,0 +1,181 @@
+#include "tools/lint/lexer.h"
+
+#include <cctype>
+
+namespace itc::lint {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Multi-character operators, longest first within each length class.
+constexpr std::string_view kThreeCharOps[] = {"<<=", ">>=", "...", "->*"};
+constexpr std::string_view kTwoCharOps[] = {"::", "->", "++", "--", "<<", ">>", "<=",
+                                            ">=", "==", "!=", "&&", "||", "+=", "-=",
+                                            "*=", "/=", "%=", "&=", "|=", "^=", "##"};
+
+// Parses "itcfs-lint: allow(a, b)" out of a comment body; returns the rule
+// ids, empty if the comment is not a suppression.
+std::set<std::string> ParseAllow(std::string_view comment) {
+  std::set<std::string> rules;
+  const std::string_view tag = "itcfs-lint:";
+  size_t at = comment.find(tag);
+  if (at == std::string_view::npos) return rules;
+  size_t p = comment.find("allow(", at + tag.size());
+  if (p == std::string_view::npos) return rules;
+  p += 6;
+  size_t end = comment.find(')', p);
+  if (end == std::string_view::npos) return rules;
+  std::string cur;
+  for (size_t i = p; i <= end; ++i) {
+    char c = i < end ? comment[i] : ',';
+    if (c == ',' || c == ')') {
+      if (!cur.empty()) rules.insert(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur += c;
+    }
+  }
+  return rules;
+}
+
+}  // namespace
+
+bool LexedFile::IsHeader() const {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+bool LexedFile::Allowed(int line, const std::string& rule) const {
+  auto it = allow.find(line);
+  return it != allow.end() && (it->second.count(rule) > 0 || it->second.count("all") > 0);
+}
+
+LexedFile Lex(std::string path, std::string_view src) {
+  LexedFile out;
+  out.path = std::move(path);
+  size_t i = 0;
+  int line = 1;
+
+  auto note_allow = [&out](std::string_view comment, int comment_line) {
+    std::set<std::string> rules = ParseAllow(comment);
+    if (rules.empty()) return;
+    out.allow[comment_line].insert(rules.begin(), rules.end());
+    out.allow[comment_line + 1].insert(rules.begin(), rules.end());
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = src.size();
+      note_allow(src.substr(i, end - i), line);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      size_t end = src.find("*/", i + 2);
+      if (end == std::string_view::npos) end = src.size();
+      const std::string_view body = src.substr(i, end - i);
+      // The suppression binds to the line the comment *ends* on.
+      int end_line = line;
+      for (char b : body) {
+        if (b == '\n') ++end_line;
+      }
+      note_allow(body, end_line);
+      line = end_line;
+      i = end + 2 > src.size() ? src.size() : end + 2;
+      continue;
+    }
+    // Raw string literal: R"delim(...)delim".
+    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+      size_t p = i + 2;
+      std::string delim;
+      while (p < src.size() && src[p] != '(') delim += src[p++];
+      const std::string closer = ")" + delim + "\"";
+      size_t end = src.find(closer, p);
+      if (end == std::string_view::npos) end = src.size();
+      const std::string_view body = src.substr(i, end - i);
+      out.tokens.push_back({TokKind::kString, std::string(body), line});
+      for (char b : body) {
+        if (b == '\n') ++line;
+      }
+      i = end + closer.size() > src.size() ? src.size() : end + closer.size();
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      size_t p = i + 1;
+      std::string text;
+      while (p < src.size() && src[p] != c) {
+        if (src[p] == '\\' && p + 1 < src.size()) {
+          text += src[p];
+          text += src[p + 1];
+          p += 2;
+        } else {
+          if (src[p] == '\n') ++line;  // unterminated; keep line counts right
+          text += src[p++];
+        }
+      }
+      out.tokens.push_back({c == '"' ? TokKind::kString : TokKind::kChar, text, line});
+      i = p + 1 > src.size() ? src.size() : p + 1;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t p = i;
+      while (p < src.size() && IsIdentChar(src[p])) ++p;
+      out.tokens.push_back({TokKind::kIdent, std::string(src.substr(i, p - i)), line});
+      i = p;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Good enough for any C++ numeric literal: digits, letters (hex,
+      // suffixes, exponents), dots, and quotes (digit separators).
+      size_t p = i;
+      while (p < src.size() && (IsIdentChar(src[p]) || src[p] == '.' || src[p] == '\'')) ++p;
+      out.tokens.push_back({TokKind::kNumber, std::string(src.substr(i, p - i)), line});
+      i = p;
+      continue;
+    }
+    // Operators, longest match first.
+    bool matched = false;
+    if (i + 3 <= src.size()) {
+      for (std::string_view op : kThreeCharOps) {
+        if (src.substr(i, 3) == op) {
+          out.tokens.push_back({TokKind::kPunct, std::string(op), line});
+          i += 3;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched && i + 2 <= src.size()) {
+      for (std::string_view op : kTwoCharOps) {
+        if (src.substr(i, 2) == op) {
+          out.tokens.push_back({TokKind::kPunct, std::string(op), line});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace itc::lint

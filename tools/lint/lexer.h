@@ -1,0 +1,58 @@
+// A lightweight C++ lexer for itcfs-lint.
+//
+// The linter does not parse C++; every rule works on a per-file token
+// stream plus a little context (previous/next token, balanced-bracket
+// scans). The lexer therefore only has to be faithful about the things
+// that would otherwise produce false positives: comments, string/char
+// literals (including raw strings), and multi-character operators, so
+// that e.g. an `assert(` inside a string or a `++` inside a comment is
+// never mistaken for code.
+//
+// Suppression comments are collected during lexing: a comment of the form
+//   // itcfs-lint: allow(rule-id, other-rule-id)
+// suppresses those rules on the comment's own line and on the next line
+// (so it works both as a trailing comment and on a line of its own).
+
+#ifndef TOOLS_LINT_LEXER_H_
+#define TOOLS_LINT_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace itc::lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords, including pp-directive names
+  kNumber,  // numeric literals (value is irrelevant to every rule)
+  kString,  // "..." including raw strings; text is the literal's contents
+  kChar,    // '...'
+  kPunct,   // operators and punctuation, multi-char ops as one token
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based line the token starts on
+};
+
+struct LexedFile {
+  std::string path;  // repo-relative, forward slashes
+  std::vector<Token> tokens;
+  // line -> rule ids allowed on that line (already expanded to cover the
+  // comment's line and the following line).
+  std::map<int, std::set<std::string>> allow;
+
+  bool IsHeader() const;
+  bool Allowed(int line, const std::string& rule) const;
+};
+
+// Lexes `src`. Never fails: bytes it cannot classify become single-char
+// punct tokens, which no rule matches.
+LexedFile Lex(std::string path, std::string_view src);
+
+}  // namespace itc::lint
+
+#endif  // TOOLS_LINT_LEXER_H_

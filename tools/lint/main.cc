@@ -1,0 +1,106 @@
+// itcfs-lint: project-invariant static analyzer for the ITC DFS repo.
+//
+// Usage: itcfs_lint [--rule=<id>]... [--list-rules] <repo-root>
+//
+// Scans <repo-root>/src/**/*.{h,cc} plus docs/PROTOCOL.md and exits
+// nonzero if any rule fires. Run as a tier-1 ctest; see docs/LINT.md.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+#include "tools/lint/rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string RelPath(const fs::path& root, const fs::path& p) {
+  std::string rel = fs::relative(p, root).generic_string();
+  return rel;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::set<std::string> only;
+  std::string root_arg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rule=", 0) == 0) {
+      const std::string rule = arg.substr(7);
+      if (itc::lint::AllRules().count(rule) == 0) {
+        std::fprintf(stderr, "itcfs-lint: unknown rule '%s'\n", rule.c_str());
+        return 2;
+      }
+      only.insert(rule);
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : itc::lint::AllRules()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "itcfs-lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else if (root_arg.empty()) {
+      root_arg = arg;
+    } else {
+      std::fprintf(stderr, "itcfs-lint: multiple roots given\n");
+      return 2;
+    }
+  }
+  if (root_arg.empty()) {
+    std::fprintf(stderr, "usage: itcfs_lint [--rule=<id>]... <repo-root>\n");
+    return 2;
+  }
+
+  const fs::path root(root_arg);
+  const fs::path src = root / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src, ec)) {
+    std::fprintf(stderr, "itcfs-lint: %s is not a directory\n", src.string().c_str());
+    return 2;
+  }
+
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cc") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  itc::lint::LintInput input;
+  input.files.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    input.files.push_back(itc::lint::Lex(RelPath(root, p), ReadFile(p)));
+  }
+  const fs::path md = root / "docs" / "PROTOCOL.md";
+  if (fs::is_regular_file(md, ec)) input.protocol_md = ReadFile(md);
+
+  const std::vector<itc::lint::Diagnostic> diags = itc::lint::RunRules(input, only);
+  for (const itc::lint::Diagnostic& d : diags) {
+    std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+  if (!diags.empty()) {
+    std::printf("itcfs-lint: %zu violation%s in %zu file%s scanned\n", diags.size(),
+                diags.size() == 1 ? "" : "s", input.files.size(),
+                input.files.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// itcfs-lint rule engine.
+//
+// Each rule encodes a project invariant that used to be enforced only by
+// code review (or by a runtime crash):
+//
+//   nodiscard-status        every function declared in a header returning
+//                           Status or Result<T> carries [[nodiscard]]
+//   discarded-status        no statement-position call to such a function
+//                           silently drops the returned error
+//   intention-before-mutate every ViceServer handler in file_server.cc
+//                           appends to the IntentionLog before its first
+//                           volume mutation (store-on-close atomicity, §3.5)
+//   opcode-sync             the Proc enums, the OpSchema tables, and the
+//                           generated tables in docs/PROTOCOL.md agree
+//   sim-determinism         no wall-clock / ambient-randomness identifiers
+//                           outside src/sim/ and src/common/rng.h
+//   assert-side-effect      no assert() whose condition has side effects
+//   assert-in-header        no assert() in a header at all (the default
+//                           RelWithDebInfo build defines NDEBUG, so these
+//                           are silent no-ops; use ITC_CHECK)
+//
+// Suppression: `// itcfs-lint: allow(rule-id)` on the offending line or the
+// line above. See docs/LINT.md for the catalog.
+
+#ifndef TOOLS_LINT_RULES_H_
+#define TOOLS_LINT_RULES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace itc::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct LintInput {
+  std::vector<LexedFile> files;
+  // Contents of docs/PROTOCOL.md; empty skips the generated-table half of
+  // opcode-sync (the enum/schema half still runs).
+  std::string protocol_md;
+};
+
+inline const std::set<std::string>& AllRules() {
+  static const std::set<std::string> rules = {
+      "nodiscard-status",  "discarded-status",  "intention-before-mutate",
+      "opcode-sync",       "sim-determinism",   "assert-side-effect",
+      "assert-in-header",
+  };
+  return rules;
+}
+
+// Runs the rules over the input. `only` restricts to a subset of rule ids;
+// empty means all. Returns diagnostics sorted by (file, line, rule).
+std::vector<Diagnostic> RunRules(const LintInput& input,
+                                 const std::set<std::string>& only = {});
+
+}  // namespace itc::lint
+
+#endif  // TOOLS_LINT_RULES_H_
