@@ -1,0 +1,140 @@
+// Kernel fidelity: quantifies the ordering error of the retired call-order
+// timing model.
+//
+// The pre-kernel scheduler executed whole client operations synchronously in
+// min-virtual-time order, so a resource could admit a demand whose arrival
+// lay before work it had already accepted (the "straggler" approximation,
+// bounded by one operation's duration). The event kernel admits demands in
+// exact arrival order. This bench runs the identical synthetic day under
+// both modes at N = 4/8/16/32 clients on one prototype server and reports
+// the divergence: day completion time, average/peak CPU utilization, and the
+// per-5-minute-window utilization delta. The deltas are the error every
+// pre-kernel bench number carried.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace {
+
+using namespace itc;
+using namespace itc::bench;
+
+struct ArmResult {
+  double day_s = 0;
+  double cpu_avg = 0;
+  double cpu_peak = 0;
+  std::vector<double> windows;
+};
+
+ArmResult RunArm(uint32_t clients, sim::SchedulerMode mode) {
+  UserDayLabConfig config;
+  config.campus = campus::CampusConfig::Prototype(1, clients);
+  config.user_day.operations = 400;
+  // Short think times keep several clients in flight at once — exactly the
+  // regime where service order matters.
+  config.user_day.mean_think = Seconds(8);
+  config.user_day.burst_probability = 0.05;
+  config.user_day.burst_length = 20;
+  config.user_day.burst_think = Millis(500);
+  config.scheduler_mode = mode;
+  UserDayLab lab(config);
+  const SimTime end = lab.Run();
+
+  ArmResult r;
+  r.day_s = ToSeconds(end);
+  r.cpu_avg = lab.ServerCpuUtilization(end);
+  r.cpu_peak = lab.PeakServerCpuUtilization();
+  r.windows = lab.campus().server(0).endpoint().cpu().WindowUtilization();
+  return r;
+}
+
+struct Row {
+  uint32_t clients = 0;
+  ArmResult call_order;
+  ArmResult arrival_order;
+  double window_max_abs_delta = 0;
+  double window_mean_abs_delta = 0;
+};
+
+Row RunRow(uint32_t clients) {
+  Row row;
+  row.clients = clients;
+  row.call_order = RunArm(clients, sim::SchedulerMode::kConservative);
+  row.arrival_order = RunArm(clients, sim::SchedulerMode::kEventDriven);
+
+  const size_t n = std::max(row.call_order.windows.size(),
+                            row.arrival_order.windows.size());
+  double sum = 0;
+  for (size_t w = 0; w < n; ++w) {
+    const double a = w < row.call_order.windows.size() ? row.call_order.windows[w] : 0.0;
+    const double b =
+        w < row.arrival_order.windows.size() ? row.arrival_order.windows[w] : 0.0;
+    const double d = std::fabs(a - b);
+    row.window_max_abs_delta = std::max(row.window_max_abs_delta, d);
+    sum += d;
+  }
+  row.window_mean_abs_delta = n > 0 ? sum / static_cast<double>(n) : 0.0;
+  return row;
+}
+
+void WriteJson(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernel_fidelity\",\n  \"window_seconds\": 300,\n");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"clients\": %u, \"call_order_day_s\": %.1f, "
+        "\"arrival_order_day_s\": %.1f, \"day_delta_s\": %.1f, "
+        "\"call_order_cpu_avg\": %.4f, \"arrival_order_cpu_avg\": %.4f, "
+        "\"call_order_cpu_peak\": %.4f, \"arrival_order_cpu_peak\": %.4f, "
+        "\"window_max_abs_delta\": %.4f, \"window_mean_abs_delta\": %.4f}%s\n",
+        r.clients, r.call_order.day_s, r.arrival_order.day_s,
+        r.call_order.day_s - r.arrival_order.day_s, r.call_order.cpu_avg,
+        r.arrival_order.cpu_avg, r.call_order.cpu_peak, r.arrival_order.cpu_peak,
+        r.window_max_abs_delta, r.window_mean_abs_delta,
+        i + 1 != rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("kernel fidelity: call-order vs arrival-order service (bench_kernel_fidelity)",
+             "quantifies the ordering error removed by the event kernel");
+  std::printf("workload: N clients x 400 ops on 1 prototype server, identical seeds\n\n");
+  std::printf("%8s %12s %12s %9s %10s %10s %10s %10s\n", "clients", "day(call)",
+              "day(arrive)", "delta", "peak(call)", "peak(arr)", "win max d",
+              "win mean d");
+
+  std::vector<Row> rows;
+  for (uint32_t n : {4u, 8u, 16u, 32u}) {
+    Row row = RunRow(n);
+    std::printf("%8u %11.1fs %11.1fs %8.1fs %9.1f%% %9.1f%% %10.4f %10.4f\n",
+                row.clients, row.call_order.day_s, row.arrival_order.day_s,
+                row.call_order.day_s - row.arrival_order.day_s,
+                100.0 * row.call_order.cpu_peak, 100.0 * row.arrival_order.cpu_peak,
+                row.window_max_abs_delta, row.window_mean_abs_delta);
+    rows.push_back(std::move(row));
+  }
+
+  WriteJson("BENCH_kernel.json", rows);
+
+  std::printf("\nshape check: total work is identical (same ops, same demands), so the\n"
+              "divergence above is purely service-order error. It grows with client\n"
+              "count — more concurrent demands in flight means more chances for the\n"
+              "call-order model to admit a logically-later demand first.\n");
+  return 0;
+}

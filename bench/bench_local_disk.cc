@@ -20,6 +20,7 @@
 
 #include "bench/harness.h"
 #include "src/net/network.h"
+#include "src/sim/kernel.h"
 #include "src/sim/resource.h"
 #include "src/sim/scheduler.h"
 
@@ -70,8 +71,8 @@ class Pager : public sim::Process {
       t = network_->Transfer(self_, server_, 64, t);
       SimTime cpu = cost_.server_cpu_per_call / 4;  // thin block-server path
       if (encrypted_) cpu += cost_.CryptoCpu(kPageBytes);
-      t = server_cpu_->Serve(t, cpu);
-      t = server_disk_->Serve(t, cost_.DiskTime(kPageBytes));
+      t = sim::Charge(*server_cpu_, t, cpu);
+      t = sim::Charge(*server_disk_, t, cost_.DiskTime(kPageBytes));
       t = network_->Transfer(server_, self_, kPageBytes + 64, t);
       if (encrypted_) t += cost_.CryptoCpu(kPageBytes);
       clock_.AdvanceTo(t);

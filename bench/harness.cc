@@ -108,14 +108,20 @@ UserDayLab::UserDayLab(UserDayLabConfig config) : config_(std::move(config)) {
         config_.seed ^ (0xda7aull & 0xffff) ^ (w * 7919)));
   }
 
-  // 5-minute windows for peak-utilization reporting.
+  // The populate/login prologue above consumed server resources "before the
+  // day"; discard it so utilization and the 5-minute peak windows (anchored
+  // at virtual time 0, and only enableable on a fresh resource) measure the
+  // synthetic day alone.
   for (uint32_t s = 0; s < campus_->server_count(); ++s) {
+    campus_->server(s).endpoint().cpu().Reset();
+    campus_->server(s).endpoint().disk().Reset();
     campus_->server(s).endpoint().cpu().EnableWindowTracking(Seconds(300));
   }
 }
 
 SimTime UserDayLab::Run() {
   sim::Scheduler sched;
+  sched.set_mode(config_.scheduler_mode);
   for (auto& u : users_) sched.Add(u.get());
   return sched.RunAll();
 }

@@ -43,6 +43,9 @@ struct UserDayLabConfig {
   workload::UserDayConfig user_day;
   bool replicate_system_volume = false;
   uint64_t seed = 20251985;
+  // Event-driven (arrival-order) by default; bench_kernel_fidelity runs the
+  // same day under the conservative call-order baseline to measure its error.
+  sim::SchedulerMode scheduler_mode = sim::SchedulerMode::kEventDriven;
 };
 
 class UserDayLab {

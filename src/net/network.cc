@@ -1,6 +1,7 @@
 #include "src/net/network.h"
 
 #include "src/common/logging.h"
+#include "src/sim/kernel.h"
 
 namespace itc::net {
 
@@ -25,17 +26,17 @@ SimTime Network::Transfer(NodeId from, NodeId to, uint64_t bytes, SimTime depart
 
   SimTime t = depart;
   if (!route.cross_cluster) {
-    t = segments_[topology_.ClusterOf(from)]->Serve(t, tx);
+    t = sim::Charge(*segments_[topology_.ClusterOf(from)], t, tx);
     return t;
   }
 
   stats_.cross_cluster_messages += 1;
   stats_.cross_cluster_bytes += bytes;
-  t = segments_[topology_.ClusterOf(from)]->Serve(t, tx);
+  t = sim::Charge(*segments_[topology_.ClusterOf(from)], t, tx);
   t += cost_.bridge_hop_latency;
-  t = backbone_->Serve(t, tx);
+  t = sim::Charge(*backbone_, t, tx);
   t += cost_.bridge_hop_latency;
-  t = segments_[topology_.ClusterOf(to)]->Serve(t, tx);
+  t = sim::Charge(*segments_[topology_.ClusterOf(to)], t, tx);
   return t;
 }
 

@@ -5,6 +5,7 @@
 #include "src/rpc/interceptor.h"
 #include "src/rpc/op_registry.h"
 #include "src/rpc/wire.h"
+#include "src/sim/kernel.h"
 
 namespace itc::rpc {
 
@@ -99,11 +100,22 @@ Result<Bytes> ServerEndpoint::HandleCall(uint64_t conn_id, NodeId client_node,
   info.arrival = arrival;
   info.completion = completion;
 
-  // Terminal stage of the chain: dispatch into the service, then charge the
-  // server's CPU — structure dispatch + per-call base + crypto + whatever the
-  // handler reported — and its disk, serialized after the CPU. Starts from
+  // Terminal stage of the chain, executed as three suspendable stages so the
+  // server's resources admit this call in arrival order relative to every
+  // other client: (1) at info.arrival, the CPU cost of picking up the request
+  // — structure switch + per-call base + request decrypt; (2) the handler
+  // runs, then the CPU it reported plus the reply encrypt; (3) the disk
+  // demand the handler accumulated, serialized after the CPU. Starts from
   // info.arrival so delay-injecting interceptors compose naturally.
   auto terminal = [&](const Bytes& b) -> Result<Bytes> {
+    sim::AlignTo(info.arrival);
+    SimTime pickup_cpu = cost_.server_cpu_per_call;
+    pickup_cpu += config_.server_structure == ServerStructure::kProcessPerClient
+                      ? cost_.server_context_switch
+                      : cost_.server_lwp_switch;
+    if (config_.encrypt) pickup_cpu += cost_.CryptoCpu(request.size());
+    SimTime t = sim::Charge(cpu_, info.arrival, pickup_cpu);
+
     CallContext ctx(conn.user, client_node, info.arrival);
     Result<Bytes> dispatched = registry_ != nullptr
                                    ? registry_->Dispatch(ctx, proc, b)
@@ -111,21 +123,16 @@ Result<Bytes> ServerEndpoint::HandleCall(uint64_t conn_id, NodeId client_node,
     if (!dispatched.ok()) return dispatched;
     Bytes reply = std::move(dispatched).value();
 
-    SimTime cpu_demand = cost_.server_cpu_per_call + ctx.cpu_demand();
-    cpu_demand += config_.server_structure == ServerStructure::kProcessPerClient
-                      ? cost_.server_context_switch
-                      : cost_.server_lwp_switch;
-    if (config_.encrypt) {
-      cpu_demand += cost_.CryptoCpu(request.size()) + cost_.CryptoCpu(reply.size());
-    }
-    SimTime t = cpu_.Serve(info.arrival, cpu_demand);
+    SimTime reply_cpu = ctx.cpu_demand();
+    if (config_.encrypt) reply_cpu += cost_.CryptoCpu(reply.size());
+    t = sim::Charge(cpu_, t, reply_cpu);
     if (ctx.disk_ops() > 0 || ctx.disk_time() > 0) {
       const SimTime disk_demand =
           static_cast<SimTime>(ctx.disk_ops()) * cost_.disk_seek +
           static_cast<SimTime>(static_cast<double>(cost_.disk_per_kb) *
                                (static_cast<double>(ctx.disk_bytes()) / 1024.0)) +
           ctx.disk_time();
-      t = disk_.Serve(t, disk_demand);
+      t = sim::Charge(disk_, t, disk_demand);
     }
     *completion = t;
     return reply;
@@ -193,7 +200,7 @@ Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
 
   Bytes m1 = client_hs.Start();
   t = network->Transfer(client_node, server->node_, WireSize(m1), t) + stream_penalty;
-  t = server->cpu_.Serve(t, cost.server_cpu_per_call);
+  t = sim::Charge(server->cpu_, t, cost.server_cpu_per_call);
   auto m2 = server_hs.HandleHello(m1);
   if (!m2.ok()) {
     server->stats_.auth_failures += 1;
@@ -208,7 +215,7 @@ Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
     return m3.status();
   }
   t = network->Transfer(client_node, server->node_, WireSize(*m3), t) + stream_penalty;
-  t = server->cpu_.Serve(t, cost.server_cpu_per_call);
+  t = sim::Charge(server->cpu_, t, cost.server_cpu_per_call);
   auto m4 = server_hs.HandleResponse(*m3);
   if (!m4.ok()) {
     server->stats_.auth_failures += 1;

@@ -1,0 +1,126 @@
+#include "src/sim/kernel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace itc::sim {
+
+// An activity is a cooperative thread: started lazily at its first event,
+// parked on its own condition variable whenever it suspends. `resume` and
+// `finished` are guarded by the kernel's mutex.
+struct Kernel::Activity {
+  std::string name;
+  std::function<void()> body;
+  std::thread thread;
+  std::condition_variable cv;
+  bool started = false;
+  bool resume = false;
+  bool finished = false;
+};
+
+thread_local Kernel* Kernel::current_kernel_ = nullptr;
+thread_local Kernel::Activity* Kernel::current_activity_ = nullptr;
+
+Kernel::Kernel() = default;
+
+Kernel::~Kernel() {
+  // Run() joins every started thread before returning, and an unstarted
+  // activity has no thread; nothing can still be parked here.
+  for (auto& a : activities_) {
+    ITC_CHECK(!a->thread.joinable());
+  }
+}
+
+void Kernel::Spawn(std::string name, SimTime start, std::function<void()> body) {
+  ITC_CHECK(Current() == nullptr);  // spawning from an activity is not supported
+  auto a = std::make_unique<Activity>();
+  a->name = std::move(name);
+  a->body = std::move(body);
+  queue_.push(Event{std::max(start, now_), next_seq_++, a.get()});
+  activities_.push_back(std::move(a));
+}
+
+void Kernel::Run() {
+  ITC_CHECK(Current() == nullptr);  // no nested Run() from an activity body
+  for (;;) {
+    Event e;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) break;
+      e = queue_.top();
+      queue_.pop();
+    }
+    ITC_CHECK(e.time >= now_);  // the heap never yields a past event
+    now_ = e.time;
+    if (trace_enabled_) trace_.push_back(TraceEntry{e.time, e.seq, e.activity->name});
+    Dispatch(e.activity);
+  }
+  // An unfinished activity would be parked in WaitUntil with its event still
+  // queued; an empty queue therefore implies every body ran to completion.
+  for (auto& a : activities_) {
+    ITC_CHECK(a->finished || !a->started);
+    if (a->thread.joinable()) a->thread.join();
+  }
+  if (failure_ != nullptr) {
+    std::exception_ptr f = std::exchange(failure_, nullptr);
+    std::rethrow_exception(f);
+  }
+}
+
+void Kernel::Dispatch(Activity* a) {
+  std::unique_lock<std::mutex> lock(mu_);
+  running_ = a;
+  if (!a->started) {
+    a->started = true;
+    a->thread = std::thread(&Kernel::ActivityMain, this, a);
+  } else {
+    a->resume = true;
+    a->cv.notify_one();
+  }
+  kernel_cv_.wait(lock, [this] { return running_ == nullptr; });
+}
+
+void Kernel::ActivityMain(Activity* a) {
+  current_kernel_ = this;
+  current_activity_ = a;
+  std::exception_ptr caught;
+  try {
+    a->body();
+  } catch (...) {
+    caught = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (caught != nullptr && failure_ == nullptr) failure_ = caught;
+  a->finished = true;
+  running_ = nullptr;
+  kernel_cv_.notify_one();
+}
+
+void Kernel::WaitUntil(SimTime t) {
+  ITC_CHECK(current_kernel_ == this && current_activity_ != nullptr);
+  if (t <= now_) return;
+  Activity* self = current_activity_;
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push(Event{t, next_seq_++, self});
+  self->resume = false;
+  running_ = nullptr;
+  kernel_cv_.notify_one();
+  self->cv.wait(lock, [self] { return self->resume; });
+}
+
+Kernel* Kernel::Current() { return current_kernel_; }
+
+SimTime Charge(Resource& resource, SimTime arrival, SimTime demand) {
+  Kernel* kernel = Kernel::Current();
+  if (kernel != nullptr) kernel->WaitUntil(arrival);
+  return resource.Serve(arrival, demand);
+}
+
+void AlignTo(SimTime t) {
+  Kernel* kernel = Kernel::Current();
+  if (kernel != nullptr) kernel->WaitUntil(t);
+}
+
+}  // namespace itc::sim

@@ -1,0 +1,142 @@
+// Discrete-event simulation kernel.
+//
+// The kernel owns global virtual time and a single event queue — a min-heap
+// keyed on (time, sequence number), so simultaneous events are FIFO-stable
+// and every run is deterministic. Simulated activities (one per client
+// operation stream) execute their functional code synchronously but suspend
+// at every point where they consume simulated resource time; the kernel
+// resumes whichever activity has the earliest pending event. The result is
+// that a fetch can occupy the LAN, then queue at the server CPU behind
+// another client's store, then wait on the disk, with every resource
+// admitting demands in global arrival order.
+//
+// Mechanism: each activity runs on its own cooperative thread, but exactly
+// one thread (the kernel's caller or one activity) is ever runnable — the
+// baton is handed off under a mutex at suspension points. This gives the
+// deep synchronous call stacks of Venus/Vice real suspension points without
+// converting them to coroutines, stays sanitizer-clean (no ucontext stack
+// switching), and is fully deterministic because the kernel alone decides
+// who runs next.
+//
+// Functional code never touches the kernel directly; it calls sim::Charge
+// (resource demand) or sim::AlignTo (stage boundary), both of which degrade
+// to synchronous behaviour when no kernel is driving the caller, so
+// single-actor unit tests need no setup.
+
+#ifndef SRC_SIM_KERNEL_H_
+#define SRC_SIM_KERNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/resource.h"
+
+namespace itc::sim {
+
+// One entry of the kernel's event trace (see Kernel::EnableTrace): the
+// virtual time an activity was resumed at and the deterministic sequence
+// number of the event that resumed it.
+struct TraceEntry {
+  SimTime time = 0;
+  uint64_t seq = 0;
+  std::string activity;
+
+  bool operator==(const TraceEntry& other) const = default;
+};
+
+class Kernel {
+ public:
+  Kernel();
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // Registers an activity whose body starts at virtual time max(start, now()).
+  // Must be called from outside the kernel (not from an activity body).
+  void Spawn(std::string name, SimTime start, std::function<void()> body);
+
+  // Drains the event queue: repeatedly pops the earliest event, advances
+  // virtual time to it, and resumes its activity until that activity suspends
+  // (WaitUntil) or finishes. Returns once every activity has run to
+  // completion; rethrows the first exception an activity body escaped with.
+  void Run();
+
+  // Global virtual time: the timestamp of the most recent event.
+  SimTime now() const { return now_; }
+
+  // Suspends the calling activity until virtual time reaches t; a no-op when
+  // t is not in the future. Only legal from inside an activity body.
+  void WaitUntil(SimTime t);
+
+  // The kernel driving the calling thread, or nullptr when the caller is not
+  // a kernel activity (plain test code, bench setup, main()).
+  static Kernel* Current();
+
+  // Records a TraceEntry per resumption; two identical runs must produce
+  // identical traces (the determinism regression test relies on this).
+  void EnableTrace() { trace_enabled_ = true; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
+ private:
+  struct Activity;
+  struct Event {
+    SimTime time = 0;
+    uint64_t seq = 0;
+    Activity* activity = nullptr;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Hands the baton to `a` and blocks until it suspends or finishes.
+  void Dispatch(Activity* a);
+  // Entry point of an activity thread: runs the body, then returns the baton
+  // for good.
+  void ActivityMain(Activity* a);
+
+  std::mutex mu_;
+  std::condition_variable kernel_cv_;  // signalled when the baton returns
+  Activity* running_ = nullptr;        // guarded by mu_
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::vector<std::unique_ptr<Activity>> activities_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::exception_ptr failure_;
+  bool trace_enabled_ = false;
+  std::vector<TraceEntry> trace_;
+
+  static thread_local Kernel* current_kernel_;
+  static thread_local Activity* current_activity_;
+};
+
+// The sanctioned way for functional code to consume simulated resource time
+// (the resource-serve-outside-kernel lint rule rejects direct Serve calls
+// outside src/sim/). Inside a kernel activity this suspends until the
+// demand's `arrival`, then admits it — so every resource sees demands in
+// global arrival order, FIFO ties broken by event sequence. The returned
+// completion time is a prediction, not a wait: callers thread it into the
+// arrival of their next stage, and that next Charge/AlignTo is the
+// suspension point which realizes it. Outside a kernel this is a plain
+// Resource::Serve in call order.
+SimTime Charge(Resource& resource, SimTime arrival, SimTime demand);
+
+// Suspends until virtual time reaches t (no-op outside a kernel). Marks a
+// stage boundary that consumes no resource time — e.g. "the request has now
+// arrived at the server; dispatch may run" — so the functional side effects
+// of a stage happen at the simulated moment they represent.
+void AlignTo(SimTime t);
+
+}  // namespace itc::sim
+
+#endif  // SRC_SIM_KERNEL_H_

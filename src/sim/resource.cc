@@ -25,6 +25,9 @@ double Resource::Utilization(SimTime elapsed) const {
 
 void Resource::EnableWindowTracking(SimTime window) {
   ITC_CHECK(window > 0);
+  // Windows are anchored at time 0; demands admitted before tracking was
+  // enabled would be silently missing from the series.
+  ITC_CHECK(jobs_ == 0);
   window_ = window;
 }
 
@@ -52,6 +55,7 @@ void Resource::Reset() {
   ready_ = 0;
   busy_ = 0;
   jobs_ = 0;
+  window_ = 0;
   window_busy_.clear();
 }
 

@@ -1,4 +1,4 @@
-// FCFS resources for the conservative timing model.
+// FCFS resources for the simulation's timing model.
 //
 // A Resource is a single server with a FIFO queue: a demand arriving at time
 // `arrival` begins service when the resource frees up, occupies it for
@@ -7,17 +7,14 @@
 // (for utilization time series such as the 98 %-peak claim of Section 5.2).
 //
 // Resources never run "code"; the functional layer executes synchronously
-// and charges its simulated costs here. Determinism: completion times depend
-// only on the sequence of Serve() calls.
-//
-// KNOWN APPROXIMATION: service order is call order, not arrival order. The
-// conservative scheduler steps the minimum-virtual-time client, and clients
-// advance their clocks at operation granularity, so a client stepped later
-// can present an arrival earlier than ready_ and be queued behind work that
-// is logically in its future. The error is bounded by one operation's
-// duration (workloads split think time and the operation into separate
-// scheduler steps to keep that bound tight); an event-driven kernel would
-// remove it entirely at substantial complexity cost. See DESIGN.md.
+// and charges its simulated costs here. Service order is arrival order: the
+// event kernel (src/sim/kernel.h) suspends every activity until its demand's
+// arrival time before admitting it, so Serve() calls reach each resource in
+// nondecreasing `arrival` order and FCFS is exact, not approximate.
+// Functional code therefore never calls Serve() directly — it goes through
+// sim::Charge, which is the suspension point (enforced by the
+// resource-serve-outside-kernel lint rule). Determinism: completion times
+// depend only on the sequence of Serve() calls, which the kernel fixes.
 
 #ifndef SRC_SIM_RESOURCE_H_
 #define SRC_SIM_RESOURCE_H_
@@ -35,9 +32,9 @@ class Resource {
   explicit Resource(std::string name) : name_(std::move(name)) {}
 
   // Serves a demand of `demand` time units arriving at `arrival`; returns the
-  // completion time. Calls should arrive in approximately nondecreasing
-  // `arrival` order (the multi-client scheduler guarantees this); stragglers
-  // are queued behind work already accepted.
+  // completion time. The event kernel guarantees calls arrive in
+  // nondecreasing `arrival` order; only src/sim/ may call this directly —
+  // everything else goes through sim::Charge.
   SimTime Serve(SimTime arrival, SimTime demand);
 
   // Total time this resource has been busy.
@@ -52,11 +49,14 @@ class Resource {
   const std::string& name() const { return name_; }
 
   // Enables accumulation of busy time into windows of `window` duration,
-  // starting at time 0. Must be called before the first Serve().
+  // starting at time 0. Must be called before the first Serve() (checked:
+  // enabling late would silently miss busy time already accumulated).
   void EnableWindowTracking(SimTime window);
   // Busy fraction per window; the last entry may cover a partial window.
   std::vector<double> WindowUtilization() const;
 
+  // Restores a completely fresh resource: queue, counters, and window
+  // tracking (which may then be re-enabled) are all cleared.
   void Reset();
 
  private:

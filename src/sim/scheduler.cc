@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 namespace itc::sim {
 
@@ -12,6 +13,36 @@ constexpr SimTime kForever = std::numeric_limits<SimTime>::max();
 SimTime Scheduler::RunAll() { return RunUntil(kForever); }
 
 SimTime Scheduler::RunUntil(SimTime horizon) {
+  return mode_ == SchedulerMode::kEventDriven ? RunEventDriven(horizon)
+                                              : RunConservative(horizon);
+}
+
+SimTime Scheduler::RunEventDriven(SimTime horizon) {
+  Kernel kernel;
+  if (trace_enabled_) kernel.EnableTrace();
+  for (size_t i = 0; i < processes_.size(); ++i) {
+    Process* p = processes_[i];
+    kernel.Spawn("p" + std::to_string(i), p->now(), [p, horizon, &kernel] {
+      // Re-align before every Step: an operation ends with the process clock
+      // ahead of global time (the completion it computed), and the next
+      // operation must not start — or touch any resource — until then.
+      while (!p->done() && p->now() < horizon) {
+        kernel.WaitUntil(p->now());
+        p->Step();
+      }
+    });
+  }
+  kernel.Run();
+  if (trace_enabled_) trace_ = kernel.trace();
+
+  SimTime latest = 0;
+  for (Process* p : processes_) {
+    latest = std::max(latest, std::min(p->now(), horizon));
+  }
+  return latest;
+}
+
+SimTime Scheduler::RunConservative(SimTime horizon) {
   SimTime latest = 0;
   for (;;) {
     Process* next = nullptr;

@@ -1,12 +1,18 @@
-// Conservative multi-client scheduler.
+// Multi-client scheduler: a thin shim over the event kernel.
 //
 // Simulated clients interact only through FCFS resources (server CPU, disks,
-// LAN segments). Among all unfinished client processes the scheduler always
-// steps the one with the smallest virtual time, so demands arrive at every
-// resource in (approximately) nondecreasing time order and FCFS service is
-// faithful. Each Step() executes one client operation synchronously —
-// including any RPCs, which advance the client's clock through the network
-// and server resources.
+// LAN segments). In the default event-driven mode each process runs as a
+// sim::Kernel activity: before every Step() the activity waits until global
+// virtual time reaches the process's clock, and inside a Step() every
+// resource demand (sim::Charge) and stage boundary (sim::AlignTo) is a
+// suspension point. Demands therefore reach every resource in global arrival
+// order — a fetch can hold the LAN, queue at the server CPU behind another
+// client's store, then wait on the disk, all interleaved exactly.
+//
+// The legacy conservative mode (step the minimum-virtual-time process, run
+// each operation synchronously) is retained as the call-order baseline so
+// bench_kernel_fidelity can quantify the ordering error the old model
+// incurred. New code should not select it.
 
 #ifndef SRC_SIM_SCHEDULER_H_
 #define SRC_SIM_SCHEDULER_H_
@@ -14,6 +20,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/sim/kernel.h"
 
 namespace itc::sim {
 
@@ -26,13 +33,33 @@ class Process {
   virtual SimTime now() const = 0;
   // True when the actor has no more work.
   virtual bool done() const = 0;
-  // Executes the next operation, advancing now().
+  // Executes the next operation, advancing now(). Under the event kernel
+  // this runs inside an activity, so it may suspend at every Charge/AlignTo.
   virtual void Step() = 0;
+};
+
+enum class SchedulerMode {
+  // Default: processes are kernel activities; resources see demands in
+  // global arrival order.
+  kEventDriven,
+  // Call-order baseline: whole operations execute synchronously in
+  // min-virtual-time order, so a process stepped later can present a
+  // resource arrival earlier than work already admitted. Kept only for
+  // measuring that error (bench_kernel_fidelity) and for regression tests.
+  kConservative,
 };
 
 class Scheduler {
  public:
   void Add(Process* p) { processes_.push_back(p); }
+
+  void set_mode(SchedulerMode mode) { mode_ = mode; }
+  SchedulerMode mode() const { return mode_; }
+
+  // Records the kernel's event trace during the next run (event-driven mode
+  // only); used by the determinism tests.
+  void EnableTrace() { trace_enabled_ = true; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
 
   // Runs until every process is done. Returns the max final virtual time.
   SimTime RunAll();
@@ -43,7 +70,13 @@ class Scheduler {
   SimTime RunUntil(SimTime horizon);
 
  private:
+  SimTime RunEventDriven(SimTime horizon);
+  SimTime RunConservative(SimTime horizon);
+
   std::vector<Process*> processes_;
+  SchedulerMode mode_ = SchedulerMode::kEventDriven;
+  bool trace_enabled_ = false;
+  std::vector<TraceEntry> trace_;
 };
 
 }  // namespace itc::sim

@@ -1,5 +1,7 @@
 #include "src/vice/callback_manager.h"
 
+#include "src/sim/kernel.h"
+
 namespace itc::vice {
 
 void CallbackManager::Register(const Fid& fid, CallbackReceiver* who) {
@@ -35,7 +37,7 @@ uint32_t CallbackManager::Break(const Fid& fid, CallbackReceiver* except, SimTim
   for (CallbackReceiver* r : it->second) {
     if (r == except) continue;
     // One small message per holder, preceded by a sliver of server CPU.
-    t = server_cpu->Serve(t, cost.server_lwp_switch);
+    t = sim::Charge(*server_cpu, t, cost.server_lwp_switch);
     network->Transfer(server_node, r->callback_node(), 64, t);
     r->OnCallbackBroken(fid);
     sent += 1;
@@ -63,7 +65,7 @@ uint32_t CallbackManager::BreakVolume(VolumeId volume, SimTime at, NodeId server
       continue;
     }
     for (CallbackReceiver* r : it->second) {
-      t = server_cpu->Serve(t, cost.server_lwp_switch);
+      t = sim::Charge(*server_cpu, t, cost.server_lwp_switch);
       network->Transfer(server_node, r->callback_node(), 64, t);
       r->OnCallbackBroken(it->first);
       sent += 1;

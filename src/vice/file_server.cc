@@ -4,6 +4,7 @@
 #include "src/common/path.h"
 #include "src/protection/access_list.h"
 #include "src/rpc/interceptor.h"
+#include "src/sim/kernel.h"
 #include "src/vice/recovery/intention_log.h"
 
 namespace itc::vice {
@@ -162,7 +163,7 @@ recovery::RecoveryReport ViceServer::Restart(SimTime at) {
 
   // Serve the recovery I/O through the server disk: recovery takes real
   // virtual time, and the first post-restart RPCs queue behind it.
-  const SimTime done = endpoint_.disk().Serve(at, disk_demand);
+  const SimTime done = sim::Charge(endpoint_.disk(), at, disk_demand);
   report.recovery_time = done - at;
   return report;
 }

@@ -19,9 +19,9 @@ SyntheticUser::SyntheticUser(virtue::Workstation* ws, std::string home,
 
 void SyntheticUser::Step() {
   if (thinking_) {
-    // Exponential think time; the op itself runs on the next step, so the
-    // scheduler sees this user's true arrival time. An idle user may enter
-    // a burst (edit-compile session) of rapid operations.
+    // Exponential think time; the op itself runs on the next step, after the
+    // kernel has re-aligned this activity to its post-think clock. An idle
+    // user may enter a burst (edit-compile session) of rapid operations.
     if (burst_remaining_ == 0 && rng_.Chance(config_.burst_probability)) {
       burst_remaining_ = config_.burst_length;
     }

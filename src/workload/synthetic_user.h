@@ -66,10 +66,12 @@ class SyntheticUser : public sim::Process {
   SyntheticUser(virtue::Workstation* ws, std::string home, std::string bin_prefix,
                 UserDayConfig config, uint64_t seed);
 
-  // sim::Process. Stepping is two-phase — one step advances think time, the
-  // next performs the file operation — so the conservative scheduler orders
-  // clients by their actual arrival times at shared resources (a single
-  // think+op step would order by pre-think time and distort queueing).
+  // sim::Process. Under the event kernel each Step() runs inside an
+  // activity and suspends at every resource arrival, so queueing is exact
+  // regardless of step granularity. Stepping is still two-phase — one step
+  // advances think time, the next performs the file operation — which keeps
+  // the retained conservative baseline (bench_kernel_fidelity) ordering
+  // clients by post-think arrival rather than pre-think time.
   SimTime now() const override { return ws_->clock().now(); }
   bool done() const override { return ops_done_ >= config_.operations; }
   void Step() override;

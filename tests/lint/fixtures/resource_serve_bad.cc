@@ -1,0 +1,14 @@
+// Positive fixture for resource-serve-outside-kernel: functional code calls
+// Resource::Serve directly instead of charging through sim::Charge.
+
+#include "src/sim/resource.h"
+
+namespace itc {
+
+SimTime ChargeDirectly(sim::Resource& cpu, sim::Resource* disk, SimTime t) {
+  t = cpu.Serve(t, 10);    // fires: member call via '.'
+  t = disk->Serve(t, 20);  // fires: member call via '->'
+  return t;
+}
+
+}  // namespace itc

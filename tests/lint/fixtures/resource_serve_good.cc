@@ -1,0 +1,25 @@
+// Negative fixture for resource-serve-outside-kernel: demands are charged
+// through the kernel's staged API, and identifiers that merely resemble the
+// Resource API stay quiet.
+
+#include "src/sim/kernel.h"
+
+namespace itc {
+
+// A declaration named Serve is not a member call.
+class Dispatcher {
+ public:
+  SimTime Serve(SimTime at, SimTime demand);
+};
+
+SimTime Serve(SimTime at);        // free function declaration
+SimTime ServeTable(SimTime at);   // different identifier entirely
+
+SimTime ChargeProperly(sim::Resource& cpu, SimTime t) {
+  t = sim::Charge(cpu, t, 10);  // the sanctioned path
+  t = Serve(t);                 // free-function call: not the Resource API
+  t = ServeTable(t);
+  return t;
+}
+
+}  // namespace itc

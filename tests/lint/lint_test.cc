@@ -154,6 +154,28 @@ TEST(SimDeterminism, ExemptsSimDirectory) {
   EXPECT_TRUE(RunOne("sim-determinism", in).empty());
 }
 
+TEST(ResourceServeOutsideKernel, FiresOnDirectServeCalls) {
+  LintInput in;
+  in.files.push_back(LexFixture("resource_serve_bad.cc"));
+  const auto diags = RunOne("resource-serve-outside-kernel", in);
+  EXPECT_EQ(diags.size(), 2u) << "cpu.Serve and disk->Serve";
+  for (const Diagnostic& d : diags) {
+    EXPECT_NE(d.message.find("sim::Charge"), std::string::npos);
+  }
+}
+
+TEST(ResourceServeOutsideKernel, QuietOnChargeAndUnrelatedServes) {
+  LintInput in;
+  in.files.push_back(LexFixture("resource_serve_good.cc"));
+  EXPECT_TRUE(RunOne("resource-serve-outside-kernel", in).empty());
+}
+
+TEST(ResourceServeOutsideKernel, ExemptsSimDirectory) {
+  LintInput in;
+  in.files.push_back(LexFixture("resource_serve_bad.cc", "src/sim/kernel.cc"));
+  EXPECT_TRUE(RunOne("resource-serve-outside-kernel", in).empty());
+}
+
 TEST(AssertSideEffect, FiresOnMutatingConditions) {
   LintInput in;
   in.files.push_back(LexFixture("assert_bad.cc"));
@@ -217,9 +239,10 @@ TEST(Lexer, RawStringsAndLineNumbers) {
 }
 
 TEST(Cli, AllRulesHaveStableIds) {
-  EXPECT_EQ(AllRules().size(), 7u);
+  EXPECT_EQ(AllRules().size(), 8u);
   EXPECT_EQ(AllRules().count("nodiscard-status"), 1u);
   EXPECT_EQ(AllRules().count("opcode-sync"), 1u);
+  EXPECT_EQ(AllRules().count("resource-serve-outside-kernel"), 1u);
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 // Unit tests for the timing substrate: FCFS resources, the per-entity clock,
-// and the conservative multi-client scheduler.
+// and the multi-client scheduler shim (kernel-specific behaviour — arrival
+// order, tracing, determinism — is covered in kernel_test.cc).
 
 #include <gtest/gtest.h>
 
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
+#include "src/sim/kernel.h"
 #include "src/sim/resource.h"
 #include "src/sim/scheduler.h"
 
@@ -78,6 +80,33 @@ TEST(ResourceTest, ResetClears) {
   EXPECT_EQ(r.Serve(0, 5), 5);
 }
 
+TEST(ResourceTest, ResetRestoresFreshWindowTracking) {
+  Resource r("cpu");
+  r.EnableWindowTracking(100);
+  r.Serve(0, 50);
+  ASSERT_EQ(r.WindowUtilization().size(), 1u);
+  r.Reset();
+  // Provably fresh: no windows survive, and tracking itself is off until
+  // explicitly re-enabled...
+  EXPECT_TRUE(r.WindowUtilization().empty());
+  EXPECT_EQ(r.Serve(0, 30), 30);
+  EXPECT_TRUE(r.WindowUtilization().empty());
+  // ...which is legal again after another Reset (jobs() is back to zero).
+  r.Reset();
+  r.EnableWindowTracking(10);
+  r.Serve(0, 10);
+  ASSERT_EQ(r.WindowUtilization().size(), 1u);
+  EXPECT_DOUBLE_EQ(r.WindowUtilization()[0], 1.0);
+}
+
+TEST(ResourceDeathTest, EnableWindowTrackingAfterServeAborts) {
+  Resource r("cpu");
+  r.Serve(0, 10);
+  // Windows are anchored at time 0; enabling late would silently drop the
+  // busy time already accumulated, so it is a checked precondition.
+  EXPECT_DEATH(r.EnableWindowTracking(100), "jobs_ == 0");
+}
+
 TEST(ClockTest, AdvanceAndMonotoneAdvanceTo) {
   Clock c;
   c.Advance(10);
@@ -145,7 +174,7 @@ TEST(SchedulerTest, SharedResourceSerializesInArrivalOrder) {
     bool done() const override { return left_ == 0; }
     void Step() override {
       now_ += think_;
-      now_ = r_->Serve(now_, 10);
+      now_ = Charge(*r_, now_, 10);
       --left_;
     }
     Resource* r_;

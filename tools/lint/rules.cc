@@ -515,6 +515,29 @@ void CheckSimDeterminism(const LexedFile& f, std::vector<Diagnostic>& out) {
   }
 }
 
+// --- resource-serve-outside-kernel --------------------------------------------------
+
+bool ResourceServeExempt(const std::string& path) {
+  // src/sim/ is the implementation of the staged API (the kernel's Charge is
+  // the one sanctioned Serve call site); everything else goes through it.
+  return path.rfind("src/sim/", 0) == 0;
+}
+
+void CheckResourceServeOutsideKernel(const LexedFile& f, std::vector<Diagnostic>& out) {
+  if (ResourceServeExempt(f.path)) return;
+  const Toks& t = f.tokens;
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (!IsIdent(t, i) || t[i].text != "Serve") continue;
+    if (!Is(t, i + 1, "(")) continue;
+    // Only member calls: `Serve` is the Resource API; a free function or a
+    // declaration of the same name is something else.
+    if (t[i - 1].text != "." && t[i - 1].text != "->") continue;
+    Emit(out, f, t[i].line, "resource-serve-outside-kernel",
+         "direct Resource::Serve bypasses the event kernel's arrival-order "
+         "queueing; charge the demand through sim::Charge (src/sim/kernel.h)");
+  }
+}
+
 // --- assert rules -------------------------------------------------------------------
 
 void CheckAsserts(const LexedFile& f, bool run_side_effect, bool run_header,
@@ -578,6 +601,9 @@ std::vector<Diagnostic> RunRules(const LintInput& input, const std::set<std::str
   if (enabled("opcode-sync")) CheckOpcodeSync(input, out);
   if (enabled("sim-determinism")) {
     for (const LexedFile& f : input.files) CheckSimDeterminism(f, out);
+  }
+  if (enabled("resource-serve-outside-kernel")) {
+    for (const LexedFile& f : input.files) CheckResourceServeOutsideKernel(f, out);
   }
   const bool side = enabled("assert-side-effect");
   const bool header = enabled("assert-in-header");

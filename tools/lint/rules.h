@@ -18,6 +18,11 @@
 //   assert-in-header        no assert() in a header at all (the default
 //                           RelWithDebInfo build defines NDEBUG, so these
 //                           are silent no-ops; use ITC_CHECK)
+//   resource-serve-outside-kernel
+//                           no direct sim::Resource::Serve call outside
+//                           src/sim/ — functional code charges demands
+//                           through sim::Charge so the event kernel can
+//                           admit them in arrival order
 //
 // Suppression: `// itcfs-lint: allow(rule-id)` on the offending line or the
 // line above. See docs/LINT.md for the catalog.
@@ -51,7 +56,7 @@ inline const std::set<std::string>& AllRules() {
   static const std::set<std::string> rules = {
       "nodiscard-status",  "discarded-status",  "intention-before-mutate",
       "opcode-sync",       "sim-determinism",   "assert-side-effect",
-      "assert-in-header",
+      "assert-in-header",  "resource-serve-outside-kernel",
   };
   return rules;
 }
