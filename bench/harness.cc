@@ -122,8 +122,11 @@ UserDayLab::UserDayLab(UserDayLabConfig config) : config_(std::move(config)) {
 SimTime UserDayLab::Run() {
   sim::Scheduler sched;
   sched.set_mode(config_.scheduler_mode);
+  sched.set_backend(config_.kernel_backend);
   for (auto& u : users_) sched.Add(u.get());
-  return sched.RunAll();
+  const SimTime end = sched.RunAll();
+  last_kernel_events_ = sched.last_events();
+  return end;
 }
 
 venus::VenusStats UserDayLab::TotalVenusStats() const {

@@ -46,6 +46,9 @@ struct UserDayLabConfig {
   // Event-driven (arrival-order) by default; bench_kernel_fidelity runs the
   // same day under the conservative call-order baseline to measure its error.
   sim::SchedulerMode scheduler_mode = sim::SchedulerMode::kEventDriven;
+  // Fiber by default; bench_kernel_throughput runs both to compare wall-clock
+  // cost. Backend choice cannot affect simulated results (docs/KERNEL.md).
+  sim::KernelBackend kernel_backend = sim::DefaultKernelBackend();
 };
 
 class UserDayLab {
@@ -54,6 +57,9 @@ class UserDayLab {
 
   // Runs every user to completion; returns the final virtual time.
   SimTime Run();
+
+  // Kernel events dispatched by the last Run() (resumption count).
+  uint64_t last_kernel_events() const { return last_kernel_events_; }
 
   campus::Campus& campus() { return *campus_; }
   VolumeId system_volume() const { return system_volume_; }
@@ -75,6 +81,7 @@ class UserDayLab {
   std::unique_ptr<campus::Campus> campus_;
   VolumeId system_volume_ = kInvalidVolume;
   std::vector<std::unique_ptr<workload::SyntheticUser>> users_;
+  uint64_t last_kernel_events_ = 0;
 };
 
 }  // namespace itc::bench

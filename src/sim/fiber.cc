@@ -1,0 +1,195 @@
+#include "src/sim/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+// AddressSanitizer's fiber-switch interface. GCC defines __SANITIZE_ADDRESS__,
+// Clang reports it through __has_feature; either way the annotations are
+// required for ASan to follow execution across stack switches, and compile to
+// nothing in plain builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define ITC_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ITC_FIBER_ASAN 1
+#endif
+#endif
+#ifndef ITC_FIBER_ASAN
+#define ITC_FIBER_ASAN 0
+#endif
+
+#if ITC_FIBER_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace itc::sim {
+
+namespace {
+
+// `fake` saves the outgoing context's ASan fake-stack handle (nullptr when
+// the outgoing context is exiting for good, which tells ASan to free it);
+// bottom/size describe the stack being switched *to*.
+inline void AsanStartSwitch(void** fake, const void* bottom, size_t size) {
+#if ITC_FIBER_ASAN
+  __sanitizer_start_switch_fiber(fake, bottom, size);
+#else
+  (void)fake;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+// Called first thing after control arrives on a stack: `fake` is the handle
+// that stack saved when it last switched away (nullptr on first entry), and
+// bottom/size receive the bounds of the stack control came *from*.
+inline void AsanFinishSwitch(void* fake, const void** bottom_old, size_t* size_old) {
+#if ITC_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(fake, bottom_old, size_old);
+#else
+  (void)fake;
+  (void)bottom_old;
+  (void)size_old;
+#endif
+}
+
+size_t ConfiguredStackBytes() {
+  size_t bytes = 256 * 1024;
+  if (const char* env = std::getenv("ITCFS_FIBER_STACK_KB")) {
+    const long kb = std::strtol(env, nullptr, 10);
+    if (kb >= 64) bytes = static_cast<size_t>(kb) * 1024;
+  }
+  return bytes;
+}
+
+bool ConfiguredGuardPage() {
+  if (const char* env = std::getenv("ITCFS_FIBER_GUARD")) return env[0] != '0';
+  return true;
+}
+
+}  // namespace
+
+FiberStackPool& FiberStackPool::Instance() {
+  static FiberStackPool pool;
+  return pool;
+}
+
+FiberStackPool::FiberStackPool()
+    : stack_bytes_(ConfiguredStackBytes()), guard_page_(ConfiguredGuardPage()) {}
+
+FiberStack* FiberStackPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_ != nullptr) {
+    FiberStack* s = free_;
+    free_ = s->next;
+    s->next = nullptr;
+    --free_count_;
+    return s;
+  }
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  const size_t guard = guard_page_ ? page : 0;
+  const size_t map_size = stack_bytes_ + guard;
+  void* m = mmap(nullptr, map_size, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  ITC_CHECK(m != MAP_FAILED);
+  if (guard != 0) ITC_CHECK(mprotect(m, guard, PROT_NONE) == 0);
+  auto* s = new FiberStack;
+  s->mapping = m;
+  s->mapping_size = map_size;
+  s->limit = static_cast<unsigned char*>(m) + guard;
+  s->size = stack_bytes_;
+  ++created_;
+  return s;
+}
+
+void FiberStackPool::Release(FiberStack* stack) {
+  ITC_CHECK(stack != nullptr && stack->next == nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  stack->next = free_;
+  free_ = stack;
+  ++free_count_;
+}
+
+size_t FiberStackPool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+size_t FiberStackPool::free_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_count_;
+}
+
+Fiber::~Fiber() {
+  // A live fiber still has frames on its stack; destroying it would hand
+  // those frames to the next borrower. The kernel runs every activity to
+  // completion before tearing down.
+  ITC_CHECK(stack_ == nullptr || exited_ || !started_);
+  ReleaseStack();
+}
+
+void Fiber::Start(Entry entry, void* arg) {
+  ITC_CHECK(!started_ && stack_ == nullptr);
+  stack_ = FiberStackPool::Instance().Acquire();
+  entry_ = entry;
+  arg_ = arg;
+  started_ = true;
+  ITC_CHECK(getcontext(&ctx_) == 0);
+  ctx_.uc_stack.ss_sp = stack_->limit;
+  ctx_.uc_stack.ss_size = stack_->size;
+  ctx_.uc_link = nullptr;  // the trampoline never returns; Exit() leaves explicitly
+  // makecontext only passes ints, so the Fiber* travels as two 32-bit halves
+  // (the classic libco/boost idiom; exact round-trip on every LP64 target).
+  const uintptr_t self = reinterpret_cast<uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 2,
+              static_cast<unsigned>(self >> 32), static_cast<unsigned>(self & 0xffffffffu));
+}
+
+void Fiber::Trampoline(unsigned hi, unsigned lo) {
+  auto* f = reinterpret_cast<Fiber*>((static_cast<uintptr_t>(hi) << 32) |
+                                     static_cast<uintptr_t>(lo));
+  // First time on this stack: no saved fake stack yet; learn the resumer's
+  // bounds so Suspend/Exit can annotate switches back.
+  AsanFinishSwitch(nullptr, &f->caller_stack_bottom_, &f->caller_stack_size_);
+  f->entry_(f->arg_);
+  f->Exit();
+}
+
+void Fiber::Resume() {
+  ITC_CHECK(started_ && !exited_ && stack_ != nullptr);
+  void* caller_fake = nullptr;
+  AsanStartSwitch(&caller_fake, stack_->limit, stack_->size);
+  ITC_CHECK(swapcontext(&caller_, &ctx_) == 0);
+  // The fiber suspended or exited; we are back on the caller's stack.
+  AsanFinishSwitch(caller_fake, nullptr, nullptr);
+}
+
+void Fiber::Suspend() {
+  AsanStartSwitch(&self_fake_stack_, caller_stack_bottom_, caller_stack_size_);
+  ITC_CHECK(swapcontext(&ctx_, &caller_) == 0);
+  // Resumed; refresh the resumer's bounds (a later Resume may come from a
+  // different frame of the kernel loop).
+  AsanFinishSwitch(self_fake_stack_, &caller_stack_bottom_, &caller_stack_size_);
+}
+
+void Fiber::Exit() {
+  exited_ = true;
+  // nullptr fake-stack handle: this context is gone for good, so ASan frees
+  // its fake stack; the real stack goes back to the pool via ReleaseStack.
+  AsanStartSwitch(nullptr, caller_stack_bottom_, caller_stack_size_);
+  setcontext(&caller_);
+  __builtin_unreachable();
+}
+
+void Fiber::ReleaseStack() {
+  if (stack_ == nullptr) return;
+  ITC_CHECK(exited_ || !started_);
+  FiberStackPool::Instance().Release(stack_);
+  stack_ = nullptr;
+}
+
+}  // namespace itc::sim

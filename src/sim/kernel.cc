@@ -1,33 +1,54 @@
 #include "src/sim/kernel.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "src/common/logging.h"
 
 namespace itc::sim {
 
-// An activity is a cooperative thread: started lazily at its first event,
-// parked on its own condition variable whenever it suspends. `resume` and
-// `finished` are guarded by the kernel's mutex.
+// An activity is a cooperative execution context. Under kFiber it runs on a
+// pooled fiber stack; under kThread it is a thread started lazily at its
+// first event and parked on its own condition variable whenever it suspends
+// (`resume` and `finished` are then guarded by the kernel's mutex).
 struct Kernel::Activity {
   std::string name;
   std::function<void()> body;
+  Kernel* kernel = nullptr;
+  bool started = false;
+  bool finished = false;
+  // kFiber backend.
+  Fiber fiber;
+  // kThread backend.
   std::thread thread;
   std::condition_variable cv;
-  bool started = false;
   bool resume = false;
-  bool finished = false;
 };
 
 thread_local Kernel* Kernel::current_kernel_ = nullptr;
 thread_local Kernel::Activity* Kernel::current_activity_ = nullptr;
 
-Kernel::Kernel() = default;
+KernelBackend DefaultKernelBackend() {
+  static const KernelBackend backend = [] {
+    const char* env = std::getenv("ITCFS_KERNEL_BACKEND");
+    if (env != nullptr && std::strcmp(env, "thread") == 0) return KernelBackend::kThread;
+    return KernelBackend::kFiber;
+  }();
+  return backend;
+}
+
+const char* KernelBackendName(KernelBackend backend) {
+  return backend == KernelBackend::kFiber ? "fiber" : "thread";
+}
+
+Kernel::Kernel(KernelBackend backend) : backend_(backend) {}
 
 Kernel::~Kernel() {
-  // Run() joins every started thread before returning, and an unstarted
-  // activity has no thread; nothing can still be parked here.
+  // Run() joins every started thread (and releases every fiber stack) before
+  // returning, and an unstarted activity holds neither; nothing can still be
+  // parked here.
   for (auto& a : activities_) {
     ITC_CHECK(!a->thread.joinable());
   }
@@ -38,27 +59,36 @@ void Kernel::Spawn(std::string name, SimTime start, std::function<void()> body) 
   auto a = std::make_unique<Activity>();
   a->name = std::move(name);
   a->body = std::move(body);
-  queue_.push(Event{std::max(start, now_), next_seq_++, a.get()});
+  a->kernel = this;
+  PushEvent(std::max(start, now_), a.get(), /*may_grow=*/true);
   activities_.push_back(std::move(a));
+}
+
+void Kernel::PushEvent(SimTime time, Activity* activity, bool may_grow) {
+  // Every activity has at most one pending event (its spawn event or its
+  // current WaitUntil), so the capacity built up while spawning bounds the
+  // heap for the whole run and the steady-state push below cannot
+  // reallocate. The check turns any future violation of that invariant into
+  // a crash instead of a silent allocation.
+  if (!may_grow) ITC_CHECK(heap_.size() < heap_.capacity());
+  heap_.push_back(Event{time, next_seq_++, activity});
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
 }
 
 void Kernel::Run() {
   ITC_CHECK(Current() == nullptr);  // no nested Run() from an activity body
-  for (;;) {
-    Event e;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (queue_.empty()) break;
-      e = queue_.top();
-      queue_.pop();
-    }
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    const Event e = heap_.back();
+    heap_.pop_back();
     ITC_CHECK(e.time >= now_);  // the heap never yields a past event
     now_ = e.time;
-    if (trace_enabled_) trace_.push_back(TraceEntry{e.time, e.seq, e.activity->name});
+    ++events_dispatched_;
+    if (trace_cap_ != 0) RecordTrace(e);
     Dispatch(e.activity);
   }
   // An unfinished activity would be parked in WaitUntil with its event still
-  // queued; an empty queue therefore implies every body ran to completion.
+  // queued; an empty heap therefore implies every body ran to completion.
   for (auto& a : activities_) {
     ITC_CHECK(a->finished || !a->started);
     if (a->thread.joinable()) a->thread.join();
@@ -70,11 +100,27 @@ void Kernel::Run() {
 }
 
 void Kernel::Dispatch(Activity* a) {
+  if (backend_ == KernelBackend::kFiber) {
+    // Everything runs on this one OS thread; the thread-locals describe
+    // whichever activity holds the processor between the two switches.
+    current_kernel_ = this;
+    current_activity_ = a;
+    if (!a->started) {
+      a->started = true;
+      a->fiber.Start(&Kernel::FiberMain, a);
+    }
+    a->fiber.Resume();
+    current_kernel_ = nullptr;
+    current_activity_ = nullptr;
+    if (a->finished) a->fiber.ReleaseStack();
+    return;
+  }
+  // kThread: hand the baton to `a` and block until it suspends or finishes.
   std::unique_lock<std::mutex> lock(mu_);
   running_ = a;
   if (!a->started) {
     a->started = true;
-    a->thread = std::thread(&Kernel::ActivityMain, this, a);
+    a->thread = std::thread(&Kernel::ThreadMain, this, a);
   } else {
     a->resume = true;
     a->cv.notify_one();
@@ -82,7 +128,38 @@ void Kernel::Dispatch(Activity* a) {
   kernel_cv_.wait(lock, [this] { return running_ == nullptr; });
 }
 
-void Kernel::ActivityMain(Activity* a) {
+void Kernel::RecordTrace(const Event& e) {
+  // In-place ring write: no growth, and activity names are short enough that
+  // the string assignment reuses the slot's existing buffer after the first
+  // lap (or SSO storage).
+  TraceEntry& slot = trace_buf_[trace_head_];
+  slot.time = e.time;
+  slot.seq = e.seq;
+  slot.activity = e.activity->name;
+  trace_head_ = trace_head_ + 1 == trace_cap_ ? 0 : trace_head_ + 1;
+  if (trace_count_ < trace_cap_) {
+    ++trace_count_;
+  } else {
+    ++trace_dropped_;
+  }
+}
+
+void Kernel::FiberMain(void* arg) {
+  auto* a = static_cast<Activity*>(arg);
+  Kernel* kernel = a->kernel;
+  std::exception_ptr caught;
+  try {
+    a->body();
+  } catch (...) {
+    caught = std::current_exception();
+  }
+  if (caught != nullptr && kernel->failure_ == nullptr) kernel->failure_ = caught;
+  a->finished = true;
+  // Returning ends the fiber: Fiber::Trampoline switches back to Dispatch,
+  // which releases the stack to the pool.
+}
+
+void Kernel::ThreadMain(Activity* a) {
   current_kernel_ = this;
   current_activity_ = a;
   std::exception_ptr caught;
@@ -102,8 +179,13 @@ void Kernel::WaitUntil(SimTime t) {
   ITC_CHECK(current_kernel_ == this && current_activity_ != nullptr);
   if (t <= now_) return;
   Activity* self = current_activity_;
+  if (backend_ == KernelBackend::kFiber) {
+    PushEvent(t, self, /*may_grow=*/false);
+    self->fiber.Suspend();
+    return;
+  }
   std::unique_lock<std::mutex> lock(mu_);
-  queue_.push(Event{t, next_seq_++, self});
+  PushEvent(t, self, /*may_grow=*/false);
   self->resume = false;
   running_ = nullptr;
   kernel_cv_.notify_one();
@@ -111,6 +193,25 @@ void Kernel::WaitUntil(SimTime t) {
 }
 
 Kernel* Kernel::Current() { return current_kernel_; }
+
+void Kernel::EnableTrace(size_t capacity) {
+  ITC_CHECK(capacity > 0);
+  trace_cap_ = capacity;
+  trace_buf_.assign(capacity, TraceEntry{});
+  trace_head_ = 0;
+  trace_count_ = 0;
+  trace_dropped_ = 0;
+}
+
+std::vector<TraceEntry> Kernel::trace() const {
+  std::vector<TraceEntry> out;
+  out.reserve(trace_count_);
+  const size_t start = (trace_head_ + trace_cap_ - trace_count_) % (trace_cap_ == 0 ? 1 : trace_cap_);
+  for (size_t i = 0; i < trace_count_; ++i) {
+    out.push_back(trace_buf_[(start + i) % trace_cap_]);
+  }
+  return out;
+}
 
 SimTime Charge(Resource& resource, SimTime arrival, SimTime demand) {
   Kernel* kernel = Kernel::Current();

@@ -10,13 +10,27 @@
 // another client's store, then wait on the disk, with every resource
 // admitting demands in global arrival order.
 //
-// Mechanism: each activity runs on its own cooperative thread, but exactly
-// one thread (the kernel's caller or one activity) is ever runnable — the
-// baton is handed off under a mutex at suspension points. This gives the
-// deep synchronous call stacks of Venus/Vice real suspension points without
-// converting them to coroutines, stays sanitizer-clean (no ucontext stack
-// switching), and is fully deterministic because the kernel alone decides
-// who runs next.
+// Mechanism — two interchangeable backends, selected per kernel:
+//
+//   KernelBackend::kFiber (default): each activity is a pooled stackful
+//   fiber (src/sim/fiber.h). Suspension is one user-space context switch —
+//   no mutex, no condvar, no OS scheduler — and the steady-state event loop
+//   performs zero allocations per event: the event heap is a pre-sized
+//   vector (an activity never has more than one pending event, so Spawn
+//   growth bounds it for the whole run), fiber stacks are pooled and reused
+//   across activities and across runs, and the optional trace is a
+//   fixed-capacity ring written in place.
+//
+//   KernelBackend::kThread: the original model — each activity on its own
+//   OS thread, exactly one ever runnable, the baton handed off under a
+//   mutex. Retained as the sanitizer-safe reference implementation and as
+//   the wall-clock baseline bench_kernel_throughput measures the fiber
+//   backend against.
+//
+// Backend choice can never affect simulated time or event order: both
+// backends drive the same heap with the same sequence numbers and differ
+// only in how an activity's host-side execution is parked and resumed. The
+// backend-equivalence tests in tests/sim/ pin byte-identical traces.
 //
 // Functional code never touches the kernel directly; it calls sim::Charge
 // (resource demand) or sim::AlignTo (stage boundary), both of which degrade
@@ -31,12 +45,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/sim/fiber.h"
 #include "src/sim/resource.h"
 
 namespace itc::sim {
@@ -52,12 +66,31 @@ struct TraceEntry {
   bool operator==(const TraceEntry& other) const = default;
 };
 
+// How activities are parked and resumed; see the header comment.
+enum class KernelBackend {
+  kFiber,
+  kThread,
+};
+
+// kFiber unless the ITCFS_KERNEL_BACKEND environment variable says "thread"
+// (read once; CI pins the sanitizer leg with it). Affects wall-clock only —
+// simulated results are backend-independent.
+KernelBackend DefaultKernelBackend();
+const char* KernelBackendName(KernelBackend backend);
+
 class Kernel {
  public:
-  Kernel();
+  // Default trace ring capacity: plenty for every regression test while
+  // keeping a traced kernel's memory fixed (~64k entries) however long the
+  // simulated day runs.
+  static constexpr size_t kDefaultTraceCapacity = 1u << 16;
+
+  explicit Kernel(KernelBackend backend = DefaultKernelBackend());
   ~Kernel();
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
+
+  KernelBackend backend() const { return backend_; }
 
   // Registers an activity whose body starts at virtual time max(start, now()).
   // Must be called from outside the kernel (not from an activity body).
@@ -80,10 +113,20 @@ class Kernel {
   // a kernel activity (plain test code, bench setup, main()).
   static Kernel* Current();
 
-  // Records a TraceEntry per resumption; two identical runs must produce
-  // identical traces (the determinism regression test relies on this).
-  void EnableTrace() { trace_enabled_ = true; }
-  const std::vector<TraceEntry>& trace() const { return trace_; }
+  // Records a TraceEntry per resumption into a fixed-capacity ring buffer
+  // (the last `capacity` resumptions are kept; trace_dropped() counts
+  // overwritten entries). Two identical runs must produce identical traces —
+  // the determinism and backend-equivalence tests rely on this. Call before
+  // Run; the ring is pre-sized here so tracing stays off the per-event
+  // allocation path.
+  void EnableTrace(size_t capacity = kDefaultTraceCapacity);
+  // The retained trace, oldest first.
+  std::vector<TraceEntry> trace() const;
+  uint64_t trace_dropped() const { return trace_dropped_; }
+
+  // Events dispatched by Run() so far. One dispatch is one activity
+  // resumption — under kFiber, exactly two user-space context switches.
+  uint64_t events_dispatched() const { return events_dispatched_; }
 
  private:
   struct Activity;
@@ -99,22 +142,43 @@ class Kernel {
     }
   };
 
-  // Hands the baton to `a` and blocks until it suspends or finishes.
+  // Queues an event. Steady-state calls (WaitUntil) never allocate: every
+  // activity has at most one pending event, so the capacity Spawn built up
+  // bounds the heap for the whole run (checked).
+  void PushEvent(SimTime time, Activity* activity, bool may_grow);
+  // Resumes `a` and returns when it suspends or finishes.
   void Dispatch(Activity* a);
-  // Entry point of an activity thread: runs the body, then returns the baton
-  // for good.
-  void ActivityMain(Activity* a);
+  void RecordTrace(const Event& e);
+  // Fiber entry point: runs the body, records failures, marks finished.
+  static void FiberMain(void* arg);
+  // Entry point of an activity thread (kThread): runs the body, then returns
+  // the baton for good.
+  void ThreadMain(Activity* a);
 
-  std::mutex mu_;
-  std::condition_variable kernel_cv_;  // signalled when the baton returns
-  Activity* running_ = nullptr;        // guarded by mu_
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  const KernelBackend backend_;
+  // Binary min-heap (std::push_heap/pop_heap over EventAfter), pre-sized by
+  // Spawn-time growth.
+  std::vector<Event> heap_;
   std::vector<std::unique_ptr<Activity>> activities_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t events_dispatched_ = 0;
   std::exception_ptr failure_;
-  bool trace_enabled_ = false;
-  std::vector<TraceEntry> trace_;
+
+  // Trace ring buffer; trace_cap_ == 0 means tracing is off.
+  std::vector<TraceEntry> trace_buf_;
+  size_t trace_cap_ = 0;
+  size_t trace_head_ = 0;   // next slot to write
+  size_t trace_count_ = 0;  // live entries, <= trace_cap_
+  uint64_t trace_dropped_ = 0;
+
+  // kThread backend only: the baton. The mutex also carries the
+  // happens-before edges that make the unlocked heap accesses in Run safe —
+  // an activity thread only touches kernel state between acquiring the baton
+  // (cv wait under mu_) and handing it back.
+  std::mutex mu_;
+  std::condition_variable kernel_cv_;  // signalled when the baton returns
+  Activity* running_ = nullptr;        // guarded by mu_
 
   static thread_local Kernel* current_kernel_;
   static thread_local Activity* current_activity_;

@@ -18,8 +18,8 @@ SimTime Scheduler::RunUntil(SimTime horizon) {
 }
 
 SimTime Scheduler::RunEventDriven(SimTime horizon) {
-  Kernel kernel;
-  if (trace_enabled_) kernel.EnableTrace();
+  Kernel kernel(backend_);
+  if (trace_enabled_) kernel.EnableTrace(trace_capacity_);
   for (size_t i = 0; i < processes_.size(); ++i) {
     Process* p = processes_[i];
     kernel.Spawn("p" + std::to_string(i), p->now(), [p, horizon, &kernel] {
@@ -33,6 +33,7 @@ SimTime Scheduler::RunEventDriven(SimTime horizon) {
     });
   }
   kernel.Run();
+  last_events_ = kernel.events_dispatched();
   if (trace_enabled_) trace_ = kernel.trace();
 
   SimTime latest = 0;

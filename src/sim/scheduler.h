@@ -56,10 +56,23 @@ class Scheduler {
   void set_mode(SchedulerMode mode) { mode_ = mode; }
   SchedulerMode mode() const { return mode_; }
 
+  // Selects how the kernel parks and resumes activities (event-driven mode
+  // only). Affects wall-clock throughput, never simulated results.
+  void set_backend(KernelBackend backend) { backend_ = backend; }
+  KernelBackend backend() const { return backend_; }
+
   // Records the kernel's event trace during the next run (event-driven mode
-  // only); used by the determinism tests.
-  void EnableTrace() { trace_enabled_ = true; }
+  // only) into a ring of `capacity` entries; used by the determinism and
+  // backend-equivalence tests.
+  void EnableTrace(size_t capacity = Kernel::kDefaultTraceCapacity) {
+    trace_enabled_ = true;
+    trace_capacity_ = capacity;
+  }
   const std::vector<TraceEntry>& trace() const { return trace_; }
+
+  // Events the kernel dispatched during the most recent run (event-driven
+  // mode only); the throughput bench divides this by wall-clock time.
+  uint64_t last_events() const { return last_events_; }
 
   // Runs until every process is done. Returns the max final virtual time.
   SimTime RunAll();
@@ -75,8 +88,11 @@ class Scheduler {
 
   std::vector<Process*> processes_;
   SchedulerMode mode_ = SchedulerMode::kEventDriven;
+  KernelBackend backend_ = DefaultKernelBackend();
   bool trace_enabled_ = false;
+  size_t trace_capacity_ = Kernel::kDefaultTraceCapacity;
   std::vector<TraceEntry> trace_;
+  uint64_t last_events_ = 0;
 };
 
 }  // namespace itc::sim

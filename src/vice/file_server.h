@@ -21,6 +21,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 
 #include "src/common/result.h"
@@ -212,6 +213,12 @@ class ViceServer {
   uint32_t restart_epoch_ = 0;
   bool crashed_ = false;
   uint32_t committed_since_checkpoint_ = 0;
+  // Volumes with a logged intention since their last image dump. Periodic
+  // checkpoints re-dump only these: a volume that logged no intention has
+  // not mutated (the intention-before-mutate lint rule enforces this), so
+  // its stored image is byte-identical to what a fresh Dump would produce.
+  // The simulated checkpoint disk charge still covers all images.
+  std::set<VolumeId> dirty_volumes_;
   // CPS memoization keyed by protection-database version: CheckAccess runs
   // on every call, and the recursive group closure need not be recomputed
   // until the replicated database actually changes.

@@ -6,28 +6,21 @@ namespace itc::vice::recovery {
 
 void StableStore::CheckpointVolume(const Volume& vol) {
   Image img;
-  img.dump = vol.Dump();
-  img.name = vol.name();
-  img.type = vol.type();
-  img.online = vol.online();
+  img.snap = vol.Snapshot();
+  img.dump_bytes = vol.DumpSize();
   images_[vol.id()] = std::move(img);
 }
 
 uint64_t StableStore::image_bytes() const {
   uint64_t total = 0;
-  for (const auto& [id, img] : images_) total += img.dump.size();
+  for (const auto& [id, img] : images_) total += img.dump_bytes;
   return total;
 }
 
 Result<std::vector<std::unique_ptr<Volume>>> StableStore::RestoreVolumes() const {
   std::vector<std::unique_ptr<Volume>> out;
   out.reserve(images_.size());
-  for (const auto& [id, img] : images_) {
-    ASSIGN_OR_RETURN(std::unique_ptr<Volume> vol,
-                     Volume::Restore(img.dump, id, img.name, img.type));
-    vol->set_online(img.online);
-    out.push_back(std::move(vol));
-  }
+  for (const auto& [id, img] : images_) out.push_back(img.snap->Snapshot());
   return out;
 }
 

@@ -2,11 +2,17 @@
 //
 // Real Vice servers keep volumes on disk; this simulation keeps them in
 // memory, so without a durability model a server crash cannot be expressed
-// at all. StableStore is that model: a checkpoint image (Volume::Dump bytes)
-// per volume plus the write-ahead IntentionLog. Together they define exactly
-// what survives ViceServer::SimulateCrash() — everything else (callback
-// promises, advisory locks, connections, in-flight replies) is volatile and
-// is rebuilt or re-established after Restart().
+// at all. StableStore is that model: a checkpoint image (a copy-on-write
+// Volume::Snapshot) per volume plus the write-ahead IntentionLog. Together
+// they define exactly what survives ViceServer::SimulateCrash() — everything
+// else (callback promises, advisory locks, connections, in-flight replies)
+// is volatile and is rebuilt or re-established after Restart().
+//
+// Images are snapshots rather than Volume::Dump byte streams so that the
+// periodic checkpoint costs O(vnodes) pointer copies on the host instead of
+// re-serializing every file byte; the *simulated* checkpoint disk charge is
+// unchanged because image_bytes() still reports exactly what the dumps
+// would have measured (Volume::DumpSize).
 //
 // Checkpointing is the log-truncation mechanism: after every
 // `checkpoint_interval` committed intentions the server re-dumps the
@@ -44,15 +50,14 @@ struct RecoveryReport {
 
 class StableStore {
  public:
-  // Overwrites the durable image of `vol` with a fresh dump. Also records
-  // metadata the dump doesn't carry authoritatively: the restore-time name,
-  // type and online flag.
+  // Overwrites the durable image of `vol` with a fresh snapshot.
   void CheckpointVolume(const Volume& vol);
   void EraseVolume(VolumeId id) { images_.erase(id); }
   bool HasVolume(VolumeId id) const { return images_.contains(id); }
   size_t volume_count() const { return images_.size(); }
 
-  // Total bytes across all checkpoint images (for cost accounting/stats).
+  // Total bytes the checkpoint images would occupy as Volume::Dump streams
+  // (for cost accounting/stats; identical to the pre-snapshot accounting).
   uint64_t image_bytes() const;
 
   // Reconstructs every checkpointed volume from its image. Does not touch
@@ -64,10 +69,8 @@ class StableStore {
 
  private:
   struct Image {
-    Bytes dump;
-    std::string name;
-    VolumeType type = VolumeType::kReadWrite;
-    bool online = true;
+    std::unique_ptr<Volume> snap;  // copy-on-write, shares data blocks
+    uint64_t dump_bytes = 0;       // what Dump().size() would have been
   };
 
   std::map<VolumeId, Image> images_;

@@ -330,6 +330,18 @@ std::unique_ptr<Volume> Volume::Clone(VolumeId clone_id, const std::string& clon
   return clone;
 }
 
+std::unique_ptr<Volume> Volume::Snapshot() const {
+  auto snap = std::make_unique<Volume>(id_, name_, type_, vnodes_.at(1).status.owner,
+                                       protection::AccessList{}, quota_bytes_);
+  snap->vnodes_ = vnodes_;  // Vnode copies share `data` — the copy-on-write
+  snap->online_ = online_;
+  snap->usage_bytes_ = usage_bytes_;
+  snap->next_vnode_ = next_vnode_;
+  snap->next_uniquifier_ = next_uniquifier_;
+  snap->now_ = now_;
+  return snap;
+}
+
 namespace {
 constexpr uint32_t kDumpMagic = 0x56444d50;  // "VDMP"
 constexpr uint32_t kDumpVersion = 1;
@@ -361,6 +373,31 @@ Bytes Volume::Dump() const {
     w.PutBytes(v.acl.Serialize());
   }
   return w.Take();
+}
+
+uint64_t Volume::DumpSize() const {
+  // Mirrors Dump() field for field, but counts the file contents instead of
+  // copying them: PutBytes(b) is a 4-byte length prefix plus b.size().
+  rpc::Writer w;
+  w.PutU32(kDumpMagic);
+  w.PutU32(kDumpVersion);
+  w.PutU32(id_);
+  w.PutString(name_);
+  w.PutU8(static_cast<uint8_t>(type_));
+  w.PutU64(quota_bytes_);
+  w.PutU32(next_vnode_);
+  w.PutU32(next_uniquifier_);
+  w.PutU32(static_cast<uint32_t>(vnodes_.size()));
+  uint64_t data_bytes = 0;
+  for (const auto& [num, v] : vnodes_) {
+    w.PutU32(num);
+    PutVnodeStatus(w, v.status);
+    w.PutBool(v.data != nullptr);
+    if (v.data != nullptr) data_bytes += 4 + v.data->size();
+    data_bytes += 4 + SerializeDirectory(v.entries).size();
+    data_bytes += 4 + v.acl.Serialize().size();
+  }
+  return w.size() + data_bytes;
 }
 
 Result<std::unique_ptr<Volume>> Volume::Restore(const Bytes& dump, VolumeId new_id,

@@ -116,6 +116,16 @@ class Volume {
                                                  const std::string& new_name,
                                                  VolumeType type);
 
+  // Exact in-memory snapshot: same id, name, type, counters, and metadata,
+  // sharing every data block with this volume copy-on-write. O(vnodes) with
+  // no byte serialization, so StableStore can checkpoint on every interval
+  // without re-copying file contents; Dump() remains the wire/backup format.
+  std::unique_ptr<Volume> Snapshot() const;
+  // The size of the stream Dump() would produce, computed without copying
+  // file contents (the simulated checkpoint disk charge needs the byte
+  // count, not the bytes). Pinned to Dump().size() by volume_test.
+  uint64_t DumpSize() const;
+
   struct SalvageReport {
     uint32_t dangling_entries_removed = 0;  // dir entries pointing nowhere
     uint32_t orphan_vnodes_removed = 0;     // vnodes reachable from no directory

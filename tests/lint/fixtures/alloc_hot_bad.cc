@@ -1,0 +1,26 @@
+// Positive fixture for no-alloc-in-kernel-hot-path: allocations and container
+// growth inside Kernel::Run / Kernel::Dispatch must fire; the same calls in a
+// cold-path Kernel method (Spawn) must not.
+
+#include "src/sim/kernel.h"
+
+namespace itc::sim {
+
+void Kernel::Run() {
+  Event* scratch = new Event();  // fires: 'new'
+  trace_.push_back(TraceEntry{scratch->time, scratch->seq, "x"});  // fires: growth
+  auto a = std::make_unique<Activity>();  // fires: make_unique
+  Dispatch(a.get());
+}
+
+void Kernel::Dispatch(Activity* a) {
+  ready_.insert(a);  // fires: growth
+  a->resume = true;
+}
+
+void Kernel::Spawn(Activity* a) {
+  queue_.push_back(a);  // quiet: Spawn is a cold path
+  names_.emplace_back("activity");
+}
+
+}  // namespace itc::sim

@@ -1,0 +1,30 @@
+// Negative fixture for no-alloc-in-kernel-hot-path: in-place writes, heap
+// pops, and shrinking are fine in the hot path; growth is allowed when
+// suppressed for a documented cold path, and other classes' Run methods are
+// not the kernel's.
+
+#include "src/sim/kernel.h"
+
+namespace itc::sim {
+
+void Kernel::Run() {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    const Event e = heap_.back();
+    heap_.pop_back();                                // shrink: fine
+    trace_buf_[trace_head_] = TraceEntry{e.time};    // in-place write: fine
+    Dispatch(e.activity);
+  }
+}
+
+void Kernel::Dispatch(Activity* a) {
+  // itcfs-lint: allow(no-alloc-in-kernel-hot-path) -- lazy thread start is the cold reference path
+  cold_starts_.push_back(a);
+  a->resume = true;
+}
+
+void Harness::Run() {
+  rows_.push_back(1);  // quiet: not the Kernel
+}
+
+}  // namespace itc::sim

@@ -176,6 +176,29 @@ TEST(ResourceServeOutsideKernel, ExemptsSimDirectory) {
   EXPECT_TRUE(RunOne("resource-serve-outside-kernel", in).empty());
 }
 
+TEST(NoAllocInKernelHotPath, FiresOnAllocationsInRunAndDispatch) {
+  LintInput in;
+  in.files.push_back(LexFixture("alloc_hot_bad.cc", "src/sim/kernel.cc"));
+  const auto diags = RunOne("no-alloc-in-kernel-hot-path", in);
+  EXPECT_EQ(diags.size(), 4u) << "new, push_back, make_unique, insert";
+  bool saw_new = false, saw_growth = false, saw_make_unique = false;
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "no-alloc-in-kernel-hot-path");
+    if (d.message.find("'new'") != std::string::npos) saw_new = true;
+    if (d.message.find("container growth") != std::string::npos) saw_growth = true;
+    if (d.message.find("make_unique") != std::string::npos) saw_make_unique = true;
+  }
+  EXPECT_TRUE(saw_new);
+  EXPECT_TRUE(saw_growth);
+  EXPECT_TRUE(saw_make_unique);
+}
+
+TEST(NoAllocInKernelHotPath, QuietOnPresizedWritesAndSuppressedColdPath) {
+  LintInput in;
+  in.files.push_back(LexFixture("alloc_hot_good.cc", "src/sim/kernel.cc"));
+  EXPECT_TRUE(RunOne("no-alloc-in-kernel-hot-path", in).empty());
+}
+
 TEST(AssertSideEffect, FiresOnMutatingConditions) {
   LintInput in;
   in.files.push_back(LexFixture("assert_bad.cc"));
@@ -239,10 +262,11 @@ TEST(Lexer, RawStringsAndLineNumbers) {
 }
 
 TEST(Cli, AllRulesHaveStableIds) {
-  EXPECT_EQ(AllRules().size(), 8u);
+  EXPECT_EQ(AllRules().size(), 9u);
   EXPECT_EQ(AllRules().count("nodiscard-status"), 1u);
   EXPECT_EQ(AllRules().count("opcode-sync"), 1u);
   EXPECT_EQ(AllRules().count("resource-serve-outside-kernel"), 1u);
+  EXPECT_EQ(AllRules().count("no-alloc-in-kernel-hot-path"), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+// Backend-equivalence suite for the event kernel: the fiber backend and the
+// OS-thread reference backend must produce byte-identical kernel traces and
+// identical final simulated times on seeded multi-client workloads — backend
+// choice can only affect wall-clock, never simulated results. Also pins
+// repeat-run determinism at N = 200, fiber stack pooling (stable pool size
+// across RunAll cycles), trace ring-buffer semantics, and exception
+// propagation out of a fiber activity.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/fiber.h"
+#include "src/sim/kernel.h"
+#include "src/sim/resource.h"
+#include "src/sim/scheduler.h"
+
+namespace itc::sim {
+namespace {
+
+// A client that alternates think time with staged demands on shared
+// resources (net -> cpu -> disk), mimicking the shape of a real RPC. All
+// parameters are derived deterministically from a seed.
+class StagedWorker : public Process {
+ public:
+  StagedWorker(Resource* net, Resource* cpu, Resource* disk, uint64_t seed, int jobs)
+      : net_(net), cpu_(cpu), disk_(disk), rng_(seed), left_(jobs) {}
+
+  SimTime now() const override { return now_; }
+  bool done() const override { return left_ == 0; }
+  void Step() override {
+    const SimTime think = 1 + static_cast<SimTime>(rng_.NextU64() % 29);
+    SimTime t = Charge(*net_, now_ + think, 1 + static_cast<SimTime>(rng_.NextU64() % 5));
+    t = Charge(*cpu_, t, 1 + static_cast<SimTime>(rng_.NextU64() % 17));
+    now_ = Charge(*disk_, t, 1 + static_cast<SimTime>(rng_.NextU64() % 7));
+    --left_;
+  }
+
+ private:
+  Resource *net_, *cpu_, *disk_;
+  Rng rng_;
+  SimTime now_ = 0;
+  int left_;
+};
+
+struct FleetResult {
+  SimTime end = 0;
+  std::vector<TraceEntry> trace;
+  std::vector<SimTime> final_times;
+  SimTime net_busy = 0, cpu_busy = 0, disk_busy = 0;
+};
+
+FleetResult RunFleet(KernelBackend backend, size_t n, int jobs = 5) {
+  Resource net("net"), cpu("cpu"), disk("disk");
+  std::vector<std::unique_ptr<StagedWorker>> workers;
+  Scheduler sched;
+  sched.set_backend(backend);
+  sched.EnableTrace();
+  for (size_t i = 0; i < n; ++i) {
+    workers.push_back(
+        std::make_unique<StagedWorker>(&net, &cpu, &disk, 0x5eedull + i * 7919, jobs));
+    sched.Add(workers.back().get());
+  }
+  FleetResult r;
+  r.end = sched.RunAll();
+  r.trace = sched.trace();
+  for (const auto& w : workers) r.final_times.push_back(w->now());
+  r.net_busy = net.busy_time();
+  r.cpu_busy = cpu.busy_time();
+  r.disk_busy = disk.busy_time();
+  return r;
+}
+
+TEST(BackendEquivalence, TracesAndTimesIdenticalAcrossBackends) {
+  const FleetResult fiber = RunFleet(KernelBackend::kFiber, 60);
+  const FleetResult thread = RunFleet(KernelBackend::kThread, 60);
+  ASSERT_FALSE(fiber.trace.empty());
+  EXPECT_EQ(fiber.end, thread.end);
+  EXPECT_EQ(fiber.trace, thread.trace);  // byte-identical resumption order
+  EXPECT_EQ(fiber.final_times, thread.final_times);
+  EXPECT_EQ(fiber.net_busy, thread.net_busy);
+  EXPECT_EQ(fiber.cpu_busy, thread.cpu_busy);
+  EXPECT_EQ(fiber.disk_busy, thread.disk_busy);
+}
+
+TEST(BackendEquivalence, SmallFleetMatchesTooWithStragglers) {
+  // A shape with heavy ties and stragglers: workers whose arrivals invert
+  // their spawn order. Equivalence must hold event-for-event here as well.
+  for (size_t n : {1u, 2u, 7u}) {
+    const FleetResult fiber = RunFleet(KernelBackend::kFiber, n, 9);
+    const FleetResult thread = RunFleet(KernelBackend::kThread, n, 9);
+    EXPECT_EQ(fiber.end, thread.end) << "n=" << n;
+    EXPECT_EQ(fiber.trace, thread.trace) << "n=" << n;
+  }
+}
+
+TEST(BackendEquivalence, RepeatRunsAreDeterministicAt200Clients) {
+  const FleetResult a = RunFleet(KernelBackend::kFiber, 200);
+  const FleetResult b = RunFleet(KernelBackend::kFiber, 200);
+  ASSERT_FALSE(a.trace.empty());
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.final_times, b.final_times);
+}
+
+TEST(FiberPool, StackCountStableAcrossRunAllCycles) {
+  // Warm the pool: after this, 64 concurrent activities' worth of stacks
+  // exist (plus whatever earlier tests created) and all are back on the
+  // freelist because every activity ran to completion.
+  RunFleet(KernelBackend::kFiber, 64);
+  FiberStackPool& pool = FiberStackPool::Instance();
+  const size_t created = pool.created();
+  ASSERT_GE(created, 64u);
+  EXPECT_EQ(pool.free_count(), created);
+  // Three more full RunAll cycles must reuse pooled stacks: no new mappings,
+  // and every stack returned afterwards (no leak).
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    RunFleet(KernelBackend::kFiber, 64);
+    EXPECT_EQ(pool.created(), created) << "cycle " << cycle;
+    EXPECT_EQ(pool.free_count(), created) << "cycle " << cycle;
+  }
+}
+
+TEST(FiberPool, ExceptionInActivityStillReleasesStacks) {
+  FiberStackPool& pool = FiberStackPool::Instance();
+  Kernel kernel(KernelBackend::kFiber);
+  kernel.Spawn("boom", 0, [] { throw std::runtime_error("activity failed"); });
+  bool other_ran = false;
+  kernel.Spawn("ok", 1, [&] { other_ran = true; });
+  EXPECT_THROW(kernel.Run(), std::runtime_error);
+  EXPECT_TRUE(other_ran);  // the failure is rethrown only after the run drains
+  EXPECT_EQ(pool.free_count(), pool.created());
+}
+
+TEST(TraceRing, CapacityBoundsEntriesAndKeepsTheTail) {
+  Kernel kernel(KernelBackend::kFiber);
+  kernel.EnableTrace(/*capacity=*/4);
+  kernel.Spawn("walker", 0, [&] {
+    for (SimTime t = 10; t <= 100; t += 10) kernel.WaitUntil(t);
+  });
+  kernel.Run();
+  // 11 resumptions (spawn + 10 waits); the ring keeps the last 4.
+  const std::vector<TraceEntry> trace = kernel.trace();
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(kernel.trace_dropped(), 7u);
+  EXPECT_EQ(trace.front().time, 70);
+  EXPECT_EQ(trace.back().time, 100);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LT(trace[i - 1].seq, trace[i].seq);  // oldest-first linearization
+  }
+}
+
+TEST(TraceRing, DefaultCapacityKeepsShortRunsComplete) {
+  Kernel kernel(KernelBackend::kFiber);
+  kernel.EnableTrace();
+  kernel.Spawn("a", 5, [] {});
+  kernel.Spawn("b", 3, [] {});
+  kernel.Run();
+  const std::vector<TraceEntry> trace = kernel.trace();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(kernel.trace_dropped(), 0u);
+  EXPECT_EQ(trace[0].activity, "b");
+  EXPECT_EQ(trace[1].activity, "a");
+}
+
+TEST(KernelStats, EventsDispatchedCountsResumptions) {
+  Kernel kernel(KernelBackend::kFiber);
+  kernel.Spawn("w", 0, [&] {
+    kernel.WaitUntil(10);
+    kernel.WaitUntil(20);
+  });
+  kernel.Run();
+  EXPECT_EQ(kernel.events_dispatched(), 3u);  // spawn + two waits
+}
+
+}  // namespace
+}  // namespace itc::sim

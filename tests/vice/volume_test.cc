@@ -183,6 +183,43 @@ TEST_F(VolumeTest, CloneRebrandsDirectoryEntries) {
   EXPECT_EQ(entries->at("d").fid.volume, 70u);
 }
 
+TEST_F(VolumeTest, SnapshotIsExactAndSharesDataCopyOnWrite) {
+  auto dir = *vol_.MakeDir(vol_.root(), "d", kOwner, OwnerAcl(kOwner));
+  auto fid = *vol_.CreateFile(dir, "f", kOwner, 0644);
+  ASSERT_EQ(vol_.StoreData(fid, ToBytes("checkpointed")), Status::kOk);
+
+  auto snap = vol_.Snapshot();
+
+  // Unlike Clone, a snapshot preserves identity exactly: same id, name,
+  // type, fids, and counters — its dump is byte-identical to the source's.
+  EXPECT_EQ(snap->id(), vol_.id());
+  EXPECT_EQ(snap->name(), vol_.name());
+  EXPECT_EQ(snap->type(), VolumeType::kReadWrite);
+  EXPECT_EQ(snap->usage_bytes(), vol_.usage_bytes());
+  EXPECT_EQ(snap->Dump(), vol_.Dump());
+
+  // Later mutation of the source leaves the snapshot frozen.
+  ASSERT_EQ(vol_.StoreData(fid, ToBytes("mutated since")), Status::kOk);
+  ASSERT_TRUE(vol_.CreateFile(dir, "g", kOwner, 0644).ok());
+  EXPECT_EQ(ToString(*snap->FetchData(fid)), "checkpointed");
+  EXPECT_EQ(ToString(*vol_.FetchData(fid)), "mutated since");
+}
+
+TEST_F(VolumeTest, DumpSizeMatchesDumpExactly) {
+  // DumpSize is the checkpoint disk-charge accounting: it must track the
+  // real serialized size through every kind of state.
+  EXPECT_EQ(vol_.DumpSize(), vol_.Dump().size());
+
+  auto dir = *vol_.MakeDir(vol_.root(), "subdir", kOwner, OwnerAcl(kOwner));
+  auto fid = *vol_.CreateFile(dir, "file.c", kOwner, 0644);
+  ASSERT_EQ(vol_.StoreData(fid, ToBytes("int main(void) { return 0; }")), Status::kOk);
+  ASSERT_TRUE(vol_.MakeSymlink(dir, "link", "/vice/usr/elsewhere", kOwner).ok());
+  EXPECT_EQ(vol_.DumpSize(), vol_.Dump().size());
+
+  ASSERT_EQ(vol_.RemoveFile(dir, "file.c"), Status::kOk);
+  EXPECT_EQ(vol_.DumpSize(), vol_.Dump().size());
+}
+
 TEST_F(VolumeTest, OfflineVolumeUnavailable) {
   auto fid = *vol_.CreateFile(vol_.root(), "f", kOwner, 0644);
   vol_.set_online(false);

@@ -32,6 +32,20 @@ TEST(SourceTreeTest, DeterministicAndSized) {
   EXPECT_LT(a.total_bytes(), 2 * 1024 * 1024u);
 }
 
+TEST(SourceTreeTest, ContentsMatchByteForByteReference) {
+  // The chunked fast path must reproduce the original byte-at-a-time
+  // definition: out[i] = kAlphabet[(i + phase) % period]. Check the
+  // repeating structure across sizes spanning the doubling boundaries.
+  for (uint64_t size : {0u, 1u, 58u, 59u, 60u, 118u, 1000u, 4096u, 65537u}) {
+    const Bytes c = SynthesizeContents(99, size);
+    ASSERT_EQ(c.size(), size);
+    const uint64_t period = 59;  // sizeof(kAlphabet) - 1 in source_tree.cc
+    for (uint64_t i = period; i < size; ++i) {
+      ASSERT_EQ(c[i], c[i - period]) << "size " << size << " index " << i;
+    }
+  }
+}
+
 TEST(SourceTreeTest, ContentsMatchRequestedSize) {
   const Bytes c = SynthesizeContents(7, 12345);
   EXPECT_EQ(c.size(), 12345u);

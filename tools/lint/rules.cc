@@ -538,6 +538,58 @@ void CheckResourceServeOutsideKernel(const LexedFile& f, std::vector<Diagnostic>
   }
 }
 
+// --- no-alloc-in-kernel-hot-path ----------------------------------------------------
+
+const std::set<std::string>& ContainerGrowthCalls() {
+  // Member calls that can grow a container (and therefore allocate). pop_back
+  // and in-place writes (`buf[i] = x`) are deliberately absent: the hot path
+  // may shrink and overwrite, it may not grow.
+  static const std::set<std::string> g = {"push_back", "emplace_back", "push",
+                                          "emplace",   "insert",       "resize",
+                                          "reserve",   "assign",       "append"};
+  return g;
+}
+
+void CheckNoAllocInKernelHotPath(const LexedFile& f, std::vector<Diagnostic>& out) {
+  const Toks& t = f.tokens;
+  for (size_t i = 0; i + 3 < t.size(); ++i) {
+    // Kernel::Name ( ... ) ... { body }
+    if (!Is(t, i, "Kernel") || !Is(t, i + 1, "::") || !IsIdent(t, i + 2) ||
+        !Is(t, i + 3, "(")) {
+      continue;
+    }
+    const std::string& fname = t[i + 2].text;
+    const bool hot = fname == "Dispatch" || fname.rfind("Run", 0) == 0;
+    size_t k = SkipBalanced(t, i + 3, "(", ")");
+    while (k < t.size() && !Is(t, k, "{") && !Is(t, k, ";")) ++k;
+    if (k >= t.size() || Is(t, k, ";")) continue;
+    const size_t body_end = SkipBalanced(t, k, "{", "}");
+    if (hot) {
+      for (size_t j = k; j < body_end; ++j) {
+        if (!IsIdent(t, j)) continue;
+        const std::string& name = t[j].text;
+        std::string what;
+        if (name == "new") {
+          what = "'new'";
+        } else if ((name == "make_unique" || name == "make_shared") &&
+                   (Is(t, j + 1, "<") || Is(t, j + 1, "("))) {
+          what = "'" + name + "'";
+        } else if (ContainerGrowthCalls().count(name) > 0 && Is(t, j + 1, "(") && j > 0 &&
+                   (t[j - 1].text == "." || t[j - 1].text == "->")) {
+          what = "container growth ('" + name + "')";
+        }
+        if (!what.empty()) {
+          Emit(out, f, t[j].line, "no-alloc-in-kernel-hot-path",
+               what + " in Kernel::" + fname +
+                   ": the steady-state event loop must not allocate per event; "
+                   "pre-size in Spawn/EnableTrace or suppress for a cold path");
+        }
+      }
+    }
+    i = body_end - 1;
+  }
+}
+
 // --- assert rules -------------------------------------------------------------------
 
 void CheckAsserts(const LexedFile& f, bool run_side_effect, bool run_header,
@@ -604,6 +656,9 @@ std::vector<Diagnostic> RunRules(const LintInput& input, const std::set<std::str
   }
   if (enabled("resource-serve-outside-kernel")) {
     for (const LexedFile& f : input.files) CheckResourceServeOutsideKernel(f, out);
+  }
+  if (enabled("no-alloc-in-kernel-hot-path")) {
+    for (const LexedFile& f : input.files) CheckNoAllocInKernelHotPath(f, out);
   }
   const bool side = enabled("assert-side-effect");
   const bool header = enabled("assert-in-header");

@@ -23,6 +23,12 @@
 //                           src/sim/ — functional code charges demands
 //                           through sim::Charge so the event kernel can
 //                           admit them in arrival order
+//   no-alloc-in-kernel-hot-path
+//                           no new/make_unique/make_shared or container
+//                           growth call (push_back, insert, resize, ...)
+//                           inside Kernel::Run*/Kernel::Dispatch bodies —
+//                           the steady-state event loop is allocation-free
+//                           per event (suppression allowed for cold paths)
 //
 // Suppression: `// itcfs-lint: allow(rule-id)` on the offending line or the
 // line above. See docs/LINT.md for the catalog.
@@ -57,6 +63,7 @@ inline const std::set<std::string>& AllRules() {
       "nodiscard-status",  "discarded-status",  "intention-before-mutate",
       "opcode-sync",       "sim-determinism",   "assert-side-effect",
       "assert-in-header",  "resource-serve-outside-kernel",
+      "no-alloc-in-kernel-hot-path",
   };
   return rules;
 }
