@@ -103,6 +103,40 @@ Result<Bytes> RemoteOpenServer::Dispatch(rpc::CallContext& ctx, uint32_t proc_ra
       ctx.ChargeDisk(0);
       return rpc::StatusOnlyReply(storage_.Unlink(*path));
     }
+    case Proc::kReadDir: {
+      auto path = r.String();
+      if (!path.ok()) return rpc::StatusOnlyReply(Status::kProtocolError);
+      auto entries = storage_.ReadDir(*path);
+      if (!entries.ok()) return rpc::StatusOnlyReply(entries.status());
+      ctx.ChargeDisk(0);
+      rpc::Writer w;
+      w.PutStatus(Status::kOk);
+      w.PutU32(static_cast<uint32_t>(entries->size()));
+      for (const auto& e : *entries) w.PutString(e.name);
+      return w.Take();
+    }
+    case Proc::kRename: {
+      auto from = r.String();
+      auto to = from.ok() ? r.String() : Result<std::string>(Status::kProtocolError);
+      if (!to.ok()) return rpc::StatusOnlyReply(Status::kProtocolError);
+      ctx.ChargeDisk(0);
+      return rpc::StatusOnlyReply(storage_.Rename(*from, *to));
+    }
+    case Proc::kRmDir: {
+      auto path = r.String();
+      if (!path.ok()) return rpc::StatusOnlyReply(Status::kProtocolError);
+      ctx.ChargeDisk(0);
+      return rpc::StatusOnlyReply(storage_.RmDir(*path));
+    }
+    case Proc::kTruncate: {
+      auto handle = r.U64();
+      auto size = handle.ok() ? r.U64() : Result<uint64_t>(Status::kProtocolError);
+      if (!size.ok()) return rpc::StatusOnlyReply(Status::kProtocolError);
+      auto it = handles_.find(*handle);
+      if (it == handles_.end()) return rpc::StatusOnlyReply(Status::kBadDescriptor);
+      ctx.ChargeDisk(0);
+      return rpc::StatusOnlyReply(storage_.Truncate(it->second, *size));
+    }
   }
   return Status::kProtocolError;
 }
@@ -205,6 +239,48 @@ Status RemoteOpenClient::Unlink(const std::string& path) {
   rpc::Writer w;
   w.PutString(path);
   ASSIGN_OR_RETURN(Bytes reply, Call(Proc::kUnlink, w.Take()));
+  rpc::Reader r(reply);
+  return rpc::ExpectOk(r);
+}
+
+Result<std::vector<std::string>> RemoteOpenClient::ReadDir(const std::string& path) {
+  rpc::Writer w;
+  w.PutString(path);
+  ASSIGN_OR_RETURN(Bytes reply, Call(Proc::kReadDir, w.Take()));
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(std::string name, r.String());
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+Status RemoteOpenClient::Rename(const std::string& from, const std::string& to) {
+  rpc::Writer w;
+  w.PutString(from);
+  w.PutString(to);
+  ASSIGN_OR_RETURN(Bytes reply, Call(Proc::kRename, w.Take()));
+  rpc::Reader r(reply);
+  return rpc::ExpectOk(r);
+}
+
+Status RemoteOpenClient::RmDir(const std::string& path) {
+  rpc::Writer w;
+  w.PutString(path);
+  ASSIGN_OR_RETURN(Bytes reply, Call(Proc::kRmDir, w.Take()));
+  rpc::Reader r(reply);
+  return rpc::ExpectOk(r);
+}
+
+Status RemoteOpenClient::Truncate(uint64_t handle, uint64_t size) {
+  rpc::Writer w;
+  w.PutU64(handle);
+  w.PutU64(size);
+  ASSIGN_OR_RETURN(Bytes reply, Call(Proc::kTruncate, w.Take()));
   rpc::Reader r(reply);
   return rpc::ExpectOk(r);
 }

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/common/types.h"
@@ -33,13 +34,17 @@ namespace itc::baseline {
 inline constexpr uint64_t kPageSize = 4096;
 
 enum class Proc : uint32_t {
-  kOpen = 1,   // path, create -> handle, size
-  kClose = 2,  // handle
-  kRead = 3,   // handle, offset, length(<=page) -> data
-  kWrite = 4,  // handle, offset, data(<=page)
-  kStat = 5,   // path -> size, mtime, type
-  kMkDir = 6,  // path
-  kUnlink = 7, // path
+  kOpen = 1,     // path, create -> handle, size
+  kClose = 2,    // handle
+  kRead = 3,     // handle, offset, length(<=page) -> data
+  kWrite = 4,    // handle, offset, data(<=page)
+  kStat = 5,     // path -> size, mtime, type
+  kMkDir = 6,    // path
+  kUnlink = 7,   // path
+  kReadDir = 8,  // path -> names
+  kRename = 9,   // from, to (same server — this service has one volume)
+  kRmDir = 10,   // path
+  kTruncate = 11,  // handle, size
 };
 
 class RemoteOpenServer : public rpc::Service {
@@ -86,6 +91,10 @@ class RemoteOpenClient {
   [[nodiscard]] Result<RemoteStat> Stat(const std::string& path);
   [[nodiscard]] Status MkDir(const std::string& path);
   [[nodiscard]] Status Unlink(const std::string& path);
+  [[nodiscard]] Result<std::vector<std::string>> ReadDir(const std::string& path);
+  [[nodiscard]] Status Rename(const std::string& from, const std::string& to);
+  [[nodiscard]] Status RmDir(const std::string& path);
+  [[nodiscard]] Status Truncate(uint64_t handle, uint64_t size);
 
   // Whole-file conveniences built from page-at-a-time RPCs.
   [[nodiscard]] Result<Bytes> ReadWholeFile(const std::string& path);

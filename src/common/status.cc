@@ -26,6 +26,7 @@ std::string_view StatusName(Status s) {
     case Status::kFileTooLarge: return "FILE_TOO_LARGE";
     case Status::kSymlinkLoop: return "SYMLINK_LOOP";
     case Status::kNotSymlink: return "NOT_SYMLINK";
+    case Status::kSymlinkEscape: return "SYMLINK_ESCAPE";
     case Status::kQuotaExceeded: return "QUOTA_EXCEEDED";
     case Status::kVolumeOffline: return "VOLUME_OFFLINE";
     case Status::kVolumeReadOnly: return "VOLUME_READ_ONLY";

@@ -40,6 +40,8 @@ enum class Status : int32_t {
   kFileTooLarge = 28,
   kSymlinkLoop = 29,
   kNotSymlink = 30,
+  kSymlinkEscape = 31,  // resolution left this mount via an absolute symlink;
+                        // the VFS switch re-resolves (never user-visible)
 
   // Vice.
   kQuotaExceeded = 40,

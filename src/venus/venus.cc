@@ -436,10 +436,18 @@ Result<Fid> Venus::ResolveFinal(const std::string& path, bool for_update,
 Result<Venus::ParentRef> Venus::ResolveParentOf(const std::string& path, bool for_update) {
   const std::string_view leaf = Basename(path);
   if (!IsValidName(leaf)) return Status::kInvalidArgument;
-  ASSIGN_OR_RETURN(Fid parent,
-                   ResolveFinal(std::string(Dirname(path)), for_update,
-                                /*follow_final=*/true));
-  return ParentRef{parent, std::string(leaf)};
+  auto parent = ResolveFinal(std::string(Dirname(path)), for_update,
+                             /*follow_final=*/true);
+  if (!parent.ok()) {
+    if (parent.status() == Status::kSymlinkEscape) {
+      // Keep the invariant that escape_path_ rewrites the whole argument:
+      // the parent walk dropped the leaf, so put it back.
+      if (escape_path_.empty() || escape_path_.back() != '/') escape_path_ += '/';
+      escape_path_.append(leaf);
+    }
+    return parent.status();
+  }
+  return ParentRef{*parent, std::string(leaf)};
 }
 
 Result<Fid> Venus::WalkClient(const std::string& path, bool for_update, bool follow_final) {
@@ -495,6 +503,20 @@ Result<Fid> Venus::WalkClient(const std::string& path, bool for_update, bool fol
         (void)link_entry;
         ASSIGN_OR_RETURN(Bytes target_bytes, cache_.ReadData(item.fid));
         const std::string target = ToString(target_bytes);
+        if (!target.empty() && target.front() == '/' && escape_predicate_ &&
+            escape_predicate_(target)) {
+          // The link leaves the shared name space. Splice the unconsumed
+          // components onto the target and hand the rewritten workstation
+          // path to the VFS switch (see TakeEscapePath).
+          std::string rewritten = target;
+          while (rewritten.size() > 1 && rewritten.back() == '/') rewritten.pop_back();
+          for (size_t j = i; j < components.size(); ++j) {
+            if (rewritten.back() != '/') rewritten += '/';
+            rewritten += components[j];
+          }
+          escape_path_ = std::move(rewritten);
+          return Status::kSymlinkEscape;
+        }
         std::vector<std::string> spliced = SplitPath(target);
         spliced.insert(spliced.end(), components.begin() + static_cast<ptrdiff_t>(i),
                        components.end());

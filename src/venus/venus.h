@@ -24,6 +24,7 @@
 #ifndef SRC_VENUS_VENUS_H_
 #define SRC_VENUS_VENUS_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -171,6 +172,22 @@ class Venus : public vice::CallbackReceiver {
 
   NodeId node() const { return node_; }
 
+  // --- VFS escape hatch ------------------------------------------------------
+  // Client-side traversal may meet an absolute symlink whose target lies
+  // outside the shared name space (e.g. "/tmp/scratch" — Figure 3-2 in
+  // reverse). The predicate decides whether a target escapes; when it does,
+  // the walk stops, the unconsumed components are spliced onto the target,
+  // and the call fails with kSymlinkEscape. The VFS switch collects the
+  // rewritten workstation path with TakeEscapePath() and re-resolves it
+  // against the mount table. Without a predicate every absolute target is
+  // treated as Vice-internal (the pre-VFS behaviour). Server-side traversal
+  // (the prototype) never escapes: the server has no notion of workstation
+  // mounts.
+  using EscapePredicate = std::function<bool(const std::string& target)>;
+  void set_escape_predicate(EscapePredicate p) { escape_predicate_ = std::move(p); }
+  // The rewritten path after a kSymlinkEscape failure; consumes it.
+  std::string TakeEscapePath() { return std::move(escape_path_); }
+
   // vice::CallbackReceiver:
   void OnCallbackBroken(const Fid& fid) override;
   NodeId callback_node() const override { return node_; }
@@ -264,6 +281,9 @@ class Venus : public vice::CallbackReceiver {
   std::map<std::string, Fid, std::less<>> name_cache_;
   // Deferred write-back queue (insertion order; duplicates coalesce).
   std::vector<Fid> dirty_queue_;
+
+  EscapePredicate escape_predicate_;
+  std::string escape_path_;
 
   VenusStats stats_;
   rpc::CallStats call_stats_;

@@ -1,0 +1,84 @@
+#include "src/virtue/vfs/remote_mount.h"
+
+#include <utility>
+
+namespace itc::virtue::vfs {
+
+RemoteMount::RemoteMount(NodeId node, sim::Clock* clock, baseline::RemoteOpenServer* server,
+                         net::Network* network, const sim::CostModel& cost, std::string name)
+    : client_(node, clock, server, network, cost), name_(std::move(name)) {}
+
+Status RemoteMount::Connect(UserId user, const crypto::Key& user_key, uint64_t seed) {
+  return client_.Connect(user, user_key, seed);
+}
+
+Result<MountedOpen> RemoteMount::Open(const std::string& rel, uint32_t flags) {
+  ASSIGN_OR_RETURN(uint64_t handle, client_.Open(rel, (flags & kCreate) != 0));
+  MountedOpen mo;
+  mo.token = handle;
+  if ((flags & kWrite) != 0 && (flags & kTruncate) != 0) {
+    const Status s = client_.Truncate(handle, 0);
+    if (s != Status::kOk) {
+      (void)client_.Close(handle);
+      return s;
+    }
+    // No store-on-close here: the truncate already happened remotely.
+  }
+  return mo;
+}
+
+Status RemoteMount::Close(uint64_t token, bool dirty) {
+  (void)dirty;  // writes went through already; close just drops the handle
+  return client_.Close(token);
+}
+
+Result<Bytes> RemoteMount::ReadAt(uint64_t token, uint64_t offset, uint64_t length) {
+  return client_.Read(token, offset, length);
+}
+
+Status RemoteMount::WriteAt(uint64_t token, uint64_t offset, const Bytes& data) {
+  return client_.Write(token, offset, data);
+}
+
+Result<FileInfo> RemoteMount::Stat(const std::string& rel) {
+  ASSIGN_OR_RETURN(baseline::RemoteOpenClient::RemoteStat st, client_.Stat(rel));
+  FileInfo info;
+  info.type = st.is_directory ? FileInfo::Type::kDirectory : FileInfo::Type::kFile;
+  info.size = st.size;
+  info.mtime = st.mtime;
+  info.mode = unixfs::kDefaultFileMode;  // the wire protocol carries no mode/owner
+  return info;
+}
+
+Result<std::vector<std::string>> RemoteMount::List(const std::string& rel) {
+  return client_.ReadDir(rel);
+}
+
+Status RemoteMount::MkDir(const std::string& rel) { return client_.MkDir(rel); }
+
+Status RemoteMount::Remove(const std::string& rel) { return client_.Unlink(rel); }
+
+Status RemoteMount::RmDir(const std::string& rel) { return client_.RmDir(rel); }
+
+Status RemoteMount::Rename(const std::string& from_rel, const std::string& to_rel) {
+  return client_.Rename(from_rel, to_rel);
+}
+
+Status RemoteMount::Symlink(const std::string& target, const std::string& rel) {
+  (void)target;
+  (void)rel;
+  return Status::kNotSupported;
+}
+
+Result<std::string> RemoteMount::ReadLink(const std::string& rel) {
+  (void)rel;
+  return Status::kNotSupported;
+}
+
+Status RemoteMount::Chmod(const std::string& rel, uint16_t mode) {
+  (void)rel;
+  (void)mode;
+  return Status::kNotSupported;
+}
+
+}  // namespace itc::virtue::vfs

@@ -1,0 +1,58 @@
+// The remote-open mount: the Section 6.3 Locus-style comparator behind the
+// Mount interface. Every open, per-page read/write, and close is an RPC to
+// the storage site; nothing is cached on the workstation and no local-disk
+// cost is charged. Mounting this next to the itcfs mount is how the A2
+// experiment becomes "same workload, different mount".
+
+#ifndef SRC_VIRTUE_VFS_REMOTE_MOUNT_H_
+#define SRC_VIRTUE_VFS_REMOTE_MOUNT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/baseline/remote_open.h"
+#include "src/virtue/vfs/mount.h"
+
+namespace itc::virtue::vfs {
+
+class RemoteMount : public Mount {
+ public:
+  RemoteMount(NodeId node, sim::Clock* clock, baseline::RemoteOpenServer* server,
+              net::Network* network, const sim::CostModel& cost,
+              std::string name = "remote-open");
+
+  // Authenticated connection to the storage site; must succeed before the
+  // first operation (everything fails kConnectionBroken until then).
+  [[nodiscard]] Status Connect(UserId user, const crypto::Key& user_key, uint64_t seed);
+
+  std::string_view name() const override { return name_; }
+  bool shared() const override { return true; }
+
+  [[nodiscard]] Result<MountedOpen> Open(const std::string& rel, uint32_t flags) override;
+  [[nodiscard]] Status Close(uint64_t token, bool dirty) override;
+  [[nodiscard]] Result<Bytes> ReadAt(uint64_t token, uint64_t offset, uint64_t length) override;
+  [[nodiscard]] Status WriteAt(uint64_t token, uint64_t offset, const Bytes& data) override;
+
+  [[nodiscard]] Result<FileInfo> Stat(const std::string& rel) override;
+  [[nodiscard]] Result<std::vector<std::string>> List(const std::string& rel) override;
+  [[nodiscard]] Status MkDir(const std::string& rel) override;
+  [[nodiscard]] Status Remove(const std::string& rel) override;
+  [[nodiscard]] Status RmDir(const std::string& rel) override;
+  [[nodiscard]] Status Rename(const std::string& from_rel, const std::string& to_rel) override;
+  // The remote-open protocol has no symlinks (neither did Locus's
+  // inter-machine interface here): kNotSupported.
+  [[nodiscard]] Status Symlink(const std::string& target, const std::string& rel) override;
+  [[nodiscard]] Result<std::string> ReadLink(const std::string& rel) override;
+  [[nodiscard]] Status Chmod(const std::string& rel, uint16_t mode) override;
+
+  baseline::RemoteOpenClient& client() { return client_; }
+
+ private:
+  baseline::RemoteOpenClient client_;
+  std::string name_;
+};
+
+}  // namespace itc::virtue::vfs
+
+#endif  // SRC_VIRTUE_VFS_REMOTE_MOUNT_H_

@@ -1,0 +1,66 @@
+#include "src/virtue/vfs/resolver.h"
+
+#include <vector>
+
+#include "src/common/path.h"
+
+namespace itc::virtue::vfs {
+
+Result<ResolvedPath> ResolvePath(const MountTable& table, const std::string& path,
+                                 int* symlink_budget) {
+  if (path.empty() || path.front() != '/') return Status::kInvalidArgument;
+
+  std::vector<std::string> comps = SplitPath(path);
+  std::string cur;  // resolved prefix so far; "" == "/"
+  size_t i = 0;
+
+  auto finish = [&table](const std::string& full) -> Result<ResolvedPath> {
+    auto hit = table.Match(full);
+    if (!hit) return Status::kNotFound;
+    return ResolvedPath{hit->mount, hit->prefix, MountRelative(full, hit->prefix)};
+  };
+
+  while (i < comps.size()) {
+    std::string candidate = cur;
+    candidate += '/';
+    candidate += comps[i];
+
+    auto hit = table.Match(candidate);
+    if (!hit) return Status::kNotFound;
+    if (hit->prefix != "/") {
+      // Crossed into a non-root mount. From here ownership is textual:
+      // rebuild the full remaining path and let longest-prefix pick the
+      // owner, so a mount at /vice/pc shadows the one at /vice.
+      std::string full = std::move(candidate);
+      for (size_t j = i + 1; j < comps.size(); ++j) {
+        full += '/';
+        full += comps[j];
+      }
+      return finish(full);
+    }
+
+    if (hit->mount->resolves_locally()) {
+      auto lst = hit->mount->LStat(candidate);
+      if (lst.ok() && lst->type == FileInfo::Type::kSymlink) {
+        if (++*symlink_budget > kMaxSymlinkDepth) return Status::kSymlinkLoop;
+        ASSIGN_OR_RETURN(std::string target, hit->mount->ReadTarget(candidate));
+        std::vector<std::string> spliced = SplitPath(target);
+        spliced.insert(spliced.end(), comps.begin() + static_cast<ptrdiff_t>(i + 1),
+                       comps.end());
+        comps = std::move(spliced);
+        i = 0;
+        // Absolute target restarts at the workstation root; a relative one
+        // continues from the directory holding the link (cur unchanged).
+        if (!target.empty() && target.front() == '/') cur.clear();
+        continue;
+      }
+    }
+    // Missing components are fine (creation paths); they stay on this
+    // mount since they cannot be symlinks.
+    cur = std::move(candidate);
+    ++i;
+  }
+  return finish(cur.empty() ? std::string("/") : cur);
+}
+
+}  // namespace itc::virtue::vfs

@@ -1,0 +1,70 @@
+// The itcfs mount: Venus whole-file caching behind the Mount interface
+// (file class 2 of Section 3.1, normally attached at /vice). Open asks
+// Venus for a cached copy and the token is a descriptor onto that local
+// copy; read/write never touch Vice; close of a dirty file is the
+// store-back. Resolution happens inside Venus (cached directories), so
+// cross-mount symlinks surface as kSymlinkEscape rather than through the
+// resolver hooks.
+
+#ifndef SRC_VIRTUE_VFS_VENUS_MOUNT_H_
+#define SRC_VIRTUE_VFS_VENUS_MOUNT_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/unixfs/file_system.h"
+#include "src/venus/venus.h"
+#include "src/virtue/vfs/mount.h"
+
+namespace itc::virtue::vfs {
+
+class VenusMount : public Mount {
+ public:
+  // `cache_fs` is the local file system holding Venus's cache copies (the
+  // same one Venus was constructed over).
+  VenusMount(venus::Venus* venus, unixfs::FileSystem* cache_fs, sim::Clock* clock,
+             const sim::CostModel& cost);
+
+  std::string_view name() const override { return "itcfs"; }
+  bool shared() const override { return true; }
+
+  [[nodiscard]] Result<MountedOpen> Open(const std::string& rel, uint32_t flags) override;
+  [[nodiscard]] Status Close(uint64_t token, bool dirty) override;
+  [[nodiscard]] Result<Bytes> ReadAt(uint64_t token, uint64_t offset, uint64_t length) override;
+  [[nodiscard]] Status WriteAt(uint64_t token, uint64_t offset, const Bytes& data) override;
+
+  [[nodiscard]] Result<FileInfo> Stat(const std::string& rel) override;
+  [[nodiscard]] Result<std::vector<std::string>> List(const std::string& rel) override;
+  [[nodiscard]] Status MkDir(const std::string& rel) override;
+  [[nodiscard]] Status Remove(const std::string& rel) override;
+  [[nodiscard]] Status RmDir(const std::string& rel) override;
+  [[nodiscard]] Status Rename(const std::string& from_rel, const std::string& to_rel) override;
+  [[nodiscard]] Status Symlink(const std::string& target, const std::string& rel) override;
+  [[nodiscard]] Result<std::string> ReadLink(const std::string& rel) override;
+  [[nodiscard]] Status Chmod(const std::string& rel, uint16_t mode) override;
+
+  std::string TakeEscape() override { return venus_->TakeEscapePath(); }
+
+ private:
+  struct OpenToken {
+    Fid fid;
+    unixfs::InodeNum inode = 0;  // the cached copy
+  };
+
+  venus::Venus* venus_;
+  unixfs::FileSystem* cache_fs_;
+  sim::Clock* clock_;
+  sim::CostModel cost_;
+  std::map<uint64_t, OpenToken> open_;
+  uint64_t next_token_ = 1;
+};
+
+FileInfo::Type FromViceType(vice::VnodeType t);
+
+}  // namespace itc::virtue::vfs
+
+#endif  // SRC_VIRTUE_VFS_VENUS_MOUNT_H_

@@ -1,15 +1,17 @@
 #include "src/virtue/workstation.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/common/path.h"
+#include "src/virtue/vfs/remote_mount.h"
+#include "src/virtue/vfs/unixfs_mount.h"
+#include "src/virtue/vfs/venus_mount.h"
 
 namespace itc::virtue {
 
 namespace {
 constexpr char kVenusCacheDir[] = "/venus-cache";
-constexpr uint64_t kReadAll = ~0ull >> 2;
 }  // namespace
 
 Workstation::Workstation(NodeId node, const venus::ServerMap* servers, ServerId home_server,
@@ -19,6 +21,18 @@ Workstation::Workstation(NodeId node, const venus::ServerMap* servers, ServerId 
   venus_ = std::make_unique<venus::Venus>(node, &clock_, &local_fs_, kVenusCacheDir,
                                           config_.venus, servers, home_server, network,
                                           cost, seed);
+  vfs_ = std::make_unique<vfs::Switch>();
+  ITC_CHECK(vfs_->AddMount("/", std::make_unique<vfs::UnixfsMount>(
+                                    &local_fs_, &clock_, cost_,
+                                    [v = venus_.get()] { return v->user(); }, "local")) ==
+            Status::kOk);
+  ITC_CHECK(vfs_->AddMount(kViceMountPoint,
+                           std::make_unique<vfs::VenusMount>(venus_.get(), &local_fs_,
+                                                             &clock_, cost_)) == Status::kOk);
+  // Vice symlinks whose absolute targets name workstation paths hop back
+  // out of the shared space through the switch (and vice versa).
+  venus_->set_escape_predicate(
+      [sw = vfs_.get()](const std::string& target) { return sw->EscapesSharedSpace(target); });
 }
 
 Status Workstation::InstallStandardLayout() {
@@ -37,6 +51,14 @@ Status Workstation::InstallStandardLayout() {
   return Status::kOk;
 }
 
+Status Workstation::MountRemote(const std::string& prefix, baseline::RemoteOpenServer* server,
+                                net::Network* network, UserId user,
+                                const crypto::Key& user_key, uint64_t seed) {
+  auto mount = std::make_unique<vfs::RemoteMount>(node_, &clock_, server, network, cost_);
+  RETURN_IF_ERROR(mount->Connect(user, user_key, seed));
+  return vfs_->AddMount(prefix, std::move(mount));
+}
+
 Status Workstation::Login(UserId user, const crypto::Key& user_key) {
   return venus_->Login(user, user_key);
 }
@@ -47,273 +69,56 @@ Status Workstation::LoginWithPassword(UserId user, const std::string& password) 
 
 void Workstation::Logout() { venus_->Logout(); }
 
-// --- Path classification ---------------------------------------------------------
-
-Result<Workstation::PathClass> Workstation::Classify(const std::string& path) const {
-  if (path.empty() || path.front() != '/') return Status::kInvalidArgument;
-
-  std::vector<std::string> comps = SplitPath(path);
-  std::string cur;  // "" == "/"
-  size_t i = 0;
-  int depth = 0;
-
-  while (i < comps.size()) {
-    std::string candidate = cur;
-    candidate += '/';
-    candidate += comps[i];
-    if (PathHasPrefix(candidate, kViceMountPoint)) {
-      // Everything below the mount point is shared; the Vice-internal path
-      // is whatever follows /vice.
-      std::string vice_path;
-      for (size_t j = i + 1; j < comps.size(); ++j) {
-        vice_path += '/';
-        vice_path += comps[j];
-      }
-      if (vice_path.empty()) vice_path.push_back('/');
-      return PathClass{true, vice_path};
-    }
-
-    auto lst = local_fs_.LStat(candidate);
-    if (lst.ok() && lst->type == unixfs::FileType::kSymlink) {
-      if (++depth > kMaxSymlinkDepth) return Status::kSymlinkLoop;
-      auto target = local_fs_.ReadLink(candidate);
-      if (!target.ok()) return target.status();
-      std::vector<std::string> spliced = SplitPath(*target);
-      spliced.insert(spliced.end(), comps.begin() + static_cast<ptrdiff_t>(i + 1),
-                     comps.end());
-      comps = std::move(spliced);
-      i = 0;
-      if (!target->empty() && target->front() == '/') cur.clear();
-      continue;
-    }
-    // Missing components are fine (creation paths); they are local by
-    // construction since they cannot be symlinks.
-    cur = candidate;
-    ++i;
-  }
-  return PathClass{false, cur.empty() ? std::string("/") : cur};
-}
-
-bool Workstation::IsShared(const std::string& path) {
-  auto cls = Classify(path);
-  return cls.ok() && cls->shared;
-}
-
-// --- Descriptor API ------------------------------------------------------------------
+// --- Unix file system interface (forwarded to the VFS switch) ----------------
 
 Result<int> Workstation::Open(const std::string& path, uint32_t flags) {
-  ASSIGN_OR_RETURN(PathClass cls, Classify(path));
-  const bool writable = (flags & kWrite) != 0;
-
-  OpenFile of;
-  of.writable = writable;
-
-  if (cls.shared) {
-    ASSIGN_OR_RETURN(venus::Venus::OpenResult open,
-                     venus_->Open(cls.path, writable, (flags & kCreate) != 0));
-    clock_.Advance(cost_.local_open);  // opening the cached copy
-    of.shared = true;
-    of.fid = open.fid;
-    ASSIGN_OR_RETURN(of.inode, local_fs_.Resolve(open.cache_path));
-    if (writable && (flags & kTruncate) != 0) {
-      RETURN_IF_ERROR(local_fs_.Truncate(of.inode, 0));
-      of.dirty = true;
-    }
-  } else {
-    auto resolved = local_fs_.Resolve(cls.path);
-    if (!resolved.ok()) {
-      if (resolved.status() != Status::kNotFound || (flags & kCreate) == 0) {
-        return resolved.status();
-      }
-      clock_.Advance(cost_.local_create);
-      ASSIGN_OR_RETURN(of.inode, local_fs_.Create(cls.path, unixfs::kDefaultFileMode,
-                                                  venus_->user()));
-    } else {
-      of.inode = *resolved;
-      ASSIGN_OR_RETURN(unixfs::StatInfo st, local_fs_.StatInode(of.inode));
-      if (st.type == unixfs::FileType::kDirectory) return Status::kIsDirectory;
-      if (writable && (flags & kTruncate) != 0) {
-        RETURN_IF_ERROR(local_fs_.Truncate(of.inode, 0));
-      }
-    }
-    clock_.Advance(cost_.local_open);
-  }
-
-  const int fd = next_fd_++;
-  fds_[fd] = of;
-  return fd;
+  return vfs_->Open(path, flags);
 }
 
-Result<Bytes> Workstation::Read(int fd, uint64_t length) {
-  auto it = fds_.find(fd);
-  if (it == fds_.end()) return Status::kBadDescriptor;
-  OpenFile& of = it->second;
-  ASSIGN_OR_RETURN(Bytes data, local_fs_.ReadAt(of.inode, of.offset, length));
-  of.offset += data.size();
-  clock_.Advance(cost_.LocalIoTime(data.size()));
-  return data;
-}
+Result<Bytes> Workstation::Read(int fd, uint64_t length) { return vfs_->Read(fd, length); }
 
-Status Workstation::Write(int fd, const Bytes& data) {
-  auto it = fds_.find(fd);
-  if (it == fds_.end()) return Status::kBadDescriptor;
-  OpenFile& of = it->second;
-  if (!of.writable) return Status::kPermissionDenied;
-  RETURN_IF_ERROR(local_fs_.WriteAt(of.inode, of.offset, data));
-  of.offset += data.size();
-  of.dirty = true;
-  clock_.Advance(cost_.LocalIoTime(data.size()));
-  return Status::kOk;
-}
+Status Workstation::Write(int fd, const Bytes& data) { return vfs_->Write(fd, data); }
 
-Result<uint64_t> Workstation::Seek(int fd, uint64_t offset) {
-  auto it = fds_.find(fd);
-  if (it == fds_.end()) return Status::kBadDescriptor;
-  it->second.offset = offset;
-  return offset;
-}
+Result<uint64_t> Workstation::Seek(int fd, uint64_t offset) { return vfs_->Seek(fd, offset); }
 
-Status Workstation::Close(int fd) {
-  auto it = fds_.find(fd);
-  if (it == fds_.end()) return Status::kBadDescriptor;
-  const OpenFile of = it->second;
-  fds_.erase(it);
-  if (of.shared) {
-    return venus_->Close(of.fid, of.dirty);
-  }
-  return Status::kOk;
-}
+Status Workstation::Close(int fd) { return vfs_->Close(fd); }
 
-// --- Metadata / name space -----------------------------------------------------------
-
-namespace {
-
-FileInfo::Type FromUnixType(unixfs::FileType t) {
-  switch (t) {
-    case unixfs::FileType::kRegular: return FileInfo::Type::kFile;
-    case unixfs::FileType::kDirectory: return FileInfo::Type::kDirectory;
-    case unixfs::FileType::kSymlink: return FileInfo::Type::kSymlink;
-  }
-  return FileInfo::Type::kFile;
-}
-
-FileInfo::Type FromViceType(vice::VnodeType t) {
-  switch (t) {
-    case vice::VnodeType::kFile: return FileInfo::Type::kFile;
-    case vice::VnodeType::kDirectory: return FileInfo::Type::kDirectory;
-    case vice::VnodeType::kSymlink: return FileInfo::Type::kSymlink;
-  }
-  return FileInfo::Type::kFile;
-}
-
-}  // namespace
-
-Result<FileInfo> Workstation::Stat(const std::string& path) {
-  ASSIGN_OR_RETURN(PathClass cls, Classify(path));
-  FileInfo info;
-  if (cls.shared) {
-    ASSIGN_OR_RETURN(vice::VnodeStatus st, venus_->Stat(cls.path));
-    info.type = FromViceType(st.type);
-    info.size = st.length;
-    info.mtime = st.mtime;
-    info.mode = st.mode;
-    info.owner = st.owner;
-    info.shared = true;
-  } else {
-    clock_.Advance(cost_.local_stat);
-    ASSIGN_OR_RETURN(unixfs::StatInfo st, local_fs_.Stat(cls.path));
-    info.type = FromUnixType(st.type);
-    info.size = st.size;
-    info.mtime = st.mtime;
-    info.mode = st.mode;
-    info.owner = st.owner;
-    info.shared = false;
-  }
-  return info;
-}
+Result<FileInfo> Workstation::Stat(const std::string& path) { return vfs_->Stat(path); }
 
 Result<std::vector<std::string>> Workstation::ReadDir(const std::string& path) {
-  ASSIGN_OR_RETURN(PathClass cls, Classify(path));
-  std::vector<std::string> names;
-  if (cls.shared) {
-    ASSIGN_OR_RETURN(auto entries, venus_->ReadDir(cls.path));
-    names.reserve(entries.size());
-    for (const auto& [name, item] : entries) names.push_back(name);
-  } else {
-    clock_.Advance(cost_.local_stat);
-    ASSIGN_OR_RETURN(auto entries, local_fs_.ReadDir(cls.path));
-    names.reserve(entries.size());
-    for (const auto& e : entries) names.push_back(e.name);
-  }
-  return names;
+  return vfs_->ReadDir(path);
 }
 
-Status Workstation::MkDir(const std::string& path) {
-  ASSIGN_OR_RETURN(PathClass cls, Classify(path));
-  if (cls.shared) return venus_->MkDir(cls.path);
-  clock_.Advance(cost_.local_mkdir);
-  return local_fs_.MkDir(cls.path, unixfs::kDefaultDirMode, venus_->user());
-}
+Status Workstation::MkDir(const std::string& path) { return vfs_->MkDir(path); }
 
-Status Workstation::Unlink(const std::string& path) {
-  ASSIGN_OR_RETURN(PathClass cls, Classify(path));
-  if (cls.shared) return venus_->Remove(cls.path);
-  clock_.Advance(cost_.local_open);
-  return local_fs_.Unlink(cls.path);
-}
+Status Workstation::Unlink(const std::string& path) { return vfs_->Unlink(path); }
 
-Status Workstation::RmDir(const std::string& path) {
-  ASSIGN_OR_RETURN(PathClass cls, Classify(path));
-  if (cls.shared) return venus_->RmDir(cls.path);
-  clock_.Advance(cost_.local_open);
-  return local_fs_.RmDir(cls.path);
-}
+Status Workstation::RmDir(const std::string& path) { return vfs_->RmDir(path); }
 
 Status Workstation::Rename(const std::string& from, const std::string& to) {
-  ASSIGN_OR_RETURN(PathClass from_cls, Classify(from));
-  ASSIGN_OR_RETURN(PathClass to_cls, Classify(to));
-  if (from_cls.shared != to_cls.shared) return Status::kCrossVolume;
-  if (from_cls.shared) return venus_->Rename(from_cls.path, to_cls.path);
-  clock_.Advance(cost_.local_open);
-  return local_fs_.Rename(from_cls.path, to_cls.path);
+  return vfs_->Rename(from, to);
 }
 
 Status Workstation::Symlink(const std::string& target, const std::string& link_path) {
-  ASSIGN_OR_RETURN(PathClass cls, Classify(link_path));
-  if (cls.shared) return venus_->Symlink(target, cls.path);
-  clock_.Advance(cost_.local_create);
-  return local_fs_.Symlink(target, cls.path);
+  return vfs_->Symlink(target, link_path);
 }
 
 Result<std::string> Workstation::ReadLink(const std::string& path) {
-  ASSIGN_OR_RETURN(PathClass cls, Classify(path));
-  if (cls.shared) return venus_->ReadLink(cls.path);
-  clock_.Advance(cost_.local_stat);
-  return local_fs_.ReadLink(cls.path);
+  return vfs_->ReadLink(path);
 }
 
 Status Workstation::Chmod(const std::string& path, uint16_t mode) {
-  ASSIGN_OR_RETURN(PathClass cls, Classify(path));
-  if (cls.shared) return venus_->SetMode(cls.path, mode);
-  clock_.Advance(cost_.local_stat);
-  return local_fs_.Chmod(cls.path, mode);
+  return vfs_->Chmod(path, mode);
 }
 
-// --- Whole-file conveniences ------------------------------------------------------------
-
 Result<Bytes> Workstation::ReadWholeFile(const std::string& path) {
-  ASSIGN_OR_RETURN(int fd, Open(path, kRead));
-  auto data = Read(fd, kReadAll);
-  const Status c = Close(fd);
-  if (data.ok() && c != Status::kOk) return c;
-  return data;
+  return vfs_->ReadWholeFile(path);
 }
 
 Status Workstation::WriteWholeFile(const std::string& path, const Bytes& data) {
-  ASSIGN_OR_RETURN(int fd, Open(path, kWrite | kCreate | kTruncate));
-  Status s = Write(fd, data);
-  Status c = Close(fd);
-  return s != Status::kOk ? s : c;
+  return vfs_->WriteWholeFile(path, data);
 }
+
+bool Workstation::IsShared(const std::string& path) { return vfs_->IsShared(path); }
 
 }  // namespace itc::virtue

@@ -1,28 +1,30 @@
 // Virtue: the workstation (Sections 2.3, 3.1, 3.3).
 //
 // A Workstation owns a local Unix file system (the Root File System), a
-// virtual clock, and a Venus cache manager. The shared Vice name space is
-// mounted at /vice; "file names generated on the workstation with /vice as
-// the leading prefix correspond to files in the shared space. All other
-// names refer to files in the local space." Local symbolic links point into
-// /vice (e.g. /bin -> /vice/unix/sun/bin), which is how heterogeneous
-// workstation types see the right binaries (Figure 3-2).
+// virtual clock, a Venus cache manager, and a VFS switch with two standard
+// mounts: the local file system at "/" and the shared Vice name space at
+// /vice. "File names generated on the workstation with /vice as the leading
+// prefix correspond to files in the shared space. All other names refer to
+// files in the local space." Local symbolic links point into /vice (e.g.
+// /bin -> /vice/unix/sun/bin), which is how heterogeneous workstation types
+// see the right binaries (Figure 3-2).
 //
-// The Unix-like descriptor API below is the intercept layer: open of a
-// shared file asks Venus for a whole-file cached copy and returns a
-// descriptor onto that local copy; read/write never touch Vice; close of a
-// dirty file triggers the store-back. "Other than performance, there is no
-// difference between accessing a local file and a file in the shared name
-// space."
+// The Unix-like descriptor API below is the intercept layer, now a thin
+// shim over vfs::Switch: the resolver maps each path onto its owning mount
+// and the mount does the work — Venus whole-file caching for /vice, plain
+// local I/O elsewhere, and (after MountRemote) a Locus-style remote-open
+// tree wherever the caller attached it. "Other than performance, there is
+// no difference between accessing a local file and a file in the shared
+// name space."
 
 #ifndef SRC_VIRTUE_WORKSTATION_H_
 #define SRC_VIRTUE_WORKSTATION_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/baseline/remote_open.h"
 #include "src/common/result.h"
 #include "src/common/types.h"
 #include "src/crypto/key.h"
@@ -31,29 +33,20 @@
 #include "src/sim/cost_model.h"
 #include "src/unixfs/file_system.h"
 #include "src/venus/venus.h"
+#include "src/virtue/vfs/switch.h"
 
 namespace itc::virtue {
 
 inline constexpr char kViceMountPoint[] = "/vice";
 
-// open() flags.
-enum OpenFlags : uint32_t {
-  kRead = 1u << 0,
-  kWrite = 1u << 1,
-  kCreate = 1u << 2,
-  kTruncate = 1u << 3,
-};
-
-// Unified stat result for local and shared files.
-struct FileInfo {
-  enum class Type { kFile, kDirectory, kSymlink };
-  Type type = Type::kFile;
-  uint64_t size = 0;
-  SimTime mtime = 0;
-  uint16_t mode = 0;
-  UserId owner = kAnonymousUser;
-  bool shared = false;  // lives in Vice
-};
+// The flag and stat types live with the VFS contract now; re-exported here
+// so existing callers keep compiling unchanged.
+using vfs::FileInfo;
+using vfs::OpenFlags;
+using vfs::kRead;     // NOLINT(misc-unused-using-decls)
+using vfs::kWrite;    // NOLINT(misc-unused-using-decls)
+using vfs::kCreate;   // NOLINT(misc-unused-using-decls)
+using vfs::kTruncate; // NOLINT(misc-unused-using-decls)
 
 struct WorkstationConfig {
   // Architecture tag used for the /bin -> /vice/unix/<arch>/bin indirection.
@@ -73,11 +66,20 @@ class Workstation {
   unixfs::FileSystem& local_fs() { return local_fs_; }
   venus::Venus& venus() { return *venus_; }
   const WorkstationConfig& config() const { return config_; }
+  // The mount layer itself, for mount management and direct dispatch.
+  vfs::Switch& vfs() { return *vfs_; }
 
   // Creates the conventional local layout: /tmp, /etc, /vmunix, and the
   // symbolic links /bin and /lib into the shared space for this
   // workstation's architecture.
   [[nodiscard]] Status InstallStandardLayout();
+
+  // Attaches a remote-open tree (Section 6.3 comparator) at `prefix`, e.g.
+  // "/nfs", connecting to `server` as `user`. The paper's third file class
+  // becomes a mount-table entry instead of a parallel universe.
+  [[nodiscard]] Status MountRemote(const std::string& prefix,
+                                   baseline::RemoteOpenServer* server, net::Network* network,
+                                   UserId user, const crypto::Key& user_key, uint64_t seed);
 
   // --- Session ------------------------------------------------------------------
   [[nodiscard]] Status Login(UserId user, const crypto::Key& user_key);
@@ -85,7 +87,9 @@ class Workstation {
   void Logout();
 
   // --- Unix file system interface --------------------------------------------------
-  // Paths are workstation-absolute; anything resolving under /vice is shared.
+  // Paths are workstation-absolute; anything resolving onto a shared mount
+  // (the /vice tree, remote-open trees) is shared. All calls forward to the
+  // VFS switch.
   [[nodiscard]] Result<int> Open(const std::string& path, uint32_t flags);
   [[nodiscard]] Result<Bytes> Read(int fd, uint64_t length);
   [[nodiscard]] Status Write(int fd, const Bytes& data);
@@ -106,38 +110,19 @@ class Workstation {
   [[nodiscard]] Result<Bytes> ReadWholeFile(const std::string& path);
   [[nodiscard]] Status WriteWholeFile(const std::string& path, const Bytes& data);
 
-  // True if `path` resolves into the shared name space.
+  // True if `path` resolves onto a shared mount.
   bool IsShared(const std::string& path);
 
-  size_t open_file_count() const { return fds_.size(); }
+  size_t open_file_count() const { return vfs_->open_file_count(); }
 
  private:
-  struct PathClass {
-    bool shared = false;
-    std::string path;  // local path, or Vice-internal path (without /vice)
-  };
-
-  struct OpenFile {
-    bool shared = false;
-    bool writable = false;
-    bool dirty = false;
-    Fid fid;                    // shared files
-    unixfs::InodeNum inode = 0; // backing local inode (cache copy or local file)
-    uint64_t offset = 0;
-  };
-
-  // Resolves local symlinks until the path either escapes into /vice or
-  // stays local. Missing trailing components are allowed (creation paths).
-  [[nodiscard]] Result<PathClass> Classify(const std::string& path) const;
-
   NodeId node_;
   sim::Clock clock_;
   unixfs::FileSystem local_fs_;
   WorkstationConfig config_;
   sim::CostModel cost_;
   std::unique_ptr<venus::Venus> venus_;
-  std::map<int, OpenFile> fds_;
-  int next_fd_ = 3;
+  std::unique_ptr<vfs::Switch> vfs_;
 };
 
 }  // namespace itc::virtue

@@ -129,5 +129,47 @@ TEST_F(RemoteOpenTest, ReadWholeFileSurfacesCloseFailure) {
   EXPECT_EQ(*again, data);
 }
 
+TEST_F(RemoteOpenTest, ReadDirListsNames) {
+  ASSERT_EQ(client_.MkDir("/d"), Status::kOk);
+  ASSERT_EQ(client_.WriteWholeFile("/d/a", ToBytes("1")), Status::kOk);
+  ASSERT_EQ(client_.WriteWholeFile("/d/b", ToBytes("2")), Status::kOk);
+  auto names = client_.ReadDir("/d");
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 2u);
+  EXPECT_EQ((*names)[0], "a");
+  EXPECT_EQ((*names)[1], "b");
+  EXPECT_EQ(client_.ReadDir("/nope").status(), Status::kNotFound);
+  EXPECT_EQ(client_.ReadDir("/d/a").status(), Status::kNotDirectory);
+}
+
+TEST_F(RemoteOpenTest, RenameWithinServer) {
+  ASSERT_EQ(client_.WriteWholeFile("/old", ToBytes("data")), Status::kOk);
+  ASSERT_EQ(client_.Rename("/old", "/new"), Status::kOk);
+  EXPECT_EQ(client_.Stat("/old").status(), Status::kNotFound);
+  auto back = client_.ReadWholeFile("/new");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(ToString(*back), "data");
+  EXPECT_EQ(client_.Rename("/nope", "/x"), Status::kNotFound);
+}
+
+TEST_F(RemoteOpenTest, RmDirOnlyRemovesEmptyDirectories) {
+  ASSERT_EQ(client_.MkDir("/d"), Status::kOk);
+  ASSERT_EQ(client_.WriteWholeFile("/d/f", ToBytes("x")), Status::kOk);
+  EXPECT_EQ(client_.RmDir("/d"), Status::kNotEmpty);
+  ASSERT_EQ(client_.Unlink("/d/f"), Status::kOk);
+  EXPECT_EQ(client_.RmDir("/d"), Status::kOk);
+  EXPECT_EQ(client_.Stat("/d").status(), Status::kNotFound);
+}
+
+TEST_F(RemoteOpenTest, TruncateShrinksOpenFile) {
+  ASSERT_EQ(client_.WriteWholeFile("/f", Bytes(5000, 0x11)), Status::kOk);
+  auto h = client_.Open("/f", false);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(client_.Truncate(*h, 0), Status::kOk);
+  ASSERT_EQ(client_.Close(*h), Status::kOk);
+  EXPECT_EQ(client_.Stat("/f")->size, 0u);
+  EXPECT_EQ(client_.Truncate(999, 0), Status::kBadDescriptor);
+}
+
 }  // namespace
 }  // namespace itc::baseline

@@ -1,0 +1,158 @@
+// Mixed-mount workload: one workstation with three backends live at once —
+// local unixfs at "/", Venus whole-file caching at /vice, and a remote-open
+// tree at /nfs — driven as a scheduled process under both kernel backends.
+// Simulated results (end time, bytes read) must be identical for fiber and
+// thread backends: the backend affects wall-clock throughput only.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/baseline/remote_open.h"
+#include "src/campus/campus.h"
+#include "src/sim/scheduler.h"
+#include "src/virtue/workstation.h"
+
+namespace itc::virtue {
+namespace {
+
+using campus::Campus;
+using campus::CampusConfig;
+
+// A scripted client touching all three mounts, one operation per Step().
+class MixedWorkload : public sim::Process {
+ public:
+  explicit MixedWorkload(Workstation* ws) : ws_(ws) {}
+
+  SimTime now() const override { return ws_->clock().now(); }
+  bool done() const override { return step_ >= kSteps; }
+
+  void Step() override {
+    const std::string home = "/vice/usr/u0";
+    switch (step_) {
+      case 0:
+        Check(ws_->WriteWholeFile("/tmp/scratch", ToBytes("local bytes")));
+        break;
+      case 1:
+        Check(ws_->WriteWholeFile(home + "/doc", ToBytes("shared bytes")));
+        break;
+      case 2:
+        Check(ws_->WriteWholeFile("/nfs/remote.txt", ToBytes("remote bytes")));
+        break;
+      case 3:
+        Absorb(ws_->ReadWholeFile("/tmp/scratch"));
+        break;
+      case 4:
+        Absorb(ws_->ReadWholeFile(home + "/doc"));  // warm: served from cache
+        break;
+      case 5:
+        Absorb(ws_->ReadWholeFile("/nfs/remote.txt"));
+        break;
+      case 6:
+        // Renames stay within a mount; crossing is the EXDEV analog.
+        Check(ws_->Rename("/nfs/remote.txt", "/nfs/renamed.txt"));
+        if (ws_->Rename("/tmp/scratch", "/nfs/stolen") != Status::kCrossVolume) {
+          ++errors_;
+        }
+        if (ws_->Rename(home + "/doc", "/tmp/doc") != Status::kCrossVolume) {
+          ++errors_;
+        }
+        break;
+      case 7:
+        Absorb(ws_->ReadWholeFile("/nfs/renamed.txt"));
+        Absorb(ws_->ReadWholeFile(home + "/doc"));
+        break;
+      default:
+        break;
+    }
+    ++step_;
+  }
+
+  int errors() const { return errors_; }
+  const std::string& digest() const { return digest_; }
+
+  static constexpr int kSteps = 8;
+
+ private:
+  void Check(Status s) {
+    if (s != Status::kOk) ++errors_;
+  }
+  void Absorb(const Result<Bytes>& r) {
+    if (!r.ok()) {
+      ++errors_;
+      return;
+    }
+    digest_ += ToString(*r);
+    digest_ += '|';
+  }
+
+  Workstation* ws_;
+  int step_ = 0;
+  int errors_ = 0;
+  std::string digest_;
+};
+
+struct RunResult {
+  SimTime end = 0;
+  std::string digest;
+  int errors = 0;
+  uint64_t venus_opens = 0;
+};
+
+RunResult RunMixed(sim::KernelBackend backend) {
+  Campus campus(CampusConfig::Revised(1, 2));
+  EXPECT_TRUE(campus.SetupRootVolume().ok());
+  auto home = campus.AddUserWithHome("u0", "pw", 0);
+  EXPECT_TRUE(home.ok());
+
+  auto& ws = campus.workstation(0);
+  EXPECT_EQ(ws.LoginWithPassword(home->user, "pw"), Status::kOk);
+
+  // The remote-open service lives on the other workstation's node — any
+  // addressable node works; what matters is that every RPC rides the same
+  // simulated network as Venus traffic.
+  const auto key = crypto::DeriveKeyFromPassword("pw", "itc.cmu.edu");
+  baseline::RemoteOpenServer server(
+      campus.workstation(1).node(), &campus.network(), campus.config().cost,
+      rpc::RpcConfig{},
+      [&key](UserId) -> std::optional<crypto::Key> { return key; }, 7);
+  EXPECT_EQ(ws.MountRemote("/nfs", &server, &campus.network(), home->user, key, 11),
+            Status::kOk);
+
+  MixedWorkload client(&ws);
+  sim::Scheduler sched;
+  sched.set_backend(backend);
+  sched.Add(&client);
+
+  RunResult r;
+  r.end = sched.RunAll();
+  r.digest = client.digest();
+  r.errors = client.errors();
+  r.venus_opens = ws.venus().stats().opens;
+  return r;
+}
+
+TEST(MixedMountTest, AllThreeBackendsServeOneNamespace) {
+  const RunResult r = RunMixed(sim::KernelBackend::kFiber);
+  EXPECT_EQ(r.errors, 0);
+  EXPECT_EQ(r.digest,
+            "local bytes|shared bytes|remote bytes|remote bytes|shared bytes|");
+  EXPECT_GT(r.end, 0u);
+  EXPECT_GT(r.venus_opens, 0u);
+}
+
+TEST(MixedMountTest, SimulatedResultsIdenticalAcrossKernelBackends) {
+  const RunResult fiber = RunMixed(sim::KernelBackend::kFiber);
+  const RunResult thread = RunMixed(sim::KernelBackend::kThread);
+  EXPECT_EQ(fiber.end, thread.end);
+  EXPECT_EQ(fiber.digest, thread.digest);
+  EXPECT_EQ(fiber.errors, thread.errors);
+  EXPECT_EQ(fiber.venus_opens, thread.venus_opens);
+  EXPECT_EQ(fiber.errors, 0);
+}
+
+}  // namespace
+}  // namespace itc::virtue

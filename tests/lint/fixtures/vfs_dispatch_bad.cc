@@ -1,0 +1,29 @@
+// Positive fixture for vfs-dispatch-only: workstation-layer code reaches
+// around the VFS switch — straight into Venus's data plane and into the
+// baseline remote-open client.
+
+#include "src/baseline/remote_open.h"
+#include "src/venus/venus.h"
+
+namespace itc::virtue {
+
+class Sidestep {
+ public:
+  Status Touch(const std::string& path) {
+    auto fh = venus_->Open(path, true, true);     // fires: data-plane via ->
+    if (!fh.ok()) return fh.status();
+    return venus_->Close(*fh, true);              // fires: data-plane via ->
+  }
+
+  Status Peek(const std::string& path) {
+    return venus().Stat(path).status();           // fires: data-plane via accessor
+  }
+
+  baseline::RemoteOpenClient* side_channel_;      // fires: parallel universe
+
+ private:
+  venus::Venus& venus() { return *venus_; }
+  venus::Venus* venus_;
+};
+
+}  // namespace itc::virtue

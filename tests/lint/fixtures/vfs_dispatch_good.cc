@@ -1,0 +1,32 @@
+// Negative fixture for vfs-dispatch-only: control-plane Venus calls and
+// dispatch through the switch stay quiet; identifiers that merely resemble
+// the banned shapes are not member file operations.
+
+#include "src/venus/venus.h"
+#include "src/virtue/vfs/switch.h"
+
+namespace itc::virtue {
+
+class Proper {
+ public:
+  Status Login(UserId user, const crypto::Key& key) {
+    return venus_->Login(user, key);              // control plane: legal
+  }
+  void Logout() { venus_->Logout(); }             // control plane: legal
+  UserId Who() { return venus_->user(); }         // control plane: legal
+
+  Status Touch(const std::string& path) {
+    auto fd = vfs_->Open(path, vfs::kRead);       // the sanctioned path
+    if (!fd.ok()) return fd.status();
+    return vfs_->Close(*fd);
+  }
+
+  // A local named Open is not a Venus member call.
+  Status Open(const std::string& path);
+
+ private:
+  venus::Venus* venus_;
+  vfs::Switch* vfs_;
+};
+
+}  // namespace itc::virtue

@@ -199,6 +199,35 @@ TEST(NoAllocInKernelHotPath, QuietOnPresizedWritesAndSuppressedColdPath) {
   EXPECT_TRUE(RunOne("no-alloc-in-kernel-hot-path", in).empty());
 }
 
+TEST(VfsDispatchOnly, FiresOnDirectVenusAndBaselineClientUse) {
+  LintInput in;
+  in.files.push_back(LexFixture("vfs_dispatch_bad.cc", "src/virtue/workstation.cc"));
+  const auto diags = RunOne("vfs-dispatch-only", in);
+  EXPECT_EQ(diags.size(), 4u) << "Open, Close, Stat, RemoteOpenClient";
+  bool saw_client = false, saw_op = false;
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "vfs-dispatch-only");
+    if (d.message.find("RemoteOpenClient") != std::string::npos) saw_client = true;
+    if (d.message.find("vfs::Switch") != std::string::npos) saw_op = true;
+  }
+  EXPECT_TRUE(saw_client);
+  EXPECT_TRUE(saw_op);
+}
+
+TEST(VfsDispatchOnly, QuietOnControlPlaneAndSwitchDispatch) {
+  LintInput in;
+  in.files.push_back(LexFixture("vfs_dispatch_good.cc", "src/virtue/workstation.cc"));
+  EXPECT_TRUE(RunOne("vfs-dispatch-only", in).empty());
+}
+
+TEST(VfsDispatchOnly, ExemptsMountBackendsVenusAndBaseline) {
+  LintInput in;
+  in.files.push_back(LexFixture("vfs_dispatch_bad.cc", "src/virtue/vfs/venus_mount.cc"));
+  in.files.push_back(LexFixture("vfs_dispatch_bad.cc", "src/venus/venus.cc"));
+  in.files.push_back(LexFixture("vfs_dispatch_bad.cc", "src/baseline/remote_open.cc"));
+  EXPECT_TRUE(RunOne("vfs-dispatch-only", in).empty());
+}
+
 TEST(AssertSideEffect, FiresOnMutatingConditions) {
   LintInput in;
   in.files.push_back(LexFixture("assert_bad.cc"));
@@ -262,11 +291,12 @@ TEST(Lexer, RawStringsAndLineNumbers) {
 }
 
 TEST(Cli, AllRulesHaveStableIds) {
-  EXPECT_EQ(AllRules().size(), 9u);
+  EXPECT_EQ(AllRules().size(), 10u);
   EXPECT_EQ(AllRules().count("nodiscard-status"), 1u);
   EXPECT_EQ(AllRules().count("opcode-sync"), 1u);
   EXPECT_EQ(AllRules().count("resource-serve-outside-kernel"), 1u);
   EXPECT_EQ(AllRules().count("no-alloc-in-kernel-hot-path"), 1u);
+  EXPECT_EQ(AllRules().count("vfs-dispatch-only"), 1u);
 }
 
 }  // namespace

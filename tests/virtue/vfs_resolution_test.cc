@@ -1,0 +1,179 @@
+// Cross-mount path resolution through the VFS switch: the Figure 3-2 /bin
+// indirection, symlink chains that hop local -> /vice and back, loop and
+// depth-budget enforcement across mount boundaries, and the component-
+// boundary pin that keeps "/viceX" local.
+
+#include <gtest/gtest.h>
+
+#include "src/campus/campus.h"
+#include "src/common/path.h"
+#include "src/virtue/workstation.h"
+
+namespace itc::virtue {
+namespace {
+
+using campus::Campus;
+using campus::CampusConfig;
+
+class VfsResolutionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    campus_ = std::make_unique<Campus>(CampusConfig::Revised(1, 2));
+    ASSERT_TRUE(campus_->SetupRootVolume().ok());
+    auto home = campus_->AddUserWithHome("alice", "pw", 0);
+    ASSERT_TRUE(home.ok());
+    alice_ = *home;
+    ws_ = &campus_->workstation(0);
+    ASSERT_EQ(ws_->LoginWithPassword(alice_.user, "pw"), Status::kOk);
+  }
+
+  // Workstation-absolute name of a path in alice's home volume.
+  std::string Home(const std::string& suffix) const {
+    return kViceMountPoint + alice_.vice_path + suffix;
+  }
+
+  std::unique_ptr<Campus> campus_;
+  Campus::UserHome alice_;
+  Workstation* ws_ = nullptr;
+};
+
+// Figure 3-2: /bin is a local symbolic link into the architecture-specific
+// shared subtree, so "/bin/ls" transparently reads a Vice file.
+TEST_F(VfsResolutionTest, BinIndirectionReachesArchSpecificSharedTree) {
+  auto vol = campus_->CreateSystemVolume("unix-sun", "/unix/sun", 0);
+  ASSERT_TRUE(vol.ok());
+  ASSERT_EQ(campus_->PopulateDirect(*vol, "/bin/ls", ToBytes("ELF ls for sun")),
+            Status::kOk);
+
+  auto data = ws_->ReadWholeFile("/bin/ls");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(ToString(*data), "ELF ls for sun");
+
+  auto info = ws_->Stat("/bin/ls");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->shared);
+  EXPECT_TRUE(ws_->IsShared("/bin/ls"));
+}
+
+// A local link into /vice makes shared files reachable under a local name;
+// the shared bit follows the mount that finally owns the file.
+TEST_F(VfsResolutionTest, LocalSymlinkIntoViceResolvesOntoVenusMount) {
+  ASSERT_EQ(ws_->WriteWholeFile(Home("/f"), ToBytes("in vice")),
+            Status::kOk);
+  ASSERT_EQ(ws_->Symlink("/vice/usr/alice", "/tmp/shared"), Status::kOk);
+
+  auto data = ws_->ReadWholeFile("/tmp/shared/f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(ToString(*data), "in vice");
+  EXPECT_TRUE(ws_->IsShared("/tmp/shared/f"));
+}
+
+// The other direction: a symlink stored *inside* Vice whose absolute target
+// names a workstation-local path escapes the shared space — Venus reports
+// kSymlinkEscape, the switch re-resolves, and the local mount serves it.
+TEST_F(VfsResolutionTest, ViceSymlinkEscapesBackToLocalSpace) {
+  ASSERT_EQ(ws_->WriteWholeFile("/tmp/real", ToBytes("local payload")), Status::kOk);
+  ASSERT_EQ(ws_->Symlink("/tmp/real", Home("/back")), Status::kOk);
+
+  auto data = ws_->ReadWholeFile(Home("/back"));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(ToString(*data), "local payload");
+
+  // The file the chain lands on is local, and stat says so.
+  auto info = ws_->Stat(Home("/back"));
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->shared);
+
+  // Writes through the escaping name land in the local file, not in Vice.
+  ASSERT_EQ(ws_->WriteWholeFile(Home("/back"), ToBytes("updated")),
+            Status::kOk);
+  auto local = ws_->ReadWholeFile("/tmp/real");
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(ToString(*local), "updated");
+}
+
+// A chain that bounces local -> vice -> local still resolves: each hop
+// charges the one shared symlink budget.
+TEST_F(VfsResolutionTest, ChainBouncingAcrossMountsResolves) {
+  ASSERT_EQ(ws_->WriteWholeFile("/tmp/real", ToBytes("bounced")), Status::kOk);
+  ASSERT_EQ(ws_->Symlink("/tmp/real", Home("/hop")), Status::kOk);
+  ASSERT_EQ(ws_->Symlink(Home("/hop"), "/tmp/entry"), Status::kOk);
+
+  auto data = ws_->ReadWholeFile("/tmp/entry");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(ToString(*data), "bounced");
+}
+
+// A cycle spanning both mounts must terminate with kSymlinkLoop, not hang:
+// local /loop -> vice hop -> local /loop -> ...
+TEST_F(VfsResolutionTest, CrossMountSymlinkCycleDetected) {
+  ASSERT_EQ(ws_->Symlink(Home("/vloop"), "/loop"), Status::kOk);
+  ASSERT_EQ(ws_->Symlink("/loop", Home("/vloop")), Status::kOk);
+
+  EXPECT_EQ(ws_->ReadWholeFile("/loop").status(), Status::kSymlinkLoop);
+  EXPECT_EQ(ws_->Open("/loop", kRead).status(), Status::kSymlinkLoop);
+}
+
+// Depth budget is exact: kMaxSymlinkDepth local links resolve, one more is
+// a loop verdict — the same bound the old in-Venus resolution enforced.
+TEST_F(VfsResolutionTest, SymlinkDepthBudgetBoundary) {
+  ASSERT_EQ(ws_->WriteWholeFile("/tmp/real", ToBytes("deep")), Status::kOk);
+  // Each link costs one expansion: a chain of exactly kMaxSymlinkDepth
+  // links resolves, a chain one longer does not.
+  std::string next = "/tmp/real";
+  for (int i = kMaxSymlinkDepth; i >= 1; --i) {
+    const std::string link = "/tmp/l" + std::to_string(i);
+    ASSERT_EQ(ws_->Symlink(next, link), Status::kOk);
+    next = link;
+  }
+  auto ok = ws_->ReadWholeFile("/tmp/l1");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ToString(*ok), "deep");
+
+  ASSERT_EQ(ws_->Symlink("/tmp/l1", "/tmp/l0"), Status::kOk);
+  EXPECT_EQ(ws_->ReadWholeFile("/tmp/l0").status(), Status::kSymlinkLoop);
+}
+
+// Regression: an absolute symlink *within* the shared space (target has no
+// local counterpart) must keep restarting at the Vice root, not escape.
+TEST_F(VfsResolutionTest, ViceInternalAbsoluteTargetStaysShared) {
+  ASSERT_EQ(ws_->WriteWholeFile(Home("/f"), ToBytes("vice-side")),
+            Status::kOk);
+  // Target "/usr/alice/f" is Vice-absolute; there is no local /usr, so the
+  // escape predicate keeps it inside the shared space.
+  ASSERT_EQ(ws_->Symlink("/usr/alice/f", Home("/alias")), Status::kOk);
+
+  auto data = ws_->ReadWholeFile(Home("/alias"));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(ToString(*data), "vice-side");
+
+  auto info = ws_->Stat(Home("/alias"));
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->shared);
+}
+
+// Pin: prefix matching is on component boundaries. "/viceX" shares four
+// characters with the mount point but is an ordinary local name.
+TEST_F(VfsResolutionTest, ViceXPrefixIsLocalNotShared) {
+  EXPECT_FALSE(ws_->IsShared("/viceX"));
+  EXPECT_FALSE(ws_->IsShared("/vice2/f"));
+  ASSERT_EQ(ws_->MkDir("/viceX"), Status::kOk);
+  ASSERT_EQ(ws_->WriteWholeFile("/viceX/f", ToBytes("local")), Status::kOk);
+  auto info = ws_->Stat("/viceX/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->shared);
+  // The real mount point itself is shared.
+  EXPECT_TRUE(ws_->IsShared("/vice"));
+}
+
+// Renames may not cross a mount boundary (the EXDEV of this system), even
+// when a symlink makes both names look like siblings.
+TEST_F(VfsResolutionTest, CrossMountRenameRejected) {
+  ASSERT_EQ(ws_->WriteWholeFile("/tmp/f", ToBytes("x")), Status::kOk);
+  EXPECT_EQ(ws_->Rename("/tmp/f", Home("/f")), Status::kCrossVolume);
+  ASSERT_EQ(ws_->WriteWholeFile(Home("/g"), ToBytes("y")), Status::kOk);
+  EXPECT_EQ(ws_->Rename(Home("/g"), "/tmp/g"), Status::kCrossVolume);
+}
+
+}  // namespace
+}  // namespace itc::virtue

@@ -624,6 +624,56 @@ void CheckAsserts(const LexedFile& f, bool run_side_effect, bool run_header,
   }
 }
 
+// --- vfs-dispatch-only --------------------------------------------------------------
+
+bool VfsDispatchExempt(const std::string& path) {
+  // The mount backends are the sanctioned adapters; Venus and the baseline
+  // own their respective clients.
+  return path.rfind("src/virtue/vfs/", 0) == 0 || path.rfind("src/venus/", 0) == 0 ||
+         path.rfind("src/baseline/", 0) == 0;
+}
+
+const std::set<std::string>& VenusFileOps() {
+  // The data-plane surface of Venus. Control-plane calls (Login, Logout,
+  // user, stats, FlushCache, set_escape_predicate, ...) stay legal anywhere.
+  static const std::set<std::string> ops = {
+      "Open",   "Close",  "Stat",     "ReadDir",  "MkDir",   "Remove",
+      "RmDir",  "Rename", "Symlink",  "ReadLink", "SetMode"};
+  return ops;
+}
+
+void CheckVfsDispatchOnly(const LexedFile& f, std::vector<Diagnostic>& out) {
+  if (VfsDispatchExempt(f.path)) return;
+  const Toks& t = f.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    // `baseline::RemoteOpenClient` outside the sanctioned dirs: a parallel
+    // remote-open universe instead of a mount-table entry.
+    if (Is(t, i, "baseline") && Is(t, i + 1, "::") && Is(t, i + 2, "RemoteOpenClient")) {
+      Emit(out, f, t[i].line, "vfs-dispatch-only",
+           "direct use of baseline::RemoteOpenClient bypasses the VFS switch; "
+           "attach a vfs::RemoteMount instead (src/virtue/vfs/remote_mount.h)");
+      continue;
+    }
+    // `venus_->Op(` / `venus().Op(` where Op is a Venus file operation.
+    size_t op = 0;
+    if (Is(t, i, "venus_") && (Is(t, i + 1, "->") || Is(t, i + 1, "."))) {
+      op = i + 2;
+    } else if (Is(t, i, "venus") && Is(t, i + 1, "(") && Is(t, i + 2, ")") &&
+               (Is(t, i + 3, ".") || Is(t, i + 3, "->"))) {
+      op = i + 4;
+    } else {
+      continue;
+    }
+    if (!IsIdent(t, op) || !Is(t, op + 1, "(")) continue;
+    if (VenusFileOps().count(t[op].text) == 0) continue;
+    Emit(out, f, t[i].line, "vfs-dispatch-only",
+         "direct Venus file operation '" + t[op].text +
+             "' bypasses the VFS switch; dispatch through vfs::Switch so the "
+             "mount table, escape protocol, and descriptor state stay "
+             "authoritative");
+  }
+}
+
 }  // namespace
 
 std::vector<Diagnostic> RunRules(const LintInput& input, const std::set<std::string>& only) {
@@ -659,6 +709,9 @@ std::vector<Diagnostic> RunRules(const LintInput& input, const std::set<std::str
   }
   if (enabled("no-alloc-in-kernel-hot-path")) {
     for (const LexedFile& f : input.files) CheckNoAllocInKernelHotPath(f, out);
+  }
+  if (enabled("vfs-dispatch-only")) {
+    for (const LexedFile& f : input.files) CheckVfsDispatchOnly(f, out);
   }
   const bool side = enabled("assert-side-effect");
   const bool header = enabled("assert-in-header");

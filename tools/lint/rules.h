@@ -29,6 +29,11 @@
 //                           inside Kernel::Run*/Kernel::Dispatch bodies —
 //                           the steady-state event loop is allocation-free
 //                           per event (suppression allowed for cold paths)
+//   vfs-dispatch-only       no direct Venus file operation (venus_->Open,
+//                           venus().Stat, ...) and no baseline::
+//                           RemoteOpenClient use outside src/virtue/vfs/,
+//                           src/venus/, src/baseline/ — file access goes
+//                           through the vfs::Switch mount layer
 //
 // Suppression: `// itcfs-lint: allow(rule-id)` on the offending line or the
 // line above. See docs/LINT.md for the catalog.
@@ -63,7 +68,7 @@ inline const std::set<std::string>& AllRules() {
       "nodiscard-status",  "discarded-status",  "intention-before-mutate",
       "opcode-sync",       "sim-determinism",   "assert-side-effect",
       "assert-in-header",  "resource-serve-outside-kernel",
-      "no-alloc-in-kernel-hot-path",
+      "no-alloc-in-kernel-hot-path", "vfs-dispatch-only",
   };
   return rules;
 }
