@@ -142,6 +142,11 @@ venus::VenusStats UserDayLab::TotalVenusStats() const {
     total.bytes_fetched += s.bytes_fetched;
     total.bytes_stored += s.bytes_stored;
     total.callback_breaks_received += s.callback_breaks_received;
+    total.suspect_marks += s.suspect_marks;
+    total.lease_grants += s.lease_grants;
+    total.lease_renew_calls += s.lease_renew_calls;
+    total.leases_renewed += s.leases_renewed;
+    total.leases_rejected += s.leases_rejected;
     total.open_time_total += s.open_time_total;
   }
   return total;

@@ -28,6 +28,13 @@ CampusConfig CampusConfig::Prototype(uint32_t clusters, uint32_t workstations_pe
   return c;
 }
 
+CampusConfig& CampusConfig::UseValidation(venus::VenusConfig::Validation scheme) {
+  workstation.venus.validation = scheme;
+  vice.callbacks = scheme == venus::VenusConfig::Validation::kCallbacks;
+  vice.leases = scheme == venus::VenusConfig::Validation::kLeases;
+  return *this;
+}
+
 Campus::Campus(CampusConfig config) : config_(std::move(config)) {
   const net::Topology topo(config_.topology);
   network_ = std::make_unique<net::Network>(topo, config_.cost);
@@ -186,6 +193,29 @@ void Campus::CrashServer(size_t i) {
 vice::recovery::RecoveryReport Campus::RestartServer(size_t i, SimTime at) {
   ITC_CHECK(i < servers_.size());
   return servers_[i]->Restart(at);
+}
+
+void Campus::PartitionServer(size_t i, SimTime from, SimTime until) {
+  ITC_CHECK(i < servers_.size());
+  network_->AddPartition({{servers_[i]->node()}, from, until});
+}
+
+void Campus::PartitionWorkstation(size_t w, SimTime from, SimTime until) {
+  ITC_CHECK(w < workstations_.size());
+  network_->AddPartition({{workstations_[w]->node()}, from, until});
+}
+
+void Campus::PartitionCluster(ClusterId cluster, SimTime from, SimTime until) {
+  const net::Topology& topo = network_->topology();
+  std::vector<NodeId> nodes;
+  for (uint32_t s = 0; s < topo.server_count(); ++s) {
+    if (topo.ClusterOf(topo.NthServer(s)) == cluster) nodes.push_back(topo.NthServer(s));
+  }
+  for (uint32_t w = 0; w < topo.workstation_count(); ++w) {
+    const NodeId n = topo.NthWorkstation(w);
+    if (topo.ClusterOf(n) == cluster) nodes.push_back(n);
+  }
+  network_->AddPartition({std::move(nodes), from, until});
 }
 
 rpc::CallStats Campus::TotalCallStats() const {

@@ -41,6 +41,10 @@ struct CampusConfig {
   // servers, server-side pathnames, check-on-open validation, count-limited
   // cache.
   static CampusConfig Prototype(uint32_t clusters, uint32_t workstations_per_cluster);
+
+  // Selects the cache-validation scheme coherently on both sides of the
+  // wire (Venus policy + Vice callback/lease machinery must agree).
+  CampusConfig& UseValidation(venus::VenusConfig::Validation scheme);
 };
 
 class Campus {
@@ -97,6 +101,16 @@ class Campus {
   // it back at virtual time `at`. See ViceServer::SimulateCrash / Restart.
   void CrashServer(size_t i);
   vice::recovery::RecoveryReport RestartServer(size_t i, SimTime at);
+
+  // --- Partition orchestration -------------------------------------------------
+  // Cuts server `i` off from the rest of the campus for [from, until); the
+  // link heals by the passage of virtual time alone (deterministic).
+  void PartitionServer(size_t i, SimTime from, SimTime until);
+  // Cuts workstation `w` (and only it) off from the campus for [from, until).
+  void PartitionWorkstation(size_t w, SimTime from, SimTime until);
+  // Cuts an entire cluster (its servers and workstations keep talking to
+  // each other, but the backbone link is down) for [from, until).
+  void PartitionCluster(ClusterId cluster, SimTime from, SimTime until);
 
   // Aggregated per-op CallStats across all servers (counts, bytes, latency
   // histograms — recorded by the RPC tracing interceptor).

@@ -1,5 +1,7 @@
 #include "src/net/network.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 #include "src/sim/kernel.h"
 
@@ -14,8 +16,43 @@ Network::Network(const Topology& topology, const sim::CostModel& cost)
   backbone_ = std::make_unique<sim::Resource>("lan.backbone");
 }
 
+void Network::AddPartition(Partition partition) {
+  ITC_CHECK(partition.from < partition.until);
+  for (NodeId n : partition.nodes) ITC_CHECK(topology_.IsValidNode(n));
+  partitions_.push_back(std::move(partition));
+}
+
+namespace {
+bool Contains(const std::vector<NodeId>& nodes, NodeId n) {
+  for (NodeId m : nodes) {
+    if (m == n) return true;
+  }
+  return false;
+}
+}  // namespace
+
+bool Network::Reachable(NodeId a, NodeId b, SimTime at) const {
+  if (a == b) return true;
+  for (const Partition& p : partitions_) {
+    if (at < p.from || at >= p.until) continue;
+    if (Contains(p.nodes, a) != Contains(p.nodes, b)) return false;
+  }
+  return true;
+}
+
+SimTime Network::HealedBy(NodeId a, NodeId b, SimTime at) const {
+  SimTime healed = at;
+  if (a == b) return healed;
+  for (const Partition& p : partitions_) {
+    if (at < p.from || at >= p.until) continue;
+    if (Contains(p.nodes, a) != Contains(p.nodes, b)) healed = std::max(healed, p.until);
+  }
+  return healed;
+}
+
 SimTime Network::Transfer(NodeId from, NodeId to, uint64_t bytes, SimTime depart) {
   ITC_CHECK(topology_.IsValidNode(from) && topology_.IsValidNode(to));
+  ITC_CHECK(Reachable(from, to, depart));
   stats_.messages += 1;
   stats_.bytes += bytes;
 

@@ -26,6 +26,18 @@ struct NetworkStats {
   uint64_t bytes = 0;
   uint64_t cross_cluster_messages = 0;
   uint64_t cross_cluster_bytes = 0;
+  uint64_t partition_drops = 0;
+};
+
+// A link partition: the listed nodes are cut off from the rest of the campus
+// (and only the rest — nodes inside the set still reach each other) for the
+// half-open interval [from, until). Healing is just the passage of virtual
+// time, so partition behaviour is a pure function of the clock and stays
+// deterministic under the event kernel.
+struct Partition {
+  std::vector<NodeId> nodes;
+  SimTime from = 0;
+  SimTime until = 0;
 };
 
 class Network {
@@ -33,8 +45,23 @@ class Network {
   Network(const Topology& topology, const sim::CostModel& cost);
 
   // Delivers `bytes` from node `from` to node `to`, departing at `depart`.
-  // Returns the arrival time at `to`.
+  // Returns the arrival time at `to`. Transfer itself is pure timing — the
+  // RPC layer consults Reachable() and models the loss; a Transfer across an
+  // active partition is a programming error.
   SimTime Transfer(NodeId from, NodeId to, uint64_t bytes, SimTime depart);
+
+  // Schedules a partition. Overlapping partitions compose: a message is lost
+  // when any active partition separates its endpoints.
+  void AddPartition(Partition partition);
+  // True when a message departing at `at` can travel between `a` and `b`:
+  // no active partition contains exactly one of the two endpoints. Loopback
+  // is always reachable.
+  bool Reachable(NodeId a, NodeId b, SimTime at) const;
+  // Bookkeeping hook for the RPC layer: counts a message the partition ate.
+  void NotePartitionDrop() { stats_.partition_drops += 1; }
+  // Earliest time >= `at` at which every partition separating `a` and `b`
+  // has healed (== `at` when they are already reachable).
+  SimTime HealedBy(NodeId a, NodeId b, SimTime at) const;
 
   const NetworkStats& stats() const { return stats_; }
   void ResetStats();
@@ -48,6 +75,7 @@ class Network {
   sim::CostModel cost_;
   std::vector<std::unique_ptr<sim::Resource>> segments_;
   std::unique_ptr<sim::Resource> backbone_;
+  std::vector<Partition> partitions_;
   NetworkStats stats_;
 };
 

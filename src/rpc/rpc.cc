@@ -134,6 +134,12 @@ Result<Bytes> ServerEndpoint::HandleCall(uint64_t conn_id, NodeId client_node,
           ctx.disk_time();
       t = sim::Charge(disk_, t, disk_demand);
     }
+    if (ctx.completion_floor() > t) {
+      // The handler waited on virtual time itself (lease expiry, grant
+      // embargo), not on a server resource; no utilization is charged.
+      sim::AlignTo(ctx.completion_floor());
+      t = ctx.completion_floor();
+    }
     *completion = t;
     return reply;
   };
@@ -195,10 +201,19 @@ Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
                                     server->nonce_seed_ ^ (nonce_seed * 0x9e3779b9ull));
 
   // The handshake exchanges four small messages; each leg pays network time
-  // and the server legs pay dispatch CPU.
+  // and the server legs pay dispatch CPU. A partition can open mid-handshake,
+  // so every leg checks reachability; a lost leg costs the client its full
+  // RPC timeout.
+  const auto leg_lost = [&](SimTime at) {
+    if (network->Reachable(client_node, server->node_, at)) return false;
+    network->NotePartitionDrop();
+    clock->AdvanceTo(at + cost.rpc_timeout);
+    return true;
+  };
   SimTime t = clock->now() + cost.client_cpu_per_rpc;
 
   Bytes m1 = client_hs.Start();
+  if (leg_lost(t)) return Status::kUnavailable;
   t = network->Transfer(client_node, server->node_, WireSize(m1), t) + stream_penalty;
   t = sim::Charge(server->cpu_, t, cost.server_cpu_per_call);
   auto m2 = server_hs.HandleHello(m1);
@@ -207,6 +222,7 @@ Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
     clock->AdvanceTo(t);
     return m2.status();
   }
+  if (leg_lost(t)) return Status::kUnavailable;
   t = network->Transfer(server->node_, client_node, WireSize(*m2), t) + stream_penalty;
   t += cost.client_cpu_per_rpc;
   auto m3 = client_hs.HandleChallenge(*m2);
@@ -214,6 +230,7 @@ Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
     clock->AdvanceTo(t);
     return m3.status();
   }
+  if (leg_lost(t)) return Status::kUnavailable;
   t = network->Transfer(client_node, server->node_, WireSize(*m3), t) + stream_penalty;
   t = sim::Charge(server->cpu_, t, cost.server_cpu_per_call);
   auto m4 = server_hs.HandleResponse(*m3);
@@ -222,6 +239,7 @@ Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
     clock->AdvanceTo(t);
     return m4.status();
   }
+  if (leg_lost(t)) return Status::kUnavailable;
   t = network->Transfer(server->node_, client_node, WireSize(*m4), t) + stream_penalty;
   t += cost.client_cpu_per_rpc;
   auto secret = client_hs.HandleSessionGrant(*m4);
@@ -273,6 +291,13 @@ Result<Bytes> ClientConnection::SendOnce(uint32_t proc, const Bytes& request) {
     sealed = framed;
   }
 
+  // A partition between the endpoints eats the request (or below, the
+  // reply); the client burns its full timeout either way.
+  if (!network_->Reachable(client_node_, server_->node_, t)) {
+    network_->NotePartitionDrop();
+    clock_->AdvanceTo(t + cost_.rpc_timeout);
+    return Status::kUnavailable;
+  }
   const SimTime arrival =
       network_->Transfer(client_node_, server_->node_, WireSize(sealed), t) + stream_penalty;
 
@@ -283,6 +308,14 @@ Result<Bytes> ClientConnection::SendOnce(uint32_t proc, const Bytes& request) {
     return sealed_reply.status();
   }
 
+  if (!network_->Reachable(server_->node_, client_node_, completion)) {
+    // The call executed but the reply is lost: at-most-once semantics are
+    // preserved by the anti-replay sequence check on any retry. The client
+    // gave up at its timeout, whatever the server did afterwards.
+    network_->NotePartitionDrop();
+    clock_->AdvanceTo(t + cost_.rpc_timeout);
+    return Status::kUnavailable;
+  }
   SimTime t2 = network_->Transfer(server_->node_, client_node_, WireSize(*sealed_reply),
                                   completion) +
                stream_penalty;

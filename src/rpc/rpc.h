@@ -108,11 +108,19 @@ class CallContext {
   // Pre-computed disk time (log appends/fsyncs, whose cost is not a plain
   // seek + per-kb transfer). Added to the disk demand as-is.
   void ChargeDiskTime(SimTime t) { disk_time_ += t; }
+  // Holds the reply back until at least virtual time `t`: the handler waited
+  // on something other than a server resource (a lease on an unreachable
+  // holder running out, a post-restart grant embargo). The endpoint takes
+  // the max of this floor and the resource completion time.
+  void DelayCompletionUntil(SimTime t) {
+    if (t > completion_floor_) completion_floor_ = t;
+  }
 
   SimTime cpu_demand() const { return cpu_demand_; }
   uint32_t disk_ops() const { return disk_ops_; }
   uint64_t disk_bytes() const { return disk_bytes_; }
   SimTime disk_time() const { return disk_time_; }
+  SimTime completion_floor() const { return completion_floor_; }
 
  private:
   UserId user_;
@@ -122,6 +130,7 @@ class CallContext {
   uint32_t disk_ops_ = 0;
   uint64_t disk_bytes_ = 0;
   SimTime disk_time_ = 0;
+  SimTime completion_floor_ = 0;
 };
 
 // A service implementation (the Vice file server, the protection server,

@@ -28,6 +28,9 @@ struct CostModel {
   // prototype's reliable byte-stream transport (TCP through the 4.2BSD
   // socket layer on a ~1 MIPS machine).
   SimTime stream_transport_overhead = Millis(60);
+  // How long a client waits for a reply before declaring the call lost.
+  // Paid in full when a link partition eats the request or the reply.
+  SimTime rpc_timeout = Millis(500);
 
   // --- Server --------------------------------------------------------------
   // CPU to dispatch any RPC (unmarshal, locate vnode, marshal reply).

@@ -5,15 +5,26 @@
 
 #include <cstdint>
 
+#include "src/common/types.h"
+
 namespace itc::venus {
 
 struct VenusConfig {
   // Cache validation scheme (Section 3.2). kCheckOnOpen is the prototype:
   // a Validate RPC on every open of a cached file. kCallbacks is the
   // revised invalidate-on-modification scheme: cached entries stay valid
-  // until the server breaks the callback promise.
-  enum class Validation { kCheckOnOpen, kCallbacks };
+  // until the server breaks the callback promise. kLeases is the third
+  // scheme (Gray & Cheriton): a callback promise with an expiry — entries
+  // are trusted while their lease is live, renewed in per-server batches,
+  // and fall back to check-on-open once the lease lapses.
+  enum class Validation { kCheckOnOpen, kCallbacks, kLeases };
   Validation validation = Validation::kCallbacks;
+
+  // Lease mode only: when a live lease is within this margin of expiry, an
+  // open renews every aging lease from that server in one batched call.
+  // This is a legal literal site for a lease duration (the no-raw-lease-term
+  // lint rule pins every other site to the config).
+  SimTime lease_renew_margin = Seconds(10);
 
   // Cache limit policy (Section 3.5.1). The prototype limited "the total
   // number of files in the cache rather than the total size ... In view of

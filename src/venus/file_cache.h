@@ -36,6 +36,10 @@ struct CacheEntry {
   // restart epoch changes, its callback promises died with it: every entry
   // from it is marked suspect (valid=false) and revalidated on next use.
   ServerId origin_server = kInvalidServer;
+  // Lease mode only: the entry may be used without contacting the server
+  // while `valid` holds AND virtual time is before this expiry. 0 = no
+  // lease (grant refused, lease mode off, or the promise was surrendered).
+  SimTime lease_expiry = 0;
   SimTime last_used = 0;
   uint32_t pin_count = 0;  // open handles; pinned entries are not evicted
   // Deferred-write-back mode only: the local copy holds changes not yet

@@ -1,0 +1,50 @@
+// Venus client-side counters, kept in their own header so the validation
+// policies (src/venus/validation/) can update them without pulling in all of
+// venus.h.
+
+#ifndef SRC_VENUS_STATS_H_
+#define SRC_VENUS_STATS_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace itc::venus {
+
+struct VenusStats {
+  uint64_t opens = 0;
+  uint64_t cache_hits = 0;  // opens served without a Fetch
+  uint64_t fetches = 0;
+  uint64_t stores = 0;
+  uint64_t validations = 0;  // Validate + GrantLease round trips
+  uint64_t stat_calls = 0;
+  uint64_t bytes_fetched = 0;
+  uint64_t bytes_stored = 0;
+  uint64_t callback_breaks_received = 0;
+  // Times a server was marked suspect (restart detected or connection lost):
+  // all its cached entries dropped back to check-on-open validation.
+  uint64_t suspect_marks = 0;
+  // Lease mode: grants piggybacked on replies, batched renewal calls, and
+  // the per-fid outcomes of those batches.
+  uint64_t lease_grants = 0;
+  uint64_t lease_renew_calls = 0;
+  uint64_t leases_renewed = 0;
+  uint64_t leases_rejected = 0;
+  // Total virtual time spent inside Open() — mean open latency is
+  // open_time_total / opens.
+  SimTime open_time_total = 0;
+
+  double MeanOpenLatency() const {
+    return opens == 0 ? 0.0
+                      : static_cast<double>(open_time_total) / static_cast<double>(opens);
+  }
+
+  double HitRatio() const {
+    return opens == 0 ? 0.0
+                      : static_cast<double>(cache_hits) / static_cast<double>(opens);
+  }
+};
+
+}  // namespace itc::venus
+
+#endif  // SRC_VENUS_STATS_H_

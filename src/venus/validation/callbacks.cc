@@ -1,0 +1,62 @@
+#include "src/venus/validation/validation_policy.h"
+
+#include "src/rpc/wire.h"
+
+namespace itc::venus::validation {
+
+namespace {
+
+// The revised scheme: the server promises to notify before the entry goes
+// stale, so a valid entry costs no communication at all. The promise is
+// open-ended, which is why this is the only policy that must actively
+// notice server restarts (epoch probe) — a crashed server's promises died
+// with its volatile state.
+class CallbacksPolicy final : public ValidationPolicy {
+ public:
+  explicit CallbacksPolicy(ValidationHost* host) : host_(host) {}
+
+  VenusConfig::Validation scheme() const override {
+    return VenusConfig::Validation::kCallbacks;
+  }
+  bool WantsEpochProbe() const override { return true; }
+  bool Trusted(const CacheEntry& e, SimTime) const override { return e.valid; }
+
+  Result<CheckResult> Check(const Fid& fid, SimTime now) override {
+    CacheEntry* e = host_->entry_cache().Find(fid);
+    if (Trusted(*e, now)) return CheckResult{true, e->status};
+    // Promise lost (break received, server suspect, eviction of the sink):
+    // fall back to one Validate, which also re-registers the callback.
+    ASSIGN_OR_RETURN(auto vr, CallValidate(host_, fid, e->status.version));
+    e = host_->entry_cache().Find(fid);
+    if (e != nullptr) {
+      if (vr.first) {
+        e->status = vr.second;
+        e->valid = true;
+        e->origin_server = host_->last_contacted();
+      } else {
+        e->valid = false;
+      }
+    }
+    return CheckResult{vr.first, vr.second};
+  }
+
+  void OnFetched(CacheEntry&) override {}
+
+  void OnEvict(const Fid& fid) override {
+    rpc::Writer w;
+    w.PutFid(fid);
+    // Best effort; the server also GC-s promises when it next breaks them.
+    (void)host_->CallFid(fid, vice::Proc::kRemoveCallback, w.Take());
+  }
+
+ private:
+  ValidationHost* host_;
+};
+
+}  // namespace
+
+std::unique_ptr<ValidationPolicy> MakeCallbacksPolicy(ValidationHost* host) {
+  return std::make_unique<CallbacksPolicy>(host);
+}
+
+}  // namespace itc::venus::validation

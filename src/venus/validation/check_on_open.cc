@@ -1,0 +1,51 @@
+#include "src/venus/validation/validation_policy.h"
+
+namespace itc::venus::validation {
+
+namespace {
+
+// The prototype scheme (Section 5.2): trust nothing across opens. Every use
+// of a cached copy costs one Validate round trip — the "cache validity
+// checking ... 65%" of the prototype's server load.
+class CheckOnOpenPolicy final : public ValidationPolicy {
+ public:
+  explicit CheckOnOpenPolicy(ValidationHost* host) : host_(host) {}
+
+  VenusConfig::Validation scheme() const override {
+    return VenusConfig::Validation::kCheckOnOpen;
+  }
+  bool WantsEpochProbe() const override { return false; }
+  bool Trusted(const CacheEntry&, SimTime) const override { return false; }
+
+  Result<CheckResult> Check(const Fid& fid, SimTime) override {
+    CacheEntry* e = host_->entry_cache().Find(fid);
+    ASSIGN_OR_RETURN(auto vr, CallValidate(host_, fid, e->status.version));
+    e = host_->entry_cache().Find(fid);
+    if (e != nullptr) {
+      if (vr.first) {
+        e->status = vr.second;
+        e->valid = true;
+        e->origin_server = host_->last_contacted();
+      } else {
+        // Stale: the fresh version number must NOT be stamped onto the stale
+        // data, or the next validation would pass vacuously.
+        e->valid = false;
+      }
+    }
+    return CheckResult{vr.first, vr.second};
+  }
+
+  void OnFetched(CacheEntry&) override {}
+  void OnEvict(const Fid&) override {}
+
+ private:
+  ValidationHost* host_;
+};
+
+}  // namespace
+
+std::unique_ptr<ValidationPolicy> MakeCheckOnOpenPolicy(ValidationHost* host) {
+  return std::make_unique<CheckOnOpenPolicy>(host);
+}
+
+}  // namespace itc::venus::validation

@@ -1,0 +1,33 @@
+#include "src/venus/validation/validation_policy.h"
+
+#include "src/rpc/wire.h"
+
+namespace itc::venus::validation {
+
+Result<std::pair<bool, vice::VnodeStatus>> CallValidate(ValidationHost* host,
+                                                        const Fid& fid, uint64_t version) {
+  rpc::Writer w;
+  w.PutFid(fid);
+  w.PutU64(version);
+  ASSIGN_OR_RETURN(Bytes reply, host->CallFid(fid, vice::Proc::kValidate, w.Take()));
+  host->venus_stats().validations += 1;
+  rpc::Reader r(reply);
+  RETURN_IF_ERROR(rpc::ExpectOk(r));
+  ASSIGN_OR_RETURN(bool valid, r.Bool());
+  ASSIGN_OR_RETURN(vice::VnodeStatus status, vice::ReadVnodeStatus(r));
+  return std::make_pair(valid, status);
+}
+
+std::unique_ptr<ValidationPolicy> MakeValidationPolicy(ValidationHost* host) {
+  switch (host->venus_config().validation) {
+    case VenusConfig::Validation::kCheckOnOpen:
+      return MakeCheckOnOpenPolicy(host);
+    case VenusConfig::Validation::kCallbacks:
+      return MakeCallbacksPolicy(host);
+    case VenusConfig::Validation::kLeases:
+      return MakeLeasesPolicy(host);
+  }
+  return MakeCheckOnOpenPolicy(host);  // unreachable
+}
+
+}  // namespace itc::venus::validation

@@ -1,0 +1,105 @@
+// Cache-validation policies: the scheme-specific half of Venus.
+//
+// Section 3.2 leaves the workstation a choice about when to believe its
+// cached copies. The prototype asked the server on every open
+// (check-on-open); the revised design inverted the responsibility with
+// callback promises; leases (Gray & Cheriton, SOSP 1989) are the third
+// point in the space — a callback promise with an expiry, trading a bounded
+// staleness window for crash recovery and partition behaviour that needs no
+// re-establishment protocol.
+//
+// Venus keeps the mechanism (cache, RPC plumbing, fid routing) and delegates
+// every scheme decision here: whether an entry may be used without a round
+// trip, which RPC revalidates it, what happens on eviction, and whether a
+// fresh connection needs a restart-epoch probe.
+
+#ifndef SRC_VENUS_VALIDATION_VALIDATION_POLICY_H_
+#define SRC_VENUS_VALIDATION_VALIDATION_POLICY_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/common/fid.h"
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/venus/config.h"
+#include "src/venus/file_cache.h"
+#include "src/venus/stats.h"
+#include "src/vice/protocol.h"
+
+namespace itc::venus::validation {
+
+// What Venus exposes to a policy. CallFid routes to the fid's custodian (or
+// nearest replica) with location-hint refresh, exactly like Venus's own
+// calls.
+class ValidationHost {
+ public:
+  virtual ~ValidationHost() = default;
+  [[nodiscard]] virtual Result<Bytes> CallFid(const Fid& fid, vice::Proc proc,
+                                              const Bytes& request) = 0;
+  virtual FileCache& entry_cache() = 0;
+  virtual VenusStats& venus_stats() = 0;
+  virtual const VenusConfig& venus_config() const = 0;
+  // Server that answered the most recent successful call.
+  virtual ServerId last_contacted() const = 0;
+  // Lease expiry carried by the most recent Fetch/FetchStatus reply
+  // (0 outside lease mode, or when the grant was refused).
+  virtual SimTime last_lease_expiry() const = 0;
+};
+
+// Outcome of Check(): either the cached entry may be used (after whatever
+// round trips the scheme needed), or it is stale and the caller must fetch.
+// `fresh` is the server's current status when a call was made — equal to the
+// entry's own status when it was trusted locally.
+struct CheckResult {
+  bool usable = false;
+  vice::VnodeStatus fresh;
+};
+
+class ValidationPolicy {
+ public:
+  virtual ~ValidationPolicy() = default;
+
+  virtual VenusConfig::Validation scheme() const = 0;
+
+  // Should a fresh connection probe the server's restart epoch? Callback
+  // promises are open-ended, so their holder must notice crashes; leases
+  // expire on their own (the restarted server refuses grants for one term
+  // instead), and check-on-open never trusts — neither probes.
+  virtual bool WantsEpochProbe() const = 0;
+
+  // May the entry be used right now without contacting the server?
+  virtual bool Trusted(const CacheEntry& e, SimTime now) const = 0;
+
+  // Establishes whether the cached entry for `fid` is current, contacting
+  // the server as the scheme requires (nothing, Validate, GrantLease,
+  // batched renewals). The entry must exist. On usable=true the entry has
+  // been stamped trusted; on usable=false its data is stale and the caller
+  // refetches.
+  [[nodiscard]] virtual Result<CheckResult> Check(const Fid& fid, SimTime now) = 0;
+
+  // A Fetch/FetchStatus reply just installed `e`: stamp scheme trust state
+  // (leases read the piggybacked grant via host->last_lease_expiry()).
+  virtual void OnFetched(CacheEntry& e) = 0;
+
+  // `fid` was evicted from the cache: surrender the scheme's server-side
+  // state for it (callback promise / lease), best effort.
+  virtual void OnEvict(const Fid& fid) = 0;
+};
+
+std::unique_ptr<ValidationPolicy> MakeCheckOnOpenPolicy(ValidationHost* host);
+std::unique_ptr<ValidationPolicy> MakeCallbacksPolicy(ValidationHost* host);
+std::unique_ptr<ValidationPolicy> MakeLeasesPolicy(ValidationHost* host);
+
+// Dispatches on host->venus_config().validation.
+std::unique_ptr<ValidationPolicy> MakeValidationPolicy(ValidationHost* host);
+
+// Shared by check-on-open and callbacks: one kValidate round trip. Returns
+// (our copy is current?, the server's status).
+[[nodiscard]] Result<std::pair<bool, vice::VnodeStatus>> CallValidate(ValidationHost* host,
+                                                                      const Fid& fid,
+                                                                      uint64_t version);
+
+}  // namespace itc::venus::validation
+
+#endif  // SRC_VENUS_VALIDATION_VALIDATION_POLICY_H_

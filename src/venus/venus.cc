@@ -30,6 +30,7 @@ Venus::Venus(NodeId node, sim::Clock* clock, unixfs::FileSystem* local_fs,
       cache_(local_fs, cache_dir, config) {
   ITC_CHECK(clock_ != nullptr && local_fs_ != nullptr && servers_ != nullptr &&
             network_ != nullptr);
+  policy_ = validation::MakeValidationPolicy(this);
 }
 
 Venus::~Venus() { Logout(); }
@@ -95,11 +96,12 @@ Result<rpc::ClientConnection*> Venus::ConnectionTo(ServerId server) {
   rpc::ClientConnection* raw = conn.get();
   connections_[server] = std::move(conn);
 
-  // Restart detection (callback mode only — check-on-open never trusts a
-  // promise). Callback state is volatile at the server, so a fresh
-  // connection asks for the restart epoch; a bump since the last one we saw
-  // means the server crashed and every promise it held for us died with it.
-  if (config_.validation == VenusConfig::Validation::kCallbacks) {
+  // Restart detection, only for schemes whose promises are open-ended
+  // (check-on-open never trusts a promise; leases expire on their own).
+  // Callback state is volatile at the server, so a fresh connection asks for
+  // the restart epoch; a bump since the last one we saw means the server
+  // crashed and every promise it held for us died with it.
+  if (policy_->WantsEpochProbe()) {
     auto epoch_reply = raw->Call(static_cast<uint32_t>(Proc::kProbeEpoch), Bytes{});
     if (epoch_reply.ok()) {
       rpc::Reader r(*epoch_reply);
@@ -122,10 +124,27 @@ void Venus::MarkServerSuspect(ServerId server) {
   stats_.suspect_marks += 1;
   for (const Fid& fid : cache_.CachedFids()) {
     CacheEntry* e = cache_.Find(fid);
+    if (e == nullptr || e->origin_server != server) continue;
+    // Every promise the server held for us died with its volatile state —
+    // leases included: a restarted server has forgotten the grant, so
+    // trusting the entry until its old expiry would read stale data the
+    // embargoed server can no longer protect.
+    e->lease_expiry = 0;
     // Dirty entries stay trusted: the local copy IS the newest version and
     // will be stored back; everything else revalidates before next use.
-    if (e != nullptr && e->origin_server == server && !e->dirty) e->valid = false;
+    if (!e->dirty) e->valid = false;
   }
+}
+
+void Venus::NoteServerUnreachable(ServerId server) {
+  if (config_.validation == VenusConfig::Validation::kLeases) {
+    // Mere unreachability does not void a lease: the server — crashed or
+    // partitioned — will not complete a conflicting write before our expiry
+    // (restart embargo covers the crash case). Bounded staleness until then
+    // is the availability the scheme buys.
+    return;
+  }
+  MarkServerSuspect(server);
 }
 
 Result<Bytes> Venus::CallServer(ServerId server, Proc proc, const Bytes& request) {
@@ -167,9 +186,10 @@ Result<Bytes> Venus::CallForFid(const Fid& fid, Proc proc, const Bytes& request)
         if (auto sit = servers_->find(server); sit != servers_->end()) {
           sit->second->UnregisterCallbackSink(node_);
         }
-        // The server may have crashed: its callback promises for us are
-        // volatile, so nothing it supplied can be trusted until revalidated.
-        MarkServerSuspect(server);
+        // The server may have crashed: open-ended promises it held for us
+        // cannot be trusted until revalidated (leases keep their own bounded
+        // horizon — see NoteServerUnreachable).
+        NoteServerUnreachable(server);
         continue;
       }
       return reply.status();
@@ -269,22 +289,13 @@ Result<CacheEntry*> Venus::EnsureData(const Fid& fid, bool* hit) {
   }
 
   if (e != nullptr && e->has_data) {
-    if (config_.validation == VenusConfig::Validation::kCallbacks && e->valid) {
-      // Covered by a callback promise: no communication with Vice at all.
-      *hit = true;
-      cache_.Touch(fid, clock_->now());
-      return e;
-    }
-    // Check-on-open, or a callback-mode entry whose promise was lost:
-    // ask the custodian whether our copy is current.
-    auto v = RpcValidate(fid, e->status.version);
+    // The policy decides what "current" costs: nothing (live callback or
+    // lease), one Validate (check-on-open / lost promise), or a GrantLease
+    // with batched renewals. On usable=true the entry is already stamped.
+    auto v = policy_->Check(fid, clock_->now());
     if (v.ok()) {
-      auto [valid, fresh] = *v;
       e = cache_.Find(fid);  // revalidate pointer (no rehash occurred, but be safe)
-      if (valid) {
-        e->status = fresh;
-        e->valid = true;
-        e->origin_server = last_contacted_;
+      if (v->usable) {
         *hit = true;
         cache_.Touch(fid, clock_->now());
         return e;
@@ -311,6 +322,7 @@ Result<CacheEntry*> Venus::EnsureData(const Fid& fid, bool* hit) {
   clock_->Advance(cost_.LocalIoTime(data.size()));
   CacheEntry& entry = cache_.InstallData(fid, *status, data);
   entry.origin_server = last_contacted_;
+  policy_->OnFetched(entry);
   cache_.Touch(fid, clock_->now());
   // The just-installed file must survive eviction even if it alone exceeds
   // the configured limit (it is about to be used).
@@ -324,31 +336,23 @@ Result<CacheEntry*> Venus::EnsureData(const Fid& fid, bool* hit) {
 Result<VnodeStatus> Venus::EnsureStatus(const Fid& fid) {
   clock_->Advance(cost_.cache_lookup);
   CacheEntry* e = cache_.Find(fid);
-  if (e != nullptr && e->valid &&
-      config_.validation == VenusConfig::Validation::kCallbacks) {
+  if (e != nullptr && policy_->Trusted(*e, clock_->now())) {
     cache_.Touch(fid, clock_->now());
     return e->status;
   }
   if (e != nullptr && e->has_data) {
     if (e->dirty) return e->status;  // pending local write: local truth
-    // Validation refreshes status as a side effect — but only a VALID
-    // entry may adopt the fresh version number. Stamping a fresh version
-    // onto stale data would make the next validation pass vacuously and
-    // serve the stale bytes as current.
-    ASSIGN_OR_RETURN(auto vr, RpcValidate(fid, e->status.version));
-    e = cache_.Find(fid);
-    if (vr.first) {
-      e->status = vr.second;
-      e->valid = true;
-      e->origin_server = last_contacted_;
-    } else {
-      e->valid = false;
-    }
-    return vr.second;
+    // The policy's check refreshes status as a side effect — and it alone
+    // decides whether the entry may adopt the fresh version number (stamping
+    // a fresh version onto stale data would make the next validation pass
+    // vacuously and serve the stale bytes as current).
+    ASSIGN_OR_RETURN(auto check, policy_->Check(fid, clock_->now()));
+    return check.fresh;
   }
   ASSIGN_OR_RETURN(VnodeStatus status, RpcFetchStatus(fid));
   CacheEntry& entry = cache_.PutStatus(fid, status);
   entry.origin_server = last_contacted_;
+  policy_->OnFetched(entry);
   cache_.Touch(fid, clock_->now());
   return status;
 }
@@ -365,13 +369,10 @@ Result<DirMap> Venus::DirEntriesOf(const Fid& dir) {
 }
 
 void Venus::DropEvicted(const std::vector<Fid>& evicted) {
-  if (config_.validation != VenusConfig::Validation::kCallbacks || !logged_in()) return;
-  for (const Fid& fid : evicted) {
-    rpc::Writer w;
-    w.PutFid(fid);
-    // Best effort; the server also GC-s promises when it next breaks them.
-    (void)CallForFid(fid, Proc::kRemoveCallback, w.Take());
-  }
+  if (!logged_in()) return;
+  // The policy surrenders whatever server-side promise the scheme keeps per
+  // file (callback promise, lease) — a no-op for check-on-open.
+  for (const Fid& fid : evicted) policy_->OnEvict(fid);
 }
 
 void Venus::InvalidateDir(const Fid& dir) { cache_.Invalidate(dir); }
@@ -381,11 +382,16 @@ void Venus::InvalidateDir(const Fid& dir) { cache_.Invalidate(dir); }
 Result<VnodeStatus> Venus::RpcFetch(const Fid& fid, Bytes* data) {
   rpc::Writer w;
   w.PutFid(fid);
+  last_lease_expiry_ = 0;
   ASSIGN_OR_RETURN(Bytes reply, CallForFid(fid, Proc::kFetch, w.Take()));
   rpc::Reader r(reply);
   RETURN_IF_ERROR(rpc::ExpectOk(r));
   ASSIGN_OR_RETURN(VnodeStatus status, vice::ReadVnodeStatus(r));
   ASSIGN_OR_RETURN(*data, r.BytesField());
+  if (config_.validation == VenusConfig::Validation::kLeases) {
+    ASSIGN_OR_RETURN(uint64_t expiry, r.U64());
+    last_lease_expiry_ = static_cast<SimTime>(expiry);
+  }
   stats_.fetches += 1;
   stats_.bytes_fetched += data->size();
   return status;
@@ -394,23 +400,16 @@ Result<VnodeStatus> Venus::RpcFetch(const Fid& fid, Bytes* data) {
 Result<VnodeStatus> Venus::RpcFetchStatus(const Fid& fid) {
   rpc::Writer w;
   w.PutFid(fid);
+  last_lease_expiry_ = 0;
   ASSIGN_OR_RETURN(Bytes reply, CallForFid(fid, Proc::kFetchStatus, w.Take()));
   rpc::Reader r(reply);
   RETURN_IF_ERROR(rpc::ExpectOk(r));
-  return vice::ReadVnodeStatus(r);
-}
-
-Result<std::pair<bool, VnodeStatus>> Venus::RpcValidate(const Fid& fid, uint64_t version) {
-  rpc::Writer w;
-  w.PutFid(fid);
-  w.PutU64(version);
-  ASSIGN_OR_RETURN(Bytes reply, CallForFid(fid, Proc::kValidate, w.Take()));
-  stats_.validations += 1;
-  rpc::Reader r(reply);
-  RETURN_IF_ERROR(rpc::ExpectOk(r));
-  ASSIGN_OR_RETURN(bool valid, r.Bool());
   ASSIGN_OR_RETURN(VnodeStatus status, vice::ReadVnodeStatus(r));
-  return std::make_pair(valid, status);
+  if (config_.validation == VenusConfig::Validation::kLeases) {
+    ASSIGN_OR_RETURN(uint64_t expiry, r.U64());
+    last_lease_expiry_ = static_cast<SimTime>(expiry);
+  }
+  return status;
 }
 
 Result<VnodeStatus> Venus::RpcStore(const Fid& fid, const Bytes& data) {
@@ -608,16 +607,9 @@ Result<Venus::OpenResult> Venus::Open(const std::string& path, bool for_write, b
   stats_.opens += 1;
   OpenTimer timer(clock_, &stats_.open_time_total);
 
-  auto resolved = ResolveFinal(path, for_write, /*follow_final=*/true);
-  if (!resolved.ok() && resolved.status() == Status::kStaleFid) {
-    // A cached name mapping went stale (file replaced); retry once fresh.
-    name_cache_.erase(path);
-    resolved = ResolveFinal(path, for_write, /*follow_final=*/true);
-  }
-
-  if (!resolved.ok()) {
-    if (resolved.status() != Status::kNotFound || !create) return resolved.status();
-    // Create the file at its custodian.
+  // Create the file at its custodian (reached when resolution says the name
+  // does not exist, either up front or after a stale mapping was dropped).
+  auto create_at_custodian = [&]() -> Result<OpenResult> {
     ASSIGN_OR_RETURN(ParentRef ref, ResolveParentOf(path, /*for_update=*/true));
     rpc::Writer w;
     w.PutFid(ref.parent);
@@ -636,19 +628,44 @@ Result<Venus::OpenResult> Venus::Open(const std::string& path, bool for_write, b
     cache_.Touch(fid, clock_->now());
     cache_.Pin(fid);
     return OpenResult{fid, status, e.cache_path};
+  };
+
+  auto resolved = ResolveFinal(path, for_write, /*follow_final=*/true);
+  if (!resolved.ok() && resolved.status() == Status::kStaleFid) {
+    // A cached name mapping went stale (file replaced); retry once fresh.
+    name_cache_.erase(path);
+    resolved = ResolveFinal(path, for_write, /*follow_final=*/true);
+  }
+
+  if (!resolved.ok()) {
+    if (resolved.status() != Status::kNotFound || !create) return resolved.status();
+    return create_at_custodian();
   }
 
   const Fid fid = *resolved;
   bool hit = false;
   auto entry = EnsureData(fid, &hit);
   if (!entry.ok() && entry.status() == Status::kStaleFid) {
+    // kStaleFid from the custodian is authoritative: the fid is dead, so the
+    // cached parent listing that produced it is stale no matter what lease
+    // or callback promise still covers it (a leased directory can outlive a
+    // server restart this way). Drop the mapping and untrust the parent
+    // directory before re-resolving, so the walk refetches the listing.
     name_cache_.erase(path);
-    ASSIGN_OR_RETURN(Fid fresh_fid, ResolveFinal(path, for_write, /*follow_final=*/true));
-    entry = EnsureData(fresh_fid, &hit);
+    if (auto parent = ResolveParentOf(path, /*for_update=*/false); parent.ok()) {
+      InvalidateDir(parent->parent);
+    }
+    auto fresh = ResolveFinal(path, for_write, /*follow_final=*/true);
+    if (!fresh.ok()) {
+      // The refreshed listing no longer carries the name at all.
+      if (fresh.status() == Status::kNotFound && create) return create_at_custodian();
+      return fresh.status();
+    }
+    entry = EnsureData(*fresh, &hit);
     if (!entry.ok()) return entry.status();
     if (hit) stats_.cache_hits += 1;
-    cache_.Pin(fresh_fid);
-    return OpenResult{fresh_fid, (*entry)->status, (*entry)->cache_path};
+    cache_.Pin(*fresh);
+    return OpenResult{*fresh, (*entry)->status, (*entry)->cache_path};
   }
   if (!entry.ok()) return entry.status();
   if ((*entry)->status.type == vice::VnodeType::kDirectory) return Status::kIsDirectory;
@@ -683,7 +700,24 @@ Status Venus::StoreBack(const Fid& fid) {
   ASSIGN_OR_RETURN(Bytes data, cache_.ReadData(fid));
   cache_.NoteLocalSize(fid, data.size());
   clock_->Advance(cost_.LocalIoTime(data.size()));
-  ASSIGN_OR_RETURN(VnodeStatus fresh, RpcStore(fid, data));
+  auto stored = RpcStore(fid, data);
+  if (!stored.ok()) {
+    if (stored.status() == Status::kStaleFid) {
+      // The fid died under a trusted entry — removed or replaced while a
+      // lease outlived the server's knowledge of it (crash, or a break the
+      // server waited out). The reply is authoritative: drop the mapping so
+      // a retry of the whole operation re-resolves the name.
+      if (CacheEntry* dead = cache_.Find(fid); dead != nullptr) {
+        if (dead->pin_count > 0) {
+          cache_.Invalidate(fid);
+        } else {
+          cache_.Erase(fid);
+        }
+      }
+    }
+    return stored.status();
+  }
+  const VnodeStatus fresh = *stored;
   CacheEntry* e = cache_.Find(fid);
   if (e != nullptr) {
     e->status = fresh;
@@ -967,10 +1001,13 @@ void Venus::FlushCache() {
   // next resolution sees e.g. a newly released read-only clone.
   volume_hints_.clear();
   root_volume_ = kInvalidVolume;
-  // Surrender all callback promises directly (administrative path).
+  // Surrender all callback promises and leases directly (administrative
+  // path).
   for (auto& [sid, conn] : connections_) {
     auto it = servers_->find(sid);
-    if (it != servers_->end()) it->second->callbacks().UnregisterAll(this);
+    if (it == servers_->end()) continue;
+    it->second->callbacks().UnregisterAll(this);
+    it->second->leases().ReleaseAll(this);
   }
 }
 
@@ -981,6 +1018,8 @@ void Venus::ResetStats() {
 
 void Venus::OnCallbackBroken(const Fid& fid) {
   stats_.callback_breaks_received += 1;
+  CacheEntry* e = cache_.Find(fid);
+  if (e != nullptr) e->lease_expiry = 0;  // a broken lease confers no trust
   cache_.Invalidate(fid);
 }
 

@@ -43,6 +43,8 @@
 #include "src/unixfs/file_system.h"
 #include "src/venus/config.h"
 #include "src/venus/file_cache.h"
+#include "src/venus/stats.h"
+#include "src/venus/validation/validation_policy.h"
 #include "src/vice/file_server.h"
 #include "src/vice/lock_manager.h"
 #include "src/vice/protocol.h"
@@ -53,35 +55,7 @@ namespace itc::venus {
 // addressing: the ServerId -> endpoint directory).
 using ServerMap = std::map<ServerId, vice::ViceServer*>;
 
-struct VenusStats {
-  uint64_t opens = 0;
-  uint64_t cache_hits = 0;  // opens served without a Fetch
-  uint64_t fetches = 0;
-  uint64_t stores = 0;
-  uint64_t validations = 0;
-  uint64_t stat_calls = 0;
-  uint64_t bytes_fetched = 0;
-  uint64_t bytes_stored = 0;
-  uint64_t callback_breaks_received = 0;
-  // Times a server was marked suspect (restart detected or connection lost):
-  // all its cached entries dropped back to check-on-open validation.
-  uint64_t suspect_marks = 0;
-  // Total virtual time spent inside Open() — mean open latency is
-  // open_time_total / opens.
-  SimTime open_time_total = 0;
-
-  double MeanOpenLatency() const {
-    return opens == 0 ? 0.0
-                      : static_cast<double>(open_time_total) / static_cast<double>(opens);
-  }
-
-  double HitRatio() const {
-    return opens == 0 ? 0.0
-                      : static_cast<double>(cache_hits) / static_cast<double>(opens);
-  }
-};
-
-class Venus : public vice::CallbackReceiver {
+class Venus : public vice::CallbackReceiver, private validation::ValidationHost {
  public:
   Venus(NodeId node, sim::Clock* clock, unixfs::FileSystem* local_fs,
         const std::string& cache_dir, VenusConfig config, const ServerMap* servers,
@@ -200,11 +174,16 @@ class Venus : public vice::CallbackReceiver {
 
   // --- RPC plumbing -------------------------------------------------------------
   [[nodiscard]] Result<rpc::ClientConnection*> ConnectionTo(ServerId server);
-  // A server crashed (restart epoch changed) or became unreachable: its
-  // callback promises for us are gone. Mark every cache entry it supplied
-  // suspect so the next use revalidates (check-on-open fallback) instead of
-  // trusting a promise that no longer exists.
+  // A server provably restarted (epoch bump / broken connection): every
+  // promise it held — open-ended callback or lease alike — died with its
+  // volatile state. Mark every cache entry it supplied suspect so the next
+  // use revalidates (check-on-open fallback).
   void MarkServerSuspect(ServerId server);
+  // A server could not be reached (site down, link partition). Callback
+  // promises must be distrusted (the server may have crashed and we cannot
+  // tell); a lease keeps its own horizon — the server waits out unreachable
+  // holders before completing writes, so trusting it until expiry is safe.
+  void NoteServerUnreachable(ServerId server);
   [[nodiscard]] Result<Bytes> CallServer(ServerId server, vice::Proc proc, const Bytes& request);
   // Calls the custodian (or nearest replica) for `fid`; transparently
   // refreshes stale location hints on kNotCustodian and retries once.
@@ -247,11 +226,22 @@ class Venus : public vice::CallbackReceiver {
   [[nodiscard]] Status StoreBack(const Fid& fid);
 
   // --- RPC wrappers -------------------------------------------------------------------------
+  // Fetch wrappers also consume the lease grant piggybacked on the reply in
+  // lease mode (stashed in last_lease_expiry_ for the policy's OnFetched).
   [[nodiscard]] Result<vice::VnodeStatus> RpcFetch(const Fid& fid, Bytes* data);
   [[nodiscard]] Result<vice::VnodeStatus> RpcFetchStatus(const Fid& fid);
-  // Returns (valid, fresh status).
-  [[nodiscard]] Result<std::pair<bool, vice::VnodeStatus>> RpcValidate(const Fid& fid, uint64_t version);
   [[nodiscard]] Result<vice::VnodeStatus> RpcStore(const Fid& fid, const Bytes& data);
+
+  // --- validation::ValidationHost (the policy's window into Venus) ----------
+  [[nodiscard]] Result<Bytes> CallFid(const Fid& fid, vice::Proc proc,
+                                      const Bytes& request) override {
+    return CallForFid(fid, proc, request);
+  }
+  FileCache& entry_cache() override { return cache_; }
+  VenusStats& venus_stats() override { return stats_; }
+  const VenusConfig& venus_config() const override { return config_; }
+  ServerId last_contacted() const override { return last_contacted_; }
+  SimTime last_lease_expiry() const override { return last_lease_expiry_; }
 
   NodeId node_;
   sim::Clock* clock_;
@@ -273,6 +263,10 @@ class Venus : public vice::CallbackReceiver {
   // Server that answered the most recent successful call (stamps the cache
   // entry it produced).
   ServerId last_contacted_ = kInvalidServer;
+  // Lease expiry carried by the most recent Fetch/FetchStatus reply.
+  SimTime last_lease_expiry_ = 0;
+  // The scheme-specific half of cache validation (src/venus/validation/).
+  std::unique_ptr<validation::ValidationPolicy> policy_;
 
   FileCache cache_;
   std::map<VolumeId, vice::VolumeInfo> volume_hints_;

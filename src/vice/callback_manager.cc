@@ -38,6 +38,13 @@ uint32_t CallbackManager::Break(const Fid& fid, CallbackReceiver* except, SimTim
     if (r == except) continue;
     // One small message per holder, preceded by a sliver of server CPU.
     t = sim::Charge(*server_cpu, t, cost.server_lwp_switch);
+    if (!network->Reachable(server_node, r->callback_node(), t)) {
+      // The break is fire-and-forget: a partitioned holder never hears it
+      // and keeps trusting its cache — the staleness hole leases close.
+      network->NotePartitionDrop();
+      stats_.lost += 1;
+      continue;
+    }
     network->Transfer(server_node, r->callback_node(), 64, t);
     r->OnCallbackBroken(fid);
     sent += 1;
@@ -66,6 +73,11 @@ uint32_t CallbackManager::BreakVolume(VolumeId volume, SimTime at, NodeId server
     }
     for (CallbackReceiver* r : it->second) {
       t = sim::Charge(*server_cpu, t, cost.server_lwp_switch);
+      if (!network->Reachable(server_node, r->callback_node(), t)) {
+        network->NotePartitionDrop();
+        stats_.lost += 1;
+        continue;
+      }
       network->Transfer(server_node, r->callback_node(), 64, t);
       r->OnCallbackBroken(it->first);
       sent += 1;

@@ -39,6 +39,7 @@ struct CallbackStats {
   uint64_t registered = 0;
   uint64_t broken = 0;          // individual notifications sent
   uint64_t break_events = 0;    // mutations that triggered notifications
+  uint64_t lost = 0;            // notifications a link partition ate
 };
 
 class CallbackManager {

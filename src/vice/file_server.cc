@@ -28,7 +28,9 @@ ViceServer::ViceServer(ServerId id, NodeId node, net::Network* network,
             auto snapshot = protection_replica_.snapshot();
             return snapshot ? snapshot->UserKey(user) : std::nullopt;
           },
-          nonce_seed) {
+          nonce_seed),
+      leases_(config.lease_term) {
+  ITC_CHECK(!(config_.callbacks && config_.leases));
   protection->RegisterReplica(&protection_replica_);
   BindOps();
   endpoint_.set_registry(&registry_);
@@ -71,6 +73,7 @@ void ViceServer::UnregisterCallbackSink(NodeId node) {
   auto it = callback_sinks_.find(node);
   if (it != callback_sinks_.end()) {
     callbacks_.UnregisterAll(it->second);
+    leases_.ReleaseAll(it->second);
     callback_sinks_.erase(it);
   }
   // The teardown below must run even for a node that never registered a
@@ -100,6 +103,7 @@ void ViceServer::SimulateCrash() {
   // themselves, which only exist again once Restart() re-reads the store.
   endpoint_.DropAllConnections();
   callbacks_.DropAllPromises();
+  leases_.Clear();
   locks_ = LockManager{};
   callback_sinks_.clear();
   cps_cache_.clear();
@@ -163,6 +167,12 @@ recovery::RecoveryReport ViceServer::Restart(SimTime at) {
   crashed_ = false;
   endpoint_.set_online(true);
 
+  // Lease recovery needs no re-establishment protocol (Gray & Cheriton): the
+  // server cannot remember what it promised, so it refuses new grants until
+  // every lease it could have issued before the crash has expired. Holders
+  // simply fall back to check-on-open until then.
+  if (config_.leases) leases_.SuspendGrantsUntil(at + config_.lease_term);
+
   // Serve the recovery I/O through the server disk: recovery takes real
   // virtual time, and the first post-restart RPCs queue behind it.
   const SimTime done = sim::Charge(endpoint_.disk(), at, disk_demand);
@@ -212,6 +222,7 @@ uint64_t ViceServer::total_calls() const { return endpoint_.call_stats().total_c
 
 void ViceServer::ResetStats() {
   callbacks_.ResetStats();
+  leases_.ResetStats();
   endpoint_.ResetStats();
   endpoint_.cpu().Reset();
   endpoint_.disk().Reset();
@@ -256,10 +267,20 @@ Status ViceServer::CheckFileBits(const Volume& vol, const Fid& fid, bool write) 
 // --- Callback plumbing ---------------------------------------------------------
 
 void ViceServer::BreakCallbacks(const Fid& fid, rpc::CallContext& ctx) {
-  if (!config_.callbacks) return;
   CallbackReceiver* writer_sink = nullptr;
   auto it = callback_sinks_.find(ctx.client_node());
   if (it != callback_sinks_.end()) writer_sink = it->second;
+  if (config_.leases) {
+    // Reachable holders are notified immediately, like a callback break. An
+    // unreachable holder cannot be told, but its promise is time-bounded: the
+    // mutation's completion is held back until that lease has run out, so no
+    // client ever reads stale data under a live lease.
+    const SimTime safe = leases_.Break(fid, writer_sink, ctx.arrival(), node_, network_,
+                                       &endpoint_.cpu(), cost_);
+    ctx.DelayCompletionUntil(safe);
+    return;
+  }
+  if (!config_.callbacks) return;
   callbacks_.Break(fid, writer_sink, ctx.arrival(), node_, network_, &endpoint_.cpu(),
                    cost_);
 }
@@ -268,6 +289,16 @@ void ViceServer::MaybeRegisterCallback(const Fid& fid, rpc::CallContext& ctx) {
   if (!config_.callbacks) return;
   auto it = callback_sinks_.find(ctx.client_node());
   if (it != callback_sinks_.end()) callbacks_.Register(fid, it->second);
+}
+
+void ViceServer::AppendLeaseGrant(const Fid& fid, rpc::CallContext& ctx, rpc::Writer& w) {
+  if (!config_.leases) return;
+  SimTime expiry = 0;
+  auto it = callback_sinks_.find(ctx.client_node());
+  if (it != callback_sinks_.end()) {
+    expiry = leases_.Grant(fid, it->second, ctx.arrival());
+  }
+  w.PutU64(static_cast<uint64_t>(expiry));
 }
 
 void ViceServer::ChargeAdminFile(rpc::CallContext& ctx) {
@@ -369,6 +400,15 @@ void ViceServer::BindOps() {
   bind(Proc::kRemoveCallback, [this](rpc::CallContext& ctx, rpc::Reader& r) {
     return HandleRemoveCallback(ctx, r);
   });
+  bind(Proc::kGrantLease, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleGrantLease(ctx, r);
+  });
+  bind(Proc::kRenewLeases, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleRenewLeases(ctx, r);
+  });
+  bind(Proc::kReleaseLease, [this](rpc::CallContext& ctx, rpc::Reader& r) {
+    return HandleReleaseLease(ctx, r);
+  });
   bind(Proc::kGetVolumeStatus, [this](rpc::CallContext& ctx, rpc::Reader& r) {
     return HandleGetVolumeStatus(ctx, r);
   });
@@ -460,6 +500,7 @@ Bytes ViceServer::HandleFetch(rpc::CallContext& ctx, rpc::Reader& r, bool with_d
     PutVnodeStatus(w, *status);
   }
   MaybeRegisterCallback(*fid, ctx);
+  AppendLeaseGrant(*fid, ctx, w);
   return w.Take();
 }
 
@@ -479,11 +520,18 @@ Bytes ViceServer::HandleValidate(rpc::CallContext& ctx, rpc::Reader& r) {
   }
   NoteVolumeAccess(fid->volume, ctx.client_node());
 
+  const bool valid = status->version == *version;
   rpc::Writer w;
   w.PutStatus(Status::kOk);
-  w.PutBool(status->version == *version);
+  w.PutBool(valid);
   PutVnodeStatus(w, *status);
   MaybeRegisterCallback(*fid, ctx);
+  if (valid) {
+    AppendLeaseGrant(*fid, ctx, w);
+  } else if (config_.leases) {
+    // A stale copy gets no promise; the refetch will carry the grant.
+    w.PutU64(0);
+  }
   return w.Take();
 }
 
@@ -981,6 +1029,77 @@ Bytes ViceServer::HandleRemoveCallback(rpc::CallContext& ctx, rpc::Reader& r) {
   if (!fid.ok()) return StatusReply(Status::kProtocolError);
   auto it = callback_sinks_.find(ctx.client_node());
   if (it != callback_sinks_.end()) callbacks_.Unregister(*fid, it->second);
+  return StatusReply(Status::kOk);
+}
+
+Bytes ViceServer::HandleGrantLease(rpc::CallContext& ctx, rpc::Reader& r) {
+  // Validate + grant in one call: the lease-mode open path once a cached
+  // copy's lease has lapsed. Same shape as kValidate, plus the expiry.
+  auto fid = r.FidField();
+  auto version = fid.ok() ? r.U64() : Result<uint64_t>(Status::kProtocolError);
+  if (!fid.ok() || !version.ok()) return StatusReply(Status::kProtocolError);
+  Volume* vol = FindVolume(fid->volume);
+  if (vol == nullptr) return NotCustodianReply(location_.get(), fid->volume);
+
+  auto status = vol->GetStatus(*fid);
+  if (!status.ok()) return StatusReply(status.status());
+  if (Status s = CheckAccess(*vol, *fid, ctx.user(), protection::kLookup);
+      s != Status::kOk) {
+    return StatusReply(s);
+  }
+  NoteVolumeAccess(fid->volume, ctx.client_node());
+
+  const bool valid = status->version == *version;
+  rpc::Writer w;
+  w.PutStatus(Status::kOk);
+  w.PutBool(valid);
+  PutVnodeStatus(w, *status);
+  if (valid && config_.leases) {
+    AppendLeaseGrant(*fid, ctx, w);
+  } else {
+    // Fixed schema: the expiry field is always present; 0 means no promise
+    // (stale copy, restart embargo, or a server not running leases at all).
+    w.PutU64(0);
+  }
+  return w.Take();
+}
+
+Bytes ViceServer::HandleRenewLeases(rpc::CallContext& ctx, rpc::Reader& r) {
+  auto n = r.U32();
+  if (!n.ok()) return StatusReply(Status::kProtocolError);
+  std::vector<Fid> fids;
+  fids.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto fid = r.FidField();
+    if (!fid.ok()) return StatusReply(Status::kProtocolError);
+    fids.push_back(*fid);
+  }
+  // Renewal is a table walk, not per-file disk work; one LWP hand-off covers
+  // the whole batch — that is the point of batching renewals per server.
+  ctx.ChargeCpu(cost_.server_lwp_switch);
+
+  std::vector<Fid> rejected;
+  auto it = callback_sinks_.find(ctx.client_node());
+  const bool granting = config_.leases && it != callback_sinks_.end();
+  if (!granting) {
+    rejected = fids;  // nothing renewable here; caller must revalidate
+  } else {
+    rejected = leases_.Renew(it->second, fids, ctx.arrival());
+  }
+  rpc::Writer w;
+  w.PutStatus(Status::kOk);
+  // Every renewed lease now runs to the same horizon.
+  w.PutU64(granting ? static_cast<uint64_t>(ctx.arrival() + leases_.term()) : 0);
+  w.PutU32(static_cast<uint32_t>(rejected.size()));
+  for (const Fid& f : rejected) w.PutFid(f);
+  return w.Take();
+}
+
+Bytes ViceServer::HandleReleaseLease(rpc::CallContext& ctx, rpc::Reader& r) {
+  auto fid = r.FidField();
+  if (!fid.ok()) return StatusReply(Status::kProtocolError);
+  auto it = callback_sinks_.find(ctx.client_node());
+  if (it != callback_sinks_.end()) leases_.Release(*fid, it->second);
   return StatusReply(Status::kOk);
 }
 

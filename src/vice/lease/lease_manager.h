@@ -1,0 +1,114 @@
+// Lease-based cache consistency (the third validation scheme).
+//
+// A lease is a callback promise with an expiry date (Gray & Cheriton
+// [Gray89]): the server promises to notify the holder of writes only until
+// `expiry` on the simulated clock. The bound buys back the two availability
+// holes callbacks left open:
+//
+//   * Crash recovery. Callback state is volatile, so PR 2's restart needed
+//     epoch probes and cache re-validation storms. A restarted lease server
+//     simply refuses new grants for one lease term — every lease it forgot
+//     has expired by then, so no re-establishment traffic is needed.
+//   * Partitions. A callback break lost to a partition leaves the holder
+//     trusting its cache forever. A partitioned lease holder falls back to
+//     check-on-open the moment its lease runs out: staleness is bounded by
+//     the term.
+//
+// The price is renewal traffic (holders re-extend in batches) and mutators
+// that must wait out unreachable holders — but never past the earliest
+// moment every outstanding lease on the file has expired.
+//
+// The manager is the server-side table: per-(fid, holder) expiries on the
+// simulated clock, grant suspension after restart, and break-on-mutate with
+// per-notification CPU/network charging, mirroring CallbackManager so the
+// validation-scheme ablation compares like with like.
+
+#ifndef SRC_VICE_LEASE_LEASE_MANAGER_H_
+#define SRC_VICE_LEASE_LEASE_MANAGER_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/fid.h"
+#include "src/common/types.h"
+#include "src/net/network.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/resource.h"
+#include "src/vice/callback_manager.h"
+
+namespace itc::vice {
+
+struct LeaseStats {
+  uint64_t granted = 0;    // new leases handed out (piggybacked or explicit)
+  uint64_t renewed = 0;    // individual fids extended by RenewLeases
+  uint64_t rejected = 0;   // renewal attempts on expired/unknown leases
+  uint64_t broken = 0;     // break notifications delivered
+  uint64_t break_events = 0;
+  uint64_t lost = 0;       // break notifications a partition ate
+  uint64_t waited_out = 0; // mutations that had to sit out an unreachable holder
+  uint64_t refused = 0;    // grants refused during the post-restart embargo
+};
+
+class LeaseManager {
+ public:
+  explicit LeaseManager(SimTime term) : term_(term) {}
+
+  SimTime term() const { return term_; }
+
+  // Grants (or re-extends) a lease on `fid` to `who`, valid until
+  // `now + term`. Returns the expiry, or 0 while grants are suspended
+  // (the holder then has no lease and must keep checking on open).
+  SimTime Grant(const Fid& fid, CallbackReceiver* who, SimTime now);
+
+  // Batch renewal: extends every listed fid the holder still holds a live
+  // lease on to `now + term`. Expired or never-granted fids are returned in
+  // `rejected` — the holder must revalidate those through GrantLease. While
+  // grants are suspended everything is rejected.
+  std::vector<Fid> Renew(CallbackReceiver* who, const std::vector<Fid>& fids, SimTime now);
+
+  // Voluntary release (cache eviction), and release of everything a holder
+  // had (disconnect / cache flush).
+  void Release(const Fid& fid, CallbackReceiver* who);
+  void ReleaseAll(CallbackReceiver* who);
+
+  // Break-on-mutate. Notifies every live holder except the writer, charging
+  // server CPU + one small message per reachable holder; unreachable holders
+  // cannot be told, so the mutation must wait until their leases lapse.
+  // Returns the earliest safe completion time for the mutation: `at` when
+  // every holder was told (or nobody held a lease), otherwise the latest
+  // expiry among unreachable holders — by construction at most `at + term`.
+  // Either way the table forgets the file, except the writer's own lease.
+  SimTime Break(const Fid& fid, CallbackReceiver* except, SimTime at, NodeId server_node,
+                net::Network* network, sim::Resource* server_cpu,
+                const sim::CostModel& cost);
+
+  // Crash: the table is volatile.
+  void Clear() { leases_.clear(); }
+  // Restart embargo: refuse all grants and renewals until `until` (restart
+  // time + one term), after which every pre-crash lease is provably dead.
+  void SuspendGrantsUntil(SimTime until) { suspended_until_ = until; }
+  SimTime suspended_until() const { return suspended_until_; }
+
+  // A lease is live when it has not expired at `now`.
+  bool HasLease(const Fid& fid, const CallbackReceiver* who, SimTime now) const;
+  // Live leases held across the table at `now` (expired rows not yet
+  // garbage-collected do not count).
+  size_t lease_count(SimTime now) const;
+
+  const LeaseStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LeaseStats{}; }
+
+ private:
+  SimTime term_;
+  SimTime suspended_until_ = 0;
+  // fid -> holder -> expiry. std::map on the holder pointer keeps break
+  // iteration deterministic enough (single allocation site order), matching
+  // CallbackManager's std::set choice.
+  std::unordered_map<Fid, std::map<CallbackReceiver*, SimTime>, FidHash> leases_;
+  LeaseStats stats_;
+};
+
+}  // namespace itc::vice
+
+#endif  // SRC_VICE_LEASE_LEASE_MANAGER_H_

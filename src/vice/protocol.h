@@ -68,6 +68,12 @@ enum class Proc : uint32_t {
   // Cache management.
   kRemoveCallback = 50,  // Venus dropped its cached copy
 
+  // Leases (third validation scheme; see src/vice/lease/).
+  kGrantLease = 51,   // fid + cached version -> valid? + fresh lease
+  kRenewLeases = 52,  // batch: fids -> rejected fids (must revalidate)
+  kReleaseLease = 53, // Venus dropped its cached copy (lease-mode analog
+                      // of kRemoveCallback)
+
   // Administration.
   kGetVolumeStatus = 60,  // quota, usage, type, online
 };

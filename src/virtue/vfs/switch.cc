@@ -1,5 +1,7 @@
 #include "src/virtue/vfs/switch.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace itc::virtue::vfs {
@@ -112,7 +114,25 @@ Result<FileInfo> Switch::Stat(const std::string& path) {
 }
 
 Result<std::vector<std::string>> Switch::ReadDir(const std::string& path) {
-  return DispatchPath(path, [](Mount& m, const std::string& rel) { return m.List(rel); });
+  ASSIGN_OR_RETURN(std::vector<std::string> names,
+                   DispatchPath(path, [](Mount& m, const std::string& rel) {
+                     return m.List(rel);
+                   }));
+  // Mount points appear in their parent directory's listing, Unix-style: a
+  // mount at /vice shows up as "vice" in ReadDir("/") even when the backend
+  // owning "/" has no such entry.
+  std::string dir = path;
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  for (const auto& [prefix, mount] : table_.entries()) {
+    (void)mount;
+    if (prefix == "/" || std::string(Dirname(prefix)) != dir) continue;
+    const std::string leaf(Basename(prefix));
+    if (std::find(names.begin(), names.end(), leaf) == names.end()) {
+      names.push_back(leaf);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 Status Switch::MkDir(const std::string& path) {
@@ -167,10 +187,23 @@ Result<Bytes> Switch::ReadWholeFile(const std::string& path) {
 }
 
 Status Switch::WriteWholeFile(const std::string& path, const Bytes& data) {
-  ASSIGN_OR_RETURN(int fd, Open(path, kWrite | kCreate | kTruncate));
-  const Status s = Write(fd, data);
-  const Status c = Close(fd);
-  return s != Status::kOk ? s : c;
+  Status result = Status::kOk;
+  // A close-time store can discover the name was rebound under a trusted
+  // cache entry (e.g. a leased directory that outlived a server restart):
+  // the store comes back kStaleFid, the dead mapping is dropped, and one
+  // retry re-resolves the name — usually into the create path.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto fd = Open(path, kWrite | kCreate | kTruncate);
+    if (!fd.ok()) {
+      result = fd.status();
+    } else {
+      const Status s = Write(*fd, data);
+      const Status c = Close(*fd);
+      result = s != Status::kOk ? s : c;
+    }
+    if (result != Status::kStaleFid) break;
+  }
+  return result;
 }
 
 }  // namespace itc::virtue::vfs

@@ -21,11 +21,14 @@ namespace {
 using campus::Campus;
 using campus::CampusConfig;
 using rpc::CrashPoint;
+using Scheme = venus::VenusConfig::Validation;
 
-class CrashRecoveryTest : public ::testing::Test {
+class CrashRecoveryTest : public ::testing::TestWithParam<Scheme> {
  protected:
   void SetUp() override {
-    campus_ = std::make_unique<Campus>(CampusConfig::Revised(2, 2));
+    CampusConfig config = CampusConfig::Revised(2, 2);
+    config.UseValidation(GetParam());
+    campus_ = std::make_unique<Campus>(config);
     ASSERT_TRUE(campus_->SetupRootVolume().ok());
     auto a = campus_->AddUserWithHome("a", "pw", /*custodian=*/0);
     auto b = campus_->AddUserWithHome("b", "pw", /*custodian=*/1);
@@ -49,7 +52,7 @@ class CrashRecoveryTest : public ::testing::Test {
 // One (crash point × op class) cell: arm, attempt the op (it must fail — the
 // machine died under it), restart, then check the op is either fully present
 // (kBeforeReply: it committed, only the reply was lost) or fully absent.
-TEST_F(CrashRecoveryTest, CrashPointMatrixLeavesNoTornState) {
+TEST_P(CrashRecoveryTest, CrashPointMatrixLeavesNoTornState) {
   auto& ws = campus_->workstation(0);
   auto& verifier = campus_->workstation(1);
   ASSERT_EQ(ws.LoginWithPassword(a_.user, "pw"), Status::kOk);
@@ -120,7 +123,7 @@ TEST_F(CrashRecoveryTest, CrashPointMatrixLeavesNoTornState) {
   }
 }
 
-TEST_F(CrashRecoveryTest, MidStormCrashesConvergeAtEveryPoint) {
+TEST_P(CrashRecoveryTest, MidStormCrashesConvergeAtEveryPoint) {
   auto& ws_a = campus_->workstation(0);
   auto& ws_b = campus_->workstation(2);
   ASSERT_EQ(ws_a.LoginWithPassword(a_.user, "pw"), Status::kOk);
@@ -160,8 +163,10 @@ TEST_F(CrashRecoveryTest, MidStormCrashesConvergeAtEveryPoint) {
   RestartServerZero();
 }
 
-TEST_F(CrashRecoveryTest, SuspectCallbacksServeNoStaleData) {
-  // Two workstations in cluster 0, both user a, callback validation.
+TEST_P(CrashRecoveryTest, SuspectPromisesServeNoStaleData) {
+  // Two workstations in cluster 0, both user a. Under every scheme, a
+  // restart the client detects (broken connection) must drop whatever trust
+  // the scheme kept — callback promise or lease alike.
   auto& writer = campus_->workstation(0);
   auto& reader = campus_->workstation(1);
   ASSERT_EQ(writer.LoginWithPassword(a_.user, "pw"), Status::kOk);
@@ -195,7 +200,7 @@ TEST_F(CrashRecoveryTest, SuspectCallbacksServeNoStaleData) {
   EXPECT_EQ(ToString(*got), "v2");
 }
 
-TEST_F(CrashRecoveryTest, EpochProbeDetectsRestartAcrossSessions) {
+TEST_P(CrashRecoveryTest, EpochProbeDetectsRestartAcrossSessions) {
   auto& ws = campus_->workstation(0);
   ASSERT_EQ(ws.LoginWithPassword(a_.user, "pw"), Status::kOk);
   ASSERT_EQ(ws.WriteWholeFile("/vice/usr/a/f", ToBytes("x")), Status::kOk);
@@ -208,10 +213,17 @@ TEST_F(CrashRecoveryTest, EpochProbeDetectsRestartAcrossSessions) {
   RestartServerZero();
 
   ASSERT_EQ(ws.LoginWithPassword(a_.user, "pw"), Status::kOk);
-  EXPECT_GT(ws.venus().stats().suspect_marks, marks_before);
+  if (GetParam() == Scheme::kCallbacks) {
+    // Only open-ended promises need the probe.
+    EXPECT_GT(ws.venus().stats().suspect_marks, marks_before);
+  } else {
+    // Check-on-open never trusts; leases lapse on their own — neither pays
+    // the probe round trip on every fresh connection.
+    EXPECT_EQ(ws.venus().stats().suspect_marks, marks_before);
+  }
 }
 
-TEST_F(CrashRecoveryTest, RecoveryReportAccountsForRestoredState) {
+TEST_P(CrashRecoveryTest, RecoveryReportAccountsForRestoredState) {
   auto& ws = campus_->workstation(0);
   ASSERT_EQ(ws.LoginWithPassword(a_.user, "pw"), Status::kOk);
   for (int i = 0; i < 5; ++i) {
@@ -228,6 +240,18 @@ TEST_F(CrashRecoveryTest, RecoveryReportAccountsForRestoredState) {
   EXPECT_GT(report.recovery_time, 0);
   EXPECT_EQ(campus_->server(0).restart_epoch(), 1u);
 }
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, CrashRecoveryTest,
+                         ::testing::Values(Scheme::kCheckOnOpen, Scheme::kCallbacks,
+                                           Scheme::kLeases),
+                         [](const ::testing::TestParamInfo<Scheme>& p) {
+                           switch (p.param) {
+                             case Scheme::kCheckOnOpen: return "CheckOnOpen";
+                             case Scheme::kCallbacks: return "Callbacks";
+                             case Scheme::kLeases: return "Leases";
+                           }
+                           return "Unknown";
+                         });
 
 }  // namespace
 }  // namespace itc

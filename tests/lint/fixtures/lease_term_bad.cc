@@ -1,0 +1,15 @@
+// Fixture: raw numeric lease durations outside the config default sites.
+#include "src/common/types.h"
+
+namespace itc {
+
+void Offenders(SimTime now) {
+  SimTime lease_expiry = now + Seconds(30);  // 1: expiry from a literal
+  (void)lease_expiry;
+  SuspendLeaseGrantsUntil(now + Seconds(30));  // 2: embargo from a literal
+  if (lease_expiry - now < Millis(500)) {  // 3: renewal margin from a literal
+    RenewLeases();
+  }
+}
+
+}  // namespace itc

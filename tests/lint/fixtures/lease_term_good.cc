@@ -1,0 +1,24 @@
+// Fixture: lease durations read from the configs; unrelated literals stay
+// legal, as does a suppressed occurrence.
+#include "src/common/types.h"
+
+namespace itc {
+
+void Legal(SimTime now, const ViceConfig& vice, const VenusConfig& venus) {
+  SimTime lease_expiry = now + vice.lease_term;  // configured term
+  (void)lease_expiry;
+  SuspendLeaseGrantsUntil(now + vice.lease_term);
+  if (lease_expiry - now < venus.lease_renew_margin) {
+    RenewLeases();
+  }
+  // A time literal with no lease identifier in the statement is not a lease
+  // term at all.
+  Sleep(Seconds(30));
+  const SimTime deadline = now + Millis(500);
+  (void)deadline;
+  // itcfs-lint: allow(no-raw-lease-term)
+  SimTime lease_probe = now + Seconds(1);
+  (void)lease_probe;
+}
+
+}  // namespace itc

@@ -290,13 +290,40 @@ TEST(Lexer, RawStringsAndLineNumbers) {
   EXPECT_FALSE(saw_rand);
 }
 
+TEST(NoRawLeaseTerm, FiresOnNumericDurationsNearLeaseIdentifiers) {
+  LintInput in;
+  in.files.push_back(LexFixture("lease_term_bad.cc", "src/vice/lease/lease_manager.cc"));
+  const auto diags = RunOne("no-raw-lease-term", in);
+  EXPECT_EQ(diags.size(), 3u) << "expiry, embargo, renewal margin";
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "no-raw-lease-term");
+    EXPECT_NE(d.message.find("lease_term"), std::string::npos);
+  }
+}
+
+TEST(NoRawLeaseTerm, QuietOnConfiguredDurationsAndUnrelatedLiterals) {
+  LintInput in;
+  in.files.push_back(LexFixture("lease_term_good.cc", "src/vice/lease/lease_manager.cc"));
+  EXPECT_TRUE(RunOne("no-raw-lease-term", in).empty());
+}
+
+TEST(NoRawLeaseTerm, ExemptsTheTwoConfigDefaultSites) {
+  // The configured defaults are the one sanctioned literal spelling of each
+  // duration: the server term and the client renewal margin.
+  LintInput in;
+  in.files.push_back(LexFixture("lease_term_bad.cc", "src/vice/file_server.h"));
+  in.files.push_back(LexFixture("lease_term_bad.cc", "src/venus/config.h"));
+  EXPECT_TRUE(RunOne("no-raw-lease-term", in).empty());
+}
+
 TEST(Cli, AllRulesHaveStableIds) {
-  EXPECT_EQ(AllRules().size(), 10u);
+  EXPECT_EQ(AllRules().size(), 11u);
   EXPECT_EQ(AllRules().count("nodiscard-status"), 1u);
   EXPECT_EQ(AllRules().count("opcode-sync"), 1u);
   EXPECT_EQ(AllRules().count("resource-serve-outside-kernel"), 1u);
   EXPECT_EQ(AllRules().count("no-alloc-in-kernel-hot-path"), 1u);
   EXPECT_EQ(AllRules().count("vfs-dispatch-only"), 1u);
+  EXPECT_EQ(AllRules().count("no-raw-lease-term"), 1u);
 }
 
 }  // namespace

@@ -138,7 +138,7 @@ TEST_P(FuzzDispatchTest, RegistryEdgeCases) {
   Rng rng(GetParam() ^ 0xabcdef12);
 
   // Opcodes the schema does not contain: 0, the 6..9 gap, past-the-end, max.
-  const uint32_t unknown[] = {0, 6, 7, 8, 9, 15, 28, 32, 42, 51, 61, 80, 0xffffffff};
+  const uint32_t unknown[] = {0, 6, 7, 8, 9, 15, 28, 32, 42, 54, 61, 80, 0xffffffff};
   for (uint32_t proc : unknown) {
     auto reply = conn->Call(proc, Bytes{});
     ASSERT_FALSE(reply.ok());
@@ -147,7 +147,8 @@ TEST_P(FuzzDispatchTest, RegistryEdgeCases) {
 
   // Truncated payloads: a fid cut off after 1..11 bytes against every op
   // that starts by reading one.
-  const uint32_t fid_ops[] = {10, 11, 12, 13, 14, 20, 21, 22, 23, 24, 30, 31, 40, 41, 50};
+  const uint32_t fid_ops[] = {10, 11, 12, 13, 14, 20, 21, 22, 23, 24,
+                              30, 31, 40, 41, 50, 51, 53};
   for (uint32_t proc : fid_ops) {
     rpc::Writer w;
     w.PutFid(Fid{home_.volume, 1, 1});

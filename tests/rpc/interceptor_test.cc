@@ -55,9 +55,12 @@ TEST(LatencyHistogramTest, MergeCombines) {
 
 TEST(OpSchemaTest, ViceSchemaLookup) {
   const OpSchema& schema = vice::ViceOpSchema();
-  EXPECT_EQ(schema.ops().size(), 24u);
+  EXPECT_EQ(schema.ops().size(), 27u);
   const OpSpec* fetch = schema.Find(static_cast<uint32_t>(vice::Proc::kFetch));
   ASSERT_NE(fetch, nullptr);
+  const OpSpec* grant = schema.Find(static_cast<uint32_t>(vice::Proc::kGrantLease));
+  ASSERT_NE(grant, nullptr);
+  EXPECT_EQ(grant->name, "GrantLease");
   EXPECT_EQ(fetch->name, "Fetch");
   EXPECT_EQ(fetch->call_class, CallClass::kFetch);
   EXPECT_TRUE(fetch->idempotent);

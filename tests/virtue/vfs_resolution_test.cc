@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/campus/campus.h"
 #include "src/common/path.h"
 #include "src/virtue/workstation.h"
@@ -164,6 +166,25 @@ TEST_F(VfsResolutionTest, ViceXPrefixIsLocalNotShared) {
   EXPECT_FALSE(info->shared);
   // The real mount point itself is shared.
   EXPECT_TRUE(ws_->IsShared("/vice"));
+}
+
+// Regression: mount points appear in their parent directory's listing. The
+// switch merges mount-table entries into ReadDir, so "ls /" shows "vice"
+// even though the local root fs has no entry of that name — without the
+// merge, the shared tree is reachable but invisible to enumeration.
+TEST_F(VfsResolutionTest, MountPointsAppearInParentDirectoryListings) {
+  auto names = ws_->ReadDir("/");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(std::count(names->begin(), names->end(), "vice"), 1)
+      << "mount point leaf missing (or duplicated) in parent listing";
+  EXPECT_TRUE(std::is_sorted(names->begin(), names->end()));
+
+  // A local entry with the same name as a mount point is not double-listed.
+  ASSERT_EQ(ws_->MkDir("/viceX"), Status::kOk);
+  names = ws_->ReadDir("/");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(std::count(names->begin(), names->end(), "viceX"), 1);
+  EXPECT_EQ(std::count(names->begin(), names->end(), "vice"), 1);
 }
 
 // Renames may not cross a mount boundary (the EXDEV of this system), even

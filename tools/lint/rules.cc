@@ -1,6 +1,7 @@
 #include "tools/lint/rules.h"
 
 #include <algorithm>
+#include <cctype>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -674,6 +675,57 @@ void CheckVfsDispatchOnly(const LexedFile& f, std::vector<Diagnostic>& out) {
   }
 }
 
+// --- no-raw-lease-term --------------------------------------------------------------
+
+bool LeaseTermExempt(const std::string& path) {
+  // The two places a lease duration is CONFIGURED rather than used: the
+  // server term (ViceConfig::lease_term) and the client renewal margin
+  // (VenusConfig::lease_renew_margin). Everywhere else reads those fields.
+  return path == "src/vice/file_server.h" || path == "src/venus/config.h";
+}
+
+bool IsTimeUnitCall(const Toks& t, size_t i) {
+  static const std::set<std::string> units = {"Micros", "Millis", "Seconds", "Minutes"};
+  return IsIdent(t, i) && units.count(t[i].text) > 0 && Is(t, i + 1, "(") &&
+         i + 2 < t.size() && t[i + 2].kind == TokKind::kNumber;
+}
+
+bool IsLeaseIdent(const Toks& t, size_t i) {
+  if (!IsIdent(t, i)) return false;
+  std::string lower = t[i].text;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lower.find("lease") != std::string::npos;
+}
+
+void CheckNoRawLeaseTerm(const LexedFile& f, std::vector<Diagnostic>& out) {
+  if (LeaseTermExempt(f.path)) return;
+  const Toks& t = f.tokens;
+  // Statement granularity: a numeric time literal is a raw lease term when
+  // the same `;`/`{`/`}`-delimited statement also names something lease-ish
+  // (lease_term, lease_expiry, SuspendGrantsUntil-style callers spell one).
+  size_t start = 0;
+  for (size_t i = 0; i <= t.size(); ++i) {
+    const bool boundary =
+        i == t.size() || (t[i].kind == TokKind::kPunct &&
+                          (t[i].text == ";" || t[i].text == "{" || t[i].text == "}"));
+    if (!boundary) continue;
+    int lease_line = 0;
+    size_t literal_at = 0;
+    for (size_t k = start; k < i; ++k) {
+      if (IsLeaseIdent(t, k)) lease_line = t[k].line;
+      if (IsTimeUnitCall(t, k)) literal_at = k;
+    }
+    if (lease_line != 0 && literal_at != 0) {
+      Emit(out, f, t[literal_at].line, "no-raw-lease-term",
+           "numeric time literal in a lease-term expression; lease durations "
+           "come from ViceConfig::lease_term / VenusConfig::lease_renew_margin "
+           "so the embargo and staleness bounds track the configured term");
+    }
+    start = i + 1;
+  }
+}
+
 }  // namespace
 
 std::vector<Diagnostic> RunRules(const LintInput& input, const std::set<std::string>& only) {
@@ -712,6 +764,9 @@ std::vector<Diagnostic> RunRules(const LintInput& input, const std::set<std::str
   }
   if (enabled("vfs-dispatch-only")) {
     for (const LexedFile& f : input.files) CheckVfsDispatchOnly(f, out);
+  }
+  if (enabled("no-raw-lease-term")) {
+    for (const LexedFile& f : input.files) CheckNoRawLeaseTerm(f, out);
   }
   const bool side = enabled("assert-side-effect");
   const bool header = enabled("assert-in-header");

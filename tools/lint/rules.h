@@ -34,6 +34,16 @@
 //                           RemoteOpenClient use outside src/virtue/vfs/,
 //                           src/venus/, src/baseline/ — file access goes
 //                           through the vfs::Switch mount layer
+//   no-raw-lease-term       no statement mixing a lease-related identifier
+//                           with a numeric time literal (Seconds(30), ...)
+//                           outside the two config default sites
+//                           (ViceConfig::lease_term in src/vice/
+//                           file_server.h, VenusConfig::lease_renew_margin
+//                           in src/venus/config.h) — the lease/renewal
+//                           clockwork must follow the configured term, or
+//                           the correctness argument (recovery embargo =
+//                           one term, staleness <= one term) silently
+//                           splits from the durations actually in force
 //
 // Suppression: `// itcfs-lint: allow(rule-id)` on the offending line or the
 // line above. See docs/LINT.md for the catalog.
@@ -69,6 +79,7 @@ inline const std::set<std::string>& AllRules() {
       "opcode-sync",       "sim-determinism",   "assert-side-effect",
       "assert-in-header",  "resource-serve-outside-kernel",
       "no-alloc-in-kernel-hot-path", "vfs-dispatch-only",
+      "no-raw-lease-term",
   };
   return rules;
 }
