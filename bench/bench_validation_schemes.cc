@@ -248,6 +248,7 @@ RestartResult RunRestartArm(Scheme scheme) {
       scheme == Scheme::kLeases
           ? static_cast<double>(campus.server(0).leases().suspended_until() -
                                 restart_at) /
+                // itcfs-lint: allow(no-raw-lease-term) -- Seconds(1) converts to display units, it is not a lease duration
                 Seconds(1)
           : 0.0;
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/ownership.h"
 #include "src/common/result.h"
 #include "src/net/network.h"
 #include "src/protection/protection_service.h"
@@ -99,18 +100,18 @@ class Campus {
   // --- Crash orchestration -----------------------------------------------------
   // Kills server `i` (volatile state lost; stable store survives) and brings
   // it back at virtual time `at`. See ViceServer::SimulateCrash / Restart.
-  void CrashServer(size_t i);
-  vice::recovery::RecoveryReport RestartServer(size_t i, SimTime at);
+  ITC_KERNEL_QUIESCENT void CrashServer(size_t i);
+  ITC_KERNEL_QUIESCENT vice::recovery::RecoveryReport RestartServer(size_t i, SimTime at);
 
   // --- Partition orchestration -------------------------------------------------
   // Cuts server `i` off from the rest of the campus for [from, until); the
   // link heals by the passage of virtual time alone (deterministic).
-  void PartitionServer(size_t i, SimTime from, SimTime until);
+  ITC_KERNEL_QUIESCENT void PartitionServer(size_t i, SimTime from, SimTime until);
   // Cuts workstation `w` (and only it) off from the campus for [from, until).
-  void PartitionWorkstation(size_t w, SimTime from, SimTime until);
+  ITC_KERNEL_QUIESCENT void PartitionWorkstation(size_t w, SimTime from, SimTime until);
   // Cuts an entire cluster (its servers and workstations keep talking to
   // each other, but the backbone link is down) for [from, until).
-  void PartitionCluster(ClusterId cluster, SimTime from, SimTime until);
+  ITC_KERNEL_QUIESCENT void PartitionCluster(ClusterId cluster, SimTime from, SimTime until);
 
   // Aggregated per-op CallStats across all servers (counts, bytes, latency
   // histograms — recorded by the RPC tracing interceptor).
@@ -118,7 +119,7 @@ class Campus {
   // The Section 5.2 call-class collapse of TotalCallStats().
   std::map<vice::CallClass, uint64_t> TotalCallHistogram() const;
   uint64_t TotalCalls() const;
-  void ResetAllStats();
+  ITC_KERNEL_QUIESCENT void ResetAllStats();
 
  private:
   [[nodiscard]] Result<Fid> EnsureDirDirect(vice::Volume* vol, const std::string& path);

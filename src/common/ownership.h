@@ -1,0 +1,49 @@
+// Kernel-ownership annotations for itcfs-lint's kernel-ownership rule.
+//
+// The discrete-event kernel (src/sim/kernel.h) owns a domain of state: the
+// event heap, the virtual clock, the trace ring, and — through the
+// activities it schedules — the functional state those activities mutate
+// (resources, network partitions, server volumes). Today one kernel runs
+// everything on one thread, so any code can touch any of it and nothing
+// breaks. The multi-kernel refactor (ROADMAP item 1: one kernel per
+// cluster, each on its own OS thread) turns every such touch from outside
+// the owning kernel's domain into a data race.
+//
+// These macros make the domain machine-checkable *before* the sharding.
+// They expand to nothing — the compiler never sees them — but itcfs-lint's
+// symbol index (tools/lint/symbols.h) picks them up and its kernel-ownership
+// rule enforces the fence:
+//
+//   ITC_OWNED_BY_KERNEL    on a member declaration. The member belongs to
+//                          the owning kernel's domain; only methods of the
+//                          class reachable (via the conservative call graph)
+//                          from an ENTRY or QUIESCENT function may touch it.
+//
+//   ITC_KERNEL_ENTRY       on a function declaration or definition. An
+//                          entry point of the kernel domain: the event loop
+//                          itself, or a call an activity legally makes while
+//                          the kernel is running (sim::Charge, Kernel::
+//                          WaitUntil, an RPC handler bound by BindOps, ...).
+//
+//   ITC_KERNEL_QUIESCENT   on a function declaration or definition. Legal
+//                          only while the owning kernel is idle: setup
+//                          (Spawn, EnableTrace), post-run accessors (trace,
+//                          utilization), and orchestration between runs
+//                          (Partition, RestartServer, SimulateCrash, ...).
+//                          The multi-kernel PR will turn this taxonomy into
+//                          an actual runtime check; today it documents and
+//                          fences the boundary.
+//
+// The rule checks methods of the annotated member's own class, so the fence
+// is necessary, not sufficient — a reference smuggled out of the class
+// escapes it. That is the same deal ITC_CHECK offers: a cheap invariant
+// that converts the common mistake into a build failure.
+
+#ifndef ITC_COMMON_OWNERSHIP_H_
+#define ITC_COMMON_OWNERSHIP_H_
+
+#define ITC_OWNED_BY_KERNEL
+#define ITC_KERNEL_ENTRY
+#define ITC_KERNEL_QUIESCENT
+
+#endif  // ITC_COMMON_OWNERSHIP_H_

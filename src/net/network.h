@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/ownership.h"
 #include "src/common/types.h"
 #include "src/net/topology.h"
 #include "src/sim/cost_model.h"
@@ -48,23 +49,23 @@ class Network {
   // Returns the arrival time at `to`. Transfer itself is pure timing — the
   // RPC layer consults Reachable() and models the loss; a Transfer across an
   // active partition is a programming error.
-  SimTime Transfer(NodeId from, NodeId to, uint64_t bytes, SimTime depart);
+  ITC_KERNEL_ENTRY SimTime Transfer(NodeId from, NodeId to, uint64_t bytes, SimTime depart);
 
   // Schedules a partition. Overlapping partitions compose: a message is lost
   // when any active partition separates its endpoints.
-  void AddPartition(Partition partition);
+  ITC_KERNEL_QUIESCENT void AddPartition(Partition partition);
   // True when a message departing at `at` can travel between `a` and `b`:
   // no active partition contains exactly one of the two endpoints. Loopback
   // is always reachable.
-  bool Reachable(NodeId a, NodeId b, SimTime at) const;
+  ITC_KERNEL_ENTRY bool Reachable(NodeId a, NodeId b, SimTime at) const;
   // Bookkeeping hook for the RPC layer: counts a message the partition ate.
-  void NotePartitionDrop() { stats_.partition_drops += 1; }
+  ITC_KERNEL_ENTRY void NotePartitionDrop() { stats_.partition_drops += 1; }
   // Earliest time >= `at` at which every partition separating `a` and `b`
   // has healed (== `at` when they are already reachable).
-  SimTime HealedBy(NodeId a, NodeId b, SimTime at) const;
+  ITC_KERNEL_ENTRY SimTime HealedBy(NodeId a, NodeId b, SimTime at) const;
 
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats();
+  ITC_KERNEL_QUIESCENT const NetworkStats& stats() const { return stats_; }
+  ITC_KERNEL_QUIESCENT void ResetStats();
 
   sim::Resource& cluster_segment(ClusterId c) { return *segments_[c]; }
   sim::Resource& backbone() { return *backbone_; }
@@ -75,8 +76,8 @@ class Network {
   sim::CostModel cost_;
   std::vector<std::unique_ptr<sim::Resource>> segments_;
   std::unique_ptr<sim::Resource> backbone_;
-  std::vector<Partition> partitions_;
-  NetworkStats stats_;
+  ITC_OWNED_BY_KERNEL std::vector<Partition> partitions_;
+  ITC_OWNED_BY_KERNEL NetworkStats stats_;
 };
 
 }  // namespace itc::net

@@ -27,6 +27,26 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer's fiber interface, same detection dance: GCC defines
+// __SANITIZE_THREAD__, Clang reports it through __has_feature. TSan keeps
+// per-"thread" shadow state (vector clocks, lock sets); without these
+// annotations a swapcontext teleports one OS thread between stacks and TSan
+// misattributes every access after the switch.
+#if defined(__SANITIZE_THREAD__)
+#define ITC_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ITC_FIBER_TSAN 1
+#endif
+#endif
+#ifndef ITC_FIBER_TSAN
+#define ITC_FIBER_TSAN 0
+#endif
+
+#if ITC_FIBER_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace itc::sim {
 
 namespace {
@@ -54,6 +74,42 @@ inline void AsanFinishSwitch(void* fake, const void** bottom_old, size_t* size_o
   (void)fake;
   (void)bottom_old;
   (void)size_old;
+#endif
+}
+
+// A fresh TSan context for a fiber about to run. nullptr (and no-ops below)
+// outside TSan builds.
+inline void* TsanCreateFiber() {
+#if ITC_FIBER_TSAN
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+
+inline void TsanDestroyFiber(void* fiber) {
+#if ITC_FIBER_TSAN
+  if (fiber != nullptr) __tsan_destroy_fiber(fiber);
+#else
+  (void)fiber;
+#endif
+}
+
+inline void* TsanCurrentFiber() {
+#if ITC_FIBER_TSAN
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+// Called immediately before the swapcontext/setcontext that moves control to
+// the context `fiber` shadows.
+inline void TsanSwitchToFiber(void* fiber) {
+#if ITC_FIBER_TSAN
+  __tsan_switch_to_fiber(fiber, 0);
+#else
+  (void)fiber;
 #endif
 }
 
@@ -135,6 +191,7 @@ Fiber::~Fiber() {
 void Fiber::Start(Entry entry, void* arg) {
   ITC_CHECK(!started_ && stack_ == nullptr);
   stack_ = FiberStackPool::Instance().Acquire();
+  tsan_fiber_ = TsanCreateFiber();
   entry_ = entry;
   arg_ = arg;
   started_ = true;
@@ -163,6 +220,8 @@ void Fiber::Resume() {
   ITC_CHECK(started_ && !exited_ && stack_ != nullptr);
   void* caller_fake = nullptr;
   AsanStartSwitch(&caller_fake, stack_->limit, stack_->size);
+  tsan_caller_ = TsanCurrentFiber();
+  TsanSwitchToFiber(tsan_fiber_);
   ITC_CHECK(swapcontext(&caller_, &ctx_) == 0);
   // The fiber suspended or exited; we are back on the caller's stack.
   AsanFinishSwitch(caller_fake, nullptr, nullptr);
@@ -170,6 +229,7 @@ void Fiber::Resume() {
 
 void Fiber::Suspend() {
   AsanStartSwitch(&self_fake_stack_, caller_stack_bottom_, caller_stack_size_);
+  TsanSwitchToFiber(tsan_caller_);
   ITC_CHECK(swapcontext(&ctx_, &caller_) == 0);
   // Resumed; refresh the resumer's bounds (a later Resume may come from a
   // different frame of the kernel loop).
@@ -181,6 +241,9 @@ void Fiber::Exit() {
   // nullptr fake-stack handle: this context is gone for good, so ASan frees
   // its fake stack; the real stack goes back to the pool via ReleaseStack.
   AsanStartSwitch(nullptr, caller_stack_bottom_, caller_stack_size_);
+  // The shadow context outlives this last switch; ReleaseStack (always on
+  // the resumer's side) destroys it.
+  TsanSwitchToFiber(tsan_caller_);
   setcontext(&caller_);
   __builtin_unreachable();
 }
@@ -188,6 +251,8 @@ void Fiber::Exit() {
 void Fiber::ReleaseStack() {
   if (stack_ == nullptr) return;
   ITC_CHECK(exited_ || !started_);
+  TsanDestroyFiber(tsan_fiber_);
+  tsan_fiber_ = nullptr;
   FiberStackPool::Instance().Release(stack_);
   stack_ = nullptr;
 }

@@ -20,9 +20,14 @@
 //
 // Sanitizers: under AddressSanitizer every switch is bracketed with
 // __sanitizer_start_switch_fiber/__sanitizer_finish_switch_fiber so ASan
-// tracks the active stack; without ASan the annotations compile to nothing.
-// The OS-thread kernel backend (KernelBackend::kThread) remains the
-// sanitizer-safe reference implementation.
+// tracks the active stack, and under ThreadSanitizer every fiber carries a
+// __tsan_create_fiber context with __tsan_switch_to_fiber called right
+// before each swapcontext, so TSan's shadow state follows execution across
+// stack switches instead of reporting phantom races between frames of the
+// same logical thread. Without a sanitizer the annotations compile to
+// nothing. The OS-thread kernel backend (KernelBackend::kThread) remains the
+// annotation-free reference implementation, and is what the TSan CI leg
+// pins.
 
 #ifndef SRC_SIM_FIBER_H_
 #define SRC_SIM_FIBER_H_
@@ -124,6 +129,12 @@ class Fiber {
   void* self_fake_stack_ = nullptr;
   const void* caller_stack_bottom_ = nullptr;
   size_t caller_stack_size_ = 0;
+
+  // TSan bookkeeping: this fiber's shadow context (created at Start,
+  // destroyed at ReleaseStack), and the resumer's context for switching
+  // back. Unused (and left null) outside TSan builds.
+  void* tsan_fiber_ = nullptr;
+  void* tsan_caller_ = nullptr;
 };
 
 }  // namespace itc::sim

@@ -71,6 +71,7 @@ void Kernel::PushEvent(SimTime time, Activity* activity, bool may_grow) {
   // reallocate. The check turns any future violation of that invariant into
   // a crash instead of a silent allocation.
   if (!may_grow) ITC_CHECK(heap_.size() < heap_.capacity());
+  // itcfs-lint: allow(no-alloc-in-kernel-hot-path-transitive) -- capacity-checked above; steady state never grows
   heap_.push_back(Event{time, next_seq_++, activity});
   std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
 }

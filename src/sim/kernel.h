@@ -49,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/ownership.h"
 #include "src/common/types.h"
 #include "src/sim/fiber.h"
 #include "src/sim/resource.h"
@@ -94,20 +95,21 @@ class Kernel {
 
   // Registers an activity whose body starts at virtual time max(start, now()).
   // Must be called from outside the kernel (not from an activity body).
-  void Spawn(std::string name, SimTime start, std::function<void()> body);
+  ITC_KERNEL_QUIESCENT void Spawn(std::string name, SimTime start,
+                                  std::function<void()> body);
 
   // Drains the event queue: repeatedly pops the earliest event, advances
   // virtual time to it, and resumes its activity until that activity suspends
   // (WaitUntil) or finishes. Returns once every activity has run to
   // completion; rethrows the first exception an activity body escaped with.
-  void Run();
+  ITC_KERNEL_ENTRY void Run();
 
   // Global virtual time: the timestamp of the most recent event.
-  SimTime now() const { return now_; }
+  ITC_KERNEL_ENTRY SimTime now() const { return now_; }
 
   // Suspends the calling activity until virtual time reaches t; a no-op when
   // t is not in the future. Only legal from inside an activity body.
-  void WaitUntil(SimTime t);
+  ITC_KERNEL_ENTRY void WaitUntil(SimTime t);
 
   // The kernel driving the calling thread, or nullptr when the caller is not
   // a kernel activity (plain test code, bench setup, main()).
@@ -119,14 +121,14 @@ class Kernel {
   // the determinism and backend-equivalence tests rely on this. Call before
   // Run; the ring is pre-sized here so tracing stays off the per-event
   // allocation path.
-  void EnableTrace(size_t capacity = kDefaultTraceCapacity);
+  ITC_KERNEL_QUIESCENT void EnableTrace(size_t capacity = kDefaultTraceCapacity);
   // The retained trace, oldest first.
-  std::vector<TraceEntry> trace() const;
-  uint64_t trace_dropped() const { return trace_dropped_; }
+  ITC_KERNEL_QUIESCENT std::vector<TraceEntry> trace() const;
+  ITC_KERNEL_QUIESCENT uint64_t trace_dropped() const { return trace_dropped_; }
 
   // Events dispatched by Run() so far. One dispatch is one activity
   // resumption — under kFiber, exactly two user-space context switches.
-  uint64_t events_dispatched() const { return events_dispatched_; }
+  ITC_KERNEL_QUIESCENT uint64_t events_dispatched() const { return events_dispatched_; }
 
  private:
   struct Activity;
@@ -158,19 +160,19 @@ class Kernel {
   const KernelBackend backend_;
   // Binary min-heap (std::push_heap/pop_heap over EventAfter), pre-sized by
   // Spawn-time growth.
-  std::vector<Event> heap_;
-  std::vector<std::unique_ptr<Activity>> activities_;
-  SimTime now_ = 0;
-  uint64_t next_seq_ = 0;
-  uint64_t events_dispatched_ = 0;
-  std::exception_ptr failure_;
+  ITC_OWNED_BY_KERNEL std::vector<Event> heap_;
+  ITC_OWNED_BY_KERNEL std::vector<std::unique_ptr<Activity>> activities_;
+  ITC_OWNED_BY_KERNEL SimTime now_ = 0;
+  ITC_OWNED_BY_KERNEL uint64_t next_seq_ = 0;
+  ITC_OWNED_BY_KERNEL uint64_t events_dispatched_ = 0;
+  ITC_OWNED_BY_KERNEL std::exception_ptr failure_;
 
   // Trace ring buffer; trace_cap_ == 0 means tracing is off.
-  std::vector<TraceEntry> trace_buf_;
-  size_t trace_cap_ = 0;
-  size_t trace_head_ = 0;   // next slot to write
-  size_t trace_count_ = 0;  // live entries, <= trace_cap_
-  uint64_t trace_dropped_ = 0;
+  ITC_OWNED_BY_KERNEL std::vector<TraceEntry> trace_buf_;
+  ITC_OWNED_BY_KERNEL size_t trace_cap_ = 0;
+  ITC_OWNED_BY_KERNEL size_t trace_head_ = 0;   // next slot to write
+  ITC_OWNED_BY_KERNEL size_t trace_count_ = 0;  // live entries, <= trace_cap_
+  ITC_OWNED_BY_KERNEL uint64_t trace_dropped_ = 0;
 
   // kThread backend only: the baton. The mutex also carries the
   // happens-before edges that make the unlocked heap accesses in Run safe —
@@ -178,7 +180,7 @@ class Kernel {
   // (cv wait under mu_) and handing it back.
   std::mutex mu_;
   std::condition_variable kernel_cv_;  // signalled when the baton returns
-  Activity* running_ = nullptr;        // guarded by mu_
+  ITC_OWNED_BY_KERNEL Activity* running_ = nullptr;  // guarded by mu_
 
   static thread_local Kernel* current_kernel_;
   static thread_local Activity* current_activity_;
@@ -193,13 +195,13 @@ class Kernel {
 // arrival of their next stage, and that next Charge/AlignTo is the
 // suspension point which realizes it. Outside a kernel this is a plain
 // Resource::Serve in call order.
-SimTime Charge(Resource& resource, SimTime arrival, SimTime demand);
+ITC_KERNEL_ENTRY SimTime Charge(Resource& resource, SimTime arrival, SimTime demand);
 
 // Suspends until virtual time reaches t (no-op outside a kernel). Marks a
 // stage boundary that consumes no resource time — e.g. "the request has now
 // arrived at the server; dispatch may run" — so the functional side effects
 // of a stage happen at the simulated moment they represent.
-void AlignTo(SimTime t);
+ITC_KERNEL_ENTRY void AlignTo(SimTime t);
 
 }  // namespace itc::sim
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/ownership.h"
 #include "src/common/types.h"
 
 namespace itc::sim {
@@ -35,39 +36,39 @@ class Resource {
   // completion time. The event kernel guarantees calls arrive in
   // nondecreasing `arrival` order; only src/sim/ may call this directly —
   // everything else goes through sim::Charge.
-  SimTime Serve(SimTime arrival, SimTime demand);
+  ITC_KERNEL_ENTRY SimTime Serve(SimTime arrival, SimTime demand);
 
   // Total time this resource has been busy.
-  SimTime busy_time() const { return busy_; }
+  ITC_KERNEL_QUIESCENT SimTime busy_time() const { return busy_; }
   // Number of demands served.
-  uint64_t jobs() const { return jobs_; }
+  ITC_KERNEL_QUIESCENT uint64_t jobs() const { return jobs_; }
   // Time the resource next becomes free.
-  SimTime ready_at() const { return ready_; }
+  ITC_KERNEL_QUIESCENT SimTime ready_at() const { return ready_; }
   // busy / elapsed, clamped to [0, 1].
-  double Utilization(SimTime elapsed) const;
+  ITC_KERNEL_QUIESCENT double Utilization(SimTime elapsed) const;
 
   const std::string& name() const { return name_; }
 
   // Enables accumulation of busy time into windows of `window` duration,
   // starting at time 0. Must be called before the first Serve() (checked:
   // enabling late would silently miss busy time already accumulated).
-  void EnableWindowTracking(SimTime window);
+  ITC_KERNEL_QUIESCENT void EnableWindowTracking(SimTime window);
   // Busy fraction per window; the last entry may cover a partial window.
-  std::vector<double> WindowUtilization() const;
+  ITC_KERNEL_QUIESCENT std::vector<double> WindowUtilization() const;
 
   // Restores a completely fresh resource: queue, counters, and window
   // tracking (which may then be re-enabled) are all cleared.
-  void Reset();
+  ITC_KERNEL_QUIESCENT void Reset();
 
  private:
   void AccumulateWindowed(SimTime start, SimTime end);
 
   std::string name_;
-  SimTime ready_ = 0;
-  SimTime busy_ = 0;
-  uint64_t jobs_ = 0;
-  SimTime window_ = 0;  // 0 = tracking disabled
-  std::vector<SimTime> window_busy_;
+  ITC_OWNED_BY_KERNEL SimTime ready_ = 0;
+  ITC_OWNED_BY_KERNEL SimTime busy_ = 0;
+  ITC_OWNED_BY_KERNEL uint64_t jobs_ = 0;
+  ITC_OWNED_BY_KERNEL SimTime window_ = 0;  // 0 = tracking disabled
+  ITC_OWNED_BY_KERNEL std::vector<SimTime> window_busy_;
 };
 
 }  // namespace itc::sim

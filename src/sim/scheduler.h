@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "src/common/ownership.h"
 #include "src/common/types.h"
 #include "src/sim/kernel.h"
 
@@ -68,19 +69,19 @@ class Scheduler {
     trace_enabled_ = true;
     trace_capacity_ = capacity;
   }
-  const std::vector<TraceEntry>& trace() const { return trace_; }
+  ITC_KERNEL_QUIESCENT const std::vector<TraceEntry>& trace() const { return trace_; }
 
   // Events the kernel dispatched during the most recent run (event-driven
   // mode only); the throughput bench divides this by wall-clock time.
-  uint64_t last_events() const { return last_events_; }
+  ITC_KERNEL_QUIESCENT uint64_t last_events() const { return last_events_; }
 
   // Runs until every process is done. Returns the max final virtual time.
-  SimTime RunAll();
+  ITC_KERNEL_ENTRY SimTime RunAll();
 
   // Runs until every process is done or has now() >= horizon.
   // Returns the latest virtual time reached (capped at horizon for
   // still-running processes).
-  SimTime RunUntil(SimTime horizon);
+  ITC_KERNEL_ENTRY SimTime RunUntil(SimTime horizon);
 
  private:
   SimTime RunEventDriven(SimTime horizon);
@@ -91,8 +92,8 @@ class Scheduler {
   KernelBackend backend_ = DefaultKernelBackend();
   bool trace_enabled_ = false;
   size_t trace_capacity_ = Kernel::kDefaultTraceCapacity;
-  std::vector<TraceEntry> trace_;
-  uint64_t last_events_ = 0;
+  ITC_OWNED_BY_KERNEL std::vector<TraceEntry> trace_;
+  ITC_OWNED_BY_KERNEL uint64_t last_events_ = 0;
 };
 
 }  // namespace itc::sim

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/common/fid.h"
+#include "src/common/ownership.h"
 #include "src/common/result.h"
 #include "src/common/types.h"
 #include "src/crypto/key.h"
@@ -70,12 +71,12 @@ class Venus : public vice::CallbackReceiver, private validation::ValidationHost 
   // Authenticates this workstation to Vice on behalf of `user`. The key is
   // derived from the user's password (crypto::DeriveKeyFromPassword); the
   // password itself never reaches Venus.
-  [[nodiscard]] Status Login(UserId user, const crypto::Key& user_key);
+  ITC_KERNEL_ENTRY [[nodiscard]] Status Login(UserId user, const crypto::Key& user_key);
   // Ends the session: connections dropped, callback promises surrendered.
   // Cached data survives (revalidated on next use).
-  void Logout();
-  UserId user() const { return user_; }
-  bool logged_in() const { return user_ != kAnonymousUser; }
+  ITC_KERNEL_ENTRY void Logout();
+  ITC_KERNEL_QUIESCENT UserId user() const { return user_; }
+  ITC_KERNEL_QUIESCENT bool logged_in() const { return user_ != kAnonymousUser; }
 
   // --- Whole-file open/close ---------------------------------------------------
   struct OpenResult {
@@ -88,39 +89,39 @@ class Venus : public vice::CallbackReceiver, private validation::ValidationHost 
   // read-only replica exists. create makes the file (parent needs Insert).
   // The returned cache_path is a local file the caller reads/writes; the
   // entry stays pinned until Close.
-  [[nodiscard]] Result<OpenResult> Open(const std::string& path, bool for_write, bool create);
+  ITC_KERNEL_ENTRY [[nodiscard]] Result<OpenResult> Open(const std::string& path, bool for_write, bool create);
 
   // Closes an open file. If `dirty`, the cached copy is stored back to the
   // custodian immediately ("Virtue stores a file back when it is closed") —
   // or queued, under the deferred write-back policy.
-  [[nodiscard]] Status Close(const Fid& fid, bool dirty);
+  ITC_KERNEL_ENTRY [[nodiscard]] Status Close(const Fid& fid, bool dirty);
 
   // Deferred write-back only: stores every queued dirty file now. Called
   // automatically on logout and when the dirty queue fills.
-  [[nodiscard]] Status FlushDirty();
-  size_t dirty_count() const { return dirty_queue_.size(); }
+  ITC_KERNEL_ENTRY [[nodiscard]] Status FlushDirty();
+  ITC_KERNEL_QUIESCENT size_t dirty_count() const { return dirty_queue_.size(); }
 
   // Simulates a workstation crash: the session drops WITHOUT flushing
   // deferred writes — they are lost, which is precisely why the paper chose
   // store-on-close. (With the on-close policy nothing is pending to lose.)
-  void SimulateCrash();
+  ITC_KERNEL_QUIESCENT void SimulateCrash();
 
   // --- Metadata and name space ---------------------------------------------------
-  [[nodiscard]] Result<vice::VnodeStatus> Stat(const std::string& path);
-  [[nodiscard]] Result<std::vector<std::pair<std::string, vice::DirItem>>> ReadDir(const std::string& path);
-  [[nodiscard]] Status MkDir(const std::string& path);
-  [[nodiscard]] Status Remove(const std::string& path);
-  [[nodiscard]] Status RmDir(const std::string& path);
-  [[nodiscard]] Status Rename(const std::string& from, const std::string& to);
-  [[nodiscard]] Status Symlink(const std::string& target, const std::string& link_path);
-  [[nodiscard]] Result<std::string> ReadLink(const std::string& path);
-  [[nodiscard]] Status SetMode(const std::string& path, uint16_t mode);
+  ITC_KERNEL_ENTRY [[nodiscard]] Result<vice::VnodeStatus> Stat(const std::string& path);
+  ITC_KERNEL_ENTRY [[nodiscard]] Result<std::vector<std::pair<std::string, vice::DirItem>>> ReadDir(const std::string& path);
+  ITC_KERNEL_ENTRY [[nodiscard]] Status MkDir(const std::string& path);
+  ITC_KERNEL_ENTRY [[nodiscard]] Status Remove(const std::string& path);
+  ITC_KERNEL_ENTRY [[nodiscard]] Status RmDir(const std::string& path);
+  ITC_KERNEL_ENTRY [[nodiscard]] Status Rename(const std::string& from, const std::string& to);
+  ITC_KERNEL_ENTRY [[nodiscard]] Status Symlink(const std::string& target, const std::string& link_path);
+  ITC_KERNEL_ENTRY [[nodiscard]] Result<std::string> ReadLink(const std::string& path);
+  ITC_KERNEL_ENTRY [[nodiscard]] Status SetMode(const std::string& path, uint16_t mode);
 
-  [[nodiscard]] Result<protection::AccessList> GetAcl(const std::string& path);
-  [[nodiscard]] Status SetAcl(const std::string& path, const protection::AccessList& acl);
+  ITC_KERNEL_ENTRY [[nodiscard]] Result<protection::AccessList> GetAcl(const std::string& path);
+  ITC_KERNEL_ENTRY [[nodiscard]] Status SetAcl(const std::string& path, const protection::AccessList& acl);
 
-  [[nodiscard]] Status SetLock(const std::string& path, vice::LockMode mode);
-  [[nodiscard]] Status ReleaseLock(const std::string& path);
+  ITC_KERNEL_ENTRY [[nodiscard]] Status SetLock(const std::string& path, vice::LockMode mode);
+  ITC_KERNEL_ENTRY [[nodiscard]] Status ReleaseLock(const std::string& path);
 
   // Quota/usage of the volume holding `path` (the `df` of the shared space;
   // quota enforcement is Section 3.6's "restrict and account for the usage
@@ -132,17 +133,17 @@ class Venus : public vice::CallbackReceiver, private validation::ValidationHost 
     bool read_only = false;
     bool online = true;
   };
-  [[nodiscard]] Result<VolumeStatus> GetVolumeStatus(const std::string& path);
+  ITC_KERNEL_ENTRY [[nodiscard]] Result<VolumeStatus> GetVolumeStatus(const std::string& path);
 
   // --- Cache management ------------------------------------------------------------
   // Drops the entire cache (surrendering callback promises).
-  void FlushCache();
-  FileCache& cache() { return cache_; }
-  const VenusStats& stats() const { return stats_; }
+  ITC_KERNEL_QUIESCENT void FlushCache();
+  ITC_KERNEL_QUIESCENT FileCache& cache() { return cache_; }
+  ITC_KERNEL_QUIESCENT const VenusStats& stats() const { return stats_; }
   // Client-observed per-op round trips (recorded by the stub's tracing
   // interceptor, including retries).
-  const rpc::CallStats& call_stats() const { return call_stats_; }
-  void ResetStats();
+  ITC_KERNEL_QUIESCENT const rpc::CallStats& call_stats() const { return call_stats_; }
+  ITC_KERNEL_QUIESCENT void ResetStats();
 
   NodeId node() const { return node_; }
 
@@ -160,10 +161,10 @@ class Venus : public vice::CallbackReceiver, private validation::ValidationHost 
   using EscapePredicate = std::function<bool(const std::string& target)>;
   void set_escape_predicate(EscapePredicate p) { escape_predicate_ = std::move(p); }
   // The rewritten path after a kSymlinkEscape failure; consumes it.
-  std::string TakeEscapePath() { return std::move(escape_path_); }
+  ITC_KERNEL_ENTRY std::string TakeEscapePath() { return std::move(escape_path_); }
 
   // vice::CallbackReceiver:
-  void OnCallbackBroken(const Fid& fid) override;
+  ITC_KERNEL_ENTRY void OnCallbackBroken(const Fid& fid) override;
   NodeId callback_node() const override { return node_; }
 
  private:
@@ -237,11 +238,11 @@ class Venus : public vice::CallbackReceiver, private validation::ValidationHost 
                                       const Bytes& request) override {
     return CallForFid(fid, proc, request);
   }
-  FileCache& entry_cache() override { return cache_; }
-  VenusStats& venus_stats() override { return stats_; }
+  ITC_KERNEL_ENTRY FileCache& entry_cache() override { return cache_; }
+  ITC_KERNEL_ENTRY VenusStats& venus_stats() override { return stats_; }
   const VenusConfig& venus_config() const override { return config_; }
-  ServerId last_contacted() const override { return last_contacted_; }
-  SimTime last_lease_expiry() const override { return last_lease_expiry_; }
+  ITC_KERNEL_ENTRY ServerId last_contacted() const override { return last_contacted_; }
+  ITC_KERNEL_ENTRY SimTime last_lease_expiry() const override { return last_lease_expiry_; }
 
   NodeId node_;
   sim::Clock* clock_;
@@ -253,34 +254,34 @@ class Venus : public vice::CallbackReceiver, private validation::ValidationHost 
   sim::CostModel cost_;
   uint64_t seed_;
 
-  UserId user_ = kAnonymousUser;
+  ITC_OWNED_BY_KERNEL UserId user_ = kAnonymousUser;
   crypto::Key user_key_;
-  std::map<ServerId, std::unique_ptr<rpc::ClientConnection>> connections_;
+  ITC_OWNED_BY_KERNEL std::map<ServerId, std::unique_ptr<rpc::ClientConnection>> connections_;
   // Last restart epoch observed per server (ProbeEpoch on each fresh
   // connection, callback mode only). A bump between connections means the
   // server crashed while we were not looking.
-  std::map<ServerId, uint32_t> server_epochs_;
+  ITC_OWNED_BY_KERNEL std::map<ServerId, uint32_t> server_epochs_;
   // Server that answered the most recent successful call (stamps the cache
   // entry it produced).
-  ServerId last_contacted_ = kInvalidServer;
+  ITC_OWNED_BY_KERNEL ServerId last_contacted_ = kInvalidServer;
   // Lease expiry carried by the most recent Fetch/FetchStatus reply.
-  SimTime last_lease_expiry_ = 0;
+  ITC_OWNED_BY_KERNEL SimTime last_lease_expiry_ = 0;
   // The scheme-specific half of cache validation (src/venus/validation/).
   std::unique_ptr<validation::ValidationPolicy> policy_;
 
-  FileCache cache_;
-  std::map<VolumeId, vice::VolumeInfo> volume_hints_;
-  VolumeId root_volume_ = kInvalidVolume;
+  ITC_OWNED_BY_KERNEL FileCache cache_;
+  ITC_OWNED_BY_KERNEL std::map<VolumeId, vice::VolumeInfo> volume_hints_;
+  ITC_OWNED_BY_KERNEL VolumeId root_volume_ = kInvalidVolume;
   // Prototype name cache: full Vice path -> fid (filled by ResolvePath).
-  std::map<std::string, Fid, std::less<>> name_cache_;
+  ITC_OWNED_BY_KERNEL std::map<std::string, Fid, std::less<>> name_cache_;
   // Deferred write-back queue (insertion order; duplicates coalesce).
-  std::vector<Fid> dirty_queue_;
+  ITC_OWNED_BY_KERNEL std::vector<Fid> dirty_queue_;
 
   EscapePredicate escape_predicate_;
-  std::string escape_path_;
+  ITC_OWNED_BY_KERNEL std::string escape_path_;
 
-  VenusStats stats_;
-  rpc::CallStats call_stats_;
+  ITC_OWNED_BY_KERNEL VenusStats stats_;
+  ITC_OWNED_BY_KERNEL rpc::CallStats call_stats_;
 };
 
 }  // namespace itc::venus

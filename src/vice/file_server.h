@@ -24,6 +24,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/common/ownership.h"
 #include "src/common/result.h"
 #include "src/common/types.h"
 #include "src/net/network.h"
@@ -93,11 +94,11 @@ class ViceServer {
   protection::Replica& protection_replica() { return protection_replica_; }
 
   // --- Volume management (driven by the VolumeRegistry) ---------------------
-  void InstallVolume(std::unique_ptr<Volume> volume);
-  std::unique_ptr<Volume> EjectVolume(VolumeId id);
+  ITC_KERNEL_QUIESCENT void InstallVolume(std::unique_ptr<Volume> volume);
+  ITC_KERNEL_QUIESCENT std::unique_ptr<Volume> EjectVolume(VolumeId id);
   Volume* FindVolume(VolumeId id);
   const Volume* FindVolume(VolumeId id) const;
-  size_t volume_count() const { return volumes_.size(); }
+  ITC_KERNEL_QUIESCENT size_t volume_count() const { return volumes_.size(); }
 
   void SetLocationSnapshot(std::shared_ptr<const LocationDb> snapshot) {
     location_ = std::move(snapshot);
@@ -108,13 +109,13 @@ class ViceServer {
   // Re-dumps one volume's durable image; admin paths that mutate a volume
   // directly (bypassing the logged RPC handlers) must call this or the
   // mutation would not survive a crash.
-  void CheckpointVolume(VolumeId id);
+  ITC_KERNEL_QUIESCENT void CheckpointVolume(VolumeId id);
 
   // Kills the server: the endpoint goes offline and every piece of volatile
   // state — callback promises, advisory locks, connections, registered
   // sinks, the in-memory volumes themselves — is dropped. Only the
   // StableStore (checkpoint images + intention log) survives.
-  void SimulateCrash();
+  ITC_KERNEL_QUIESCENT void SimulateCrash();
 
   // Brings a crashed server back at virtual time `at`: restores volumes from
   // their checkpoint images, replays committed intentions in LSN order,
@@ -123,10 +124,10 @@ class ViceServer {
   // the log, and bumps the restart epoch. Recovery I/O is served through the
   // server disk, so RecoveryReport::recovery_time is real queueing time and
   // early RPCs after restart queue behind it.
-  recovery::RecoveryReport Restart(SimTime at);
+  ITC_KERNEL_QUIESCENT recovery::RecoveryReport Restart(SimTime at);
 
-  bool crashed() const { return crashed_; }
-  uint32_t restart_epoch() const { return restart_epoch_; }
+  ITC_KERNEL_QUIESCENT bool crashed() const { return crashed_; }
+  ITC_KERNEL_QUIESCENT uint32_t restart_epoch() const { return restart_epoch_; }
   recovery::StableStore& stable_store() { return store_; }
   const recovery::StableStore& stable_store() const { return store_; }
 
@@ -134,28 +135,28 @@ class ViceServer {
   // Venus instances register out-of-band so the server can notify the right
   // in-process object for a given workstation node (the simulated wire
   // carries only the node id).
-  void RegisterCallbackSink(NodeId node, CallbackReceiver* sink);
-  void UnregisterCallbackSink(NodeId node);
+  ITC_KERNEL_QUIESCENT void RegisterCallbackSink(NodeId node, CallbackReceiver* sink);
+  ITC_KERNEL_QUIESCENT void UnregisterCallbackSink(NodeId node);
 
   // --- Statistics ---------------------------------------------------------------
   // Derived from the endpoint's CallStats (recorded by the RPC tracing
   // interceptor; src/rpc/call_stats.h).
-  std::map<CallClass, uint64_t> CallHistogram() const;
-  uint64_t total_calls() const;
-  void ResetStats();
+  ITC_KERNEL_QUIESCENT std::map<CallClass, uint64_t> CallHistogram() const;
+  ITC_KERNEL_QUIESCENT uint64_t total_calls() const;
+  ITC_KERNEL_QUIESCENT void ResetStats();
 
   // Long-term access pattern accounting (Section 3.6: "monitoring tools ...
   // to recognize long-term changes in user access patterns and help
   // reassign users to cluster servers"): per volume, how many data/status
   // accesses arrived from each cluster.
   using VolumeAccessMap = std::map<VolumeId, std::map<ClusterId, uint64_t>>;
-  const VolumeAccessMap& volume_accesses() const { return volume_accesses_; }
+  ITC_KERNEL_QUIESCENT const VolumeAccessMap& volume_accesses() const { return volume_accesses_; }
 
  private:
   // Binds every Proc's handler into registry_ against ViceOpSchema(). Each
   // binding runs the shared prologue (volume clock stamp + the prototype's
   // server-side pathname charge) before the handler body.
-  void BindOps();
+  ITC_KERNEL_ENTRY void BindOps();
   // Returns the effective rights `user` holds on the directory governing
   // `fid` in `vol`. Administrators hold all rights.
   protection::Rights EffectiveRights(const Volume& vol, const Fid& fid, UserId user) const;
@@ -226,25 +227,25 @@ class ViceServer {
   rpc::OpRegistry registry_;
   rpc::ServerEndpoint endpoint_;
   protection::Replica protection_replica_;
-  std::map<VolumeId, std::unique_ptr<Volume>> volumes_;
+  ITC_OWNED_BY_KERNEL std::map<VolumeId, std::unique_ptr<Volume>> volumes_;
   std::shared_ptr<const LocationDb> location_;
   CallbackManager callbacks_;
   LeaseManager leases_;
   LockManager locks_;
-  std::unordered_map<NodeId, CallbackReceiver*> callback_sinks_;
-  VolumeAccessMap volume_accesses_;
-  SimTime now_ = 0;  // arrival time of the call being dispatched
+  ITC_OWNED_BY_KERNEL std::unordered_map<NodeId, CallbackReceiver*> callback_sinks_;
+  ITC_OWNED_BY_KERNEL VolumeAccessMap volume_accesses_;
+  ITC_OWNED_BY_KERNEL SimTime now_ = 0;  // arrival time of the call being dispatched
   // Durable state: survives SimulateCrash; everything above does not.
   recovery::StableStore store_;
-  uint32_t restart_epoch_ = 0;
-  bool crashed_ = false;
-  uint32_t committed_since_checkpoint_ = 0;
+  ITC_OWNED_BY_KERNEL uint32_t restart_epoch_ = 0;
+  ITC_OWNED_BY_KERNEL bool crashed_ = false;
+  ITC_OWNED_BY_KERNEL uint32_t committed_since_checkpoint_ = 0;
   // Volumes with a logged intention since their last image dump. Periodic
   // checkpoints re-dump only these: a volume that logged no intention has
   // not mutated (the intention-before-mutate lint rule enforces this), so
   // its stored image is byte-identical to what a fresh Dump would produce.
   // The simulated checkpoint disk charge still covers all images.
-  std::set<VolumeId> dirty_volumes_;
+  ITC_OWNED_BY_KERNEL std::set<VolumeId> dirty_volumes_;
   // CPS memoization keyed by protection-database version: CheckAccess runs
   // on every call, and the recursive group closure need not be recomputed
   // until the replicated database actually changes.

@@ -1,0 +1,20 @@
+// no-alloc-in-kernel-hot-path-transitive positive fixture: helpers reachable
+// from the kernel hot path allocate. Allocation directly inside Run/Dispatch
+// belongs to the direct rule and must NOT be re-reported here.
+class Kernel {
+ public:
+  void Run() {
+    heap_.push_back(0);  // direct rule's territory, not this rule's
+    Pump();
+  }
+  void Dispatch() { heap_.push_back(1); }  // likewise
+  void WaitUntil(long t) { Park(t); }
+
+ private:
+  void Pump() { buf_ = new char[64]; }
+  void Park(long t) { queue_.push_back(t); }
+
+  char* buf_ = nullptr;
+  std::vector<long> heap_;
+  std::vector<long> queue_;
+};

@@ -1,0 +1,15 @@
+// sim-determinism-transitive positive fixture: wall-clock taint laundered
+// through helpers. allow(sim-determinism) silences the direct diagnostic but
+// does not sanction the wrapper for its callers.
+long WallSeconds() { return time(nullptr); }
+
+long Uptime() { return WallSeconds() - 100; }
+
+long Doubly() { return Uptime() * 2; }
+
+long Sneaky() {
+  // itcfs-lint: allow(sim-determinism) -- direct rule silenced only
+  return time(nullptr);
+}
+
+long Launder() { return Sneaky(); }

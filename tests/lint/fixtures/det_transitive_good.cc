@@ -1,0 +1,8 @@
+// sim-determinism-transitive negative fixture: the wrapper's banned line
+// carries allow(sim-determinism-transitive), which sanctions it for callers.
+long WallSeconds() {
+  // itcfs-lint: allow(sim-determinism, sim-determinism-transitive) -- measurement wrapper
+  return time(nullptr);
+}
+
+long Uptime() { return WallSeconds() - 100; }

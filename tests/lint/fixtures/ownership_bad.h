@@ -1,0 +1,23 @@
+// kernel-ownership positive fixture: Rogue and Peek touch ITC_OWNED_BY_KERNEL
+// state from methods no entry point can reach.
+#ifndef OWNERSHIP_BAD_H_
+#define OWNERSHIP_BAD_H_
+
+class Kern {
+ public:
+  ITC_KERNEL_ENTRY void Run() {
+    ticks_++;
+    Advance();
+  }
+  ITC_KERNEL_QUIESCENT int Drain() { return log_.back(); }
+  void Rogue() { ticks_ = 0; }
+  int Peek() const { return log_[0]; }
+
+ private:
+  void Advance() { log_.push_back(ticks_); }  // reachable via Run: sanctioned
+
+  ITC_OWNED_BY_KERNEL int ticks_ = 0;
+  ITC_OWNED_BY_KERNEL std::vector<int> log_;
+};
+
+#endif  // OWNERSHIP_BAD_H_

@@ -1,0 +1,33 @@
+// kernel-ownership negative fixture: every touch of owned state is a ctor,
+// a dtor, or reachable from an ENTRY/QUIESCENT function — and another class
+// reusing the member name is not confused with the owner.
+#ifndef OWNERSHIP_GOOD_H_
+#define OWNERSHIP_GOOD_H_
+
+class Kern {
+ public:
+  Kern() { ticks_ = 0; }
+  ~Kern() { log_.clear(); }
+  ITC_KERNEL_ENTRY void Run() { Advance(); }
+  ITC_KERNEL_QUIESCENT void Reset() {
+    ticks_ = 0;
+    log_.clear();
+  }
+  ITC_KERNEL_QUIESCENT int Peek() const { return log_[0]; }
+
+ private:
+  void Advance() { log_.push_back(ticks_++); }  // reachable via Run
+
+  ITC_OWNED_BY_KERNEL int ticks_ = 0;
+  ITC_OWNED_BY_KERNEL std::vector<int> log_;
+};
+
+class Other {
+ public:
+  void Touch() { ticks_ = 1; }  // Other's own ticks_, not Kern's
+
+ private:
+  int ticks_ = 0;
+};
+
+#endif  // OWNERSHIP_GOOD_H_

@@ -1,0 +1,10 @@
+// stale-suppression positive fixture: a typo'd rule id, an allow that
+// silences nothing, and an allow(all) that silences nothing.
+// itcfs-lint: allow(sim-determinsm) -- typo'd id
+int A() { return 1; }
+
+// itcfs-lint: allow(sim-determinism) -- nothing on the next line to suppress
+int B() { return 2; }
+
+// itcfs-lint: allow(all)
+int C() { return 3; }

@@ -1,0 +1,11 @@
+// stale-suppression negative fixture: every allow earns its keep (or is an
+// allow(stale-suppression), which the rule cannot self-evaluate).
+struct Clock {
+  long Now() {
+    // itcfs-lint: allow(sim-determinism, sim-determinism-transitive) -- fixture wall clock
+    return time(nullptr);
+  }
+};
+
+// itcfs-lint: allow(stale-suppression)
+int D() { return 4; }

@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "tools/lint/callgraph.h"
 #include "tools/lint/lexer.h"
 #include "tools/lint/rules.h"
+#include "tools/lint/symbols.h"
 
 namespace itc::lint {
 namespace {
@@ -316,14 +318,304 @@ TEST(NoRawLeaseTerm, ExemptsTheTwoConfigDefaultSites) {
   EXPECT_TRUE(RunOne("no-raw-lease-term", in).empty());
 }
 
+// --- v2: symbol index + call graph -------------------------------------------
+
+TEST(SymbolIndexer, FindsMembersQualifiedDefsAndDeclMarkers) {
+  LintInput in;
+  in.files.push_back(Lex(
+      "src/x.cc",
+      "class A {\n"
+      " public:\n"
+      "  void M() { x_ = 1; }\n"
+      "  ITC_KERNEL_ENTRY void E();\n"
+      " private:\n"
+      "  ITC_OWNED_BY_KERNEL int x_ = 0;\n"
+      "};\n"
+      "void A::E() { M(); }\n"
+      "static int Free(int v) { return v; }\n"));
+  const SymbolIndex idx = BuildIndex(in.files);
+  ASSERT_EQ(idx.functions.size(), 3u);
+  bool saw_m = false, saw_e = false, saw_free = false;
+  for (const FunctionDef& f : idx.functions) {
+    if (f.Qualified() == "A::M") saw_m = true;
+    if (f.Qualified() == "A::E") {
+      saw_e = true;
+      // The marker sits on the in-class declaration; it must transfer to the
+      // out-of-line definition.
+      EXPECT_TRUE(f.entry);
+    }
+    if (f.Qualified() == "Free") saw_free = true;
+  }
+  EXPECT_TRUE(saw_m && saw_e && saw_free);
+  ASSERT_EQ(idx.owned.size(), 1u);
+  EXPECT_EQ(idx.owned[0].cls, "A");
+  EXPECT_EQ(idx.owned[0].name, "x_");
+}
+
+TEST(SymbolIndexer, PreprocessorBracesDoNotDesyncScopes) {
+  LintInput in;
+  in.files.push_back(Lex(
+      "src/x.cc",
+      "#define CHECK(c) do { if (!(c)) { abort(); } } while (false)\n"
+      "class B {\n"
+      " public:\n"
+      "  void F() { CHECK(1); }\n"
+      "};\n"));
+  const SymbolIndex idx = BuildIndex(in.files);
+  ASSERT_EQ(idx.functions.size(), 1u);
+  EXPECT_EQ(idx.functions[0].Qualified(), "B::F");
+}
+
+TEST(CallGraph, ReceiverHintPrunesAndBareCallsResolve) {
+  LintInput in;
+  in.files.push_back(Lex(
+      "src/x.cc",
+      "class Fiber { public: void Start() {} };\n"
+      "class Workload { public: void Start() {} };\n"
+      "class Kernel {\n"
+      " public:\n"
+      "  void Run() {\n"
+      "    fiber_.Start();\n"
+      "    Helper();\n"
+      "  }\n"
+      "  void Helper() {}\n"
+      "  Fiber fiber_;\n"
+      "};\n"));
+  const SymbolIndex idx = BuildIndex(in.files);
+  const CallGraph g = BuildCallGraph(idx);
+  size_t run = idx.functions.size(), fiber_start = run, workload_start = run,
+         helper = run;
+  for (size_t i = 0; i < idx.functions.size(); ++i) {
+    const std::string q = idx.functions[i].Qualified();
+    if (q == "Kernel::Run") run = i;
+    if (q == "Fiber::Start") fiber_start = i;
+    if (q == "Workload::Start") workload_start = i;
+    if (q == "Kernel::Helper") helper = i;
+  }
+  ASSERT_LT(run, idx.functions.size());
+  // `fiber_.Start()` resolves to Fiber::Start — and NOT to Workload::Start,
+  // which merely shares the method name.
+  EXPECT_EQ(g.callees[run].count(fiber_start), 1u);
+  EXPECT_EQ(g.callees[run].count(workload_start), 0u);
+  EXPECT_EQ(g.callees[run].count(helper), 1u);
+}
+
+TEST(KernelOwnership, FiresOnUnreachableMethodsTouchingOwnedState) {
+  LintInput in;
+  in.files.push_back(LexFixture("ownership_bad.h"));
+  const auto diags = RunOne("kernel-ownership", in);
+  EXPECT_EQ(diags.size(), 2u) << "Rogue/ticks_ and Peek/log_";
+  bool saw_rogue = false, saw_peek = false;
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "kernel-ownership");
+    if (d.message.find("Kern::Rogue") != std::string::npos) saw_rogue = true;
+    if (d.message.find("Kern::Peek") != std::string::npos) saw_peek = true;
+  }
+  EXPECT_TRUE(saw_rogue);
+  EXPECT_TRUE(saw_peek);
+}
+
+TEST(KernelOwnership, QuietOnSanctionedAccessCtorsAndUnrelatedClasses) {
+  LintInput in;
+  in.files.push_back(LexFixture("ownership_good.h"));
+  EXPECT_TRUE(RunOne("kernel-ownership", in).empty());
+}
+
+TEST(NoAllocTransitive, FiresOnReachableHelpersNotOnRootBodies) {
+  LintInput in;
+  in.files.push_back(LexFixture("alloc_transitive_bad.cc"));
+  const auto diags = RunOne("no-alloc-in-kernel-hot-path-transitive", in);
+  EXPECT_EQ(diags.size(), 2u) << "Pump's new and Park's push_back";
+  bool saw_pump = false, saw_park = false;
+  for (const Diagnostic& d : diags) {
+    // Run/Dispatch bodies belong to the direct rule; the quoted culprit must
+    // always be a reachable helper.
+    EXPECT_EQ(d.message.find("'Kernel::Run'"), std::string::npos);
+    EXPECT_EQ(d.message.find("'Kernel::Dispatch'"), std::string::npos);
+    if (d.message.find("'Kernel::Pump'") != std::string::npos) saw_pump = true;
+    if (d.message.find("'Kernel::Park'") != std::string::npos) saw_park = true;
+  }
+  EXPECT_TRUE(saw_pump);
+  EXPECT_TRUE(saw_park);
+}
+
+TEST(NoAllocTransitive, QuietOnPresizedWritesSuppressionsAndUnreachableCode) {
+  LintInput in;
+  in.files.push_back(LexFixture("alloc_transitive_good.cc"));
+  EXPECT_TRUE(RunOne("no-alloc-in-kernel-hot-path-transitive", in).empty());
+}
+
+TEST(SimDeterminismTransitive, TaintPropagatesThroughHelpers) {
+  LintInput in;
+  in.files.push_back(LexFixture("det_transitive_bad.cc"));
+  const auto diags = RunOne("sim-determinism-transitive", in);
+  // Uptime -> WallSeconds, Doubly -> Uptime, Launder -> Sneaky: the direct-
+  // rule-only suppression on Sneaky does not sanction it for callers.
+  EXPECT_EQ(diags.size(), 3u);
+  bool saw_wall = false, saw_uptime = false, saw_sneaky = false;
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "sim-determinism-transitive");
+    if (d.message.find("'WallSeconds'") != std::string::npos) saw_wall = true;
+    if (d.message.find("'Uptime'") != std::string::npos) saw_uptime = true;
+    if (d.message.find("'Sneaky'") != std::string::npos) saw_sneaky = true;
+  }
+  EXPECT_TRUE(saw_wall);
+  EXPECT_TRUE(saw_uptime);
+  EXPECT_TRUE(saw_sneaky);
+}
+
+TEST(SimDeterminismTransitive, OwnAllowOnBannedLineSanctionsTheWrapper) {
+  LintInput in;
+  in.files.push_back(LexFixture("det_transitive_good.cc"));
+  EXPECT_TRUE(RunOne("sim-determinism-transitive", in).empty());
+}
+
+TEST(SimDeterminismTransitive, ExemptFilesNeitherSeedNorGetDiagnosed) {
+  LintInput in;
+  in.files.push_back(LexFixture("det_transitive_bad.cc", "src/sim/clock_util.cc"));
+  EXPECT_TRUE(RunOne("sim-determinism-transitive", in).empty());
+}
+
+TEST(StaleSuppression, FullRunFlagsTyposUnusedAllowsAndUnusedAllowAll) {
+  LintInput in;
+  in.files.push_back(LexFixture("stale_bad.cc"));
+  const auto diags = RunRules(in, {});
+  EXPECT_EQ(diags.size(), 3u);
+  bool saw_unknown = false, saw_unused = false, saw_all = false;
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "stale-suppression");
+    if (d.message.find("unknown rule 'sim-determinsm'") != std::string::npos)
+      saw_unknown = true;
+    if (d.message.find("'allow(sim-determinism)' suppresses nothing") !=
+        std::string::npos)
+      saw_unused = true;
+    if (d.message.find("'allow(all)'") != std::string::npos) saw_all = true;
+  }
+  EXPECT_TRUE(saw_unknown);
+  EXPECT_TRUE(saw_unused);
+  EXPECT_TRUE(saw_all);
+}
+
+TEST(StaleSuppression, PartialRunOnlyJudgesRulesThatRan) {
+  LintInput in;
+  in.files.push_back(LexFixture("stale_bad.cc"));
+  // stale-suppression alone: the unknown id is still an error (it can never
+  // become useful), but allow(sim-determinism) and allow(all) cannot be
+  // judged without their rules running.
+  const auto diags = RunRules(in, {"stale-suppression"});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("unknown rule"), std::string::npos);
+}
+
+TEST(StaleSuppression, QuietWhenEveryAllowEarnsItsKeep) {
+  LintInput in;
+  in.files.push_back(LexFixture("stale_good.cc"));
+  EXPECT_TRUE(RunRules(in, {}).empty());
+}
+
+TEST(RuleDocSync, QuietWhenDocsMatchRegistry) {
+  LintInput in;
+  std::string md = "# itcfs-lint\n";
+  for (const std::string& r : AllRules()) md += "### `" + r + "`\ntext\n";
+  in.lint_md = md;
+  EXPECT_TRUE(RunOne("rule-doc-sync", in).empty());
+}
+
+TEST(RuleDocSync, FiresOnMissingAndStaleSections) {
+  LintInput in;
+  std::string md = "# itcfs-lint\n### `no-such-rule`\n";
+  for (const std::string& r : AllRules()) {
+    if (r != "opcode-sync") md += "### `" + r + "`\n";
+  }
+  in.lint_md = md;
+  const auto diags = RunOne("rule-doc-sync", in);
+  EXPECT_EQ(diags.size(), 2u);
+  bool saw_missing = false, saw_stale = false;
+  for (const Diagnostic& d : diags) {
+    if (d.message.find("'opcode-sync' has no") != std::string::npos) saw_missing = true;
+    if (d.message.find("'no-such-rule'") != std::string::npos) saw_stale = true;
+  }
+  EXPECT_TRUE(saw_missing);
+  EXPECT_TRUE(saw_stale);
+}
+
+TEST(RuleDocSync, SkippedWhenDocsAbsent) {
+  LintInput in;  // lint_md empty: fixture-driven unit runs have no docs
+  EXPECT_TRUE(RunOne("rule-doc-sync", in).empty());
+}
+
+// --- v2: lexer hardening -----------------------------------------------------
+
+TEST(Lexer, PreprocessorTokensAreFlaggedAcrossContinuations) {
+  LexedFile f = Lex("src/x.cc", "#define FOO \\\n  bar(1)\nint x;\n");
+  bool saw_bar = false;
+  for (const Token& t : f.tokens) {
+    if (t.text == "bar") {
+      saw_bar = true;
+      EXPECT_TRUE(t.pp);
+    }
+    if (t.text == "x") {
+      EXPECT_FALSE(t.pp);
+      EXPECT_EQ(t.line, 3);
+    }
+  }
+  EXPECT_TRUE(saw_bar);
+}
+
+TEST(Lexer, LineCommentContinuationSwallowsTheNextLine) {
+  LexedFile f = Lex("src/x.cc", "// comment \\\nstill comment rand()\nint z;\n");
+  ASSERT_GE(f.tokens.size(), 2u);
+  EXPECT_EQ(f.tokens[0].text, "int");
+  EXPECT_EQ(f.tokens[1].text, "z");
+  EXPECT_EQ(f.tokens[1].line, 3);
+}
+
+TEST(Lexer, CustomDelimiterRawStringsAndMalformedFallback) {
+  LexedFile f = Lex("src/x.cc", "auto s = R\"x(rand())x\"; int y;\n");
+  for (const Token& t : f.tokens) {
+    if (t.kind != TokKind::kString) EXPECT_NE(t.text, "rand");
+  }
+  // A delimiter longer than 16 chars is not a raw string; the lexer must not
+  // crash or swallow the rest of the file.
+  LexedFile g = Lex("src/x.cc",
+                    "auto t = R\"aaaaaaaaaaaaaaaaaaaa(x)\"; int w;\n");
+  bool saw_w = false;
+  for (const Token& t : g.tokens) {
+    if (t.text == "w") saw_w = true;
+  }
+  EXPECT_TRUE(saw_w);
+}
+
+TEST(Lexer, OperatorCallAndQualifiedNamesSurviveIndexing) {
+  LintInput in;
+  in.files.push_back(Lex("src/x.cc",
+                         "struct EventAfter {\n"
+                         "  bool operator()(int a, int b) const { return a > b; }\n"
+                         "};\n"
+                         "bool Cmp::operator<(const Cmp& o) const { return true; }\n"));
+  const SymbolIndex idx = BuildIndex(in.files);
+  bool saw_call = false, saw_less = false;
+  for (const FunctionDef& fd : idx.functions) {
+    if (fd.Qualified() == "EventAfter::operator()") saw_call = true;
+    if (fd.Qualified() == "Cmp::operator<") saw_less = true;
+  }
+  EXPECT_TRUE(saw_call);
+  EXPECT_TRUE(saw_less);
+}
+
 TEST(Cli, AllRulesHaveStableIds) {
-  EXPECT_EQ(AllRules().size(), 11u);
+  EXPECT_EQ(AllRules().size(), 16u);
   EXPECT_EQ(AllRules().count("nodiscard-status"), 1u);
   EXPECT_EQ(AllRules().count("opcode-sync"), 1u);
   EXPECT_EQ(AllRules().count("resource-serve-outside-kernel"), 1u);
   EXPECT_EQ(AllRules().count("no-alloc-in-kernel-hot-path"), 1u);
   EXPECT_EQ(AllRules().count("vfs-dispatch-only"), 1u);
   EXPECT_EQ(AllRules().count("no-raw-lease-term"), 1u);
+  EXPECT_EQ(AllRules().count("kernel-ownership"), 1u);
+  EXPECT_EQ(AllRules().count("no-alloc-in-kernel-hot-path-transitive"), 1u);
+  EXPECT_EQ(AllRules().count("sim-determinism-transitive"), 1u);
+  EXPECT_EQ(AllRules().count("stale-suppression"), 1u);
+  EXPECT_EQ(AllRules().count("rule-doc-sync"), 1u);
 }
 
 }  // namespace

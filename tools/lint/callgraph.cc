@@ -1,0 +1,178 @@
+#include "tools/lint/callgraph.h"
+
+#include <cctype>
+#include <deque>
+#include <string>
+
+namespace itc::lint {
+
+namespace {
+
+bool IsKeyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "if",     "for",      "while",    "switch",   "catch",   "return",
+      "sizeof", "alignof",  "decltype", "noexcept", "static_assert",
+      "assert", "defined",  "alignas",  "typeid",   "throw"};
+  return kw.count(s) > 0;
+}
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+// Receiver name, normalized for matching against a class name: lowercase,
+// member-underscore and plural 's' stripped (`servers_` -> "server").
+std::string NormHint(std::string s) {
+  s = Lower(std::move(s));
+  if (!s.empty() && s.back() == '_') s.pop_back();
+  if (s.size() > 3 && s.back() == 's') s.pop_back();
+  return s;
+}
+
+// Heuristic receiver typing: `fiber.Start(` resolves to Fiber::Start, not to
+// every Start in the repo, because the receiver and the class share a name
+// stem. Hints shorter than 3 chars (`p->Step()`) are uninformative and keep
+// every candidate — over-approximation stays the default; this only prunes
+// when the receiver clearly names its type.
+bool ClassMatchesHint(const std::string& cls, const std::string& norm_hint) {
+  if (cls.empty() || norm_hint.size() < 3) return false;
+  const std::string c = Lower(cls);
+  return c.find(norm_hint) != std::string::npos ||
+         norm_hint.find(c) != std::string::npos;
+}
+
+// The identifier the receiver chain ends in, for a call at token i whose
+// t[i-1] is `.`/`->`: `fiber.Start` -> "fiber", `venus().Open` -> "venus",
+// `servers_[i]->Restart` -> "servers_". "" when the chain is opaque.
+std::string ReceiverHint(const std::vector<Token>& t, size_t i) {
+  if (i < 2) return "";
+  size_t r = i - 2;
+  if (t[r].kind == TokKind::kIdent) return t[r].text;
+  if (t[r].text == ")" || t[r].text == "]") {
+    const std::string open = t[r].text == ")" ? "(" : "[";
+    const std::string close = t[r].text;
+    int depth = 0;
+    for (size_t j = r + 1; j-- > 0;) {
+      if (t[j].text == close) ++depth;
+      else if (t[j].text == open && --depth == 0) {
+        if (j > 0 && t[j - 1].kind == TokKind::kIdent) return t[j - 1].text;
+        return "";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+CallGraph BuildCallGraph(const SymbolIndex& idx) {
+  CallGraph g;
+  g.callees.resize(idx.functions.size());
+
+  for (size_t fi = 0; fi < idx.functions.size(); ++fi) {
+    const FunctionDef& f = idx.functions[fi];
+    const std::vector<Token>& t = f.file->tokens;
+    auto add_edge = [&](size_t callee, int line) {
+      if (callee == fi) return;  // self-recursion adds nothing to reachability
+      if (g.callees[fi].insert(callee).second) {
+        g.sites.push_back({fi, callee, line});
+      }
+    };
+
+    for (size_t i = f.body_begin; i < f.body_end && i < t.size(); ++i) {
+      if (t[i].pp) continue;
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string& name = t[i].text;
+
+      // &Cls::Foo — member-function pointer handed to a backend/thread.
+      if (i + 2 < f.body_end && t[i + 1].text == "::" &&
+          t[i + 2].kind == TokKind::kIdent && i > 0 && t[i - 1].text == "&" &&
+          !(i + 3 < t.size() && t[i + 3].text == "(")) {
+        auto it = idx.by_name.find(t[i + 2].text);
+        if (it != idx.by_name.end()) {
+          for (size_t ci : it->second) {
+            if (idx.functions[ci].cls == name) add_edge(ci, t[i].line);
+          }
+        }
+        continue;
+      }
+
+      if (i + 1 >= t.size() || t[i + 1].text != "(" || IsKeyword(name)) continue;
+      auto it = idx.by_name.find(name);
+      if (it == idx.by_name.end()) continue;
+      const std::string prev = i > 0 ? t[i - 1].text : "";
+
+      if (prev == "." || prev == "->") {
+        // Member call: candidates must be methods; prune by receiver name
+        // when it is informative, else keep every class's method.
+        const std::string hint = ReceiverHint(t, i);
+        const std::string norm = NormHint(hint);
+        const bool informative = hint == "this" || norm.size() >= 3;
+        std::vector<size_t> kept;
+        for (size_t ci : it->second) {
+          const FunctionDef& cand = idx.functions[ci];
+          if (cand.cls.empty()) continue;
+          if (hint == "this") {
+            if (cand.cls == f.cls) kept.push_back(ci);
+          } else if (!informative || ClassMatchesHint(cand.cls, norm)) {
+            kept.push_back(ci);
+          }
+        }
+        // An informative receiver matching no class means a std:: or
+        // otherwise un-indexed type; with a match, trust the pruning. An
+        // uninformative one (`p->Step()`) already kept everything.
+        for (size_t ci : kept) add_edge(ci, t[i].line);
+        continue;
+      }
+
+      if (prev == "::") {
+        // Cls::Foo( targets that class; ns::Foo( targets free functions.
+        const std::string qual =
+            i >= 2 && t[i - 2].kind == TokKind::kIdent ? t[i - 2].text : "";
+        bool class_qualified = false;
+        for (size_t ci : it->second) {
+          if (!qual.empty() && idx.functions[ci].cls == qual) class_qualified = true;
+        }
+        for (size_t ci : it->second) {
+          const FunctionDef& cand = idx.functions[ci];
+          if (class_qualified ? cand.cls == qual : cand.cls.empty())
+            add_edge(ci, t[i].line);
+        }
+        continue;
+      }
+
+      // Bare call: own-class method, free function, or constructor.
+      for (size_t ci : it->second) {
+        const FunctionDef& cand = idx.functions[ci];
+        if (cand.cls.empty() || cand.cls == f.cls || cand.cls == name)
+          add_edge(ci, t[i].line);
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<bool> Reachable(const CallGraph& g, const std::vector<size_t>& roots) {
+  std::vector<bool> seen(g.callees.size(), false);
+  std::deque<size_t> work;
+  for (size_t r : roots) {
+    if (r < seen.size() && !seen[r]) {
+      seen[r] = true;
+      work.push_back(r);
+    }
+  }
+  while (!work.empty()) {
+    size_t cur = work.front();
+    work.pop_front();
+    for (size_t next : g.callees[cur]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        work.push_back(next);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace itc::lint

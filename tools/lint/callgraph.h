@@ -1,0 +1,50 @@
+// Lint v2, pass 2 substrate: a conservative call graph over the symbol
+// index.
+//
+// Edges come from three syntactic shapes inside a function definition's
+// body token range (lambda bodies included, since they fall inside the
+// enclosing definition's range):
+//
+//   Foo(...)            — resolved by unqualified name to *every* function
+//   x.Foo(...) etc.       definition named Foo, any class. Over-approximate
+//   ns::Foo(...)          on purpose: a rule that gates on "not reachable"
+//                         must never miss a path because the linter could
+//                         not type-check a receiver.
+//   &Cls::Foo           — member-function pointer reference (the kernel
+//                         backends take these), resolved to Cls's Foo.
+//
+// What the graph deliberately does NOT see: calls through a std::function
+// or other type-erased value (`handler(ctx, bytes)` where handler is a
+// variable). Those are the sanctioned ownership cut points — the code that
+// *binds* the callable (e.g. ViceServer::BindOps) gets the edge, because
+// the bind site is written as a lambda whose body names the target.
+
+#ifndef TOOLS_LINT_CALLGRAPH_H_
+#define TOOLS_LINT_CALLGRAPH_H_
+
+#include <set>
+#include <vector>
+
+#include "tools/lint/symbols.h"
+
+namespace itc::lint {
+
+struct CallSite {
+  size_t caller;  // index into SymbolIndex::functions
+  size_t callee;
+  int line;  // line of the call, in caller's file
+};
+
+struct CallGraph {
+  std::vector<std::set<size_t>> callees;  // function index -> callee indices
+  std::vector<CallSite> sites;
+};
+
+CallGraph BuildCallGraph(const SymbolIndex& idx);
+
+// Functions reachable from `roots` (inclusive) by forward edge traversal.
+std::vector<bool> Reachable(const CallGraph& g, const std::vector<size_t>& roots);
+
+}  // namespace itc::lint
+
+#endif  // TOOLS_LINT_CALLGRAPH_H_

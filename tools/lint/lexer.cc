@@ -15,6 +15,23 @@ constexpr std::string_view kTwoCharOps[] = {"::", "->", "++", "--", "<<", ">>", 
                                             ">=", "==", "!=", "&&", "||", "+=", "-=",
                                             "*=", "/=", "%=", "&=", "|=", "^=", "##"};
 
+// String-literal encoding prefixes. An identifier that spells one of these
+// and is immediately followed by `"` is a literal, not an identifier.
+bool IsStringPrefix(std::string_view s) {
+  return s == "u8" || s == "u" || s == "U" || s == "L";
+}
+bool IsRawStringPrefix(std::string_view s) {
+  return s == "R" || s == "u8R" || s == "uR" || s == "UR" || s == "LR";
+}
+
+// Raw-string delimiters are at most 16 chars and may not contain space,
+// parens, backslash, quote, or newline ([lex.string]). Anything else means
+// the `X"` we saw was not actually a raw-string opener.
+bool IsRawDelimChar(char c) {
+  return c != ' ' && c != '(' && c != ')' && c != '\\' && c != '"' && c != '\n' &&
+         c != '\r' && c != '\t';
+}
+
 // Parses "itcfs-lint: allow(a, b)" out of a comment body; returns the rule
 // ids, empty if the comment is not a suppression.
 std::set<std::string> ParseAllow(std::string_view comment) {
@@ -46,9 +63,19 @@ bool LexedFile::IsHeader() const {
   return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
 }
 
-bool LexedFile::Allowed(int line, const std::string& rule) const {
+std::vector<size_t> LexedFile::AllowIndices(int line, const std::string& rule) const {
+  std::vector<size_t> out;
   auto it = allow.find(line);
-  return it != allow.end() && (it->second.count(rule) > 0 || it->second.count("all") > 0);
+  if (it == allow.end()) return out;
+  for (size_t idx : it->second) {
+    const std::set<std::string>& rules = suppressions[idx].rules;
+    if (rules.count(rule) > 0 || rules.count("all") > 0) out.push_back(idx);
+  }
+  return out;
+}
+
+bool LexedFile::Allowed(int line, const std::string& rule) const {
+  return !AllowIndices(line, rule).empty();
 }
 
 LexedFile Lex(std::string path, std::string_view src) {
@@ -56,30 +83,132 @@ LexedFile Lex(std::string path, std::string_view src) {
   out.path = std::move(path);
   size_t i = 0;
   int line = 1;
+  bool at_line_start = true;  // only whitespace so far on this physical line
+  bool pp = false;            // inside a preprocessor directive
 
   auto note_allow = [&out](std::string_view comment, int comment_line) {
     std::set<std::string> rules = ParseAllow(comment);
     if (rules.empty()) return;
-    out.allow[comment_line].insert(rules.begin(), rules.end());
-    out.allow[comment_line + 1].insert(rules.begin(), rules.end());
+    const size_t idx = out.suppressions.size();
+    out.suppressions.push_back({comment_line, std::move(rules)});
+    out.allow[comment_line].push_back(idx);
+    out.allow[comment_line + 1].push_back(idx);
+  };
+
+  // True when src[p] starts a backslash line continuation; sets `len` to the
+  // splice's byte length (2 for "\\\n", 3 for "\\\r\n").
+  auto is_splice = [&src](size_t p, size_t* len) {
+    if (p >= src.size() || src[p] != '\\') return false;
+    if (p + 1 < src.size() && src[p + 1] == '\n') {
+      *len = 2;
+      return true;
+    }
+    if (p + 2 < src.size() && src[p + 1] == '\r' && src[p + 2] == '\n') {
+      *len = 3;
+      return true;
+    }
+    return false;
+  };
+
+  auto push = [&out, &pp](TokKind kind, std::string text, int tok_line) {
+    out.tokens.push_back({kind, std::move(text), tok_line, pp});
+  };
+
+  // Lexes the "..." or '...' literal starting at quote index q (src[q] is
+  // the quote); returns the index just past the literal and appends the
+  // token. `tok_line` is the line the literal (or its prefix) started on.
+  auto lex_quoted = [&](size_t q, int tok_line) -> size_t {
+    const char quote = src[q];
+    size_t p = q + 1;
+    std::string text;
+    while (p < src.size() && src[p] != quote && src[p] != '\n') {
+      if (src[p] == '\\' && p + 1 < src.size()) {
+        text += src[p];
+        text += src[p + 1];
+        p += 2;
+      } else {
+        text += src[p++];
+      }
+    }
+    push(quote == '"' ? TokKind::kString : TokKind::kChar, std::move(text), tok_line);
+    // An unterminated literal (newline or EOF first) leaves p on the
+    // terminator so line counting stays right.
+    return p < src.size() && src[p] == quote ? p + 1 : p;
+  };
+
+  // Lexes the raw string literal whose `"` is at index q (the R prefix is
+  // already consumed). Returns the index just past it, or q when the
+  // delimiter is malformed (not actually a raw string).
+  auto lex_raw = [&](size_t q, int tok_line) -> size_t {
+    size_t p = q + 1;
+    std::string delim;
+    while (p < src.size() && src[p] != '(' && delim.size() <= 16 &&
+           IsRawDelimChar(src[p])) {
+      delim += src[p++];
+    }
+    if (p >= src.size() || src[p] != '(' || delim.size() > 16) return q;
+    const std::string closer = ")" + delim + "\"";
+    size_t end = src.find(closer, p);
+    if (end == std::string_view::npos) end = src.size();
+    const std::string_view body = src.substr(q + 1, end - (q + 1));
+    push(TokKind::kString, std::string(body), tok_line);
+    for (char b : body) {
+      if (b == '\n') ++line;
+    }
+    return end + closer.size() > src.size() ? src.size() : end + closer.size();
   };
 
   while (i < src.size()) {
     const char c = src[i];
+    size_t splice_len = 0;
+    if (is_splice(i, &splice_len)) {
+      // Backslash line continuation: whitespace to every token-level rule
+      // (a directive continues across it), but the physical line advances.
+      ++line;
+      i += splice_len;
+      continue;
+    }
     if (c == '\n') {
       ++line;
       ++i;
+      at_line_start = true;
+      pp = false;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
       ++i;
       continue;
     }
-    // Line comment.
+    if (c == '#' && at_line_start) {
+      pp = true;  // directive runs to the next unspliced newline
+      push(TokKind::kPunct, "#", line);
+      ++i;
+      continue;
+    }
+    at_line_start = false;
+    // Line comment; a trailing backslash splices the next line into it.
     if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
-      size_t end = src.find('\n', i);
-      if (end == std::string_view::npos) end = src.size();
-      note_allow(src.substr(i, end - i), line);
+      size_t end = i;
+      int end_line = line;
+      for (;;) {
+        end = src.find('\n', end);
+        if (end == std::string_view::npos) {
+          end = src.size();
+          break;
+        }
+        // Count the continuation backslash exactly like a compiler: the
+        // comment continues when the newline is spliced away.
+        size_t back = end;
+        if (back > i && src[back - 1] == '\r') --back;
+        if (back > i && src[back - 1] == '\\') {
+          ++end_line;
+          ++end;
+          continue;
+        }
+        break;
+      }
+      note_allow(src.substr(i, end - i), end_line);
+      line = end_line;
       i = end;
       continue;
     }
@@ -98,53 +227,56 @@ LexedFile Lex(std::string path, std::string_view src) {
       i = end + 2 > src.size() ? src.size() : end + 2;
       continue;
     }
-    // Raw string literal: R"delim(...)delim".
-    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
-      size_t p = i + 2;
-      std::string delim;
-      while (p < src.size() && src[p] != '(') delim += src[p++];
-      const std::string closer = ")" + delim + "\"";
-      size_t end = src.find(closer, p);
-      if (end == std::string_view::npos) end = src.size();
-      const std::string_view body = src.substr(i, end - i);
-      out.tokens.push_back({TokKind::kString, std::string(body), line});
-      for (char b : body) {
-        if (b == '\n') ++line;
-      }
-      i = end + closer.size() > src.size() ? src.size() : end + closer.size();
-      continue;
-    }
-    // String / char literal.
+    // String / char literal (no prefix).
     if (c == '"' || c == '\'') {
-      size_t p = i + 1;
-      std::string text;
-      while (p < src.size() && src[p] != c) {
-        if (src[p] == '\\' && p + 1 < src.size()) {
-          text += src[p];
-          text += src[p + 1];
-          p += 2;
-        } else {
-          if (src[p] == '\n') ++line;  // unterminated; keep line counts right
-          text += src[p++];
-        }
-      }
-      out.tokens.push_back({c == '"' ? TokKind::kString : TokKind::kChar, text, line});
-      i = p + 1 > src.size() ? src.size() : p + 1;
+      i = lex_quoted(i, line);
       continue;
     }
     if (IsIdentStart(c)) {
       size_t p = i;
       while (p < src.size() && IsIdentChar(src[p])) ++p;
-      out.tokens.push_back({TokKind::kIdent, std::string(src.substr(i, p - i)), line});
+      const std::string_view ident = src.substr(i, p - i);
+      if (p < src.size() && src[p] == '"') {
+        if (IsRawStringPrefix(ident)) {
+          const size_t after = lex_raw(p, line);
+          if (after != p) {
+            i = after;
+            continue;
+          }
+          // Malformed delimiter: fall through, treat as ident + string.
+        }
+        if (IsStringPrefix(ident)) {
+          i = lex_quoted(p, line);
+          continue;
+        }
+      }
+      if (p + 1 < src.size() && src[p] == '\'' && IsStringPrefix(ident)) {
+        i = lex_quoted(p, line);  // L'x', u'x', ...
+        continue;
+      }
+      push(TokKind::kIdent, std::string(ident), line);
       i = p;
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       // Good enough for any C++ numeric literal: digits, letters (hex,
-      // suffixes, exponents), dots, and quotes (digit separators).
+      // suffixes, exponents), dots, quotes (digit separators), and a sign
+      // directly after an exponent marker (1.5e+3).
       size_t p = i;
-      while (p < src.size() && (IsIdentChar(src[p]) || src[p] == '.' || src[p] == '\'')) ++p;
-      out.tokens.push_back({TokKind::kNumber, std::string(src.substr(i, p - i)), line});
+      while (p < src.size()) {
+        if (IsIdentChar(src[p]) || src[p] == '.' || src[p] == '\'') {
+          ++p;
+          continue;
+        }
+        if ((src[p] == '+' || src[p] == '-') && p > i &&
+            (src[p - 1] == 'e' || src[p - 1] == 'E' || src[p - 1] == 'p' ||
+             src[p - 1] == 'P')) {
+          ++p;
+          continue;
+        }
+        break;
+      }
+      push(TokKind::kNumber, std::string(src.substr(i, p - i)), line);
       i = p;
       continue;
     }
@@ -153,7 +285,7 @@ LexedFile Lex(std::string path, std::string_view src) {
     if (i + 3 <= src.size()) {
       for (std::string_view op : kThreeCharOps) {
         if (src.substr(i, 3) == op) {
-          out.tokens.push_back({TokKind::kPunct, std::string(op), line});
+          push(TokKind::kPunct, std::string(op), line);
           i += 3;
           matched = true;
           break;
@@ -163,7 +295,7 @@ LexedFile Lex(std::string path, std::string_view src) {
     if (!matched && i + 2 <= src.size()) {
       for (std::string_view op : kTwoCharOps) {
         if (src.substr(i, 2) == op) {
-          out.tokens.push_back({TokKind::kPunct, std::string(op), line});
+          push(TokKind::kPunct, std::string(op), line);
           i += 2;
           matched = true;
           break;
@@ -171,7 +303,7 @@ LexedFile Lex(std::string path, std::string_view src) {
       }
     }
     if (!matched) {
-      out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+      push(TokKind::kPunct, std::string(1, c), line);
       ++i;
     }
   }

@@ -1,17 +1,23 @@
 // A lightweight C++ lexer for itcfs-lint.
 //
-// The linter does not parse C++; every rule works on a per-file token
-// stream plus a little context (previous/next token, balanced-bracket
-// scans). The lexer therefore only has to be faithful about the things
-// that would otherwise produce false positives: comments, string/char
-// literals (including raw strings), and multi-character operators, so
+// The linter does not parse C++; every rule works on a token stream plus a
+// little context (previous/next token, balanced-bracket scans, and — since
+// lint v2 — the repo-wide symbol index and call graph built on top of the
+// per-file streams by tools/lint/symbols.h and tools/lint/callgraph.h). The
+// lexer therefore has to be faithful about the things that would otherwise
+// produce false positives or a wrong call graph: comments, string/char
+// literals (including raw strings and encoding prefixes), backslash line
+// continuations, preprocessor directives, and multi-character operators, so
 // that e.g. an `assert(` inside a string or a `++` inside a comment is
 // never mistaken for code.
 //
 // Suppression comments are collected during lexing: a comment of the form
 //   // itcfs-lint: allow(rule-id, other-rule-id)
 // suppresses those rules on the comment's own line and on the next line
-// (so it works both as a trailing comment and on a line of its own).
+// (so it works both as a trailing comment and on a line of its own). Each
+// comment is also retained as a Suppression record so the driver can flag
+// stale suppressions (unknown rule ids, or allows that no longer suppress
+// anything).
 
 #ifndef TOOLS_LINT_LEXER_H_
 #define TOOLS_LINT_LEXER_H_
@@ -35,18 +41,31 @@ enum class TokKind {
 struct Token {
   TokKind kind;
   std::string text;
-  int line;  // 1-based line the token starts on
+  int line;        // 1-based line the token starts on
+  bool pp = false; // true when the token is part of a preprocessor directive
+};
+
+// One `itcfs-lint: allow(...)` comment, as written. `line` is the line the
+// comment binds to (its own line; for block comments, the line it ends on).
+struct Suppression {
+  int line = 0;
+  std::set<std::string> rules;
 };
 
 struct LexedFile {
   std::string path;  // repo-relative, forward slashes
   std::vector<Token> tokens;
-  // line -> rule ids allowed on that line (already expanded to cover the
-  // comment's line and the following line).
-  std::map<int, std::set<std::string>> allow;
+  std::vector<Suppression> suppressions;
+  // line -> indices into `suppressions` covering that line (already expanded
+  // to cover the comment's line and the following line).
+  std::map<int, std::vector<size_t>> allow;
 
   bool IsHeader() const;
   bool Allowed(int line, const std::string& rule) const;
+  // Indices of the suppressions that allow `rule` on `line` (via the rule's
+  // own id or `all`); empty when the diagnostic must be emitted. The driver
+  // marks these used for the stale-suppression check.
+  std::vector<size_t> AllowIndices(int line, const std::string& rule) const;
 };
 
 // Lexes `src`. Never fails: bytes it cannot classify become single-char

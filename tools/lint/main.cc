@@ -2,8 +2,9 @@
 //
 // Usage: itcfs_lint [--rule=<id>]... [--list-rules] <repo-root>
 //
-// Scans <repo-root>/src/**/*.{h,cc} plus docs/PROTOCOL.md and exits
-// nonzero if any rule fires. Run as a tier-1 ctest; see docs/LINT.md.
+// Scans <repo-root>/{src,bench,examples}/**/*.{h,cc,cpp} plus
+// docs/PROTOCOL.md and docs/LINT.md, and exits nonzero if any rule fires.
+// Run as a tier-1 ctest; see docs/LINT.md.
 
 #include <algorithm>
 #include <cstdio>
@@ -68,18 +69,22 @@ int main(int argc, char** argv) {
   }
 
   const fs::path root(root_arg);
-  const fs::path src = root / "src";
   std::error_code ec;
-  if (!fs::is_directory(src, ec)) {
-    std::fprintf(stderr, "itcfs-lint: %s is not a directory\n", src.string().c_str());
+  if (!fs::is_directory(root / "src", ec)) {
+    std::fprintf(stderr, "itcfs-lint: %s is not a directory\n",
+                 (root / "src").string().c_str());
     return 2;
   }
 
   std::vector<fs::path> paths;
-  for (const auto& entry : fs::recursive_directory_iterator(src)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = entry.path().extension().string();
-    if (ext == ".h" || ext == ".cc") paths.push_back(entry.path());
+  for (const char* dir : {"src", "bench", "examples"}) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base, ec)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp") paths.push_back(entry.path());
+    }
   }
   std::sort(paths.begin(), paths.end());
 
@@ -90,6 +95,8 @@ int main(int argc, char** argv) {
   }
   const fs::path md = root / "docs" / "PROTOCOL.md";
   if (fs::is_regular_file(md, ec)) input.protocol_md = ReadFile(md);
+  const fs::path lint_md = root / "docs" / "LINT.md";
+  if (fs::is_regular_file(lint_md, ec)) input.lint_md = ReadFile(lint_md);
 
   const std::vector<itc::lint::Diagnostic> diags = itc::lint::RunRules(input, only);
   for (const itc::lint::Diagnostic& d : diags) {

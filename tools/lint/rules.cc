@@ -5,6 +5,10 @@
 #include <map>
 #include <optional>
 #include <sstream>
+#include <utility>
+
+#include "tools/lint/callgraph.h"
+#include "tools/lint/symbols.h"
 
 namespace itc::lint {
 
@@ -143,9 +147,36 @@ std::optional<Decl> ParseDecl(const Toks& t, size_t i) {
   return std::nullopt;
 }
 
+// Which Suppression records earned their keep this run, keyed by
+// (suppression index, rule id actually silenced). Consulted afterwards by
+// stale-suppression: an allow() that silenced nothing is itself an error.
+struct SuppressionUsage {
+  std::map<const LexedFile*, std::set<std::pair<size_t, std::string>>> used;
+
+  void Mark(const LexedFile& f, size_t idx, const std::string& rule) {
+    used[&f].insert({idx, rule});
+  }
+  // rule == "" asks "used for anything at all?" (the allow(all) case).
+  bool UsedFor(const LexedFile& f, size_t idx, const std::string& rule) const {
+    auto it = used.find(&f);
+    if (it == used.end()) return false;
+    if (!rule.empty()) return it->second.count({idx, rule}) > 0;
+    auto lo = it->second.lower_bound({idx, ""});
+    return lo != it->second.end() && lo->first == idx;
+  }
+};
+
+SuppressionUsage* g_usage = nullptr;  // live for the duration of RunRules
+
 void Emit(std::vector<Diagnostic>& out, const LexedFile& f, int line,
           const std::string& rule, std::string message) {
-  if (f.Allowed(line, rule)) return;
+  const std::vector<size_t> allows = f.AllowIndices(line, rule);
+  if (!allows.empty()) {
+    if (g_usage != nullptr) {
+      for (size_t idx : allows) g_usage->Mark(f, idx, rule);
+    }
+    return;
+  }
   out.push_back({f.path, line, rule, std::move(message)});
 }
 
@@ -477,8 +508,14 @@ bool DeterminismExempt(const std::string& path) {
   return path.rfind("src/sim/", 0) == 0 || path == "src/common/rng.h";
 }
 
-void CheckSimDeterminism(const LexedFile& f, std::vector<Diagnostic>& out) {
-  if (DeterminismExempt(f.path)) return;
+struct BannedUse {
+  size_t tok;       // token index of the banned identifier
+  bool call;        // true for time(/rand(/clock( style direct calls
+};
+
+// All banned wall-clock/entropy uses in t[begin, end). Shared by the direct
+// per-file rule and the transitive rule's seed scan.
+std::vector<BannedUse> BannedDeterminismUses(const Toks& t, size_t begin, size_t end) {
   // Identifiers that smuggle in wall-clock time or ambient randomness and
   // would make two runs of the simulation diverge.
   static const std::set<std::string> banned = {
@@ -488,14 +525,12 @@ void CheckSimDeterminism(const LexedFile& f, std::vector<Diagnostic>& out) {
   // Banned only as a direct call: `time(...)`, `rand()`. (`x.time(` is a
   // member of some unrelated class; `foo_time(` is a different identifier.)
   static const std::set<std::string> banned_calls = {"time", "rand", "clock"};
-  const Toks& t = f.tokens;
-  for (size_t i = 0; i < t.size(); ++i) {
+  std::vector<BannedUse> uses;
+  for (size_t i = begin; i < end && i < t.size(); ++i) {
     if (!IsIdent(t, i)) continue;
     const std::string& name = t[i].text;
     if (banned.count(name) > 0) {
-      Emit(out, f, t[i].line, "sim-determinism",
-           "'" + name + "' is nondeterministic; use sim::Clock / common/rng.h "
-           "(only src/sim/ and src/common/rng.h may touch real time or entropy)");
+      uses.push_back({i, false});
       continue;
     }
     if (banned_calls.count(name) > 0 && Is(t, i + 1, "(")) {
@@ -509,9 +544,24 @@ void CheckSimDeterminism(const LexedFile& f, std::vector<Diagnostic>& out) {
                     (IsIdent(t, i - 1) && t[i - 1].text != "return"))) {
         continue;
       }
-      Emit(out, f, t[i].line, "sim-determinism",
-           "call to '" + name + "(' is nondeterministic; use sim::Clock / "
+      uses.push_back({i, true});
+    }
+  }
+  return uses;
+}
+
+void CheckSimDeterminism(const LexedFile& f, std::vector<Diagnostic>& out) {
+  if (DeterminismExempt(f.path)) return;
+  const Toks& t = f.tokens;
+  for (const BannedUse& u : BannedDeterminismUses(t, 0, t.size())) {
+    if (u.call) {
+      Emit(out, f, t[u.tok].line, "sim-determinism",
+           "call to '" + t[u.tok].text + "(' is nondeterministic; use sim::Clock / "
            "common/rng.h");
+    } else {
+      Emit(out, f, t[u.tok].line, "sim-determinism",
+           "'" + t[u.tok].text + "' is nondeterministic; use sim::Clock / common/rng.h "
+           "(only src/sim/ and src/common/rng.h may touch real time or entropy)");
     }
   }
 }
@@ -551,6 +601,24 @@ const std::set<std::string>& ContainerGrowthCalls() {
   return g;
 }
 
+// Description of the allocation starting at token j ("'new'", "container
+// growth ('push_back')"), or "" when j does not allocate. Shared by the
+// direct hot-path rule and its transitive extension.
+std::string AllocAt(const Toks& t, size_t j) {
+  if (!IsIdent(t, j)) return "";
+  const std::string& name = t[j].text;
+  if (name == "new") return "'new'";
+  if ((name == "make_unique" || name == "make_shared") &&
+      (Is(t, j + 1, "<") || Is(t, j + 1, "("))) {
+    return "'" + name + "'";
+  }
+  if (ContainerGrowthCalls().count(name) > 0 && Is(t, j + 1, "(") && j > 0 &&
+      (t[j - 1].text == "." || t[j - 1].text == "->")) {
+    return "container growth ('" + name + "')";
+  }
+  return "";
+}
+
 void CheckNoAllocInKernelHotPath(const LexedFile& f, std::vector<Diagnostic>& out) {
   const Toks& t = f.tokens;
   for (size_t i = 0; i + 3 < t.size(); ++i) {
@@ -567,18 +635,7 @@ void CheckNoAllocInKernelHotPath(const LexedFile& f, std::vector<Diagnostic>& ou
     const size_t body_end = SkipBalanced(t, k, "{", "}");
     if (hot) {
       for (size_t j = k; j < body_end; ++j) {
-        if (!IsIdent(t, j)) continue;
-        const std::string& name = t[j].text;
-        std::string what;
-        if (name == "new") {
-          what = "'new'";
-        } else if ((name == "make_unique" || name == "make_shared") &&
-                   (Is(t, j + 1, "<") || Is(t, j + 1, "("))) {
-          what = "'" + name + "'";
-        } else if (ContainerGrowthCalls().count(name) > 0 && Is(t, j + 1, "(") && j > 0 &&
-                   (t[j - 1].text == "." || t[j - 1].text == "->")) {
-          what = "container growth ('" + name + "')";
-        }
+        std::string what = AllocAt(t, j);
         if (!what.empty()) {
           Emit(out, f, t[j].line, "no-alloc-in-kernel-hot-path",
                what + " in Kernel::" + fname +
@@ -726,6 +783,198 @@ void CheckNoRawLeaseTerm(const LexedFile& f, std::vector<Diagnostic>& out) {
   }
 }
 
+// --- kernel-ownership (interprocedural) ---------------------------------------------
+
+void CheckKernelOwnership(const SymbolIndex& idx, const CallGraph& g,
+                          std::vector<Diagnostic>& out) {
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < idx.functions.size(); ++i) {
+    if (idx.functions[i].entry || idx.functions[i].quiescent) roots.push_back(i);
+  }
+  const std::vector<bool> sanctioned = Reachable(g, roots);
+
+  for (const OwnedMember& m : idx.owned) {
+    for (size_t fi = 0; fi < idx.functions.size(); ++fi) {
+      const FunctionDef& f = idx.functions[fi];
+      if (f.cls != m.cls || f.IsCtorOrDtor() || sanctioned[fi]) continue;
+      const Toks& t = f.file->tokens;
+      for (size_t j = f.body_begin; j < f.body_end && j < t.size(); ++j) {
+        if (t[j].pp || !IsIdent(t, j) || t[j].text != m.name) continue;
+        Emit(out, *f.file, t[j].line, "kernel-ownership",
+             "'" + m.name + "' is ITC_OWNED_BY_KERNEL state of " + m.cls + ", but '" +
+                 f.Qualified() +
+                 "' is not reachable from any ITC_KERNEL_ENTRY or "
+                 "ITC_KERNEL_QUIESCENT function; mark the entry point or route the "
+                 "access through one (src/common/ownership.h)");
+        break;  // one diagnostic per (member, method) is enough
+      }
+    }
+  }
+}
+
+// --- no-alloc-in-kernel-hot-path-transitive -----------------------------------------
+
+void CheckNoAllocTransitive(const SymbolIndex& idx, const CallGraph& g,
+                            std::vector<Diagnostic>& out) {
+  // The steady-state roots: the event loop itself plus WaitUntil, which every
+  // activity suspension runs through.
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < idx.functions.size(); ++i) {
+    const FunctionDef& f = idx.functions[i];
+    if (f.cls == "Kernel" &&
+        (f.name == "Dispatch" || f.name == "WaitUntil" || f.name.rfind("Run", 0) == 0)) {
+      roots.push_back(i);
+    }
+  }
+  const std::vector<bool> reach = Reachable(g, roots);
+
+  for (size_t fi = 0; fi < idx.functions.size(); ++fi) {
+    if (!reach[fi]) continue;
+    const FunctionDef& f = idx.functions[fi];
+    // Run*/Dispatch bodies belong to the direct rule; re-flagging them here
+    // would double-report every finding.
+    if (f.cls == "Kernel" && (f.name == "Dispatch" || f.name.rfind("Run", 0) == 0))
+      continue;
+    const Toks& t = f.file->tokens;
+    for (size_t j = f.body_begin; j < f.body_end && j < t.size(); ++j) {
+      if (t[j].pp) continue;
+      std::string what = AllocAt(t, j);
+      if (what.empty()) continue;
+      Emit(out, *f.file, t[j].line, "no-alloc-in-kernel-hot-path-transitive",
+           what + " in '" + f.Qualified() +
+               "', which is reachable from the kernel hot path "
+               "(Kernel::Run*/Dispatch/WaitUntil); the event loop must stay "
+               "allocation-free per event — pre-size, or suppress with a reason "
+               "for a cold path");
+    }
+  }
+}
+
+// --- sim-determinism-transitive -----------------------------------------------------
+
+void CheckSimDeterminismTransitive(const SymbolIndex& idx, const CallGraph& g,
+                                   std::vector<Diagnostic>& out) {
+  const std::string rule = "sim-determinism-transitive";
+  // Seed taint: functions in non-exempt files whose bodies contain a banned
+  // use. Note allow(sim-determinism) silences only the direct diagnostic;
+  // sanctioning a wrapper for its *callers* takes an explicit
+  // allow(sim-determinism-transitive) on the banned line, which clears the
+  // taint here.
+  std::vector<bool> tainted(idx.functions.size(), false);
+  for (size_t fi = 0; fi < idx.functions.size(); ++fi) {
+    const FunctionDef& f = idx.functions[fi];
+    if (DeterminismExempt(f.file->path)) continue;
+    const Toks& t = f.file->tokens;
+    for (const BannedUse& u : BannedDeterminismUses(t, f.body_begin, f.body_end)) {
+      const int line = t[u.tok].line;
+      const std::vector<size_t> allows = f.file->AllowIndices(line, rule);
+      if (!allows.empty()) {
+        if (g_usage != nullptr) {
+          for (size_t s : allows) g_usage->Mark(*f.file, s, rule);
+        }
+        continue;
+      }
+      tainted[fi] = true;
+    }
+  }
+
+  // Propagate taint caller-ward one unsuppressed call site at a time. A
+  // suppressed crossing sanctions the caller (no taint through it); an
+  // unsuppressed one is diagnosed and taints the caller, so the closure
+  // surfaces every laundering chain in a single run.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const CallSite& s : g.sites) {
+      if (!tainted[s.callee] || tainted[s.caller]) continue;
+      const FunctionDef& caller = idx.functions[s.caller];
+      if (DeterminismExempt(caller.file->path)) continue;
+      const size_t before = out.size();
+      Emit(out, *caller.file, s.line, rule,
+           "call to '" + idx.functions[s.callee].Qualified() +
+               "' reaches a wall-clock/entropy use; determinism bans cannot be "
+               "laundered through helpers — use sim::Clock / common/rng.h, or "
+               "sanction the wrapper with allow(sim-determinism-transitive)");
+      if (out.size() > before) {
+        tainted[s.caller] = true;
+        changed = true;
+      }
+    }
+  }
+}
+
+// --- rule-doc-sync ------------------------------------------------------------------
+
+void CheckRuleDocSync(const LintInput& in, std::vector<Diagnostic>& out) {
+  if (in.lint_md.empty()) return;
+  std::map<std::string, int> documented;  // rule id -> heading line
+  std::istringstream md(in.lint_md);
+  std::string line_text;
+  int line_no = 0;
+  while (std::getline(md, line_text)) {
+    ++line_no;
+    const std::string prefix = "### `";
+    if (line_text.rfind(prefix, 0) != 0) continue;
+    size_t end = line_text.find('`', prefix.size());
+    if (end == std::string::npos) continue;
+    documented.emplace(line_text.substr(prefix.size(), end - prefix.size()), line_no);
+  }
+  for (const std::string& rule : AllRules()) {
+    if (documented.count(rule) == 0) {
+      out.push_back({"docs/LINT.md", 1, "rule-doc-sync",
+                     "registered rule '" + rule +
+                         "' has no `### \\`" + rule + "\\`` section in docs/LINT.md"});
+    }
+  }
+  for (const auto& [rule, at] : documented) {
+    if (AllRules().count(rule) == 0) {
+      out.push_back({"docs/LINT.md", at, "rule-doc-sync",
+                     "docs/LINT.md documents rule '" + rule +
+                         "' which is not registered in AllRules()"});
+    }
+  }
+}
+
+// --- stale-suppression --------------------------------------------------------------
+
+void CheckStaleSuppressions(const LintInput& in, const SuppressionUsage& usage,
+                            const std::set<std::string>& only,
+                            std::vector<Diagnostic>& out) {
+  auto ran = [&only](const std::string& r) { return only.empty() || only.count(r) > 0; };
+  const bool full_run = only.empty();
+  for (const LexedFile& f : in.files) {
+    for (size_t i = 0; i < f.suppressions.size(); ++i) {
+      const Suppression& s = f.suppressions[i];
+      for (const std::string& r : s.rules) {
+        if (r == "all") {
+          // Not via Emit: an allow(all) would silence its own staleness
+          // report, making an unused one invisible forever.
+          if (full_run && !usage.UsedFor(f, i, "")) {
+            out.push_back({f.path, s.line, "stale-suppression",
+                           "'allow(all)' suppresses nothing; delete it"});
+          }
+          continue;
+        }
+        if (AllRules().count(r) == 0) {
+          Emit(out, f, s.line, "stale-suppression",
+               "unknown rule '" + r + "' in allow(...); see docs/LINT.md for the "
+               "catalog");
+          continue;
+        }
+        // Staleness of an allow(stale-suppression) cannot be decided in the
+        // same pass that would use it; everything else must have silenced at
+        // least one diagnostic of the rule it names.
+        if (r == "stale-suppression") continue;
+        if (ran(r) && !usage.UsedFor(f, i, r)) {
+          Emit(out, f, s.line, "stale-suppression",
+               "'allow(" + r + ")' suppresses nothing here; delete it or fix the "
+               "rule id");
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Diagnostic> RunRules(const LintInput& input, const std::set<std::string>& only) {
@@ -733,6 +982,8 @@ std::vector<Diagnostic> RunRules(const LintInput& input, const std::set<std::str
     return only.empty() || only.count(rule) > 0;
   };
 
+  SuppressionUsage usage;
+  g_usage = &usage;
   std::vector<Diagnostic> out;
 
   // Declaration harvest feeds both halves of the error-discipline rule.
@@ -773,6 +1024,23 @@ std::vector<Diagnostic> RunRules(const LintInput& input, const std::set<std::str
   if (side || header) {
     for (const LexedFile& f : input.files) CheckAsserts(f, side, header, out);
   }
+
+  // The interprocedural rules share one symbol index + call graph build.
+  const bool ownership = enabled("kernel-ownership");
+  const bool alloc_trans = enabled("no-alloc-in-kernel-hot-path-transitive");
+  const bool det_trans = enabled("sim-determinism-transitive");
+  if (ownership || alloc_trans || det_trans) {
+    const SymbolIndex idx = BuildIndex(input.files);
+    const CallGraph graph = BuildCallGraph(idx);
+    if (ownership) CheckKernelOwnership(idx, graph, out);
+    if (alloc_trans) CheckNoAllocTransitive(idx, graph, out);
+    if (det_trans) CheckSimDeterminismTransitive(idx, graph, out);
+  }
+
+  if (enabled("rule-doc-sync")) CheckRuleDocSync(input, out);
+  // Last: every other rule has recorded which suppressions it consumed.
+  if (enabled("stale-suppression")) CheckStaleSuppressions(input, usage, only, out);
+  g_usage = nullptr;
 
   std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
     if (a.file != b.file) return a.file < b.file;

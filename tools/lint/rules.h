@@ -45,6 +45,31 @@
 //                           one term, staleness <= one term) silently
 //                           splits from the durations actually in force
 //
+// Lint v2 adds interprocedural rules that run on the repo-wide symbol index
+// (tools/lint/symbols.h) and conservative call graph (tools/lint/callgraph.h)
+// built from the same token streams:
+//
+//   kernel-ownership        state marked ITC_OWNED_BY_KERNEL may only be
+//                           touched by methods reachable from a function
+//                           marked ITC_KERNEL_ENTRY or ITC_KERNEL_QUIESCENT
+//                           (the ownership fence the multi-kernel refactor
+//                           shards against; src/common/ownership.h)
+//   no-alloc-in-kernel-hot-path-transitive
+//                           the allocation ban, extended over the call
+//                           graph: anything reachable from Kernel::Run*/
+//                           Dispatch/WaitUntil may not allocate either
+//   sim-determinism-transitive
+//                           the determinism ban, extended over the call
+//                           graph: calling a helper that (transitively)
+//                           reaches a banned wall-clock/entropy use is
+//                           itself a violation, so bans cannot be laundered
+//                           through wrappers
+//   stale-suppression       an `itcfs-lint: allow(...)` naming an unknown
+//                           rule id, or suppressing zero diagnostics in a
+//                           full run, is itself an error
+//   rule-doc-sync           every registered rule id has a `### `id``
+//                           section in docs/LINT.md and vice versa
+//
 // Suppression: `// itcfs-lint: allow(rule-id)` on the offending line or the
 // line above. See docs/LINT.md for the catalog.
 
@@ -71,6 +96,8 @@ struct LintInput {
   // Contents of docs/PROTOCOL.md; empty skips the generated-table half of
   // opcode-sync (the enum/schema half still runs).
   std::string protocol_md;
+  // Contents of docs/LINT.md; empty skips rule-doc-sync.
+  std::string lint_md;
 };
 
 inline const std::set<std::string>& AllRules() {
@@ -79,7 +106,9 @@ inline const std::set<std::string>& AllRules() {
       "opcode-sync",       "sim-determinism",   "assert-side-effect",
       "assert-in-header",  "resource-serve-outside-kernel",
       "no-alloc-in-kernel-hot-path", "vfs-dispatch-only",
-      "no-raw-lease-term",
+      "no-raw-lease-term", "kernel-ownership",
+      "no-alloc-in-kernel-hot-path-transitive", "sim-determinism-transitive",
+      "stale-suppression", "rule-doc-sync",
   };
   return rules;
 }

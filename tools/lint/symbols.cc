@@ -1,0 +1,276 @@
+#include "tools/lint/symbols.h"
+
+#include <cstddef>
+
+namespace itc::lint {
+
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+bool IsControlLike(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "if",      "for",     "while",    "switch", "catch",  "return",
+      "sizeof",  "alignof", "decltype", "do",     "else",   "try",
+      "new",     "delete",  "throw",    "assert", "defined"};
+  return kw.count(s) > 0;
+}
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kFunction, kOther } kind;
+  std::string name;     // class name when kind == kClass
+  size_t func = kNone;  // index into SymbolIndex::functions when kFunction
+};
+
+// A marker lifted from a *declaration* (`ITC_KERNEL_ENTRY void Run();`);
+// applied to every matching definition once all files are indexed, so
+// annotating the header is enough.
+struct DeclMarker {
+  std::string cls;
+  std::string name;
+  bool entry = false;
+};
+
+// What a statement ending in `{` (or, for markers, `;`) turned out to be.
+struct StmtInfo {
+  bool entry = false;
+  bool quiescent = false;
+  bool owned = false;
+  size_t paren = kNone;  // stmt position of the first '(' (always depth 0)
+  size_t eq = kNone;     // stmt position of the first depth-0 '=' (non-operator=)
+};
+
+StmtInfo ScanStmt(const std::vector<Token>& t, const std::vector<size_t>& stmt) {
+  StmtInfo info;
+  int depth = 0;
+  for (size_t j = 0; j < stmt.size(); ++j) {
+    const Token& tok = t[stmt[j]];
+    if (tok.text == "ITC_KERNEL_ENTRY") info.entry = true;
+    if (tok.text == "ITC_KERNEL_QUIESCENT") info.quiescent = true;
+    if (tok.text == "ITC_OWNED_BY_KERNEL") info.owned = true;
+    if (tok.text == "(") {
+      if (info.paren == kNone) info.paren = j;
+      ++depth;
+    } else if (tok.text == ")") {
+      --depth;
+    } else if (tok.text == "=" && depth == 0 && info.eq == kNone &&
+               !(j > 0 && t[stmt[j - 1]].text == "operator")) {
+      info.eq = j;
+    }
+  }
+  return info;
+}
+
+// The function name ending just before stmt position `paren`, or "" when the
+// statement is not a function declaration/definition. Also resolves the
+// out-of-class qualifier (`Kernel::Run`, `Event::operator<`) into *cls.
+std::string FunctionName(const std::vector<Token>& t, const std::vector<size_t>& stmt,
+                         size_t paren, std::string* cls) {
+  if (paren == kNone || paren == 0) return "";
+  auto text = [&](size_t j) { return t[stmt[j]].text; };
+  auto is_ident = [&](size_t j) { return t[stmt[j]].kind == TokKind::kIdent; };
+
+  size_t first = paren - 1;  // stmt position of the name's first token
+  std::string name;
+  if (is_ident(first) && text(first) == "operator" && paren + 1 < stmt.size() &&
+      text(paren + 1) == ")") {
+    name = "operator()";
+  } else if (is_ident(first)) {
+    name = text(first);
+    if (IsControlLike(name)) return "";
+    if (first > 0 && text(first - 1) == "~") {
+      name = "~" + name;
+      --first;
+    }
+  } else if (t[stmt[first]].kind == TokKind::kPunct && first > 0 &&
+             text(first - 1) == "operator") {
+    // operator== / operator< / operator[] (two punct tokens).
+    if (text(first) == "]" && first >= 2 && text(first - 1) == "[" &&
+        text(first - 2) == "operator") {
+      name = "operator[]";
+      first -= 2;
+    } else {
+      name = "operator" + text(first);
+      --first;
+    }
+  } else {
+    return "";  // lambda (`]` before `(`), cast, ...
+  }
+
+  // Qualifier: `Cls :: name` or `Cls<...> :: name` right before the name.
+  if (first > 0 && text(first - 1) == "::") {
+    size_t q = first - 1;
+    if (q > 0 && text(q - 1) == ">") {
+      int d = 0;
+      while (q-- > 0) {
+        if (text(q) == ">") ++d;
+        else if (text(q) == "<" && --d == 0) break;
+      }
+    }
+    if (q > 0 && is_ident(q - 1)) *cls = text(q - 1);
+  }
+  return name;
+}
+
+// Last depth-0 identifier before the initializer — the declared member name
+// in `ITC_OWNED_BY_KERNEL std::vector<Event> heap_;` and friends.
+std::string MemberName(const std::vector<Token>& t, const std::vector<size_t>& stmt,
+                       size_t stop) {
+  std::string name;
+  int depth = 0;
+  const size_t end = stop == kNone ? stmt.size() : stop;
+  for (size_t j = 0; j < end; ++j) {
+    const Token& tok = t[stmt[j]];
+    if (tok.text == "(" || tok.text == "[") ++depth;
+    else if (tok.text == ")" || tok.text == "]") --depth;
+    else if (depth == 0 && tok.kind == TokKind::kIdent &&
+             tok.text != "ITC_OWNED_BY_KERNEL")
+      name = tok.text;
+  }
+  return name;
+}
+
+}  // namespace
+
+SymbolIndex BuildIndex(const std::vector<LexedFile>& files) {
+  SymbolIndex idx;
+  std::vector<DeclMarker> decl_markers;
+
+  for (const LexedFile& file : files) {
+    const std::vector<Token>& t = file.tokens;
+    std::vector<Scope> scopes;
+    std::vector<size_t> stmt;  // token indices since the last boundary
+    int stmt_depth = 0;        // running paren depth of `stmt`
+
+    auto class_scope = [&scopes]() -> std::string {
+      for (size_t s = scopes.size(); s-- > 0;) {
+        if (scopes[s].kind == Scope::kClass) return scopes[s].name;
+        if (scopes[s].kind != Scope::kNamespace) break;
+      }
+      return "";
+    };
+    auto in_code_scope = [&scopes]() {
+      for (size_t s = scopes.size(); s-- > 0;) {
+        if (scopes[s].kind == Scope::kFunction || scopes[s].kind == Scope::kOther)
+          return true;
+      }
+      return false;
+    };
+
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].pp) continue;  // directives never affect the scope structure
+      const Token& tok = t[i];
+
+      if (tok.text == "{" && tok.kind == TokKind::kPunct) {
+        Scope sc{Scope::kOther, "", kNone};
+        if (!in_code_scope() && stmt_depth == 0) {
+          StmtInfo info = ScanStmt(t, stmt);
+          bool is_enum = !stmt.empty() && t[stmt[0]].text == "enum";
+          size_t class_kw = kNone;
+          bool has_ns = false;
+          for (size_t j = 0; j < stmt.size(); ++j) {
+            const std::string& s = t[stmt[j]].text;
+            if (s == "class" || s == "struct" || s == "union") class_kw = j;
+            if (s == "namespace") has_ns = true;
+          }
+          if (is_enum) {
+            // enum (class) body: kOther.
+          } else if (has_ns && info.paren == kNone) {
+            sc = {Scope::kNamespace, "", kNone};
+          } else if (class_kw != kNone && info.paren == kNone) {
+            std::string cname;
+            if (class_kw + 1 < stmt.size() &&
+                t[stmt[class_kw + 1]].kind == TokKind::kIdent)
+              cname = t[stmt[class_kw + 1]].text;
+            sc = {Scope::kClass, cname, kNone};
+          } else if (info.eq == kNone || (info.paren != kNone && info.eq > info.paren)) {
+            std::string cls = class_scope();
+            std::string name = FunctionName(t, stmt, info.paren, &cls);
+            if (!name.empty()) {
+              FunctionDef def;
+              def.file = &file;
+              def.line = t[stmt[info.paren - 1]].line;
+              def.name = name;
+              def.cls = cls;
+              def.body_begin = i;
+              def.body_end = t.size();
+              def.entry = info.entry;
+              def.quiescent = info.quiescent;
+              sc = {Scope::kFunction, "", idx.functions.size()};
+              idx.functions.push_back(def);
+            } else if (info.owned) {
+              // Brace-initialized annotated member: `... int x{0};`.
+              std::string cls2 = class_scope();
+              std::string mname = MemberName(t, stmt, kNone);
+              if (!cls2.empty() && !mname.empty())
+                idx.owned.push_back({&file, t[stmt[0]].line, cls2, mname});
+            }
+          }
+        }
+        scopes.push_back(sc);
+        stmt.clear();
+        stmt_depth = 0;
+        continue;
+      }
+
+      if (tok.text == "}" && tok.kind == TokKind::kPunct) {
+        if (!scopes.empty()) {
+          if (scopes.back().kind == Scope::kFunction)
+            idx.functions[scopes.back().func].body_end = i + 1;
+          scopes.pop_back();
+        }
+        stmt.clear();
+        stmt_depth = 0;
+        continue;
+      }
+
+      if (tok.text == ";" && tok.kind == TokKind::kPunct && stmt_depth == 0) {
+        if (!in_code_scope() && !stmt.empty()) {
+          StmtInfo info = ScanStmt(t, stmt);
+          if (info.owned) {
+            std::string cls = class_scope();
+            std::string mname = MemberName(t, stmt, info.eq);
+            if (!cls.empty() && !mname.empty())
+              idx.owned.push_back({&file, t[stmt[0]].line, cls, mname});
+          }
+          if (info.entry || info.quiescent) {
+            std::string cls = class_scope();
+            std::string name = FunctionName(t, stmt, info.paren, &cls);
+            if (!name.empty()) decl_markers.push_back({cls, name, info.entry});
+          }
+        }
+        stmt.clear();
+        continue;
+      }
+
+      // Access labels reset the statement so `public:` never glues onto the
+      // following member declaration.
+      if (tok.text == ":" && stmt.size() == 1 &&
+          (t[stmt[0]].text == "public" || t[stmt[0]].text == "private" ||
+           t[stmt[0]].text == "protected")) {
+        stmt.clear();
+        continue;
+      }
+
+      if (tok.text == "(") ++stmt_depth;
+      if (tok.text == ")" && stmt_depth > 0) --stmt_depth;
+      stmt.push_back(i);
+    }
+  }
+
+  for (size_t i = 0; i < idx.functions.size(); ++i) {
+    idx.by_name[idx.functions[i].name].push_back(i);
+  }
+  for (const DeclMarker& m : decl_markers) {
+    auto it = idx.by_name.find(m.name);
+    if (it == idx.by_name.end()) continue;
+    for (size_t i : it->second) {
+      if (idx.functions[i].cls != m.cls) continue;
+      if (m.entry) idx.functions[i].entry = true;
+      else idx.functions[i].quiescent = true;
+    }
+  }
+  return idx;
+}
+
+}  // namespace itc::lint

@@ -1,0 +1,80 @@
+// Lint v2, pass 1: the repo-wide symbol index.
+//
+// Built purely from the per-file token streams, the index records every
+// function *definition* (free or member, in-class or out-of-class), which
+// class each one belongs to, and the token range of its body — enough for
+// pass 2 (tools/lint/callgraph.h and the interprocedural rules) to reason
+// across files without parsing C++ for real.
+//
+// The index also collects the three ownership annotations from
+// src/common/ownership.h, which expand to nothing for the compiler and are
+// plain identifiers to the lexer:
+//
+//   ITC_OWNED_BY_KERNEL   on a member declaration: the member belongs to the
+//                         owning kernel's domain; only functions reachable
+//                         from an ENTRY or QUIESCENT function of the class
+//                         may touch it (rule kernel-ownership).
+//   ITC_KERNEL_ENTRY      on a function: an entry point of the kernel
+//                         domain (the event loop, or a call activities make
+//                         while the kernel is running).
+//   ITC_KERNEL_QUIESCENT  on a function: sanctioned only while the owning
+//                         kernel is idle (setup, accessors, orchestration).
+//
+// The parse is a heuristic scope scanner, not a grammar: braces are matched
+// structurally, preprocessor-directive tokens are skipped (so a macro body
+// like ITC_CHECK's do { } while (false) cannot desync the scope stack), and
+// anything it cannot classify becomes an anonymous scope that is simply
+// skipped. Lambda bodies are intentionally NOT separate functions — their
+// tokens fall inside the enclosing definition's body range, so a call made
+// from a lambda (Spawn callbacks, BindOps handlers) is attributed to the
+// function that wrote the lambda, which is exactly what the call graph
+// wants.
+
+#ifndef TOOLS_LINT_SYMBOLS_H_
+#define TOOLS_LINT_SYMBOLS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace itc::lint {
+
+struct FunctionDef {
+  const LexedFile* file = nullptr;
+  int line = 0;        // line of the function's name token
+  std::string name;    // unqualified: "Run", "operator()", "~Kernel"
+  std::string cls;     // owning class, "" for free functions
+  size_t body_begin = 0;  // token index of the body's '{'
+  size_t body_end = 0;    // one past the matching '}'
+  bool entry = false;      // ITC_KERNEL_ENTRY
+  bool quiescent = false;  // ITC_KERNEL_QUIESCENT
+
+  bool IsCtorOrDtor() const { return name == cls || name == "~" + cls; }
+  std::string Qualified() const { return cls.empty() ? name : cls + "::" + name; }
+};
+
+// One ITC_OWNED_BY_KERNEL member declaration.
+struct OwnedMember {
+  const LexedFile* file = nullptr;
+  int line = 0;
+  std::string cls;
+  std::string name;
+};
+
+struct SymbolIndex {
+  std::vector<FunctionDef> functions;
+  std::vector<OwnedMember> owned;
+  // Unqualified name -> indices into `functions`. Overloads and same-named
+  // methods of different classes share a bucket; the call graph resolves a
+  // call to every one of them (conservative by design).
+  std::map<std::string, std::vector<size_t>> by_name;
+};
+
+SymbolIndex BuildIndex(const std::vector<LexedFile>& files);
+
+}  // namespace itc::lint
+
+#endif  // TOOLS_LINT_SYMBOLS_H_
