@@ -78,7 +78,8 @@ void WriteRpcStatsJson(const std::string& path, const std::vector<RpcStatsRun>& 
 
 UserDayLab::UserDayLab(UserDayLabConfig config) : config_(std::move(config)) {
   campus_ = std::make_unique<campus::Campus>(config_.campus);
-  ITC_CHECK(campus_->SetupRootVolume().ok());
+  auto rootvol = campus_->SetupRootVolume();
+  ITC_CHECK(rootvol.ok());
 
   // Shared system binaries at server 0 (optionally replicated everywhere).
   auto sysvol = campus_->CreateSystemVolume("sys.sun", "/unix/sun", /*custodian=*/0);
@@ -108,6 +109,20 @@ UserDayLab::UserDayLab(UserDayLabConfig config) : config_(std::move(config)) {
         config_.seed ^ (0xda7aull & 0xffff) ^ (w * 7919)));
   }
 
+  if (config_.replicate_system_volume) {
+    // Root volume too — path traversal (/vice, /vice/usr, /vice/unix) is the
+    // remaining reason a cluster crosses the backbone on a localized day.
+    // Released after the loop above so the clones carry every home-volume
+    // mount point; the cache flush drops location hints (and root copies)
+    // the login traversal fetched from the read-write custodian.
+    std::vector<ServerId> sites;
+    for (ServerId s = 0; s < campus_->server_count(); ++s) sites.push_back(s);
+    ITC_CHECK(campus_->registry().ReleaseReadOnly(*rootvol, "vice.root.ro", sites).ok());
+    for (uint32_t w = 0; w < campus_->workstation_count(); ++w) {
+      campus_->workstation(w).venus().FlushCache();
+    }
+  }
+
   // The populate/login prologue above consumed server resources "before the
   // day"; discard it so utilization and the 5-minute peak windows (anchored
   // at virtual time 0, and only enableable on a fresh resource) measure the
@@ -123,7 +138,14 @@ SimTime UserDayLab::Run() {
   sim::Scheduler sched;
   sched.set_mode(config_.scheduler_mode);
   sched.set_backend(config_.kernel_backend);
-  for (auto& u : users_) sched.Add(u.get());
+  sched.set_shard_count(config_.shard_count);
+  sched.set_lookahead(config_.campus.cost.BackboneLookahead());
+  // User i drives workstation i; its shard domain is that workstation's
+  // cluster, so a user's intra-cluster traffic never leaves its shard.
+  const net::Topology& topo = campus_->network().topology();
+  for (uint32_t w = 0; w < users_.size(); ++w) {
+    sched.Add(users_[w].get(), topo.ClusterOfNthWorkstation(w));
+  }
   const SimTime end = sched.RunAll();
   last_kernel_events_ = sched.last_events();
   return end;

@@ -49,6 +49,9 @@ struct UserDayLabConfig {
   // Fiber by default; bench_kernel_throughput runs both to compare wall-clock
   // cost. Backend choice cannot affect simulated results (docs/KERNEL.md).
   sim::KernelBackend kernel_backend = sim::DefaultKernelBackend();
+  // kSharded only: shards to run (0 = one per cluster, clamped by
+  // ITCFS_SHARDS). Shard count cannot affect simulated results either.
+  uint32_t shard_count = 0;
 };
 
 class UserDayLab {

@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/path.h"
+#include "src/sim/kernel.h"
 
 namespace itc::campus {
 
@@ -61,9 +62,8 @@ Campus::Campus(CampusConfig config) : config_(std::move(config)) {
 }
 
 ServerId Campus::HomeServerOf(uint32_t workstation_index) const {
-  const uint32_t per_cluster = config_.topology.workstations_per_cluster;
-  const uint32_t cluster = workstation_index / per_cluster;
-  return cluster * config_.topology.servers_per_cluster;
+  const net::Topology& topo = network_->topology();
+  return topo.FirstServerIndexIn(topo.ClusterOfNthWorkstation(workstation_index));
 }
 
 Result<VolumeId> Campus::SetupRootVolume() {
@@ -186,11 +186,13 @@ Status Campus::PopulateDirect(VolumeId volume, const std::string& path, const By
 }
 
 void Campus::CrashServer(size_t i) {
+  ITC_CHECK(sim::Kernel::Current() == nullptr);  // orchestration is quiescent-only
   ITC_CHECK(i < servers_.size());
   servers_[i]->SimulateCrash();
 }
 
 vice::recovery::RecoveryReport Campus::RestartServer(size_t i, SimTime at) {
+  ITC_CHECK(sim::Kernel::Current() == nullptr);
   ITC_CHECK(i < servers_.size());
   return servers_[i]->Restart(at);
 }
@@ -231,6 +233,7 @@ std::map<vice::CallClass, uint64_t> Campus::TotalCallHistogram() const {
 uint64_t Campus::TotalCalls() const { return TotalCallStats().total_calls(); }
 
 void Campus::ResetAllStats() {
+  ITC_CHECK(sim::Kernel::Current() == nullptr);
   for (auto& server : servers_) server->ResetStats();
   for (auto& ws : workstations_) ws->venus().ResetStats();
   network_->ResetStats();

@@ -1,9 +1,12 @@
 #include "src/net/network.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/sim/kernel.h"
+#include "src/sim/kernel_group.h"
 
 namespace itc::net {
 
@@ -14,9 +17,11 @@ Network::Network(const Topology& topology, const sim::CostModel& cost)
     segments_.push_back(std::make_unique<sim::Resource>("lan.cluster" + std::to_string(c)));
   }
   backbone_ = std::make_unique<sim::Resource>("lan.backbone");
+  stats_by_cluster_.resize(topology_.cluster_count());
 }
 
 void Network::AddPartition(Partition partition) {
+  ITC_CHECK(sim::Kernel::Current() == nullptr);  // orchestration is quiescent-only
   ITC_CHECK(partition.from < partition.until);
   for (NodeId n : partition.nodes) ITC_CHECK(topology_.IsValidNode(n));
   partitions_.push_back(std::move(partition));
@@ -53,8 +58,9 @@ SimTime Network::HealedBy(NodeId a, NodeId b, SimTime at) const {
 SimTime Network::Transfer(NodeId from, NodeId to, uint64_t bytes, SimTime depart) {
   ITC_CHECK(topology_.IsValidNode(from) && topology_.IsValidNode(to));
   ITC_CHECK(Reachable(from, to, depart));
-  stats_.messages += 1;
-  stats_.bytes += bytes;
+  NetworkStats& acct = BucketFor(from);
+  acct.messages += 1;
+  acct.bytes += bytes;
 
   if (from == to) return depart;  // loopback: no network cost
 
@@ -67,18 +73,94 @@ SimTime Network::Transfer(NodeId from, NodeId to, uint64_t bytes, SimTime depart
     return t;
   }
 
-  stats_.cross_cluster_messages += 1;
-  stats_.cross_cluster_bytes += bytes;
+  acct.cross_cluster_messages += 1;
+  acct.cross_cluster_bytes += bytes;
   t = sim::Charge(*segments_[topology_.ClusterOf(from)], t, tx);
   t += cost_.bridge_hop_latency;
-  t = sim::Charge(*backbone_, t, tx);
+  sim::KernelGroup* group = sim::KernelGroup::Current();
+  if (group == nullptr) {
+    t = sim::Charge(*backbone_, t, tx);
+    t += cost_.bridge_hop_latency;
+    t = sim::Charge(*segments_[topology_.ClusterOf(to)], t, tx);
+    return t;
+  }
+  // Sharded: the backbone is modelled uncontended (fixed transmission
+  // latency — identical to the solo kernel whenever the backbone has no
+  // queueing), and everything from the second bridge on happens on the
+  // destination cluster's shard. bridge + tx + bridge >= the group's
+  // lookahead, which is what makes the migration timestamp legal.
+  t += tx;
   t += cost_.bridge_hop_latency;
+  group->MigrateToDomain(topology_.ClusterOf(to), t);
   t = sim::Charge(*segments_[topology_.ClusterOf(to)], t, tx);
   return t;
 }
 
+void Network::Send(NodeId from, NodeId to, uint64_t bytes, SimTime depart,
+                   std::function<void()> deliver) {
+  ITC_CHECK(topology_.IsValidNode(from) && topology_.IsValidNode(to));
+  ITC_CHECK(Reachable(from, to, depart));
+  NetworkStats& acct = BucketFor(from);
+  acct.messages += 1;
+  acct.bytes += bytes;
+
+  if (from == to) {
+    deliver();
+    return;
+  }
+
+  const SimTime tx = cost_.TransmissionTime(bytes);
+  const Topology::Route route = topology_.RouteBetween(from, to);
+
+  SimTime t = depart;
+  if (!route.cross_cluster) {
+    sim::Charge(*segments_[topology_.ClusterOf(from)], t, tx);
+    deliver();
+    return;
+  }
+
+  acct.cross_cluster_messages += 1;
+  acct.cross_cluster_bytes += bytes;
+  t = sim::Charge(*segments_[topology_.ClusterOf(from)], t, tx);
+  t += cost_.bridge_hop_latency;
+  sim::KernelGroup* group = sim::KernelGroup::Current();
+  if (group == nullptr) {
+    t = sim::Charge(*backbone_, t, tx);
+    t += cost_.bridge_hop_latency;
+    sim::Charge(*segments_[topology_.ClusterOf(to)], t, tx);
+    deliver();
+    return;
+  }
+  // Sharded: hand a one-shot delivery activity to the destination shard at
+  // the second bridge's exit; it pays the destination segment there and
+  // applies the delivery at the true arrival time. The sender continues
+  // immediately — fire-and-forget.
+  t += tx;
+  t += cost_.bridge_hop_latency;
+  sim::Resource* dest_segment = segments_[topology_.ClusterOf(to)].get();
+  group->Post(topology_.ClusterOf(to), t, "net.deliver",
+              [dest_segment, tx, deliver = std::move(deliver)] {
+                sim::Kernel* kernel = sim::Kernel::Current();
+                const SimTime arrive = sim::Charge(*dest_segment, kernel->now(), tx);
+                sim::AlignTo(arrive);
+                deliver();
+              });
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats total;
+  for (const StatsBucket& b : stats_by_cluster_) {
+    total.messages += b.stats.messages;
+    total.bytes += b.stats.bytes;
+    total.cross_cluster_messages += b.stats.cross_cluster_messages;
+    total.cross_cluster_bytes += b.stats.cross_cluster_bytes;
+    total.partition_drops += b.stats.partition_drops;
+  }
+  return total;
+}
+
 void Network::ResetStats() {
-  stats_ = NetworkStats{};
+  for (StatsBucket& b : stats_by_cluster_) b.stats = NetworkStats{};
   for (auto& s : segments_) s->Reset();
   backbone_->Reset();
 }

@@ -58,6 +58,19 @@ class Topology {
                            n % config_.workstations_per_cluster);
   }
 
+  // Cluster arithmetic for *indices* (server/workstation enumeration order),
+  // the counterpart of ClusterOf for node ids — callers must not re-derive
+  // these from the config's per-cluster counts.
+  ClusterId ClusterOfNthServer(uint32_t n) const { return n / config_.servers_per_cluster; }
+  ClusterId ClusterOfNthWorkstation(uint32_t n) const {
+    return n / config_.workstations_per_cluster;
+  }
+  // Index (NthServer order) of the first server in `cluster` — e.g. the
+  // home server a workstation in that cluster binds to.
+  uint32_t FirstServerIndexIn(ClusterId cluster) const {
+    return cluster * config_.servers_per_cluster;
+  }
+
   struct Route {
     int segments = 0;     // LAN segments traversed (cluster LANs + backbone)
     int bridge_hops = 0;  // bridges crossed

@@ -6,6 +6,9 @@
 #include "src/rpc/op_registry.h"
 #include "src/rpc/wire.h"
 #include "src/sim/kernel.h"
+#include "src/sim/kernel_group.h"
+
+#include <algorithm>
 
 namespace itc::rpc {
 
@@ -15,6 +18,38 @@ namespace {
 constexpr uint64_t kWireHeaderBytes = 32;
 
 uint64_t WireSize(const Bytes& payload) { return payload.size() + kWireHeaderBytes; }
+
+// In sharded mode a cross-cluster Transfer migrates the calling activity to
+// the destination shard, and the reply transfer normally carries it home.
+// Early exits — partition timeouts, handler failures, a handshake leg that
+// fails authentication — would otherwise strand the client's activity on
+// the server's shard. This guard walks it home on every exit path: a no-op
+// when the activity is already on its home shard (all success paths, and
+// everything outside a kernel group). Failure paths that end mid-flight on
+// the far shard pay up to one extra lookahead of virtual time for the hop
+// home; timeout paths (the common case) are already past it.
+class HomeShardGuard {
+ public:
+  HomeShardGuard(net::Network* network, NodeId home, sim::Clock* clock)
+      : network_(network), home_(home), clock_(clock) {}
+  ~HomeShardGuard() {
+    sim::KernelGroup* group = sim::KernelGroup::Current();
+    if (group == nullptr) return;
+    const ClusterId domain = network_->topology().ClusterOf(home_);
+    sim::Kernel* host = sim::Kernel::Current();
+    if (&group->shard(group->ShardOfDomain(domain)) == host) return;
+    const SimTime at = std::max(clock_->now(), host->now() + group->lookahead());
+    group->MigrateToDomain(domain, at);
+    clock_->AdvanceTo(at);
+  }
+  HomeShardGuard(const HomeShardGuard&) = delete;
+  HomeShardGuard& operator=(const HomeShardGuard&) = delete;
+
+ private:
+  net::Network* network_;
+  NodeId home_;
+  sim::Clock* clock_;
+};
 
 }  // namespace
 
@@ -194,8 +229,7 @@ Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
   const SimTime stream_penalty =
       config.transport == Transport::kStream ? cost.stream_transport_overhead : 0;
 
-  server->stats_.handshakes += 1;
-
+  HomeShardGuard home_guard(network, client_node, clock);
   crypto::ClientHandshake client_hs(user, user_key, nonce_seed);
   crypto::ServerHandshake server_hs(server->key_lookup_,
                                     server->nonce_seed_ ^ (nonce_seed * 0x9e3779b9ull));
@@ -204,25 +238,28 @@ Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
   // and the server legs pay dispatch CPU. A partition can open mid-handshake,
   // so every leg checks reachability; a lost leg costs the client its full
   // RPC timeout.
-  const auto leg_lost = [&](SimTime at) {
+  // `at_node` is where the undeparted leg sits when the loss is observed —
+  // it picks the accounting bucket and names the shard the caller is on.
+  const auto leg_lost = [&](SimTime at, NodeId at_node) {
     if (network->Reachable(client_node, server->node_, at)) return false;
-    network->NotePartitionDrop();
+    network->NotePartitionDrop(at_node);
     clock->AdvanceTo(at + cost.rpc_timeout);
     return true;
   };
   SimTime t = clock->now() + cost.client_cpu_per_rpc;
 
   Bytes m1 = client_hs.Start();
-  if (leg_lost(t)) return Status::kUnavailable;
+  if (leg_lost(t, client_node)) return Status::kUnavailable;
   t = network->Transfer(client_node, server->node_, WireSize(m1), t) + stream_penalty;
   t = sim::Charge(server->cpu_, t, cost.server_cpu_per_call);
+  server->stats_.handshakes += 1;  // counted where the server sees the hello
   auto m2 = server_hs.HandleHello(m1);
   if (!m2.ok()) {
     server->stats_.auth_failures += 1;
     clock->AdvanceTo(t);
     return m2.status();
   }
-  if (leg_lost(t)) return Status::kUnavailable;
+  if (leg_lost(t, server->node_)) return Status::kUnavailable;
   t = network->Transfer(server->node_, client_node, WireSize(*m2), t) + stream_penalty;
   t += cost.client_cpu_per_rpc;
   auto m3 = client_hs.HandleChallenge(*m2);
@@ -230,7 +267,7 @@ Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
     clock->AdvanceTo(t);
     return m3.status();
   }
-  if (leg_lost(t)) return Status::kUnavailable;
+  if (leg_lost(t, client_node)) return Status::kUnavailable;
   t = network->Transfer(client_node, server->node_, WireSize(*m3), t) + stream_penalty;
   t = sim::Charge(server->cpu_, t, cost.server_cpu_per_call);
   auto m4 = server_hs.HandleResponse(*m3);
@@ -239,7 +276,17 @@ Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
     clock->AdvanceTo(t);
     return m4.status();
   }
-  if (leg_lost(t)) return Status::kUnavailable;
+  // The server's side of the handshake is complete: install the connection
+  // here, while the activity is still on the server's shard (mutating the
+  // connection table after the m4 transfer would touch server state from the
+  // client's shard). If the final leg is lost the entry stays behind — the
+  // server granted a session the client never learned about — until the
+  // client's next successful epoch drops it.
+  const uint64_t conn_id = server->next_connection_id_++;
+  server->connections_[conn_id] =
+      ServerEndpoint::ConnState{server_hs.user(), server_hs.secret(), 0, 0, client_node};
+
+  if (leg_lost(t, server->node_)) return Status::kUnavailable;
   t = network->Transfer(server->node_, client_node, WireSize(*m4), t) + stream_penalty;
   t += cost.client_cpu_per_rpc;
   auto secret = client_hs.HandleSessionGrant(*m4);
@@ -248,10 +295,6 @@ Result<std::unique_ptr<ClientConnection>> ClientConnection::Connect(
 
   // Both sides have independently derived the same session secret.
   ITC_CHECK(*secret == server_hs.secret());
-
-  const uint64_t conn_id = server->next_connection_id_++;
-  server->connections_[conn_id] =
-      ServerEndpoint::ConnState{server_hs.user(), server_hs.secret(), 0, 0, client_node};
 
   return std::unique_ptr<ClientConnection>(new ClientConnection(
       client_node, user, server, network, cost, clock, conn_id, *secret, config,
@@ -270,6 +313,7 @@ Result<Bytes> ClientConnection::Call(uint32_t proc, const Bytes& request) {
 }
 
 Result<Bytes> ClientConnection::SendOnce(uint32_t proc, const Bytes& request) {
+  HomeShardGuard home_guard(network_, client_node_, clock_);
   const SimTime stream_penalty =
       config_.transport == Transport::kStream ? cost_.stream_transport_overhead : 0;
 
@@ -294,7 +338,7 @@ Result<Bytes> ClientConnection::SendOnce(uint32_t proc, const Bytes& request) {
   // A partition between the endpoints eats the request (or below, the
   // reply); the client burns its full timeout either way.
   if (!network_->Reachable(client_node_, server_->node_, t)) {
-    network_->NotePartitionDrop();
+    network_->NotePartitionDrop(client_node_);
     clock_->AdvanceTo(t + cost_.rpc_timeout);
     return Status::kUnavailable;
   }
@@ -312,7 +356,7 @@ Result<Bytes> ClientConnection::SendOnce(uint32_t proc, const Bytes& request) {
     // The call executed but the reply is lost: at-most-once semantics are
     // preserved by the anti-replay sequence check on any retry. The client
     // gave up at its timeout, whatever the server did afterwards.
-    network_->NotePartitionDrop();
+    network_->NotePartitionDrop(server_->node_);
     clock_->AdvanceTo(t + cost_.rpc_timeout);
     return Status::kUnavailable;
   }

@@ -179,15 +179,17 @@ class ServerEndpoint {
   bool online() const { return online_; }
 
   // Volatile-state teardown for a simulated machine crash, and targeted
-  // cleanup when one workstation disconnects or crashes.
-  void DropAllConnections() { connections_.clear(); }
-  void CloseConnectionsFrom(NodeId client_node);
-  size_t ConnectionCountFrom(NodeId client_node) const;
+  // cleanup when one workstation disconnects or crashes. Orchestration-only
+  // under the sharded scheduler: they touch the connection table, which the
+  // server's shard owns.
+  ITC_KERNEL_QUIESCENT void DropAllConnections() { connections_.clear(); }
+  ITC_KERNEL_QUIESCENT void CloseConnectionsFrom(NodeId client_node);
+  ITC_KERNEL_QUIESCENT size_t ConnectionCountFrom(NodeId client_node) const;
 
   NodeId node() const { return node_; }
   sim::Resource& cpu() { return cpu_; }
   sim::Resource& disk() { return disk_; }
-  const RpcStats& stats() const { return stats_; }
+  ITC_KERNEL_QUIESCENT const RpcStats& stats() const { return stats_; }
   // Per-op tracing recorded by the server interceptor chain.
   CallStats& call_stats() { return call_stats_; }
   const CallStats& call_stats() const { return call_stats_; }
@@ -213,7 +215,13 @@ class ServerEndpoint {
   [[nodiscard]] Result<Bytes> HandleCall(uint64_t conn_id, NodeId client_node, const Bytes& sealed_request,
                            SimTime arrival, SimTime* completion);
 
-  void CloseConnection(uint64_t conn_id) { connections_.erase(conn_id); }
+  // Called from the client connection's destructor, i.e. potentially from
+  // the client's shard. Known cross-shard touch under kSharded: a mid-run
+  // teardown erases server-side state from the client's thread. Today every
+  // connection teardown in the tree happens quiescently (prologue/epilogue,
+  // crash orchestration) or on the server's own shard; the lint rule keeps
+  // new callers honest.
+  ITC_SHARD_FOREIGN void CloseConnection(uint64_t conn_id) { connections_.erase(conn_id); }
 
  private:
   friend class ClientConnection;
@@ -225,14 +233,14 @@ class ServerEndpoint {
   KeyLookup key_lookup_;
   uint64_t nonce_seed_;
   bool online_ = true;
-  uint64_t next_connection_id_ = 1;
+  ITC_OWNED_BY_SHARD uint64_t next_connection_id_ = 1;
   Service* service_ = nullptr;
   const OpRegistry* registry_ = nullptr;
   sim::Resource cpu_;
   sim::Resource disk_;
-  std::unordered_map<uint64_t, ConnState> connections_;
-  RpcStats stats_;
-  CallStats call_stats_;
+  ITC_OWNED_BY_SHARD std::unordered_map<uint64_t, ConnState> connections_;
+  ITC_OWNED_BY_SHARD RpcStats stats_;
+  ITC_OWNED_BY_SHARD CallStats call_stats_;
   // Server interceptor chain: tracing (outermost) then fault injection,
   // wrapped around dispatch + resource charging.
   std::unique_ptr<ServerTracingInterceptor> tracing_;

@@ -95,6 +95,16 @@ struct CostModel {
   // Returns the cost model used throughout bench/: the constants above.
   static CostModel Default1985() { return CostModel{}; }
 
+  // Minimum virtual-time cost of any cross-cluster message: two bridge hops
+  // plus the fixed per-message cost of the smallest possible transmission.
+  // This is the conservative lookahead bound the sharded kernel group uses
+  // — no backbone crossing can deliver sooner, so a shard gated at
+  // min(other shards' bounds) + BackboneLookahead() can never receive a
+  // message in its past (src/sim/kernel_group.h).
+  SimTime BackboneLookahead() const {
+    return 2 * bridge_hop_latency + net_msg_latency;
+  }
+
   // Network transmission time for `bytes` on one segment, excluding queueing.
   SimTime TransmissionTime(uint64_t bytes) const {
     return net_msg_latency + static_cast<SimTime>(static_cast<double>(net_per_kb) *

@@ -4,6 +4,9 @@
 #include <limits>
 #include <string>
 
+#include "src/common/logging.h"
+#include "src/sim/kernel_group.h"
+
 namespace itc::sim {
 
 namespace {
@@ -13,8 +16,53 @@ constexpr SimTime kForever = std::numeric_limits<SimTime>::max();
 SimTime Scheduler::RunAll() { return RunUntil(kForever); }
 
 SimTime Scheduler::RunUntil(SimTime horizon) {
-  return mode_ == SchedulerMode::kEventDriven ? RunEventDriven(horizon)
-                                              : RunConservative(horizon);
+  switch (mode_) {
+    case SchedulerMode::kEventDriven:
+      return RunEventDriven(horizon);
+    case SchedulerMode::kSharded:
+      return RunSharded(horizon);
+    case SchedulerMode::kConservative:
+      break;
+  }
+  return RunConservative(horizon);
+}
+
+SimTime Scheduler::RunSharded(SimTime horizon) {
+  uint32_t domains = 1;
+  for (uint32_t d : domains_) domains = std::max(domains, d + 1);
+  const uint32_t shards =
+      shard_count_ == 0 ? DefaultShardCount(domains)
+                        : std::max(1u, std::min(shard_count_, domains));
+  ITC_CHECK(lookahead_ > 0);  // set_lookahead(cost.BackboneLookahead()) first
+  KernelGroup group(shards, backend_, lookahead_);
+  shards_used_ = group.shard_count();
+  if (trace_enabled_) group.EnableTrace(trace_capacity_);
+  for (size_t i = 0; i < processes_.size(); ++i) {
+    Process* p = processes_[i];
+    // Same loop body as RunEventDriven, but through sim::AlignTo: after a
+    // cross-shard migration the activity must realign on whichever kernel
+    // is hosting it, not the one it was spawned on.
+    group.Spawn(domains_[i], "p" + std::to_string(i), p->now(), [p, horizon] {
+      while (!p->done() && p->now() < horizon) {
+        sim::AlignTo(p->now());
+        p->Step();
+      }
+    });
+  }
+  group.Run();
+  last_events_ = group.events_dispatched();
+  if (trace_enabled_) {
+    shard_traces_.clear();
+    for (uint32_t s = 0; s < group.shard_count(); ++s) {
+      shard_traces_.push_back(group.shard_trace(s));
+    }
+  }
+
+  SimTime latest = 0;
+  for (Process* p : processes_) {
+    latest = std::max(latest, std::min(p->now(), horizon));
+  }
+  return latest;
 }
 
 SimTime Scheduler::RunEventDriven(SimTime horizon) {

@@ -48,19 +48,46 @@ enum class SchedulerMode {
   // resource arrival earlier than work already admitted. Kept only for
   // measuring that error (bench_kernel_fidelity) and for regression tests.
   kConservative,
+  // Sharded multi-kernel mode (src/sim/kernel_group.h): processes run as
+  // activities of the kernel owning their domain's shard, one OS thread per
+  // shard, synchronized conservatively at the backbone lookahead. Requires
+  // every process to be Add()ed with its domain (cluster) id and a
+  // lookahead from the network cost model. kEventDriven remains the
+  // bit-identical single-kernel reference for intra-cluster activity.
+  kSharded,
 };
 
 class Scheduler {
  public:
-  void Add(Process* p) { processes_.push_back(p); }
+  void Add(Process* p) { Add(p, /*domain=*/0); }
+  // Registers `p` on simulation domain (cluster) `domain`; the domain
+  // decides shard placement under kSharded and is ignored otherwise.
+  void Add(Process* p, uint32_t domain) {
+    processes_.push_back(p);
+    domains_.push_back(domain);
+  }
 
   void set_mode(SchedulerMode mode) { mode_ = mode; }
   SchedulerMode mode() const { return mode_; }
 
-  // Selects how the kernel parks and resumes activities (event-driven mode
-  // only). Affects wall-clock throughput, never simulated results.
+  // Selects how the kernel parks and resumes activities (event-driven and
+  // sharded modes). Affects wall-clock throughput, never simulated results.
   void set_backend(KernelBackend backend) { backend_ = backend; }
   KernelBackend backend() const { return backend_; }
+
+  // kSharded tuning. shard_count 0 (default) means one shard per domain,
+  // clamped by the ITCFS_SHARDS environment variable (DefaultShardCount).
+  // The lookahead must be the minimum virtual-time cost of a cross-domain
+  // message (sim::CostModel::BackboneLookahead() for the campus network);
+  // shard placement and shard count can never change simulated results.
+  void set_shard_count(uint32_t n) { shard_count_ = n; }
+  void set_lookahead(SimTime lookahead) { lookahead_ = lookahead; }
+  // Shards the most recent kSharded run actually used.
+  uint32_t shards_used() const { return shards_used_; }
+  // Per-shard traces of the most recent kSharded run (EnableTrace first).
+  ITC_KERNEL_QUIESCENT const std::vector<std::vector<TraceEntry>>& shard_traces() const {
+    return shard_traces_;
+  }
 
   // Records the kernel's event trace during the next run (event-driven mode
   // only) into a ring of `capacity` entries; used by the determinism and
@@ -86,13 +113,19 @@ class Scheduler {
  private:
   SimTime RunEventDriven(SimTime horizon);
   SimTime RunConservative(SimTime horizon);
+  SimTime RunSharded(SimTime horizon);
 
   std::vector<Process*> processes_;
+  std::vector<uint32_t> domains_;  // parallel to processes_
   SchedulerMode mode_ = SchedulerMode::kEventDriven;
   KernelBackend backend_ = DefaultKernelBackend();
+  uint32_t shard_count_ = 0;  // 0: one per domain, clamped by ITCFS_SHARDS
+  SimTime lookahead_ = 0;     // required for kSharded
+  uint32_t shards_used_ = 0;
   bool trace_enabled_ = false;
   size_t trace_capacity_ = Kernel::kDefaultTraceCapacity;
   ITC_OWNED_BY_KERNEL std::vector<TraceEntry> trace_;
+  ITC_OWNED_BY_KERNEL std::vector<std::vector<TraceEntry>> shard_traces_;
   ITC_OWNED_BY_KERNEL uint64_t last_events_ = 0;
 };
 

@@ -449,11 +449,26 @@ Result<Venus::ParentRef> Venus::ResolveParentOf(const std::string& path, bool fo
   return ParentRef{*parent, std::string(leaf)};
 }
 
+// An update's path traversal only *reads* the directories along the way, so
+// the walk below resolves every hop through the nearest read-only clone just
+// like a read's walk would — "localize if possible" applies to the whole
+// prefix. Only the finally resolved object must live in the read-write
+// volume; clones preserve vnode numbers and uniquifiers (Volume::Clone), so
+// the mapping is a volume-id rebrand of the resolved fid.
+Result<Fid> Venus::MapForUpdate(Fid fid, bool for_update) {
+  if (!for_update || !fid.valid()) return fid;
+  ASSIGN_OR_RETURN(vice::VolumeInfo info, VolumeInfoFor(fid.volume, /*refresh=*/false));
+  if (info.read_only && info.read_write_volume != kInvalidVolume) {
+    fid.volume = info.read_write_volume;
+  }
+  return fid;
+}
+
 Result<Fid> Venus::WalkClient(const std::string& path, bool for_update, bool follow_final) {
   if (path.empty() || path.front() != '/') return Status::kInvalidArgument;
 
   ASSIGN_OR_RETURN(VolumeId root_vid, RootVolume());
-  ASSIGN_OR_RETURN(VolumeId vid, ChooseVolume(root_vid, for_update));
+  ASSIGN_OR_RETURN(VolumeId vid, ChooseVolume(root_vid, /*for_update=*/false));
   Fid cur = vice::VolumeRootFid(vid);
 
   std::vector<std::string> components = SplitPath(path);
@@ -489,13 +504,14 @@ Result<Fid> Venus::WalkClient(const std::string& path, bool for_update, bool fol
 
     switch (item.kind) {
       case DirItem::Kind::kMountPoint: {
-        ASSIGN_OR_RETURN(VolumeId next, ChooseVolume(item.mount_volume, for_update));
+        ASSIGN_OR_RETURN(VolumeId next,
+                         ChooseVolume(item.mount_volume, /*for_update=*/false));
         crumbs.push_back(cur);
         cur = vice::VolumeRootFid(next);
         break;
       }
       case DirItem::Kind::kSymlink: {
-        if (is_final && !follow_final) return item.fid;
+        if (is_final && !follow_final) return MapForUpdate(item.fid, for_update);
         if (++symlink_depth > kMaxSymlinkDepth) return Status::kSymlinkLoop;
         bool hit = false;
         ASSIGN_OR_RETURN(CacheEntry * link_entry, EnsureData(item.fid, &hit));
@@ -522,7 +538,7 @@ Result<Fid> Venus::WalkClient(const std::string& path, bool for_update, bool fol
         components = std::move(spliced);
         i = 0;
         if (!target.empty() && target.front() == '/') {
-          ASSIGN_OR_RETURN(VolumeId restart, ChooseVolume(root_vid, for_update));
+          ASSIGN_OR_RETURN(VolumeId restart, ChooseVolume(root_vid, /*for_update=*/false));
           cur = vice::VolumeRootFid(restart);
           crumbs.clear();
         }
@@ -536,7 +552,7 @@ Result<Fid> Venus::WalkClient(const std::string& path, bool for_update, bool fol
         break;
     }
   }
-  return cur;
+  return MapForUpdate(cur, for_update);
 }
 
 Result<Fid> Venus::WalkServer(const std::string& path) {

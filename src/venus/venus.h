@@ -211,6 +211,10 @@ class Venus : public vice::CallbackReceiver, private validation::ValidationHost 
   // Resolves the directory containing a path's final component.
   [[nodiscard]] Result<ParentRef> ResolveParentOf(const std::string& path, bool for_update);
   [[nodiscard]] Result<Fid> WalkClient(const std::string& path, bool for_update, bool follow_final);
+  // Rebrands a fid resolved through a read-only clone back to its read-write
+  // volume when the access requires write; identity otherwise. The walk
+  // localizes every directory hop, so only the final object pays this.
+  [[nodiscard]] Result<Fid> MapForUpdate(Fid fid, bool for_update);
   [[nodiscard]] Result<Fid> WalkServer(const std::string& path);
 
   // --- Cache core ------------------------------------------------------------------------
@@ -254,34 +258,34 @@ class Venus : public vice::CallbackReceiver, private validation::ValidationHost 
   sim::CostModel cost_;
   uint64_t seed_;
 
-  ITC_OWNED_BY_KERNEL UserId user_ = kAnonymousUser;
+  ITC_OWNED_BY_SHARD UserId user_ = kAnonymousUser;
   crypto::Key user_key_;
-  ITC_OWNED_BY_KERNEL std::map<ServerId, std::unique_ptr<rpc::ClientConnection>> connections_;
+  ITC_OWNED_BY_SHARD std::map<ServerId, std::unique_ptr<rpc::ClientConnection>> connections_;
   // Last restart epoch observed per server (ProbeEpoch on each fresh
   // connection, callback mode only). A bump between connections means the
   // server crashed while we were not looking.
-  ITC_OWNED_BY_KERNEL std::map<ServerId, uint32_t> server_epochs_;
+  ITC_OWNED_BY_SHARD std::map<ServerId, uint32_t> server_epochs_;
   // Server that answered the most recent successful call (stamps the cache
   // entry it produced).
-  ITC_OWNED_BY_KERNEL ServerId last_contacted_ = kInvalidServer;
+  ITC_OWNED_BY_SHARD ServerId last_contacted_ = kInvalidServer;
   // Lease expiry carried by the most recent Fetch/FetchStatus reply.
-  ITC_OWNED_BY_KERNEL SimTime last_lease_expiry_ = 0;
+  ITC_OWNED_BY_SHARD SimTime last_lease_expiry_ = 0;
   // The scheme-specific half of cache validation (src/venus/validation/).
   std::unique_ptr<validation::ValidationPolicy> policy_;
 
-  ITC_OWNED_BY_KERNEL FileCache cache_;
-  ITC_OWNED_BY_KERNEL std::map<VolumeId, vice::VolumeInfo> volume_hints_;
-  ITC_OWNED_BY_KERNEL VolumeId root_volume_ = kInvalidVolume;
+  ITC_OWNED_BY_SHARD FileCache cache_;
+  ITC_OWNED_BY_SHARD std::map<VolumeId, vice::VolumeInfo> volume_hints_;
+  ITC_OWNED_BY_SHARD VolumeId root_volume_ = kInvalidVolume;
   // Prototype name cache: full Vice path -> fid (filled by ResolvePath).
-  ITC_OWNED_BY_KERNEL std::map<std::string, Fid, std::less<>> name_cache_;
+  ITC_OWNED_BY_SHARD std::map<std::string, Fid, std::less<>> name_cache_;
   // Deferred write-back queue (insertion order; duplicates coalesce).
-  ITC_OWNED_BY_KERNEL std::vector<Fid> dirty_queue_;
+  ITC_OWNED_BY_SHARD std::vector<Fid> dirty_queue_;
 
   EscapePredicate escape_predicate_;
-  ITC_OWNED_BY_KERNEL std::string escape_path_;
+  ITC_OWNED_BY_SHARD std::string escape_path_;
 
-  ITC_OWNED_BY_KERNEL VenusStats stats_;
-  ITC_OWNED_BY_KERNEL rpc::CallStats call_stats_;
+  ITC_OWNED_BY_SHARD VenusStats stats_;
+  ITC_OWNED_BY_SHARD rpc::CallStats call_stats_;
 };
 
 }  // namespace itc::venus

@@ -41,12 +41,12 @@ uint32_t CallbackManager::Break(const Fid& fid, CallbackReceiver* except, SimTim
     if (!network->Reachable(server_node, r->callback_node(), t)) {
       // The break is fire-and-forget: a partitioned holder never hears it
       // and keeps trusting its cache — the staleness hole leases close.
-      network->NotePartitionDrop();
+      network->NotePartitionDrop(server_node);
       stats_.lost += 1;
       continue;
     }
-    network->Transfer(server_node, r->callback_node(), 64, t);
-    r->OnCallbackBroken(fid);
+    network->Send(server_node, r->callback_node(), 64, t,
+                  [r, fid] { r->OnCallbackBroken(fid); });
     sent += 1;
   }
   if (sent > 0) stats_.break_events += 1;
@@ -74,12 +74,12 @@ uint32_t CallbackManager::BreakVolume(VolumeId volume, SimTime at, NodeId server
     for (CallbackReceiver* r : it->second) {
       t = sim::Charge(*server_cpu, t, cost.server_lwp_switch);
       if (!network->Reachable(server_node, r->callback_node(), t)) {
-        network->NotePartitionDrop();
+        network->NotePartitionDrop(server_node);
         stats_.lost += 1;
         continue;
       }
-      network->Transfer(server_node, r->callback_node(), 64, t);
-      r->OnCallbackBroken(it->first);
+      network->Send(server_node, r->callback_node(), 64, t,
+                    [r, fid = it->first] { r->OnCallbackBroken(fid); });
       sent += 1;
     }
     it = promises_.erase(it);

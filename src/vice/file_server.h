@@ -227,25 +227,25 @@ class ViceServer {
   rpc::OpRegistry registry_;
   rpc::ServerEndpoint endpoint_;
   protection::Replica protection_replica_;
-  ITC_OWNED_BY_KERNEL std::map<VolumeId, std::unique_ptr<Volume>> volumes_;
+  ITC_OWNED_BY_SHARD std::map<VolumeId, std::unique_ptr<Volume>> volumes_;
   std::shared_ptr<const LocationDb> location_;
   CallbackManager callbacks_;
   LeaseManager leases_;
   LockManager locks_;
-  ITC_OWNED_BY_KERNEL std::unordered_map<NodeId, CallbackReceiver*> callback_sinks_;
-  ITC_OWNED_BY_KERNEL VolumeAccessMap volume_accesses_;
-  ITC_OWNED_BY_KERNEL SimTime now_ = 0;  // arrival time of the call being dispatched
+  ITC_OWNED_BY_SHARD std::unordered_map<NodeId, CallbackReceiver*> callback_sinks_;
+  ITC_OWNED_BY_SHARD VolumeAccessMap volume_accesses_;
+  ITC_OWNED_BY_SHARD SimTime now_ = 0;  // arrival time of the call being dispatched
   // Durable state: survives SimulateCrash; everything above does not.
   recovery::StableStore store_;
-  ITC_OWNED_BY_KERNEL uint32_t restart_epoch_ = 0;
-  ITC_OWNED_BY_KERNEL bool crashed_ = false;
-  ITC_OWNED_BY_KERNEL uint32_t committed_since_checkpoint_ = 0;
+  ITC_OWNED_BY_SHARD uint32_t restart_epoch_ = 0;
+  ITC_OWNED_BY_SHARD bool crashed_ = false;
+  ITC_OWNED_BY_SHARD uint32_t committed_since_checkpoint_ = 0;
   // Volumes with a logged intention since their last image dump. Periodic
   // checkpoints re-dump only these: a volume that logged no intention has
   // not mutated (the intention-before-mutate lint rule enforces this), so
   // its stored image is byte-identical to what a fresh Dump would produce.
   // The simulated checkpoint disk charge still covers all images.
-  ITC_OWNED_BY_KERNEL std::set<VolumeId> dirty_volumes_;
+  ITC_OWNED_BY_SHARD std::set<VolumeId> dirty_volumes_;
   // CPS memoization keyed by protection-database version: CheckAccess runs
   // on every call, and the recursive group closure need not be recomputed
   // until the replicated database actually changes.

@@ -87,14 +87,14 @@ SimTime LeaseManager::Break(const Fid& fid, CallbackReceiver* except, SimTime at
     if (!network->Reachable(server_node, holder->callback_node(), t)) {
       // Cannot be told; the write may not complete until this holder's
       // promise has run out (never later than at + term).
-      network->NotePartitionDrop();
+      network->NotePartitionDrop(server_node);
       stats_.lost += 1;
       stats_.waited_out += 1;
       safe = std::max(safe, expiry);
       continue;
     }
-    network->Transfer(server_node, holder->callback_node(), 64, t);
-    holder->OnCallbackBroken(fid);
+    network->Send(server_node, holder->callback_node(), 64, t,
+                  [holder = holder, fid] { holder->OnCallbackBroken(fid); });
     sent += 1;
   }
   if (sent > 0) stats_.break_events += 1;

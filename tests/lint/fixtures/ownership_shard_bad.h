@@ -1,0 +1,16 @@
+// kernel-ownership (per-shard) positive fixture: Rogue touches
+// ITC_OWNED_BY_SHARD state from a method no entry point can reach and that
+// carries no ITC_SHARD_FOREIGN waiver.
+#ifndef OWNERSHIP_SHARD_BAD_H_
+#define OWNERSHIP_SHARD_BAD_H_
+
+class Endpoint {
+ public:
+  ITC_KERNEL_ENTRY void Handle() { calls_++; }
+  void Rogue() { calls_ = 0; }  // unsanctioned, unwaived: must fire
+
+ private:
+  ITC_OWNED_BY_SHARD int calls_ = 0;
+};
+
+#endif  // OWNERSHIP_SHARD_BAD_H_

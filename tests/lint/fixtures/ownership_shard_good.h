@@ -1,0 +1,26 @@
+// kernel-ownership (per-shard) negative fixture: every touch of
+// owned-by-shard state is ENTRY/QUIESCENT-reachable or carries the
+// ITC_SHARD_FOREIGN waiver — and the waiver does not loosen plain
+// ITC_OWNED_BY_KERNEL state in the same class.
+#ifndef OWNERSHIP_SHARD_GOOD_H_
+#define OWNERSHIP_SHARD_GOOD_H_
+
+class Endpoint {
+ public:
+  Endpoint() { calls_ = 0; }
+  ITC_KERNEL_ENTRY void Handle() { Bump(); }
+  ITC_KERNEL_QUIESCENT void Reset() {
+    calls_ = 0;
+    epoch_ = 0;
+  }
+  // A declared cross-shard teardown path: waived, not sanctioned.
+  ITC_SHARD_FOREIGN void Close() { calls_ = -1; }
+
+ private:
+  void Bump() { calls_++; }  // reachable via Handle
+
+  ITC_OWNED_BY_SHARD int calls_ = 0;
+  ITC_OWNED_BY_KERNEL int epoch_ = 0;
+};
+
+#endif  // OWNERSHIP_SHARD_GOOD_H_

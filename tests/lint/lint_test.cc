@@ -421,6 +421,43 @@ TEST(KernelOwnership, QuietOnSanctionedAccessCtorsAndUnrelatedClasses) {
   EXPECT_TRUE(RunOne("kernel-ownership", in).empty());
 }
 
+TEST(KernelOwnership, FiresOnUnwaivedTouchOfShardState) {
+  LintInput in;
+  in.files.push_back(LexFixture("ownership_shard_bad.h"));
+  const auto diags = RunOne("kernel-ownership", in);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("Endpoint::Rogue"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("ITC_OWNED_BY_SHARD"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("ITC_SHARD_FOREIGN"), std::string::npos)
+      << "the shard message must name the waiver escape hatch";
+}
+
+TEST(KernelOwnership, ShardForeignWaiverCoversDeclaredCrossShardTouches) {
+  LintInput in;
+  in.files.push_back(LexFixture("ownership_shard_good.h"));
+  EXPECT_TRUE(RunOne("kernel-ownership", in).empty());
+}
+
+TEST(KernelOwnership, ShardForeignDoesNotWaivePlainKernelState) {
+  // Same class, but the foreign method touches ITC_OWNED_BY_KERNEL state:
+  // the waiver is specific to per-shard members.
+  LintInput in;
+  in.files.push_back(Lex("src/fixture/ownership_mixed.h", R"(
+class Mixed {
+ public:
+  ITC_KERNEL_ENTRY void Handle() { a_++; b_++; }
+  ITC_SHARD_FOREIGN void Close() { a_ = 0; b_ = 0; }
+ private:
+  ITC_OWNED_BY_SHARD int a_ = 0;
+  ITC_OWNED_BY_KERNEL int b_ = 0;
+};
+)"));
+  const auto diags = RunOne("kernel-ownership", in);
+  ASSERT_EQ(diags.size(), 1u) << "only the kernel-owned member b_ fires";
+  EXPECT_NE(diags[0].message.find("'b_'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("Mixed::Close"), std::string::npos);
+}
+
 TEST(NoAllocTransitive, FiresOnReachableHelpersNotOnRootBodies) {
   LintInput in;
   in.files.push_back(LexFixture("alloc_transitive_bad.cc"));

@@ -52,8 +52,13 @@
 //   kernel-ownership        state marked ITC_OWNED_BY_KERNEL may only be
 //                           touched by methods reachable from a function
 //                           marked ITC_KERNEL_ENTRY or ITC_KERNEL_QUIESCENT
-//                           (the ownership fence the multi-kernel refactor
-//                           shards against; src/common/ownership.h)
+//                           (the ownership fence the sharded multi-kernel
+//                           runtime relies on; src/common/ownership.h).
+//                           State marked ITC_OWNED_BY_SHARD belongs to one
+//                           shard of the kernel group and is held to the
+//                           same fence with a sharper message; a method
+//                           marked ITC_SHARD_FOREIGN is a declared (waived)
+//                           cross-shard touch and may reach it
 //   no-alloc-in-kernel-hot-path-transitive
 //                           the allocation ban, extended over the call
 //                           graph: anything reachable from Kernel::Run*/

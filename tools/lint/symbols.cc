@@ -29,13 +29,17 @@ struct DeclMarker {
   std::string cls;
   std::string name;
   bool entry = false;
+  bool quiescent = false;
+  bool shard_foreign = false;
 };
 
 // What a statement ending in `{` (or, for markers, `;`) turned out to be.
 struct StmtInfo {
   bool entry = false;
   bool quiescent = false;
+  bool shard_foreign = false;
   bool owned = false;
+  bool owned_shard = false;
   size_t paren = kNone;  // stmt position of the first '(' (always depth 0)
   size_t eq = kNone;     // stmt position of the first depth-0 '=' (non-operator=)
 };
@@ -47,7 +51,12 @@ StmtInfo ScanStmt(const std::vector<Token>& t, const std::vector<size_t>& stmt) 
     const Token& tok = t[stmt[j]];
     if (tok.text == "ITC_KERNEL_ENTRY") info.entry = true;
     if (tok.text == "ITC_KERNEL_QUIESCENT") info.quiescent = true;
+    if (tok.text == "ITC_SHARD_FOREIGN") info.shard_foreign = true;
     if (tok.text == "ITC_OWNED_BY_KERNEL") info.owned = true;
+    if (tok.text == "ITC_OWNED_BY_SHARD") {
+      info.owned = true;
+      info.owned_shard = true;
+    }
     if (tok.text == "(") {
       if (info.paren == kNone) info.paren = j;
       ++depth;
@@ -124,7 +133,7 @@ std::string MemberName(const std::vector<Token>& t, const std::vector<size_t>& s
     if (tok.text == "(" || tok.text == "[") ++depth;
     else if (tok.text == ")" || tok.text == "]") --depth;
     else if (depth == 0 && tok.kind == TokKind::kIdent &&
-             tok.text != "ITC_OWNED_BY_KERNEL")
+             tok.text != "ITC_OWNED_BY_KERNEL" && tok.text != "ITC_OWNED_BY_SHARD")
       name = tok.text;
   }
   return name;
@@ -196,6 +205,7 @@ SymbolIndex BuildIndex(const std::vector<LexedFile>& files) {
               def.body_end = t.size();
               def.entry = info.entry;
               def.quiescent = info.quiescent;
+              def.shard_foreign = info.shard_foreign;
               sc = {Scope::kFunction, "", idx.functions.size()};
               idx.functions.push_back(def);
             } else if (info.owned) {
@@ -203,7 +213,8 @@ SymbolIndex BuildIndex(const std::vector<LexedFile>& files) {
               std::string cls2 = class_scope();
               std::string mname = MemberName(t, stmt, kNone);
               if (!cls2.empty() && !mname.empty())
-                idx.owned.push_back({&file, t[stmt[0]].line, cls2, mname});
+                idx.owned.push_back(
+                    {&file, t[stmt[0]].line, cls2, mname, info.owned_shard});
             }
           }
         }
@@ -231,12 +242,15 @@ SymbolIndex BuildIndex(const std::vector<LexedFile>& files) {
             std::string cls = class_scope();
             std::string mname = MemberName(t, stmt, info.eq);
             if (!cls.empty() && !mname.empty())
-              idx.owned.push_back({&file, t[stmt[0]].line, cls, mname});
+              idx.owned.push_back(
+                  {&file, t[stmt[0]].line, cls, mname, info.owned_shard});
           }
-          if (info.entry || info.quiescent) {
+          if (info.entry || info.quiescent || info.shard_foreign) {
             std::string cls = class_scope();
             std::string name = FunctionName(t, stmt, info.paren, &cls);
-            if (!name.empty()) decl_markers.push_back({cls, name, info.entry});
+            if (!name.empty())
+              decl_markers.push_back(
+                  {cls, name, info.entry, info.quiescent, info.shard_foreign});
           }
         }
         stmt.clear();
@@ -267,7 +281,8 @@ SymbolIndex BuildIndex(const std::vector<LexedFile>& files) {
     for (size_t i : it->second) {
       if (idx.functions[i].cls != m.cls) continue;
       if (m.entry) idx.functions[i].entry = true;
-      else idx.functions[i].quiescent = true;
+      if (m.quiescent) idx.functions[i].quiescent = true;
+      if (m.shard_foreign) idx.functions[i].shard_foreign = true;
     }
   }
   return idx;

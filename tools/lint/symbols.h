@@ -6,7 +6,7 @@
 // pass 2 (tools/lint/callgraph.h and the interprocedural rules) to reason
 // across files without parsing C++ for real.
 //
-// The index also collects the three ownership annotations from
+// The index also collects the ownership annotations from
 // src/common/ownership.h, which expand to nothing for the compiler and are
 // plain identifiers to the lexer:
 //
@@ -14,11 +14,21 @@
 //                         owning kernel's domain; only functions reachable
 //                         from an ENTRY or QUIESCENT function of the class
 //                         may touch it (rule kernel-ownership).
+//   ITC_OWNED_BY_SHARD    on a member declaration: stronger — the member
+//                         belongs to ONE shard of the kernel group, and a
+//                         touch additionally requires that the method is
+//                         not a declared foreign-shard path (the rule
+//                         reports shard state with a sharper message and
+//                         honors the ITC_SHARD_FOREIGN waiver).
 //   ITC_KERNEL_ENTRY      on a function: an entry point of the kernel
 //                         domain (the event loop, or a call activities make
 //                         while the kernel is running).
 //   ITC_KERNEL_QUIESCENT  on a function: sanctioned only while the owning
 //                         kernel is idle (setup, accessors, orchestration).
+//   ITC_SHARD_FOREIGN     on a function: an acknowledged cross-shard touch;
+//                         the function may reach owned-by-shard state
+//                         without being ENTRY/QUIESCENT-reachable, and the
+//                         annotation is the audit trail of that debt.
 //
 // The parse is a heuristic scope scanner, not a grammar: braces are matched
 // structurally, preprocessor-directive tokens are skipped (so a macro body
@@ -49,19 +59,21 @@ struct FunctionDef {
   std::string cls;     // owning class, "" for free functions
   size_t body_begin = 0;  // token index of the body's '{'
   size_t body_end = 0;    // one past the matching '}'
-  bool entry = false;      // ITC_KERNEL_ENTRY
-  bool quiescent = false;  // ITC_KERNEL_QUIESCENT
+  bool entry = false;          // ITC_KERNEL_ENTRY
+  bool quiescent = false;      // ITC_KERNEL_QUIESCENT
+  bool shard_foreign = false;  // ITC_SHARD_FOREIGN
 
   bool IsCtorOrDtor() const { return name == cls || name == "~" + cls; }
   std::string Qualified() const { return cls.empty() ? name : cls + "::" + name; }
 };
 
-// One ITC_OWNED_BY_KERNEL member declaration.
+// One ITC_OWNED_BY_KERNEL / ITC_OWNED_BY_SHARD member declaration.
 struct OwnedMember {
   const LexedFile* file = nullptr;
   int line = 0;
   std::string cls;
   std::string name;
+  bool shard = false;  // ITC_OWNED_BY_SHARD (strictly stronger)
 };
 
 struct SymbolIndex {
