@@ -14,6 +14,7 @@
 
 #include "bench/harness.h"
 
+#include "src/common/content.h"
 #include "src/common/logging.h"
 #include "src/workload/source_tree.h"
 
@@ -31,8 +32,7 @@ double RunDataPlane(bool encrypt, SimTime crypto_cpu_per_kb) {
   ITC_CHECK(campus.SetupRootVolume().ok());
   auto home = campus.AddUserWithHome("u", "pw", 0);
   ITC_CHECK(campus.PopulateDirect(home->volume, "/doc",
-                                  workload::SynthesizeContents(1, 512 * 1024)) ==
-            Status::kOk);
+                                  content::Ref::ForSeed(1, 512 * 1024)) == Status::kOk);
   auto& ws = campus.workstation(0);
   ITC_CHECK(ws.LoginWithPassword(home->user, "pw") == Status::kOk);
 

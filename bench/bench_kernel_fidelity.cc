@@ -58,6 +58,7 @@ struct Row {
   ArmResult arrival_order;
   double window_max_abs_delta = 0;
   double window_mean_abs_delta = 0;
+  long peak_rss_kb = 0;
 };
 
 Row RunRow(uint32_t clients) {
@@ -65,6 +66,7 @@ Row RunRow(uint32_t clients) {
   row.clients = clients;
   row.call_order = RunArm(clients, sim::SchedulerMode::kConservative);
   row.arrival_order = RunArm(clients, sim::SchedulerMode::kEventDriven);
+  row.peak_rss_kb = ReadPeakRssKb();
 
   const size_t n = std::max(row.call_order.windows.size(),
                             row.arrival_order.windows.size());
@@ -97,11 +99,12 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows) {
         "\"arrival_order_day_s\": %.1f, \"day_delta_s\": %.1f, "
         "\"call_order_cpu_avg\": %.4f, \"arrival_order_cpu_avg\": %.4f, "
         "\"call_order_cpu_peak\": %.4f, \"arrival_order_cpu_peak\": %.4f, "
-        "\"window_max_abs_delta\": %.4f, \"window_mean_abs_delta\": %.4f}%s\n",
+        "\"window_max_abs_delta\": %.4f, \"window_mean_abs_delta\": %.4f, "
+        "\"peak_rss_kb\": %ld}%s\n",
         r.clients, r.call_order.day_s, r.arrival_order.day_s,
         r.call_order.day_s - r.arrival_order.day_s, r.call_order.cpu_avg,
         r.arrival_order.cpu_avg, r.call_order.cpu_peak, r.arrival_order.cpu_peak,
-        r.window_max_abs_delta, r.window_mean_abs_delta,
+        r.window_max_abs_delta, r.window_mean_abs_delta, r.peak_rss_kb,
         i + 1 != rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

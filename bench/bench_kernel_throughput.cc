@@ -41,31 +41,8 @@ namespace {
 using namespace itc;
 using namespace itc::bench;
 
-// Peak RSS of the current process in KB since the last ResetPeakRss(), via
-// VmHWM in /proc/self/status (clear_refs "5" resets the high-water mark).
-// Falls back to the lifetime getrusage peak where /proc is unavailable.
-void ResetPeakRss() {
-  if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
-    std::fputs("5\n", f);
-    std::fclose(f);
-  }
-}
-
-long ReadPeakRssKb() {
-  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
-    char line[256];
-    long kb = -1;
-    while (std::fgets(line, sizeof(line), f)) {
-      if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) break;
-    }
-    std::fclose(f);
-    if (kb >= 0) return kb;
-  }
-  rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  return ru.ru_maxrss;
-}
-
+// ResetPeakRss/ReadPeakRssKb live in bench/harness.cc (shared by every
+// bench); this file keeps only the context-switch counter.
 long OsContextSwitches() {
   rusage ru{};
   getrusage(RUSAGE_SELF, &ru);

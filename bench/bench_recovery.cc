@@ -31,6 +31,7 @@ struct Point {
   uint64_t log_records = 0;    // intention records at crash time
   uint32_t replayed = 0;
   SimTime recovery_us = 0;
+  long peak_rss_kb = 0;
 };
 
 struct Lab {
@@ -81,6 +82,7 @@ Point RunVolumeSizePoint(uint32_t files) {
   ITC_CHECK(report.clean());
   p.replayed = report.intentions_replayed;
   p.recovery_us = report.recovery_time;
+  p.peak_rss_kb = ReadPeakRssKb();
   return p;
 }
 
@@ -106,6 +108,7 @@ Point RunLogLengthPoint(uint32_t writes) {
   ITC_CHECK(report.clean());
   p.replayed = report.intentions_replayed;
   p.recovery_us = report.recovery_time;
+  p.peak_rss_kb = ReadPeakRssKb();
   return p;
 }
 
@@ -132,11 +135,12 @@ void WriteJson(const std::string& path, const std::vector<Point>& by_size,
       const Point& p = curve[i];
       std::fprintf(f,
                    "    {\"%s\": %u, \"vnodes\": %llu, \"image_bytes\": %llu, "
-                   "\"log_records\": %llu, \"replayed\": %u, \"recovery_us\": %lld}%s\n",
+                   "\"log_records\": %llu, \"replayed\": %u, \"recovery_us\": %lld, "
+                   "\"peak_rss_kb\": %ld}%s\n",
                    x_name, p.x, static_cast<unsigned long long>(p.vnodes),
                    static_cast<unsigned long long>(p.image_bytes),
                    static_cast<unsigned long long>(p.log_records), p.replayed,
-                   static_cast<long long>(p.recovery_us),
+                   static_cast<long long>(p.recovery_us), p.peak_rss_kb,
                    i + 1 < curve.size() ? "," : "");
     }
     std::fprintf(f, "  ]%s\n", last ? "" : ",");

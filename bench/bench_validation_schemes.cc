@@ -318,7 +318,8 @@ void WriteJson(const std::vector<Scheme>& schemes,
   for (size_t i = 0; i < schemes.size(); ++i) {
     const SteadyResult& s = steady[i];
     const RestartResult& rr = restart[i];
-    std::fprintf(f, "    {\"scheme\": \"%s\",\n", SchemeName(schemes[i]));
+    std::fprintf(f, "    {\"scheme\": \"%s\", \"peak_rss_kb\": %ld,\n",
+                 SchemeName(schemes[i]), ReadPeakRssKb());
     std::fprintf(
         f,
         "     \"steady\": {\"server_calls\": %llu, \"validation_rpcs\": %llu, "

@@ -18,6 +18,7 @@
 #include "bench/harness.h"
 
 #include "src/baseline/remote_open.h"
+#include "src/common/content.h"
 #include "src/common/logging.h"
 #include "src/virtue/vfs/remote_mount.h"
 #include "src/virtue/vfs/switch.h"
@@ -59,14 +60,14 @@ double TimedPageRead(virtue::vfs::Switch& sw, const sim::Clock& clock,
 
 Timings MeasureSize(uint64_t size) {
   Timings t{};
-  const Bytes payload = workload::SynthesizeContents(size, size);
+  const content::Ref contents = content::Ref::ForSeed(size, size);
 
   // --- itcfs mount: whole-file caching -----------------------------------------
   {
     campus::Campus campus(campus::CampusConfig::Revised(1, 1));
     ITC_CHECK(campus.SetupRootVolume().ok());
     auto home = campus.AddUserWithHome("u", "pw", 0);
-    ITC_CHECK(campus.PopulateDirect(home->volume, "/big", payload) == Status::kOk);
+    ITC_CHECK(campus.PopulateDirect(home->volume, "/big", contents) == Status::kOk);
     auto& ws = campus.workstation(0);
     ITC_CHECK(ws.LoginWithPassword(home->user, "pw") == Status::kOk);
 
@@ -83,7 +84,8 @@ Timings MeasureSize(uint64_t size) {
     baseline::RemoteOpenServer server(
         topo.ServerNode(0, 0), &network, cost, rpc::RpcConfig{},
         [&key](UserId) -> std::optional<crypto::Key> { return key; }, 7);
-    ITC_CHECK(server.storage().WriteFile("/big", payload) == Status::kOk);
+    // Transient write payload; the unixfs at-rest copy re-canonicalizes.
+    ITC_CHECK(server.storage().WriteFile("/big", contents.Materialize()) == Status::kOk);
 
     sim::Clock clock;
     virtue::vfs::Switch sw;

@@ -1,11 +1,35 @@
 #include "bench/harness.h"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <string_view>
 
 #include "src/common/logging.h"
 
 namespace itc::bench {
+
+void ResetPeakRss() {
+  if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
+    std::fputs("5\n", f);
+    std::fclose(f);
+  }
+}
+
+long ReadPeakRssKb() {
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    long kb = -1;
+    while (std::fgets(line, sizeof(line), f)) {
+      if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+    if (kb >= 0) return kb;
+  }
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+}
 
 void PrintTitle(const std::string& bench, const std::string& paper_claim) {
   std::printf("================================================================\n");
@@ -43,6 +67,8 @@ void WriteRpcStatsJson(const std::string& path, const std::vector<RpcStatsRun>& 
   for (size_t i = 0; i < runs.size(); ++i) {
     const RpcStatsRun& run = runs[i];
     std::fprintf(f, "    {\n      \"label\": \"%s\",\n", JsonEscape(run.label).c_str());
+    std::fprintf(f, "      \"peak_rss_kb\": %ld,\n",
+                 run.peak_rss_kb >= 0 ? run.peak_rss_kb : ReadPeakRssKb());
     std::fprintf(f, "      \"total_calls\": %llu,\n",
                  static_cast<unsigned long long>(run.stats.total_calls()));
     std::fprintf(f, "      \"total_errors\": %llu,\n",

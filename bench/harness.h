@@ -23,11 +23,23 @@ namespace itc::bench {
 void PrintTitle(const std::string& bench, const std::string& paper_claim);
 void PrintSection(const std::string& name);
 
+// --- Host memory sampling ---------------------------------------------------
+// Peak RSS of the current process in KB since the last ResetPeakRss(), via
+// VmHWM in /proc/self/status (clear_refs "5" resets the high-water mark).
+// Falls back to the lifetime getrusage(RUSAGE_SELF) peak where /proc is
+// unavailable — the fallback cannot be reset, so treat it as monotone.
+// Every bench reports this in its BENCH_*.json rows: host memory is a
+// first-class result for a simulator whose ambition is 10k clients.
+void ResetPeakRss();
+long ReadPeakRssKb();
+
 // One labelled CallStats snapshot (e.g. "prototype", "revised") destined for
 // the machine-readable dump.
 struct RpcStatsRun {
   std::string label;
   rpc::CallStats stats;
+  // Peak RSS attributed to this run; -1 = sample at write time instead.
+  long peak_rss_kb = -1;
 };
 
 // Writes per-op counts, error counts, byte totals, and latency

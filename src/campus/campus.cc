@@ -1,5 +1,8 @@
 #include "src/campus/campus.h"
 
+#include <unordered_set>
+#include <utility>
+
 #include "src/common/logging.h"
 #include "src/common/path.h"
 #include "src/sim/kernel.h"
@@ -161,6 +164,11 @@ Status Campus::MkDirDirect(VolumeId volume, const std::string& path) {
 }
 
 Status Campus::PopulateDirect(VolumeId volume, const std::string& path, const Bytes& data) {
+  return PopulateDirect(volume, path, content::Ref::Canonicalize(data));
+}
+
+Status Campus::PopulateDirect(VolumeId volume, const std::string& path,
+                              content::Ref contents) {
   vice::Volume* vol = registry_.FindVolume(volume);
   if (vol == nullptr) return Status::kNotFound;
   ASSIGN_OR_RETURN(Fid dir, EnsureDirDirect(vol, std::string(Dirname(path))));
@@ -178,11 +186,20 @@ Status Campus::PopulateDirect(VolumeId volume, const std::string& path, const By
   } else {
     ASSIGN_OR_RETURN(fid, vol->CreateFile(dir, leaf, kAnonymousUser, 0644));
   }
-  RETURN_IF_ERROR(vol->StoreData(fid, data));
+  RETURN_IF_ERROR(vol->StoreRef(fid, std::move(contents)));
   // Direct loading bypassed the file server: re-dump the durable image and
   // break any promises so already-connected clients refetch.
   RETURN_IF_ERROR(registry_.CheckpointVolume(volume));
   return registry_.BreakVolumeCallbacks(volume);
+}
+
+uint64_t Campus::RetainedContentBytes() const {
+  ITC_CHECK(sim::Kernel::Current() == nullptr);
+  std::unordered_set<const void*> seen;
+  uint64_t total = 0;
+  for (const auto& server : servers_) total += server->RetainedContentBytes(&seen);
+  for (const auto& ws : workstations_) total += ws->local_fs().RetainedContentBytes(&seen);
+  return total;
 }
 
 void Campus::CrashServer(size_t i) {

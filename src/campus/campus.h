@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/content.h"
 #include "src/common/ownership.h"
 #include "src/common/result.h"
 #include "src/net/network.h"
@@ -92,6 +93,11 @@ class Campus {
   // `path` is relative to the volume root, intermediate directories are
   // created with the root directory's ACL.
   [[nodiscard]] Status PopulateDirect(VolumeId volume, const std::string& path, const Bytes& data);
+  // Lazy variant: installs a content ref without ever materializing the
+  // bytes on the host. Population of a 10k-workstation campus stays cheap
+  // because a generative ref is ~32 bytes regardless of file size.
+  [[nodiscard]] Status PopulateDirect(VolumeId volume, const std::string& path,
+                                      content::Ref contents);
   [[nodiscard]] Status MkDirDirect(VolumeId volume, const std::string& path);
 
   // Home server of a workstation: the first server in its own cluster.
@@ -115,6 +121,13 @@ class Campus {
 
   // Aggregated per-op CallStats across all servers (counts, bytes, latency
   // histograms — recorded by the RPC tracing interceptor).
+  // Host bytes actually retained for file contents across the whole campus:
+  // every server's volumes and stable store plus every workstation's local
+  // file system (which holds the Venus cache copies). Buffers shared through
+  // the content store are counted once. Memory diagnostics, not simulation
+  // state.
+  ITC_KERNEL_QUIESCENT uint64_t RetainedContentBytes() const;
+
   rpc::CallStats TotalCallStats() const;
   // The Section 5.2 call-class collapse of TotalCallStats().
   std::map<vice::CallClass, uint64_t> TotalCallHistogram() const;

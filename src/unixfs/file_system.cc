@@ -43,8 +43,7 @@ InodeNum FileSystem::AllocInode(FileType type, Mode mode, UserId owner) {
 
 void FileSystem::ReleaseData(Inode& inode) {
   total_data_bytes_ -= inode.data.size();
-  inode.data.clear();
-  inode.data.shrink_to_fit();
+  inode.data = content::Ref();
 }
 
 void FileSystem::UnlinkInode(InodeNum n) {
@@ -368,7 +367,7 @@ Result<Bytes> FileSystem::ReadFileByInode(InodeNum inode) const {
   if (it == inodes_.end()) return Status::kNotFound;
   if (it->second.type == FileType::kDirectory) return Status::kIsDirectory;
   if (it->second.type == FileType::kSymlink) return Status::kInvalidArgument;
-  return it->second.data;
+  return it->second.data.Materialize();
 }
 
 Status FileSystem::WriteFileByInode(InodeNum inode, const Bytes& data) {
@@ -379,7 +378,9 @@ Status FileSystem::WriteFileByInode(InodeNum inode, const Bytes& data) {
   if (node.type == FileType::kSymlink) return Status::kInvalidArgument;
   if (data.size() > kMaxFileSize) return Status::kFileTooLarge;
   total_data_bytes_ -= node.data.size();
-  node.data = data;
+  // Canonicalizing on every write keeps cached copies of synthetic files
+  // lazy: fetched bytes collapse back to a ref the moment they come to rest.
+  node.data = content::Ref::Canonicalize(data);
   total_data_bytes_ += node.data.size();
   node.mtime = now_;
   return Status::kOk;
@@ -390,10 +391,7 @@ Result<Bytes> FileSystem::ReadAt(InodeNum inode, uint64_t offset, uint64_t lengt
   if (it == inodes_.end()) return Status::kNotFound;
   const Inode& node = it->second;
   if (node.type != FileType::kRegular) return Status::kInvalidArgument;
-  if (offset >= node.data.size()) return Bytes{};
-  const uint64_t n = std::min<uint64_t>(length, node.data.size() - offset);
-  return Bytes(node.data.begin() + static_cast<ptrdiff_t>(offset),
-               node.data.begin() + static_cast<ptrdiff_t>(offset + n));
+  return node.data.Slice(offset, length);
 }
 
 Status FileSystem::WriteAt(InodeNum inode, uint64_t offset, const Bytes& data) {
@@ -408,8 +406,10 @@ Status FileSystem::WriteAt(InodeNum inode, uint64_t offset, const Bytes& data) {
   }
   const uint64_t end = offset + data.size();
   total_data_bytes_ -= node.data.size();
-  if (end > node.data.size()) node.data.resize(end, 0);
-  std::copy(data.begin(), data.end(), node.data.begin() + static_cast<ptrdiff_t>(offset));
+  Bytes full = node.data.Materialize();
+  if (end > full.size()) full.resize(end, 0);
+  std::copy(data.begin(), data.end(), full.begin() + static_cast<ptrdiff_t>(offset));
+  node.data = content::Ref::Canonicalize(std::move(full));
   total_data_bytes_ += node.data.size();
   node.mtime = now_;
   return Status::kOk;
@@ -422,10 +422,26 @@ Status FileSystem::Truncate(InodeNum inode, uint64_t size) {
   if (node.type != FileType::kRegular) return Status::kInvalidArgument;
   if (size > kMaxFileSize) return Status::kFileTooLarge;
   total_data_bytes_ -= node.data.size();
-  node.data.resize(size, 0);
+  if (size <= node.data.gen_len()) {
+    // The generative stream is prefix-stable: shrinking within the prefix
+    // needs no bytes at all.
+    node.data = content::Ref::Generative(node.data.phase(), size);
+  } else if (size <= node.data.size()) {
+    node.data = content::Ref::Canonicalize(node.data.Slice(0, size));
+  } else {
+    Bytes full = node.data.Materialize();
+    full.resize(size, 0);
+    node.data = content::Ref::Canonicalize(std::move(full));
+  }
   total_data_bytes_ += node.data.size();
   node.mtime = now_;
   return Status::kOk;
+}
+
+uint64_t FileSystem::RetainedContentBytes(std::unordered_set<const void*>* seen) const {
+  uint64_t total = 0;
+  for (const auto& [n, inode] : inodes_) total += inode.data.RetainedBytes(seen);
+  return total;
 }
 
 }  // namespace itc::unixfs

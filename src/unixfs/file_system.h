@@ -23,6 +23,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include <unordered_set>
+
+#include "src/common/content.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
@@ -123,8 +126,13 @@ class FileSystem {
   [[nodiscard]] Status Truncate(InodeNum inode, uint64_t size);
 
   // --- Accounting -----------------------------------------------------------
+  // Logical bytes of file contents (the simulated local-disk usage; cache
+  // space limits are enforced against this, not against host memory).
   uint64_t total_data_bytes() const { return total_data_bytes_; }
   uint64_t inode_count() const { return inodes_.size(); }
+  // Host bytes actually retained for file contents, counting buffers shared
+  // with other file systems / volumes once per `seen` set.
+  uint64_t RetainedContentBytes(std::unordered_set<const void*>* seen) const;
 
  private:
   struct Inode {
@@ -133,7 +141,10 @@ class FileSystem {
     uint32_t link_count = 0;
     UserId owner = kAnonymousUser;
     SimTime mtime = 0;
-    Bytes data;                               // regular files
+    // Regular files. Stored as a lazy content ref (generative prefix +
+    // interned tail) so a workstation's cached copy of a synthetic file
+    // costs ~32 bytes of host memory; size()/accounting stay logical.
+    content::Ref data;
     std::map<std::string, InodeNum> entries;  // directories (sorted for determinism)
     std::string symlink_target;               // symlinks
   };

@@ -32,7 +32,6 @@ CacheEntry& FileCache::PutStatus(const Fid& fid, const vice::VnodeStatus& status
   CacheEntry& e = entries_[fid];
   e.status = status;
   e.valid = true;
-  if (e.cache_path.empty()) e.cache_path = PathFor(fid);
   return e;
 }
 
@@ -47,8 +46,7 @@ CacheEntry& FileCache::InstallData(const Fid& fid, const vice::VnodeStatus& stat
   // A fetch replaces the local copy wholesale; any (erroneously surviving)
   // dirty mark would make FlushDirty re-store the server's own bytes.
   e.dirty = false;
-  e.cache_path = PathFor(fid);
-  ITC_CHECK(local_fs_->WriteFile(e.cache_path, data) == Status::kOk);
+  ITC_CHECK(local_fs_->WriteFile(PathFor(fid), data) == Status::kOk);
   e.accounted_bytes = data.size();
   data_bytes_ += e.accounted_bytes;
   stats_.insertions += 1;
@@ -58,13 +56,13 @@ CacheEntry& FileCache::InstallData(const Fid& fid, const vice::VnodeStatus& stat
 Result<Bytes> FileCache::ReadData(const Fid& fid) const {
   const CacheEntry* e = Find(fid);
   if (e == nullptr || !e->has_data) return Status::kNotFound;
-  return local_fs_->ReadFile(e->cache_path);
+  return local_fs_->ReadFile(PathFor(fid));
 }
 
 Status FileCache::WriteData(const Fid& fid, const Bytes& data) {
   CacheEntry* e = Find(fid);
   if (e == nullptr || !e->has_data) return Status::kNotFound;
-  RETURN_IF_ERROR(local_fs_->WriteFile(e->cache_path, data));
+  RETURN_IF_ERROR(local_fs_->WriteFile(PathFor(fid), data));
   data_bytes_ -= e->accounted_bytes;
   e->accounted_bytes = data.size();
   data_bytes_ += e->accounted_bytes;
@@ -95,9 +93,9 @@ void FileCache::Erase(const Fid& fid) {
     data_bytes_ -= it->second.accounted_bytes;
     // The entry leaves the accounting either way; a failed unlink means the
     // bytes are still on the local disk, which is worth a trace.
-    if (Status s = local_fs_->Unlink(it->second.cache_path); s != Status::kOk) {
-      ITC_LOG(kWarning) << "cache file unlink failed for " << it->second.cache_path
-                        << ": " << s;
+    const std::string path = PathFor(fid);
+    if (Status s = local_fs_->Unlink(path); s != Status::kOk) {
+      ITC_LOG(kWarning) << "cache file unlink failed for " << path << ": " << s;
     }
   }
   entries_.erase(it);

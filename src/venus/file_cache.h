@@ -45,7 +45,6 @@ struct CacheEntry {
   // Deferred-write-back mode only: the local copy holds changes not yet
   // stored to the custodian. Dirty entries are never evicted.
   bool dirty = false;
-  std::string cache_path;  // local unixfs path of the cached copy
   // Bytes this entry contributes to the cache's space accounting. The
   // intercept layer writes the cached copy directly through the local file
   // system, so the real file size can drift from this until NoteLocalSize
@@ -110,9 +109,12 @@ class FileCache {
   // All fids currently cached (diagnostics / tests).
   std::vector<Fid> CachedFids() const;
 
- private:
+  // Local unixfs path of the cached copy for `fid`. Derived from the fid on
+  // demand rather than stored per entry — at 10k clients the per-entry path
+  // strings alone were a measurable share of Venus's footprint.
   std::string PathFor(const Fid& fid) const;
 
+ private:
   unixfs::FileSystem* local_fs_;
   std::string cache_dir_;
   VenusConfig config_;

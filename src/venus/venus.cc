@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/content.h"
 #include "src/common/logging.h"
 #include "src/common/path.h"
 #include "src/rpc/wire.h"
@@ -555,6 +556,11 @@ Result<Fid> Venus::WalkClient(const std::string& path, bool for_update, bool fol
   return MapForUpdate(cur, for_update);
 }
 
+void Venus::EraseNameMapping(std::string_view path) {
+  auto it = name_cache_.find(path);
+  if (it != name_cache_.end()) name_cache_.erase(it);
+}
+
 Result<Fid> Venus::WalkServer(const std::string& path) {
   if (path.empty() || path.front() != '/') return Status::kInvalidArgument;
 
@@ -593,7 +599,7 @@ Result<Fid> Venus::WalkServer(const std::string& path) {
     ASSIGN_OR_RETURN(VnodeStatus status, vice::ReadVnodeStatus(r));
     cache_.PutStatus(fid, status).origin_server = last_contacted_;
     cache_.Touch(fid, clock_->now());
-    name_cache_[path] = fid;
+    name_cache_.insert_or_assign(content::StringInterner::Global().Intern(path), fid);
     return fid;
   }
   return Status::kProtocolError;
@@ -638,18 +644,18 @@ Result<Venus::OpenResult> Venus::Open(const std::string& path, bool for_write, b
     ASSIGN_OR_RETURN(VnodeStatus status, vice::ReadVnodeStatus(r));
 
     InvalidateDir(ref.parent);
-    name_cache_[path] = fid;
+    name_cache_.insert_or_assign(content::StringInterner::Global().Intern(path), fid);
     CacheEntry& e = cache_.InstallData(fid, status, Bytes{});
     e.origin_server = last_contacted_;
     cache_.Touch(fid, clock_->now());
     cache_.Pin(fid);
-    return OpenResult{fid, status, e.cache_path};
+    return OpenResult{fid, status, cache_.PathFor(fid)};
   };
 
   auto resolved = ResolveFinal(path, for_write, /*follow_final=*/true);
   if (!resolved.ok() && resolved.status() == Status::kStaleFid) {
     // A cached name mapping went stale (file replaced); retry once fresh.
-    name_cache_.erase(path);
+    EraseNameMapping(path);
     resolved = ResolveFinal(path, for_write, /*follow_final=*/true);
   }
 
@@ -667,7 +673,7 @@ Result<Venus::OpenResult> Venus::Open(const std::string& path, bool for_write, b
     // or callback promise still covers it (a leased directory can outlive a
     // server restart this way). Drop the mapping and untrust the parent
     // directory before re-resolving, so the walk refetches the listing.
-    name_cache_.erase(path);
+    EraseNameMapping(path);
     if (auto parent = ResolveParentOf(path, /*for_update=*/false); parent.ok()) {
       InvalidateDir(parent->parent);
     }
@@ -681,13 +687,13 @@ Result<Venus::OpenResult> Venus::Open(const std::string& path, bool for_write, b
     if (!entry.ok()) return entry.status();
     if (hit) stats_.cache_hits += 1;
     cache_.Pin(*fresh);
-    return OpenResult{*fresh, (*entry)->status, (*entry)->cache_path};
+    return OpenResult{*fresh, (*entry)->status, cache_.PathFor(*fresh)};
   }
   if (!entry.ok()) return entry.status();
   if ((*entry)->status.type == vice::VnodeType::kDirectory) return Status::kIsDirectory;
   if (hit) stats_.cache_hits += 1;
   cache_.Pin(fid);
-  return OpenResult{fid, (*entry)->status, (*entry)->cache_path};
+  return OpenResult{fid, (*entry)->status, cache_.PathFor(fid)};
 }
 
 Status Venus::Close(const Fid& fid, bool dirty) {
@@ -785,7 +791,7 @@ Result<VnodeStatus> Venus::Stat(const std::string& path) {
   if (!config_.client_path_traversal) {
     // Prototype: the pathname goes to the server, which replies with status
     // (this is the GetFileStat-style traffic of the Section 5.2 histogram).
-    name_cache_.erase(path);
+    EraseNameMapping(path);
     ASSIGN_OR_RETURN(Fid fid, WalkServer(path));
     const CacheEntry* e = cache_.Find(fid);
     ITC_CHECK(e != nullptr);
@@ -852,7 +858,7 @@ Status Venus::RmDir(const std::string& path) {
   ASSIGN_OR_RETURN(Bytes reply, CallForFid(ref.parent, Proc::kRemoveDir, w.Take()));
   rpc::Reader r(reply);
   RETURN_IF_ERROR(rpc::ExpectOk(r));
-  name_cache_.erase(path);
+  EraseNameMapping(path);
   InvalidateDir(ref.parent);
   return Status::kOk;
 }
@@ -885,7 +891,7 @@ Status Venus::Rename(const std::string& from, const std::string& to) {
   // Pathname mappings under the old name are now wrong; drop the whole
   // prefix (files keep their fids, so cached data stays useful).
   for (auto it = name_cache_.begin(); it != name_cache_.end();) {
-    if (PathHasPrefix(it->first, from)) {
+    if (PathHasPrefix(*it->first, from)) {
       it = name_cache_.erase(it);
     } else {
       ++it;

@@ -29,6 +29,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/fid.h"
@@ -210,6 +211,10 @@ class Venus : public vice::CallbackReceiver, private validation::ValidationHost 
   [[nodiscard]] Result<Fid> ResolveFinal(const std::string& path, bool for_update, bool follow_final);
   // Resolves the directory containing a path's final component.
   [[nodiscard]] Result<ParentRef> ResolveParentOf(const std::string& path, bool for_update);
+  // Drops one name_cache_ mapping. Keys are interned shared_ptrs and C++20
+  // map::erase has no heterogeneous overload, so this goes through the
+  // transparent find.
+  void EraseNameMapping(std::string_view path);
   [[nodiscard]] Result<Fid> WalkClient(const std::string& path, bool for_update, bool follow_final);
   // Rebrands a fid resolved through a read-only clone back to its read-write
   // volume when the access requires write; identity otherwise. The walk
@@ -277,7 +282,25 @@ class Venus : public vice::CallbackReceiver, private validation::ValidationHost 
   ITC_OWNED_BY_SHARD std::map<VolumeId, vice::VolumeInfo> volume_hints_;
   ITC_OWNED_BY_SHARD VolumeId root_volume_ = kInvalidVolume;
   // Prototype name cache: full Vice path -> fid (filled by ResolvePath).
-  ITC_OWNED_BY_SHARD std::map<std::string, Fid, std::less<>> name_cache_;
+  // Keys are interned through content::StringInterner — thousands of Venus
+  // instances cache the same "/unix/..." paths, so each distinct path costs
+  // one heap string campus-wide instead of one per client. The comparator is
+  // transparent so lookups take a string_view without allocating.
+  struct InternedPathLess {
+    using is_transparent = void;
+    bool operator()(const std::shared_ptr<const std::string>& a,
+                    const std::shared_ptr<const std::string>& b) const {
+      return *a < *b;
+    }
+    bool operator()(const std::shared_ptr<const std::string>& a, std::string_view b) const {
+      return *a < b;
+    }
+    bool operator()(std::string_view a, const std::shared_ptr<const std::string>& b) const {
+      return a < *b;
+    }
+  };
+  ITC_OWNED_BY_SHARD std::map<std::shared_ptr<const std::string>, Fid, InternedPathLess>
+      name_cache_;
   // Deferred write-back queue (insertion order; duplicates coalesce).
   ITC_OWNED_BY_SHARD std::vector<Fid> dirty_queue_;
 

@@ -193,6 +193,14 @@ uint64_t ViceServer::LogIntention(rpc::CallContext& ctx, recovery::IntentKind ki
   return store_.log().Append(kind, volume, ctx.arrival(), std::move(payload));
 }
 
+uint64_t ViceServer::LogIntention(rpc::CallContext& ctx, VolumeId volume, const Fid& fid,
+                                  content::Ref contents) {
+  ctx.ChargeDiskTime(cost_.LogAppendTime(
+      recovery::IntentionLog::LogicalStoreRecordBytes(contents.size())));
+  dirty_volumes_.insert(volume);
+  return store_.log().AppendStore(volume, ctx.arrival(), fid, std::move(contents));
+}
+
 void ViceServer::CommitIntention(rpc::CallContext& ctx, uint64_t lsn) {
   ctx.ChargeDiskTime(cost_.log_fsync);
   store_.log().MarkCommitted(lsn);
@@ -213,6 +221,13 @@ void ViceServer::CommitIntention(rpc::CallContext& ctx, uint64_t lsn) {
 }
 
 void ViceServer::AbortIntention(uint64_t lsn) { store_.log().MarkAborted(lsn); }
+
+uint64_t ViceServer::RetainedContentBytes(std::unordered_set<const void*>* seen) const {
+  uint64_t total = 0;
+  for (const auto& [id, vol] : volumes_) total += vol->RetainedContentBytes(seen);
+  total += store_.RetainedContentBytes(seen);
+  return total;
+}
 
 std::map<CallClass, uint64_t> ViceServer::CallHistogram() const {
   return endpoint_.call_stats().Histogram();
@@ -551,11 +566,13 @@ Result<Bytes> ViceServer::HandleStore(rpc::CallContext& ctx, rpc::Reader& r) {
 
   NoteVolumeAccess(fid->volume, ctx.client_node());
   const uint64_t size = data->size();
+  // Canonicalize once: the log record and the vnode then share one ref (and
+  // one interned tail) instead of holding two byte copies of the store.
+  content::Ref contents = content::Ref::Canonicalize(std::move(*data));
   if (CrashPointHit(rpc::CrashPoint::kBeforeLogAppend)) return Status::kUnavailable;
-  const uint64_t lsn = LogIntention(ctx, recovery::IntentKind::kStore, fid->volume,
-                                    recovery::EncodeStore(*fid, *data));
+  const uint64_t lsn = LogIntention(ctx, fid->volume, *fid, contents);
   if (CrashPointHit(rpc::CrashPoint::kAfterLogAppend)) return Status::kUnavailable;
-  if (Status s = vol->StoreData(*fid, std::move(*data)); s != Status::kOk) {
+  if (Status s = vol->StoreRef(*fid, std::move(contents)); s != Status::kOk) {
     AbortIntention(lsn);
     return StatusReply(s);
   }

@@ -99,6 +99,10 @@ class ViceServer {
   Volume* FindVolume(VolumeId id);
   const Volume* FindVolume(VolumeId id) const;
   ITC_KERNEL_QUIESCENT size_t volume_count() const { return volumes_.size(); }
+  // Host bytes retained for file contents across live volumes, checkpoint
+  // images, and log records; buffers shared between them (snapshots, clones,
+  // interned tails) count once per `seen` set. Memory accounting only.
+  ITC_KERNEL_QUIESCENT uint64_t RetainedContentBytes(std::unordered_set<const void*>* seen) const;
 
   void SetLocationSnapshot(std::shared_ptr<const LocationDb> snapshot) {
     location_ = std::move(snapshot);
@@ -190,6 +194,11 @@ class ViceServer {
   // Appends an intention (state kLogged), charging the log write to ctx.
   uint64_t LogIntention(rpc::CallContext& ctx, recovery::IntentKind kind, VolumeId volume,
                         Bytes payload);
+  // Store overload: the record carries `contents` by reference (shared with
+  // the vnode), but the disk charge is the logical record size — identical
+  // to what the byte-copying encoding measured.
+  uint64_t LogIntention(rpc::CallContext& ctx, VolumeId volume, const Fid& fid,
+                        content::Ref contents);
   // Marks `lsn` committed (fsync charge) and checkpoints every volume once
   // log_checkpoint_interval committed intentions have accumulated.
   void CommitIntention(rpc::CallContext& ctx, uint64_t lsn);

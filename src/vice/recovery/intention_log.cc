@@ -39,6 +39,23 @@ uint64_t IntentionLog::Append(IntentKind kind, VolumeId volume, SimTime when,
   return records_.back().lsn;
 }
 
+uint64_t IntentionLog::AppendStore(VolumeId volume, SimTime when, const Fid& fid,
+                                   content::Ref contents) {
+  Intention rec;
+  rec.lsn = next_lsn_++;
+  rec.kind = IntentKind::kStore;
+  rec.volume = volume;
+  rec.when = when;
+  rec.state = IntentState::kLogged;
+  bytes_appended_ += LogicalStoreRecordBytes(contents.size());
+  rpc::Writer w;
+  w.PutFid(fid);
+  rec.payload = w.Take();
+  rec.contents = std::move(contents);
+  records_.push_back(std::move(rec));
+  return records_.back().lsn;
+}
+
 Intention* IntentionLog::Find(uint64_t lsn) {
   // Records are appended in LSN order; the record being marked is almost
   // always the last one.
@@ -146,6 +163,9 @@ Status ApplyIntention(Volume& vol, const Intention& rec) {
   switch (rec.kind) {
     case IntentKind::kStore: {
       ASSIGN_OR_RETURN(Fid fid, r.FidField());
+      // AppendStore records end at the fid and carry the contents as a ref;
+      // EncodeStore records (legacy/test-crafted) carry literal bytes.
+      if (r.AtEnd()) return vol.StoreRef(fid, rec.contents);
       ASSIGN_OR_RETURN(Bytes data, r.BytesField());
       return vol.StoreData(fid, std::move(data));
     }

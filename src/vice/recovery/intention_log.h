@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/content.h"
 #include "src/common/fid.h"
 #include "src/common/result.h"
 #include "src/common/types.h"
@@ -61,6 +62,11 @@ struct Intention {
   SimTime when = 0;  // server clock at append; replay re-installs it
   IntentState state = IntentState::kLogged;
   Bytes payload;  // op-specific encoding (Encode* below)
+  // kStore via AppendStore only: the stored contents by reference — the log
+  // shares the volume's (interned) buffers instead of holding a byte copy
+  // until the next checkpoint truncates it. The *modeled* log traffic is
+  // still the logical record (see AppendStore); only host memory changes.
+  content::Ref contents;
 };
 
 // An append-only record list. In a real server this would be an fsync'd
@@ -70,6 +76,12 @@ class IntentionLog {
  public:
   // Appends a new record in state kLogged and returns its LSN.
   uint64_t Append(IntentKind kind, VolumeId volume, SimTime when, Bytes payload);
+  // Appends a kStore record carrying `contents` by reference. bytes_appended
+  // (and the caller's disk charge) must stay what the materialized encoding
+  // EncodeStore(fid, bytes) would have measured, so the representation can
+  // never change simulated times; LogicalStoreRecordBytes is that size.
+  uint64_t AppendStore(VolumeId volume, SimTime when, const Fid& fid, content::Ref contents);
+  static uint64_t LogicalStoreRecordBytes(uint64_t data_size) { return 12 + 4 + data_size; }
   void MarkCommitted(uint64_t lsn);
   void MarkAborted(uint64_t lsn);
 
@@ -94,6 +106,8 @@ class IntentionLog {
 // --- Payload encoders --------------------------------------------------------
 // One per IntentKind. MakeDir ACL inheritance is resolved by the caller
 // before logging so replay needs no out-of-band context.
+// EncodeStore is the legacy byte-copying form; the server logs stores via
+// AppendStore (ref-carrying) instead. Replay accepts both.
 Bytes EncodeStore(const Fid& fid, const Bytes& data);
 Bytes EncodeCreateFile(const Fid& dir, const std::string& name, UserId owner, uint16_t mode);
 Bytes EncodeMakeDir(const Fid& dir, const std::string& name, UserId owner,

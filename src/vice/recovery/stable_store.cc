@@ -17,6 +17,13 @@ uint64_t StableStore::image_bytes() const {
   return total;
 }
 
+uint64_t StableStore::RetainedContentBytes(std::unordered_set<const void*>* seen) const {
+  uint64_t total = 0;
+  for (const auto& [id, img] : images_) total += img.snap->RetainedContentBytes(seen);
+  for (const auto& rec : log_.records()) total += rec.contents.RetainedBytes(seen);
+  return total;
+}
+
 Result<std::vector<std::unique_ptr<Volume>>> StableStore::RestoreVolumes() const {
   std::vector<std::unique_ptr<Volume>> out;
   out.reserve(images_.size());

@@ -60,6 +60,11 @@ class StableStore {
   // (for cost accounting/stats; identical to the pre-snapshot accounting).
   uint64_t image_bytes() const;
 
+  // Host bytes retained for file contents in checkpoint images and logged
+  // store records (dedup-aware via `seen`); memory accounting, not the
+  // simulated image size above.
+  uint64_t RetainedContentBytes(std::unordered_set<const void*>* seen) const;
+
   // Reconstructs every checkpointed volume from its image. Does not touch
   // the log; the caller replays committed intentions on top.
   [[nodiscard]] Result<std::vector<std::unique_ptr<Volume>>> RestoreVolumes() const;

@@ -86,7 +86,6 @@ Result<Fid> Volume::CreateFile(const Fid& dir, const std::string& name, UserId o
   v.status.version = 1;
   v.status.mtime = now_;
   v.status.parent = dir;
-  v.data = std::make_shared<const Bytes>();
   vnodes_.emplace(fid.vnode, std::move(v));
   d->entries.emplace(name, DirItem{DirItem::Kind::kFile, fid, kInvalidVolume});
   TouchDir(*d);
@@ -136,7 +135,7 @@ Result<Fid> Volume::MakeSymlink(const Fid& dir, const std::string& name,
   v.status.mtime = now_;
   v.status.parent = dir;
   v.status.length = target.size();
-  v.data = std::make_shared<const Bytes>(ToBytes(target));
+  v.data = content::Ref::Inline(ToBytes(target));
   vnodes_.emplace(fid.vnode, std::move(v));
   d->entries.emplace(name, DirItem{DirItem::Kind::kSymlink, fid, kInvalidVolume});
   TouchDir(*d);
@@ -163,7 +162,7 @@ Status Volume::RemoveFile(const Fid& dir, const std::string& name) {
   if (it->second.kind != DirItem::Kind::kMountPoint) {
     auto victim = vnodes_.find(it->second.fid.vnode);
     if (victim != vnodes_.end()) {
-      const uint64_t data_size = victim->second.data ? victim->second.data->size() : 0;
+      const uint64_t data_size = victim->second.data.size();
       ITC_CHECK(ChargeQuota(-static_cast<int64_t>(kPerVnodeOverhead + data_size)) ==
                 Status::kOk);
       vnodes_.erase(victim);
@@ -251,19 +250,28 @@ Status Volume::Rename(const Fid& from_dir, const std::string& from_name, const F
 Result<Bytes> Volume::FetchData(const Fid& fid) const {
   ASSIGN_OR_RETURN(const Vnode* v, Lookup(fid));
   if (v->status.type == VnodeType::kDirectory) return SerializeDirectory(v->entries);
-  ITC_CHECK(v->data != nullptr);
-  return *v->data;
+  return v->data.Materialize();
+}
+
+Result<const content::Ref*> Volume::FetchRef(const Fid& fid) const {
+  ASSIGN_OR_RETURN(const Vnode* v, Lookup(fid));
+  if (v->status.type == VnodeType::kDirectory) return Status::kIsDirectory;
+  return &v->data;
 }
 
 Status Volume::StoreData(const Fid& fid, Bytes data) {
+  return StoreRef(fid, content::Ref::Canonicalize(std::move(data)));
+}
+
+Status Volume::StoreRef(const Fid& fid, content::Ref data) {
   if (read_only()) return Status::kVolumeReadOnly;
   ASSIGN_OR_RETURN(Vnode * v, LookupMutable(fid));
   if (v->status.type == VnodeType::kDirectory) return Status::kIsDirectory;
-  const uint64_t old_size = v->data ? v->data->size() : 0;
+  const uint64_t old_size = v->data.size();
   RETURN_IF_ERROR(ChargeQuota(static_cast<int64_t>(data.size()) -
                               static_cast<int64_t>(old_size)));
-  v->data = std::make_shared<const Bytes>(std::move(data));
-  v->status.length = v->data->size();
+  v->data = std::move(data);
+  v->status.length = v->data.size();
   v->status.version += 1;
   v->status.mtime = now_;
   return Status::kOk;
@@ -365,10 +373,15 @@ Bytes Volume::Dump() const {
   std::sort(order.begin(), order.end());
   for (uint32_t num : order) {
     const Vnode& v = vnodes_.at(num);
+    const bool has_data = v.status.type != VnodeType::kDirectory;
     w.PutU32(num);
     PutVnodeStatus(w, v.status);
-    w.PutBool(v.data != nullptr);
-    if (v.data != nullptr) w.PutBytes(*v.data);
+    w.PutBool(has_data);
+    // Dump is the wire/backup format: logical bytes, materialized
+    // transiently per vnode. The in-memory representation (a ref) never
+    // leaks into the stream, so a dump's size — and every disk charge
+    // derived from it — is independent of how contents are stored.
+    if (has_data) w.PutBytes(v.data.Materialize());
     w.PutBytes(SerializeDirectory(v.entries));
     w.PutBytes(v.acl.Serialize());
   }
@@ -392,8 +405,8 @@ uint64_t Volume::DumpSize() const {
   for (const auto& [num, v] : vnodes_) {
     w.PutU32(num);
     PutVnodeStatus(w, v.status);
-    w.PutBool(v.data != nullptr);
-    if (v.data != nullptr) data_bytes += 4 + v.data->size();
+    w.PutBool(v.status.type != VnodeType::kDirectory);
+    if (v.status.type != VnodeType::kDirectory) data_bytes += 4 + v.data.size();
     data_bytes += 4 + SerializeDirectory(v.entries).size();
     data_bytes += 4 + v.acl.Serialize().size();
   }
@@ -438,7 +451,9 @@ Result<std::unique_ptr<Volume>> Volume::Restore(const Bytes& dump, VolumeId new_
     if (has_data) {
       ASSIGN_OR_RETURN(Bytes data, r.BytesField());
       usage += data.size();
-      v.data = std::make_shared<const Bytes>(std::move(data));
+      // Restored contents canonicalize back to refs: a restore is as lazy
+      // as the volume it was dumped from.
+      v.data = content::Ref::Canonicalize(std::move(data));
     }
     ASSIGN_OR_RETURN(Bytes dir_bytes, r.BytesField());
     ASSIGN_OR_RETURN(v.entries, DeserializeDirectory(dir_bytes));
@@ -508,13 +523,19 @@ Volume::SalvageReport Volume::Salvage() {
   // Pass 3: recompute quota usage.
   uint64_t usage = 0;
   for (auto& [num, v] : vnodes_) {
-    usage += kPerVnodeOverhead + (v.data ? v.data->size() : 0);
+    usage += kPerVnodeOverhead + v.data.size();
     if (v.status.type == VnodeType::kDirectory) v.status.length = DirDataSize(v.entries);
   }
   report.usage_corrected_bytes =
       usage > usage_bytes_ ? usage - usage_bytes_ : usage_bytes_ - usage;
   usage_bytes_ = usage;
   return report;
+}
+
+uint64_t Volume::RetainedContentBytes(std::unordered_set<const void*>* seen) const {
+  uint64_t total = 0;
+  for (const auto& [num, v] : vnodes_) total += v.data.RetainedBytes(seen);
+  return total;
 }
 
 }  // namespace itc::vice

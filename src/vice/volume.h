@@ -7,10 +7,15 @@
 //  thereby creating a frozen, read-only replica... We will use copy-on-write
 //  semantics to make cloning a relatively inexpensive operation."
 //
-// A Volume owns its vnode table. File data is held behind shared_ptr, so a
-// clone shares every byte with its parent until either side is written —
-// the copy-on-write the paper calls for. Volumes enforce quota (Section 3.6)
-// and read-only-ness; protection checks belong to the FileServer above.
+// A Volume owns its vnode table. File data is held as a content::Ref — a
+// lazy generative record plus a shared, interned literal tail — so a clone
+// shares every byte with its parent until either side is written (the
+// copy-on-write the paper calls for), and synthetic populated contents cost
+// ~32 bytes however large the file. Quota, status lengths, and dump images
+// are all accounted at the logical byte size; only code that needs real
+// bytes (FetchData, Dump) materializes, transiently. Volumes enforce quota
+// (Section 3.6) and read-only-ness; protection checks belong to the
+// FileServer above.
 
 #ifndef SRC_VICE_VOLUME_H_
 #define SRC_VICE_VOLUME_H_
@@ -20,7 +25,9 @@
 #include <string>
 
 #include <unordered_map>
+#include <unordered_set>
 
+#include "src/common/content.h"
 #include "src/common/fid.h"
 #include "src/common/result.h"
 #include "src/common/types.h"
@@ -60,9 +67,9 @@ class Volume {
 
   struct Vnode {
     VnodeStatus status;
-    std::shared_ptr<const Bytes> data;  // file contents / symlink target
-    DirMap entries;                     // directories only
-    protection::AccessList acl;         // directories only
+    content::Ref data;           // file contents / symlink target (dirs: empty)
+    DirMap entries;              // directories only
+    protection::AccessList acl;  // directories only
   };
 
   // --- Lookup ----------------------------------------------------------------
@@ -86,9 +93,18 @@ class Volume {
                 const std::string& to_name);
 
   // --- Data operations ---------------------------------------------------------
-  // Fetches file/symlink data, or serialized entries for a directory.
+  // Fetches file/symlink data, or serialized entries for a directory. The
+  // returned buffer is materialized transiently (the wire carries bytes).
   [[nodiscard]] Result<Bytes> FetchData(const Fid& fid) const;
+  // Stores literal bytes: canonicalized (generative prefix recognized,
+  // literal tail interned) and handed to StoreRef.
   [[nodiscard]] Status StoreData(const Fid& fid, Bytes data);
+  // Stores contents by reference without materializing — the populate path
+  // and intention-log replay. Quota and status.length use the logical size.
+  [[nodiscard]] Status StoreRef(const Fid& fid, content::Ref data);
+  // The stored representation of a file or symlink (kIsDirectory for
+  // directories) — equivalence tests and memory accounting.
+  [[nodiscard]] Result<const content::Ref*> FetchRef(const Fid& fid) const;
 
   // --- Status / protection -------------------------------------------------------
   [[nodiscard]] Result<VnodeStatus> GetStatus(const Fid& fid) const;
@@ -140,6 +156,11 @@ class Volume {
   // entries, removes unreachable vnodes, fixes parent pointers, recomputes
   // quota usage.
   SalvageReport Salvage();
+
+  // Host bytes actually held for file contents, counting each buffer shared
+  // across clones/snapshots/volumes once per `seen` set. This is the memory
+  // diet's accounting, not the simulated disk usage (usage_bytes()).
+  uint64_t RetainedContentBytes(std::unordered_set<const void*>* seen) const;
 
  private:
   [[nodiscard]] Result<Vnode*> LookupMutable(const Fid& fid);

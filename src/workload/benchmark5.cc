@@ -26,8 +26,10 @@ Status InstallSourceTree(virtue::Workstation& ws, const std::string& source_pref
   }
   uint64_t i = 0;
   for (const SourceFile& f : spec.files) {
-    RETURN_IF_ERROR(ws.WriteWholeFile(PathConcat(source_prefix, f.relative_path),
-                                      SynthesizeContents(seed ^ i, f.size)));
+    RETURN_IF_ERROR(ws.WriteWholeFile(
+        PathConcat(source_prefix, f.relative_path),
+        // itcfs-lint: allow(no-eager-contents) -- transient store payload
+        SynthesizeContents(seed ^ i, f.size)));
     ++i;
   }
   return Status::kOk;
@@ -100,6 +102,7 @@ Result<Benchmark5Result> RunBenchmark5(virtue::Workstation& ws,
       // Object file, comparable in size to the source.
       std::string obj_path = PathConcat(target_prefix, f.relative_path);
       obj_path.replace(obj_path.size() - 2, 2, ".o");
+      // itcfs-lint: allow(no-eager-contents) -- transient store payload; the at-rest copy canonicalizes
       const Bytes obj = SynthesizeContents(src.size(), src.size());
       RETURN_IF_ERROR(ws.WriteWholeFile(obj_path, obj));
       objects_bytes += obj.size();
@@ -114,8 +117,10 @@ Result<Benchmark5Result> RunBenchmark5(virtue::Workstation& ws,
     clock.Advance(config.link_base +
                   static_cast<SimTime>(static_cast<double>(config.link_per_kb) *
                                        (static_cast<double>(objects_bytes) / 1024.0)));
-    RETURN_IF_ERROR(ws.WriteWholeFile(PathConcat(target_prefix, "a.out"),
-                                      SynthesizeContents(objects_bytes, objects_bytes / 2)));
+    RETURN_IF_ERROR(ws.WriteWholeFile(
+        PathConcat(target_prefix, "a.out"),
+        // itcfs-lint: allow(no-eager-contents) -- transient store payload
+        SynthesizeContents(objects_bytes, objects_bytes / 2)));
     end_phase(Phase::kMake);
   }
 

@@ -1,10 +1,17 @@
 #include "src/workload/populate.h"
 
+#include "src/common/content.h"
 #include "src/common/rng.h"
 #include "src/workload/source_tree.h"
 #include "src/workload/synthetic_user.h"
 
 namespace itc::workload {
+
+// Population installs content::Ref records instead of materialized byte
+// vectors: the bytes a ref denotes are identical to what
+// SynthesizeContents(seed, size) returns (Ref::ForSeed draws the same phase
+// from the same Rng stream), but a populated file costs ~32 bytes of host
+// memory until someone actually stores over it.
 
 Status PopulateUserFiles(campus::Campus& campus, VolumeId user_volume, uint32_t count,
                          uint64_t seed) {
@@ -13,7 +20,7 @@ Status PopulateUserFiles(campus::Campus& campus, VolumeId user_volume, uint32_t 
     const uint64_t size = SampleFileSize(FileClass::kUserData, rng);
     RETURN_IF_ERROR(campus.PopulateDirect(user_volume,
                                           "/" + SyntheticUser::OwnFileName(i),
-                                          SynthesizeContents(seed ^ i, size)));
+                                          content::Ref::ForSeed(seed ^ i, size)));
   }
   return Status::kOk;
 }
@@ -25,8 +32,8 @@ Status PopulateSystemBinaries(campus::Campus& campus, VolumeId system_volume,
     const uint64_t size = SampleFileSize(FileClass::kSystemBinary, rng);
     RETURN_IF_ERROR(campus.PopulateDirect(system_volume,
                                           "/bin/" + SyntheticUser::SystemFileName(i),
-                                          SynthesizeContents(seed ^ (0xb1ull << 32) ^ i,
-                                                             size)));
+                                          content::Ref::ForSeed(seed ^ (0xb1ull << 32) ^ i,
+                                                                size)));
   }
   return Status::kOk;
 }

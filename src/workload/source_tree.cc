@@ -1,8 +1,8 @@
 #include "src/workload/source_tree.h"
 
 #include <algorithm>
-#include <cstring>
 
+#include "src/common/content.h"
 #include "src/common/rng.h"
 
 namespace itc::workload {
@@ -47,26 +47,12 @@ SourceTreeSpec GenerateSourceTree(uint64_t seed, uint32_t file_count) {
 }
 
 Bytes SynthesizeContents(uint64_t seed, uint64_t size) {
-  Rng rng(seed);
-  static constexpr char kAlphabet[] =
-      "int main(void) { return 0; }\n/* vice */ #include <stdio.h>\n";
-  constexpr uint64_t kPeriod = sizeof(kAlphabet) - 1;
-  const uint64_t phase = rng.Below(kPeriod);
-  // out[i] = kAlphabet[(i + phase) % kPeriod]. Write one period, then extend
-  // by doubling: after the head, `filled` stays a multiple of kPeriod, so
-  // copying from the front preserves the phase. Benches synthesize contents
-  // on every store; byte-at-a-time push_back was a profile hotspot.
-  Bytes out(size);
-  const uint64_t head = std::min(size, kPeriod);
-  for (uint64_t i = 0; i < head; ++i) {
-    out[i] = static_cast<uint8_t>(kAlphabet[(i + phase) % kPeriod]);
-  }
-  for (uint64_t filled = head; filled < size;) {
-    const uint64_t n = std::min(filled, size - filled);
-    std::memcpy(out.data() + filled, out.data(), n);
-    filled += n;
-  }
-  return out;
+  // The byte generator lives in src/common/content now (the same stream,
+  // represented lazily); this materializing wrapper remains for call sites
+  // that genuinely need transient bytes — e.g. a user's write buffer headed
+  // for the wire. Populate-scale code should hold content::Ref::ForSeed
+  // instead (enforced by itcfs-lint's no-eager-contents).
+  return content::Ref::ForSeed(seed, size).Materialize();
 }
 
 }  // namespace itc::workload

@@ -90,6 +90,7 @@ void SyntheticUser::DoOne() {
   }
   // Temporary-file cycle: write scratch to local /tmp, read it once, delete.
   const std::string tmp = "/tmp/t" + std::to_string(tmp_counter_++ % 8);
+  // itcfs-lint: allow(no-eager-contents) -- transient store payload; the at-rest copy canonicalizes
   const Bytes scratch = SynthesizeContents(rng_.NextU64(), 2048 + rng_.Below(6144));
   track(ws_->WriteWholeFile(tmp, scratch));
   track(ws_->ReadWholeFile(tmp).status());

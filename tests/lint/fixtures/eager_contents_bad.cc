@@ -1,0 +1,13 @@
+// Fixture: no-eager-contents must fire on both patterns.
+#include "src/workload/source_tree.h"
+
+void PopulateEverything(Campus& campus, VolumeId vol, uint64_t seed) {
+  for (uint32_t i = 0; i < 1000; ++i) {
+    // Pattern (a): eager materialization of synthetic contents.
+    Bytes data = SynthesizeContents(seed ^ i, 4096);
+    (void)campus.PopulateDirect(vol, "/f" + std::to_string(i), data);
+  }
+  // Pattern (b): Materialize() in the same statement as a Populate* call.
+  content::Ref ref = content::Ref::ForSeed(seed, 4096);
+  (void)campus.PopulateDirect(vol, "/big", ref.Materialize());
+}

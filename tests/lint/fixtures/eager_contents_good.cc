@@ -1,0 +1,17 @@
+// Fixture: no-eager-contents stays quiet on lazy refs, sanctioned
+// transients, and Materialize() away from populate sites.
+#include "src/common/content.h"
+
+void PopulateEverything(Campus& campus, VolumeId vol, uint64_t seed) {
+  for (uint32_t i = 0; i < 1000; ++i) {
+    (void)campus.PopulateDirect(vol, "/f" + std::to_string(i),
+                                content::Ref::ForSeed(seed ^ i, 4096));
+  }
+  // itcfs-lint: allow(no-eager-contents) -- transient store payload
+  Bytes scratch = SynthesizeContents(seed, 4096);
+  (void)scratch;
+  // Materialize outside a populate statement: a wire payload, fine.
+  content::Ref ref = content::Ref::ForSeed(seed, 4096);
+  Bytes wire = ref.Materialize();
+  (void)wire;
+}

@@ -318,6 +318,29 @@ TEST(NoRawLeaseTerm, ExemptsTheTwoConfigDefaultSites) {
   EXPECT_TRUE(RunOne("no-raw-lease-term", in).empty());
 }
 
+TEST(NoEagerContents, FiresOnSynthesizeAndPopulateMaterialize) {
+  LintInput in;
+  in.files.push_back(LexFixture("eager_contents_bad.cc"));
+  const auto diags = RunOne("no-eager-contents", in);
+  EXPECT_EQ(diags.size(), 2u) << "SynthesizeContents call + Materialize in populate";
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.rule, "no-eager-contents");
+}
+
+TEST(NoEagerContents, QuietOnRefsSuppressionsAndTransientMaterialize) {
+  LintInput in;
+  in.files.push_back(LexFixture("eager_contents_good.cc"));
+  EXPECT_TRUE(RunOne("no-eager-contents", in).empty());
+}
+
+TEST(NoEagerContents, ExemptsContentAndSourceTreeModules) {
+  // The delegating definition (and the content module itself) is where
+  // materialization is the module's job.
+  LintInput in;
+  in.files.push_back(LexFixture("eager_contents_bad.cc", "src/workload/source_tree.cc"));
+  in.files.push_back(LexFixture("eager_contents_bad.cc", "src/common/content.cc"));
+  EXPECT_TRUE(RunOne("no-eager-contents", in).empty());
+}
+
 // --- v2: symbol index + call graph -------------------------------------------
 
 TEST(SymbolIndexer, FindsMembersQualifiedDefsAndDeclMarkers) {
@@ -641,8 +664,9 @@ TEST(Lexer, OperatorCallAndQualifiedNamesSurviveIndexing) {
 }
 
 TEST(Cli, AllRulesHaveStableIds) {
-  EXPECT_EQ(AllRules().size(), 16u);
+  EXPECT_EQ(AllRules().size(), 17u);
   EXPECT_EQ(AllRules().count("nodiscard-status"), 1u);
+  EXPECT_EQ(AllRules().count("no-eager-contents"), 1u);
   EXPECT_EQ(AllRules().count("opcode-sync"), 1u);
   EXPECT_EQ(AllRules().count("resource-serve-outside-kernel"), 1u);
   EXPECT_EQ(AllRules().count("no-alloc-in-kernel-hot-path"), 1u);

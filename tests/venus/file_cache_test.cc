@@ -173,5 +173,44 @@ TEST_F(FileCacheTest, WriteDataUpdatesAccounting) {
   EXPECT_EQ(cache.Find(fid)->status.length, 1000u);
 }
 
+TEST_F(FileCacheTest, PathForDerivesTheLocalPathFromTheFid) {
+  // Regression: entries no longer store a cache_path string; the local path
+  // is derived from the fid on demand and must be stable across the entry's
+  // whole lifetime (install, read, write, erase all address the same file).
+  auto cache = MakeCache(VenusConfig::CacheLimit::kSpace, 1 << 20, 100);
+  const Fid fid{7, 42, 9};
+  EXPECT_EQ(cache.PathFor(fid), "/cache/7.42.9");
+  cache.InstallData(fid, StatusFor(fid, 3), ToBytes("abc"));
+  EXPECT_TRUE(fs_.Stat(cache.PathFor(fid)).ok());
+  ASSERT_EQ(cache.WriteData(fid, ToBytes("abcd")), Status::kOk);
+  EXPECT_EQ(ToString(*fs_.ReadFile(cache.PathFor(fid))), "abcd");
+  cache.Erase(fid);
+  EXPECT_FALSE(fs_.Stat(cache.PathFor(fid)).ok());
+}
+
+TEST_F(FileCacheTest, EvictionRemovesDerivedFilesAndKeepsAccountingExact) {
+  // Same scenario as SpaceLimitEvictsLru, additionally pinning the on-disk
+  // and byte-accounting effects: the evicted fid's derived file is gone,
+  // the survivors' files remain, and data_bytes equals the surviving sum.
+  auto cache = MakeCache(VenusConfig::CacheLimit::kSpace, /*max_bytes=*/1000, 100);
+  for (uint32_t i = 0; i < 4; ++i) {
+    const Fid fid{1, i + 10, 1};
+    cache.InstallData(fid, StatusFor(fid, 300), Bytes(300, 'a'));
+    cache.Touch(fid, i * 100);
+  }
+  auto evicted = cache.EnforceLimits();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_FALSE(fs_.Stat(cache.PathFor(evicted[0])).ok());
+  uint64_t surviving = 0;
+  for (const Fid& fid : cache.CachedFids()) {
+    if (cache.Find(fid)->has_data) {
+      EXPECT_TRUE(fs_.Stat(cache.PathFor(fid)).ok());
+      surviving += cache.Find(fid)->status.length;
+    }
+  }
+  EXPECT_EQ(cache.data_bytes(), surviving);
+  EXPECT_EQ(cache.data_bytes(), 900u);
+}
+
 }  // namespace
 }  // namespace itc::venus

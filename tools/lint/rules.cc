@@ -284,7 +284,7 @@ const std::set<std::string>& VolumeMutators() {
   // Volume methods that change durable volume state. Advisory locks and
   // callback promises are volatile by design (§3.2) and deliberately absent.
   static const std::set<std::string> m = {
-      "StoreData",  "SetMode",    "SetOwner", "SetAcl",        "CreateFile",
+      "StoreData",  "StoreRef",   "SetMode",  "SetOwner",  "SetAcl", "CreateFile",
       "MakeDir",    "MakeSymlink", "RemoveFile", "RemoveDir",  "Rename",
       "MakeMountPoint"};
   return m;
@@ -783,6 +783,59 @@ void CheckNoRawLeaseTerm(const LexedFile& f, std::vector<Diagnostic>& out) {
   }
 }
 
+// --- no-eager-contents --------------------------------------------------------------
+
+// Where materializing synthetic contents is the module's job: the content
+// module itself, and the legacy SynthesizeContents definition (which now
+// delegates to content::Ref and documents the transient-use contract).
+bool EagerContentsExempt(const std::string& path) {
+  return path == "src/common/content.h" || path == "src/common/content.cc" ||
+         path == "src/workload/source_tree.h" || path == "src/workload/source_tree.cc";
+}
+
+void CheckNoEagerContents(const LexedFile& f, std::vector<Diagnostic>& out) {
+  if (EagerContentsExempt(f.path)) return;
+  const Toks& t = f.tokens;
+  // (a) Any SynthesizeContents call materializes the full byte vector. At
+  // populate scale that is exactly the ~2 MB/client footprint the lazy
+  // representation removed; transient uses (an RPC payload that is consumed
+  // and freed) carry an explicit allow().
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (IsIdent(t, i) && t[i].text == "SynthesizeContents" && Is(t, i + 1, "(")) {
+      Emit(out, f, t[i].line, "no-eager-contents",
+           "SynthesizeContents materializes full file bytes; hold a lazy "
+           "content::Ref (content::Ref::ForSeed) and let the rest point "
+           "canonicalize, or suppress with allow(no-eager-contents) where the "
+           "buffer is genuinely transient (wire payload, byte-equality check)");
+    }
+  }
+  // (b) Statement granularity (same scheme as no-raw-lease-term): a
+  // Materialize() call in the same statement as a Populate* call is the
+  // populate-scale deep copy the representation exists to avoid — the ref
+  // overload of Campus::PopulateDirect takes the ref itself.
+  size_t start = 0;
+  for (size_t i = 0; i <= t.size(); ++i) {
+    const bool boundary =
+        i == t.size() || (t[i].kind == TokKind::kPunct &&
+                          (t[i].text == ";" || t[i].text == "{" || t[i].text == "}"));
+    if (!boundary) continue;
+    int mat_line = 0;
+    bool populate = false;
+    for (size_t k = start; k < i; ++k) {
+      if (!IsIdent(t, k)) continue;
+      if (t[k].text == "Materialize" && Is(t, k + 1, "(")) mat_line = t[k].line;
+      if (t[k].text.rfind("Populate", 0) == 0 && Is(t, k + 1, "(")) populate = true;
+    }
+    if (populate && mat_line != 0) {
+      Emit(out, f, mat_line, "no-eager-contents",
+           "Materialize() in a populate call defeats the lazy representation; "
+           "pass the content::Ref itself (Campus::PopulateDirect has a ref "
+           "overload)");
+    }
+    start = i + 1;
+  }
+}
+
 // --- kernel-ownership (interprocedural) ---------------------------------------------
 
 void CheckKernelOwnership(const SymbolIndex& idx, const CallGraph& g,
@@ -1032,6 +1085,9 @@ std::vector<Diagnostic> RunRules(const LintInput& input, const std::set<std::str
   }
   if (enabled("no-raw-lease-term")) {
     for (const LexedFile& f : input.files) CheckNoRawLeaseTerm(f, out);
+  }
+  if (enabled("no-eager-contents")) {
+    for (const LexedFile& f : input.files) CheckNoEagerContents(f, out);
   }
   const bool side = enabled("assert-side-effect");
   const bool header = enabled("assert-in-header");

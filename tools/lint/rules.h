@@ -113,7 +113,7 @@ inline const std::set<std::string>& AllRules() {
       "no-alloc-in-kernel-hot-path", "vfs-dispatch-only",
       "no-raw-lease-term", "kernel-ownership",
       "no-alloc-in-kernel-hot-path-transitive", "sim-determinism-transitive",
-      "stale-suppression", "rule-doc-sync",
+      "stale-suppression", "rule-doc-sync",  "no-eager-contents",
   };
   return rules;
 }
